@@ -1,0 +1,75 @@
+//! Timing of gradient evaluation (E3/E4 support): the paper's one-circuit
+//! gadget versus the two-circuit phase-shift baseline on the control-free
+//! `P1`, plus the gadget on the controlled `P2` (which the baseline cannot
+//! express at all).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdp_ad::GradientEngine;
+use qdp_lang::ast::Params;
+use qdp_sim::StateVector;
+use qdp_vqc::baseline::PhaseShift;
+use qdp_vqc::circuits::{p1, p2};
+use qdp_vqc::task;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn test_params(program: &qdp_lang::Stmt) -> Params {
+    Params::from_pairs(
+        program
+            .parameters()
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| (name, 0.2 + 0.31 * i as f64)),
+    )
+}
+
+fn bench_gradient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_gradient");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let obs = task::readout_observable();
+    let psi = StateVector::from_bits(&[true, false, true, false]);
+
+    let program1 = p1();
+    let params1 = test_params(&program1);
+    let engine1 = GradientEngine::new(&program1).expect("differentiable");
+    group.bench_function("gadget/P1 (24 params)", |b| {
+        b.iter(|| black_box(engine1.gradient_pure(&params1, &obs, &psi)))
+    });
+
+    let shift = PhaseShift::new(&program1).expect("circuit");
+    group.bench_function("phase-shift/P1 (24 params)", |b| {
+        b.iter(|| black_box(shift.gradient(&params1, &obs, &psi)))
+    });
+
+    let program2 = p2();
+    let params2 = test_params(&program2);
+    let engine2 = GradientEngine::new(&program2).expect("differentiable");
+    group.bench_function("gadget/P2 (36 params, with control)", |b| {
+        b.iter(|| black_box(engine2.gradient_pure(&params2, &obs, &psi)))
+    });
+    group.finish();
+}
+
+fn bench_single_derivative(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_derivative");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let program = p2();
+    let params = test_params(&program);
+    let obs = task::readout_observable();
+    let psi = StateVector::from_bits(&[false, true, false, true]);
+    let diff = qdp_ad::differentiate(&program, "F3").expect("differentiable");
+    group.bench_function("gadget/P2 ∂/∂F3", |b| {
+        b.iter(|| black_box(diff.derivative_pure(&params, &obs, &psi)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gradient, bench_single_derivative);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation: the reference density-operator engine versus the branching
+//! pure-state engine on the same program and observable (they compute the
+//! same expectation; the pure engine is the training fast path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdp_lang::ast::Params;
+use qdp_lang::{denot, parse_program, Register};
+use qdp_sim::{DensityMatrix, Observable, StateVector};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_engines(c: &mut Criterion) {
+    let src = "
+        q1 *= H; q2 *= H;
+        q1, q3 *= RXX(a); q2, q4 *= RYY(b);
+        case M[q1] = 0 -> q3 *= RY(a); q4 *= RZ(b),
+                     1 -> q3 := |0>; q3, q4 *= RZZ(a) end;
+        while[2] M[q4] = 1 do q2 *= RX(b) done;
+        q5 *= RZ(a); q6 *= RY(b)";
+    let program = parse_program(src).expect("valid program");
+    let reg = Register::from_program(&program);
+    let params = Params::from_pairs([("a", 0.7), ("b", -0.4)]);
+    let obs = Observable::pauli_z(reg.len(), 2);
+    let psi = StateVector::zero_state(reg.len());
+    let rho = DensityMatrix::from_pure(&psi);
+
+    let mut group = c.benchmark_group("semantics_engines");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("density (6 qubits)", |b| {
+        b.iter(|| {
+            let out = denot::denote(&program, &reg, &params, &rho);
+            black_box(obs.expectation(&out))
+        })
+    });
+    group.bench_function("pure-branching (6 qubits)", |b| {
+        b.iter(|| black_box(denot::expectation_pure(&program, &reg, &params, &psi, &obs)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Timing of the compile-time phase (E1/E2 support): code transformation
+//! plus compilation on the Table 2 benchmark instances, and the resource
+//! analysis itself.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qdp_ad::{differentiate, occurrence_count};
+use qdp_vqc::families::{paper_instances, THETA};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_differentiate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform_compile");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for name in ["QNN_{M,i}", "VQE_{M,i}", "QAOA_{M,i}", "QNN_{L,i}", "QNN_{M,w}"] {
+        let config = paper_instances()
+            .into_iter()
+            .find(|c| c.name == name)
+            .expect("known instance");
+        let program = config.build();
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || program.clone(),
+                |p| black_box(differentiate(&p, THETA).expect("differentiable")),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_occurrence_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("occurrence_count");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let config = paper_instances()
+        .into_iter()
+        .find(|c| c.name == "QNN_{L,i}")
+        .expect("known instance");
+    let program = config.build();
+    group.bench_function("QNN_{L,i}", |b| {
+        b.iter(|| black_box(occurrence_count(black_box(&program), THETA)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_differentiate, bench_occurrence_count);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Timing of the Figure 6 training loop: one full-batch epoch (16 samples,
+//! forward value + full gradient + optimizer step) of `P1` and `P2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdp_vqc::circuits::{p1, p2};
+use qdp_vqc::loss::SquaredLoss;
+use qdp_vqc::optim::GradientDescent;
+use qdp_vqc::task;
+use qdp_vqc::train::Trainer;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn data() -> qdp_vqc::train::Dataset {
+    task::dataset()
+        .into_iter()
+        .map(|s| (s.input_state(), s.target()))
+        .collect()
+}
+
+fn bench_epochs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_epoch");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+
+    let mut t1 = Trainer::new(&p1(), task::readout_observable(), data())
+        .expect("P1 differentiable");
+    t1.init_params_seeded(11);
+    let mut opt1 = GradientDescent::new(0.5);
+    group.bench_function("P1 epoch (16 samples, 24 params)", |b| {
+        b.iter(|| black_box(t1.epoch(&SquaredLoss, &mut opt1)))
+    });
+
+    let mut t2 = Trainer::new(&p2(), task::readout_observable(), data())
+        .expect("P2 differentiable");
+    t2.init_params_seeded(11);
+    let mut opt2 = GradientDescent::new(0.5);
+    group.bench_function("P2 epoch (16 samples, 36 params)", |b| {
+        b.iter(|| black_box(t2.epoch(&SquaredLoss, &mut opt2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_epochs);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Regenerates **Figure 6** of the paper (Section 8.1): training-loss
+//! curves of `P1` (no control) vs `P2` (with control) on the 4-bit
+//! classification task `f(z) = ¬(z1 ⊕ z4)` with the squared loss (Eq. 8.3)
+//! and gradient descent.
+//!
+//! `P1` is a product circuit, so its prediction for `q4` can only depend on
+//! `z4`; its loss is information-theoretically floored (at 2.0 under the
+//! plain Eq. 8.3 sum — the paper reports the same plateau on its own loss
+//! scale as 0.5). `P2`'s measurement control lets the second layer depend
+//! on `z1`, so its loss keeps falling — the paper's headline advantage of
+//! differentiable programs over differentiable circuits.
+//!
+//! Usage: `cargo run --release -p qdp-bench --bin fig6 [epochs] [lr] [seed] [loss]`
+//! (defaults: 1000 epochs, lr 0.5, seed 11, loss `squared`). Passing
+//! `nll` as the loss trains with the average negative log-likelihood — the
+//! loss the paper calls natural but found unsupported by PennyLane; this
+//! reproduction supports it directly.
+
+use qdp_vqc::circuits::{p1, p2};
+use qdp_vqc::loss::{Loss, NegLogLikelihood, SquaredLoss};
+use qdp_vqc::optim::GradientDescent;
+use qdp_vqc::task;
+use qdp_vqc::train::Trainer;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let epochs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1000);
+    let lr: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.5);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(11);
+    let loss_name = args.next().unwrap_or_else(|| "squared".to_string());
+    let loss: Box<dyn Loss> = match loss_name.as_str() {
+        "squared" => Box::new(SquaredLoss),
+        "nll" => Box::new(NegLogLikelihood::default()),
+        other => {
+            eprintln!("unknown loss '{other}', expected 'squared' or 'nll'");
+            std::process::exit(1);
+        }
+    };
+
+    println!("Figure 6 — training P1 (no control) vs P2 (with control)");
+    println!(
+        "task: f(z) = ¬(z1⊕z4); loss: {loss_name}; optimizer: GD(lr={lr}); seed {seed}\n"
+    );
+
+    let data = || {
+        task::dataset()
+            .into_iter()
+            .map(|s| (s.input_state(), s.target()))
+            .collect()
+    };
+
+    let mut t1 = Trainer::new(&p1(), task::readout_observable(), data())
+        .expect("P1 is differentiable");
+    let mut t2 = Trainer::new(&p2(), task::readout_observable(), data())
+        .expect("P2 is differentiable");
+    t1.init_params_seeded(seed);
+    t2.init_params_seeded(seed);
+
+    let mut opt1 = GradientDescent::new(lr);
+    let mut opt2 = GradientDescent::new(lr);
+
+    println!("{:>6}  {:>12}  {:>12}", "epoch", "loss(P1)", "loss(P2)");
+    let report_every = (epochs / 20).max(1);
+    let mut h1 = Vec::with_capacity(epochs);
+    let mut h2 = Vec::with_capacity(epochs);
+    for epoch in 0..epochs {
+        h1.push(t1.epoch(&loss, &mut opt1));
+        h2.push(t2.epoch(&loss, &mut opt2));
+        if epoch % report_every == 0 || epoch + 1 == epochs {
+            println!(
+                "{:>6}  {:>12.6}  {:>12.6}",
+                epoch,
+                h1.last().unwrap(),
+                h2.last().unwrap()
+            );
+        }
+    }
+
+    let min1 = h1.iter().cloned().fold(f64::INFINITY, f64::min);
+    let min2 = h2.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("\nminimum loss: P1 = {min1:.4}, P2 = {min2:.4}");
+    println!("final accuracy: P1 = {:.3}, P2 = {:.3}", t1.accuracy(), t2.accuracy());
+    if loss_name == "squared" {
+        println!(
+            "\npaper shape check: P1 plateaus near its locality floor ({}), \
+             P2 keeps decreasing ({})",
+            if min1 > 1.5 { "reproduced" } else { "NOT reproduced" },
+            if min2 < 0.25 * min1 { "reproduced" } else { "NOT reproduced" },
+        );
+    } else {
+        println!(
+            "\nNLL mode: P1 stuck above its locality floor, P2 separation {}",
+            if min2 < 0.25 * min1 { "reproduced" } else { "NOT reproduced" },
+        );
+    }
+    println!(
+        "note: the phase-shift baseline (PennyLane's rule) can train P1 but \
+         rejects P2 — see `cargo test -p qdp-vqc baseline`"
+    );
+}

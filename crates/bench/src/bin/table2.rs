@@ -1,0 +1,26 @@
+//! Regenerates **Table 2** of the paper (Section 8.2): resource metrics of
+//! the differentiation procedure on medium/large QNN, VQE and QAOA
+//! instances with `if` and bounded-`while` controls.
+//!
+//! Usage: `cargo run --release -p qdp-bench --bin table2`
+
+fn main() {
+    println!("Table 2 — compiler output on medium/large VQC instances");
+    println!("(measured by this reproduction; paper values in parentheses)\n");
+    let rows = qdp_bench::table2_rows();
+    print!("{}", qdp_bench::render_comparison(&rows));
+
+    // The invariant the table is meant to demonstrate (Prop. 7.2).
+    let violations: Vec<_> = rows
+        .iter()
+        .filter(|(m, _)| m.derivative_programs > m.oc)
+        .collect();
+    println!(
+        "\nProposition 7.2 (|#∂/∂θ(·)| ≤ OC(·)): {}",
+        if violations.is_empty() {
+            "holds on every row".to_string()
+        } else {
+            format!("VIOLATED on {} rows", violations.len())
+        }
+    );
+}

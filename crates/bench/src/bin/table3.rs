@@ -1,0 +1,25 @@
+//! Regenerates **Table 3** of the paper (Appendix F.2): the full 24-row
+//! benchmark over QNN/VQE/QAOA at small/medium/large scale with
+//! basic/shared/if/while variants.
+//!
+//! Usage: `cargo run --release -p qdp-bench --bin table3`
+
+fn main() {
+    println!("Table 3 — compiler output on all benchmark instances");
+    println!("(measured by this reproduction; paper values in parentheses)\n");
+    let rows = qdp_bench::table3_rows();
+    print!("{}", qdp_bench::render_comparison(&rows));
+
+    let tight = rows
+        .iter()
+        .filter(|(m, _)| !m.name.contains(",w") && m.derivative_programs == m.oc)
+        .count();
+    let strict = rows
+        .iter()
+        .filter(|(m, _)| m.name.contains(",w") && m.derivative_programs < m.oc)
+        .count();
+    println!("\nnon-while rows where the Prop. 7.2 bound is tight: {tight}");
+    println!(
+        "while rows where |#∂| < OC (aborting unrollings optimised out, paper note (3)): {strict}"
+    );
+}

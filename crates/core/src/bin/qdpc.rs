@@ -1,0 +1,177 @@
+//! `qdpc` — the differentiable-quantum-program compiler driver.
+//!
+//! A command-line front end over the reproduction, in the spirit of the
+//! paper's OCaml artifact:
+//!
+//! ```text
+//! qdpc parse     <file>              parse, check well-formedness, pretty-print
+//! qdpc simplify  <file>              run the semantics-preserving optimiser
+//! qdpc analyze   <file>              static metrics + per-parameter resources
+//! qdpc run       <file> [k=v …]      evaluate on |0…0⟩, print read-outs
+//! qdpc transform <file> <param>      print the additive ∂/∂θ(P) program
+//! qdpc compile   <file> <param>      print the compiled derivative multiset
+//! qdpc check     <file> <param>      build & verify the Fig. 5 derivation
+//! ```
+//!
+//! `<file>` may be `-` for standard input.
+
+use qdp_ad::{analyze, check, derive, differentiate, fresh_ancilla, transform};
+use qdp_lang::ast::Params;
+use qdp_lang::{denot, metrics, opt, parse_program, pretty, wf, Register};
+use qdp_sim::{DensityMatrix, Observable};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("qdpc: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (command, rest) = args.split_first().ok_or_else(usage)?;
+    match command.as_str() {
+        "parse" => {
+            let program = load(rest.first().ok_or_else(usage)?)?;
+            println!("{}", pretty::to_source(&program));
+            Ok(())
+        }
+        "simplify" => {
+            let program = load(rest.first().ok_or_else(usage)?)?;
+            let simplified = opt::simplify(&program);
+            eprintln!(
+                "// {} → {} gates",
+                program.gate_count(),
+                simplified.gate_count()
+            );
+            println!("{}", pretty::to_source(&simplified));
+            Ok(())
+        }
+        "run" => {
+            let (file, assignments) = rest.split_first().ok_or_else(usage)?;
+            let program = load(file)?;
+            let mut params = Params::new();
+            for assignment in assignments {
+                let (name, value) = assignment
+                    .split_once('=')
+                    .ok_or_else(|| format!("expected name=value, got '{assignment}'"))?;
+                let value: f64 = value
+                    .parse()
+                    .map_err(|e| format!("bad value in '{assignment}': {e}"))?;
+                params.set(name, value);
+            }
+            for name in program.parameters() {
+                if params.get(&name).is_none() {
+                    return Err(format!("parameter '{name}' needs a value (pass {name}=<v>)"));
+                }
+            }
+            let reg = Register::from_program(&program);
+            let rho = DensityMatrix::pure_zero(reg.len());
+            let out = denot::denote(&program, &reg, &params, &rho);
+            println!("input: |0…0⟩ on register {reg}");
+            println!("output trace (termination probability): {:.6}", out.trace());
+            for (i, var) in reg.vars().iter().enumerate() {
+                let z = Observable::pauli_z(reg.len(), i).expectation(&out);
+                let p1 = Observable::projector_one(reg.len(), i).expectation(&out);
+                println!("  {var}: ⟨Z⟩ = {z:+.6}, P(1) = {p1:.6}");
+            }
+            Ok(())
+        }
+        "analyze" => {
+            let program = load(rest.first().ok_or_else(usage)?)?;
+            let m = metrics::measure(&program);
+            println!("qubits:          {}", m.qubits);
+            println!("gates:           {}", m.gates);
+            println!("depth:           {}", m.depth);
+            println!("lines:           {}", m.lines);
+            println!("statements:      {}", m.statements);
+            println!("control nesting: {}", m.control_nesting);
+            let reports = analyze(&program).map_err(|e| e.to_string())?;
+            if reports.is_empty() {
+                println!("parameters:      none");
+            } else {
+                println!("parameters:");
+                for r in reports {
+                    println!(
+                        "  {:<12} OC = {:<4} |#∂| = {:<4} Prop. 7.2 {}",
+                        r.param,
+                        r.occurrence_count,
+                        r.derivative_programs,
+                        if r.satisfies_bound() { "ok" } else { "VIOLATED" }
+                    );
+                }
+            }
+            Ok(())
+        }
+        "transform" => {
+            let (file, param) = two(rest)?;
+            let program = load(&file)?;
+            let ancilla = fresh_ancilla(&program, &param);
+            let additive =
+                transform(&program, &param, &ancilla).map_err(|e| e.to_string())?;
+            println!("// ∂/∂{param}, ancilla {ancilla}");
+            println!("{}", pretty::to_source(&additive));
+            Ok(())
+        }
+        "compile" => {
+            let (file, param) = two(rest)?;
+            let program = load(&file)?;
+            let diff = differentiate(&program, &param).map_err(|e| e.to_string())?;
+            println!(
+                "// {} non-aborting derivative program(s) for ∂/∂{param}",
+                diff.compiled().len()
+            );
+            for (i, p) in diff.compiled().iter().enumerate() {
+                println!("// --- program {i} ---");
+                println!("{}", pretty::to_source(p));
+            }
+            Ok(())
+        }
+        "check" => {
+            let (file, param) = two(rest)?;
+            let program = load(&file)?;
+            let ancilla = fresh_ancilla(&program, &param);
+            let derivation =
+                derive(&program, &param, &ancilla).map_err(|e| e.to_string())?;
+            check(&derivation, &param, &ancilla).map_err(|e| e.to_string())?;
+            println!(
+                "derivation of ∂/∂{param}(P) | P checks: {} rule applications, height {}",
+                derivation.size(),
+                derivation.height()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: qdpc <parse|simplify|run|analyze|transform|compile|check> <file|-> [param]".to_string()
+}
+
+fn two(rest: &[String]) -> Result<(String, String), String> {
+    match rest {
+        [file, param] => Ok((file.clone(), param.clone())),
+        _ => Err(usage()),
+    }
+}
+
+fn load(path: &str) -> Result<qdp_lang::Stmt, String> {
+    let source = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    };
+    let program = parse_program(&source).map_err(|e| e.to_string())?;
+    wf::check(&program).map_err(|e| e.to_string())?;
+    Ok(program)
+}

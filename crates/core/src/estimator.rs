@@ -1,0 +1,269 @@
+//! Shot-based estimation of derivatives (Section 7, “Execution”).
+//!
+//! On hardware one cannot read `tr((ZA⊗O)·[[P′i]]ρ)` exactly; the paper's
+//! procedure estimates the sum (7.1) by treating `sum/m` as an observable on
+//! the program that first draws `i` uniformly from the `m` compiled programs
+//! and then runs `P′i`. A Chernoff bound gives `O(m²/δ²)` repetitions for
+//! additive error `δ`, each consuming a fresh copy of the input state — the
+//! resource `|#∂/∂θ(P)|` controls.
+
+use crate::exec::Differentiated;
+use qdp_lang::ast::{Params, Stmt};
+use qdp_lang::Register;
+use qdp_linalg::Matrix;
+use qdp_sim::{Measurement, Observable, ShotSampler, StateVector};
+
+/// Runs one *sampled trajectory* of a normal program on a pure state:
+/// measurement outcomes are drawn from the Born rule and the state collapses
+/// accordingly. Returns `None` when the trajectory aborts.
+///
+/// # Panics
+///
+/// Panics on additive programs.
+pub fn sample_trajectory(
+    stmt: &Stmt,
+    reg: &Register,
+    params: &Params,
+    psi: &StateVector,
+    sampler: &mut ShotSampler,
+) -> Option<StateVector> {
+    match stmt {
+        Stmt::Abort { .. } => None,
+        Stmt::Skip { .. } => Some(psi.clone()),
+        Stmt::Init { q } => {
+            let idx = reg.indices_of(std::slice::from_ref(q))[0];
+            // E_{q→0} on a pure state: branch on the current value of q,
+            // then map both branches to |0⟩. Equivalent to measuring q and
+            // applying X on outcome 1.
+            let meas = Measurement::computational(vec![idx]);
+            let (outcome, mut collapsed) = sampler.measure(psi, &meas);
+            if outcome == 1 {
+                collapsed.apply_gate(&Matrix::pauli_x(), &[idx]);
+            }
+            Some(collapsed)
+        }
+        Stmt::Unitary { gate, qs } => {
+            Some(psi.with_gate(&gate.matrix(params), &reg.indices_of(qs)))
+        }
+        Stmt::Seq(a, b) => {
+            let mid = sample_trajectory(a, reg, params, psi, sampler)?;
+            sample_trajectory(b, reg, params, &mid, sampler)
+        }
+        Stmt::Case { qs, arms } => {
+            let meas = Measurement::computational(reg.indices_of(qs));
+            let (outcome, collapsed) = sampler.measure(psi, &meas);
+            sample_trajectory(&arms[outcome], reg, params, &collapsed, sampler)
+        }
+        Stmt::While { .. } => {
+            sample_trajectory(&stmt.unfold_while_once(), reg, params, psi, sampler)
+        }
+        Stmt::Sum(..) => panic!("sample_trajectory is defined on normal programs"),
+    }
+}
+
+/// A shot-based estimate of the derivative computed by a [`Differentiated`]
+/// artifact on a pure input.
+///
+/// Each shot: draw `i` uniformly from the `m` compiled programs, run a
+/// sampled trajectory of `P′i` on `|0⟩A ⊗ |ψ⟩`, sample the observable
+/// `ZA ⊗ O` once (0 when the trajectory aborted), and scale by `m`.
+/// The estimator is unbiased for the exact derivative.
+///
+/// Returns 0 when the derivative multiset is empty.
+pub fn estimate_derivative(
+    diff: &Differentiated,
+    params: &Params,
+    obs: &Observable,
+    psi: &StateVector,
+    shots: usize,
+    sampler: &mut ShotSampler,
+) -> f64 {
+    assert!(shots > 0, "need at least one shot");
+    let m = diff.compiled().len();
+    if m == 0 {
+        return 0.0;
+    }
+    let ext_obs = obs.with_ancilla_z();
+    let ext_psi = StateVector::zero_state(1).tensor(psi);
+    let mut acc = 0.0;
+    for _ in 0..shots {
+        let i = sampler.uniform_index(m);
+        let program = &diff.compiled()[i];
+        match sample_trajectory(program, diff.ext_register(), params, &ext_psi, sampler) {
+            None => {}
+            Some(final_state) => {
+                acc += sampler.sample_observable(&final_state, &ext_obs);
+            }
+        }
+    }
+    m as f64 * acc / shots as f64
+}
+
+/// The shot budget the Chernoff analysis prescribes for precision `delta`
+/// given `m` compiled programs — re-exported from the simulator for
+/// convenience.
+pub fn chernoff_shots(m: usize, delta: f64) -> usize {
+    ShotSampler::chernoff_shots(m, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::differentiate;
+    use qdp_lang::parse_program;
+
+    #[test]
+    fn trajectory_of_deterministic_program() {
+        let p = parse_program("q1 *= X; q1 *= X").unwrap();
+        let reg = Register::from_program(&p);
+        let mut sampler = ShotSampler::seeded(5);
+        let out = sample_trajectory(&p, &reg, &Params::new(), &StateVector::zero_state(1), &mut sampler)
+            .unwrap();
+        assert_eq!(out.classical_bit(0), Some(false));
+    }
+
+    #[test]
+    fn trajectory_aborts_on_abort() {
+        let p = parse_program("q1 *= X; abort[q1]").unwrap();
+        let reg = Register::from_program(&p);
+        let mut sampler = ShotSampler::seeded(5);
+        assert!(sample_trajectory(
+            &p,
+            &reg,
+            &Params::new(),
+            &StateVector::zero_state(1),
+            &mut sampler
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn trajectory_init_resets_qubit() {
+        let p = parse_program("q1 *= H; q1 := |0>").unwrap();
+        let reg = Register::from_program(&p);
+        let mut sampler = ShotSampler::seeded(11);
+        for _ in 0..10 {
+            let out = sample_trajectory(
+                &p,
+                &reg,
+                &Params::new(),
+                &StateVector::zero_state(1),
+                &mut sampler,
+            )
+            .unwrap();
+            assert_eq!(out.classical_bit(0), Some(false));
+        }
+    }
+
+    #[test]
+    fn trajectory_case_branches_statistically() {
+        let p = parse_program("q1 *= H; case M[q1] = 0 -> skip[q1], 1 -> q1 *= X end").unwrap();
+        let reg = Register::from_program(&p);
+        let mut sampler = ShotSampler::seeded(21);
+        // Both branches end in |0⟩ (identity or X after measuring 1).
+        for _ in 0..20 {
+            let out = sample_trajectory(
+                &p,
+                &reg,
+                &Params::new(),
+                &StateVector::zero_state(1),
+                &mut sampler,
+            )
+            .unwrap();
+            assert_eq!(out.classical_bit(0), Some(false));
+        }
+    }
+
+    #[test]
+    fn estimator_is_consistent_with_exact_derivative() {
+        let p = parse_program("q1 *= RY(t)").unwrap();
+        let diff = differentiate(&p, "t").unwrap();
+        let params = Params::from_pairs([("t", 0.8)]);
+        let obs = Observable::pauli_z(1, 0);
+        let psi = StateVector::zero_state(1);
+        let exact = diff.derivative_pure(&params, &obs, &psi);
+        let mut sampler = ShotSampler::seeded(2024);
+        let estimate = estimate_derivative(&diff, &params, &obs, &psi, 60_000, &mut sampler);
+        assert!(
+            (estimate - exact).abs() < 0.03,
+            "estimate {estimate} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn estimator_handles_multi_program_multisets() {
+        // Two occurrences of t → m = 2 compiled programs.
+        let p = parse_program("q1 *= RX(t); q1 *= RY(t)").unwrap();
+        let diff = differentiate(&p, "t").unwrap();
+        assert_eq!(diff.compiled().len(), 2);
+        let params = Params::from_pairs([("t", 0.5)]);
+        let obs = Observable::pauli_z(1, 0);
+        let psi = StateVector::zero_state(1);
+        let exact = diff.derivative_pure(&params, &obs, &psi);
+        let mut sampler = ShotSampler::seeded(7);
+        let estimate = estimate_derivative(&diff, &params, &obs, &psi, 80_000, &mut sampler);
+        assert!(
+            (estimate - exact).abs() < 0.05,
+            "estimate {estimate} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn estimator_of_parameterless_program_is_zero() {
+        let p = parse_program("q1 *= H").unwrap();
+        let diff = differentiate(&p, "t").unwrap();
+        assert!(diff.compiled().is_empty());
+        let mut sampler = ShotSampler::seeded(1);
+        let est = estimate_derivative(
+            &diff,
+            &Params::new(),
+            &Observable::pauli_z(1, 0),
+            &StateVector::zero_state(1),
+            10,
+            &mut sampler,
+        );
+        assert_eq!(est, 0.0);
+    }
+
+    #[test]
+    fn chernoff_budget_grows_with_m() {
+        assert!(chernoff_shots(4, 0.1) > chernoff_shots(2, 0.1));
+    }
+
+    #[test]
+    fn estimator_handles_control_flow_programs() {
+        // Derivative programs of a case statement contain measurements that
+        // the trajectory sampler must resolve shot by shot.
+        let p = parse_program(
+            "q1 *= RX(t); case M[q1] = 0 -> q1 *= RY(t), 1 -> q1 *= RZ(t) end",
+        )
+        .unwrap();
+        let diff = differentiate(&p, "t").unwrap();
+        let params = Params::from_pairs([("t", 1.1)]);
+        let obs = Observable::pauli_z(1, 0);
+        let psi = StateVector::zero_state(1);
+        let exact = diff.derivative_pure(&params, &obs, &psi);
+        let mut sampler = ShotSampler::seeded(77);
+        let estimate = estimate_derivative(&diff, &params, &obs, &psi, 120_000, &mut sampler);
+        assert!(
+            (estimate - exact).abs() < 0.05,
+            "estimate {estimate} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn estimator_handles_bounded_while() {
+        let p = parse_program("q1 *= RY(t); while[2] M[q1] = 1 do q1 *= RY(t) done").unwrap();
+        let diff = differentiate(&p, "t").unwrap();
+        let params = Params::from_pairs([("t", 0.7)]);
+        let obs = Observable::pauli_z(1, 0);
+        let psi = StateVector::zero_state(1);
+        let exact = diff.derivative_pure(&params, &obs, &psi);
+        let mut sampler = ShotSampler::seeded(3);
+        let estimate = estimate_derivative(&diff, &params, &obs, &psi, 120_000, &mut sampler);
+        assert!(
+            (estimate - exact).abs() < 0.07,
+            "estimate {estimate} vs exact {exact}"
+        );
+    }
+}

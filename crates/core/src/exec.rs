@@ -1,0 +1,552 @@
+//! The end-to-end differentiation pipeline (Section 7, “Execution”).
+//!
+//! For a program `P(θ)` and one parameter `θj`:
+//!
+//! 1. apply the code transformation to get the additive `∂/∂θj(P(θ))`
+//!    ([`crate::transform`]),
+//! 2. compile it into the multiset `{|P′i(θ)|}` of normal, non-aborting
+//!    programs ([`qdp_lang::compile`]) — both steps happen at *compile time*,
+//! 3. at run time, evaluate `Σi tr((ZA⊗O)·[[P′i]](|0⟩A⟨0| ⊗ ρ))` (Eq. 7.1).
+//!
+//! [`Differentiated`] packages steps 1–2; [`GradientEngine`] caches one
+//! `Differentiated` per parameter and evaluates whole gradients.
+
+use crate::semantics::{
+    observable_semantics, observable_semantics_with_ancilla,
+    observable_semantics_with_ancilla_pure,
+};
+use crate::transform::{fresh_ancilla, transform, TransformError};
+use qdp_lang::ast::{Params, Stmt, Var};
+use qdp_lang::{compile, denot, Register};
+use qdp_sim::{DensityMatrix, Observable, StateVector};
+use std::collections::BTreeMap;
+
+/// The compile-time artifact of differentiating one program with respect to
+/// one parameter.
+///
+/// # Examples
+///
+/// ```
+/// use qdp_ad::differentiate;
+/// use qdp_lang::ast::Params;
+/// use qdp_lang::parse_program;
+/// use qdp_sim::{DensityMatrix, Observable};
+///
+/// let p = parse_program("q1 *= RY(t)")?;
+/// let diff = differentiate(&p, "t")?;
+/// let obs = Observable::pauli_z(1, 0);
+/// let rho = DensityMatrix::pure_zero(1);
+/// let params = Params::from_pairs([("t", 0.5)]);
+/// // d/dθ cos θ = −sin θ.
+/// let d = diff.derivative(&params, &obs, &rho);
+/// assert!((d + 0.5f64.sin()).abs() < 1e-10);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Differentiated {
+    param: String,
+    ancilla: Var,
+    additive: Stmt,
+    compiled: Vec<Stmt>,
+    base_register: Register,
+    ext_register: Register,
+}
+
+/// Differentiates `program` with respect to `param`: transformation plus
+/// compilation (the paper's compile-time phase).
+///
+/// # Errors
+///
+/// Returns [`TransformError`] on an ancilla-name collision (never happens
+/// with the automatically chosen ancilla).
+pub fn differentiate(program: &Stmt, param: &str) -> Result<Differentiated, TransformError> {
+    differentiate_in(program, param, &Register::from_program(program))
+}
+
+/// Like [`differentiate`], but over a caller-supplied base register (which
+/// must contain every program variable). This is what higher-order
+/// differentiation uses: the base register of the second pass is the
+/// ancilla-extended register of the first, so observables keep lining up.
+///
+/// # Errors
+///
+/// Returns [`TransformError`] on an ancilla-name collision.
+///
+/// # Panics
+///
+/// Panics when the program uses a variable outside `base_register`.
+pub fn differentiate_in(
+    program: &Stmt,
+    param: &str,
+    base_register: &Register,
+) -> Result<Differentiated, TransformError> {
+    for v in program.qvar() {
+        assert!(
+            base_register.contains(&v),
+            "program variable '{v}' missing from the supplied register"
+        );
+    }
+    let mut ancilla = fresh_ancilla(program, param);
+    while base_register.contains(&ancilla) {
+        ancilla = Var::new(format!("{}'", ancilla.name()));
+    }
+    let additive = transform(program, param, &ancilla)?;
+    let compiled: Vec<Stmt> = compile::compile(&additive)
+        .into_iter()
+        .filter(|p| !p.essentially_aborts())
+        .collect();
+    let ext_register = base_register.with_ancilla_front(ancilla.clone());
+    Ok(Differentiated {
+        param: param.to_string(),
+        ancilla,
+        additive,
+        compiled,
+        base_register: base_register.clone(),
+        ext_register,
+    })
+}
+
+/// The second-order derivative
+/// `∂²/∂θp2 ∂θp1 · tr(O·[[P(θ*)]]ρ)`, computed by differentiating each
+/// compiled first-derivative program again (the nesting of the paper's
+/// footnote 7: the old ancilla joins the register, a fresh one is added,
+/// and the observable picks up another `Z` factor).
+///
+/// # Errors
+///
+/// Returns [`TransformError`] on ancilla collisions.
+pub fn second_derivative(
+    program: &Stmt,
+    param1: &str,
+    param2: &str,
+    params: &Params,
+    obs: &Observable,
+    rho: &DensityMatrix,
+) -> Result<f64, TransformError> {
+    let first = differentiate(program, param1)?;
+    let obs_ext = obs.with_ancilla_z();
+    let rho_ext = rho.prepend_zero_ancilla();
+    let mut total = 0.0;
+    for inner in first.compiled() {
+        let second = differentiate_in(inner, param2, first.ext_register())?;
+        total += second.derivative(params, &obs_ext, &rho_ext);
+    }
+    Ok(total)
+}
+
+/// The full Hessian over a set of parameters, keyed by `(row, column)`.
+/// Symmetric up to numerical error; both triangles are computed
+/// independently, which doubles as a smoothness check.
+///
+/// # Errors
+///
+/// Returns [`TransformError`] on ancilla collisions.
+pub fn hessian(
+    program: &Stmt,
+    params: &Params,
+    obs: &Observable,
+    rho: &DensityMatrix,
+) -> Result<BTreeMap<(String, String), f64>, TransformError> {
+    let names: Vec<String> = program.parameters().into_iter().collect();
+    let mut out = BTreeMap::new();
+    for p1 in &names {
+        for p2 in &names {
+            let value = second_derivative(program, p1, p2, params, obs, rho)?;
+            out.insert((p1.clone(), p2.clone()), value);
+        }
+    }
+    Ok(out)
+}
+
+impl Differentiated {
+    /// The differentiated parameter name.
+    pub fn param(&self) -> &str {
+        &self.param
+    }
+
+    /// The ancilla variable `A` introduced by the transformation.
+    pub fn ancilla(&self) -> &Var {
+        &self.ancilla
+    }
+
+    /// The additive program `∂/∂θj(P(θ))` before compilation.
+    pub fn additive(&self) -> &Stmt {
+        &self.additive
+    }
+
+    /// The compiled multiset of non-aborting normal programs — its length is
+    /// `|#∂/∂θj(P(θ))|` (Definition 4.3), the number of initial-state copies
+    /// per evaluation (Section 7).
+    pub fn compiled(&self) -> &[Stmt] {
+        &self.compiled
+    }
+
+    /// The register of the original program.
+    pub fn base_register(&self) -> &Register {
+        &self.base_register
+    }
+
+    /// The extended register (`ancilla` at qubit 0).
+    pub fn ext_register(&self) -> &Register {
+        &self.ext_register
+    }
+
+    /// Evaluates the derivative
+    /// `Σi tr((ZA⊗O) · [[P′i(θ*)]]((|0⟩A⟨0|) ⊗ ρ))` (Eq. 7.1) exactly.
+    ///
+    /// By Theorem 6.2 this equals `∂/∂θj tr(O · [[P(θ*)]]ρ)` for **every**
+    /// observable `O` and input `ρ` — the strongest differential-semantics
+    /// guarantee (Definition 5.3).
+    pub fn derivative(&self, params: &Params, obs: &Observable, rho: &DensityMatrix) -> f64 {
+        self.compiled
+            .iter()
+            .map(|p| observable_semantics_with_ancilla(p, &self.ext_register, params, obs, rho))
+            .sum()
+    }
+
+    /// Pure-input fast path of [`derivative`](Self::derivative).
+    pub fn derivative_pure(&self, params: &Params, obs: &Observable, psi: &StateVector) -> f64 {
+        self.compiled
+            .iter()
+            .map(|p| {
+                observable_semantics_with_ancilla_pure(p, &self.ext_register, params, obs, psi)
+            })
+            .sum()
+    }
+}
+
+/// Gradient evaluation over all parameters of a program, with the per-
+/// parameter transformations cached.
+#[derive(Clone, Debug)]
+pub struct GradientEngine {
+    program: Stmt,
+    register: Register,
+    diffs: BTreeMap<String, Differentiated>,
+}
+
+impl GradientEngine {
+    /// Differentiates `program` with respect to every parameter it uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TransformError`] encountered.
+    pub fn new(program: &Stmt) -> Result<Self, TransformError> {
+        let register = Register::from_program(program);
+        let mut diffs = BTreeMap::new();
+        for param in program.parameters() {
+            diffs.insert(param.clone(), differentiate(program, &param)?);
+        }
+        Ok(GradientEngine {
+            program: program.clone(),
+            register,
+            diffs,
+        })
+    }
+
+    /// The program under differentiation.
+    pub fn program(&self) -> &Stmt {
+        &self.program
+    }
+
+    /// The program's register.
+    pub fn register(&self) -> &Register {
+        &self.register
+    }
+
+    /// Parameter names in lexicographic order.
+    pub fn parameters(&self) -> impl Iterator<Item = &str> {
+        self.diffs.keys().map(String::as_str)
+    }
+
+    /// The cached differentiation artifact for one parameter.
+    pub fn differentiated(&self, param: &str) -> Option<&Differentiated> {
+        self.diffs.get(param)
+    }
+
+    /// Forward value `tr(O · [[P(θ*)]]ρ)`.
+    pub fn value(&self, params: &Params, obs: &Observable, rho: &DensityMatrix) -> f64 {
+        observable_semantics(&self.program, &self.register, params, obs, rho)
+    }
+
+    /// Forward value on a pure input.
+    pub fn value_pure(&self, params: &Params, obs: &Observable, psi: &StateVector) -> f64 {
+        denot::expectation_pure(&self.program, &self.register, params, psi, obs)
+    }
+
+    /// The full gradient, keyed by parameter name.
+    pub fn gradient(
+        &self,
+        params: &Params,
+        obs: &Observable,
+        rho: &DensityMatrix,
+    ) -> BTreeMap<String, f64> {
+        self.diffs
+            .iter()
+            .map(|(name, diff)| (name.clone(), diff.derivative(params, obs, rho)))
+            .collect()
+    }
+
+    /// The full gradient on a pure input (fast path).
+    pub fn gradient_pure(
+        &self,
+        params: &Params,
+        obs: &Observable,
+        psi: &StateVector,
+    ) -> BTreeMap<String, f64> {
+        self.diffs
+            .iter()
+            .map(|(name, diff)| (name.clone(), diff.derivative_pure(params, obs, psi)))
+            .collect()
+    }
+
+    /// Total number of circuit programs per full gradient evaluation —
+    /// `Σj |#∂/∂θj(P)|`, the paper's resource-count headline (Section 7).
+    pub fn total_programs(&self) -> usize {
+        self.diffs.values().map(|d| d.compiled().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::numeric_derivative;
+    use qdp_lang::parse_program;
+
+    fn check_against_finite_difference(src: &str, values: &[(&str, f64)], obs: &Observable) {
+        let p = parse_program(src).unwrap();
+        let reg = Register::from_program(&p);
+        let params = Params::from_pairs(values.iter().map(|&(k, v)| (k, v)));
+        let rho = DensityMatrix::pure_zero(reg.len());
+        for (name, _) in values {
+            let diff = differentiate(&p, name).unwrap();
+            let analytic = diff.derivative(&params, obs, &rho);
+            let numeric = numeric_derivative(&p, &reg, &params, name, obs, &rho, 1e-5);
+            assert!(
+                (analytic - numeric).abs() < 1e-7,
+                "{src} ∂/∂{name}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rotation_derivative() {
+        check_against_finite_difference(
+            "q1 *= RY(t)",
+            &[("t", 0.8)],
+            &Observable::pauli_z(1, 0),
+        );
+    }
+
+    #[test]
+    fn all_axes_and_offsets() {
+        for src in [
+            "q1 *= RX(t)",
+            "q1 *= RZ(t + pi/2)",
+            "q1 *= H; q1 *= RZ(t)",
+        ] {
+            check_against_finite_difference(src, &[("t", 1.3)], &Observable::pauli_z(1, 0));
+        }
+    }
+
+    #[test]
+    fn sequence_derivative_via_product_rule() {
+        check_against_finite_difference(
+            "q1 *= RX(t); q1 *= RY(t)",
+            &[("t", 0.4)],
+            &Observable::pauli_z(1, 0),
+        );
+    }
+
+    #[test]
+    fn coupling_gate_derivative() {
+        check_against_finite_difference(
+            "q1 *= H; q1, q2 *= RXX(t)",
+            &[("t", 0.9)],
+            &Observable::pauli_z(2, 1),
+        );
+    }
+
+    #[test]
+    fn case_statement_derivative() {
+        check_against_finite_difference(
+            "q1 *= RX(t); case M[q1] = 0 -> q2 *= RY(t), 1 -> q2 *= RZ(t); q2 *= RX(t) end",
+            &[("t", 0.65)],
+            &Observable::pauli_z(2, 1),
+        );
+    }
+
+    #[test]
+    fn bounded_while_derivative() {
+        check_against_finite_difference(
+            "q1 *= RY(t); while[2] M[q1] = 1 do q1 *= RY(t) done",
+            &[("t", 1.1)],
+            &Observable::pauli_z(1, 0),
+        );
+    }
+
+    #[test]
+    fn multi_parameter_gradient_matches_finite_differences() {
+        let src = "q1 *= RX(a); q2 *= RY(b); q1, q2 *= RZZ(c); q1 *= RY(a)";
+        let p = parse_program(src).unwrap();
+        let reg = Register::from_program(&p);
+        let engine = GradientEngine::new(&p).unwrap();
+        let params = Params::from_pairs([("a", 0.3), ("b", -0.7), ("c", 1.9)]);
+        let obs = Observable::pauli_z(2, 0);
+        let rho = DensityMatrix::pure_zero(2);
+        let grad = engine.gradient(&params, &obs, &rho);
+        assert_eq!(grad.len(), 3);
+        for (name, value) in &grad {
+            let numeric = numeric_derivative(&p, &reg, &params, name, &obs, &rho, 1e-5);
+            assert!((value - numeric).abs() < 1e-7, "∂/∂{name}");
+        }
+    }
+
+    #[test]
+    fn gradient_pure_matches_dense() {
+        let p = parse_program(
+            "q1 *= RX(a); case M[q1] = 0 -> q2 *= RY(b), 1 -> q2 *= RZ(a) end",
+        )
+        .unwrap();
+        let engine = GradientEngine::new(&p).unwrap();
+        let params = Params::from_pairs([("a", 0.5), ("b", 1.4)]);
+        let obs = Observable::projector_one(2, 1);
+        let psi = StateVector::zero_state(2);
+        let rho = DensityMatrix::from_pure(&psi);
+        let dense = engine.gradient(&params, &obs, &rho);
+        let pure = engine.gradient_pure(&params, &obs, &psi);
+        for (name, v) in &dense {
+            assert!((v - pure[name]).abs() < 1e-10, "∂/∂{name}");
+        }
+        // Forward values agree too.
+        assert!((engine.value(&params, &obs, &rho) - engine.value_pure(&params, &obs, &psi))
+            .abs()
+            < 1e-10);
+    }
+
+    #[test]
+    fn derivative_works_for_any_observable_and_state() {
+        // Definition 5.3's strong quantifier order: one transformed program
+        // serves every (O, ρ) pair.
+        let p = parse_program("q1 *= RX(t); q1 *= RY(t)").unwrap();
+        let reg = Register::from_program(&p);
+        let diff = differentiate(&p, "t").unwrap();
+        let params = Params::from_pairs([("t", 0.35)]);
+        let observables = [
+            Observable::pauli_z(1, 0),
+            Observable::projector_one(1, 0),
+            Observable::new(1, vec![0], qdp_linalg::Matrix::pauli_x()),
+        ];
+        let mut plus = StateVector::zero_state(1);
+        plus.apply_gate(&qdp_linalg::Matrix::hadamard(), &[0]);
+        let states = [
+            DensityMatrix::pure_zero(1),
+            DensityMatrix::from_pure(&plus),
+            DensityMatrix::maximally_mixed(1),
+        ];
+        for obs in &observables {
+            for rho in &states {
+                let analytic = diff.derivative(&params, obs, rho);
+                let numeric = numeric_derivative(&p, &reg, &params, "t", obs, rho, 1e-5);
+                assert!((analytic - numeric).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn unparameterized_program_has_empty_gradient() {
+        let p = parse_program("q1 *= H; q1 *= X").unwrap();
+        let engine = GradientEngine::new(&p).unwrap();
+        assert_eq!(engine.parameters().count(), 0);
+        assert_eq!(engine.total_programs(), 0);
+    }
+
+    #[test]
+    fn compiled_count_matches_occurrences_for_straightline() {
+        // t occurs 3 times in a straight-line program → exactly 3 programs.
+        let p = parse_program("q1 *= RX(t); q1 *= RY(t); q1 *= RZ(t)").unwrap();
+        let diff = differentiate(&p, "t").unwrap();
+        assert_eq!(diff.compiled().len(), 3);
+    }
+
+    #[test]
+    fn second_derivative_of_single_rotation() {
+        // ⟨Z⟩ = cos t ⇒ second derivative is −cos t.
+        let p = parse_program("q1 *= RY(t)").unwrap();
+        let obs = Observable::pauli_z(1, 0);
+        let rho = DensityMatrix::pure_zero(1);
+        for theta in [0.0, 0.5, 1.9] {
+            let params = Params::from_pairs([("t", theta)]);
+            let d2 = second_derivative(&p, "t", "t", &params, &obs, &rho).unwrap();
+            assert!(
+                (d2 + theta.cos()).abs() < 1e-9,
+                "θ={theta}: {d2} vs {}",
+                -theta.cos()
+            );
+        }
+    }
+
+    #[test]
+    fn second_derivative_matches_finite_difference_of_first() {
+        let p = parse_program(
+            "q1 *= RX(a); case M[q1] = 0 -> q2 *= RY(b), 1 -> q2 *= RZ(a) end",
+        )
+        .unwrap();
+        let obs = Observable::pauli_z(2, 1);
+        let rho = DensityMatrix::pure_zero(2);
+        let base = Params::from_pairs([("a", 0.7), ("b", -0.3)]);
+        for (p1, p2) in [("a", "a"), ("a", "b"), ("b", "a"), ("b", "b")] {
+            let analytic = second_derivative(&p, p1, p2, &base, &obs, &rho).unwrap();
+            // Finite difference of the (exact) first derivative in p1.
+            let h = 1e-5;
+            let first = differentiate(&p, p1).unwrap();
+            let eval = |x: f64| {
+                let mut shifted = base.clone();
+                shifted.set(p2, x);
+                first.derivative(&shifted, &obs, &rho)
+            };
+            let x0 = base.get(p2).unwrap();
+            let numeric = (eval(x0 + h) - eval(x0 - h)) / (2.0 * h);
+            assert!(
+                (analytic - numeric).abs() < 1e-6,
+                "∂²/∂{p2}∂{p1}: {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn hessian_is_symmetric() {
+        let p = parse_program("q1 *= RX(a); q1 *= RY(b); q1 *= RZ(a)").unwrap();
+        let params = Params::from_pairs([("a", 0.4), ("b", 1.2)]);
+        let obs = Observable::pauli_z(1, 0);
+        let rho = DensityMatrix::pure_zero(1);
+        let h = hessian(&p, &params, &obs, &rho).unwrap();
+        assert_eq!(h.len(), 4);
+        let ab = h[&("a".to_string(), "b".to_string())];
+        let ba = h[&("b".to_string(), "a".to_string())];
+        assert!((ab - ba).abs() < 1e-9, "mixed partials {ab} vs {ba}");
+    }
+
+    #[test]
+    fn third_derivative_via_manual_nesting() {
+        // sanity-check that the iterated controlled gates keep working one
+        // level deeper: f = cos t ⇒ f''' = sin t.
+        let p = parse_program("q1 *= RY(t)").unwrap();
+        let theta = 0.8;
+        let params = Params::from_pairs([("t", theta)]);
+        let obs = Observable::pauli_z(1, 0);
+        let rho = DensityMatrix::pure_zero(1);
+
+        let d1 = differentiate(&p, "t").unwrap();
+        let mut third = 0.0;
+        for p1 in d1.compiled() {
+            let d2 = differentiate_in(p1, "t", d1.ext_register()).unwrap();
+            let obs1 = obs.with_ancilla_z();
+            let rho1 = rho.prepend_zero_ancilla();
+            for p2 in d2.compiled() {
+                let d3 = differentiate_in(p2, "t", d2.ext_register()).unwrap();
+                third += d3.derivative(&params, &obs1.with_ancilla_z(), &rho1.prepend_zero_ancilla());
+            }
+        }
+        assert!((third - theta.sin()).abs() < 1e-9, "{third} vs {}", theta.sin());
+    }
+}

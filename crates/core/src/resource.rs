@@ -1,0 +1,195 @@
+//! Resource analysis (Section 7 of the paper).
+//!
+//! The non-trivial cost of quantum differentiation is the number of *copies
+//! of the input state*: by no-cloning, each compiled program `P′i` needs a
+//! fresh copy, so `m = |#∂/∂θj(P(θ))|` is the headline resource. The paper
+//! bounds it by the **occurrence count** `OCj(P(θ))` (Definition 7.1):
+//!
+//! ```text
+//! OCj(atomic)         = 0
+//! OCj(U(θ))           = 1 if U uses θj else 0
+//! OCj(P1;P2)          = OCj(P1) + OCj(P2)
+//! OCj(case … end)     = maxm OCj(Pm)
+//! OCj(while(T) … )    = T · OCj(P1)
+//! ```
+//!
+//! Proposition 7.2: `|#∂/∂θj(P(θ))| ≤ OCj(P(θ))`.
+
+use crate::exec::differentiate;
+use crate::transform::TransformError;
+use qdp_lang::ast::Stmt;
+
+/// The occurrence count `OCj(P(θ))` of Definition 7.1.
+///
+/// # Examples
+///
+/// ```
+/// use qdp_ad::resource::occurrence_count;
+/// use qdp_lang::parse_program;
+///
+/// let p = parse_program("q1 *= RX(t); while[3] M[q1] = 1 do q1 *= RY(t) done")?;
+/// assert_eq!(occurrence_count(&p, "t"), 1 + 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn occurrence_count(stmt: &Stmt, param: &str) -> usize {
+    match stmt {
+        Stmt::Abort { .. } | Stmt::Skip { .. } | Stmt::Init { .. } => 0,
+        Stmt::Unitary { gate, .. } => usize::from(gate.uses_param(param)),
+        Stmt::Seq(a, b) => occurrence_count(a, param) + occurrence_count(b, param),
+        Stmt::Case { arms, .. } => arms
+            .iter()
+            .map(|arm| occurrence_count(arm, param))
+            .max()
+            .unwrap_or(0),
+        Stmt::While { bound, body, .. } => (*bound as usize) * occurrence_count(body, param),
+        // Additive choice can run either branch; both multisets are kept, so
+        // the natural extension is the sum (matching the compile rule).
+        Stmt::Sum(a, b) => occurrence_count(a, param) + occurrence_count(b, param),
+    }
+}
+
+/// The number of non-aborting compiled derivative programs
+/// `|#∂/∂θj(P(θ))|` (Definition 4.3 applied to the Fig. 4 transformation).
+///
+/// # Errors
+///
+/// Returns [`TransformError`] for programs outside the differentiable
+/// fragment.
+pub fn derivative_program_count(stmt: &Stmt, param: &str) -> Result<usize, TransformError> {
+    Ok(differentiate(stmt, param)?.compiled().len())
+}
+
+/// One row of the paper's resource tables for a single parameter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResourceReport {
+    /// The parameter analysed.
+    pub param: String,
+    /// `OCj(P(θ))`.
+    pub occurrence_count: usize,
+    /// `|#∂/∂θj(P(θ))|`.
+    pub derivative_programs: usize,
+}
+
+impl ResourceReport {
+    /// Proposition 7.2 for this row.
+    pub fn satisfies_bound(&self) -> bool {
+        self.derivative_programs <= self.occurrence_count
+    }
+}
+
+/// Computes [`ResourceReport`]s for every parameter of a program.
+///
+/// # Errors
+///
+/// Returns [`TransformError`] for programs outside the differentiable
+/// fragment.
+pub fn analyze(stmt: &Stmt) -> Result<Vec<ResourceReport>, TransformError> {
+    stmt.parameters()
+        .into_iter()
+        .map(|param| {
+            Ok(ResourceReport {
+                occurrence_count: occurrence_count(stmt, &param),
+                derivative_programs: derivative_program_count(stmt, &param)?,
+                param,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdp_lang::parse_program;
+
+    fn oc(src: &str, param: &str) -> usize {
+        occurrence_count(&parse_program(src).unwrap(), param)
+    }
+
+    fn count(src: &str, param: &str) -> usize {
+        derivative_program_count(&parse_program(src).unwrap(), param).unwrap()
+    }
+
+    #[test]
+    fn atomic_statements_have_zero_count() {
+        assert_eq!(oc("abort[q1]", "t"), 0);
+        assert_eq!(oc("skip[q1]", "t"), 0);
+        assert_eq!(oc("q1 := |0>", "t"), 0);
+        assert_eq!(oc("q1 *= H", "t"), 0);
+        assert_eq!(oc("q1 *= RX(s)", "t"), 0, "trivially-used parameter");
+    }
+
+    #[test]
+    fn sequence_adds_and_case_maxes() {
+        assert_eq!(oc("q1 *= RX(t); q1 *= RY(t)", "t"), 2);
+        assert_eq!(
+            oc("case M[q1] = 0 -> q1 *= RX(t); q1 *= RY(t), 1 -> q1 *= RZ(t) end", "t"),
+            2
+        );
+    }
+
+    #[test]
+    fn while_multiplies_by_bound() {
+        assert_eq!(oc("while[4] M[q1] = 1 do q1 *= RX(t); q1 *= RY(t) done", "t"), 8);
+    }
+
+    #[test]
+    fn proposition_7_2_holds_on_assorted_programs() {
+        let sources = [
+            "q1 *= RX(t)",
+            "q1 *= RX(t); q1 *= RY(t); q1 *= RZ(t)",
+            "case M[q1] = 0 -> q1 *= RX(t), 1 -> q1 *= RY(t); q1 *= RZ(t) end",
+            "while[2] M[q1] = 1 do q1 *= RX(t) done",
+            "while[3] M[q1] = 1 do q1 *= RX(t); q1 *= RY(t) done",
+            "q1 *= RX(t); case M[q1] = 0 -> skip[q1], 1 -> abort[q1] end; q1 *= RY(t)",
+            "q1 := |0>; q1 *= H; q1 *= RZ(t)",
+        ];
+        for src in sources {
+            let p = parse_program(src).unwrap();
+            for report in analyze(&p).unwrap() {
+                assert!(
+                    report.satisfies_bound(),
+                    "{src}: |#∂/∂{}| = {} > OC = {}",
+                    report.param,
+                    report.derivative_programs,
+                    report.occurrence_count
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bound_is_tight_for_straightline_programs() {
+        assert_eq!(count("q1 *= RX(t); q1 *= RY(t); q1 *= RZ(t)", "t"), 3);
+        assert_eq!(oc("q1 *= RX(t); q1 *= RY(t); q1 *= RZ(t)", "t"), 3);
+    }
+
+    #[test]
+    fn bound_is_strict_for_while_loops() {
+        // Differentiating the unrolled while produces essentially-aborting
+        // programs that get optimised away (Table 3, note (3)).
+        let src = "while[2] M[q1] = 1 do q1 *= RX(t) done";
+        assert_eq!(oc(src, "t"), 2);
+        assert!(count(src, "t") <= 2);
+    }
+
+    #[test]
+    fn per_parameter_reports() {
+        let p = parse_program("q1 *= RX(a); q1 *= RY(b); q1 *= RZ(a)").unwrap();
+        let reports = analyze(&p).unwrap();
+        assert_eq!(reports.len(), 2);
+        let a = reports.iter().find(|r| r.param == "a").unwrap();
+        let b = reports.iter().find(|r| r.param == "b").unwrap();
+        assert_eq!(a.occurrence_count, 2);
+        assert_eq!(a.derivative_programs, 2);
+        assert_eq!(b.occurrence_count, 1);
+        assert_eq!(b.derivative_programs, 1);
+    }
+
+    #[test]
+    fn case_with_aborting_arm_reduces_count() {
+        // Arm 1 aborts, so derivative programs from that arm vanish.
+        let src = "case M[q1] = 0 -> q1 *= RX(t); q1 *= RY(t), 1 -> abort[q1] end";
+        assert_eq!(oc(src, "t"), 2);
+        assert_eq!(count(src, "t"), 2);
+    }
+}

@@ -1,0 +1,382 @@
+//! The code-transformation rules `∂/∂θj(·)` (Fig. 4 of the paper).
+//!
+//! Differentiation is *syntactic*: it maps a program `S(θ)` over variables
+//! `v` to an **additive** program `∂/∂θj(S(θ))` over `v ∪ {A}`, where `A` is
+//! a fresh one-qubit ancilla. The rules:
+//!
+//! ```text
+//! (Trivial)    ∂(abort) = ∂(skip) = ∂(q:=|0⟩) = abort[v∪{A}]
+//! (Trivial-U)  ∂(U(θ))  = abort[v∪{A}]                 if θj ∉ θ(U)
+//! (1-qb)       ∂(q *= Rσ(θ))      = A,q *= R′σ(θ)
+//! (2-qb)       ∂(q1,q2 *= Rσ⊗σ(θ)) = A,q1,q2 *= R′σ⊗σ(θ)
+//! (Sequence)   ∂(S1;S2) = (S1; ∂S2) + (∂S1; S2)
+//! (Case)       ∂(case … m→Sm end) = case … m→∂Sm end
+//! (While)      via (Case) + (Sequence) on the macro unfolding (Eq. 3.1)
+//! (S-C)        ∂(S1+S2) = ∂S1 + ∂S2
+//! ```
+//!
+//! The gadget `R′σ(θ) ≡ A *= H; A,q *= C_Rσ(θ); A *= H` (Definition 6.1)
+//! replaces the two-circuit phase-shift rule with a *single* circuit using
+//! one control ancilla — the paper's key construction.
+
+use qdp_lang::ast::{Angle, Gate, Stmt, Var};
+use std::fmt;
+
+/// Error raised by the code transformation.
+///
+/// Every parameterized gate of the language (`Rσ`, `Rσ⊗σ`, and their
+/// iterated controlled forms) has a differentiation rule, so the only
+/// failure mode is an ancilla-name collision.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TransformError {
+    /// The requested ancilla name collides with a program variable.
+    AncillaCollision {
+        /// The colliding name.
+        ancilla: Var,
+    },
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::AncillaCollision { ancilla } => {
+                write!(f, "ancilla variable '{ancilla}' collides with a program variable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// Chooses a fresh ancilla name `A_j` (for parameter `j`) avoiding the
+/// program's variables — the `Aj,v` of Section 5.1.
+pub fn fresh_ancilla(program: &Stmt, param: &str) -> Var {
+    let vars = program.qvar();
+    let mut candidate = format!("A_{param}");
+    while vars.contains(&Var::new(candidate.as_str())) {
+        candidate.push('\'');
+    }
+    Var::new(candidate)
+}
+
+/// Applies the Fig. 4 rules, producing the additive program
+/// `∂/∂θ_param(stmt)` over `qvar(stmt) ∪ {ancilla}`.
+///
+/// # Errors
+///
+/// Returns [`TransformError`] when the ancilla collides with a program
+/// variable or a controlled gate depends on `param`.
+///
+/// # Examples
+///
+/// ```
+/// use qdp_ad::transform::{fresh_ancilla, transform};
+/// use qdp_lang::parse_program;
+///
+/// let p = parse_program("q1 *= RX(t); q1 *= RY(t)")?;
+/// let a = fresh_ancilla(&p, "t");
+/// let d = transform(&p, "t", &a)?;
+/// assert!(!d.is_normal()); // the Sequence rule introduced an additive choice
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn transform(stmt: &Stmt, param: &str, ancilla: &Var) -> Result<Stmt, TransformError> {
+    if stmt.qvar().contains(ancilla) {
+        return Err(TransformError::AncillaCollision {
+            ancilla: ancilla.clone(),
+        });
+    }
+    transform_inner(stmt, param, ancilla)
+}
+
+fn transform_inner(stmt: &Stmt, param: &str, ancilla: &Var) -> Result<Stmt, TransformError> {
+    match stmt {
+        // (Trivial): parameter-independent statements differentiate to abort.
+        Stmt::Abort { .. } | Stmt::Skip { .. } | Stmt::Init { .. } => Ok(abort_ext(stmt, ancilla)),
+
+        Stmt::Unitary { gate, qs } => match gate {
+            // (Trivial-Unitary): the gate "trivially uses θj".
+            _ if !gate.uses_param(param) => Ok(abort_ext(stmt, ancilla)),
+            // (1-qb Rotation): R′σ(θ) gadget.
+            Gate::Rot { axis, angle } => Ok(rprime(
+                Gate::CRot {
+                    controls: 1,
+                    axis: *axis,
+                    angle: angle.clone(),
+                },
+                ancilla,
+                qs,
+            )),
+            // (2-qb Coupling): R′σ⊗σ(θ) gadget.
+            Gate::Coupling { axis, angle } => Ok(rprime(
+                Gate::CCoupling {
+                    controls: 1,
+                    axis: *axis,
+                    angle: angle.clone(),
+                },
+                ancilla,
+                qs,
+            )),
+            // Iterated rules (higher-order differentiation): the identity
+            // d/dθ C_R(θ) = ½·C_R(θ+π) holds block-wise, so the Def. 6.1
+            // gadget applies to the controlled gates themselves with one
+            // more control. This is what footnote 7 of the paper sets up.
+            Gate::CRot {
+                controls,
+                axis,
+                angle,
+            } => Ok(rprime(
+                Gate::CRot {
+                    controls: controls + 1,
+                    axis: *axis,
+                    angle: angle.clone(),
+                },
+                ancilla,
+                qs,
+            )),
+            Gate::CCoupling {
+                controls,
+                axis,
+                angle,
+            } => Ok(rprime(
+                Gate::CCoupling {
+                    controls: controls + 1,
+                    axis: *axis,
+                    angle: angle.clone(),
+                },
+                ancilla,
+                qs,
+            )),
+            // Fixed gates carry no angle and are caught by the guard above.
+            Gate::H | Gate::X | Gate::Y | Gate::Z | Gate::Cnot => {
+                unreachable!("fixed gates never use a parameter")
+            }
+        },
+
+        // (Sequence): ∂(S1;S2) = (S1; ∂S2) + (∂S1; S2).
+        Stmt::Seq(s1, s2) => {
+            let d1 = transform_inner(s1, param, ancilla)?;
+            let d2 = transform_inner(s2, param, ancilla)?;
+            Ok(Stmt::Sum(
+                Box::new(Stmt::Seq(s1.clone(), Box::new(d2))),
+                Box::new(Stmt::Seq(Box::new(d1), s2.clone())),
+            ))
+        }
+
+        // (Case): differentiate each arm under the same measurement.
+        Stmt::Case { qs, arms } => Ok(Stmt::Case {
+            qs: qs.clone(),
+            arms: arms
+                .iter()
+                .map(|arm| transform_inner(arm, param, ancilla))
+                .collect::<Result<_, _>>()?,
+        }),
+
+        // (While): a macro over case/seq (Eq. 3.1); transform the unfolding.
+        Stmt::While { .. } => transform_inner(&stmt.unfold_while_once(), param, ancilla),
+
+        // (S-C): ∂(S1+S2) = ∂S1 + ∂S2.
+        Stmt::Sum(s1, s2) => Ok(Stmt::Sum(
+            Box::new(transform_inner(s1, param, ancilla)?),
+            Box::new(transform_inner(s2, param, ancilla)?),
+        )),
+    }
+}
+
+/// `abort[v ∪ {A}]` for the (Trivial) rules.
+fn abort_ext(stmt: &Stmt, ancilla: &Var) -> Stmt {
+    let mut vars = stmt.qvar();
+    vars.insert(ancilla.clone());
+    Stmt::abort(vars)
+}
+
+/// The gadget `R′(θ)[A, q̄] ≡ A *= H; A,q̄ *= C_R(θ); A *= H`
+/// (Definition 6.1).
+fn rprime(controlled: Gate, ancilla: &Var, qs: &[Var]) -> Stmt {
+    let mut operands = Vec::with_capacity(qs.len() + 1);
+    operands.push(ancilla.clone());
+    operands.extend(qs.iter().cloned());
+    Stmt::seq([
+        Stmt::unitary(Gate::H, [ancilla.clone()]),
+        Stmt::Unitary {
+            gate: controlled,
+            qs: operands,
+        },
+        Stmt::unitary(Gate::H, [ancilla.clone()]),
+    ])
+}
+
+/// Convenience: returns the gadget statement `R′σ(θ)[A, q̄]` for tests and
+/// documentation (Definition 6.1).
+pub fn rprime_gadget(axis: qdp_linalg::Pauli, angle: Angle, ancilla: &Var, qs: &[Var]) -> Stmt {
+    match qs.len() {
+        1 => rprime(
+            Gate::CRot {
+                controls: 1,
+                axis,
+                angle,
+            },
+            ancilla,
+            qs,
+        ),
+        2 => rprime(
+            Gate::CCoupling {
+                controls: 1,
+                axis,
+                angle,
+            },
+            ancilla,
+            qs,
+        ),
+        n => panic!("R′ gadgets exist for 1- and 2-qubit rotations, got {n} operands"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdp_lang::parse_program;
+    use qdp_linalg::Pauli;
+
+    fn t(src: &str, param: &str) -> Stmt {
+        let p = parse_program(src).unwrap();
+        let a = fresh_ancilla(&p, param);
+        transform(&p, param, &a).unwrap()
+    }
+
+    #[test]
+    fn trivial_statements_become_abort() {
+        for src in ["abort[q1]", "skip[q1]", "q1 := |0>"] {
+            let d = t(src, "theta");
+            let Stmt::Abort { qs } = d else { panic!("{src}") };
+            assert!(qs.contains(&Var::new("A_theta")), "{src}");
+            assert!(qs.contains(&Var::new("q1")), "{src}");
+        }
+    }
+
+    #[test]
+    fn unrelated_parameters_trivialize() {
+        // RX(t1) differentiated w.r.t. t2 → abort (Trivial-Unitary).
+        let d = t("q1 *= RX(t1)", "t2");
+        assert!(matches!(d, Stmt::Abort { .. }));
+    }
+
+    #[test]
+    fn rotation_becomes_rprime_gadget() {
+        let d = t("q1 *= RY(t)", "t");
+        // H[A]; CRY(t)[A,q1]; H[A]
+        let Stmt::Seq(h1, rest) = d else { panic!() };
+        assert!(matches!(*h1, Stmt::Unitary { gate: Gate::H, .. }));
+        let Stmt::Seq(cr, h2) = *rest else { panic!() };
+        let Stmt::Unitary { gate: Gate::CRot { axis, .. }, qs } = *cr else {
+            panic!()
+        };
+        assert_eq!(axis, Pauli::Y);
+        assert_eq!(qs, vec![Var::new("A_t"), Var::new("q1")]);
+        assert!(matches!(*h2, Stmt::Unitary { gate: Gate::H, .. }));
+    }
+
+    #[test]
+    fn coupling_becomes_controlled_coupling() {
+        let d = t("q1, q2 *= RZZ(t)", "t");
+        let Stmt::Seq(_, rest) = d else { panic!() };
+        let Stmt::Seq(cr, _) = *rest else { panic!() };
+        let Stmt::Unitary { gate: Gate::CCoupling { .. }, qs } = *cr else {
+            panic!()
+        };
+        assert_eq!(qs.len(), 3);
+        assert_eq!(qs[0], Var::new("A_t"));
+    }
+
+    #[test]
+    fn sequence_rule_produces_sum_of_two() {
+        let d = t("q1 *= RX(t); q1 *= RY(t)", "t");
+        let Stmt::Sum(left, right) = d else { panic!() };
+        // left = S1; ∂S2 — starts with the untouched RX.
+        let Stmt::Seq(s1, _) = *left else { panic!() };
+        assert!(matches!(
+            *s1,
+            Stmt::Unitary { gate: Gate::Rot { axis: Pauli::X, .. }, .. }
+        ));
+        // right = ∂S1; S2 — ends with the untouched RY.
+        let Stmt::Seq(_, s2) = *right else { panic!() };
+        assert!(matches!(
+            *s2,
+            Stmt::Unitary { gate: Gate::Rot { axis: Pauli::Y, .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn case_rule_differentiates_each_arm() {
+        let d = t(
+            "case M[q1] = 0 -> q1 *= RX(t), 1 -> q1 *= RZ(t) end",
+            "t",
+        );
+        let Stmt::Case { arms, .. } = d else { panic!() };
+        assert_eq!(arms.len(), 2);
+        for arm in &arms {
+            // Each arm is an R′ gadget sequence.
+            assert!(matches!(arm, Stmt::Seq(..)));
+        }
+    }
+
+    #[test]
+    fn while_transforms_via_unfolding() {
+        let d = t("while[2] M[q1] = 1 do q1 *= RX(t) done", "t");
+        // Unfolded form: case with ∂skip (abort) in arm 0.
+        let Stmt::Case { arms, .. } = d else { panic!() };
+        assert!(matches!(arms[0], Stmt::Abort { .. }));
+        assert!(matches!(arms[1], Stmt::Sum(..)));
+    }
+
+    #[test]
+    fn sum_rule_distributes() {
+        let d = t("q1 *= RX(t) + q1 *= RY(t)", "t");
+        let Stmt::Sum(a, b) = d else { panic!() };
+        assert!(matches!(*a, Stmt::Seq(..)));
+        assert!(matches!(*b, Stmt::Seq(..)));
+    }
+
+    #[test]
+    fn ancilla_collision_detected() {
+        let p = parse_program("A_t *= RX(t)").unwrap();
+        let err = transform(&p, "t", &Var::new("A_t")).unwrap_err();
+        assert!(matches!(err, TransformError::AncillaCollision { .. }));
+        // fresh_ancilla avoids the collision automatically.
+        let a = fresh_ancilla(&p, "t");
+        assert_eq!(a, Var::new("A_t'"));
+        assert!(transform(&p, "t", &a).is_ok());
+    }
+
+    #[test]
+    fn controlled_gates_differentiate_with_one_more_control() {
+        // The iterated rule: ∂(C_RX) uses a CC_RX gadget.
+        let p = parse_program("a, q1 *= CRX(t)").unwrap();
+        let anc = fresh_ancilla(&p, "t");
+        let d = transform(&p, "t", &anc).unwrap();
+        let Stmt::Seq(_, rest) = d else { panic!() };
+        let Stmt::Seq(cr, _) = *rest else { panic!() };
+        let Stmt::Unitary { gate, qs } = *cr else { panic!() };
+        assert_eq!(gate.mnemonic(), "CCRX");
+        assert_eq!(qs.len(), 3);
+        assert_eq!(qs[0], anc, "new ancilla is the outermost control");
+    }
+
+    #[test]
+    fn transform_preserves_parameters_of_other_names() {
+        let d = t("q1 *= RX(s); q1 *= RY(t)", "t");
+        // s still appears (in the S1;∂S2 component) — the untouched factor.
+        assert!(d.parameters().contains("s"));
+        assert!(d.parameters().contains("t"));
+    }
+
+    #[test]
+    fn angle_offsets_survive_transformation() {
+        let d = t("q1 *= RX(t + pi/2)", "t");
+        let Stmt::Seq(_, rest) = d else { panic!() };
+        let Stmt::Seq(cr, _) = *rest else { panic!() };
+        let Stmt::Unitary { gate, .. } = *cr else { panic!() };
+        let angle = gate.angle().unwrap();
+        assert_eq!(angle.param.as_deref(), Some("t"));
+        assert!((angle.offset - std::f64::consts::PI / 2.0).abs() < 1e-12);
+    }
+}

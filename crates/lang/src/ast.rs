@@ -1,0 +1,890 @@
+//! Abstract syntax of parameterized quantum bounded `while`-programs
+//! (Section 3.1 of the paper) and their *additive* extension (Section 4.1).
+//!
+//! The grammar reproduced here:
+//!
+//! ```text
+//! P(θ) ::= abort[q̄] | skip[q̄] | q := |0⟩ | q̄ := U(θ)[q̄]
+//!        | P1(θ); P2(θ)
+//!        | case M[q̄] = m → Pm(θ) end
+//!        | while(T) M[q] = 1 do P1(θ) done
+//!        | P1(θ) + P2(θ)          (additive programs only)
+//! ```
+//!
+//! A program without `+` is *normal* (`q-while(T)`); with `+` it is
+//! *additive* (`add-q-while(T)`). [`Stmt::is_normal`] distinguishes the two.
+
+use qdp_linalg::{Matrix, Pauli};
+use std::collections::{BTreeMap, BTreeSet};
+use std::f64::consts::PI;
+use std::fmt;
+
+/// A quantum variable (a named qubit).
+///
+/// The paper's quantum registers `q̄` are finite sets of distinct variables;
+/// here they appear as `Vec<Var>` operands with distinctness enforced by
+/// well-formedness checking.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(String);
+
+impl Var {
+    /// Creates a variable with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Var(name.into())
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var(s.to_string())
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A classical parameter valuation `θ* ∈ Rᵏ`, keyed by parameter name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Params(BTreeMap<String, f64>);
+
+impl Params {
+    /// Creates an empty valuation.
+    pub fn new() -> Self {
+        Params(BTreeMap::new())
+    }
+
+    /// Builds a valuation from `(name, value)` pairs.
+    pub fn from_pairs<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: Into<String>,
+    {
+        Params(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Sets a parameter value, returning the previous value if any.
+    pub fn set(&mut self, name: impl Into<String>, value: f64) -> Option<f64> {
+        self.0.insert(name.into(), value)
+    }
+
+    /// Looks up a parameter value.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.0.get(name).copied()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.0.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` when no parameters are set.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// An affine angle expression `θj + c` or a constant `c`.
+///
+/// The code-transformation gadgets of the paper shift rotation angles by `π`
+/// (Definition 6.1), so angles carry an additive offset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Angle {
+    /// The parameter name, or `None` for a constant angle.
+    pub param: Option<String>,
+    /// The additive constant.
+    pub offset: f64,
+}
+
+impl Angle {
+    /// The angle `θ(name)` with zero offset.
+    pub fn param(name: impl Into<String>) -> Self {
+        Angle {
+            param: Some(name.into()),
+            offset: 0.0,
+        }
+    }
+
+    /// A constant angle.
+    pub fn constant(value: f64) -> Self {
+        Angle {
+            param: None,
+            offset: value,
+        }
+    }
+
+    /// This angle shifted by `delta` (e.g. the `θ + π` of `C_Rσ`).
+    pub fn shifted(&self, delta: f64) -> Self {
+        Angle {
+            param: self.param.clone(),
+            offset: self.offset + delta,
+        }
+    }
+
+    /// Returns `true` when the angle depends on parameter `name` — the
+    /// negation of the paper's “trivially uses θj”.
+    pub fn uses_param(&self, name: &str) -> bool {
+        self.param.as_deref() == Some(name)
+    }
+
+    /// Evaluates under a valuation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the referenced parameter is absent from `params`;
+    /// validate with [`Stmt::parameters`] first.
+    pub fn eval(&self, params: &Params) -> f64 {
+        match &self.param {
+            None => self.offset,
+            Some(name) => {
+                let base = params
+                    .get(name)
+                    .unwrap_or_else(|| panic!("parameter '{name}' has no value"));
+                base + self.offset
+            }
+        }
+    }
+}
+
+impl fmt::Display for Angle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.param {
+            None => write_angle_const(f, self.offset),
+            Some(p) => {
+                write!(f, "{p}")?;
+                if self.offset != 0.0 {
+                    if self.offset > 0.0 {
+                        write!(f, " + ")?;
+                        write_angle_const(f, self.offset)
+                    } else {
+                        write!(f, " - ")?;
+                        write_angle_const(f, -self.offset)
+                    }
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// Formats common multiples of π symbolically so pretty-printed programs
+/// round-trip exactly through the parser.
+fn write_angle_const(f: &mut fmt::Formatter<'_>, c: f64) -> fmt::Result {
+    if c == PI {
+        write!(f, "pi")
+    } else if c == PI / 2.0 {
+        write!(f, "pi/2")
+    } else if c == PI / 4.0 {
+        write!(f, "pi/4")
+    } else {
+        write!(f, "{c}")
+    }
+}
+
+/// A (possibly parameterized) unitary gate.
+///
+/// The paper works with the universal set of single-qubit Pauli rotations
+/// `Rσ(θ)` and two-qubit couplings `Rσ⊗σ(θ)` (Eq. 3.2), plus the controlled
+/// variants `C_Rσ(θ)` introduced by differentiation (Definition 6.1) and a
+/// handful of fixed Clifford gates used by the VQC benchmarks.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Gate {
+    /// Single-qubit Pauli rotation `Rσ(θ)`.
+    Rot {
+        /// Rotation axis σ ∈ {X, Y, Z}.
+        axis: Pauli,
+        /// Rotation angle.
+        angle: Angle,
+    },
+    /// Two-qubit coupling `Rσ⊗σ(θ)`.
+    Coupling {
+        /// Coupling axis σ ∈ {X, Y, Z}.
+        axis: Pauli,
+        /// Rotation angle.
+        angle: Angle,
+    },
+    /// Iterated controlled rotation: with `k = controls` control qubits
+    /// (the first `k` operands) in pattern `c`, the target gets
+    /// `Rσ(θ + |c|·π)` where `|c|` is the pattern's Hamming weight.
+    ///
+    /// `controls = 1` is the paper's `C_Rσ(θ) = |0⟩⟨0|⊗Rσ(θ) +
+    /// |1⟩⟨1|⊗Rσ(θ+π)` (Definition 6.1). Higher control counts arise from
+    /// *iterating* differentiation: `d/dθ C_Rσ(θ) = ½·C_Rσ(θ+π)` holds
+    /// block-wise, so the same gadget construction applies to `C_Rσ`
+    /// itself, yielding `CC_Rσ`, and so on — this is what makes
+    /// higher-order derivatives expressible (the paper's footnote 7).
+    CRot {
+        /// Number of control qubits (`≥ 1`).
+        controls: usize,
+        /// Rotation axis of the controlled blocks.
+        axis: Pauli,
+        /// Base angle θ; the pattern-`c` block uses `θ + |c|·π`.
+        angle: Angle,
+    },
+    /// Iterated controlled two-qubit coupling `C…C_Rσ⊗σ(θ)`; the first
+    /// `controls` operands are controls, the last two the coupled pair.
+    CCoupling {
+        /// Number of control qubits (`≥ 1`).
+        controls: usize,
+        /// Coupling axis of the controlled blocks.
+        axis: Pauli,
+        /// Base angle θ; the pattern-`c` block uses `θ + |c|·π`.
+        angle: Angle,
+    },
+    /// Hadamard.
+    H,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+    /// Controlled-NOT (first operand is the control).
+    Cnot,
+}
+
+impl Gate {
+    /// Number of qubit operands.
+    pub fn arity(&self) -> usize {
+        match self {
+            Gate::Rot { .. } | Gate::H | Gate::X | Gate::Y | Gate::Z => 1,
+            Gate::Coupling { .. } | Gate::Cnot => 2,
+            Gate::CRot { controls, .. } => controls + 1,
+            Gate::CCoupling { controls, .. } => controls + 2,
+        }
+    }
+
+    /// The angle expression, if this gate is parameterized.
+    pub fn angle(&self) -> Option<&Angle> {
+        match self {
+            Gate::Rot { angle, .. }
+            | Gate::Coupling { angle, .. }
+            | Gate::CRot { angle, .. }
+            | Gate::CCoupling { angle, .. } => Some(angle),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` when the gate's angle depends on parameter `name`.
+    pub fn uses_param(&self, name: &str) -> bool {
+        self.angle().is_some_and(|a| a.uses_param(name))
+    }
+
+    /// The unitary matrix under a parameter valuation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a referenced parameter is absent from `params`.
+    pub fn matrix(&self, params: &Params) -> Matrix {
+        match self {
+            Gate::Rot { axis, angle } => {
+                Matrix::rotation_from_involution(&axis.matrix(), angle.eval(params))
+            }
+            Gate::Coupling { axis, angle } => {
+                let sigma2 = axis.matrix().kron(&axis.matrix());
+                Matrix::rotation_from_involution(&sigma2, angle.eval(params))
+            }
+            Gate::CRot {
+                controls,
+                axis,
+                angle,
+            } => iterated_controlled_rotation(&axis.matrix(), angle.eval(params), *controls),
+            Gate::CCoupling {
+                controls,
+                axis,
+                angle,
+            } => {
+                let sigma2 = axis.matrix().kron(&axis.matrix());
+                iterated_controlled_rotation(&sigma2, angle.eval(params), *controls)
+            }
+            Gate::H => Matrix::hadamard(),
+            Gate::X => Matrix::pauli_x(),
+            Gate::Y => Matrix::pauli_y(),
+            Gate::Z => Matrix::pauli_z(),
+            Gate::Cnot => Matrix::cnot(),
+        }
+    }
+
+    /// The display mnemonic of this gate (`RX`, `CRXX`, `CCRY`, `H`, …) —
+    /// one leading `C` per control qubit.
+    pub fn mnemonic(&self) -> String {
+        match self {
+            Gate::Rot { axis, .. } => format!("R{axis}"),
+            Gate::Coupling { axis, .. } => format!("R{axis}{axis}"),
+            Gate::CRot { controls, axis, .. } => {
+                format!("{}R{axis}", "C".repeat(*controls))
+            }
+            Gate::CCoupling { controls, axis, .. } => {
+                format!("{}R{axis}{axis}", "C".repeat(*controls))
+            }
+            Gate::H => "H".into(),
+            Gate::X => "X".into(),
+            Gate::Y => "Y".into(),
+            Gate::Z => "Z".into(),
+            Gate::Cnot => "CNOT".into(),
+        }
+    }
+}
+
+/// Builds the iterated controlled rotation: block `c` (a control pattern)
+/// carries `Rσ(θ + popcount(c)·π)`. With one control this is Definition
+/// 6.1's `C_Rσ(θ) = |0⟩⟨0| ⊗ Rσ(θ) + |1⟩⟨1| ⊗ Rσ(θ+π)`.
+fn iterated_controlled_rotation(sigma: &Matrix, theta: f64, controls: usize) -> Matrix {
+    assert!(controls >= 1, "controlled rotations need at least one control");
+    let block_dim = sigma.rows();
+    let patterns = 1usize << controls;
+    let dim = patterns * block_dim;
+    let mut out = Matrix::zeros(dim, dim);
+    for c in 0..patterns {
+        let shift = (c.count_ones() as f64) * PI;
+        let block = Matrix::rotation_from_involution(sigma, theta + shift);
+        for i in 0..block_dim {
+            for j in 0..block_dim {
+                out.set(c * block_dim + i, c * block_dim + j, block.get(i, j));
+            }
+        }
+    }
+    out
+}
+
+/// A statement of the (additive) parameterized quantum `while`-language.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `abort[q̄]` — terminate with the zero state.
+    Abort {
+        /// The register the statement is typed over.
+        qs: Vec<Var>,
+    },
+    /// `skip[q̄]` — do nothing.
+    Skip {
+        /// The register the statement is typed over.
+        qs: Vec<Var>,
+    },
+    /// `q := |0⟩` — initialise a qubit.
+    Init {
+        /// The qubit being initialised.
+        q: Var,
+    },
+    /// `q̄ := U(θ)[q̄]` — apply a (parameterized) unitary.
+    Unitary {
+        /// The gate to apply.
+        gate: Gate,
+        /// Operand qubits (order matters for multi-qubit gates).
+        qs: Vec<Var>,
+    },
+    /// `P1(θ); P2(θ)` — sequential composition.
+    Seq(Box<Stmt>, Box<Stmt>),
+    /// `case M[q̄] = m → Pm(θ) end` — computational-basis measurement of
+    /// `q̄` with one arm per outcome (arm `m` handles outcome `m`).
+    Case {
+        /// Measured qubits (first is the most significant outcome bit).
+        qs: Vec<Var>,
+        /// One arm per outcome; `arms.len() == 2^qs.len()`.
+        arms: Vec<Stmt>,
+    },
+    /// `while(T) M[q] = 1 do P done` — bounded loop guarded by a
+    /// computational measurement of a single qubit.
+    While {
+        /// The guard qubit.
+        q: Var,
+        /// The iteration bound `T ≥ 1`.
+        bound: u32,
+        /// The loop body.
+        body: Box<Stmt>,
+    },
+    /// `P1(θ) + P2(θ)` — additive (nondeterministic) choice.
+    Sum(Box<Stmt>, Box<Stmt>),
+}
+
+impl Stmt {
+    /// `abort` over a register.
+    pub fn abort<I: IntoIterator<Item = Var>>(qs: I) -> Stmt {
+        Stmt::Abort {
+            qs: qs.into_iter().collect(),
+        }
+    }
+
+    /// `skip` over a register.
+    pub fn skip<I: IntoIterator<Item = Var>>(qs: I) -> Stmt {
+        Stmt::Skip {
+            qs: qs.into_iter().collect(),
+        }
+    }
+
+    /// `q := |0⟩`.
+    pub fn init(q: impl Into<Var>) -> Stmt {
+        Stmt::Init { q: q.into() }
+    }
+
+    /// A unitary application.
+    pub fn unitary<I, V>(gate: Gate, qs: I) -> Stmt
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Var>,
+    {
+        Stmt::Unitary {
+            gate,
+            qs: qs.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Single-qubit rotation `Rσ(θname)[q]`.
+    pub fn rot(axis: Pauli, param: impl Into<String>, q: impl Into<Var>) -> Stmt {
+        Stmt::unitary(
+            Gate::Rot {
+                axis,
+                angle: Angle::param(param),
+            },
+            [q.into()],
+        )
+    }
+
+    /// Two-qubit coupling `Rσ⊗σ(θname)[q1, q2]`.
+    pub fn coupling(
+        axis: Pauli,
+        param: impl Into<String>,
+        q1: impl Into<Var>,
+        q2: impl Into<Var>,
+    ) -> Stmt {
+        Stmt::unitary(
+            Gate::Coupling {
+                axis,
+                angle: Angle::param(param),
+            },
+            [q1.into(), q2.into()],
+        )
+    }
+
+    /// Right-associated sequence of statements.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty iterator.
+    pub fn seq<I: IntoIterator<Item = Stmt>>(stmts: I) -> Stmt {
+        let mut v: Vec<Stmt> = stmts.into_iter().collect();
+        assert!(!v.is_empty(), "sequence needs at least one statement");
+        let mut acc = v.pop().expect("non-empty");
+        while let Some(s) = v.pop() {
+            acc = Stmt::Seq(Box::new(s), Box::new(acc));
+        }
+        acc
+    }
+
+    /// Additive choice between many alternatives (left-associated, matching
+    /// the paper's convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty iterator.
+    pub fn sum<I: IntoIterator<Item = Stmt>>(stmts: I) -> Stmt {
+        let mut it = stmts.into_iter();
+        let first = it.next().expect("sum needs at least one statement");
+        it.fold(first, |acc, s| Stmt::Sum(Box::new(acc), Box::new(s)))
+    }
+
+    /// `case M[q] = 0 → s0, 1 → s1 end` on a single qubit.
+    pub fn case_qubit(q: impl Into<Var>, s0: Stmt, s1: Stmt) -> Stmt {
+        Stmt::Case {
+            qs: vec![q.into()],
+            arms: vec![s0, s1],
+        }
+    }
+
+    /// `while(T) M[q] = 1 do body done`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound == 0` — the language only has `T ≥ 1` loops.
+    pub fn while_bounded(q: impl Into<Var>, bound: u32, body: Stmt) -> Stmt {
+        assert!(bound >= 1, "while bound must be at least 1");
+        Stmt::While {
+            q: q.into(),
+            bound,
+            body: Box::new(body),
+        }
+    }
+
+    /// The set of quantum variables accessible to the program —
+    /// `qVar(P(θ))` of Appendix B.1.
+    pub fn qvar(&self) -> BTreeSet<Var> {
+        let mut set = BTreeSet::new();
+        self.collect_qvar(&mut set);
+        set
+    }
+
+    fn collect_qvar(&self, set: &mut BTreeSet<Var>) {
+        match self {
+            Stmt::Abort { qs } | Stmt::Skip { qs } => set.extend(qs.iter().cloned()),
+            Stmt::Init { q } => {
+                set.insert(q.clone());
+            }
+            Stmt::Unitary { qs, .. } => set.extend(qs.iter().cloned()),
+            Stmt::Seq(a, b) | Stmt::Sum(a, b) => {
+                a.collect_qvar(set);
+                b.collect_qvar(set);
+            }
+            Stmt::Case { qs, arms } => {
+                set.extend(qs.iter().cloned());
+                for arm in arms {
+                    arm.collect_qvar(set);
+                }
+            }
+            Stmt::While { q, body, .. } => {
+                set.insert(q.clone());
+                body.collect_qvar(set);
+            }
+        }
+    }
+
+    /// Names of all parameters the program's gates reference.
+    pub fn parameters(&self) -> BTreeSet<String> {
+        let mut set = BTreeSet::new();
+        self.visit(&mut |s| {
+            if let Stmt::Unitary { gate, .. } = s {
+                if let Some(Angle { param: Some(p), .. }) = gate.angle() {
+                    set.insert(p.clone());
+                }
+            }
+        });
+        set
+    }
+
+    /// Returns `true` when the program contains no additive choice, i.e.
+    /// belongs to `q-while(T)` rather than `add-q-while(T)`.
+    pub fn is_normal(&self) -> bool {
+        match self {
+            Stmt::Sum(..) => false,
+            Stmt::Abort { .. } | Stmt::Skip { .. } | Stmt::Init { .. } | Stmt::Unitary { .. } => {
+                true
+            }
+            Stmt::Seq(a, b) => a.is_normal() && b.is_normal(),
+            Stmt::Case { arms, .. } => arms.iter().all(Stmt::is_normal),
+            Stmt::While { body, .. } => body.is_normal(),
+        }
+    }
+
+    /// “Essentially aborts” (Definition 3.2): the program is syntactically
+    /// guaranteed to output the zero state.
+    ///
+    /// Defined on normal programs; a `Sum` never essentially aborts here
+    /// (compilation handles additive abort-absorption separately).
+    pub fn essentially_aborts(&self) -> bool {
+        match self {
+            Stmt::Abort { .. } => true,
+            Stmt::Seq(a, b) => a.essentially_aborts() || b.essentially_aborts(),
+            Stmt::Case { arms, .. } => arms.iter().all(Stmt::essentially_aborts),
+            _ => false,
+        }
+    }
+
+    /// Unfolds a bounded loop one step via the macro of Eq. 3.1:
+    ///
+    /// * `while(1) M[q]=1 do P done  ≡ case M[q] = 0→skip, 1→P;abort end`
+    /// * `while(T) M[q]=1 do P done  ≡ case M[q] = 0→skip, 1→P;while(T-1) end`
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is not a `While`.
+    pub fn unfold_while_once(&self) -> Stmt {
+        let Stmt::While { q, bound, body } = self else {
+            panic!("unfold_while_once requires a while statement");
+        };
+        let vars = self.qvar();
+        let skip = Stmt::skip(vars.iter().cloned());
+        let continuation = if *bound == 1 {
+            Stmt::abort(vars.iter().cloned())
+        } else {
+            Stmt::While {
+                q: q.clone(),
+                bound: bound - 1,
+                body: body.clone(),
+            }
+        };
+        Stmt::Case {
+            qs: vec![q.clone()],
+            arms: vec![
+                skip,
+                Stmt::Seq(body.clone(), Box::new(continuation)),
+            ],
+        }
+    }
+
+    /// Canonicalises sequence associativity to the right-leaning form
+    /// produced by [`Stmt::seq`] and the parser, leaving everything else
+    /// untouched. `;` is semantically associative (Fig. 1b), so two
+    /// programs equal up to re-association have identical normal forms.
+    pub fn normalize_seq(&self) -> Stmt {
+        match self {
+            Stmt::Seq(..) => {
+                let mut flat = Vec::new();
+                self.flatten_seq_into(&mut flat);
+                Stmt::seq(flat)
+            }
+            Stmt::Sum(a, b) => Stmt::Sum(
+                Box::new(a.normalize_seq()),
+                Box::new(b.normalize_seq()),
+            ),
+            Stmt::Case { qs, arms } => Stmt::Case {
+                qs: qs.clone(),
+                arms: arms.iter().map(Stmt::normalize_seq).collect(),
+            },
+            Stmt::While { q, bound, body } => Stmt::While {
+                q: q.clone(),
+                bound: *bound,
+                body: Box::new(body.normalize_seq()),
+            },
+            other => other.clone(),
+        }
+    }
+
+    fn flatten_seq_into(&self, out: &mut Vec<Stmt>) {
+        match self {
+            Stmt::Seq(a, b) => {
+                a.flatten_seq_into(out);
+                b.flatten_seq_into(out);
+            }
+            other => out.push(other.normalize_seq()),
+        }
+    }
+
+    /// Applies `f` to every statement node, parents before children.
+    pub fn visit(&self, f: &mut impl FnMut(&Stmt)) {
+        f(self);
+        match self {
+            Stmt::Seq(a, b) | Stmt::Sum(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Stmt::Case { arms, .. } => {
+                for arm in arms {
+                    arm.visit(f);
+                }
+            }
+            Stmt::While { body, .. } => body.visit(f),
+            _ => {}
+        }
+    }
+
+    /// Counts unitary-gate applications, with `while(T)` bodies counted `T`
+    /// times (the convention of the paper's Table 3, note (2)).
+    pub fn gate_count(&self) -> usize {
+        match self {
+            Stmt::Unitary { .. } => 1,
+            Stmt::Seq(a, b) | Stmt::Sum(a, b) => a.gate_count() + b.gate_count(),
+            Stmt::Case { arms, .. } => arms.iter().map(Stmt::gate_count).sum(),
+            Stmt::While { bound, body, .. } => (*bound as usize) * body.gate_count(),
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::pretty::to_source(self))
+    }
+}
+
+/// Convenience: evaluates `C_Rσ(θ)`'s defining property for tests.
+#[doc(hidden)]
+pub fn controlled_rotation_matrix(sigma: &Matrix, theta: f64) -> Matrix {
+    iterated_controlled_rotation(sigma, theta, 1)
+}
+
+/// Returns the `R′σ(θ)` gadget *matrix* `(H⊗I)·C_Rσ(θ)·(H⊗I)` for analytic
+/// tests (Definition 6.1 composes it from program statements instead).
+#[doc(hidden)]
+pub fn rprime_matrix(sigma: &Matrix, theta: f64) -> Matrix {
+    let dim = sigma.rows();
+    let h_lift = Matrix::hadamard().kron(&Matrix::identity(dim));
+    h_lift
+        .mul(&iterated_controlled_rotation(sigma, theta, 1))
+        .mul(&h_lift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Var {
+        Var::new(s)
+    }
+
+    #[test]
+    fn qvar_collects_all_variables() {
+        let p = Stmt::seq([
+            Stmt::rot(Pauli::X, "t", "q1"),
+            Stmt::case_qubit("q2", Stmt::skip([v("q3")]), Stmt::init("q4")),
+        ]);
+        let vars: Vec<String> = p.qvar().iter().map(|x| x.name().to_string()).collect();
+        assert_eq!(vars, ["q1", "q2", "q3", "q4"]);
+    }
+
+    #[test]
+    fn parameters_are_collected() {
+        let p = Stmt::seq([
+            Stmt::rot(Pauli::X, "alpha", "q1"),
+            Stmt::rot(Pauli::Z, "beta", "q1"),
+            Stmt::unitary(Gate::H, [v("q1")]),
+        ]);
+        let params: Vec<String> = p.parameters().into_iter().collect();
+        assert_eq!(params, ["alpha", "beta"]);
+    }
+
+    #[test]
+    fn normality_detects_sums() {
+        let normal = Stmt::rot(Pauli::X, "t", "q1");
+        assert!(normal.is_normal());
+        let additive = Stmt::Sum(Box::new(normal.clone()), Box::new(normal.clone()));
+        assert!(!additive.is_normal());
+        let nested = Stmt::case_qubit("q1", additive, normal);
+        assert!(!nested.is_normal());
+    }
+
+    #[test]
+    fn essentially_aborts_cases() {
+        let q = || vec![v("q1")];
+        let abort = Stmt::abort(q());
+        let skip = Stmt::skip(q());
+        // Direct abort.
+        assert!(abort.essentially_aborts());
+        // Sequence with abort on either side.
+        assert!(Stmt::seq([skip.clone(), abort.clone()]).essentially_aborts());
+        assert!(Stmt::seq([abort.clone(), skip.clone()]).essentially_aborts());
+        // Case with all arms aborting vs one arm alive.
+        assert!(Stmt::case_qubit("q1", abort.clone(), abort.clone()).essentially_aborts());
+        assert!(!Stmt::case_qubit("q1", abort.clone(), skip.clone()).essentially_aborts());
+        // U(θ); abort from the paper's Section 3 examples.
+        assert!(
+            Stmt::seq([Stmt::rot(Pauli::Z, "t", "q1"), abort]).essentially_aborts()
+        );
+    }
+
+    #[test]
+    fn while_unfolds_to_case_macro() {
+        let body = Stmt::rot(Pauli::X, "t", "q1");
+        let w = Stmt::while_bounded("q1", 2, body.clone());
+        let unfolded = w.unfold_while_once();
+        let Stmt::Case { qs, arms } = unfolded else {
+            panic!("expected case");
+        };
+        assert_eq!(qs, vec![v("q1")]);
+        assert!(matches!(arms[0], Stmt::Skip { .. }));
+        let Stmt::Seq(ref b, ref cont) = arms[1] else {
+            panic!("expected seq in arm 1");
+        };
+        assert_eq!(**b, body);
+        assert!(matches!(**cont, Stmt::While { bound: 1, .. }));
+    }
+
+    #[test]
+    fn while_bound_one_unfolds_to_abort() {
+        let w = Stmt::while_bounded("q1", 1, Stmt::skip([v("q1")]));
+        let Stmt::Case { arms, .. } = w.unfold_while_once() else {
+            panic!("expected case");
+        };
+        let Stmt::Seq(_, ref cont) = arms[1] else {
+            panic!("expected seq");
+        };
+        assert!(matches!(**cont, Stmt::Abort { .. }));
+    }
+
+    #[test]
+    fn gate_count_multiplies_while_bodies() {
+        let body = Stmt::seq([
+            Stmt::rot(Pauli::X, "a", "q1"),
+            Stmt::rot(Pauli::Y, "b", "q1"),
+        ]);
+        let w = Stmt::while_bounded("q1", 3, body);
+        assert_eq!(w.gate_count(), 6);
+    }
+
+    #[test]
+    fn controlled_rotation_blocks() {
+        // C_Rσ(θ)|0,ψ⟩ = |0⟩⊗Rσ(θ)|ψ⟩ and C_Rσ(θ)|1,ψ⟩ = |1⟩⊗Rσ(θ+π)|ψ⟩.
+        let theta = 0.4;
+        let c = controlled_rotation_matrix(&Matrix::pauli_y(), theta);
+        assert!(c.is_unitary(1e-12));
+        let r0 = Matrix::rotation_from_involution(&Matrix::pauli_y(), theta);
+        let r1 = Matrix::rotation_from_involution(&Matrix::pauli_y(), theta + PI);
+        for (i, j) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            assert!(c.get(i, j).approx_eq(r0.get(i, j), 1e-12));
+            assert!(c.get(2 + i, 2 + j).approx_eq(r1.get(i, j), 1e-12));
+        }
+    }
+
+    #[test]
+    fn gate_matrices_are_unitary() {
+        let params = Params::from_pairs([("t", 0.3)]);
+        let gates = [
+            Gate::Rot { axis: Pauli::X, angle: Angle::param("t") },
+            Gate::Coupling { axis: Pauli::Z, angle: Angle::param("t") },
+            Gate::CRot { controls: 1, axis: Pauli::Y, angle: Angle::param("t") },
+            Gate::CCoupling { controls: 1, axis: Pauli::X, angle: Angle::param("t") },
+            Gate::CRot { controls: 2, axis: Pauli::Z, angle: Angle::param("t") },
+            Gate::CCoupling { controls: 2, axis: Pauli::Y, angle: Angle::param("t") },
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::Cnot,
+        ];
+        for g in gates {
+            let m = g.matrix(&params);
+            assert!(m.is_unitary(1e-10), "{} not unitary", g.mnemonic());
+            assert_eq!(m.rows(), 1 << g.arity());
+        }
+    }
+
+    #[test]
+    fn angle_arithmetic() {
+        let a = Angle::param("t").shifted(PI);
+        let params = Params::from_pairs([("t", 1.0)]);
+        assert!((a.eval(&params) - (1.0 + PI)).abs() < 1e-15);
+        assert!(a.uses_param("t"));
+        assert!(!a.uses_param("s"));
+        assert!((Angle::constant(2.5).eval(&Params::new()) - 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no value")]
+    fn missing_parameter_panics() {
+        Angle::param("missing").eval(&Params::new());
+    }
+
+    #[test]
+    fn seq_builder_right_associates() {
+        let s = Stmt::seq([
+            Stmt::init("a"),
+            Stmt::init("b"),
+            Stmt::init("c"),
+        ]);
+        let Stmt::Seq(first, rest) = s else { panic!() };
+        assert!(matches!(*first, Stmt::Init { .. }));
+        assert!(matches!(*rest, Stmt::Seq(..)));
+    }
+
+    #[test]
+    fn sum_builder_left_associates() {
+        let s = Stmt::sum([
+            Stmt::init("a"),
+            Stmt::init("b"),
+            Stmt::init("c"),
+        ]);
+        let Stmt::Sum(first, last) = s else { panic!() };
+        assert!(matches!(*first, Stmt::Sum(..)));
+        assert!(matches!(*last, Stmt::Init { .. }));
+    }
+}

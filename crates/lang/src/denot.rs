@@ -1,0 +1,305 @@
+//! Denotational semantics (Fig. 1b of the paper).
+//!
+//! `[[P]]` is a superoperator on partial density operators:
+//!
+//! ```text
+//! [[abort]]ρ  = 0                  [[skip]]ρ = ρ
+//! [[q:=|0⟩]]ρ = E_{q→0}(ρ)         [[U]]ρ    = UρU†
+//! [[P1;P2]]ρ  = [[P2]]([[P1]]ρ)
+//! [[case]]ρ   = Σm [[Pm]](Em(ρ))
+//! [[while(T)]]ρ = Σ_{n<T} E0 ∘ ([[P1]] ∘ E1)ⁿ (ρ)
+//! ```
+//!
+//! Two engines are provided: the reference density-operator interpreter
+//! [`denote`], and a faster branching pure-state engine
+//! ([`run_pure_branches`]) exploiting that every primitive maps pure states
+//! to (finitely many) pure states. They agree — see the cross-check tests.
+
+use crate::ast::{Params, Stmt};
+use crate::register::Register;
+use qdp_linalg::Matrix;
+use qdp_sim::{DensityMatrix, Measurement, Observable, StateVector};
+
+/// Evaluates `[[stmt]]ρ` for a *normal* program.
+///
+/// # Panics
+///
+/// Panics when the program contains additive choice (`Sum`) — additive
+/// programs have multiset semantics, see [`crate::op_sem::trace_multiset`] —
+/// or when a referenced variable/parameter is unbound.
+///
+/// # Examples
+///
+/// ```
+/// use qdp_lang::{denot, parse_program, Register};
+/// use qdp_lang::ast::Params;
+/// use qdp_sim::DensityMatrix;
+///
+/// let p = parse_program("q1 *= H; q1 *= H")?;
+/// let reg = Register::from_program(&p);
+/// let rho = DensityMatrix::pure_zero(reg.len());
+/// let out = denot::denote(&p, &reg, &Params::new(), &rho);
+/// assert!(out.approx_eq(&rho, 1e-12)); // H;H = identity
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn denote(stmt: &Stmt, reg: &Register, params: &Params, rho: &DensityMatrix) -> DensityMatrix {
+    match stmt {
+        Stmt::Abort { .. } => DensityMatrix::zero_operator(rho.num_qubits()),
+        Stmt::Skip { .. } => rho.clone(),
+        Stmt::Init { q } => {
+            let mut out = rho.clone();
+            out.initialize_qubit(reg.indices_of(std::slice::from_ref(q))[0]);
+            out
+        }
+        Stmt::Unitary { gate, qs } => {
+            let mut out = rho.clone();
+            out.apply_unitary(&gate.matrix(params), &reg.indices_of(qs));
+            out
+        }
+        Stmt::Seq(a, b) => {
+            let mid = denote(a, reg, params, rho);
+            denote(b, reg, params, &mid)
+        }
+        Stmt::Case { qs, arms } => {
+            let meas = Measurement::computational(reg.indices_of(qs));
+            let mut acc = DensityMatrix::zero_operator(rho.num_qubits());
+            for (m, arm) in arms.iter().enumerate() {
+                let branch = meas.branch(rho, m);
+                if branch.trace() > 1e-30 {
+                    acc.add_assign(&denote(arm, reg, params, &branch));
+                }
+            }
+            acc
+        }
+        Stmt::While { q, bound, body } => {
+            let meas = Measurement::computational(reg.indices_of(std::slice::from_ref(q)));
+            let mut acc = DensityMatrix::zero_operator(rho.num_qubits());
+            let mut cur = rho.clone();
+            for _ in 0..*bound {
+                acc.add_assign(&meas.branch(&cur, 0));
+                let continuing = meas.branch(&cur, 1);
+                if continuing.trace() <= 1e-30 {
+                    return acc;
+                }
+                cur = denote(body, reg, params, &continuing);
+            }
+            acc
+        }
+        Stmt::Sum(..) => panic!(
+            "denote is defined on normal programs; compile the additive program first \
+             (or use op_sem::trace_multiset)"
+        ),
+    }
+}
+
+/// Runs a normal program on a pure input, returning the unnormalised pure
+/// branches whose outer-product sum equals `[[stmt]]|ψ⟩⟨ψ|`.
+///
+/// Branches with squared norm below `1e-24` are pruned.
+///
+/// # Panics
+///
+/// Panics on additive programs.
+pub fn run_pure_branches(
+    stmt: &Stmt,
+    reg: &Register,
+    params: &Params,
+    psi: &StateVector,
+) -> Vec<StateVector> {
+    const PRUNE: f64 = 1e-24;
+    match stmt {
+        Stmt::Abort { .. } => vec![],
+        Stmt::Skip { .. } => vec![psi.clone()],
+        Stmt::Init { q } => {
+            let idx = reg.indices_of(std::slice::from_ref(q))[0];
+            let k0 = Matrix::from_real_rows(&[&[1.0, 0.0], &[0.0, 0.0]]);
+            let k1 = Matrix::from_real_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+            [k0, k1]
+                .iter()
+                .map(|k| psi.with_gate(k, &[idx]))
+                .filter(|s| s.norm_sqr() > PRUNE)
+                .collect()
+        }
+        Stmt::Unitary { gate, qs } => {
+            vec![psi.with_gate(&gate.matrix(params), &reg.indices_of(qs))]
+        }
+        Stmt::Seq(a, b) => run_pure_branches(a, reg, params, psi)
+            .iter()
+            .flat_map(|mid| run_pure_branches(b, reg, params, mid))
+            .collect(),
+        Stmt::Case { qs, arms } => {
+            let meas = Measurement::computational(reg.indices_of(qs));
+            meas.branches_pure(psi)
+                .into_iter()
+                .filter(|b| b.probability > PRUNE)
+                .flat_map(|b| run_pure_branches(&arms[b.outcome], reg, params, &b.state))
+                .collect()
+        }
+        Stmt::While { .. } => {
+            run_pure_branches(&stmt.unfold_while_once(), reg, params, psi)
+        }
+        Stmt::Sum(..) => panic!("run_pure_branches is defined on normal programs"),
+    }
+}
+
+/// Sums `⟨ψb|O|ψb⟩` over the pure branches of a program run — equal to
+/// `tr(O · [[stmt]]|ψ⟩⟨ψ|)` but usually much cheaper than the density
+/// engine.
+pub fn expectation_pure(
+    stmt: &Stmt,
+    reg: &Register,
+    params: &Params,
+    psi: &StateVector,
+    obs: &Observable,
+) -> f64 {
+    run_pure_branches(stmt, reg, params, psi)
+        .iter()
+        .map(|b| obs.expectation_pure(b))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Var;
+    use crate::parser::parse_program;
+    use qdp_linalg::Pauli;
+
+    fn eval(src: &str, params: &[(&str, f64)]) -> (Stmt, Register, Params) {
+        let p = parse_program(src).unwrap();
+        let reg = Register::from_program(&p);
+        let params = Params::from_pairs(params.iter().map(|&(k, v)| (k, v)));
+        (p, reg, params)
+    }
+
+    #[test]
+    fn abort_denotes_zero() {
+        let (p, reg, params) = eval("abort[q1]", &[]);
+        let out = denote(&p, &reg, &params, &DensityMatrix::pure_zero(1));
+        assert_eq!(out.trace(), 0.0);
+    }
+
+    #[test]
+    fn skip_is_identity() {
+        let (p, reg, params) = eval("skip[q1]", &[]);
+        let rho = DensityMatrix::pure_zero(1);
+        assert!(denote(&p, &reg, &params, &rho).approx_eq(&rho, 1e-15));
+    }
+
+    #[test]
+    fn case_sums_branches() {
+        // H then measure: ½|0⟩⟨0| (skip branch) + ½|1⟩⟨1| flipped to |0⟩⟨0|.
+        let (p, reg, params) = eval(
+            "q1 *= H; case M[q1] = 0 -> skip[q1], 1 -> q1 *= X end",
+            &[],
+        );
+        let out = denote(&p, &reg, &params, &DensityMatrix::pure_zero(1));
+        assert!(out.approx_eq(&DensityMatrix::pure_zero(1), 1e-12));
+    }
+
+    #[test]
+    fn case_with_abort_loses_probability() {
+        let (p, reg, params) = eval(
+            "q1 *= H; case M[q1] = 0 -> skip[q1], 1 -> abort[q1] end",
+            &[],
+        );
+        let out = denote(&p, &reg, &params, &DensityMatrix::pure_zero(1));
+        assert!((out.trace() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn while_iterates_at_most_bound_times() {
+        // Guard always 1 (X sets q1 to |1⟩ before loop) and the body never
+        // clears it, so after T iterations the remaining trace aborts.
+        let (p, reg, params) = eval(
+            "q1 *= X; while[3] M[q1] = 1 do skip[q1] done",
+            &[],
+        );
+        let out = denote(&p, &reg, &params, &DensityMatrix::pure_zero(1));
+        // Guard outcome is always 1, body never flips, loop exhausts: zero.
+        assert!(out.trace() < 1e-12);
+    }
+
+    #[test]
+    fn while_exits_when_guard_clears() {
+        // Body flips q1 from 1 to 0, so exactly one iteration happens.
+        let (p, reg, params) = eval(
+            "q1 *= X; while[3] M[q1] = 1 do q1 *= X done",
+            &[],
+        );
+        let out = denote(&p, &reg, &params, &DensityMatrix::pure_zero(1));
+        assert!((out.trace() - 1.0).abs() < 1e-12);
+        assert!(out.approx_eq(&DensityMatrix::pure_zero(1), 1e-12));
+    }
+
+    #[test]
+    fn while_matches_macro_unfolding() {
+        let (p, reg, params) = eval(
+            "q1 *= RY(0.9); while[2] M[q1] = 1 do q1 *= RY(0.7) done",
+            &[],
+        );
+        let Stmt::Seq(prefix, w) = &p else { panic!() };
+        let rho = denote(prefix, &reg, &params, &DensityMatrix::pure_zero(1));
+        let direct = denote(w, &reg, &params, &rho);
+        let unfolded = denote(&w.unfold_while_once(), &reg, &params, &rho);
+        assert!(direct.approx_eq(&unfolded, 1e-12));
+    }
+
+    #[test]
+    fn pure_engine_matches_density_engine() {
+        let (p, reg, params) = eval(
+            "q1 *= RX(a); case M[q1] = 0 -> q2 *= RY(b), 1 -> q2 := |0>; q1, q2 *= RZZ(a) end; \
+             while[2] M[q2] = 1 do q1 *= RZ(b) done",
+            &[("a", 0.8), ("b", -0.4)],
+        );
+        let psi = StateVector::zero_state(reg.len())
+            .with_gate(&Matrix::hadamard(), &[0])
+            .with_gate(&Matrix::cnot(), &[0, 1]);
+        let rho = DensityMatrix::from_pure(&psi);
+        let dense = denote(&p, &reg, &params, &rho);
+        let branches = run_pure_branches(&p, &reg, &params, &psi);
+        let mut from_pure = DensityMatrix::zero_operator(reg.len());
+        for b in &branches {
+            from_pure.add_assign(&DensityMatrix::from_pure(b));
+        }
+        assert!(dense.approx_eq(&from_pure, 1e-10));
+        // Expectation shortcut agrees too.
+        let obs = Observable::pauli_z(reg.len(), 0);
+        let lhs = obs.expectation(&dense);
+        let rhs = expectation_pure(&p, &reg, &params, &psi, &obs);
+        assert!((lhs - rhs).abs() < 1e-10);
+    }
+
+    #[test]
+    fn init_on_entangled_pure_state_branches() {
+        let p = Stmt::seq([
+            Stmt::unitary(crate::ast::Gate::H, [Var::new("q1")]),
+            Stmt::unitary(crate::ast::Gate::Cnot, [Var::new("q1"), Var::new("q2")]),
+            Stmt::init("q1"),
+        ]);
+        let reg = Register::from_program(&p);
+        let psi = StateVector::zero_state(2);
+        let branches = run_pure_branches(&p, &reg, &Params::new(), &psi);
+        assert_eq!(branches.len(), 2);
+        let total: f64 = branches.iter().map(StateVector::norm_sqr).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_parameters_feed_through() {
+        let (p, reg, params) = eval("q1 *= RY(t)", &[("t", std::f64::consts::PI)]);
+        // RY(π)|0⟩ = |1⟩ (up to phase).
+        let out = denote(&p, &reg, &params, &DensityMatrix::pure_zero(1));
+        let one = DensityMatrix::from_pure(&StateVector::basis_state(1, 1));
+        assert!(out.approx_eq(&one, 1e-12));
+        let _ = Pauli::Y; // axis used via parser
+    }
+
+    #[test]
+    #[should_panic(expected = "normal programs")]
+    fn additive_programs_are_rejected() {
+        let p = Stmt::sum([Stmt::skip([Var::new("q1")]), Stmt::abort([Var::new("q1")])]);
+        let reg = Register::from_program(&p);
+        denote(&p, &reg, &Params::new(), &DensityMatrix::pure_zero(1));
+    }
+}

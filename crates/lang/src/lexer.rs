@@ -1,0 +1,354 @@
+//! Lexer for the concrete syntax of the quantum `while`-language.
+
+use std::fmt;
+
+/// A token with its source span (byte offsets).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+/// Kinds of tokens in the concrete syntax.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// An identifier (variable, parameter, or gate mnemonic).
+    Ident(String),
+    /// An unsigned integer literal.
+    Int(u64),
+    /// A floating-point literal.
+    Float(f64),
+    /// `abort`
+    Abort,
+    /// `skip`
+    Skip,
+    /// `case`
+    Case,
+    /// `end`
+    End,
+    /// `while`
+    While,
+    /// `do`
+    Do,
+    /// `done`
+    Done,
+    /// `pi`
+    Pi,
+    /// `M` — the measurement marker.
+    Meas,
+    /// `|0>` — the ket-zero initialiser.
+    KetZero,
+    /// `:=`
+    Assign,
+    /// `*=`
+    ApplyAssign,
+    /// `->`
+    Arrow,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `=`
+    Equals,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier '{s}'"),
+            TokenKind::Int(n) => write!(f, "integer {n}"),
+            TokenKind::Float(x) => write!(f, "number {x}"),
+            TokenKind::Abort => write!(f, "'abort'"),
+            TokenKind::Skip => write!(f, "'skip'"),
+            TokenKind::Case => write!(f, "'case'"),
+            TokenKind::End => write!(f, "'end'"),
+            TokenKind::While => write!(f, "'while'"),
+            TokenKind::Do => write!(f, "'do'"),
+            TokenKind::Done => write!(f, "'done'"),
+            TokenKind::Pi => write!(f, "'pi'"),
+            TokenKind::Meas => write!(f, "'M'"),
+            TokenKind::KetZero => write!(f, "'|0>'"),
+            TokenKind::Assign => write!(f, "':='"),
+            TokenKind::ApplyAssign => write!(f, "'*='"),
+            TokenKind::Arrow => write!(f, "'->'"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::LBracket => write!(f, "'['"),
+            TokenKind::RBracket => write!(f, "']'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Semicolon => write!(f, "';'"),
+            TokenKind::Plus => write!(f, "'+'"),
+            TokenKind::Minus => write!(f, "'-'"),
+            TokenKind::Star => write!(f, "'*'"),
+            TokenKind::Slash => write!(f, "'/'"),
+            TokenKind::Equals => write!(f, "'='"),
+        }
+    }
+}
+
+/// A lexing error with position information.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset where the error occurred.
+    pub position: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises source text. Line comments start with `//`.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unrecognised characters or malformed literals.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let word = &src[start..i];
+            let kind = match word {
+                "abort" => TokenKind::Abort,
+                "skip" => TokenKind::Skip,
+                "case" => TokenKind::Case,
+                "end" => TokenKind::End,
+                "while" => TokenKind::While,
+                "do" => TokenKind::Do,
+                "done" => TokenKind::Done,
+                "pi" => TokenKind::Pi,
+                "M" => TokenKind::Meas,
+                _ => TokenKind::Ident(word.to_string()),
+            };
+            tokens.push(Token { kind, start, end: i });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut is_float = false;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())
+            {
+                is_float = true;
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    is_float = true;
+                    i = j;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            let text = &src[start..i];
+            let kind = if is_float {
+                TokenKind::Float(text.parse().map_err(|_| LexError {
+                    message: format!("malformed float literal '{text}'"),
+                    position: start,
+                })?)
+            } else {
+                TokenKind::Int(text.parse().map_err(|_| LexError {
+                    message: format!("malformed integer literal '{text}'"),
+                    position: start,
+                })?)
+            };
+            tokens.push(Token { kind, start, end: i });
+            continue;
+        }
+        // Multi-character symbols.
+        let rest = &src[i..];
+        let (kind, len) = if rest.starts_with("|0>") {
+            (TokenKind::KetZero, 3)
+        } else if rest.starts_with(":=") {
+            (TokenKind::Assign, 2)
+        } else if rest.starts_with("*=") {
+            (TokenKind::ApplyAssign, 2)
+        } else if rest.starts_with("->") {
+            (TokenKind::Arrow, 2)
+        } else {
+            let kind = match c {
+                '(' => TokenKind::LParen,
+                ')' => TokenKind::RParen,
+                '[' => TokenKind::LBracket,
+                ']' => TokenKind::RBracket,
+                ',' => TokenKind::Comma,
+                ';' => TokenKind::Semicolon,
+                '+' => TokenKind::Plus,
+                '-' => TokenKind::Minus,
+                '*' => TokenKind::Star,
+                '/' => TokenKind::Slash,
+                '=' => TokenKind::Equals,
+                other => {
+                    return Err(LexError {
+                        message: format!("unexpected character '{other}'"),
+                        position: i,
+                    });
+                }
+            };
+            (kind, 1)
+        };
+        i += len;
+        tokens.push(Token { kind, start, end: i });
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_init_statement() {
+        assert_eq!(
+            kinds("q1 := |0>"),
+            vec![
+                TokenKind::Ident("q1".into()),
+                TokenKind::Assign,
+                TokenKind::KetZero
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_gate_application() {
+        assert_eq!(
+            kinds("q1, q2 *= RXX(t + pi)"),
+            vec![
+                TokenKind::Ident("q1".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("q2".into()),
+                TokenKind::ApplyAssign,
+                TokenKind::Ident("RXX".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("t".into()),
+                TokenKind::Plus,
+                TokenKind::Pi,
+                TokenKind::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_and_measurement() {
+        assert_eq!(
+            kinds("while[2] M[q] = 1 do done end case abort skip"),
+            vec![
+                TokenKind::While,
+                TokenKind::LBracket,
+                TokenKind::Int(2),
+                TokenKind::RBracket,
+                TokenKind::Meas,
+                TokenKind::LBracket,
+                TokenKind::Ident("q".into()),
+                TokenKind::RBracket,
+                TokenKind::Equals,
+                TokenKind::Int(1),
+                TokenKind::Do,
+                TokenKind::Done,
+                TokenKind::End,
+                TokenKind::Case,
+                TokenKind::Abort,
+                TokenKind::Skip
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("3 2.5 1e3 0.25"),
+            vec![
+                TokenKind::Int(3),
+                TokenKind::Float(2.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.25)
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_whitespace() {
+        assert_eq!(
+            kinds("q1 // trailing comment\n := |0> // another"),
+            kinds("q1 := |0>")
+        );
+    }
+
+    #[test]
+    fn reports_unexpected_character() {
+        let err = tokenize("q1 @ q2").unwrap_err();
+        assert_eq!(err.position, 3);
+        assert!(err.to_string().contains('@'));
+    }
+
+    #[test]
+    fn spans_cover_source() {
+        let toks = tokenize("ab := |0>").unwrap();
+        assert_eq!(&"ab := |0>"[toks[0].start..toks[0].end], "ab");
+        assert_eq!(&"ab := |0>"[toks[2].start..toks[2].end], "|0>");
+    }
+}

@@ -1,0 +1,195 @@
+//! Static program metrics — the quantities the paper's tables report
+//! (`#gates`, `#lines`, `#layers`, `#qb's`) plus standard circuit measures.
+
+use crate::ast::Stmt;
+use crate::pretty;
+use std::collections::BTreeMap;
+
+/// A bundle of static metrics for one program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgramMetrics {
+    /// Unitary gate applications, with `while(T)` bodies counted `T` times
+    /// (the paper's Table 3 convention).
+    pub gates: usize,
+    /// Non-empty pretty-printed source lines.
+    pub lines: usize,
+    /// Register width `|qVar(P)|`.
+    pub qubits: usize,
+    /// Number of AST statement nodes.
+    pub statements: usize,
+    /// Circuit depth: the longest chain of gates sharing a qubit along any
+    /// execution path (measurements and initialisations count as one slot
+    /// on their operands; `while` bodies count `T` times).
+    pub depth: usize,
+    /// Maximum measurement-control nesting (`case`/`while` inside arms).
+    pub control_nesting: usize,
+}
+
+/// Computes all metrics for a program.
+pub fn measure(stmt: &Stmt) -> ProgramMetrics {
+    ProgramMetrics {
+        gates: stmt.gate_count(),
+        lines: pretty::line_count(stmt),
+        qubits: stmt.qvar().len(),
+        statements: statement_count(stmt),
+        depth: depth_map(stmt).values().copied().max().unwrap_or(0),
+        control_nesting: control_nesting(stmt),
+    }
+}
+
+/// Number of AST statement nodes.
+pub fn statement_count(stmt: &Stmt) -> usize {
+    let mut count = 0;
+    stmt.visit(&mut |_| count += 1);
+    count
+}
+
+/// Maximum nesting depth of measurement-based control (`case` / `while`).
+pub fn control_nesting(stmt: &Stmt) -> usize {
+    match stmt {
+        Stmt::Case { arms, .. } => {
+            1 + arms.iter().map(control_nesting).max().unwrap_or(0)
+        }
+        Stmt::While { body, .. } => 1 + control_nesting(body),
+        Stmt::Seq(a, b) | Stmt::Sum(a, b) => control_nesting(a).max(control_nesting(b)),
+        _ => 0,
+    }
+}
+
+/// Per-qubit slot counts after sequencing — the worst-case (over
+/// measurement branches) number of operations each qubit participates in.
+pub fn depth_map(stmt: &Stmt) -> BTreeMap<crate::ast::Var, usize> {
+    let mut depths = BTreeMap::new();
+    extend_depths(stmt, &mut depths);
+    depths
+}
+
+fn extend_depths(stmt: &Stmt, depths: &mut BTreeMap<crate::ast::Var, usize>) {
+    match stmt {
+        Stmt::Abort { .. } | Stmt::Skip { .. } => {}
+        Stmt::Init { q } => {
+            *depths.entry(q.clone()).or_insert(0) += 1;
+        }
+        Stmt::Unitary { qs, .. } => {
+            // A multi-qubit gate synchronises its operands at the slot after
+            // the deepest of them.
+            let slot = qs
+                .iter()
+                .map(|q| depths.get(q).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for q in qs {
+                depths.insert(q.clone(), slot);
+            }
+        }
+        Stmt::Seq(a, b) => {
+            extend_depths(a, depths);
+            extend_depths(b, depths);
+        }
+        Stmt::Case { qs, arms } => {
+            // The measurement itself is one slot on the measured qubits.
+            let slot = qs
+                .iter()
+                .map(|q| depths.get(q).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for q in qs {
+                depths.insert(q.clone(), slot);
+            }
+            // Worst case over branches, per qubit.
+            let mut merged = depths.clone();
+            for arm in arms {
+                let mut branch = depths.clone();
+                extend_depths(arm, &mut branch);
+                for (q, d) in branch {
+                    let entry = merged.entry(q).or_insert(0);
+                    *entry = (*entry).max(d);
+                }
+            }
+            *depths = merged;
+        }
+        Stmt::While { bound, q, body } => {
+            for _ in 0..*bound {
+                let slot = depths.get(q).copied().unwrap_or(0) + 1;
+                depths.insert(q.clone(), slot);
+                extend_depths(body, depths);
+            }
+            // Final guard measurement of the exhausted loop.
+            let slot = depths.get(q).copied().unwrap_or(0) + 1;
+            depths.insert(q.clone(), slot);
+        }
+        Stmt::Sum(a, b) => {
+            let mut left = depths.clone();
+            extend_depths(a, &mut left);
+            let mut right = depths.clone();
+            extend_depths(b, &mut right);
+            for (q, d) in right {
+                let entry = left.entry(q).or_insert(0);
+                *entry = (*entry).max(d);
+            }
+            *depths = left;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Var;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn straightline_depth_counts_per_qubit_chains() {
+        let p = parse_program("q1 *= RX(a); q1 *= RY(a); q2 *= RZ(a)").unwrap();
+        let m = measure(&p);
+        assert_eq!(m.gates, 3);
+        assert_eq!(m.depth, 2, "q1 has two gates in a row");
+        assert_eq!(m.qubits, 2);
+        assert_eq!(m.control_nesting, 0);
+    }
+
+    #[test]
+    fn two_qubit_gates_synchronise_operands() {
+        let p = parse_program("q1 *= RX(a); q1, q2 *= RXX(a); q2 *= RZ(a)").unwrap();
+        let depths = depth_map(&p);
+        assert_eq!(depths[&Var::new("q1")], 2);
+        assert_eq!(depths[&Var::new("q2")], 3);
+    }
+
+    #[test]
+    fn case_takes_worst_branch() {
+        let p = parse_program(
+            "case M[q1] = 0 -> skip[q2], 1 -> q2 *= RX(a); q2 *= RY(a) end",
+        )
+        .unwrap();
+        let m = measure(&p);
+        assert_eq!(m.depth, 2, "deepest branch on q2");
+        assert_eq!(m.control_nesting, 1);
+    }
+
+    #[test]
+    fn while_multiplies_body_depth() {
+        let p = parse_program("while[3] M[q1] = 1 do q2 *= RX(a) done").unwrap();
+        let depths = depth_map(&p);
+        assert_eq!(depths[&Var::new("q2")], 3);
+        assert_eq!(depths[&Var::new("q1")], 4, "3 guard reads + final read");
+    }
+
+    #[test]
+    fn nesting_counts_all_control_layers() {
+        let p = parse_program(
+            "case M[q1] = 0 -> while[2] M[q2] = 1 do skip[q1] done, 1 -> skip[q1] end",
+        )
+        .unwrap();
+        assert_eq!(control_nesting(&p), 2);
+    }
+
+    #[test]
+    fn statement_count_includes_every_node() {
+        let p = parse_program("q1 *= RX(a); q1 *= RY(a)").unwrap();
+        // Seq + two unitaries.
+        assert_eq!(statement_count(&p), 3);
+    }
+}

@@ -1,0 +1,226 @@
+//! Noisy denotational semantics — a NISQ-flavoured evaluation mode.
+//!
+//! The paper motivates VQCs by their feasibility on noisy
+//! intermediate-scale quantum machines (Section 1). This module interprets
+//! programs under a simple local noise model: a single-qubit channel
+//! applied to every operand after each unitary (and optionally after each
+//! initialisation). It is an *evaluation* feature of the simulator
+//! substrate — the differentiation scheme itself is defined on the ideal
+//! semantics.
+
+use crate::ast::{Params, Stmt};
+use crate::register::Register;
+use qdp_sim::{DensityMatrix, KrausChannel, Measurement};
+
+/// A single-qubit noise channel family parameterized by strength.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QubitNoise {
+    /// Depolarising noise with probability `p`.
+    Depolarizing(f64),
+    /// Bit flip with probability `p`.
+    BitFlip(f64),
+    /// Phase flip with probability `p`.
+    PhaseFlip(f64),
+    /// Amplitude damping with decay `γ`.
+    AmplitudeDamping(f64),
+}
+
+impl QubitNoise {
+    /// The channel instance acting on qubit `q`.
+    pub fn channel(self, q: usize) -> KrausChannel {
+        match self {
+            QubitNoise::Depolarizing(p) => KrausChannel::depolarizing(q, p),
+            QubitNoise::BitFlip(p) => KrausChannel::bit_flip(q, p),
+            QubitNoise::PhaseFlip(p) => KrausChannel::phase_flip(q, p),
+            QubitNoise::AmplitudeDamping(g) => KrausChannel::amplitude_damping(q, g),
+        }
+    }
+}
+
+/// Where noise strikes during evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NoiseModel {
+    /// Channel applied to every operand qubit after each unitary.
+    pub after_gate: Option<QubitNoise>,
+    /// Channel applied to a qubit after its initialisation.
+    pub after_init: Option<QubitNoise>,
+}
+
+impl NoiseModel {
+    /// The noiseless model.
+    pub fn ideal() -> Self {
+        NoiseModel::default()
+    }
+
+    /// Uniform depolarising noise of strength `p` after every gate.
+    pub fn depolarizing(p: f64) -> Self {
+        NoiseModel {
+            after_gate: Some(QubitNoise::Depolarizing(p)),
+            after_init: None,
+        }
+    }
+}
+
+/// Evaluates `[[stmt]]ρ` under a noise model. With [`NoiseModel::ideal`]
+/// this coincides with [`crate::denot::denote`].
+///
+/// # Panics
+///
+/// Panics on additive programs, like the ideal evaluator.
+pub fn denote_noisy(
+    stmt: &Stmt,
+    reg: &Register,
+    params: &Params,
+    rho: &DensityMatrix,
+    model: &NoiseModel,
+) -> DensityMatrix {
+    match stmt {
+        Stmt::Abort { .. } => DensityMatrix::zero_operator(rho.num_qubits()),
+        Stmt::Skip { .. } => rho.clone(),
+        Stmt::Init { q } => {
+            let idx = reg.indices_of(std::slice::from_ref(q))[0];
+            let mut out = rho.clone();
+            out.initialize_qubit(idx);
+            if let Some(noise) = model.after_init {
+                out = noise.channel(idx).apply(&out);
+            }
+            out
+        }
+        Stmt::Unitary { gate, qs } => {
+            let targets = reg.indices_of(qs);
+            let mut out = rho.clone();
+            out.apply_unitary(&gate.matrix(params), &targets);
+            if let Some(noise) = model.after_gate {
+                for &t in &targets {
+                    out = noise.channel(t).apply(&out);
+                }
+            }
+            out
+        }
+        Stmt::Seq(a, b) => {
+            let mid = denote_noisy(a, reg, params, rho, model);
+            denote_noisy(b, reg, params, &mid, model)
+        }
+        Stmt::Case { qs, arms } => {
+            let meas = Measurement::computational(reg.indices_of(qs));
+            let mut acc = DensityMatrix::zero_operator(rho.num_qubits());
+            for (m, arm) in arms.iter().enumerate() {
+                let branch = meas.branch(rho, m);
+                if branch.trace() > 1e-30 {
+                    acc.add_assign(&denote_noisy(arm, reg, params, &branch, model));
+                }
+            }
+            acc
+        }
+        Stmt::While { .. } => {
+            denote_noisy(&stmt.unfold_while_once(), reg, params, rho, model)
+        }
+        Stmt::Sum(..) => panic!("denote_noisy is defined on normal programs"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::denot::denote;
+    use crate::parser::parse_program;
+    use qdp_sim::Observable;
+
+    fn setup(src: &str, params: &[(&str, f64)]) -> (Stmt, Register, Params) {
+        let p = parse_program(src).unwrap();
+        let reg = Register::from_program(&p);
+        let params = Params::from_pairs(params.iter().map(|&(k, v)| (k, v)));
+        (p, reg, params)
+    }
+
+    #[test]
+    fn ideal_model_matches_ideal_semantics() {
+        let (p, reg, params) = setup(
+            "q1 *= RX(a); case M[q1] = 0 -> q2 *= RY(a), 1 -> q2 := |0> end; \
+             while[2] M[q2] = 1 do q1 *= RZ(a) done",
+            &[("a", 0.8)],
+        );
+        let rho = DensityMatrix::pure_zero(2);
+        let noisy = denote_noisy(&p, &reg, &params, &rho, &NoiseModel::ideal());
+        let ideal = denote(&p, &reg, &params, &rho);
+        assert!(noisy.approx_eq(&ideal, 1e-12));
+    }
+
+    #[test]
+    fn depolarizing_noise_reduces_purity() {
+        let (p, reg, params) = setup("q1 *= RY(a); q1 *= RZ(a)", &[("a", 0.9)]);
+        let rho = DensityMatrix::pure_zero(1);
+        let ideal = denote(&p, &reg, &params, &rho);
+        let noisy = denote_noisy(
+            &p,
+            &reg,
+            &params,
+            &rho,
+            &NoiseModel::depolarizing(0.1),
+        );
+        assert!((ideal.purity() - 1.0).abs() < 1e-10);
+        assert!(noisy.purity() < 0.95);
+        assert!((noisy.trace() - 1.0).abs() < 1e-10, "noise is trace-preserving");
+    }
+
+    #[test]
+    fn noise_shrinks_observable_contrast() {
+        // ⟨Z⟩ after RY(θ) decays towards 0 under depolarising noise.
+        let (p, reg, params) = setup("q1 *= RY(a)", &[("a", 0.5)]);
+        let rho = DensityMatrix::pure_zero(1);
+        let obs = Observable::pauli_z(1, 0);
+        let ideal = obs.expectation(&denote(&p, &reg, &params, &rho));
+        let noisy = obs.expectation(&denote_noisy(
+            &p,
+            &reg,
+            &params,
+            &rho,
+            &NoiseModel::depolarizing(0.2),
+        ));
+        assert!(noisy.abs() < ideal.abs());
+        assert!((noisy - (1.0 - 0.2) * ideal).abs() < 1e-10, "exact contraction factor");
+    }
+
+    #[test]
+    fn amplitude_damping_biases_towards_zero_state() {
+        let (p, reg, params) = setup("q1 *= X", &[]);
+        let rho = DensityMatrix::pure_zero(1);
+        let model = NoiseModel {
+            after_gate: Some(QubitNoise::AmplitudeDamping(0.3)),
+            after_init: None,
+        };
+        let out = denote_noisy(&p, &reg, &params, &rho, &model);
+        assert!((out.get(0, 0).re - 0.3).abs() < 1e-12);
+        assert!((out.get(1, 1).re - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn init_noise_applies_only_to_initialisation() {
+        let (p, reg, params) = setup("q1 *= X; q1 := |0>", &[]);
+        let rho = DensityMatrix::pure_zero(1);
+        let model = NoiseModel {
+            after_gate: None,
+            after_init: Some(QubitNoise::BitFlip(0.25)),
+        };
+        let out = denote_noisy(&p, &reg, &params, &rho, &model);
+        assert!((out.get(1, 1).re - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_branches_remain_a_valid_state() {
+        let (p, reg, params) = setup(
+            "q1 *= H; case M[q1] = 0 -> q1 *= RX(a), 1 -> q1 *= RY(a) end",
+            &[("a", 1.3)],
+        );
+        let rho = DensityMatrix::pure_zero(1);
+        let out = denote_noisy(
+            &p,
+            &reg,
+            &params,
+            &rho,
+            &NoiseModel::depolarizing(0.15),
+        );
+        assert!(out.is_valid(1e-8));
+        assert!((out.trace() - 1.0).abs() < 1e-10);
+    }
+}

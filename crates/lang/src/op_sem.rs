@@ -1,0 +1,194 @@
+//! Operational semantics: execution-trace multisets.
+//!
+//! Fig. 1a gives small-step transitions `⟨P, ρ⟩ → ⟨P′, ρ′⟩`; Fig. 2 adds the
+//! nondeterministic `(Sum Components)` rule for additive programs. The
+//! denotational semantics of an *additive* program (Definition 4.1) is the
+//! **multiset** of final states over all maximal traces — no summation — and
+//! Proposition 3.1 says that for *normal* programs the ordinary denotation
+//! is the sum of that multiset.
+//!
+//! [`trace_multiset`] enumerates the multiset directly by structural
+//! recursion, which is exactly the set of `→*`-maximal executions.
+
+use crate::ast::{Params, Stmt};
+use crate::register::Register;
+use qdp_sim::{DensityMatrix, Measurement};
+
+/// Enumerates the multiset `{| ρ′ : ⟨stmt, ρ⟩ →* ⟨↓, ρ′⟩ |}` of final states
+/// of all maximal execution traces (Definition 4.1).
+///
+/// Works on both normal and additive programs. Zero final states (from
+/// `abort`) are included; filter them out for Proposition 4.2 comparisons.
+///
+/// # Examples
+///
+/// ```
+/// use qdp_lang::{op_sem, parse_program, Register};
+/// use qdp_lang::ast::Params;
+/// use qdp_sim::DensityMatrix;
+///
+/// // An additive choice yields one trace per component.
+/// let p = parse_program("skip[q1] + q1 *= X")?;
+/// let reg = Register::from_program(&p);
+/// let traces = op_sem::trace_multiset(&p, &reg, &Params::new(),
+///     &DensityMatrix::pure_zero(1));
+/// assert_eq!(traces.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn trace_multiset(
+    stmt: &Stmt,
+    reg: &Register,
+    params: &Params,
+    rho: &DensityMatrix,
+) -> Vec<DensityMatrix> {
+    match stmt {
+        Stmt::Abort { .. } => vec![DensityMatrix::zero_operator(rho.num_qubits())],
+        Stmt::Skip { .. } => vec![rho.clone()],
+        Stmt::Init { q } => {
+            let mut out = rho.clone();
+            out.initialize_qubit(reg.indices_of(std::slice::from_ref(q))[0]);
+            vec![out]
+        }
+        Stmt::Unitary { gate, qs } => {
+            let mut out = rho.clone();
+            out.apply_unitary(&gate.matrix(params), &reg.indices_of(qs));
+            vec![out]
+        }
+        Stmt::Seq(a, b) => trace_multiset(a, reg, params, rho)
+            .iter()
+            .flat_map(|mid| trace_multiset(b, reg, params, mid))
+            .collect(),
+        Stmt::Case { qs, arms } => {
+            let meas = Measurement::computational(reg.indices_of(qs));
+            arms.iter()
+                .enumerate()
+                .flat_map(|(m, arm)| {
+                    let branch = meas.branch(rho, m);
+                    trace_multiset(arm, reg, params, &branch)
+                })
+                .collect()
+        }
+        Stmt::While { .. } => {
+            // Eq. 3.1: the bounded loop is a macro over case/seq.
+            trace_multiset(&stmt.unfold_while_once(), reg, params, rho)
+        }
+        Stmt::Sum(a, b) => {
+            // (Sum Components), Fig. 2: either component may run.
+            let mut traces = trace_multiset(a, reg, params, rho);
+            traces.extend(trace_multiset(b, reg, params, rho));
+            traces
+        }
+    }
+}
+
+/// Sums a trace multiset — the right-hand side of Proposition 3.1,
+/// `[[P(θ*)]](ρ) = Σ {| ρ′ : ⟨P, ρ⟩ →* ⟨↓, ρ′⟩ |}`.
+pub fn sum_traces(traces: &[DensityMatrix], n_qubits: usize) -> DensityMatrix {
+    let mut acc = DensityMatrix::zero_operator(n_qubits);
+    for t in traces {
+        acc.add_assign(t);
+    }
+    acc
+}
+
+/// Tests whether two trace multisets are equal up to reordering and an
+/// entry-wise tolerance (greedy matching — adequate because traces of the
+/// programs under test are well separated or identical).
+pub fn multisets_approx_eq(a: &[DensityMatrix], b: &[DensityMatrix], tol: f64) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut unmatched: Vec<&DensityMatrix> = b.iter().collect();
+    for x in a {
+        let Some(pos) = unmatched.iter().position(|y| x.approx_eq(y, tol)) else {
+            return false;
+        };
+        unmatched.swap_remove(pos);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::denot::denote;
+    use crate::parser::parse_program;
+
+    fn setup(src: &str, params: &[(&str, f64)]) -> (Stmt, Register, Params) {
+        let p = parse_program(src).unwrap();
+        let reg = Register::from_program(&p);
+        let params = Params::from_pairs(params.iter().map(|&(k, v)| (k, v)));
+        (p, reg, params)
+    }
+
+    #[test]
+    fn normal_program_single_trace_per_branch_path() {
+        let (p, reg, params) = setup(
+            "q1 *= H; case M[q1] = 0 -> skip[q1], 1 -> q1 *= X end",
+            &[],
+        );
+        let traces = trace_multiset(&p, &reg, &params, &DensityMatrix::pure_zero(1));
+        assert_eq!(traces.len(), 2);
+        for t in &traces {
+            assert!((t.trace() - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn proposition_3_1_denotation_is_sum_of_traces() {
+        let (p, reg, params) = setup(
+            "q1 *= RX(a); case M[q1] = 0 -> q2 *= RY(b), 1 -> abort[q1, q2] end; \
+             while[2] M[q2] = 1 do q1 *= RZ(a) done",
+            &[("a", 0.3), ("b", 1.1)],
+        );
+        let rho = DensityMatrix::pure_zero(reg.len());
+        let traces = trace_multiset(&p, &reg, &params, &rho);
+        let summed = sum_traces(&traces, reg.len());
+        let direct = denote(&p, &reg, &params, &rho);
+        assert!(summed.approx_eq(&direct, 1e-10));
+    }
+
+    #[test]
+    fn sum_doubles_traces() {
+        let (p, reg, params) = setup("skip[q1] + skip[q1]", &[]);
+        let rho = DensityMatrix::pure_zero(1);
+        let traces = trace_multiset(&p, &reg, &params, &rho);
+        assert_eq!(traces.len(), 2);
+        // Multiset semantics keeps both identical copies.
+        assert!(traces[0].approx_eq(&traces[1], 1e-15));
+    }
+
+    #[test]
+    fn generic_case_example_4_1() {
+        // Example 4.1 structure: case with a sum in arm 0.
+        let (p, reg, params) = setup(
+            "q1 *= H; case M[q1] = 0 -> (q1 *= RX(a) + q1 *= RY(a)), 1 -> q1 *= RZ(a) end",
+            &[("a", 0.5)],
+        );
+        let rho = DensityMatrix::pure_zero(1);
+        let traces = trace_multiset(&p, &reg, &params, &rho);
+        // {| RX branch, RY branch, RZ branch |}
+        assert_eq!(traces.len(), 3);
+    }
+
+    #[test]
+    fn multiset_equality_is_order_insensitive() {
+        let (p, reg, params) = setup("skip[q1] + q1 *= X", &[]);
+        let rho = DensityMatrix::pure_zero(1);
+        let mut a = trace_multiset(&p, &reg, &params, &rho);
+        let b = trace_multiset(&p, &reg, &params, &rho);
+        a.reverse();
+        assert!(multisets_approx_eq(&a, &b, 1e-12));
+        assert!(!multisets_approx_eq(&a[..1], &b, 1e-12));
+    }
+
+    #[test]
+    fn while_traces_match_unfolding() {
+        let (p, reg, params) = setup("while[2] M[q1] = 1 do q1 *= RY(a) done", &[("a", 0.7)]);
+        let mut rho = DensityMatrix::pure_zero(1);
+        rho.apply_unitary(&qdp_linalg::Matrix::hadamard(), &[0]);
+        let direct = trace_multiset(&p, &reg, &params, &rho);
+        let unfolded = trace_multiset(&p.unfold_while_once(), &reg, &params, &rho);
+        assert!(multisets_approx_eq(&direct, &unfolded, 1e-12));
+    }
+}

@@ -1,0 +1,334 @@
+//! Semantics-preserving program simplification.
+//!
+//! A light peephole/normalisation pass over `q-while(T)` and additive
+//! programs, of the kind a production compiler would run before the
+//! differentiation transform (smaller inputs mean fewer and smaller
+//! compiled derivative programs):
+//!
+//! * `skip` elimination in sequences,
+//! * abort normalisation: any essentially-aborting statement becomes a
+//!   single `abort[v]` (`[[S; abort]] = [[abort; S]] = 0` since all
+//!   denotations are linear maps),
+//! * additive abort absorption `(abort + S) ⇒ S`, matching the compile
+//!   rules of Fig. 3 (note: this drops zero-trace execution traces from the
+//!   Definition 4.1 multiset, which Proposition 4.2 ignores anyway),
+//! * cancellation of adjacent self-inverse gates (`H;H`, `X;X`, `CNOT;CNOT`
+//!   on identical operands),
+//! * merging of adjacent constant-angle rotations on the same operands and
+//!   axis, and removal of rotations by multiples of `4π` (`Rσ` has period
+//!   `4π`; `2π` flips a global phase, which is only safe to drop for
+//!   rotations, not controlled ones — we stay conservative and use `4π`).
+//!
+//! The pass never changes `[[P]]` on the original register and never
+//! increases the gate count (property-tested).
+
+use crate::ast::{Angle, Gate, Stmt};
+use std::f64::consts::PI;
+
+/// Simplifies a program. The result denotes the same superoperator over the
+/// original register (variables may disappear syntactically — evaluate
+/// against an explicitly constructed [`crate::register::Register`] when that
+/// matters).
+pub fn simplify(stmt: &Stmt) -> Stmt {
+    let vars = stmt.qvar();
+    let simplified = go(stmt);
+    match simplified {
+        Some(s) => {
+            if s.essentially_aborts() {
+                Stmt::abort(vars)
+            } else {
+                s
+            }
+        }
+        // Everything was eliminated: the identity program.
+        None => Stmt::skip(vars),
+    }
+}
+
+/// Core rewriter: `None` means "the statement is a no-op".
+fn go(stmt: &Stmt) -> Option<Stmt> {
+    match stmt {
+        Stmt::Skip { .. } => None,
+        Stmt::Abort { .. } | Stmt::Init { .. } => Some(stmt.clone()),
+        Stmt::Unitary { gate, .. } => {
+            if is_identity_rotation(gate) {
+                None
+            } else {
+                Some(stmt.clone())
+            }
+        }
+        Stmt::Seq(..) => {
+            // Flatten, simplify children, then peephole over the window.
+            let mut flat = Vec::new();
+            flatten(stmt, &mut flat);
+            let mut items: Vec<Stmt> = flat.into_iter().filter_map(|s| go(&s)).collect();
+            // Abort normalisation: anything after a guaranteed abort is dead,
+            // and a sequence containing an abort aborts as a whole.
+            if let Some(pos) = items.iter().position(Stmt::essentially_aborts) {
+                items.truncate(pos + 1);
+                return Some(Stmt::abort(stmt.qvar()));
+            }
+            peephole(&mut items);
+            match items.len() {
+                0 => None,
+                1 => Some(items.pop().expect("non-empty")),
+                _ => Some(Stmt::seq(items)),
+            }
+        }
+        Stmt::Case { qs, arms } => Some(Stmt::Case {
+            qs: qs.clone(),
+            arms: arms
+                .iter()
+                .map(|arm| go(arm).unwrap_or_else(|| Stmt::skip(arm.qvar())))
+                .collect(),
+        }),
+        Stmt::While { q, bound, body } => Some(Stmt::While {
+            q: q.clone(),
+            bound: *bound,
+            body: Box::new(go(body).unwrap_or_else(|| Stmt::skip(body.qvar()))),
+        }),
+        Stmt::Sum(a, b) => {
+            let sa = go(a).unwrap_or_else(|| Stmt::skip(a.qvar()));
+            let sb = go(b).unwrap_or_else(|| Stmt::skip(b.qvar()));
+            // Additive abort absorption (mirrors the Fig. 3 Sum rule).
+            match (sa.essentially_aborts(), sb.essentially_aborts()) {
+                (true, true) => Some(Stmt::abort(stmt.qvar())),
+                (true, false) => Some(sb),
+                (false, true) => Some(sa),
+                (false, false) => Some(Stmt::Sum(Box::new(sa), Box::new(sb))),
+            }
+        }
+    }
+}
+
+fn flatten(stmt: &Stmt, out: &mut Vec<Stmt>) {
+    match stmt {
+        Stmt::Seq(a, b) => {
+            flatten(a, out);
+            flatten(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// One left-to-right peephole sweep, repeated to a fixed point: cancels
+/// adjacent self-inverse gates and merges constant rotations.
+fn peephole(items: &mut Vec<Stmt>) {
+    loop {
+        let mut changed = false;
+        let mut i = 0;
+        while i + 1 < items.len() {
+            match combine(&items[i], &items[i + 1]) {
+                Combine::Cancel => {
+                    items.drain(i..=i + 1);
+                    changed = true;
+                    i = i.saturating_sub(1);
+                }
+                Combine::Replace(merged) => {
+                    items[i] = merged;
+                    items.remove(i + 1);
+                    changed = true;
+                }
+                Combine::Keep => i += 1,
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+enum Combine {
+    Cancel,
+    Replace(Stmt),
+    Keep,
+}
+
+fn combine(a: &Stmt, b: &Stmt) -> Combine {
+    let (Stmt::Unitary { gate: ga, qs: qa }, Stmt::Unitary { gate: gb, qs: qb }) = (a, b) else {
+        return Combine::Keep;
+    };
+    if qa != qb {
+        return Combine::Keep;
+    }
+    // Self-inverse fixed gates cancel.
+    if ga == gb {
+        if matches!(ga, Gate::H | Gate::X | Gate::Y | Gate::Z | Gate::Cnot) {
+            return Combine::Cancel;
+        }
+    }
+    // Constant rotations on the same axis merge.
+    match (ga, gb) {
+        (
+            Gate::Rot { axis: ax_a, angle: an_a },
+            Gate::Rot { axis: ax_b, angle: an_b },
+        ) if ax_a == ax_b && an_a.param.is_none() && an_b.param.is_none() => {
+            merged_rotation(an_a.offset + an_b.offset, |angle| Gate::Rot {
+                axis: *ax_a,
+                angle,
+            })
+            .map_or(Combine::Cancel, |g| {
+                Combine::Replace(Stmt::Unitary {
+                    gate: g,
+                    qs: qa.clone(),
+                })
+            })
+        }
+        (
+            Gate::Coupling { axis: ax_a, angle: an_a },
+            Gate::Coupling { axis: ax_b, angle: an_b },
+        ) if ax_a == ax_b && an_a.param.is_none() && an_b.param.is_none() => {
+            merged_rotation(an_a.offset + an_b.offset, |angle| Gate::Coupling {
+                axis: *ax_a,
+                angle,
+            })
+            .map_or(Combine::Cancel, |g| {
+                Combine::Replace(Stmt::Unitary {
+                    gate: g,
+                    qs: qa.clone(),
+                })
+            })
+        }
+        _ => Combine::Keep,
+    }
+}
+
+/// `None` when the summed angle is a multiple of `4π` (the rotation is the
+/// identity), otherwise the merged gate.
+fn merged_rotation(total: f64, ctor: impl Fn(Angle) -> Gate) -> Option<Gate> {
+    if is_multiple_of_4pi(total) {
+        None
+    } else {
+        Some(ctor(Angle::constant(total)))
+    }
+}
+
+fn is_multiple_of_4pi(x: f64) -> bool {
+    let period = 4.0 * PI;
+    let r = (x / period - (x / period).round()).abs();
+    r < 1e-12
+}
+
+fn is_identity_rotation(gate: &Gate) -> bool {
+    match gate {
+        Gate::Rot { angle, .. } | Gate::Coupling { angle, .. } => {
+            angle.param.is_none() && is_multiple_of_4pi(angle.offset)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Params;
+    use crate::denot::denote;
+    use crate::parser::parse_program;
+    use crate::register::Register;
+    use qdp_sim::DensityMatrix;
+
+    fn simplified(src: &str) -> Stmt {
+        simplify(&parse_program(src).unwrap())
+    }
+
+    fn semantics_preserved(src: &str, values: &[(&str, f64)]) {
+        let p = parse_program(src).unwrap();
+        let s = simplify(&p);
+        let reg = Register::from_program(&p);
+        let params = Params::from_pairs(values.iter().map(|&(k, v)| (k, v)));
+        let mut rho = DensityMatrix::pure_zero(reg.len());
+        rho.apply_unitary(&qdp_linalg::Matrix::hadamard(), &[0]);
+        let before = denote(&p, &reg, &params, &rho);
+        let after = denote(&s, &reg, &params, &rho);
+        assert!(before.approx_eq(&after, 1e-10), "{src}\n⇒ {s:?}");
+        assert!(s.gate_count() <= p.gate_count(), "{src}");
+    }
+
+    #[test]
+    fn skip_elimination() {
+        let s = simplified("skip[q1]; q1 *= H; skip[q1]");
+        assert_eq!(s.gate_count(), 1);
+        assert!(matches!(s, Stmt::Unitary { .. }));
+    }
+
+    #[test]
+    fn double_hadamard_cancels() {
+        let s = simplified("q1 *= H; q1 *= H");
+        assert!(matches!(s, Stmt::Skip { .. }));
+    }
+
+    #[test]
+    fn cancellation_cascades() {
+        // X H H X collapses completely: inner pair first, then outer.
+        let s = simplified("q1 *= X; q1 *= H; q1 *= H; q1 *= X");
+        assert!(matches!(s, Stmt::Skip { .. }), "{s:?}");
+    }
+
+    #[test]
+    fn constant_rotations_merge() {
+        let s = simplified("q1 *= RX(0.25); q1 *= RX(0.5)");
+        let Stmt::Unitary { gate: Gate::Rot { angle, .. }, .. } = &s else {
+            panic!("{s:?}")
+        };
+        assert!((angle.offset - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_period_rotations_vanish() {
+        let s = simplified("q1 *= RZ(2*pi); q1 *= RZ(2*pi)");
+        assert!(matches!(s, Stmt::Skip { .. }), "{s:?}");
+        // 2π alone is −I globally — kept, to stay phase-correct under control.
+        let s = simplified("q1 *= RZ(2*pi)");
+        assert!(matches!(s, Stmt::Unitary { .. }));
+    }
+
+    #[test]
+    fn parameterized_rotations_do_not_merge() {
+        let s = simplified("q1 *= RX(a); q1 *= RX(b)");
+        assert_eq!(s.gate_count(), 2);
+    }
+
+    #[test]
+    fn abort_normalisation_truncates() {
+        let s = simplified("q1 *= H; abort[q1]; q1 *= X");
+        assert!(matches!(s, Stmt::Abort { .. }));
+    }
+
+    #[test]
+    fn sum_absorbs_aborting_components() {
+        let s = simplified("abort[q1] + q1 *= H");
+        assert!(matches!(s, Stmt::Unitary { .. }));
+        let s = simplified("abort[q1] + abort[q1]");
+        assert!(matches!(s, Stmt::Abort { .. }));
+    }
+
+    #[test]
+    fn preserves_semantics_on_assorted_programs() {
+        for src in [
+            "q1 *= H; q1 *= H; q1 *= RX(a)",
+            "skip[q1, q2]; q1, q2 *= CNOT; q1, q2 *= CNOT; q2 *= RY(b)",
+            "q1 *= RX(0.3); q1 *= RX(0.7); case M[q1] = 0 -> skip[q1], 1 -> q1 *= X; q1 *= X end",
+            "while[2] M[q1] = 1 do q1 *= H; q1 *= H; q1 *= X done",
+            "q1 *= RZ(2*pi); q1 *= RZ(2*pi); q1 *= RY(a)",
+            "q1 *= H; case M[q1] = 0 -> abort[q1], 1 -> abort[q1] end",
+        ] {
+            semantics_preserved(src, &[("a", 0.9), ("b", -1.2)]);
+        }
+    }
+
+    #[test]
+    fn simplify_before_differentiation_shrinks_derivatives() {
+        // Cancelled gates cannot contribute derivative programs.
+        let p = parse_program("q1 *= H; q1 *= H; q1 *= RX(t); q1 *= RX(0.1); q1 *= RX(0.2)")
+            .unwrap();
+        let s = simplify(&p);
+        assert_eq!(s.gate_count(), 2, "{s:?}");
+    }
+
+    #[test]
+    fn whole_program_of_noops_becomes_skip_over_qvar() {
+        let s = simplified("skip[q1, q2]; q1 *= H; q1 *= H");
+        let Stmt::Skip { qs } = &s else { panic!("{s:?}") };
+        assert_eq!(qs.len(), 2, "register preserved");
+    }
+}

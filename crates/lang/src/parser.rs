@@ -1,0 +1,601 @@
+//! Recursive-descent parser for the concrete syntax.
+//!
+//! Grammar (lowest precedence first; `+` binds looser than `;`, matching the
+//! paper's convention in Section 4.1):
+//!
+//! ```text
+//! program := sum
+//! sum     := seq ('+' seq)*
+//! seq     := atom (';' atom)*
+//! atom    := 'abort' '[' vars ']'
+//!          | 'skip'  '[' vars ']'
+//!          | var ':=' '|0>'
+//!          | vars '*=' GATE ('(' angle ')')?
+//!          | 'case' 'M' '[' vars ']' '=' (INT '->' sum),+ 'end'
+//!          | 'while' '[' INT ']' 'M' '[' var ']' '=' '1' 'do' sum 'done'
+//!          | '(' sum ')'
+//! angle   := ('-')? aterm (('+'|'-') aterm)*
+//! aterm   := INT | FLOAT | 'pi' | NUM '*' 'pi' | 'pi' '/' NUM | IDENT
+//! ```
+
+use crate::ast::{Angle, Gate, Stmt, Var};
+use crate::lexer::{tokenize, LexError, Token, TokenKind};
+use qdp_linalg::Pauli;
+use std::f64::consts::PI;
+use std::fmt;
+
+/// A parse error with byte position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset in the source.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            position: e.position,
+        }
+    }
+}
+
+/// Parses a program from source text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use qdp_lang::parse_program;
+///
+/// let p = parse_program("q1 *= RX(t); q1 *= RY(t)")?;
+/// assert_eq!(p.gate_count(), 2);
+/// # Ok::<(), qdp_lang::parser::ParseError>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<Stmt, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        src_len: src.len(),
+    };
+    let stmt = p.parse_sum()?;
+    if let Some(t) = p.peek() {
+        return Err(ParseError {
+            message: format!("unexpected {} after end of program", t.kind),
+            position: t.start,
+        });
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn position(&self) -> usize {
+        self.peek().map(|t| t.start).unwrap_or(self.src_len)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            position: self.position(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        match self.peek() {
+            Some(t) if &t.kind == kind => Ok(self.advance().expect("peeked")),
+            Some(t) => Err(ParseError {
+                message: format!("expected {kind}, found {}", t.kind),
+                position: t.start,
+            }),
+            None => Err(self.error(format!("expected {kind}, found end of input"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Ident(_),
+                ..
+            }) => {
+                let t = self.advance().expect("peeked");
+                let TokenKind::Ident(name) = t.kind else { unreachable!() };
+                Ok(name)
+            }
+            Some(t) => Err(ParseError {
+                message: format!("expected identifier, found {}", t.kind),
+                position: t.start,
+            }),
+            None => Err(self.error("expected identifier, found end of input")),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<u64, ParseError> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Int(n),
+                ..
+            }) => {
+                let n = *n;
+                self.advance();
+                Ok(n)
+            }
+            Some(t) => Err(ParseError {
+                message: format!("expected integer, found {}", t.kind),
+                position: t.start,
+            }),
+            None => Err(self.error("expected integer, found end of input")),
+        }
+    }
+
+    fn parse_sum(&mut self) -> Result<Stmt, ParseError> {
+        let mut acc = self.parse_seq()?;
+        while matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Plus)) {
+            self.advance();
+            let rhs = self.parse_seq()?;
+            acc = Stmt::Sum(Box::new(acc), Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn parse_seq(&mut self) -> Result<Stmt, ParseError> {
+        let mut stmts = vec![self.parse_atom()?];
+        while matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Semicolon)) {
+            self.advance();
+            stmts.push(self.parse_atom()?);
+        }
+        Ok(Stmt::seq(stmts))
+    }
+
+    fn parse_atom(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::Abort) => {
+                self.advance();
+                let qs = self.parse_bracketed_vars()?;
+                Ok(Stmt::Abort { qs })
+            }
+            Some(TokenKind::Skip) => {
+                self.advance();
+                let qs = self.parse_bracketed_vars()?;
+                Ok(Stmt::Skip { qs })
+            }
+            Some(TokenKind::Case) => self.parse_case(),
+            Some(TokenKind::While) => self.parse_while(),
+            Some(TokenKind::LParen) => {
+                self.advance();
+                let inner = self.parse_sum()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            Some(TokenKind::Ident(_)) => self.parse_init_or_unitary(),
+            Some(other) => Err(self.error(format!("expected a statement, found {other}"))),
+            None => Err(self.error("expected a statement, found end of input")),
+        }
+    }
+
+    fn parse_bracketed_vars(&mut self) -> Result<Vec<Var>, ParseError> {
+        self.expect(&TokenKind::LBracket)?;
+        let vars = self.parse_var_list()?;
+        self.expect(&TokenKind::RBracket)?;
+        Ok(vars)
+    }
+
+    fn parse_var_list(&mut self) -> Result<Vec<Var>, ParseError> {
+        let mut vars = vec![Var::new(self.expect_ident()?)];
+        while matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Comma)) {
+            self.advance();
+            vars.push(Var::new(self.expect_ident()?));
+        }
+        Ok(vars)
+    }
+
+    fn parse_init_or_unitary(&mut self) -> Result<Stmt, ParseError> {
+        // `q := |0>` vs `q(, q)* *= GATE…` — decided by the token after the
+        // first identifier.
+        if matches!(self.peek2().map(|t| &t.kind), Some(TokenKind::Assign)) {
+            let name = self.expect_ident()?;
+            self.expect(&TokenKind::Assign)?;
+            self.expect(&TokenKind::KetZero)?;
+            return Ok(Stmt::init(name.as_str()));
+        }
+        let qs = self.parse_var_list()?;
+        self.expect(&TokenKind::ApplyAssign)?;
+        let mnemonic_pos = self.position();
+        let mnemonic = self.expect_ident()?;
+        let gate = self.parse_gate(&mnemonic, mnemonic_pos)?;
+        if gate.arity() != qs.len() {
+            return Err(ParseError {
+                message: format!(
+                    "gate {} takes {} qubit(s), got {}",
+                    gate.mnemonic(),
+                    gate.arity(),
+                    qs.len()
+                ),
+                position: mnemonic_pos,
+            });
+        }
+        Ok(Stmt::Unitary { gate, qs })
+    }
+
+    fn parse_gate(&mut self, mnemonic: &str, pos: usize) -> Result<Gate, ParseError> {
+        let fixed = match mnemonic {
+            "H" => Some(Gate::H),
+            "X" => Some(Gate::X),
+            "Y" => Some(Gate::Y),
+            "Z" => Some(Gate::Z),
+            "CNOT" => Some(Gate::Cnot),
+            _ => None,
+        };
+        if let Some(g) = fixed {
+            return Ok(g);
+        }
+        // Rotation mnemonics: `C*R(X|Y|Z){1,2}` — one leading `C` per
+        // control qubit, doubled axis for couplings.
+        let controls = mnemonic.chars().take_while(|&c| c == 'C').count();
+        let rest = &mnemonic[controls..];
+        let parsed = match rest {
+            "RX" => Some((Pauli::X, false)),
+            "RY" => Some((Pauli::Y, false)),
+            "RZ" => Some((Pauli::Z, false)),
+            "RXX" => Some((Pauli::X, true)),
+            "RYY" => Some((Pauli::Y, true)),
+            "RZZ" => Some((Pauli::Z, true)),
+            _ => None,
+        };
+        let Some((axis, coupling)) = parsed else {
+            return Err(ParseError {
+                message: format!("unknown gate '{mnemonic}'"),
+                position: pos,
+            });
+        };
+        self.expect(&TokenKind::LParen)?;
+        let angle = self.parse_angle()?;
+        self.expect(&TokenKind::RParen)?;
+        Ok(match (controls, coupling) {
+            (0, false) => Gate::Rot { axis, angle },
+            (0, true) => Gate::Coupling { axis, angle },
+            (k, false) => Gate::CRot {
+                controls: k,
+                axis,
+                angle,
+            },
+            (k, true) => Gate::CCoupling {
+                controls: k,
+                axis,
+                angle,
+            },
+        })
+    }
+
+    fn parse_angle(&mut self) -> Result<Angle, ParseError> {
+        let mut param: Option<String> = None;
+        let mut offset = 0.0f64;
+        let mut sign = 1.0f64;
+        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Minus)) {
+            self.advance();
+            sign = -1.0;
+        }
+        loop {
+            let pos = self.position();
+            match self.peek().map(|t| t.kind.clone()) {
+                Some(TokenKind::Ident(name)) => {
+                    self.advance();
+                    if sign < 0.0 {
+                        return Err(ParseError {
+                            message: "negated parameters are not supported in angles".into(),
+                            position: pos,
+                        });
+                    }
+                    if param.replace(name).is_some() {
+                        return Err(ParseError {
+                            message: "an angle may reference at most one parameter".into(),
+                            position: pos,
+                        });
+                    }
+                }
+                Some(TokenKind::Pi) => {
+                    self.advance();
+                    let mut value = PI;
+                    if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Slash)) {
+                        self.advance();
+                        value /= self.parse_number()?;
+                    }
+                    offset += sign * value;
+                }
+                Some(TokenKind::Int(_)) | Some(TokenKind::Float(_)) => {
+                    let mut value = self.parse_number()?;
+                    if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Star)) {
+                        self.advance();
+                        self.expect(&TokenKind::Pi)?;
+                        value *= PI;
+                        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Slash)) {
+                            self.advance();
+                            value /= self.parse_number()?;
+                        }
+                    }
+                    offset += sign * value;
+                }
+                _ => return Err(self.error("expected an angle term")),
+            }
+            match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Plus) => {
+                    self.advance();
+                    sign = 1.0;
+                }
+                Some(TokenKind::Minus) => {
+                    self.advance();
+                    sign = -1.0;
+                }
+                _ => break,
+            }
+        }
+        Ok(Angle { param, offset })
+    }
+
+    fn parse_number(&mut self) -> Result<f64, ParseError> {
+        match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::Int(n)) => {
+                self.advance();
+                Ok(n as f64)
+            }
+            Some(TokenKind::Float(x)) => {
+                self.advance();
+                Ok(x)
+            }
+            _ => Err(self.error("expected a number")),
+        }
+    }
+
+    fn parse_case(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&TokenKind::Case)?;
+        self.expect(&TokenKind::Meas)?;
+        let qs = self.parse_bracketed_vars()?;
+        self.expect(&TokenKind::Equals)?;
+        let expected_arms = 1usize << qs.len();
+        let mut arms: Vec<Stmt> = Vec::with_capacity(expected_arms);
+        loop {
+            let label_pos = self.position();
+            let label = self.expect_int()? as usize;
+            if label != arms.len() {
+                return Err(ParseError {
+                    message: format!(
+                        "case arms must be labelled consecutively from 0; expected {}, found {label}",
+                        arms.len()
+                    ),
+                    position: label_pos,
+                });
+            }
+            self.expect(&TokenKind::Arrow)?;
+            arms.push(self.parse_sum()?);
+            match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Comma) => {
+                    self.advance();
+                }
+                Some(TokenKind::End) => break,
+                Some(other) => {
+                    let other = other.clone();
+                    return Err(self.error(format!("expected ',' or 'end' in case, found {other}")));
+                }
+                None => return Err(self.error("unterminated case statement")),
+            }
+        }
+        self.expect(&TokenKind::End)?;
+        if arms.len() != expected_arms {
+            return Err(self.error(format!(
+                "case over {} qubit(s) needs {expected_arms} arms, found {}",
+                qs.len(),
+                arms.len()
+            )));
+        }
+        Ok(Stmt::Case { qs, arms })
+    }
+
+    fn parse_while(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&TokenKind::While)?;
+        self.expect(&TokenKind::LBracket)?;
+        let bound_pos = self.position();
+        let bound = self.expect_int()?;
+        if bound == 0 {
+            return Err(ParseError {
+                message: "while bound must be at least 1".into(),
+                position: bound_pos,
+            });
+        }
+        self.expect(&TokenKind::RBracket)?;
+        self.expect(&TokenKind::Meas)?;
+        self.expect(&TokenKind::LBracket)?;
+        let q = Var::new(self.expect_ident()?);
+        self.expect(&TokenKind::RBracket)?;
+        self.expect(&TokenKind::Equals)?;
+        let one_pos = self.position();
+        if self.expect_int()? != 1 {
+            return Err(ParseError {
+                message: "while guards have the form M[q] = 1".into(),
+                position: one_pos,
+            });
+        }
+        self.expect(&TokenKind::Do)?;
+        let body = self.parse_sum()?;
+        self.expect(&TokenKind::Done)?;
+        Ok(Stmt::While {
+            q,
+            bound: bound as u32,
+            body: Box::new(body),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_init_and_unitary() {
+        let p = parse_program("q1 := |0>; q1 *= RX(t)").unwrap();
+        let Stmt::Seq(a, b) = p else { panic!() };
+        assert!(matches!(*a, Stmt::Init { .. }));
+        let Stmt::Unitary { gate, qs } = *b else { panic!() };
+        assert_eq!(gate.mnemonic(), "RX");
+        assert_eq!(qs, vec![Var::new("q1")]);
+    }
+
+    #[test]
+    fn parses_all_gate_mnemonics() {
+        for (src, arity) in [
+            ("q1 *= H", 1),
+            ("q1 *= X", 1),
+            ("q1 *= RY(a)", 1),
+            ("q1, q2 *= RZZ(a)", 2),
+            ("q1, q2 *= CRX(a)", 2),
+            ("q1, q2 *= CNOT", 2),
+            ("a, q1, q2 *= CRYY(b)", 3),
+        ] {
+            let p = parse_program(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+            let Stmt::Unitary { gate, qs } = p else { panic!("{src}") };
+            assert_eq!(gate.arity(), arity, "{src}");
+            assert_eq!(qs.len(), arity, "{src}");
+        }
+    }
+
+    #[test]
+    fn parses_angle_forms() {
+        for (src, expected_param, expected_offset) in [
+            ("q *= RX(t)", Some("t"), 0.0),
+            ("q *= RX(t + pi)", Some("t"), PI),
+            ("q *= RX(t - pi/2)", Some("t"), -PI / 2.0),
+            ("q *= RX(pi)", None, PI),
+            ("q *= RX(2*pi)", None, 2.0 * PI),
+            ("q *= RX(0.5)", None, 0.5),
+            ("q *= RX(-0.5)", None, -0.5),
+            ("q *= RX(pi/4 + t)", Some("t"), PI / 4.0),
+        ] {
+            let p = parse_program(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+            let Stmt::Unitary { gate, .. } = p else { panic!() };
+            let angle = gate.angle().unwrap();
+            assert_eq!(angle.param.as_deref(), expected_param, "{src}");
+            assert!((angle.offset - expected_offset).abs() < 1e-12, "{src}");
+        }
+    }
+
+    #[test]
+    fn plus_binds_looser_than_semicolon() {
+        let p = parse_program("a := |0>; b := |0> + c := |0>; d := |0>").unwrap();
+        let Stmt::Sum(lhs, rhs) = p else { panic!("expected sum at top") };
+        assert!(matches!(*lhs, Stmt::Seq(..)));
+        assert!(matches!(*rhs, Stmt::Seq(..)));
+    }
+
+    #[test]
+    fn sum_is_left_associative() {
+        let p = parse_program("a := |0> + b := |0> + c := |0>").unwrap();
+        let Stmt::Sum(lhs, _) = p else { panic!() };
+        assert!(matches!(*lhs, Stmt::Sum(..)));
+    }
+
+    #[test]
+    fn parses_case_with_arms() {
+        let p = parse_program(
+            "case M[q1] = 0 -> skip[q1], 1 -> q1 *= RZ(t) end",
+        )
+        .unwrap();
+        let Stmt::Case { qs, arms } = p else { panic!() };
+        assert_eq!(qs.len(), 1);
+        assert_eq!(arms.len(), 2);
+    }
+
+    #[test]
+    fn parses_two_qubit_case() {
+        let p = parse_program(
+            "case M[q1, q2] = 0 -> skip[q1], 1 -> skip[q1], 2 -> skip[q1], 3 -> abort[q1] end",
+        )
+        .unwrap();
+        let Stmt::Case { arms, .. } = p else { panic!() };
+        assert_eq!(arms.len(), 4);
+    }
+
+    #[test]
+    fn rejects_incomplete_case() {
+        let err = parse_program("case M[q1, q2] = 0 -> skip[q1], 1 -> skip[q1] end").unwrap_err();
+        assert!(err.message.contains("needs 4 arms"), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_order_arms() {
+        let err = parse_program("case M[q1] = 1 -> skip[q1], 0 -> skip[q1] end").unwrap_err();
+        assert!(err.message.contains("consecutively"), "{err}");
+    }
+
+    #[test]
+    fn parses_while_loop() {
+        let p = parse_program("while[2] M[q1] = 1 do q1 *= RX(t) done").unwrap();
+        let Stmt::While { q, bound, .. } = p else { panic!() };
+        assert_eq!(q, Var::new("q1"));
+        assert_eq!(bound, 2);
+    }
+
+    #[test]
+    fn rejects_zero_bound_while() {
+        let err = parse_program("while[0] M[q1] = 1 do skip[q1] done").unwrap_err();
+        assert!(err.message.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let err = parse_program("q1 *= CNOT").unwrap_err();
+        assert!(err.message.contains("takes 2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let err = parse_program("q1 *= WUMBO(t)").unwrap_err();
+        assert!(err.message.contains("unknown gate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let err = parse_program("skip[q1] skip[q2]").unwrap_err();
+        assert!(err.message.contains("after end of program"), "{err}");
+    }
+
+    #[test]
+    fn parens_group_sums() {
+        let p = parse_program("a := |0>; (b := |0> + c := |0>)").unwrap();
+        let Stmt::Seq(_, rhs) = p else { panic!() };
+        assert!(matches!(*rhs, Stmt::Sum(..)));
+    }
+}

@@ -1,0 +1,215 @@
+//! Pretty-printer for the concrete syntax.
+//!
+//! The printer and [`crate::parser`] round-trip: `parse(to_source(p)) == p`
+//! for every well-formed program (property-tested). The paper reports
+//! `#lines` for its benchmark programs (Tables 2–3); [`line_count`] measures
+//! the same quantity on pretty-printed sources.
+
+use crate::ast::{Stmt, Var};
+use std::fmt::Write as _;
+
+/// Renders a program in concrete syntax.
+///
+/// # Examples
+///
+/// ```
+/// use qdp_lang::ast::Stmt;
+/// use qdp_linalg::Pauli;
+///
+/// let p = Stmt::seq([
+///     Stmt::rot(Pauli::X, "t", "q1"),
+///     Stmt::rot(Pauli::Y, "t", "q1"),
+/// ]);
+/// assert_eq!(qdp_lang::pretty::to_source(&p), "q1 *= RX(t);\nq1 *= RY(t)");
+/// ```
+pub fn to_source(stmt: &Stmt) -> String {
+    let mut out = String::new();
+    write_stmt(&mut out, stmt, 0, Prec::Top);
+    out
+}
+
+/// Number of non-empty lines in the pretty-printed source — the `#lines`
+/// metric of the paper's tables.
+pub fn line_count(stmt: &Stmt) -> usize {
+    to_source(stmt).lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+/// Ambient precedence: whether parentheses are needed around `+` / `;`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Prec {
+    /// Top level or case-arm level: both `+` and `;` print bare.
+    Top,
+    /// Inside a sequence operand: `+` needs parentheses.
+    Seq,
+    /// Inside a sum operand on the left: `+` is left-associative so a left
+    /// child `+` prints bare, a right child needs parentheses.
+    SumRight,
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_vars(out: &mut String, qs: &[Var]) {
+    for (i, q) in qs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{q}");
+    }
+}
+
+fn write_stmt(out: &mut String, stmt: &Stmt, level: usize, prec: Prec) {
+    match stmt {
+        Stmt::Abort { qs } => {
+            indent(out, level);
+            out.push_str("abort[");
+            write_vars(out, qs);
+            out.push(']');
+        }
+        Stmt::Skip { qs } => {
+            indent(out, level);
+            out.push_str("skip[");
+            write_vars(out, qs);
+            out.push(']');
+        }
+        Stmt::Init { q } => {
+            indent(out, level);
+            let _ = write!(out, "{q} := |0>");
+        }
+        Stmt::Unitary { gate, qs } => {
+            indent(out, level);
+            write_vars(out, qs);
+            let _ = write!(out, " *= {}", gate.mnemonic());
+            if let Some(angle) = gate.angle() {
+                let _ = write!(out, "({angle})");
+            }
+        }
+        Stmt::Seq(a, b) => {
+            write_stmt(out, a, level, Prec::Seq);
+            out.push_str(";\n");
+            write_stmt(out, b, level, Prec::Seq);
+        }
+        Stmt::Sum(a, b) => {
+            let parens = prec == Prec::Seq || prec == Prec::SumRight;
+            if parens {
+                indent(out, level);
+                out.push_str("(\n");
+                write_stmt(out, a, level + 1, Prec::Top);
+                out.push_str("\n");
+                indent(out, level + 1);
+                out.push_str("+\n");
+                write_stmt(out, b, level + 1, Prec::SumRight);
+                out.push('\n');
+                indent(out, level);
+                out.push(')');
+            } else {
+                write_stmt(out, a, level, Prec::Top);
+                out.push('\n');
+                indent(out, level);
+                out.push_str("+\n");
+                write_stmt(out, b, level, Prec::SumRight);
+            }
+        }
+        Stmt::Case { qs, arms } => {
+            indent(out, level);
+            out.push_str("case M[");
+            write_vars(out, qs);
+            out.push_str("] =\n");
+            for (m, arm) in arms.iter().enumerate() {
+                indent(out, level + 1);
+                let _ = write!(out, "{m} ->\n");
+                write_stmt(out, arm, level + 2, Prec::Top);
+                if m + 1 < arms.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            indent(out, level);
+            out.push_str("end");
+        }
+        Stmt::While { q, bound, body } => {
+            indent(out, level);
+            let _ = write!(out, "while[{bound}] M[{q}] = 1 do\n");
+            write_stmt(out, body, level + 1, Prec::Top);
+            out.push('\n');
+            indent(out, level);
+            out.push_str("done");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Angle, Gate};
+    use qdp_linalg::Pauli;
+
+    #[test]
+    fn atomic_statements_render() {
+        assert_eq!(to_source(&Stmt::init("q1")), "q1 := |0>");
+        assert_eq!(
+            to_source(&Stmt::abort([Var::new("q1"), Var::new("q2")])),
+            "abort[q1, q2]"
+        );
+        assert_eq!(to_source(&Stmt::skip([Var::new("a")])), "skip[a]");
+    }
+
+    #[test]
+    fn parameterized_gates_render_with_angles() {
+        let s = Stmt::unitary(
+            Gate::CRot {
+                controls: 1,
+                axis: Pauli::Z,
+                angle: Angle::param("t").shifted(std::f64::consts::PI),
+            },
+            [Var::new("A"), Var::new("q1")],
+        );
+        assert_eq!(to_source(&s), "A, q1 *= CRZ(t + pi)");
+        let s = Stmt::unitary(
+            Gate::CRot {
+                controls: 2,
+                axis: Pauli::X,
+                angle: Angle::param("t"),
+            },
+            [Var::new("A2"), Var::new("A1"), Var::new("q1")],
+        );
+        assert_eq!(to_source(&s), "A2, A1, q1 *= CCRX(t)");
+    }
+
+    #[test]
+    fn sequences_are_semicolon_separated_lines() {
+        let p = Stmt::seq([Stmt::init("a"), Stmt::init("b"), Stmt::init("c")]);
+        assert_eq!(to_source(&p), "a := |0>;\nb := |0>;\nc := |0>");
+        assert_eq!(line_count(&p), 3);
+    }
+
+    #[test]
+    fn sums_inside_sequences_get_parenthesised() {
+        let sum = Stmt::sum([Stmt::init("a"), Stmt::init("b")]);
+        let p = Stmt::seq([Stmt::init("c"), sum]);
+        let src = to_source(&p);
+        assert!(src.contains('('), "needs parens: {src}");
+        assert!(src.contains(')'));
+    }
+
+    #[test]
+    fn case_renders_all_arms() {
+        let p = Stmt::case_qubit("q1", Stmt::skip([Var::new("q1")]), Stmt::init("q1"));
+        let src = to_source(&p);
+        assert!(src.starts_with("case M[q1] ="));
+        assert!(src.contains("0 ->"));
+        assert!(src.contains("1 ->"));
+        assert!(src.trim_end().ends_with("end"));
+    }
+
+    #[test]
+    fn while_renders_bound_and_guard() {
+        let p = Stmt::while_bounded("q2", 3, Stmt::skip([Var::new("q2")]));
+        let src = to_source(&p);
+        assert!(src.starts_with("while[3] M[q2] = 1 do"));
+        assert!(src.trim_end().ends_with("done"));
+    }
+}

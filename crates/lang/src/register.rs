@@ -1,0 +1,187 @@
+//! Mapping between quantum variables and simulator qubit indices.
+
+use crate::ast::{Stmt, Var};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ordered register assigning each [`Var`] a qubit index.
+///
+/// The paper's Hilbert space `Hv = ⊗_{q∈v} Hq` is an unordered tensor
+/// product; simulation needs a concrete order. [`Register::from_program`]
+/// uses the order of first appearance, which matches the intuitive reading
+/// of the benchmark programs.
+///
+/// # Examples
+///
+/// ```
+/// use qdp_lang::{parse_program, Register};
+///
+/// let p = parse_program("q2 *= RX(t); q1 *= RY(t)")?;
+/// let reg = Register::from_program(&p);
+/// assert_eq!(reg.index_of(&"q2".into()), Some(0));
+/// assert_eq!(reg.index_of(&"q1".into()), Some(1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Register {
+    vars: Vec<Var>,
+    index: BTreeMap<Var, usize>,
+}
+
+impl Register {
+    /// Creates a register from an ordered list of distinct variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate variables.
+    pub fn from_vars<I>(vars: I) -> Self
+    where
+        I: IntoIterator<Item = Var>,
+    {
+        let vars: Vec<Var> = vars.into_iter().collect();
+        let mut index = BTreeMap::new();
+        for (i, v) in vars.iter().enumerate() {
+            let prev = index.insert(v.clone(), i);
+            assert!(prev.is_none(), "duplicate variable '{v}' in register");
+        }
+        Register { vars, index }
+    }
+
+    /// Creates a register from a program's variables in order of first
+    /// appearance.
+    pub fn from_program(stmt: &Stmt) -> Self {
+        let mut vars: Vec<Var> = Vec::new();
+        stmt.visit(&mut |s| {
+            let qs: Vec<Var> = match s {
+                Stmt::Abort { qs } | Stmt::Skip { qs } | Stmt::Unitary { qs, .. } => qs.clone(),
+                Stmt::Init { q } => vec![q.clone()],
+                Stmt::Case { qs, .. } => qs.clone(),
+                Stmt::While { q, .. } => vec![q.clone()],
+                _ => vec![],
+            };
+            for q in qs {
+                if !vars.contains(&q) {
+                    vars.push(q);
+                }
+            }
+        });
+        Register::from_vars(vars)
+    }
+
+    /// Number of qubits.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Returns `true` when the register is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// The index of a variable, if present.
+    pub fn index_of(&self, v: &Var) -> Option<usize> {
+        self.index.get(v).copied()
+    }
+
+    /// The indices of an operand list, in operand order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a variable is not in the register.
+    pub fn indices_of(&self, qs: &[Var]) -> Vec<usize> {
+        qs.iter()
+            .map(|q| {
+                self.index_of(q)
+                    .unwrap_or_else(|| panic!("variable '{q}' not in register"))
+            })
+            .collect()
+    }
+
+    /// Variables in index order.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Returns `true` when the register contains `v`.
+    pub fn contains(&self, v: &Var) -> bool {
+        self.index.contains_key(v)
+    }
+
+    /// A new register with `ancilla` prepended as qubit 0 (all existing
+    /// indices shift up by one) — matching
+    /// [`qdp_sim::DensityMatrix::prepend_zero_ancilla`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ancilla name collides with an existing variable.
+    pub fn with_ancilla_front(&self, ancilla: Var) -> Register {
+        assert!(
+            !self.contains(&ancilla),
+            "ancilla '{ancilla}' collides with an existing variable"
+        );
+        let mut vars = Vec::with_capacity(self.len() + 1);
+        vars.push(ancilla);
+        vars.extend(self.vars.iter().cloned());
+        Register::from_vars(vars)
+    }
+}
+
+impl fmt::Display for Register {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdp_linalg::Pauli;
+
+    #[test]
+    fn from_program_uses_first_appearance_order() {
+        let p = Stmt::seq([
+            Stmt::rot(Pauli::X, "t", "b"),
+            Stmt::coupling(Pauli::Z, "t", "a", "c"),
+            Stmt::rot(Pauli::Y, "t", "a"),
+        ]);
+        let reg = Register::from_program(&p);
+        assert_eq!(reg.vars(), &[Var::new("b"), Var::new("a"), Var::new("c")]);
+        assert_eq!(reg.indices_of(&[Var::new("a"), Var::new("c")]), vec![1, 2]);
+    }
+
+    #[test]
+    fn ancilla_prepends_and_shifts() {
+        let reg = Register::from_vars([Var::new("q1"), Var::new("q2")]);
+        let ext = reg.with_ancilla_front(Var::new("A"));
+        assert_eq!(ext.index_of(&Var::new("A")), Some(0));
+        assert_eq!(ext.index_of(&Var::new("q1")), Some(1));
+        assert_eq!(ext.index_of(&Var::new("q2")), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn ancilla_collision_panics() {
+        let reg = Register::from_vars([Var::new("A")]);
+        let _ = reg.with_ancilla_front(Var::new("A"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in register")]
+    fn missing_variable_panics() {
+        let reg = Register::from_vars([Var::new("q1")]);
+        let _ = reg.indices_of(&[Var::new("nope")]);
+    }
+
+    #[test]
+    fn display_lists_variables() {
+        let reg = Register::from_vars([Var::new("x"), Var::new("y")]);
+        assert_eq!(reg.to_string(), "[x, y]");
+    }
+}

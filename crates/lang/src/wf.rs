@@ -1,0 +1,209 @@
+//! Well-formedness checking for programs.
+//!
+//! The syntax of Section 3.1 carries side conditions that the AST cannot
+//! express: registers are *sets* of distinct variables, `case` statements
+//! provide one arm per measurement outcome, and `while` bounds are positive.
+//! [`check`] validates them all; the semantics modules assume (and
+//! `debug_assert`) well-formed input.
+
+use crate::ast::{Stmt, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A well-formedness violation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WfError {
+    /// The same variable appears twice in one operand list.
+    DuplicateVariable {
+        /// The repeated variable.
+        var: Var,
+        /// Rendering of the offending statement.
+        context: String,
+    },
+    /// A gate was applied to the wrong number of qubits.
+    ArityMismatch {
+        /// Gate mnemonic.
+        gate: String,
+        /// Expected operand count.
+        expected: usize,
+        /// Actual operand count.
+        found: usize,
+    },
+    /// A `case` has the wrong number of arms for its measured register.
+    ArmCountMismatch {
+        /// Number of measured qubits.
+        qubits: usize,
+        /// Expected `2^qubits` arms.
+        expected: usize,
+        /// Actual arm count.
+        found: usize,
+    },
+    /// A `while` has bound zero.
+    ZeroBound,
+}
+
+impl fmt::Display for WfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WfError::DuplicateVariable { var, context } => {
+                write!(f, "variable '{var}' repeated in {context}")
+            }
+            WfError::ArityMismatch {
+                gate,
+                expected,
+                found,
+            } => write!(f, "gate {gate} takes {expected} qubit(s), got {found}"),
+            WfError::ArmCountMismatch {
+                qubits,
+                expected,
+                found,
+            } => write!(
+                f,
+                "case over {qubits} qubit(s) needs {expected} arms, found {found}"
+            ),
+            WfError::ZeroBound => write!(f, "while bound must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for WfError {}
+
+/// Checks all well-formedness conditions on a (normal or additive) program.
+///
+/// # Errors
+///
+/// Returns the first violation found in a pre-order walk.
+///
+/// # Examples
+///
+/// ```
+/// use qdp_lang::{parse_program, wf};
+///
+/// let p = parse_program("q1 *= RX(t); q1 *= RY(t)")?;
+/// wf::check(&p)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn check(stmt: &Stmt) -> Result<(), WfError> {
+    match stmt {
+        Stmt::Abort { qs } | Stmt::Skip { qs } => check_distinct(qs, stmt),
+        Stmt::Init { .. } => Ok(()),
+        Stmt::Unitary { gate, qs } => {
+            check_distinct(qs, stmt)?;
+            if gate.arity() != qs.len() {
+                return Err(WfError::ArityMismatch {
+                    gate: gate.mnemonic(),
+                    expected: gate.arity(),
+                    found: qs.len(),
+                });
+            }
+            Ok(())
+        }
+        Stmt::Seq(a, b) | Stmt::Sum(a, b) => {
+            check(a)?;
+            check(b)
+        }
+        Stmt::Case { qs, arms } => {
+            check_distinct(qs, stmt)?;
+            let expected = 1usize << qs.len();
+            if arms.len() != expected {
+                return Err(WfError::ArmCountMismatch {
+                    qubits: qs.len(),
+                    expected,
+                    found: arms.len(),
+                });
+            }
+            for arm in arms {
+                check(arm)?;
+            }
+            Ok(())
+        }
+        Stmt::While { bound, body, .. } => {
+            if *bound == 0 {
+                return Err(WfError::ZeroBound);
+            }
+            check(body)
+        }
+    }
+}
+
+fn check_distinct(qs: &[Var], stmt: &Stmt) -> Result<(), WfError> {
+    let mut seen = BTreeSet::new();
+    for q in qs {
+        if !seen.insert(q) {
+            return Err(WfError::DuplicateVariable {
+                var: q.clone(),
+                context: format!("{stmt:?}").chars().take(60).collect(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Gate;
+    use qdp_linalg::Pauli;
+
+    #[test]
+    fn accepts_well_formed_programs() {
+        let p = Stmt::seq([
+            Stmt::init("q1"),
+            Stmt::rot(Pauli::X, "t", "q1"),
+            Stmt::coupling(Pauli::Z, "t", "q1", "q2"),
+            Stmt::case_qubit("q1", Stmt::skip([Var::new("q2")]), Stmt::abort([Var::new("q2")])),
+            Stmt::while_bounded("q2", 2, Stmt::rot(Pauli::Y, "s", "q1")),
+        ]);
+        assert!(check(&p).is_ok());
+    }
+
+    #[test]
+    fn rejects_duplicate_operands() {
+        let p = Stmt::Unitary {
+            gate: Gate::Cnot,
+            qs: vec![Var::new("q1"), Var::new("q1")],
+        };
+        assert!(matches!(check(&p), Err(WfError::DuplicateVariable { .. })));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let p = Stmt::Unitary {
+            gate: Gate::H,
+            qs: vec![Var::new("q1"), Var::new("q2")],
+        };
+        assert!(matches!(check(&p), Err(WfError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_arm_count() {
+        let p = Stmt::Case {
+            qs: vec![Var::new("q1")],
+            arms: vec![Stmt::skip([Var::new("q1")])],
+        };
+        assert!(matches!(check(&p), Err(WfError::ArmCountMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_zero_bound() {
+        let p = Stmt::While {
+            q: Var::new("q1"),
+            bound: 0,
+            body: Box::new(Stmt::skip([Var::new("q1")])),
+        };
+        assert_eq!(check(&p), Err(WfError::ZeroBound));
+    }
+
+    #[test]
+    fn checks_recursively_inside_sums() {
+        let bad = Stmt::Unitary {
+            gate: Gate::H,
+            qs: vec![],
+        };
+        let p = Stmt::Sum(
+            Box::new(Stmt::skip([Var::new("q1")])),
+            Box::new(bad),
+        );
+        assert!(check(&p).is_err());
+    }
+}

@@ -1,0 +1,380 @@
+//! Double-precision complex numbers.
+//!
+//! The approved dependency set for this reproduction does not include
+//! `num-complex`, so the workspace carries its own minimal-but-complete
+//! implementation. Only `f64` precision is provided; quantum simulation in
+//! this project never needs anything else.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use qdp_linalg::C64;
+///
+/// let i = C64::I;
+/// assert_eq!(i * i, C64::new(-1.0, 0.0));
+/// assert_eq!(C64::new(3.0, 4.0).abs(), 5.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Creates a purely imaginary complex number.
+    #[inline]
+    pub const fn imag(im: f64) -> Self {
+        C64 { re: 0.0, im }
+    }
+
+    /// Creates `exp(i·phi)` — a unit-modulus complex number with phase `phi`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qdp_linalg::C64;
+    /// let z = C64::cis(std::f64::consts::PI);
+    /// assert!((z - C64::new(-1.0, 0.0)).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn cis(phi: f64) -> Self {
+        C64 {
+            re: phi.cos(),
+            im: phi.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns a non-finite number when `self` is zero, mirroring `f64`
+    /// division semantics.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        C64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// Complex exponential `exp(z)`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        C64::cis(self.im).scale(self.re.exp())
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let theta = self.arg();
+        C64::cis(theta / 2.0).scale(r.sqrt())
+    }
+
+    /// Returns `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Approximate equality within absolute tolerance `tol` (per component
+    /// distance measured as modulus of the difference).
+    #[inline]
+    pub fn approx_eq(self, other: C64, tol: f64) -> bool {
+        (self - other).abs() <= tol
+    }
+
+    /// Fused multiply-add: `self + a * b`, written to make the hot kernels in
+    /// the simulator read naturally.
+    #[inline]
+    pub fn mul_add(self, a: C64, b: C64) -> Self {
+        C64 {
+            re: self.re + a.re * b.re - a.im * b.im,
+            im: self.im + a.re * b.im + a.im * b.re,
+        }
+    }
+}
+
+impl fmt::Debug for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im == 0.0 {
+            write!(f, "{}", self.re)
+        } else if self.re == 0.0 {
+            write!(f, "{}i", self.im)
+        } else if self.im < 0.0 {
+            write!(f, "{}{}i", self.re, self.im)
+        } else {
+            write!(f, "{}+{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.recip()
+    }
+}
+
+impl DivAssign for C64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: C64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        C64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a C64> for C64 {
+    fn sum<I: Iterator<Item = &'a C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |acc, z| acc + *z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn constants_behave() {
+        assert_eq!(C64::ZERO + C64::ONE, C64::ONE);
+        assert_eq!(C64::I * C64::I, -C64::ONE);
+        assert_eq!(C64::ONE.conj(), C64::ONE);
+        assert_eq!(C64::I.conj(), -C64::I);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = C64::new(2.5, -1.5);
+        let w = C64::new(-0.5, 3.0);
+        assert!((z + w - w).approx_eq(z, 1e-15));
+        assert!((z * w / w).approx_eq(z, 1e-12));
+        assert!((z * z.recip()).approx_eq(C64::ONE, 1e-12));
+        assert_eq!(-(-z), z);
+    }
+
+    #[test]
+    fn modulus_and_phase() {
+        let z = C64::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert!((C64::I.arg() - FRAC_PI_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cis_and_exp_agree() {
+        for k in 0..8 {
+            let phi = k as f64 * PI / 4.0;
+            assert!(C64::cis(phi).approx_eq(C64::imag(phi).exp(), 1e-14));
+        }
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let zs = [
+            C64::new(1.0, 1.0),
+            C64::new(-2.0, 0.5),
+            C64::new(0.0, -3.0),
+            C64::new(4.0, 0.0),
+        ];
+        for z in zs {
+            let r = z.sqrt();
+            assert!((r * r).approx_eq(z, 1e-12), "sqrt({z})² = {} ≠ {z}", r * r);
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_expanded_form() {
+        let acc = C64::new(0.25, -0.75);
+        let a = C64::new(1.5, 2.0);
+        let b = C64::new(-0.5, 0.25);
+        assert!(acc.mul_add(a, b).approx_eq(acc + a * b, 1e-15));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let zs = vec![C64::ONE, C64::I, C64::new(1.0, 1.0)];
+        let s: C64 = zs.iter().sum();
+        assert_eq!(s, C64::new(2.0, 2.0));
+        let s2: C64 = zs.into_iter().sum();
+        assert_eq!(s2, C64::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(C64::real(2.0).to_string(), "2");
+        assert_eq!(C64::imag(-1.0).to_string(), "-1i");
+        assert_eq!(C64::new(1.0, 1.0).to_string(), "1+1i");
+        assert_eq!(C64::new(1.0, -1.0).to_string(), "1-1i");
+    }
+
+    #[test]
+    fn scale_and_div_by_real() {
+        let z = C64::new(2.0, -4.0);
+        assert_eq!(z.scale(0.5), C64::new(1.0, -2.0));
+        assert_eq!(z / 2.0, C64::new(1.0, -2.0));
+        assert_eq!(2.0 * z, C64::new(4.0, -8.0));
+    }
+}

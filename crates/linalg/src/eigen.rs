@@ -1,0 +1,267 @@
+//! Eigendecomposition of Hermitian matrices via the cyclic Jacobi method.
+//!
+//! Observables in the paper (Section 5) are Hermitian operators `O`; turning
+//! an observable into a projective measurement requires its spectral
+//! decomposition `O = Σm λm |ψm⟩⟨ψm|`. The matrices involved are small (the
+//! simulated systems have at most a handful of qubits), so the classical
+//! Jacobi iteration — quadratically convergent and unconditionally stable for
+//! Hermitian input — is the right tool.
+
+use crate::complex::C64;
+use crate::matrix::Matrix;
+
+/// Result of a Hermitian eigendecomposition `A = V · diag(λ) · V†`.
+///
+/// Eigenvalues are sorted in ascending order; the `k`-th column of
+/// [`eigenvectors`](Self::eigenvectors) is the eigenvector for
+/// `eigenvalues[k]`.
+///
+/// # Examples
+///
+/// ```
+/// use qdp_linalg::{HermitianEigen, Matrix};
+///
+/// let eig = HermitianEigen::decompose(&Matrix::pauli_z());
+/// assert!((eig.eigenvalues[0] + 1.0).abs() < 1e-12);
+/// assert!((eig.eigenvalues[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HermitianEigen {
+    /// Real eigenvalues in ascending order.
+    pub eigenvalues: Vec<f64>,
+    /// Unitary matrix whose columns are the corresponding eigenvectors.
+    pub eigenvectors: Matrix,
+}
+
+impl HermitianEigen {
+    /// Decomposes a Hermitian matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or departs from Hermitian symmetry
+    /// by more than `1e-8` in any entry.
+    pub fn decompose(a: &Matrix) -> HermitianEigen {
+        assert!(a.is_square(), "eigendecomposition requires a square matrix");
+        assert!(
+            a.is_hermitian(1e-8),
+            "eigendecomposition requires a Hermitian matrix"
+        );
+        let n = a.rows();
+        let mut m = a.clone();
+        let mut v = Matrix::identity(n);
+
+        const MAX_SWEEPS: usize = 100;
+        let tol = 1e-14 * (1.0 + a.frobenius_norm());
+        for _ in 0..MAX_SWEEPS {
+            if off_diagonal_norm(&m) < tol {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    jacobi_rotate(&mut m, &mut v, p, q);
+                }
+            }
+        }
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let diag: Vec<f64> = (0..n).map(|i| m.get(i, i).re).collect();
+        order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).expect("NaN eigenvalue"));
+
+        let eigenvalues = order.iter().map(|&i| diag[i]).collect();
+        let mut eigenvectors = Matrix::zeros(n, n);
+        for (new_col, &old_col) in order.iter().enumerate() {
+            for r in 0..n {
+                eigenvectors.set(r, new_col, v.get(r, old_col));
+            }
+        }
+        HermitianEigen {
+            eigenvalues,
+            eigenvectors,
+        }
+    }
+
+    /// Reconstructs `V · diag(λ) · V†`; useful for validation.
+    pub fn reconstruct(&self) -> Matrix {
+        let d = Matrix::diagonal(
+            &self
+                .eigenvalues
+                .iter()
+                .map(|&l| C64::real(l))
+                .collect::<Vec<_>>(),
+        );
+        self.eigenvectors.mul(&d).mul(&self.eigenvectors.dagger())
+    }
+
+    /// The spectral projectors `|ψm⟩⟨ψm|` paired with their eigenvalues.
+    pub fn spectral_projectors(&self) -> Vec<(f64, Matrix)> {
+        let n = self.eigenvalues.len();
+        (0..n)
+            .map(|k| {
+                let col: Vec<C64> = (0..n).map(|r| self.eigenvectors.get(r, k)).collect();
+                let v = crate::vector::CVector::new(col);
+                (self.eigenvalues[k], Matrix::outer(&v, &v))
+            })
+            .collect()
+    }
+}
+
+/// Square root of the sum of squared moduli of strictly off-diagonal entries.
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                s += m.get(i, j).norm_sqr();
+            }
+        }
+    }
+    s.sqrt()
+}
+
+/// One complex Jacobi rotation zeroing the `(p, q)` entry of `m`, with the
+/// accumulated unitary written into `v`.
+fn jacobi_rotate(m: &mut Matrix, v: &mut Matrix, p: usize, q: usize) {
+    let apq = m.get(p, q);
+    let r = apq.abs();
+    if r < 1e-300 {
+        return;
+    }
+    let app = m.get(p, p).re;
+    let aqq = m.get(q, q).re;
+
+    // Phase factor w = e^{iφ} = apq/|apq|. Conjugating by W = diag(1, w̄)
+    // turns the 2×2 block [[app, r·w], [r·w̄, aqq]] into the real symmetric
+    // [[app, r], [r, aqq]].
+    let w_conj = (apq / r).conj();
+
+    // Classical real Jacobi angle: cot 2θ = (aqq − app) / (2r).
+    let tau = (aqq - app) / (2.0 * r);
+    let t = if tau >= 0.0 {
+        1.0 / (tau + (1.0 + tau * tau).sqrt())
+    } else {
+        -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+
+    // Combined 2×2 unitary V = W · [[c, s], [-s, c]] =
+    // [[c, s], [-w̄·s, w̄·c]]. `vp`/`vq` hold column p and column q of V.
+    let vp = (C64::real(c), w_conj * (-s));
+    let vq = (C64::real(s), w_conj * c);
+
+    let n = m.rows();
+    // Update columns: M ← M · V.
+    for i in 0..n {
+        let mip = m.get(i, p);
+        let miq = m.get(i, q);
+        m.set(i, p, mip * vp.0 + miq * vp.1);
+        m.set(i, q, mip * vq.0 + miq * vq.1);
+    }
+    // Update rows: M ← V† · M.
+    for j in 0..n {
+        let mpj = m.get(p, j);
+        let mqj = m.get(q, j);
+        m.set(p, j, mpj * vp.0.conj() + mqj * vp.1.conj());
+        m.set(q, j, mpj * vq.0.conj() + mqj * vq.1.conj());
+    }
+    // Accumulate eigenvectors: Vacc ← Vacc · V.
+    for i in 0..n {
+        let vip = v.get(i, p);
+        let viq = v.get(i, q);
+        v.set(i, p, vip * vp.0 + viq * vp.1);
+        v.set(i, q, vip * vq.0 + viq * vq.1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_hermitian(n: usize, seed: u64) -> Matrix {
+        // Small deterministic LCG so the test needs no external RNG.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, C64::real(next()));
+            for j in (i + 1)..n {
+                let z = C64::new(next(), next());
+                m.set(i, j, z);
+                m.set(j, i, z.conj());
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn pauli_eigenvalues_are_plus_minus_one() {
+        for m in [Matrix::pauli_x(), Matrix::pauli_y(), Matrix::pauli_z()] {
+            let eig = HermitianEigen::decompose(&m);
+            assert!((eig.eigenvalues[0] + 1.0).abs() < 1e-12);
+            assert!((eig.eigenvalues[1] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        for seed in 1..6u64 {
+            for n in [2usize, 3, 5, 8] {
+                let a = random_hermitian(n, seed * 31 + n as u64);
+                let eig = HermitianEigen::decompose(&a);
+                assert!(
+                    eig.reconstruct().approx_eq(&a, 1e-9),
+                    "reconstruction failed for n={n} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_unitary() {
+        let a = random_hermitian(6, 42);
+        let eig = HermitianEigen::decompose(&a);
+        assert!(eig.eigenvectors.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn eigenvalues_sorted_ascending() {
+        let a = random_hermitian(7, 7);
+        let eig = HermitianEigen::decompose(&a);
+        for w in eig.eigenvalues.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn spectral_projectors_resolve_identity() {
+        let a = random_hermitian(4, 11);
+        let eig = HermitianEigen::decompose(&a);
+        let mut sum = Matrix::zeros(4, 4);
+        for (_, p) in eig.spectral_projectors() {
+            sum = &sum + &p;
+        }
+        assert!(sum.approx_eq(&Matrix::identity(4), 1e-9));
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let d = Matrix::diagonal(&[C64::real(3.0), C64::real(-1.0), C64::real(0.5)]);
+        let eig = HermitianEigen::decompose(&d);
+        assert!((eig.eigenvalues[0] + 1.0).abs() < 1e-12);
+        assert!((eig.eigenvalues[1] - 0.5).abs() < 1e-12);
+        assert!((eig.eigenvalues[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "Hermitian")]
+    fn non_hermitian_input_panics() {
+        let m = Matrix::from_real_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        let _ = HermitianEigen::decompose(&m);
+    }
+}

@@ -1,0 +1,43 @@
+//! # qdp-linalg
+//!
+//! Self-contained complex linear algebra used by the reproduction of
+//! *On the Principles of Differentiable Quantum Programming Languages*
+//! (PLDI 2020).
+//!
+//! The crate provides exactly what the quantum substrate needs and nothing
+//! more:
+//!
+//! * [`C64`] — double-precision complex numbers,
+//! * [`Matrix`] — dense, row-major complex matrices with the operations used
+//!   by quantum semantics (multiplication, Kronecker product, adjoint, trace),
+//! * [`eigen`] — a Jacobi eigensolver for Hermitian matrices (used to turn
+//!   observables into projective measurements, Section 5 of the paper),
+//! * [`pauli`] — the Pauli-string algebra from which parameterized rotations
+//!   are generated.
+//!
+//! # Examples
+//!
+//! ```
+//! use qdp_linalg::{C64, Matrix};
+//!
+//! let h = Matrix::hadamard();
+//! let id = h.mul(&h); // H is self-inverse
+//! assert!(id.approx_eq(&Matrix::identity(2), 1e-12));
+//! assert_eq!(h.get(0, 1), C64::new(std::f64::consts::FRAC_1_SQRT_2, 0.0));
+//! ```
+
+pub mod complex;
+pub mod eigen;
+pub mod matrix;
+pub mod pauli;
+pub mod vector;
+
+pub use complex::C64;
+pub use eigen::HermitianEigen;
+pub use matrix::Matrix;
+pub use pauli::{Pauli, PauliString};
+pub use vector::CVector;
+
+/// Default absolute tolerance used by approximate comparisons in this
+/// workspace.
+pub const EPS: f64 = 1e-10;

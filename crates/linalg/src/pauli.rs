@@ -1,0 +1,298 @@
+//! The Pauli group: single-qubit Paulis and Pauli strings.
+//!
+//! The paper's parameterized gates are rotations `Rσ(θ) = exp(-iθσ/2)` where
+//! `σ` ranges over Pauli matrices and two-qubit couplings `σ⊗σ`
+//! (Section 3.1). Pauli strings also serve as cheap, bounded observables
+//! satisfying `-I ⊑ O ⊑ I` (Eq. 5.2).
+
+use crate::complex::C64;
+use crate::matrix::Matrix;
+use std::fmt;
+use std::str::FromStr;
+
+/// A single-qubit Pauli operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Pauli {
+    /// The identity.
+    I,
+    /// Bit flip.
+    X,
+    /// Bit-and-phase flip.
+    Y,
+    /// Phase flip.
+    Z,
+}
+
+impl Pauli {
+    /// The 2×2 matrix of this Pauli operator.
+    pub fn matrix(self) -> Matrix {
+        match self {
+            Pauli::I => Matrix::identity(2),
+            Pauli::X => Matrix::pauli_x(),
+            Pauli::Y => Matrix::pauli_y(),
+            Pauli::Z => Matrix::pauli_z(),
+        }
+    }
+
+    /// All non-identity Paulis, the rotation axes used by the paper's gates.
+    pub const AXES: [Pauli; 3] = [Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Product of two Paulis as `(phase, pauli)` with `a · b = phase · pauli`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qdp_linalg::{C64, Pauli};
+    /// let (phase, p) = Pauli::X.mul(Pauli::Y);
+    /// assert_eq!(p, Pauli::Z);
+    /// assert_eq!(phase, C64::I);
+    /// ```
+    pub fn mul(self, other: Pauli) -> (C64, Pauli) {
+        use Pauli::*;
+        match (self, other) {
+            (I, p) | (p, I) => (C64::ONE, p),
+            (X, X) | (Y, Y) | (Z, Z) => (C64::ONE, I),
+            (X, Y) => (C64::I, Z),
+            (Y, X) => (-C64::I, Z),
+            (Y, Z) => (C64::I, X),
+            (Z, Y) => (-C64::I, X),
+            (Z, X) => (C64::I, Y),
+            (X, Z) => (-C64::I, Y),
+        }
+    }
+
+    /// Returns `true` when the two Paulis commute.
+    pub fn commutes_with(self, other: Pauli) -> bool {
+        self == Pauli::I || other == Pauli::I || self == other
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// Error returned when parsing a Pauli string fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsePauliError {
+    offending: char,
+}
+
+impl fmt::Display for ParsePauliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid Pauli character '{}', expected one of I, X, Y, Z",
+            self.offending
+        )
+    }
+}
+
+impl std::error::Error for ParsePauliError {}
+
+/// A tensor product of single-qubit Paulis, e.g. `Z ⊗ I ⊗ X`.
+///
+/// # Examples
+///
+/// ```
+/// use qdp_linalg::PauliString;
+///
+/// let zz: PauliString = "ZZ".parse()?;
+/// let m = zz.matrix();
+/// assert!(m.is_hermitian(1e-12));
+/// assert!(m.is_unitary(1e-12));
+/// # Ok::<(), qdp_linalg::pauli::ParsePauliError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    factors: Vec<Pauli>,
+}
+
+impl PauliString {
+    /// Creates a Pauli string from its factors (most-significant qubit
+    /// first, matching the Kronecker-product order used throughout the
+    /// workspace).
+    pub fn new(factors: Vec<Pauli>) -> Self {
+        PauliString { factors }
+    }
+
+    /// The all-identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString {
+            factors: vec![Pauli::I; n],
+        }
+    }
+
+    /// A string that is `p` on qubit `k` and identity elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n`.
+    pub fn single(n: usize, k: usize, p: Pauli) -> Self {
+        assert!(k < n, "qubit index {k} out of range for {n} qubits");
+        let mut factors = vec![Pauli::I; n];
+        factors[k] = p;
+        PauliString { factors }
+    }
+
+    /// Number of qubits the string acts on.
+    pub fn num_qubits(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Borrows the factors.
+    pub fn factors(&self) -> &[Pauli] {
+        &self.factors
+    }
+
+    /// Number of non-identity factors.
+    pub fn weight(&self) -> usize {
+        self.factors.iter().filter(|&&p| p != Pauli::I).count()
+    }
+
+    /// The full `2ⁿ × 2ⁿ` matrix (Kronecker product of the factors).
+    pub fn matrix(&self) -> Matrix {
+        let mut m = Matrix::identity(1);
+        for p in &self.factors {
+            m = m.kron(&p.matrix());
+        }
+        m
+    }
+
+    /// Product of two strings as `(phase, string)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the strings act on different numbers of qubits.
+    pub fn mul(&self, other: &PauliString) -> (C64, PauliString) {
+        assert_eq!(
+            self.num_qubits(),
+            other.num_qubits(),
+            "Pauli string length mismatch"
+        );
+        let mut phase = C64::ONE;
+        let factors = self
+            .factors
+            .iter()
+            .zip(&other.factors)
+            .map(|(&a, &b)| {
+                let (ph, p) = a.mul(b);
+                phase *= ph;
+                p
+            })
+            .collect();
+        (phase, PauliString { factors })
+    }
+
+    /// Returns `true` when the strings commute (even number of
+    /// anticommuting positions).
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        let anti = self
+            .factors
+            .iter()
+            .zip(&other.factors)
+            .filter(|(a, b)| !a.commutes_with(**b))
+            .count();
+        anti % 2 == 0
+    }
+}
+
+impl FromStr for PauliString {
+    type Err = ParsePauliError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.chars()
+            .map(|c| match c {
+                'I' | 'i' => Ok(Pauli::I),
+                'X' | 'x' => Ok(Pauli::X),
+                'Y' | 'y' => Ok(Pauli::Y),
+                'Z' | 'z' => Ok(Pauli::Z),
+                offending => Err(ParsePauliError { offending }),
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(PauliString::new)
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.factors {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pauli_products_match_matrices() {
+        for a in [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z] {
+            for b in [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z] {
+                let (phase, p) = a.mul(b);
+                let lhs = a.matrix().mul(&b.matrix());
+                let rhs = p.matrix().scale(phase);
+                assert!(lhs.approx_eq(&rhs, 1e-14), "{a}·{b} mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn string_products_match_matrices() {
+        let a: PauliString = "XYZ".parse().unwrap();
+        let b: PauliString = "ZZX".parse().unwrap();
+        let (phase, p) = a.mul(&b);
+        let lhs = a.matrix().mul(&b.matrix());
+        let rhs = p.matrix().scale(phase);
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn commutation_matches_matrix_commutator() {
+        let pairs = [("XX", "ZZ", true), ("XI", "ZI", false), ("XZ", "ZX", true)];
+        for (sa, sb, expected) in pairs {
+            let a: PauliString = sa.parse().unwrap();
+            let b: PauliString = sb.parse().unwrap();
+            assert_eq!(a.commutes_with(&b), expected, "{sa} vs {sb}");
+            let ab = a.matrix().mul(&b.matrix());
+            let ba = b.matrix().mul(&a.matrix());
+            assert_eq!(ab.approx_eq(&ba, 1e-12), expected);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let err = "XQZ".parse::<PauliString>().unwrap_err();
+        assert_eq!(err.to_string(), "invalid Pauli character 'Q', expected one of I, X, Y, Z");
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s = "IXYZ";
+        let p: PauliString = s.parse().unwrap();
+        assert_eq!(p.to_string(), s);
+    }
+
+    #[test]
+    fn weight_counts_non_identity() {
+        let p: PauliString = "IXIZ".parse().unwrap();
+        assert_eq!(p.weight(), 2);
+        assert_eq!(PauliString::identity(5).weight(), 0);
+        assert_eq!(PauliString::single(4, 2, Pauli::Y).weight(), 1);
+    }
+
+    #[test]
+    fn matrix_dimension_is_exponential() {
+        let p = PauliString::identity(3);
+        assert_eq!(p.matrix().rows(), 8);
+    }
+}

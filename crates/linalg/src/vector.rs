@@ -1,0 +1,300 @@
+//! Dense complex vectors.
+
+use crate::complex::C64;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense complex column vector.
+///
+/// Used for pure quantum states (in `qdp-sim`) and as the result of
+/// matrix-vector products.
+///
+/// # Examples
+///
+/// ```
+/// use qdp_linalg::{C64, CVector};
+///
+/// let plus = CVector::from_reals(&[1.0, 1.0]).normalized();
+/// assert!((plus.norm() - 1.0).abs() < 1e-15);
+/// assert!((plus.inner(&plus).re - 1.0).abs() < 1e-15);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct CVector {
+    data: Vec<C64>,
+}
+
+impl CVector {
+    /// Creates a vector from complex entries.
+    pub fn new(data: Vec<C64>) -> Self {
+        CVector { data }
+    }
+
+    /// Creates a zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        CVector {
+            data: vec![C64::ZERO; n],
+        }
+    }
+
+    /// Creates the computational-basis vector `|k⟩` of dimension `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n`.
+    pub fn basis(n: usize, k: usize) -> Self {
+        assert!(k < n, "basis index {k} out of range for dimension {n}");
+        let mut v = CVector::zeros(n);
+        v.data[k] = C64::ONE;
+        v
+    }
+
+    /// Creates a vector from real entries.
+    pub fn from_reals(entries: &[f64]) -> Self {
+        CVector {
+            data: entries.iter().map(|&x| C64::real(x)).collect(),
+        }
+    }
+
+    /// Vector length (dimension).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the vector has dimension zero.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the underlying entries.
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying entries.
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns its entries.
+    pub fn into_inner(self) -> Vec<C64> {
+        self.data
+    }
+
+    /// Hermitian inner product `⟨self|other⟩` (conjugate-linear in `self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn inner(&self, other: &CVector) -> C64 {
+        assert_eq!(self.len(), other.len(), "inner product dimension mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(C64::ZERO, |acc, (a, b)| acc.mul_add(a.conj(), *b))
+    }
+
+    /// Euclidean norm `‖v‖`.
+    pub fn norm(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|z| z.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_sqr(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum()
+    }
+
+    /// Returns the vector scaled to unit norm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is (numerically) zero.
+    pub fn normalized(&self) -> CVector {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalize the zero vector");
+        self.scale(C64::real(1.0 / n))
+    }
+
+    /// Scales every entry by `s`.
+    pub fn scale(&self, s: C64) -> CVector {
+        CVector {
+            data: self.data.iter().map(|&z| z * s).collect(),
+        }
+    }
+
+    /// Kronecker (tensor) product `self ⊗ other`.
+    pub fn kron(&self, other: &CVector) -> CVector {
+        let mut data = Vec::with_capacity(self.len() * other.len());
+        for &a in &self.data {
+            for &b in &other.data {
+                data.push(a * b);
+            }
+        }
+        CVector { data }
+    }
+
+    /// Approximate equality within absolute tolerance `tol` entry-wise.
+    pub fn approx_eq(&self, other: &CVector, tol: f64) -> bool {
+        self.len() == other.len()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Iterates over entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, C64> {
+        self.data.iter()
+    }
+}
+
+impl fmt::Debug for CVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CVector[")?;
+        for (i, z) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{z}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Index<usize> for CVector {
+    type Output = C64;
+    fn index(&self, i: usize) -> &C64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for CVector {
+    fn index_mut(&mut self, i: usize) -> &mut C64 {
+        &mut self.data[i]
+    }
+}
+
+impl Add for &CVector {
+    type Output = CVector;
+    fn add(self, rhs: &CVector) -> CVector {
+        assert_eq!(self.len(), rhs.len(), "vector addition dimension mismatch");
+        CVector {
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &CVector {
+    type Output = CVector;
+    fn sub(self, rhs: &CVector) -> CVector {
+        assert_eq!(self.len(), rhs.len(), "vector subtraction dimension mismatch");
+        CVector {
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a - *b)
+                .collect(),
+        }
+    }
+}
+
+impl Neg for &CVector {
+    type Output = CVector;
+    fn neg(self) -> CVector {
+        self.scale(-C64::ONE)
+    }
+}
+
+impl Mul<C64> for &CVector {
+    type Output = CVector;
+    fn mul(self, rhs: C64) -> CVector {
+        self.scale(rhs)
+    }
+}
+
+impl FromIterator<C64> for CVector {
+    fn from_iter<I: IntoIterator<Item = C64>>(iter: I) -> Self {
+        CVector {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a CVector {
+    type Item = &'a C64;
+    type IntoIter = std::slice::Iter<'a, C64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_vectors_are_orthonormal() {
+        for i in 0..4 {
+            for j in 0..4 {
+                let e_i = CVector::basis(4, i);
+                let e_j = CVector::basis(4, j);
+                let expected = if i == j { C64::ONE } else { C64::ZERO };
+                assert_eq!(e_i.inner(&e_j), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn inner_product_is_conjugate_linear_in_first_arg() {
+        let v = CVector::new(vec![C64::I, C64::ONE]);
+        let w = CVector::new(vec![C64::ONE, C64::I]);
+        // ⟨iv|w⟩ = -i⟨v|w⟩
+        let lhs = v.scale(C64::I).inner(&w);
+        let rhs = -C64::I * v.inner(&w);
+        assert!(lhs.approx_eq(rhs, 1e-15));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let v = CVector::from_reals(&[1.0, 2.0]);
+        let w = CVector::from_reals(&[3.0, 4.0]);
+        let k = v.kron(&w);
+        assert_eq!(k.len(), 4);
+        assert_eq!(k[0], C64::real(3.0));
+        assert_eq!(k[1], C64::real(4.0));
+        assert_eq!(k[2], C64::real(6.0));
+        assert_eq!(k[3], C64::real(8.0));
+    }
+
+    #[test]
+    fn normalized_has_unit_norm() {
+        let v = CVector::new(vec![C64::new(3.0, 0.0), C64::new(0.0, 4.0)]);
+        assert!((v.normalized().norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot normalize")]
+    fn normalizing_zero_panics() {
+        CVector::zeros(3).normalized();
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let v = CVector::from_reals(&[1.0, 2.0]);
+        let w = CVector::from_reals(&[0.5, -1.0]);
+        assert_eq!((&v + &w)[1], C64::real(1.0));
+        assert_eq!((&v - &w)[0], C64::real(0.5));
+        assert_eq!((-&v)[0], C64::real(-1.0));
+        assert_eq!((&v * C64::I)[0], C64::I);
+    }
+}

@@ -1,0 +1,402 @@
+//! Partial density operators — the carrier of the paper's semantics.
+//!
+//! The denotational semantics of `q-while(T)` programs (Fig. 1b of the paper)
+//! maps partial density operators to partial density operators: traces may
+//! shrink below one (e.g. `abort` outputs the zero operator) because
+//! probabilities of measurement branches are folded into the operator itself.
+
+use crate::kernels::{left_mul, qubit_bit, right_mul};
+use crate::state::StateVector;
+use qdp_linalg::{C64, Matrix};
+
+/// A partial density operator `ρ ∈ D(H)` on an `n`-qubit register,
+/// i.e. a positive semidefinite operator with `tr(ρ) ≤ 1`.
+///
+/// Stored flat (row-major) so that the gate kernels of [`crate::kernels`]
+/// apply directly: a `2ⁿ × 2ⁿ` operator is a state vector over `2n` qubits
+/// whose first `n` qubits index rows.
+///
+/// # Examples
+///
+/// ```
+/// use qdp_linalg::Matrix;
+/// use qdp_sim::DensityMatrix;
+///
+/// let mut rho = DensityMatrix::pure_zero(1);
+/// rho.apply_unitary(&Matrix::hadamard(), &[0]);
+/// assert!((rho.trace() - 1.0).abs() < 1e-12);
+/// assert!((rho.purity() - 1.0).abs() < 1e-12); // still pure
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DensityMatrix {
+    n_qubits: usize,
+    /// Row-major `2ⁿ × 2ⁿ` entries.
+    data: Vec<C64>,
+}
+
+impl DensityMatrix {
+    /// The zero operator (output of `abort`, Fig. 1b).
+    pub fn zero_operator(n_qubits: usize) -> Self {
+        DensityMatrix {
+            n_qubits,
+            data: vec![C64::ZERO; 1 << (2 * n_qubits)],
+        }
+    }
+
+    /// The pure state `|0…0⟩⟨0…0|`.
+    pub fn pure_zero(n_qubits: usize) -> Self {
+        let mut rho = DensityMatrix::zero_operator(n_qubits);
+        rho.data[0] = C64::ONE;
+        rho
+    }
+
+    /// The maximally mixed state `I / 2ⁿ`.
+    pub fn maximally_mixed(n_qubits: usize) -> Self {
+        let dim = 1usize << n_qubits;
+        let mut rho = DensityMatrix::zero_operator(n_qubits);
+        let p = C64::real(1.0 / dim as f64);
+        for i in 0..dim {
+            rho.data[i * dim + i] = p;
+        }
+        rho
+    }
+
+    /// Density operator `|ψ⟩⟨ψ|` of a pure (possibly sub-normalised) state.
+    pub fn from_pure(psi: &StateVector) -> Self {
+        let n = psi.num_qubits();
+        let dim = 1usize << n;
+        let amps = psi.amplitudes();
+        let mut data = vec![C64::ZERO; dim * dim];
+        for i in 0..dim {
+            if amps[i] == C64::ZERO {
+                continue;
+            }
+            for j in 0..dim {
+                data[i * dim + j] = amps[i] * amps[j].conj();
+            }
+        }
+        DensityMatrix { n_qubits: n, data }
+    }
+
+    /// Builds a density operator from an explicit matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix is not `2ⁿ × 2ⁿ` for the given qubit count.
+    pub fn from_matrix(n_qubits: usize, m: &Matrix) -> Self {
+        let dim = 1usize << n_qubits;
+        assert!(m.rows() == dim && m.cols() == dim, "matrix must be 2^n x 2^n");
+        DensityMatrix {
+            n_qubits,
+            data: m.as_slice().to_vec(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Hilbert-space dimension `2ⁿ`.
+    pub fn dim(&self) -> usize {
+        1 << self.n_qubits
+    }
+
+    /// Entry `ρ_{ij}`.
+    pub fn get(&self, i: usize, j: usize) -> C64 {
+        self.data[i * self.dim() + j]
+    }
+
+    /// Borrows the flattened entries.
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Copies into a [`Matrix`].
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_data(self.dim(), self.dim(), self.data.clone())
+    }
+
+    /// Trace — the total probability carried by this partial state.
+    pub fn trace(&self) -> f64 {
+        let dim = self.dim();
+        (0..dim).map(|i| self.data[i * dim + i].re).sum()
+    }
+
+    /// Purity `tr(ρ²) / tr(ρ)²` (1 for pure states); `0` for the zero
+    /// operator.
+    pub fn purity(&self) -> f64 {
+        let t = self.trace();
+        if t == 0.0 {
+            return 0.0;
+        }
+        let dim = self.dim();
+        let mut tr2 = 0.0;
+        for i in 0..dim {
+            for j in 0..dim {
+                tr2 += (self.data[i * dim + j] * self.data[j * dim + i]).re;
+            }
+        }
+        tr2 / (t * t)
+    }
+
+    /// Applies a unitary `U` on `targets`: `ρ ← UρU†` (Fig. 1a, Unitary).
+    pub fn apply_unitary(&mut self, u: &Matrix, targets: &[usize]) {
+        left_mul(&mut self.data, self.n_qubits, u, targets);
+        right_mul(&mut self.data, self.n_qubits, &u.dagger(), targets);
+    }
+
+    /// Applies one (not necessarily unitary) operator conjugation
+    /// `ρ ← MρM†` — e.g. a single measurement operator `Em(ρ) = MmρMm†`.
+    pub fn apply_conjugation(&mut self, m: &Matrix, targets: &[usize]) {
+        left_mul(&mut self.data, self.n_qubits, m, targets);
+        right_mul(&mut self.data, self.n_qubits, &m.dagger(), targets);
+    }
+
+    /// Applies a Kraus channel `ρ ← Σk KkρKk†` on `targets`.
+    pub fn apply_kraus(&mut self, kraus: &[Matrix], targets: &[usize]) {
+        let mut acc = vec![C64::ZERO; self.data.len()];
+        for k in kraus {
+            let mut term = self.data.clone();
+            left_mul(&mut term, self.n_qubits, k, targets);
+            right_mul(&mut term, self.n_qubits, &k.dagger(), targets);
+            for (a, t) in acc.iter_mut().zip(&term) {
+                *a += *t;
+            }
+        }
+        self.data = acc;
+    }
+
+    /// The initialisation superoperator `E_{q→0}` of the paper
+    /// (`q := |0⟩`, Fig. 1b): `ρ ← |0⟩q⟨0|ρ|0⟩q⟨0| + |0⟩q⟨1|ρ|1⟩q⟨0|`.
+    pub fn initialize_qubit(&mut self, q: usize) {
+        let k0 = Matrix::from_real_rows(&[&[1.0, 0.0], &[0.0, 0.0]]); // |0⟩⟨0|
+        let k1 = Matrix::from_real_rows(&[&[0.0, 1.0], &[0.0, 0.0]]); // |0⟩⟨1|
+        self.apply_kraus(&[k0, k1], &[q]);
+    }
+
+    /// Adds another partial density operator (summing measurement branches,
+    /// Eq. 3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics when qubit counts differ.
+    pub fn add_assign(&mut self, other: &DensityMatrix) {
+        assert_eq!(self.n_qubits, other.n_qubits, "qubit-count mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+    }
+
+    /// Scales by a real factor (e.g. classical probability weight).
+    pub fn scale(&mut self, s: f64) {
+        for a in &mut self.data {
+            *a = a.scale(s);
+        }
+    }
+
+    /// Tensor product `self ⊗ other` (other's qubits appended).
+    pub fn tensor(&self, other: &DensityMatrix) -> DensityMatrix {
+        let m = self.to_matrix().kron(&other.to_matrix());
+        DensityMatrix::from_matrix(self.n_qubits + other.n_qubits, &m)
+    }
+
+    /// Prepends a fresh ancilla qubit in state `|0⟩⟨0|` as the new qubit 0 —
+    /// the initial state `(|0⟩A⟨0|) ⊗ ρ` of Definition 5.2.
+    pub fn prepend_zero_ancilla(&self) -> DensityMatrix {
+        let old_dim = self.dim();
+        let new_n = self.n_qubits + 1;
+        let new_dim = 1usize << new_n;
+        let mut out = DensityMatrix::zero_operator(new_n);
+        for i in 0..old_dim {
+            for j in 0..old_dim {
+                out.data[i * new_dim + j] = self.data[i * old_dim + j];
+            }
+        }
+        out
+    }
+
+    /// Partial trace over `traced` qubits; remaining qubits keep their
+    /// relative order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate or out-of-range qubits.
+    pub fn partial_trace(&self, traced: &[usize]) -> DensityMatrix {
+        let n = self.n_qubits;
+        for (i, t) in traced.iter().enumerate() {
+            assert!(*t < n, "traced qubit {t} out of range");
+            assert!(!traced[i + 1..].contains(t), "duplicate traced qubit {t}");
+        }
+        let kept: Vec<usize> = (0..n).filter(|q| !traced.contains(q)).collect();
+        let m = kept.len();
+        let out_dim = 1usize << m;
+        let dim = self.dim();
+        let mut out = DensityMatrix::zero_operator(m);
+
+        let kept_masks: Vec<usize> = kept.iter().map(|&q| 1usize << qubit_bit(n, q)).collect();
+        let traced_masks: Vec<usize> =
+            traced.iter().map(|&q| 1usize << qubit_bit(n, q)).collect();
+
+        // Expand a reduced index into a full index with traced bits zero.
+        let expand = |idx: usize, masks: &[usize], count: usize| -> usize {
+            let mut full = 0usize;
+            for (j, mask) in masks.iter().enumerate() {
+                if idx & (1 << (count - 1 - j)) != 0 {
+                    full |= mask;
+                }
+            }
+            full
+        };
+
+        let t = traced.len();
+        for a in 0..out_dim {
+            let base_row = expand(a, &kept_masks, m);
+            for b in 0..out_dim {
+                let base_col = expand(b, &kept_masks, m);
+                let mut acc = C64::ZERO;
+                for e in 0..(1usize << t) {
+                    let env = expand(e, &traced_masks, t);
+                    acc += self.data[(base_row | env) * dim + (base_col | env)];
+                }
+                out.data[a * out_dim + b] = acc;
+            }
+        }
+        out
+    }
+
+    /// Approximate equality within entry-wise tolerance `tol`.
+    pub fn approx_eq(&self, other: &DensityMatrix, tol: f64) -> bool {
+        self.n_qubits == other.n_qubits
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Validates the partial-density-operator invariants: Hermitian, positive
+    /// semidefinite, `tr(ρ) ≤ 1` (all within tolerance `tol`).
+    pub fn is_valid(&self, tol: f64) -> bool {
+        let m = self.to_matrix();
+        m.is_hermitian(tol) && self.trace() <= 1.0 + tol && m.is_psd(tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_zero_is_valid_pure_state() {
+        let rho = DensityMatrix::pure_zero(2);
+        assert!((rho.trace() - 1.0).abs() < 1e-15);
+        assert!((rho.purity() - 1.0).abs() < 1e-15);
+        assert!(rho.is_valid(1e-10));
+    }
+
+    #[test]
+    fn unitary_preserves_trace_and_purity() {
+        let mut rho = DensityMatrix::pure_zero(2);
+        rho.apply_unitary(&Matrix::hadamard(), &[0]);
+        rho.apply_unitary(&Matrix::cnot(), &[0, 1]);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_pure_matches_outer_product() {
+        let mut psi = StateVector::zero_state(1);
+        psi.apply_gate(&Matrix::hadamard(), &[0]);
+        let rho = DensityMatrix::from_pure(&psi);
+        // |+⟩⟨+| has all entries 1/2.
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(rho.get(i, j).approx_eq(C64::real(0.5), 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn initialize_qubit_resets_to_zero() {
+        // Start from |1⟩⟨1| on a single qubit, initialise, expect |0⟩⟨0|.
+        let mut rho = DensityMatrix::from_pure(&StateVector::basis_state(1, 1));
+        rho.initialize_qubit(0);
+        assert!(rho.approx_eq(&DensityMatrix::pure_zero(1), 1e-12));
+    }
+
+    #[test]
+    fn initialize_qubit_breaks_entanglement_correctly() {
+        // Bell state, then initialise qubit 0: result is |0⟩⟨0| ⊗ I/2.
+        let mut psi = StateVector::zero_state(2);
+        psi.apply_gate(&Matrix::hadamard(), &[0]);
+        psi.apply_gate(&Matrix::cnot(), &[0, 1]);
+        let mut rho = DensityMatrix::from_pure(&psi);
+        rho.initialize_qubit(0);
+        let expected = DensityMatrix::pure_zero(1).tensor(&DensityMatrix::maximally_mixed(1));
+        assert!(rho.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn partial_trace_of_bell_state_is_maximally_mixed() {
+        let mut psi = StateVector::zero_state(2);
+        psi.apply_gate(&Matrix::hadamard(), &[0]);
+        psi.apply_gate(&Matrix::cnot(), &[0, 1]);
+        let rho = DensityMatrix::from_pure(&psi);
+        for traced in [vec![0usize], vec![1usize]] {
+            let reduced = rho.partial_trace(&traced);
+            assert!(reduced.approx_eq(&DensityMatrix::maximally_mixed(1), 1e-12));
+        }
+    }
+
+    #[test]
+    fn partial_trace_of_product_state() {
+        let a = DensityMatrix::from_pure(&StateVector::basis_state(1, 1));
+        let b = DensityMatrix::pure_zero(1);
+        let ab = a.tensor(&b);
+        assert!(ab.partial_trace(&[1]).approx_eq(&a, 1e-12));
+        assert!(ab.partial_trace(&[0]).approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn prepend_zero_ancilla_matches_tensor() {
+        let mut rho = DensityMatrix::pure_zero(2);
+        rho.apply_unitary(&Matrix::hadamard(), &[1]);
+        let expected = DensityMatrix::pure_zero(1).tensor(&rho);
+        assert!(rho.prepend_zero_ancilla().approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn zero_operator_has_zero_trace() {
+        let z = DensityMatrix::zero_operator(2);
+        assert_eq!(z.trace(), 0.0);
+        assert_eq!(z.purity(), 0.0);
+    }
+
+    #[test]
+    fn kraus_channel_preserves_trace_when_complete() {
+        // Dephasing channel: {|0⟩⟨0|, |1⟩⟨1|} sums to a complete set.
+        let k0 = Matrix::basis_projector(2, 0);
+        let k1 = Matrix::basis_projector(2, 1);
+        let mut psi = StateVector::zero_state(1);
+        psi.apply_gate(&Matrix::hadamard(), &[0]);
+        let mut rho = DensityMatrix::from_pure(&psi);
+        rho.apply_kraus(&[k0, k1], &[0]);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        // Off-diagonals killed.
+        assert!(rho.get(0, 1).abs() < 1e-12);
+        assert!((rho.get(0, 0).re - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_and_scale_combine_branches() {
+        let mut a = DensityMatrix::pure_zero(1);
+        a.scale(0.25);
+        let mut b = DensityMatrix::from_pure(&StateVector::basis_state(1, 1));
+        b.scale(0.75);
+        a.add_assign(&b);
+        assert!((a.trace() - 1.0).abs() < 1e-15);
+        assert!(a.is_valid(1e-9));
+        assert!(a.purity() < 1.0);
+    }
+}

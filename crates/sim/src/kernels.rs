@@ -1,0 +1,249 @@
+//! Targeted gate-application kernels.
+//!
+//! These are the hot loops of the simulator. A `k`-qubit operator is applied
+//! to an amplitude array without ever materialising the `2ⁿ × 2ⁿ` lifted
+//! operator. Density matrices reuse the same kernel by viewing a `2ⁿ × 2ⁿ`
+//! array as a state vector over `2n` qubits (row qubits first).
+
+use qdp_linalg::{C64, Matrix};
+
+/// Bit position (from the least significant end) of qubit `q` in an
+/// `n`-qubit basis index. Qubit 0 is the most significant bit.
+#[inline]
+pub fn qubit_bit(n: usize, q: usize) -> usize {
+    debug_assert!(q < n, "qubit index {q} out of range for {n} qubits");
+    n - 1 - q
+}
+
+/// Applies an arbitrary `2ᵏ × 2ᵏ` matrix `m` to the amplitudes `amps` of an
+/// `n`-qubit register on the given distinct `targets`.
+///
+/// The matrix need not be unitary — measurement operators and Kraus operators
+/// are applied with the same kernel. Target order is significant: `targets[0]`
+/// is the most significant qubit of the local index into `m`.
+///
+/// # Panics
+///
+/// Panics when dimensions are inconsistent or targets repeat.
+pub fn apply_matrix(amps: &mut [C64], n: usize, m: &Matrix, targets: &[usize]) {
+    let k = targets.len();
+    assert!(m.rows() == 1 << k && m.cols() == 1 << k, "operator dimension must be 2^{k}");
+    assert_eq!(amps.len(), 1 << n, "amplitude array must have length 2^{n}");
+    for (i, t) in targets.iter().enumerate() {
+        assert!(*t < n, "target {t} out of range for {n} qubits");
+        for u in &targets[i + 1..] {
+            assert_ne!(t, u, "duplicate target qubit {t}");
+        }
+    }
+
+    let dim_local = 1usize << k;
+    let masks: Vec<usize> = targets.iter().map(|&t| 1usize << qubit_bit(n, t)).collect();
+    let all_mask: usize = masks.iter().sum();
+
+    // Offsets of each local basis state within the full index.
+    let mut offsets = vec![0usize; dim_local];
+    for (a, off) in offsets.iter_mut().enumerate() {
+        for (j, mask) in masks.iter().enumerate() {
+            if a & (1 << (k - 1 - j)) != 0 {
+                *off |= mask;
+            }
+        }
+    }
+
+    let mut scratch = vec![C64::ZERO; dim_local];
+    let full = 1usize << n;
+    let mut base = 0usize;
+    while base < full {
+        if base & all_mask == 0 {
+            for (a, &off) in offsets.iter().enumerate() {
+                scratch[a] = amps[base | off];
+            }
+            for a in 0..dim_local {
+                let mut acc = C64::ZERO;
+                for (b, &sb) in scratch.iter().enumerate() {
+                    acc = acc.mul_add(m.get(a, b), sb);
+                }
+                amps[base | offsets[a]] = acc;
+            }
+        }
+        base += 1;
+    }
+}
+
+/// Left-multiplies a square amplitude array (row-major, dimension `2ⁿ`) by
+/// the operator `m` on `targets`: `A ← (m lifted) · A`.
+pub fn left_mul(a: &mut [C64], n: usize, m: &Matrix, targets: &[usize]) {
+    // Row index bits occupy the high half of the flattened 2n-qubit index,
+    // so row qubit q maps to qubit q of the doubled register.
+    apply_matrix(a, 2 * n, m, targets);
+}
+
+/// Right-multiplies a square amplitude array by the operator `m` on
+/// `targets`: `A ← A · (m lifted)`.
+pub fn right_mul(a: &mut [C64], n: usize, m: &Matrix, targets: &[usize]) {
+    // (A·M)_{ij} = Σ_b A_{ib} M_{bj} = Σ_b (Mᵀ)_{jb} A_{ib}: apply Mᵀ on the
+    // column qubits, which sit in the low half of the doubled register.
+    let shifted: Vec<usize> = targets.iter().map(|&t| t + n).collect();
+    apply_matrix(a, 2 * n, &m.transpose(), &shifted);
+}
+
+/// Embeds a `2ᵏ × 2ᵏ` operator on `targets` into the full `2ⁿ × 2ⁿ` space.
+///
+/// This is the *slow, obviously-correct* lift used by tests to validate the
+/// kernels; production paths never call it.
+pub fn embed(n: usize, m: &Matrix, targets: &[usize]) -> Matrix {
+    let k = targets.len();
+    assert!(m.rows() == 1 << k && m.cols() == 1 << k);
+    let full = 1usize << n;
+    let masks: Vec<usize> = targets.iter().map(|&t| 1usize << qubit_bit(n, t)).collect();
+    let all_mask: usize = masks.iter().sum();
+
+    let local_index = |full_index: usize| -> usize {
+        let mut a = 0usize;
+        for (j, mask) in masks.iter().enumerate() {
+            if full_index & mask != 0 {
+                a |= 1 << (k - 1 - j);
+            }
+        }
+        a
+    };
+
+    let mut out = Matrix::zeros(full, full);
+    for i in 0..full {
+        for j in 0..full {
+            if (i & !all_mask) == (j & !all_mask) {
+                out.set(i, j, m.get(local_index(i), local_index(j)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdp_linalg::CVector;
+
+    fn rand_amps(n: usize, seed: u64) -> Vec<C64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        (0..1usize << n).map(|_| C64::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn single_qubit_kernel_matches_embed() {
+        let h = Matrix::hadamard();
+        for n in 1..=4usize {
+            for t in 0..n {
+                let mut amps = rand_amps(n, (n * 10 + t) as u64);
+                let expected = embed(n, &h, &[t]).mul_vec(&CVector::new(amps.clone()));
+                apply_matrix(&mut amps, n, &h, &[t]);
+                assert!(CVector::new(amps).approx_eq(&expected, 1e-12), "n={n} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_qubit_kernel_matches_embed() {
+        let cnot = Matrix::cnot();
+        for n in 2..=4usize {
+            for t0 in 0..n {
+                for t1 in 0..n {
+                    if t0 == t1 {
+                        continue;
+                    }
+                    let mut amps = rand_amps(n, (n * 100 + t0 * 10 + t1) as u64);
+                    let expected =
+                        embed(n, &cnot, &[t0, t1]).mul_vec(&CVector::new(amps.clone()));
+                    apply_matrix(&mut amps, n, &cnot, &[t0, t1]);
+                    assert!(
+                        CVector::new(amps).approx_eq(&expected, 1e-12),
+                        "n={n} targets=({t0},{t1})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_qubit_kernel_matches_embed() {
+        // An 8×8 operator (Toffoli-like permutation) on scattered targets.
+        let mut toffoli = Matrix::identity(8);
+        toffoli.set(6, 6, C64::ZERO);
+        toffoli.set(7, 7, C64::ZERO);
+        toffoli.set(6, 7, C64::ONE);
+        toffoli.set(7, 6, C64::ONE);
+        for (n, targets) in [(3usize, vec![0usize, 1, 2]), (4, vec![3, 0, 2]), (5, vec![4, 1, 3])] {
+            let mut amps = rand_amps(n, 7 * n as u64);
+            let expected = embed(n, &toffoli, &targets).mul_vec(&CVector::new(amps.clone()));
+            apply_matrix(&mut amps, n, &toffoli, &targets);
+            assert!(
+                CVector::new(amps).approx_eq(&expected, 1e-12),
+                "n={n} targets={targets:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn target_order_is_significant() {
+        // CNOT with control q1 / target q0 differs from control q0 / target q1.
+        let cnot = Matrix::cnot();
+        let mut a = vec![C64::ZERO; 4];
+        a[1] = C64::ONE; // |01⟩: q0=0, q1=1
+        apply_matrix(&mut a, 2, &cnot, &[1, 0]); // control q1 → flips q0
+        assert!(a[3].approx_eq(C64::ONE, 1e-15)); // |11⟩
+    }
+
+    #[test]
+    fn left_right_mul_match_matrix_products() {
+        let n = 2usize;
+        let dim = 1 << n;
+        let rho_data = rand_amps(2 * n, 99);
+        let rho = Matrix::from_data(dim, dim, rho_data.clone());
+        let u = Matrix::hadamard();
+        for t in 0..n {
+            let lifted = embed(n, &u, &[t]);
+
+            let mut left = rho_data.clone();
+            left_mul(&mut left, n, &u, &[t]);
+            let expected = lifted.mul(&rho);
+            assert!(Matrix::from_data(dim, dim, left).approx_eq(&expected, 1e-12));
+
+            let mut right = rho_data.clone();
+            right_mul(&mut right, n, &u, &[t]);
+            let expected = rho.mul(&lifted);
+            assert!(Matrix::from_data(dim, dim, right).approx_eq(&expected, 1e-12));
+        }
+    }
+
+    #[test]
+    fn non_unitary_operators_apply_fine() {
+        // Projector |0⟩⟨0| on qubit 1 of 2.
+        let p0 = Matrix::basis_projector(2, 0);
+        let mut amps = vec![C64::ONE.scale(0.5); 4];
+        apply_matrix(&mut amps, 2, &p0, &[1]);
+        // Amplitudes with q1=1 are killed.
+        assert_eq!(amps[1], C64::ZERO);
+        assert_eq!(amps[3], C64::ZERO);
+        assert!(amps[0].approx_eq(C64::real(0.5), 1e-15));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate target")]
+    fn duplicate_targets_panic() {
+        let mut amps = vec![C64::ZERO; 4];
+        apply_matrix(&mut amps, 2, &Matrix::cnot(), &[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_target_panics() {
+        let mut amps = vec![C64::ZERO; 2];
+        apply_matrix(&mut amps, 1, &Matrix::hadamard(), &[1]);
+    }
+}

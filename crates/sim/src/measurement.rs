@@ -1,0 +1,225 @@
+//! Quantum measurements `{Mm}` and branch enumeration.
+//!
+//! Section 2.3 of the paper: performing `{Mm}` on `ρ` yields outcome `m` with
+//! probability `pm = tr(MmρMm†)` and post-measurement state `MmρMm†/pm`. The
+//! language semantics works with the *unnormalised* branches `Em(ρ) = MmρMm†`
+//! so probabilities ride along inside the partial density operators.
+
+use crate::density::DensityMatrix;
+use crate::state::StateVector;
+use qdp_linalg::Matrix;
+
+/// A quantum measurement: operators `{Mm}` on a subset of qubits with
+/// `Σm Mm†Mm = I`.
+///
+/// # Examples
+///
+/// ```
+/// use qdp_sim::{DensityMatrix, Measurement};
+///
+/// let m = Measurement::computational(vec![0]);
+/// let rho = DensityMatrix::pure_zero(1);
+/// let branches = m.branches(&rho);
+/// assert!((branches[0].trace() - 1.0).abs() < 1e-12); // outcome 0 certain
+/// assert!(branches[1].trace() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    operators: Vec<Matrix>,
+    targets: Vec<usize>,
+}
+
+/// One unnormalised branch of a pure-state measurement.
+#[derive(Clone, Debug)]
+pub struct MeasurementBranch {
+    /// The measurement outcome index `m`.
+    pub outcome: usize,
+    /// The branch probability `pm` (relative to the incoming state's norm).
+    pub probability: f64,
+    /// The unnormalised post-measurement state `Mm|ψ⟩`.
+    pub state: StateVector,
+}
+
+impl Measurement {
+    /// Creates a measurement from explicit operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensions are inconsistent or the completeness relation
+    /// `Σ M†M = I` fails beyond `1e-8`.
+    pub fn new(operators: Vec<Matrix>, targets: Vec<usize>) -> Self {
+        assert!(!operators.is_empty(), "measurement needs at least one operator");
+        let dim = 1usize << targets.len();
+        let mut sum = Matrix::zeros(dim, dim);
+        for m in &operators {
+            assert!(
+                m.rows() == dim && m.cols() == dim,
+                "measurement operator must be {dim}x{dim}"
+            );
+            sum = &sum + &m.dagger().mul(m);
+        }
+        assert!(
+            sum.approx_eq(&Matrix::identity(dim), 1e-8),
+            "measurement operators must satisfy completeness Σ M†M = I"
+        );
+        Measurement { operators, targets }
+    }
+
+    /// The computational-basis measurement on `targets`: outcome `m` is the
+    /// basis state `|m⟩` of the measured sub-register (target order gives
+    /// bit significance, first target most significant).
+    pub fn computational(targets: Vec<usize>) -> Self {
+        let dim = 1usize << targets.len();
+        let operators = (0..dim).map(|k| Matrix::basis_projector(dim, k)).collect();
+        Measurement { operators, targets }
+    }
+
+    /// A two-outcome measurement `{M0, M1}` as used by `while` guards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when completeness fails.
+    pub fn two_outcome(m0: Matrix, m1: Matrix, targets: Vec<usize>) -> Self {
+        Measurement::new(vec![m0, m1], targets)
+    }
+
+    /// Number of outcomes.
+    pub fn num_outcomes(&self) -> usize {
+        self.operators.len()
+    }
+
+    /// Borrows the measurement operators.
+    pub fn operators(&self) -> &[Matrix] {
+        &self.operators
+    }
+
+    /// Borrows the measured qubits.
+    pub fn targets(&self) -> &[usize] {
+        &self.targets
+    }
+
+    /// All unnormalised branches `Em(ρ) = MmρMm†` (the superoperators of the
+    /// paper's operational semantics, Fig. 1a).
+    pub fn branches(&self, rho: &DensityMatrix) -> Vec<DensityMatrix> {
+        self.operators
+            .iter()
+            .map(|m| {
+                let mut branch = rho.clone();
+                branch.apply_conjugation(m, &self.targets);
+                branch
+            })
+            .collect()
+    }
+
+    /// One branch `Em(ρ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `outcome` is out of range.
+    pub fn branch(&self, rho: &DensityMatrix, outcome: usize) -> DensityMatrix {
+        let mut out = rho.clone();
+        out.apply_conjugation(&self.operators[outcome], &self.targets);
+        out
+    }
+
+    /// All branches of a pure state, with probabilities.
+    pub fn branches_pure(&self, psi: &StateVector) -> Vec<MeasurementBranch> {
+        self.operators
+            .iter()
+            .enumerate()
+            .map(|(outcome, m)| {
+                let state = psi.with_gate(m, &self.targets);
+                MeasurementBranch {
+                    outcome,
+                    probability: state.norm_sqr(),
+                    state,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computational_measurement_is_complete() {
+        // Constructor would panic otherwise; exercise multi-qubit case.
+        let m = Measurement::computational(vec![0, 2]);
+        assert_eq!(m.num_outcomes(), 4);
+    }
+
+    #[test]
+    fn branch_probabilities_sum_to_one() {
+        let mut psi = StateVector::zero_state(2);
+        psi.apply_gate(&Matrix::hadamard(), &[0]);
+        psi.apply_gate(&Matrix::cnot(), &[0, 1]);
+        let m = Measurement::computational(vec![0]);
+        let branches = m.branches_pure(&psi);
+        let total: f64 = branches.iter().map(|b| b.probability).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((branches[0].probability - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measuring_bell_state_correlates_qubits() {
+        let mut psi = StateVector::zero_state(2);
+        psi.apply_gate(&Matrix::hadamard(), &[0]);
+        psi.apply_gate(&Matrix::cnot(), &[0, 1]);
+        let m = Measurement::computational(vec![0]);
+        for b in m.branches_pure(&psi) {
+            if b.probability > 0.0 {
+                // After observing qubit 0 = m, qubit 1 must equal m too.
+                let normalised = {
+                    let mut s = b.state.clone();
+                    s.scale(qdp_linalg::C64::real(1.0 / b.probability.sqrt()));
+                    s
+                };
+                assert_eq!(normalised.classical_bit(1), Some(b.outcome == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn density_branches_match_pure_branches() {
+        let mut psi = StateVector::zero_state(2);
+        psi.apply_gate(&Matrix::hadamard(), &[1]);
+        let rho = DensityMatrix::from_pure(&psi);
+        let m = Measurement::computational(vec![1]);
+        let dense = m.branches(&rho);
+        let pure = m.branches_pure(&psi);
+        for (d, p) in dense.iter().zip(&pure) {
+            assert!((d.trace() - p.probability).abs() < 1e-12);
+            assert!(d.approx_eq(&DensityMatrix::from_pure(&p.state), 1e-12));
+        }
+    }
+
+    #[test]
+    fn branches_preserve_total_trace() {
+        let mut rho = DensityMatrix::pure_zero(3);
+        rho.apply_unitary(&Matrix::hadamard(), &[0]);
+        rho.apply_unitary(&Matrix::cnot(), &[0, 2]);
+        let m = Measurement::computational(vec![0, 2]);
+        let total: f64 = m.branches(&rho).iter().map(|b| b.trace()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "completeness")]
+    fn incomplete_operators_panic() {
+        let _ = Measurement::new(vec![Matrix::basis_projector(2, 0)], vec![0]);
+    }
+
+    #[test]
+    fn two_outcome_guard_measurement() {
+        let m = Measurement::two_outcome(
+            Matrix::basis_projector(2, 0),
+            Matrix::basis_projector(2, 1),
+            vec![1],
+        );
+        let rho = DensityMatrix::pure_zero(2);
+        assert!((m.branch(&rho, 0).trace() - 1.0).abs() < 1e-12);
+        assert!(m.branch(&rho, 1).trace() < 1e-12);
+    }
+}

@@ -1,0 +1,318 @@
+//! Observables — Hermitian read-outs of quantum systems.
+//!
+//! Section 5 of the paper: an observable `O = Σm λm|ψm⟩⟨ψm|` packages a
+//! projective measurement together with a classical value per outcome; the
+//! expectation `tr(Oρ)` is the quantity the paper's *observable semantics*
+//! assigns to a program, and the quantity whose derivative the whole scheme
+//! computes. The paper normalises observables to `-I ⊑ O ⊑ I` (Eq. 5.2) so
+//! Chernoff-style sampling bounds apply; [`Observable::is_bounded`] checks
+//! that condition.
+
+use crate::density::DensityMatrix;
+use crate::kernels::{apply_matrix, qubit_bit};
+use crate::state::StateVector;
+use qdp_linalg::{C64, HermitianEigen, Matrix, PauliString};
+
+/// A Hermitian observable acting on a subset of an `n`-qubit register.
+///
+/// # Examples
+///
+/// ```
+/// use qdp_sim::{DensityMatrix, Observable};
+///
+/// // Z on qubit 0 of a 2-qubit register: ⟨Z⟩ = +1 on |00⟩.
+/// let z = Observable::pauli_z(2, 0);
+/// assert!((z.expectation(&DensityMatrix::pure_zero(2)) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Observable {
+    n_qubits: usize,
+    targets: Vec<usize>,
+    matrix: Matrix,
+}
+
+impl Observable {
+    /// Creates an observable from a Hermitian matrix on `targets`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix is not Hermitian or dimensions mismatch.
+    pub fn new(n_qubits: usize, targets: Vec<usize>, matrix: Matrix) -> Self {
+        let dim = 1usize << targets.len();
+        assert!(
+            matrix.rows() == dim && matrix.cols() == dim,
+            "observable matrix must be {dim}x{dim} for {} targets",
+            targets.len()
+        );
+        assert!(matrix.is_hermitian(1e-8), "observables must be Hermitian");
+        for t in &targets {
+            assert!(*t < n_qubits, "target {t} out of range");
+        }
+        Observable {
+            n_qubits,
+            targets,
+            matrix,
+        }
+    }
+
+    /// The Pauli-string observable on a full register.
+    pub fn from_pauli_string(s: &PauliString) -> Self {
+        let n = s.num_qubits();
+        Observable {
+            n_qubits: n,
+            targets: (0..n).collect(),
+            matrix: s.matrix(),
+        }
+    }
+
+    /// A real-weighted sum of Pauli strings `Σk wk·Pk` — the form quantum
+    /// many-body Hamiltonians take in VQE applications.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `terms` is empty or the strings have different lengths.
+    pub fn from_pauli_sum(terms: &[(f64, PauliString)]) -> Self {
+        assert!(!terms.is_empty(), "a Pauli sum needs at least one term");
+        let n = terms[0].1.num_qubits();
+        let dim = 1usize << n;
+        let mut matrix = Matrix::zeros(dim, dim);
+        for (weight, string) in terms {
+            assert_eq!(string.num_qubits(), n, "Pauli-string length mismatch");
+            matrix = &matrix + &string.matrix().scale(C64::real(*weight));
+        }
+        Observable {
+            n_qubits: n,
+            targets: (0..n).collect(),
+            matrix,
+        }
+    }
+
+    /// The smallest eigenvalue of the observable — for a Hamiltonian, its
+    /// exact ground-state energy (the VQE target).
+    pub fn min_eigenvalue(&self) -> f64 {
+        HermitianEigen::decompose(&self.matrix).eigenvalues[0]
+    }
+
+    /// `Z` on a single qubit.
+    pub fn pauli_z(n_qubits: usize, q: usize) -> Self {
+        Observable::new(n_qubits, vec![q], Matrix::pauli_z())
+    }
+
+    /// The projector `|1⟩⟨1|` on a single qubit — the read-out used by the
+    /// paper's classification case study (Section 8.1).
+    pub fn projector_one(n_qubits: usize, q: usize) -> Self {
+        Observable::new(n_qubits, vec![q], Matrix::basis_projector(2, 1))
+    }
+
+    /// The projector `|0⟩⟨0|` on a single qubit.
+    pub fn projector_zero(n_qubits: usize, q: usize) -> Self {
+        Observable::new(n_qubits, vec![q], Matrix::basis_projector(2, 0))
+    }
+
+    /// Register size this observable is defined over.
+    pub fn num_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Target qubits.
+    pub fn targets(&self) -> &[usize] {
+        &self.targets
+    }
+
+    /// The local matrix on the targets.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// Lifts to the full `2ⁿ × 2ⁿ` matrix (tests and duals only — the
+    /// expectation path never materialises this).
+    pub fn lifted_matrix(&self) -> Matrix {
+        crate::kernels::embed(self.n_qubits, &self.matrix, &self.targets)
+    }
+
+    /// The extended observable `ZA ⊗ O` of Definition 5.2, where the ancilla
+    /// `A` is a freshly prepended qubit 0 (all original targets shift by 1).
+    pub fn with_ancilla_z(&self) -> Observable {
+        let mut targets = vec![0usize];
+        targets.extend(self.targets.iter().map(|t| t + 1));
+        Observable {
+            n_qubits: self.n_qubits + 1,
+            targets,
+            matrix: Matrix::pauli_z().kron(&self.matrix),
+        }
+    }
+
+    /// Checks the paper's normalisation `-I ⊑ O ⊑ I` (Eq. 5.2) within `tol`.
+    pub fn is_bounded(&self, tol: f64) -> bool {
+        HermitianEigen::decompose(&self.matrix)
+            .eigenvalues
+            .iter()
+            .all(|&l| (-1.0 - tol..=1.0 + tol).contains(&l))
+    }
+
+    /// Expectation `tr(Oρ)` against a (partial) density operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when register sizes differ.
+    pub fn expectation(&self, rho: &DensityMatrix) -> f64 {
+        assert_eq!(
+            rho.num_qubits(),
+            self.n_qubits,
+            "observable register size mismatch"
+        );
+        let n = self.n_qubits;
+        let k = self.targets.len();
+        let dim = 1usize << n;
+        let masks: Vec<usize> = self
+            .targets
+            .iter()
+            .map(|&t| 1usize << qubit_bit(n, t))
+            .collect();
+        let all_mask: usize = masks.iter().sum();
+
+        let expand = |local: usize| -> usize {
+            let mut full = 0usize;
+            for (j, mask) in masks.iter().enumerate() {
+                if local & (1 << (k - 1 - j)) != 0 {
+                    full |= mask;
+                }
+            }
+            full
+        };
+
+        // tr(O_lift · ρ) = Σ_{a,b} O[a][b] Σ_env ρ[(b,env),(a,env)]
+        let mut acc = C64::ZERO;
+        let data = rho.as_slice();
+        for a in 0..(1usize << k) {
+            let fa = expand(a);
+            for b in 0..(1usize << k) {
+                let o_ab = self.matrix.get(a, b);
+                if o_ab == C64::ZERO {
+                    continue;
+                }
+                let fb = expand(b);
+                let mut env_sum = C64::ZERO;
+                let mut env = 0usize;
+                while env < dim {
+                    if env & all_mask == 0 {
+                        env_sum += data[(fb | env) * dim + (fa | env)];
+                    }
+                    env += 1;
+                }
+                acc = acc.mul_add(o_ab, env_sum);
+            }
+        }
+        debug_assert!(acc.im.abs() < 1e-7, "expectation has imaginary part {}", acc.im);
+        acc.re
+    }
+
+    /// Expectation `⟨ψ|O|ψ⟩` against a pure (possibly sub-normalised) state.
+    pub fn expectation_pure(&self, psi: &StateVector) -> f64 {
+        assert_eq!(
+            psi.num_qubits(),
+            self.n_qubits,
+            "observable register size mismatch"
+        );
+        let mut transformed = psi.amplitudes().to_vec();
+        apply_matrix(&mut transformed, self.n_qubits, &self.matrix, &self.targets);
+        let acc = psi
+            .amplitudes()
+            .iter()
+            .zip(&transformed)
+            .fold(C64::ZERO, |acc, (a, b)| acc.mul_add(a.conj(), *b));
+        debug_assert!(acc.im.abs() < 1e-7);
+        acc.re
+    }
+
+    /// Spectral decomposition into `(eigenvalue, projector)` pairs on the
+    /// target qubits — the projective measurement an experiment would run to
+    /// sample this observable (Eq. 5.1).
+    pub fn to_projective(&self) -> Vec<(f64, Matrix)> {
+        HermitianEigen::decompose(&self.matrix).spectral_projectors()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pauli_z_expectations_on_basis_states() {
+        let z = Observable::pauli_z(1, 0);
+        let zero = DensityMatrix::pure_zero(1);
+        let one = DensityMatrix::from_pure(&StateVector::basis_state(1, 1));
+        assert!((z.expectation(&zero) - 1.0).abs() < 1e-12);
+        assert!((z.expectation(&one) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_matches_lifted_trace() {
+        let mut psi = StateVector::zero_state(3);
+        psi.apply_gate(&Matrix::hadamard(), &[0]);
+        psi.apply_gate(&Matrix::cnot(), &[0, 2]);
+        psi.apply_gate(&Matrix::rotation_from_involution(&Matrix::pauli_y(), 0.7), &[1]);
+        let rho = DensityMatrix::from_pure(&psi);
+
+        let o = Observable::new(
+            3,
+            vec![2, 0],
+            Matrix::pauli_x().kron(&Matrix::pauli_z()),
+        );
+        let direct = o.expectation(&rho);
+        let lifted = o.lifted_matrix().trace_mul(&rho.to_matrix()).re;
+        assert!((direct - lifted).abs() < 1e-12);
+        let pure = o.expectation_pure(&psi);
+        assert!((direct - pure).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_string_observable() {
+        let s: PauliString = "ZZ".parse().unwrap();
+        let o = Observable::from_pauli_string(&s);
+        let mut psi = StateVector::zero_state(2);
+        psi.apply_gate(&Matrix::hadamard(), &[0]);
+        psi.apply_gate(&Matrix::cnot(), &[0, 1]);
+        // Bell state: ⟨ZZ⟩ = 1.
+        assert!((o.expectation_pure(&psi) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ancilla_extension_matches_kron() {
+        let o = Observable::pauli_z(1, 0);
+        let ext = o.with_ancilla_z();
+        assert_eq!(ext.num_qubits(), 2);
+        let expected = Matrix::pauli_z().kron(&Matrix::pauli_z());
+        assert!(ext.lifted_matrix().approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn boundedness_check() {
+        assert!(Observable::pauli_z(1, 0).is_bounded(1e-9));
+        assert!(Observable::projector_one(1, 0).is_bounded(1e-9));
+        let big = Observable::new(1, vec![0], Matrix::pauli_z().scale(C64::real(2.0)));
+        assert!(!big.is_bounded(1e-9));
+    }
+
+    #[test]
+    fn projective_decomposition_reconstructs() {
+        let o = Observable::new(
+            2,
+            vec![0, 1],
+            Matrix::pauli_x().kron(&Matrix::pauli_x()),
+        );
+        let mut sum = Matrix::zeros(4, 4);
+        for (l, p) in o.to_projective() {
+            sum = &sum + &p.scale(C64::real(l));
+        }
+        assert!(sum.approx_eq(o.matrix(), 1e-9));
+    }
+
+    #[test]
+    fn expectation_of_partial_state_scales() {
+        let mut rho = DensityMatrix::pure_zero(1);
+        rho.scale(0.5);
+        let z = Observable::pauli_z(1, 0);
+        assert!((z.expectation(&rho) - 0.5).abs() < 1e-12);
+    }
+}

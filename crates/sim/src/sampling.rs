@@ -1,0 +1,226 @@
+//! Shot-based sampling of measurements and observables.
+//!
+//! Section 7 of the paper analyses the *execution* of the differentiation
+//! procedure: expectations `tr(Oρ)` are estimated by repeated projective
+//! measurement, with `O(1/δ²)` repetitions for additive error `δ` (Chernoff
+//! bound). This module provides that statistical layer over the exact
+//! simulator.
+
+use crate::measurement::Measurement;
+use crate::observable::Observable;
+use crate::state::StateVector;
+use qdp_linalg::C64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded sampler producing measurement shots from simulated states.
+///
+/// # Examples
+///
+/// ```
+/// use qdp_linalg::Matrix;
+/// use qdp_sim::{Observable, ShotSampler, StateVector};
+///
+/// let mut psi = StateVector::zero_state(1);
+/// psi.apply_gate(&Matrix::hadamard(), &[0]);
+/// let z = Observable::pauli_z(1, 0);
+/// let mut sampler = ShotSampler::seeded(7);
+/// let estimate = sampler.estimate_observable(&psi, &z, 4096);
+/// assert!(estimate.abs() < 0.1); // true value is 0
+/// ```
+#[derive(Debug)]
+pub struct ShotSampler {
+    rng: StdRng,
+}
+
+impl ShotSampler {
+    /// Creates a sampler with a fixed seed (reproducible runs).
+    pub fn seeded(seed: u64) -> Self {
+        ShotSampler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates a sampler from operating-system entropy.
+    pub fn from_entropy() -> Self {
+        ShotSampler {
+            rng: StdRng::from_entropy(),
+        }
+    }
+
+    /// Draws a uniform index in `0..n`.
+    pub fn uniform_index(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    /// Performs one shot of `measurement` on a normalised pure state;
+    /// returns the sampled outcome and the collapsed, renormalised state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state has (numerically) zero norm.
+    pub fn measure(
+        &mut self,
+        psi: &StateVector,
+        measurement: &Measurement,
+    ) -> (usize, StateVector) {
+        let total = psi.norm_sqr();
+        assert!(total > 1e-300, "cannot measure a zero-norm state");
+        let branches = measurement.branches_pure(psi);
+        let mut r: f64 = self.rng.gen::<f64>() * total;
+        for b in &branches {
+            r -= b.probability;
+            if r <= 0.0 {
+                let mut state = b.state.clone();
+                if b.probability > 0.0 {
+                    state.scale(C64::real((total / b.probability).sqrt().min(1e150)));
+                    // Renormalise to the parent state's norm.
+                    let norm = state.norm_sqr().sqrt();
+                    if norm > 0.0 {
+                        state.scale(C64::real(total.sqrt() / norm));
+                    }
+                }
+                return (b.outcome, state);
+            }
+        }
+        // Floating-point slack: fall back to the last branch with support.
+        let last = branches
+            .into_iter()
+            .rev()
+            .find(|b| b.probability > 0.0)
+            .expect("no branch has support");
+        let mut state = last.state.clone();
+        let norm = state.norm_sqr().sqrt();
+        if norm > 0.0 {
+            state.scale(C64::real(total.sqrt() / norm));
+        }
+        (last.outcome, state)
+    }
+
+    /// One shot of an observable: projectively measures in the observable's
+    /// eigenbasis and returns the sampled eigenvalue.
+    pub fn sample_observable(&mut self, psi: &StateVector, obs: &Observable) -> f64 {
+        let total = psi.norm_sqr();
+        if total <= 1e-300 {
+            return 0.0;
+        }
+        let mut r: f64 = self.rng.gen::<f64>() * total;
+        let projective = obs.to_projective();
+        for (eigenvalue, projector) in &projective {
+            let p = Observable::new(
+                obs.num_qubits(),
+                obs.targets().to_vec(),
+                projector.clone(),
+            )
+            .expectation_pure(psi);
+            r -= p;
+            if r <= 0.0 {
+                return *eigenvalue;
+            }
+        }
+        projective.last().map(|(l, _)| *l).unwrap_or(0.0)
+    }
+
+    /// Monte-Carlo estimate of `⟨O⟩` from `shots` projective samples.
+    pub fn estimate_observable(
+        &mut self,
+        psi: &StateVector,
+        obs: &Observable,
+        shots: usize,
+    ) -> f64 {
+        assert!(shots > 0, "need at least one shot");
+        let mut acc = 0.0;
+        for _ in 0..shots {
+            acc += self.sample_observable(psi, obs);
+        }
+        acc / shots as f64
+    }
+
+    /// Number of repetitions the paper's Chernoff analysis prescribes for
+    /// estimating a sum of `m` program read-outs to additive precision
+    /// `delta` (Section 7: `O(m²/δ²)`).
+    pub fn chernoff_shots(m: usize, delta: f64) -> usize {
+        assert!(delta > 0.0, "precision must be positive");
+        let m = m.max(1) as f64;
+        ((m * m) / (delta * delta)).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdp_linalg::Matrix;
+
+    #[test]
+    fn measurement_statistics_approach_born_rule() {
+        let mut psi = StateVector::zero_state(1);
+        psi.apply_gate(&Matrix::hadamard(), &[0]);
+        let m = Measurement::computational(vec![0]);
+        let mut sampler = ShotSampler::seeded(42);
+        let shots = 20_000;
+        let mut ones = 0usize;
+        for _ in 0..shots {
+            let (outcome, _) = sampler.measure(&psi, &m);
+            ones += outcome;
+        }
+        let freq = ones as f64 / shots as f64;
+        assert!((freq - 0.5).abs() < 0.02, "frequency {freq} too far from 0.5");
+    }
+
+    #[test]
+    fn collapsed_state_is_consistent() {
+        let mut psi = StateVector::zero_state(2);
+        psi.apply_gate(&Matrix::hadamard(), &[0]);
+        psi.apply_gate(&Matrix::cnot(), &[0, 1]);
+        let m = Measurement::computational(vec![0]);
+        let mut sampler = ShotSampler::seeded(1);
+        for _ in 0..20 {
+            let (outcome, collapsed) = sampler.measure(&psi, &m);
+            assert_eq!(collapsed.classical_bit(0), Some(outcome == 1));
+            assert_eq!(collapsed.classical_bit(1), Some(outcome == 1));
+            assert!((collapsed.norm_sqr() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn observable_estimate_converges() {
+        let psi = StateVector::zero_state(1); // ⟨Z⟩ = 1 exactly
+        let z = Observable::pauli_z(1, 0);
+        let mut sampler = ShotSampler::seeded(3);
+        let est = sampler.estimate_observable(&psi, &z, 100);
+        assert!((est - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observable_estimate_on_superposition() {
+        let mut psi = StateVector::zero_state(1);
+        psi.apply_gate(
+            &Matrix::rotation_from_involution(&Matrix::pauli_y(), 1.0),
+            &[0],
+        );
+        let z = Observable::pauli_z(1, 0);
+        let exact = z.expectation_pure(&psi);
+        let mut sampler = ShotSampler::seeded(1234);
+        let est = sampler.estimate_observable(&psi, &z, 40_000);
+        assert!((est - exact).abs() < 0.02, "estimate {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn chernoff_shot_count_scales_quadratically() {
+        assert_eq!(ShotSampler::chernoff_shots(1, 0.1), 100);
+        assert_eq!(ShotSampler::chernoff_shots(2, 0.1), 400);
+        assert_eq!(ShotSampler::chernoff_shots(4, 0.1), 1600);
+    }
+
+    #[test]
+    fn seeded_samplers_are_reproducible() {
+        let mut psi = StateVector::zero_state(1);
+        psi.apply_gate(&Matrix::hadamard(), &[0]);
+        let m = Measurement::computational(vec![0]);
+        let run = |seed: u64| -> Vec<usize> {
+            let mut s = ShotSampler::seeded(seed);
+            (0..32).map(|_| s.measure(&psi, &m).0).collect()
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

@@ -1,0 +1,253 @@
+//! Pure quantum states.
+
+use crate::kernels::{apply_matrix, qubit_bit};
+use qdp_linalg::{C64, CVector, Matrix};
+
+/// A pure state `|ψ⟩` of an `n`-qubit register, possibly sub-normalised.
+///
+/// Sub-normalised states arise as measurement branches: the squared norm is
+/// the probability of the branch (this mirrors the paper's use of *partial*
+/// density operators to carry probabilities through the semantics).
+///
+/// # Examples
+///
+/// ```
+/// use qdp_linalg::Matrix;
+/// use qdp_sim::StateVector;
+///
+/// let mut bell = StateVector::zero_state(2);
+/// bell.apply_gate(&Matrix::hadamard(), &[0]);
+/// bell.apply_gate(&Matrix::cnot(), &[0, 1]);
+/// assert!((bell.probability_of(0b00) - 0.5).abs() < 1e-12);
+/// assert!((bell.probability_of(0b11) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateVector {
+    n_qubits: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    pub fn zero_state(n_qubits: usize) -> Self {
+        let mut amps = vec![C64::ZERO; 1 << n_qubits];
+        amps[0] = C64::ONE;
+        StateVector { n_qubits, amps }
+    }
+
+    /// The computational basis state `|k⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k >= 2ⁿ`.
+    pub fn basis_state(n_qubits: usize, k: usize) -> Self {
+        assert!(k < 1 << n_qubits, "basis index {k} out of range");
+        let mut amps = vec![C64::ZERO; 1 << n_qubits];
+        amps[k] = C64::ONE;
+        StateVector { n_qubits, amps }
+    }
+
+    /// Builds a state from raw amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the length is not a power of two matching `n_qubits`.
+    pub fn from_amplitudes(n_qubits: usize, amps: Vec<C64>) -> Self {
+        assert_eq!(amps.len(), 1 << n_qubits, "amplitude count must be 2^n");
+        StateVector { n_qubits, amps }
+    }
+
+    /// The basis state `|b₀b₁…⟩` for classical bits (qubit 0 first).
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let n = bits.len();
+        let mut k = 0usize;
+        for (q, &b) in bits.iter().enumerate() {
+            if b {
+                k |= 1 << qubit_bit(n, q);
+            }
+        }
+        StateVector::basis_state(n, k)
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Hilbert-space dimension `2ⁿ`.
+    pub fn dim(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// Borrows the amplitudes.
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Mutably borrows the amplitudes.
+    pub fn amplitudes_mut(&mut self) -> &mut [C64] {
+        &mut self.amps
+    }
+
+    /// Squared norm — the total probability carried by this (branch) state.
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|z| z.norm_sqr()).sum()
+    }
+
+    /// Probability of observing basis index `k` (relative to a normalised
+    /// parent state).
+    pub fn probability_of(&self, k: usize) -> f64 {
+        self.amps[k].norm_sqr()
+    }
+
+    /// Applies an arbitrary operator (not necessarily unitary) on `targets`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or duplicate targets.
+    pub fn apply_gate(&mut self, gate: &Matrix, targets: &[usize]) {
+        apply_matrix(&mut self.amps, self.n_qubits, gate, targets);
+    }
+
+    /// Returns a copy with the operator applied.
+    pub fn with_gate(&self, gate: &Matrix, targets: &[usize]) -> StateVector {
+        let mut s = self.clone();
+        s.apply_gate(gate, targets);
+        s
+    }
+
+    /// Tensor product `self ⊗ other` (other's qubits appended after).
+    pub fn tensor(&self, other: &StateVector) -> StateVector {
+        let v = CVector::new(self.amps.clone()).kron(&CVector::new(other.amps.clone()));
+        StateVector {
+            n_qubits: self.n_qubits + other.n_qubits,
+            amps: v.into_inner(),
+        }
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    pub fn inner(&self, other: &StateVector) -> C64 {
+        assert_eq!(self.n_qubits, other.n_qubits, "qubit-count mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .fold(C64::ZERO, |acc, (a, b)| acc.mul_add(a.conj(), *b))
+    }
+
+    /// Approximate equality within entry-wise tolerance `tol`.
+    pub fn approx_eq(&self, other: &StateVector, tol: f64) -> bool {
+        self.n_qubits == other.n_qubits
+            && self
+                .amps
+                .iter()
+                .zip(&other.amps)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Scales all amplitudes by `s`.
+    pub fn scale(&mut self, s: C64) {
+        for a in &mut self.amps {
+            *a *= s;
+        }
+    }
+
+    /// Reads out the classical value of qubit `q` assuming the state is a
+    /// basis state on that qubit; returns `None` if the qubit is in
+    /// superposition (beyond tolerance `1e-9`).
+    pub fn classical_bit(&self, q: usize) -> Option<bool> {
+        let mask = 1usize << qubit_bit(self.n_qubits, q);
+        let mut p1 = 0.0;
+        let mut p0 = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            if i & mask != 0 {
+                p1 += a.norm_sqr();
+            } else {
+                p0 += a.norm_sqr();
+            }
+        }
+        let total = p0 + p1;
+        if total == 0.0 {
+            return None;
+        }
+        if p1 / total < 1e-9 {
+            Some(false)
+        } else if p0 / total < 1e-9 {
+            Some(true)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_state_is_normalised() {
+        let s = StateVector::zero_state(3);
+        assert_eq!(s.dim(), 8);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-15);
+        assert_eq!(s.probability_of(0), 1.0);
+    }
+
+    #[test]
+    fn from_bits_sets_correct_index() {
+        // qubit0=1, qubit1=0, qubit2=1 → index 0b101 = 5
+        let s = StateVector::from_bits(&[true, false, true]);
+        assert_eq!(s.probability_of(5), 1.0);
+    }
+
+    #[test]
+    fn bell_state_construction() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_gate(&Matrix::hadamard(), &[0]);
+        s.apply_gate(&Matrix::cnot(), &[0, 1]);
+        assert!((s.probability_of(0) - 0.5).abs() < 1e-12);
+        assert!((s.probability_of(3) - 0.5).abs() < 1e-12);
+        assert!(s.probability_of(1) < 1e-15);
+        assert!(s.probability_of(2) < 1e-15);
+    }
+
+    #[test]
+    fn unitaries_preserve_norm() {
+        let mut s = StateVector::zero_state(3);
+        for (g, t) in [
+            (Matrix::hadamard(), vec![0]),
+            (Matrix::pauli_y(), vec![2]),
+            (Matrix::cnot(), vec![0, 2]),
+            (Matrix::rotation_from_involution(&Matrix::pauli_x(), 1.3), vec![1]),
+        ] {
+            s.apply_gate(&g, &t);
+            assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tensor_concatenates_registers() {
+        let a = StateVector::basis_state(1, 1); // |1⟩
+        let b = StateVector::basis_state(2, 0); // |00⟩
+        let t = a.tensor(&b);
+        assert_eq!(t.num_qubits(), 3);
+        assert_eq!(t.probability_of(0b100), 1.0);
+    }
+
+    #[test]
+    fn classical_bit_detection() {
+        let s = StateVector::from_bits(&[true, false]);
+        assert_eq!(s.classical_bit(0), Some(true));
+        assert_eq!(s.classical_bit(1), Some(false));
+        let mut plus = StateVector::zero_state(1);
+        plus.apply_gate(&Matrix::hadamard(), &[0]);
+        assert_eq!(plus.classical_bit(0), None);
+    }
+
+    #[test]
+    fn inner_product_with_self_is_norm() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_gate(&Matrix::hadamard(), &[1]);
+        let ip = s.inner(&s);
+        assert!((ip.re - s.norm_sqr()).abs() < 1e-14);
+        assert!(ip.im.abs() < 1e-14);
+    }
+}

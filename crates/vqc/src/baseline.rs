@@ -1,0 +1,308 @@
+//! The phase-shift-rule baseline (Schuld et al. 2019 — the rule PennyLane
+//! implements).
+//!
+//! For a Pauli rotation `R(θ) = exp(-iθσ/2)` the read-out satisfies
+//! `∂f/∂θ = ½·[f(θ+π/2) − f(θ−π/2)]`, evaluated with **two** circuit runs
+//! per parameter occurrence. The rule is defined for quantum *circuits*
+//! only: like PennyLane's quantum-node design, it cannot differentiate
+//! through measurement-based control flow (`case`, `while`), which is
+//! exactly the limitation the paper's scheme removes (Section 8.1).
+
+use qdp_lang::ast::{Params, Stmt};
+use qdp_lang::{denot, Register};
+use qdp_sim::{Observable, StateVector};
+use std::collections::BTreeMap;
+use std::f64::consts::FRAC_PI_2;
+use std::fmt;
+
+/// Error constructing the baseline differentiator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The program contains a construct outside the circuit fragment.
+    ControlFlowUnsupported {
+        /// The offending construct (`case`, `while`, `+`).
+        construct: &'static str,
+    },
+    /// The circuit contains a gate the phase-shift rule does not cover.
+    GateUnsupported {
+        /// Mnemonic of the offending gate.
+        gate: String,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::ControlFlowUnsupported { construct } => write!(
+                f,
+                "the phase-shift rule handles circuits only; '{construct}' requires \
+                 the code-transformation scheme"
+            ),
+            BaselineError::GateUnsupported { gate } => write!(
+                f,
+                "the phase-shift rule is established for Rσ/Rσ⊗σ gates only, found {gate}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// Phase-shift-rule differentiator for circuit-only programs.
+///
+/// # Examples
+///
+/// ```
+/// use qdp_vqc::baseline::PhaseShift;
+/// use qdp_lang::parse_program;
+///
+/// // Measurement control flow is rejected — PennyLane's limitation.
+/// let controlled = parse_program(
+///     "case M[q1] = 0 -> skip[q1], 1 -> q1 *= RX(t) end",
+/// )?;
+/// assert!(PhaseShift::new(&controlled).is_err());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct PhaseShift {
+    program: Stmt,
+    register: Register,
+    params: Vec<String>,
+}
+
+impl PhaseShift {
+    /// Validates that the program is a circuit (unitaries, initialisations,
+    /// skips in sequence) and builds the differentiator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::ControlFlowUnsupported`] on `case`, `while`,
+    /// or additive choice.
+    pub fn new(program: &Stmt) -> Result<Self, BaselineError> {
+        check_circuit(program)?;
+        Ok(PhaseShift {
+            register: Register::from_program(program),
+            params: program.parameters().into_iter().collect(),
+            program: program.clone(),
+        })
+    }
+
+    /// Parameter names of the circuit.
+    pub fn parameters(&self) -> &[String] {
+        &self.params
+    }
+
+    /// Forward value `⟨O⟩` on a pure input.
+    pub fn value(&self, params: &Params, obs: &Observable, psi: &StateVector) -> f64 {
+        denot::expectation_pure(&self.program, &self.register, params, psi, obs)
+    }
+
+    /// Derivative with respect to `param` by the phase-shift rule, summing
+    /// `½[f(+π/2) − f(−π/2)]` over every occurrence of the parameter
+    /// (two circuit evaluations per occurrence).
+    pub fn derivative(
+        &self,
+        params: &Params,
+        param: &str,
+        obs: &Observable,
+        psi: &StateVector,
+    ) -> f64 {
+        let occurrences = count_occurrences(&self.program, param);
+        let mut total = 0.0;
+        for occ in 0..occurrences {
+            let plus = shift_occurrence(&self.program, param, occ, FRAC_PI_2);
+            let minus = shift_occurrence(&self.program, param, occ, -FRAC_PI_2);
+            let f_plus = denot::expectation_pure(&plus, &self.register, params, psi, obs);
+            let f_minus = denot::expectation_pure(&minus, &self.register, params, psi, obs);
+            total += 0.5 * (f_plus - f_minus);
+        }
+        total
+    }
+
+    /// The full gradient; costs two circuit evaluations per parameter
+    /// occurrence (versus one per occurrence for the paper's gadget).
+    pub fn gradient(
+        &self,
+        params: &Params,
+        obs: &Observable,
+        psi: &StateVector,
+    ) -> BTreeMap<String, f64> {
+        self.params
+            .iter()
+            .map(|name| (name.clone(), self.derivative(params, name, obs, psi)))
+            .collect()
+    }
+
+    /// Number of circuit evaluations one full gradient costs with this
+    /// rule: `2 × Σj OCj`.
+    pub fn circuit_evaluations_per_gradient(&self) -> usize {
+        self.params
+            .iter()
+            .map(|p| 2 * count_occurrences(&self.program, p))
+            .sum()
+    }
+}
+
+fn check_circuit(stmt: &Stmt) -> Result<(), BaselineError> {
+    match stmt {
+        Stmt::Unitary { gate, .. } => match gate {
+            qdp_lang::Gate::CRot { .. } | qdp_lang::Gate::CCoupling { .. } => {
+                Err(BaselineError::GateUnsupported {
+                    gate: gate.mnemonic(),
+                })
+            }
+            _ => Ok(()),
+        },
+        Stmt::Abort { .. } | Stmt::Skip { .. } | Stmt::Init { .. } => Ok(()),
+        Stmt::Seq(a, b) => {
+            check_circuit(a)?;
+            check_circuit(b)
+        }
+        Stmt::Case { .. } => Err(BaselineError::ControlFlowUnsupported { construct: "case" }),
+        Stmt::While { .. } => Err(BaselineError::ControlFlowUnsupported { construct: "while" }),
+        Stmt::Sum(..) => Err(BaselineError::ControlFlowUnsupported { construct: "+" }),
+    }
+}
+
+fn count_occurrences(stmt: &Stmt, param: &str) -> usize {
+    let mut count = 0;
+    stmt.visit(&mut |s| {
+        if let Stmt::Unitary { gate, .. } = s {
+            if gate.uses_param(param) {
+                count += 1;
+            }
+        }
+    });
+    count
+}
+
+/// Returns a copy of the circuit with the `occurrence`-th use of `param`
+/// shifted by `delta`.
+fn shift_occurrence(stmt: &Stmt, param: &str, occurrence: usize, delta: f64) -> Stmt {
+    let mut seen = 0usize;
+    shift_rec(stmt, param, occurrence, delta, &mut seen)
+}
+
+fn shift_rec(stmt: &Stmt, param: &str, target: usize, delta: f64, seen: &mut usize) -> Stmt {
+    match stmt {
+        Stmt::Unitary { gate, qs } if gate.uses_param(param) => {
+            let idx = *seen;
+            *seen += 1;
+            if idx == target {
+                let shifted = shift_gate(gate, delta);
+                Stmt::Unitary {
+                    gate: shifted,
+                    qs: qs.clone(),
+                }
+            } else {
+                stmt.clone()
+            }
+        }
+        Stmt::Seq(a, b) => Stmt::Seq(
+            Box::new(shift_rec(a, param, target, delta, seen)),
+            Box::new(shift_rec(b, param, target, delta, seen)),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn shift_gate(gate: &qdp_lang::Gate, delta: f64) -> qdp_lang::Gate {
+    use qdp_lang::Gate;
+    match gate {
+        Gate::Rot { axis, angle } => Gate::Rot {
+            axis: *axis,
+            angle: angle.shifted(delta),
+        },
+        Gate::Coupling { axis, angle } => Gate::Coupling {
+            axis: *axis,
+            angle: angle.shifted(delta),
+        },
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits::{p1, p2};
+    use qdp_ad::GradientEngine;
+    use qdp_lang::parse_program;
+
+    #[test]
+    fn rejects_all_control_flow() {
+        for (src, construct) in [
+            ("case M[q1] = 0 -> skip[q1], 1 -> skip[q1] end", "case"),
+            ("while[2] M[q1] = 1 do skip[q1] done", "while"),
+            ("skip[q1] + skip[q1]", "+"),
+        ] {
+            let p = parse_program(src).unwrap();
+            let err = PhaseShift::new(&p).unwrap_err();
+            assert_eq!(err, BaselineError::ControlFlowUnsupported { construct });
+        }
+    }
+
+    #[test]
+    fn rejects_p2_but_accepts_p1() {
+        assert!(PhaseShift::new(&p1()).is_ok());
+        assert!(PhaseShift::new(&p2()).is_err());
+    }
+
+    #[test]
+    fn matches_analytic_derivative_on_single_rotation() {
+        let p = parse_program("q1 *= RY(t)").unwrap();
+        let ps = PhaseShift::new(&p).unwrap();
+        let obs = Observable::pauli_z(1, 0);
+        let psi = StateVector::zero_state(1);
+        for theta in [0.0, 0.5, 1.7] {
+            let params = Params::from_pairs([("t", theta)]);
+            let d = ps.derivative(&params, "t", &obs, &psi);
+            assert!((d + theta.sin()).abs() < 1e-10, "θ={theta}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_code_transformation_on_p1() {
+        // On the circuit-only P1 both differentiation schemes must agree.
+        let program = p1();
+        let ps = PhaseShift::new(&program).unwrap();
+        let engine = GradientEngine::new(&program).unwrap();
+        let params = Params::from_pairs(
+            program
+                .parameters()
+                .into_iter()
+                .enumerate()
+                .map(|(i, name)| (name, 0.1 + 0.37 * i as f64)),
+        );
+        let obs = crate::task::readout_observable();
+        let psi = StateVector::from_bits(&[true, false, false, true]);
+        let baseline = ps.gradient(&params, &obs, &psi);
+        let transformed = engine.gradient_pure(&params, &obs, &psi);
+        for (name, value) in &baseline {
+            assert!(
+                (value - transformed[name]).abs() < 1e-9,
+                "∂/∂{name}: baseline {value} vs transform {}",
+                transformed[name]
+            );
+        }
+    }
+
+    #[test]
+    fn handles_shared_parameters_by_summing_occurrences() {
+        let p = parse_program("q1 *= RX(t); q1 *= RY(t)").unwrap();
+        let ps = PhaseShift::new(&p).unwrap();
+        let engine = GradientEngine::new(&p).unwrap();
+        let params = Params::from_pairs([("t", 0.8)]);
+        let obs = Observable::pauli_z(1, 0);
+        let psi = StateVector::zero_state(1);
+        let lhs = ps.derivative(&params, "t", &obs, &psi);
+        let rhs = engine.gradient_pure(&params, &obs, &psi)["t"];
+        assert!((lhs - rhs).abs() < 1e-10);
+    }
+
+    #[test]
+    fn counts_two_evaluations_per_occurrence() {
+        let p = parse_program("q1 *= RX(t); q1 *= RY(t); q1 *= RZ(s)").unwrap();
+        let ps = PhaseShift::new(&p).unwrap();
+        assert_eq!(ps.circuit_evaluations_per_gradient(), 2 * 3);
+    }
+}

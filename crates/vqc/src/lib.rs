@@ -1,0 +1,38 @@
+//! # qdp-vqc
+//!
+//! The evaluation layer of the PLDI 2020 reproduction: variational quantum
+//! circuits with controls, their training, and the phase-shift-rule
+//! baseline.
+//!
+//! * [`circuits`] — the Section 8.1 case-study programs `Q(Γ)`, `P1`, `P2`,
+//! * [`families`] — the QNN/VQE/QAOA benchmark instances of Table 2/3,
+//! * [`task`] — the 4-bit classification task `f(z) = ¬(z1⊕z4)`,
+//! * [`loss`] / [`optim`] / [`train`] — squared and NLL losses, GD /
+//!   momentum / Adam optimizers, and the full-batch training loop,
+//! * [`baseline`] — the two-circuit phase-shift rule (what PennyLane
+//!   implements), which rejects measurement-controlled programs — the
+//!   comparison that motivates the paper's scheme.
+//!
+//! # Examples
+//!
+//! ```
+//! use qdp_vqc::{baseline::PhaseShift, circuits};
+//!
+//! // P1 (no control) is differentiable by both schemes; P2 (with control)
+//! // only by the paper's code transformation.
+//! assert!(PhaseShift::new(&circuits::p1()).is_ok());
+//! assert!(PhaseShift::new(&circuits::p2()).is_err());
+//! ```
+
+pub mod baseline;
+pub mod circuits;
+pub mod families;
+pub mod hamiltonian;
+pub mod loss;
+pub mod optim;
+pub mod task;
+pub mod train;
+
+pub use circuits::{p1, p2, q_block};
+pub use families::{Control, Family, InstanceConfig};
+pub use train::Trainer;

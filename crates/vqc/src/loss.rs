@@ -1,0 +1,132 @@
+//! Loss functions for training variational classifiers.
+//!
+//! The paper's case study (Section 8.1) uses the squared loss of Eq. 8.3 —
+//! chosen there for direct comparison with PennyLane — and mentions the
+//! average negative log-likelihood as the natural alternative; both are
+//! provided.
+
+/// A differentiable scalar loss on `(prediction, label)` pairs.
+pub trait Loss {
+    /// The loss value for one sample.
+    fn loss(&self, prediction: f64, label: f64) -> f64;
+
+    /// The derivative of the loss with respect to the prediction.
+    fn grad(&self, prediction: f64, label: f64) -> f64;
+
+    /// Total loss over a batch of `(prediction, label)` pairs.
+    fn total<'a, I>(&self, pairs: I) -> f64
+    where
+        I: IntoIterator<Item = (f64, f64)>,
+        Self: Sized,
+    {
+        pairs.into_iter().map(|(p, l)| self.loss(p, l)).sum()
+    }
+}
+
+impl Loss for Box<dyn Loss + '_> {
+    fn loss(&self, prediction: f64, label: f64) -> f64 {
+        (**self).loss(prediction, label)
+    }
+
+    fn grad(&self, prediction: f64, label: f64) -> f64 {
+        (**self).grad(prediction, label)
+    }
+}
+
+/// The squared loss `0.5·(l − f)²` of Eq. 8.3.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SquaredLoss;
+
+impl Loss for SquaredLoss {
+    fn loss(&self, prediction: f64, label: f64) -> f64 {
+        0.5 * (prediction - label).powi(2)
+    }
+
+    fn grad(&self, prediction: f64, label: f64) -> f64 {
+        prediction - label
+    }
+}
+
+/// Negative log-likelihood for probabilistic binary predictions, clamped
+/// away from 0/1 for numerical stability.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NegLogLikelihood {
+    /// Predictions are clamped to `[eps, 1-eps]`.
+    pub eps: f64,
+}
+
+impl Default for NegLogLikelihood {
+    fn default() -> Self {
+        NegLogLikelihood { eps: 1e-9 }
+    }
+}
+
+impl NegLogLikelihood {
+    fn clamp(&self, p: f64) -> f64 {
+        p.clamp(self.eps, 1.0 - self.eps)
+    }
+}
+
+impl Loss for NegLogLikelihood {
+    fn loss(&self, prediction: f64, label: f64) -> f64 {
+        let p = self.clamp(prediction);
+        -(label * p.ln() + (1.0 - label) * (1.0 - p).ln())
+    }
+
+    fn grad(&self, prediction: f64, label: f64) -> f64 {
+        let p = self.clamp(prediction);
+        -(label / p) + (1.0 - label) / (1.0 - p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_grad(loss: &impl Loss, p: f64, l: f64) -> f64 {
+        let h = 1e-6;
+        (loss.loss(p + h, l) - loss.loss(p - h, l)) / (2.0 * h)
+    }
+
+    #[test]
+    fn squared_loss_values() {
+        let sq = SquaredLoss;
+        assert_eq!(sq.loss(1.0, 1.0), 0.0);
+        assert_eq!(sq.loss(0.0, 1.0), 0.5);
+        assert_eq!(sq.grad(0.25, 1.0), -0.75);
+    }
+
+    #[test]
+    fn squared_loss_gradient_matches_numeric() {
+        let sq = SquaredLoss;
+        for (p, l) in [(0.2, 1.0), (0.9, 0.0), (0.5, 0.5)] {
+            assert!((sq.grad(p, l) - numeric_grad(&sq, p, l)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn nll_gradient_matches_numeric() {
+        let nll = NegLogLikelihood::default();
+        for (p, l) in [(0.2, 1.0), (0.9, 0.0), (0.5, 1.0)] {
+            assert!(
+                (nll.grad(p, l) - numeric_grad(&nll, p, l)).abs() < 1e-4,
+                "p={p} l={l}"
+            );
+        }
+    }
+
+    #[test]
+    fn nll_is_zero_at_perfect_confidence() {
+        let nll = NegLogLikelihood::default();
+        assert!(nll.loss(1.0, 1.0) < 1e-8);
+        assert!(nll.loss(0.0, 0.0) < 1e-8);
+        assert!(nll.loss(0.0, 1.0) > 10.0);
+    }
+
+    #[test]
+    fn batch_total_sums() {
+        let sq = SquaredLoss;
+        let total = sq.total([(0.0, 1.0), (1.0, 1.0), (0.5, 0.0)]);
+        assert!((total - (0.5 + 0.0 + 0.125)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,186 @@
+//! First-order optimizers for the training loop.
+//!
+//! The paper trains with plain gradient descent; momentum and Adam are
+//! provided as drop-in extensions for the ablation benchmarks.
+
+use std::collections::BTreeMap;
+
+/// A parameter-vector optimizer consuming gradients keyed by name.
+pub trait Optimizer {
+    /// Updates `params` in place given the gradient.
+    fn step(&mut self, params: &mut BTreeMap<String, f64>, grads: &BTreeMap<String, f64>);
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Vanilla gradient descent `θ ← θ − η·∇`.
+#[derive(Clone, Debug)]
+pub struct GradientDescent {
+    /// Learning rate η.
+    pub learning_rate: f64,
+}
+
+impl GradientDescent {
+    /// Creates a gradient-descent optimizer.
+    pub fn new(learning_rate: f64) -> Self {
+        GradientDescent { learning_rate }
+    }
+}
+
+impl Optimizer for GradientDescent {
+    fn step(&mut self, params: &mut BTreeMap<String, f64>, grads: &BTreeMap<String, f64>) {
+        for (name, g) in grads {
+            if let Some(p) = params.get_mut(name) {
+                *p -= self.learning_rate * g;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "gradient-descent"
+    }
+}
+
+/// Gradient descent with classical momentum.
+#[derive(Clone, Debug)]
+pub struct Momentum {
+    /// Learning rate η.
+    pub learning_rate: f64,
+    /// Momentum coefficient μ.
+    pub momentum: f64,
+    velocity: BTreeMap<String, f64>,
+}
+
+impl Momentum {
+    /// Creates a momentum optimizer.
+    pub fn new(learning_rate: f64, momentum: f64) -> Self {
+        Momentum {
+            learning_rate,
+            momentum,
+            velocity: BTreeMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step(&mut self, params: &mut BTreeMap<String, f64>, grads: &BTreeMap<String, f64>) {
+        for (name, g) in grads {
+            let v = self.velocity.entry(name.clone()).or_insert(0.0);
+            *v = self.momentum * *v - self.learning_rate * g;
+            if let Some(p) = params.get_mut(name) {
+                *p += *v;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "momentum"
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba) with the usual bias correction.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate α.
+    pub learning_rate: f64,
+    /// First-moment decay β₁.
+    pub beta1: f64,
+    /// Second-moment decay β₂.
+    pub beta2: f64,
+    /// Stabiliser ε.
+    pub epsilon: f64,
+    step_count: u64,
+    first: BTreeMap<String, f64>,
+    second: BTreeMap<String, f64>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard defaults `β₁=0.9, β₂=0.999, ε=1e-8`.
+    pub fn new(learning_rate: f64) -> Self {
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            step_count: 0,
+            first: BTreeMap::new(),
+            second: BTreeMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut BTreeMap<String, f64>, grads: &BTreeMap<String, f64>) {
+        self.step_count += 1;
+        let t = self.step_count as i32;
+        for (name, g) in grads {
+            let m = self.first.entry(name.clone()).or_insert(0.0);
+            *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+            let v = self.second.entry(name.clone()).or_insert(0.0);
+            *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+            let m_hat = *m / (1.0 - self.beta1.powi(t));
+            let v_hat = *v / (1.0 - self.beta2.powi(t));
+            if let Some(p) = params.get_mut(name) {
+                *p -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(params: &BTreeMap<String, f64>) -> BTreeMap<String, f64> {
+        // ∇ of f(x, y) = (x−3)² + (y+1)².
+        let mut g = BTreeMap::new();
+        g.insert("x".to_string(), 2.0 * (params["x"] - 3.0));
+        g.insert("y".to_string(), 2.0 * (params["y"] + 1.0));
+        g
+    }
+
+    fn run(optimizer: &mut dyn Optimizer, iterations: usize) -> BTreeMap<String, f64> {
+        let mut params =
+            BTreeMap::from([("x".to_string(), 0.0), ("y".to_string(), 0.0)]);
+        for _ in 0..iterations {
+            let g = quadratic_grad(&params);
+            optimizer.step(&mut params, &g);
+        }
+        params
+    }
+
+    #[test]
+    fn gradient_descent_converges_on_quadratic() {
+        let p = run(&mut GradientDescent::new(0.1), 200);
+        assert!((p["x"] - 3.0).abs() < 1e-6);
+        assert!((p["y"] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        let p = run(&mut Momentum::new(0.05, 0.8), 300);
+        assert!((p["x"] - 3.0).abs() < 1e-5);
+        assert!((p["y"] + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = run(&mut Adam::new(0.2), 500);
+        assert!((p["x"] - 3.0).abs() < 1e-3);
+        assert!((p["y"] + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn step_ignores_unknown_parameters() {
+        let mut params = BTreeMap::from([("x".to_string(), 1.0)]);
+        let grads = BTreeMap::from([("ghost".to_string(), 5.0)]);
+        GradientDescent::new(0.1).step(&mut params, &grads);
+        assert_eq!(params["x"], 1.0);
+        assert_eq!(params.len(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! The classification task of Section 8.1: 4-bit parity-style labels.
+//!
+//! Inputs are `z = z1z2z3z4 ∈ {0,1}⁴` with true label
+//! `f(z) = ¬(z1 ⊕ z4)`; the circuit reads `z` as a computational basis
+//! state, and the predicted label is the probability of measuring the 4th
+//! qubit as `1` (observable `|1⟩⟨1|` on `q4`).
+
+use qdp_sim::{Observable, StateVector};
+
+/// One labelled sample: the 4 input bits and the target label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sample {
+    /// The input bits `z1..z4`.
+    pub bits: [bool; 4],
+    /// The target label `f(z) ∈ {0, 1}`.
+    pub label: bool,
+}
+
+impl Sample {
+    /// The basis state `|z⟩` on 4 qubits.
+    pub fn input_state(&self) -> StateVector {
+        StateVector::from_bits(&self.bits)
+    }
+
+    /// The label as a float target for the loss.
+    pub fn target(&self) -> f64 {
+        f64::from(self.label)
+    }
+}
+
+/// The labelling function `f(z) = ¬(z1 ⊕ z4)` of the paper.
+pub fn label_fn(bits: [bool; 4]) -> bool {
+    !(bits[0] ^ bits[3])
+}
+
+/// The full 16-sample dataset the paper trains on.
+pub fn dataset() -> Vec<Sample> {
+    (0..16usize)
+        .map(|z| {
+            let bits = [
+                z & 0b1000 != 0,
+                z & 0b0100 != 0,
+                z & 0b0010 != 0,
+                z & 0b0001 != 0,
+            ];
+            Sample {
+                bits,
+                label: label_fn(bits),
+            }
+        })
+        .collect()
+}
+
+/// The read-out observable `|1⟩⟨1|` on `q4` (qubit index 3 of 4).
+pub fn readout_observable() -> Observable {
+    Observable::projector_one(4, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_has_16_distinct_samples() {
+        let data = dataset();
+        assert_eq!(data.len(), 16);
+        for (i, a) in data.iter().enumerate() {
+            for b in &data[i + 1..] {
+                assert_ne!(a.bits, b.bits);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_the_paper_function() {
+        assert!(label_fn([false, false, false, false])); // ¬(0⊕0) = 1
+        assert!(!label_fn([true, false, false, false])); // ¬(1⊕0) = 0
+        assert!(label_fn([true, true, true, true])); // ¬(1⊕1) = 1
+        assert!(!label_fn([false, true, true, true])); // ¬(0⊕1) = 0
+    }
+
+    #[test]
+    fn labels_are_balanced() {
+        let positives = dataset().iter().filter(|s| s.label).count();
+        assert_eq!(positives, 8);
+    }
+
+    #[test]
+    fn input_states_are_basis_states() {
+        for s in dataset() {
+            let psi = s.input_state();
+            assert_eq!(psi.num_qubits(), 4);
+            assert!((psi.norm_sqr() - 1.0).abs() < 1e-15);
+            for (q, &bit) in s.bits.iter().enumerate() {
+                assert_eq!(psi.classical_bit(q), Some(bit), "{:?}", s.bits);
+            }
+        }
+    }
+
+    #[test]
+    fn readout_distinguishes_q4() {
+        let obs = readout_observable();
+        let one = StateVector::from_bits(&[false, false, false, true]);
+        let zero = StateVector::from_bits(&[false, false, false, false]);
+        assert!((obs.expectation_pure(&one) - 1.0).abs() < 1e-12);
+        assert!(obs.expectation_pure(&zero).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,55 @@
+//! Resource analysis (Section 7): occurrence counts, compiled-program
+//! counts, the Proposition 7.2 bound, and the Chernoff-style shot estimate.
+//!
+//! Run with: `cargo run --release --example resource_analysis`
+
+use qdpl::ad::estimator::estimate_derivative;
+use qdpl::ad::{analyze, differentiate};
+use qdpl::lang::ast::Params;
+use qdpl::lang::parse_program;
+use qdpl::sim::{Observable, ShotSampler, StateVector};
+use qdpl::vqc::families::{paper_instances, THETA};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Per-parameter reports on a small program.
+    let program = parse_program(
+        "q1 *= RX(a); q2 *= RY(b); q1, q2 *= RXX(a); \
+         case M[q1] = 0 -> q2 *= RZ(a), 1 -> abort[q1, q2] end",
+    )?;
+    println!("per-parameter resource report (Prop. 7.2: |#∂| ≤ OC):");
+    for r in analyze(&program)? {
+        println!(
+            "  ∂/∂{:<3} OC = {}, |#∂| = {}, bound {}",
+            r.param,
+            r.occurrence_count,
+            r.derivative_programs,
+            if r.satisfies_bound() { "holds" } else { "VIOLATED" }
+        );
+    }
+
+    // The same sweep over the benchmark families.
+    println!("\nbenchmark instances (differentiated parameter 'theta'):");
+    for config in paper_instances() {
+        let p = config.build();
+        let oc = qdpl::ad::occurrence_count(&p, THETA);
+        let m = differentiate(&p, THETA)?.compiled().len();
+        println!("  {:<12} OC = {oc:>3}, |#∂| = {m:>3}", config.name);
+        assert!(m <= oc, "Proposition 7.2 violated");
+    }
+
+    // Shot-based estimation on a 2-occurrence program.
+    let program = parse_program("q1 *= RX(t); q1 *= RY(t)")?;
+    let diff = differentiate(&program, "t")?;
+    let params = Params::from_pairs([("t", 0.6)]);
+    let obs = Observable::pauli_z(1, 0);
+    let psi = StateVector::zero_state(1);
+    let exact = diff.derivative_pure(&params, &obs, &psi);
+    println!("\nshot-based estimation (m = {}):", diff.compiled().len());
+    println!("  exact derivative: {exact:.6}");
+    for shots in [500usize, 5_000, 50_000] {
+        let mut sampler = ShotSampler::seeded(99);
+        let est = estimate_derivative(&diff, &params, &obs, &psi, shots, &mut sampler);
+        println!("  {shots:>6} shots → {est:+.6} (|err| {:.6})", (est - exact).abs());
+    }
+    Ok(())
+}

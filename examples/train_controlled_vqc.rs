@@ -1,0 +1,51 @@
+//! A compact version of the paper's Section 8.1 case study: training the
+//! controlled VQC `P2` against the control-free `P1`, and showing why the
+//! phase-shift baseline cannot even express the former.
+//!
+//! Run with: `cargo run --release --example train_controlled_vqc`
+
+use qdpl::vqc::baseline::PhaseShift;
+use qdpl::vqc::circuits::{p1, p2};
+use qdpl::vqc::loss::SquaredLoss;
+use qdpl::vqc::optim::GradientDescent;
+use qdpl::vqc::task;
+use qdpl::vqc::train::Trainer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = || -> qdpl::vqc::train::Dataset {
+        task::dataset()
+            .into_iter()
+            .map(|s| (s.input_state(), s.target()))
+            .collect()
+    };
+
+    // The baseline (PennyLane's phase-shift rule) handles P1 but rejects P2.
+    println!("phase-shift baseline on P1: {:?}", PhaseShift::new(&p1()).is_ok());
+    match PhaseShift::new(&p2()) {
+        Err(e) => println!("phase-shift baseline on P2: rejected — {e}\n"),
+        Ok(_) => unreachable!("P2 contains a case statement"),
+    }
+
+    let epochs = 120;
+    let loss = SquaredLoss;
+
+    let mut t1 = Trainer::new(&p1(), task::readout_observable(), data())?;
+    t1.init_params_seeded(11);
+    let h1 = t1.train(epochs, &loss, &mut GradientDescent::new(0.5));
+
+    let mut t2 = Trainer::new(&p2(), task::readout_observable(), data())?;
+    t2.init_params_seeded(11);
+    let h2 = t2.train(epochs, &loss, &mut GradientDescent::new(0.5));
+
+    println!("{:>6} {:>12} {:>12}", "epoch", "loss(P1)", "loss(P2)");
+    for e in (0..epochs).step_by(15).chain([epochs - 1]) {
+        println!("{e:>6} {:>12.6} {:>12.6}", h1[e], h2[e]);
+    }
+    println!(
+        "\naccuracy after {epochs} epochs: P1 = {:.3} (stuck at chance — its \
+         product structure cannot see z1), P2 = {:.3}",
+        t1.accuracy(),
+        t2.accuracy()
+    );
+    Ok(())
+}

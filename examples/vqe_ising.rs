@@ -1,0 +1,66 @@
+//! A real variational-quantum-eigensolver run driven by the paper's
+//! differentiation scheme: minimise the energy of a transverse-field Ising
+//! chain over a hardware-efficient ansatz written in the `q-while`
+//! language, and compare against exact diagonalisation.
+//!
+//! This is the workload the paper's VQE benchmark family models
+//! (Section 8.2, after Peruzzo et al. 2014).
+//!
+//! Run with: `cargo run --release --example vqe_ising`
+
+use qdpl::ad::GradientEngine;
+use qdpl::lang::ast::Params;
+use qdpl::sim::StateVector;
+use qdpl::vqc::hamiltonian::{hardware_efficient_ansatz, transverse_field_ising};
+use std::collections::BTreeMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 4;
+    let hamiltonian = transverse_field_ising(n, 1.0, 1.0);
+    let exact_ground = hamiltonian.min_eigenvalue();
+    println!("transverse-field Ising chain, {n} sites, J = h = 1");
+    println!("exact ground energy (diagonalisation): {exact_ground:.6}\n");
+
+    let ansatz = hardware_efficient_ansatz(n, 2);
+    let engine = GradientEngine::new(&ansatz)?;
+    println!(
+        "ansatz: {} gates, {} parameters, {} derivative programs per gradient",
+        ansatz.gate_count(),
+        engine.parameters().count(),
+        engine.total_programs()
+    );
+
+    // Deterministic small perturbation away from zero so gradients flow.
+    let mut values: BTreeMap<String, f64> = engine
+        .parameters()
+        .enumerate()
+        .map(|(i, name)| (name.to_string(), 0.1 + 0.05 * (i as f64 % 7.0)))
+        .collect();
+    let psi = StateVector::zero_state(n);
+
+    let lr = 0.1;
+    let epochs = 200;
+    println!("\n{:>6} {:>14}", "step", "energy ⟨H⟩");
+    let mut energy = f64::INFINITY;
+    for step in 0..=epochs {
+        let params = Params::from_pairs(values.iter().map(|(k, &v)| (k.clone(), v)));
+        energy = engine.value_pure(&params, &hamiltonian, &psi);
+        if step % 25 == 0 {
+            println!("{step:>6} {energy:>14.6}");
+        }
+        if step == epochs {
+            break;
+        }
+        let grad = engine.gradient_pure(&params, &hamiltonian, &psi);
+        for (name, g) in grad {
+            *values.get_mut(&name).expect("known parameter") -= lr * g;
+        }
+    }
+
+    let gap = energy - exact_ground;
+    println!("\nfinal VQE energy: {energy:.6} (exact {exact_ground:.6}, gap {gap:.6})");
+    assert!(gap >= -1e-9, "variational principle: VQE cannot undershoot");
+    assert!(gap < 0.15, "expected near-ground convergence, gap = {gap}");
+    println!("variational convergence to the ground state: ok");
+    Ok(())
+}

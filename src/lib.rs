@@ -1,0 +1,39 @@
+//! # qdpl — Differentiable Quantum Programming Languages, reproduced in Rust
+//!
+//! Umbrella crate for the reproduction of Zhu, Hung, Chakrabarti & Wu,
+//! *On the Principles of Differentiable Quantum Programming Languages*
+//! (PLDI 2020). It re-exports the workspace crates:
+//!
+//! * [`linalg`] — complex linear algebra substrate,
+//! * [`sim`] — density-operator / state-vector quantum simulator,
+//! * [`lang`] — the parameterized quantum bounded `while`-language and its
+//!   additive extension, semantics, and compilation,
+//! * [`ad`] — the differentiation code transformation, logic, and resource
+//!   analysis (the paper's core contribution),
+//! * [`vqc`] — variational-circuit families, training, and the
+//!   phase-shift-rule baseline used in the paper's evaluation.
+//!
+//! # Examples
+//!
+//! Differentiate the paper's Simple-Case program (Example 6.1) with respect
+//! to its parameter and evaluate the gradient of an observable:
+//!
+//! ```
+//! use qdpl::ad::differentiate;
+//! use qdpl::lang::parse_program;
+//!
+//! let src = "
+//!     case M[q1] = 0 -> q1 *= RX(t); q1 *= RY(t),
+//!                  1 -> q1 *= RZ(t)
+//!     end";
+//! let program = parse_program(src)?;
+//! let diff = differentiate(&program, "t")?;
+//! assert_eq!(diff.compiled().len(), 2); // the two programs of Example 6.1
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use qdp_ad as ad;
+pub use qdp_lang as lang;
+pub use qdp_linalg as linalg;
+pub use qdp_sim as sim;
+pub use qdp_vqc as vqc;

@@ -1,0 +1,240 @@
+//! Cross-crate integration tests reproducing the paper's worked examples
+//! (Example 4.1 “Generic-Case”, Example 6.1 “Simple-Case”, Lemma D.1, and
+//! the Section 1 `MUL`/`QMUL` discussion).
+
+use qdpl::ad::{differentiate, occurrence_count};
+use qdpl::lang::ast::{Gate, Params, Stmt};
+use qdpl::lang::{compile, op_sem, parse_program, Register};
+use qdpl::linalg::Matrix;
+use qdpl::sim::{DensityMatrix, Observable};
+use std::f64::consts::PI;
+
+/// Example 4.1: the Generic-Case additive program compiles to exactly the
+/// fill-and-break multiset the paper displays.
+#[test]
+fn example_4_1_generic_case_compilation() {
+    let p = parse_program(
+        "case M[q1] = 0 -> (q1 *= RX(a) + q1 *= RY(a)), 1 -> q1 *= RZ(a) end",
+    )
+    .expect("valid");
+    let compiled = compile::compile(&p);
+    assert_eq!(compiled.len(), 2);
+
+    // First case program: arms (P1, P3).
+    let Stmt::Case { arms, .. } = &compiled[0] else { panic!() };
+    assert!(matches!(
+        &arms[0],
+        Stmt::Unitary { gate: Gate::Rot { axis: qdpl::linalg::Pauli::X, .. }, .. }
+    ));
+    assert!(matches!(
+        &arms[1],
+        Stmt::Unitary { gate: Gate::Rot { axis: qdpl::linalg::Pauli::Z, .. }, .. }
+    ));
+
+    // Second case program: arms (P2, abort) — padded by fill-and-break.
+    let Stmt::Case { arms, .. } = &compiled[1] else { panic!() };
+    assert!(matches!(
+        &arms[0],
+        Stmt::Unitary { gate: Gate::Rot { axis: qdpl::linalg::Pauli::Y, .. }, .. }
+    ));
+    assert!(arms[1].essentially_aborts());
+}
+
+/// Example 4.1's semantic claim: the trace multiset of the additive program
+/// equals `{| [[P1]](E0ρ), [[P2]](E0ρ), [[P3]](E1ρ) |}`.
+#[test]
+fn example_4_1_trace_multiset() {
+    let p = parse_program(
+        "case M[q1] = 0 -> (q1 *= RX(a) + q1 *= RY(a)), 1 -> q1 *= RZ(a) end",
+    )
+    .expect("valid");
+    let reg = Register::from_program(&p);
+    let params = Params::from_pairs([("a", 0.8)]);
+    let mut rho = DensityMatrix::pure_zero(1);
+    rho.apply_unitary(&Matrix::hadamard(), &[0]);
+
+    let traces = op_sem::trace_multiset(&p, &reg, &params, &rho);
+    assert_eq!(traces.len(), 3);
+
+    // Each expected branch, computed by hand.
+    let e0 = {
+        let mut b = rho.clone();
+        b.apply_conjugation(&Matrix::basis_projector(2, 0), &[0]);
+        b
+    };
+    let e1 = {
+        let mut b = rho.clone();
+        b.apply_conjugation(&Matrix::basis_projector(2, 1), &[0]);
+        b
+    };
+    let apply_rot = |rho: &DensityMatrix, sigma: Matrix| {
+        let mut out = rho.clone();
+        out.apply_unitary(&Matrix::rotation_from_involution(&sigma, 0.8), &[0]);
+        out
+    };
+    let expected = vec![
+        apply_rot(&e0, Matrix::pauli_x()),
+        apply_rot(&e0, Matrix::pauli_y()),
+        apply_rot(&e1, Matrix::pauli_z()),
+    ];
+    assert!(op_sem::multisets_approx_eq(&traces, &expected, 1e-10));
+}
+
+/// Example 6.1: differentiating the Simple-Case program yields the paper's
+/// two-program multiset with the `R′` gadgets in the right arms.
+#[test]
+fn example_6_1_simple_case_differentiation() {
+    let p = parse_program(
+        "case M[q1] = 0 -> q1 *= RX(th); q1 *= RY(th), 1 -> q1 *= RZ(th) end",
+    )
+    .expect("valid");
+    let diff = differentiate(&p, "th").expect("differentiable");
+    let programs = diff.compiled();
+    assert_eq!(programs.len(), 2);
+
+    // Gadget detector: the sequence H[A]; C_R…; H[A].
+    let contains_crot_on = |s: &Stmt, axis: qdpl::linalg::Pauli| {
+        let mut found = false;
+        s.visit(&mut |n| {
+            if let Stmt::Unitary { gate: Gate::CRot { axis: a, .. }, .. } = n {
+                if *a == axis {
+                    found = true;
+                }
+            }
+        });
+        found
+    };
+    use qdpl::linalg::Pauli;
+    // The multiset contains (in either order):
+    //  * one case with an R′ gadget in arm 0 and R'Z in arm 1,
+    //  * one case with the other arm-0 gadget and abort in arm 1.
+    let with_rz = programs
+        .iter()
+        .find(|p| contains_crot_on(p, Pauli::Z))
+        .expect("one program carries R'Z in arm 1");
+    let with_abort = programs
+        .iter()
+        .find(|p| !contains_crot_on(p, Pauli::Z))
+        .expect("one program has the padded abort arm");
+    // Between them, both the R'X and R'Y gadgets appear exactly once.
+    let x_count = programs.iter().filter(|p| contains_crot_on(p, Pauli::X)).count();
+    let y_count = programs.iter().filter(|p| contains_crot_on(p, Pauli::Y)).count();
+    assert_eq!((x_count, y_count), (1, 1));
+    let Stmt::Case { arms, .. } = with_abort else { panic!() };
+    assert!(arms[1].essentially_aborts());
+    let Stmt::Case { arms, .. } = with_rz else { panic!() };
+    assert!(!arms[1].essentially_aborts());
+}
+
+/// Lemma D.1: `d/dθ Rσ(θ) = ½ Rσ(θ+π)` for all six generators.
+#[test]
+fn lemma_d_1_rotation_derivative() {
+    let paulis = [Matrix::pauli_x(), Matrix::pauli_y(), Matrix::pauli_z()];
+    let mut generators: Vec<Matrix> = paulis.to_vec();
+    for p in &paulis {
+        generators.push(p.kron(p));
+    }
+    for sigma in generators {
+        for theta in [0.0, 0.3, 1.9] {
+            let h = 1e-6;
+            let fd = (&Matrix::rotation_from_involution(&sigma, theta + h)
+                - &Matrix::rotation_from_involution(&sigma, theta - h))
+                .scale(qdpl::linalg::C64::real(0.5 / h));
+            let analytic = Matrix::rotation_from_involution(&sigma, theta + PI)
+                .scale(qdpl::linalg::C64::real(0.5));
+            assert!(fd.approx_eq(&analytic, 1e-7));
+        }
+    }
+}
+
+/// The Section 1 `QMUL` discussion: `∂(U1;U2)` needs two copies of the
+/// initial state (no-cloning), visible as two compiled programs.
+#[test]
+fn qmul_needs_one_copy_per_occurrence() {
+    let qmul = parse_program("q1 *= RX(th); q1 *= RY(th)").expect("valid");
+    let diff = differentiate(&qmul, "th").expect("differentiable");
+    assert_eq!(diff.compiled().len(), 2);
+    assert_eq!(occurrence_count(&qmul, "th"), 2);
+}
+
+/// Lemma D.2 / Eqs. 6.6–6.7 — the two pivots of the Sequence rule's proof:
+///
+/// * `[[(O, ρ) → S0; ∂S1]] = [[(O, [[S0]]ρ) → ∂S1]]` (shift the state), and
+/// * `[[(O, ρ) → ∂S0; S1]] = [[([[S1]]*(O), ρ) → ∂S0]]` (shift the
+///   observable through the Schrödinger–Heisenberg dual).
+#[test]
+fn lemma_d_2_sequence_rule_pivots() {
+    use qdpl::ad::semantics::observable_semantics_with_ancilla;
+    use qdpl::lang::{denot, superop, Register};
+
+    let s0 = parse_program("q1 *= RX(th); q1 *= H").expect("valid");
+    let s1 = parse_program("q1 *= RY(th)").expect("valid");
+    let both = Stmt::Seq(Box::new(s0.clone()), Box::new(s1.clone()));
+    let reg = Register::from_program(&both);
+    let params = Params::from_pairs([("th", 0.77)]);
+    let obs = Observable::pauli_z(1, 0);
+    let mut rho = DensityMatrix::pure_zero(1);
+    rho.apply_unitary(&Matrix::hadamard(), &[0]);
+
+    // Differentiate each factor (take one compiled program from each).
+    let d0 = differentiate(&s0, "th").expect("differentiable");
+    let d1 = differentiate(&s1, "th").expect("differentiable");
+
+    // Pivot 1: S0; ∂S1 evaluated at ρ equals ∂S1 evaluated at [[S0]]ρ.
+    let rho_after_s0 = denot::denote(&s0, &reg, &params, &rho);
+    for p1 in d1.compiled() {
+        let chained = Stmt::Seq(Box::new(s0.clone()), Box::new(p1.clone()));
+        let lhs =
+            observable_semantics_with_ancilla(&chained, d1.ext_register(), &params, &obs, &rho);
+        let rhs = observable_semantics_with_ancilla(
+            p1,
+            d1.ext_register(),
+            &params,
+            &obs,
+            &rho_after_s0,
+        );
+        assert!((lhs - rhs).abs() < 1e-10, "state pivot failed");
+    }
+
+    // Pivot 2: ∂S0; S1 at (O, ρ) equals ∂S0 at ([[S1]]*(O), ρ).
+    let dual_obs_matrix = superop::dual_apply(&s1, &reg, &params, &obs.lifted_matrix());
+    let dual_obs = Observable::new(1, vec![0], dual_obs_matrix);
+    for p0 in d0.compiled() {
+        let chained = Stmt::Seq(Box::new(p0.clone()), Box::new(s1.clone()));
+        let lhs =
+            observable_semantics_with_ancilla(&chained, d0.ext_register(), &params, &obs, &rho);
+        let rhs =
+            observable_semantics_with_ancilla(p0, d0.ext_register(), &params, &dual_obs, &rho);
+        assert!((lhs - rhs).abs() < 1e-10, "observable pivot failed");
+    }
+}
+
+/// Definition 6.1's gadget really computes the product-rule derivative:
+/// the Rot-Couple soundness equation of Theorem 6.2 item (4), checked for a
+/// two-qubit coupling against the analytic formula
+/// `½ tr(O(UρU(θ+π)† + U(θ+π)ρU†))`.
+#[test]
+fn rot_couple_rule_analytic_identity() {
+    let p = parse_program("q1, q2 *= RYY(th)").expect("valid");
+    let diff = differentiate(&p, "th").expect("differentiable");
+    let theta = 1.234;
+    let params = Params::from_pairs([("th", theta)]);
+    let obs = Observable::new(2, vec![0, 1], Matrix::pauli_z().kron(&Matrix::pauli_x()));
+    let mut rho = DensityMatrix::pure_zero(2);
+    rho.apply_unitary(&Matrix::hadamard(), &[0]);
+    rho.apply_unitary(&Matrix::cnot(), &[0, 1]);
+
+    let gadget = diff.derivative(&params, &obs, &rho);
+
+    let sigma = Matrix::pauli_y().kron(&Matrix::pauli_y());
+    let u = Matrix::rotation_from_involution(&sigma, theta);
+    let u_pi = Matrix::rotation_from_involution(&sigma, theta + PI);
+    let rho_m = rho.to_matrix();
+    let mixed = &u.mul(&rho_m).mul(&u_pi.dagger()) + &u_pi.mul(&rho_m).mul(&u.dagger());
+    let analytic = 0.5 * obs.lifted_matrix().trace_mul(&mixed).re;
+
+    assert!(
+        (gadget - analytic).abs() < 1e-10,
+        "gadget {gadget} vs analytic {analytic}"
+    );
+}

@@ -1,0 +1,143 @@
+//! End-to-end pipeline tests: parse → well-formedness → logic derivation →
+//! transform → compile → simulate → gradient → train.
+
+use qdpl::ad::{check, derive, differentiate, fresh_ancilla, GradientEngine};
+use qdpl::lang::ast::Params;
+use qdpl::lang::{parse_program, wf, Register};
+use qdpl::sim::{DensityMatrix, Observable, StateVector};
+use qdpl::vqc::loss::{Loss, SquaredLoss};
+use qdpl::vqc::optim::{Adam, GradientDescent, Momentum, Optimizer};
+use qdpl::vqc::task;
+use qdpl::vqc::train::Trainer;
+
+const PIPELINE_SRC: &str = "
+    // prepare an entangled pair, then branch on a measurement
+    q1 *= H;
+    q1, q2 *= RXX(alpha);
+    case M[q1] =
+      0 -> q2 *= RY(beta),
+      1 -> q2 := |0>; q2 *= RZ(alpha)
+    end;
+    while[2] M[q2] = 1 do
+      q1 *= RX(beta)
+    done";
+
+#[test]
+fn full_pipeline_from_source_to_gradient() {
+    // Parse and validate.
+    let program = parse_program(PIPELINE_SRC).expect("parses");
+    wf::check(&program).expect("well-formed");
+    let reg = Register::from_program(&program);
+    assert_eq!(reg.len(), 2);
+
+    // Build and check the logic derivation for each parameter.
+    for param in ["alpha", "beta"] {
+        let ancilla = fresh_ancilla(&program, param);
+        let derivation = derive(&program, param, &ancilla).expect("derivable");
+        check(&derivation, param, &ancilla).expect("derivation checks");
+    }
+
+    // Gradient against finite differences on a mixed input.
+    let engine = GradientEngine::new(&program).expect("differentiable");
+    let params = Params::from_pairs([("alpha", 0.9), ("beta", -0.6)]);
+    let obs = Observable::pauli_z(2, 0);
+    let mut rho = DensityMatrix::pure_zero(2);
+    rho.apply_unitary(&qdpl::linalg::Matrix::hadamard(), &[1]);
+    let grad = engine.gradient(&params, &obs, &rho);
+    for (name, value) in &grad {
+        let numeric = qdpl::ad::semantics::numeric_derivative(
+            &program, &reg, &params, name, &obs, &rho, 1e-5,
+        );
+        assert!(
+            (value - numeric).abs() < 1e-7,
+            "∂/∂{name}: {value} vs {numeric}"
+        );
+    }
+}
+
+#[test]
+fn derivative_agrees_between_density_and_pure_paths() {
+    let program = parse_program(PIPELINE_SRC).expect("parses");
+    let diff = differentiate(&program, "alpha").expect("differentiable");
+    let params = Params::from_pairs([("alpha", 0.4), ("beta", 1.3)]);
+    let obs = Observable::projector_one(2, 1);
+    let psi = StateVector::zero_state(2);
+    let dense = diff.derivative(&params, &obs, &DensityMatrix::from_pure(&psi));
+    let pure = diff.derivative_pure(&params, &obs, &psi);
+    assert!((dense - pure).abs() < 1e-10);
+}
+
+#[test]
+fn all_optimizers_train_the_case_study() {
+    let data: qdpl::vqc::train::Dataset = task::dataset()
+        .into_iter()
+        .map(|s| (s.input_state(), s.target()))
+        .collect();
+    let optimizers: Vec<Box<dyn Optimizer>> = vec![
+        Box::new(GradientDescent::new(0.4)),
+        Box::new(Momentum::new(0.2, 0.5)),
+        Box::new(Adam::new(0.1)),
+    ];
+    for mut opt in optimizers {
+        let mut trainer = Trainer::new(
+            &qdpl::vqc::circuits::p2(),
+            task::readout_observable(),
+            data.clone(),
+        )
+        .expect("differentiable");
+        trainer.init_params_seeded(23);
+        let before = trainer.loss_value(&SquaredLoss);
+        for _ in 0..6 {
+            trainer.epoch(&SquaredLoss, opt.as_mut());
+        }
+        let after = trainer.loss_value(&SquaredLoss);
+        assert!(
+            after < before,
+            "{}: loss {before} → {after}",
+            opt.name()
+        );
+    }
+}
+
+#[test]
+fn nll_loss_also_trains() {
+    use qdpl::vqc::loss::NegLogLikelihood;
+    let data: qdpl::vqc::train::Dataset = task::dataset()
+        .into_iter()
+        .map(|s| (s.input_state(), s.target()))
+        .collect();
+    let mut trainer = Trainer::new(
+        &qdpl::vqc::circuits::p2(),
+        task::readout_observable(),
+        data,
+    )
+    .expect("differentiable");
+    trainer.init_params_seeded(5);
+    let nll = NegLogLikelihood::default();
+    let before = trainer.loss_value(&nll);
+    let mut opt = GradientDescent::new(0.05);
+    for _ in 0..6 {
+        trainer.epoch(&nll, &mut opt);
+    }
+    assert!(trainer.loss_value(&nll) < before);
+}
+
+#[test]
+fn losses_satisfy_their_contracts() {
+    let sq = SquaredLoss;
+    assert_eq!(sq.loss(0.5, 0.5), 0.0);
+    assert!(sq.loss(0.0, 1.0) > 0.0);
+}
+
+#[test]
+fn umbrella_reexports_are_wired() {
+    // One symbol per crate, to catch re-export regressions.
+    let _ = qdpl::linalg::C64::ONE;
+    let _ = qdpl::sim::DensityMatrix::pure_zero(1);
+    let _ = qdpl::lang::parse_program("skip[q1]").expect("parses");
+    let _ = qdpl::ad::occurrence_count(
+        &qdpl::lang::parse_program("q1 *= RX(t)").expect("parses"),
+        "t",
+    );
+    let _ = qdpl::vqc::circuits::p1();
+}

@@ -1,0 +1,180 @@
+//! Property-based soundness tests (Theorem 6.2 and Propositions 3.1, 4.2,
+//! 7.2) on randomly generated programs.
+//!
+//! Programs are drawn over two qubits `q1, q2` and two parameters `a, b`,
+//! with sequences, measurement cases and 2-bounded loops up to depth 3 —
+//! enough to exercise every differentiation rule in combination.
+
+use proptest::prelude::*;
+use qdpl::ad::{differentiate, occurrence_count, semantics};
+use qdpl::lang::ast::{Params, Stmt, Var};
+use qdpl::lang::{compile, op_sem, parse_program, pretty, wf, Register};
+use qdpl::linalg::Pauli;
+use qdpl::sim::{DensityMatrix, Observable};
+
+fn qubit() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("q1"), Just("q2")]
+}
+
+fn param() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("a"), Just("b")]
+}
+
+fn axis() -> impl Strategy<Value = Pauli> {
+    prop_oneof![Just(Pauli::X), Just(Pauli::Y), Just(Pauli::Z)]
+}
+
+fn leaf() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (axis(), param(), qubit()).prop_map(|(ax, p, q)| Stmt::rot(ax, p, q)),
+        (axis(), param()).prop_map(|(ax, p)| Stmt::coupling(ax, p, "q1", "q2")),
+        qubit().prop_map(|q| Stmt::unitary(qdpl::lang::Gate::H, [Var::new(q)])),
+        qubit().prop_map(Stmt::init),
+        Just(Stmt::skip([Var::new("q1"), Var::new("q2")])),
+    ]
+}
+
+fn program() -> impl Strategy<Value = Stmt> {
+    leaf().prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Stmt::Seq(Box::new(a), Box::new(b))),
+            (qubit(), inner.clone(), inner.clone())
+                .prop_map(|(q, s0, s1)| Stmt::case_qubit(q, s0, s1)),
+            (qubit(), inner).prop_map(|(q, body)| Stmt::while_bounded(q, 2, body)),
+        ]
+    })
+}
+
+fn fixed_input() -> DensityMatrix {
+    let mut rho = DensityMatrix::pure_zero(2);
+    rho.apply_unitary(&qdpl::linalg::Matrix::hadamard(), &[0]);
+    rho.apply_unitary(
+        &qdpl::linalg::Matrix::rotation_from_involution(&qdpl::linalg::Matrix::pauli_y(), 0.4),
+        &[1],
+    );
+    rho
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 6.2 (soundness): the transformed program computes the
+    /// derivative of the observable semantics, checked against central
+    /// finite differences for every parameter.
+    #[test]
+    fn theorem_6_2_derivative_matches_finite_difference(p in program()) {
+        prop_assume!(wf::check(&p).is_ok());
+        let full_reg = Register::from_vars([Var::new("q1"), Var::new("q2")]);
+        // Re-register the program over both qubits so observables line up.
+        let padded = Stmt::Seq(
+            Box::new(Stmt::skip([Var::new("q1"), Var::new("q2")])),
+            Box::new(p),
+        );
+        let params = Params::from_pairs([("a", 0.73), ("b", -0.41)]);
+        let obs = Observable::pauli_z(2, 1);
+        let rho = fixed_input();
+        for name in ["a", "b"] {
+            let diff = differentiate(&padded, name).expect("differentiable fragment");
+            let analytic = diff.derivative(&params, &obs, &rho);
+            let numeric = semantics::numeric_derivative(
+                &padded, &full_reg, &params, name, &obs, &rho, 1e-5,
+            );
+            prop_assert!(
+                (analytic - numeric).abs() < 5e-6,
+                "∂/∂{name}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    /// Proposition 3.1: for normal programs the denotational semantics is
+    /// the sum of the operational trace multiset.
+    #[test]
+    fn proposition_3_1_denotation_sums_traces(p in program()) {
+        prop_assume!(wf::check(&p).is_ok());
+        let reg = Register::from_vars([Var::new("q1"), Var::new("q2")]);
+        let params = Params::from_pairs([("a", 1.2), ("b", 0.3)]);
+        let rho = fixed_input();
+        let traces = op_sem::trace_multiset(&p, &reg, &params, &rho);
+        let summed = op_sem::sum_traces(&traces, 2);
+        let direct = qdpl::lang::denot::denote(&p, &reg, &params, &rho);
+        prop_assert!(summed.approx_eq(&direct, 1e-9));
+    }
+
+    /// Proposition 4.2: compilation preserves the non-zero trace multiset
+    /// of the additive derivative program.
+    #[test]
+    fn proposition_4_2_compile_preserves_traces(p in program()) {
+        prop_assume!(wf::check(&p).is_ok());
+        let diff = differentiate(&p, "a").expect("differentiable fragment");
+        let additive = diff.additive();
+        let reg = diff.ext_register().clone();
+        let params = Params::from_pairs([("a", 0.9), ("b", -0.2)]);
+        let rho = fixed_input().prepend_zero_ancilla();
+
+        let lhs: Vec<DensityMatrix> = op_sem::trace_multiset(additive, &reg, &params, &rho)
+            .into_iter()
+            .filter(|r| r.trace() > 1e-10)
+            .collect();
+        let rhs: Vec<DensityMatrix> = compile::compile(additive)
+            .iter()
+            .flat_map(|q| op_sem::trace_multiset(q, &reg, &params, &rho))
+            .filter(|r| r.trace() > 1e-10)
+            .collect();
+        prop_assert!(
+            op_sem::multisets_approx_eq(&lhs, &rhs, 1e-9),
+            "trace multisets differ: {} vs {}",
+            lhs.len(),
+            rhs.len()
+        );
+    }
+
+    /// Proposition 7.2: the compiled derivative-program count never exceeds
+    /// the occurrence count.
+    #[test]
+    fn proposition_7_2_bound(p in program()) {
+        prop_assume!(wf::check(&p).is_ok());
+        for name in ["a", "b"] {
+            let m = differentiate(&p, name).expect("differentiable").compiled().len();
+            let oc = occurrence_count(&p, name);
+            prop_assert!(m <= oc, "∂/∂{name}: |#∂| = {m} > OC = {oc}");
+        }
+    }
+
+    /// Pretty-printer / parser round trip on random programs.
+    #[test]
+    fn pretty_parse_round_trip(p in program()) {
+        prop_assume!(wf::check(&p).is_ok());
+        let src = pretty::to_source(&p);
+        let reparsed = parse_program(&src)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\nsource:\n{src}"));
+        // Equal up to sequence associativity (the parser right-associates).
+        prop_assert_eq!(reparsed.normalize_seq(), p.normalize_seq());
+    }
+
+    /// The compiled multiset of any derivative satisfies the Fig. 3
+    /// invariant and contains only normal programs.
+    #[test]
+    fn compiled_derivatives_are_normal(p in program()) {
+        prop_assume!(wf::check(&p).is_ok());
+        let diff = differentiate(&p, "a").expect("differentiable");
+        let compiled = compile::compile(diff.additive());
+        prop_assert!(compile::invariant_holds(&compiled));
+        prop_assert!(compiled.iter().all(Stmt::is_normal));
+    }
+
+    /// The simplification pass preserves the denotational semantics over
+    /// the original register and never adds gates.
+    #[test]
+    fn simplify_preserves_semantics(p in program()) {
+        prop_assume!(wf::check(&p).is_ok());
+        let simplified = qdpl::lang::opt::simplify(&p);
+        let reg = Register::from_vars([Var::new("q1"), Var::new("q2")]);
+        let params = Params::from_pairs([("a", 0.6), ("b", -1.1)]);
+        let rho = fixed_input();
+        let before = qdpl::lang::denot::denote(&p, &reg, &params, &rho);
+        let after = qdpl::lang::denot::denote(&simplified, &reg, &params, &rho);
+        prop_assert!(before.approx_eq(&after, 1e-9));
+        prop_assert!(simplified.gate_count() <= p.gate_count());
+    }
+}
