@@ -1,0 +1,97 @@
+//! Kernel-level ablation: the fast-path gate kernels against the full-range
+//! reference scan, on the array shapes the paper's evaluation actually
+//! stresses (a 10-qubit density matrix = 2²⁰ amplitudes, and the small pure
+//! states of the training fast path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdp_linalg::{C64, Matrix};
+use qdp_sim::kernels::{apply_matrix, apply_matrix_reference};
+use qdp_sim::DensityMatrix;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn density_amps(n: usize) -> Vec<C64> {
+    let mut rho = DensityMatrix::pure_zero(n);
+    for q in 0..n {
+        rho.apply_unitary(&Matrix::hadamard(), &[q]);
+    }
+    rho.as_slice().to_vec()
+}
+
+fn bench_gate_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_apply_10q_density");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let n = 10usize; // density matrix ⇒ flat array over 2n = 20 qubits
+    let amps = density_amps(n);
+    let h = Matrix::hadamard();
+    let rz = Matrix::rotation_from_involution(&Matrix::pauli_z(), 0.37);
+    let crx = qdp_lang::ast::controlled_rotation_matrix(&Matrix::pauli_x(), 0.7);
+
+    let mut buf = amps.clone();
+    group.bench_function("fast/H on row qubit 4", |b| {
+        b.iter(|| {
+            apply_matrix(black_box(&mut buf), 2 * n, &h, &[4]);
+        })
+    });
+    let mut buf = amps.clone();
+    group.bench_function("reference/H on row qubit 4", |b| {
+        b.iter(|| {
+            apply_matrix_reference(black_box(&mut buf), 2 * n, &h, &[4]);
+        })
+    });
+
+    let mut buf = amps.clone();
+    group.bench_function("fast/RZ (diagonal) on row qubit 4", |b| {
+        b.iter(|| {
+            apply_matrix(black_box(&mut buf), 2 * n, &rz, &[4]);
+        })
+    });
+    let mut buf = amps.clone();
+    group.bench_function("reference/RZ on row qubit 4", |b| {
+        b.iter(|| {
+            apply_matrix_reference(black_box(&mut buf), 2 * n, &rz, &[4]);
+        })
+    });
+
+    let mut buf = amps.clone();
+    group.bench_function("fast/CRX (block-diag) on row qubits 0,7", |b| {
+        b.iter(|| {
+            apply_matrix(black_box(&mut buf), 2 * n, &crx, &[0, 7]);
+        })
+    });
+    let mut buf = amps.clone();
+    group.bench_function("reference/CRX on row qubits 0,7", |b| {
+        b.iter(|| {
+            apply_matrix_reference(black_box(&mut buf), 2 * n, &crx, &[0, 7]);
+        })
+    });
+    group.finish();
+}
+
+fn bench_small_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_apply_6q_pure");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+
+    let h = Matrix::hadamard();
+    let mut amps = vec![C64::ZERO; 64];
+    amps[0] = C64::ONE;
+    let mut buf = amps.clone();
+    group.bench_function("fast/H on qubit 3", |b| {
+        b.iter(|| apply_matrix(black_box(&mut buf), 6, &h, &[3]))
+    });
+    let mut buf = amps.clone();
+    group.bench_function("reference/H on qubit 3", |b| {
+        b.iter(|| apply_matrix_reference(black_box(&mut buf), 6, &h, &[3]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gate_apply, bench_small_state);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Emits `BENCH_sim.json` — the simulator's performance trajectory record.
+//!
+//! Measures the two headline numbers of the fast-path kernel work against
+//! the retained reference implementation:
+//!
+//! 1. single-qubit gate application to a 10-qubit `DensityMatrix`
+//!    (kernel-level, fast vs reference), and
+//! 2. the end-to-end `gradient.rs` workload — a full 24-parameter gradient
+//!    of the paper's `P1` circuit — fast kernels vs reference kernels.
+//!
+//! Run with `scripts/bench_sim.sh` or
+//! `cargo run --release -p qdp-bench --bin bench_sim [output-path]`.
+
+use qdp_ad::GradientEngine;
+use qdp_lang::ast::Params;
+use qdp_linalg::{C64, Matrix};
+use qdp_sim::kernels::{apply_matrix, apply_matrix_reference, set_reference_kernels};
+use qdp_sim::{DensityMatrix, StateVector};
+use qdp_vqc::circuits::p1;
+use qdp_vqc::task;
+use std::time::Instant;
+
+/// Median-of-runs wall time in nanoseconds for `f`, self-calibrating the
+/// iteration count so each sample takes ≥ ~20ms.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    // Calibrate.
+    let mut iters = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t0.elapsed();
+        if dt.as_millis() >= 20 || iters >= 1 << 24 {
+            break;
+        }
+        iters *= 2;
+    }
+    // Sample.
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sim.json".to_string());
+
+    // --- 1. Kernel-level: H on one qubit of a 10-qubit density matrix. ----
+    let n = 10usize;
+    let mut rho = DensityMatrix::pure_zero(n);
+    for q in 0..n {
+        rho.apply_unitary(&Matrix::hadamard(), &[q]);
+    }
+    let amps: Vec<C64> = rho.as_slice().to_vec();
+    let h = Matrix::hadamard();
+
+    let mut buf = amps.clone();
+    let gate_fast_ns = time_ns(|| apply_matrix(&mut buf, 2 * n, &h, &[4]));
+    let mut buf = amps.clone();
+    let gate_ref_ns = time_ns(|| apply_matrix_reference(&mut buf, 2 * n, &h, &[4]));
+
+    // --- 2. End-to-end: full P1 gradient (the gradient.rs workload). ------
+    let program = p1();
+    let engine = GradientEngine::new(&program).expect("P1 differentiable");
+    let params = Params::from_pairs(
+        program
+            .parameters()
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| (name, 0.2 + 0.31 * i as f64)),
+    );
+    let obs = task::readout_observable();
+    let psi = StateVector::from_bits(&[true, false, true, false]);
+
+    let grad_fast_ns = time_ns(|| {
+        std::hint::black_box(engine.gradient_pure(&params, &obs, &psi));
+    });
+    set_reference_kernels(true);
+    let grad_ref_ns = time_ns(|| {
+        std::hint::black_box(engine.gradient_pure(&params, &obs, &psi));
+    });
+    set_reference_kernels(false);
+
+    let gate_speedup = gate_ref_ns / gate_fast_ns;
+    let grad_speedup = grad_ref_ns / grad_fast_ns;
+
+    let json = format!(
+        "{{\n  \"bench\": \"sim\",\n  \"threads\": {},\n  \"gate_apply_10q_density\": {{\n    \"gate\": \"H on row qubit 4\",\n    \"fast_ns\": {gate_fast_ns:.1},\n    \"reference_ns\": {gate_ref_ns:.1},\n    \"speedup\": {gate_speedup:.2}\n  }},\n  \"gradient_p1_24_params\": {{\n    \"workload\": \"GradientEngine::gradient_pure on P1\",\n    \"fast_ns\": {grad_fast_ns:.1},\n    \"reference_ns\": {grad_ref_ns:.1},\n    \"speedup\": {grad_speedup:.2}\n  }}\n}}\n",
+        qdp_par::max_threads(),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark record");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+
+    // Guard against catastrophic regressions only: shared CI runners are
+    // noisy and the medians come from five samples, so leave headroom
+    // before failing the job.
+    assert!(
+        gate_speedup >= 0.8 && grad_speedup >= 0.8,
+        "fast paths regressed well below the reference implementation \
+         (gate {gate_speedup:.2}x, gradient {grad_speedup:.2}x)"
+    );
+}

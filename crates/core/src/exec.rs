@@ -11,10 +11,8 @@
 //! [`Differentiated`] packages steps 1–2; [`GradientEngine`] caches one
 //! `Differentiated` per parameter and evaluates whole gradients.
 
-use crate::semantics::{
-    observable_semantics, observable_semantics_with_ancilla,
-    observable_semantics_with_ancilla_pure,
-};
+use crate::lowered::LoweredSet;
+use crate::semantics::observable_semantics;
 use crate::transform::{fresh_ancilla, transform, TransformError};
 use qdp_lang::ast::{Params, Stmt, Var};
 use qdp_lang::{compile, denot, Register};
@@ -48,6 +46,12 @@ pub struct Differentiated {
     ancilla: Var,
     additive: Stmt,
     compiled: Vec<Stmt>,
+    /// The compiled multiset lowered against `ext_register` (resolved qubit
+    /// indices, interned parameter slots, pre-built measurements) — the
+    /// run-time fast path of [`derivative_pure`](Self::derivative_pure).
+    /// Built lazily: density-path-only callers (e.g. [`second_derivative`]'s
+    /// inner programs) never pay for lowering.
+    lowered: std::sync::OnceLock<LoweredSet>,
     base_register: Register,
     ext_register: Register,
 }
@@ -101,6 +105,7 @@ pub fn differentiate_in(
         ancilla,
         additive,
         compiled,
+        lowered: std::sync::OnceLock::new(),
         base_register: base_register.clone(),
         ext_register,
     })
@@ -126,10 +131,15 @@ pub fn second_derivative(
     let first = differentiate(program, param1)?;
     let obs_ext = obs.with_ancilla_z();
     let rho_ext = rho.prepend_zero_ancilla();
-    let mut total = 0.0;
-    for inner in first.compiled() {
+    // Each first-derivative program is differentiated and evaluated
+    // independently; summation stays in multiset order for determinism.
+    let partials = qdp_par::par_map(first.compiled(), |inner| {
         let second = differentiate_in(inner, param2, first.ext_register())?;
-        total += second.derivative(params, &obs_ext, &rho_ext);
+        Ok(second.derivative(params, &obs_ext, &rho_ext))
+    });
+    let mut total = 0.0;
+    for partial in partials {
+        total += partial?;
     }
     Ok(total)
 }
@@ -197,21 +207,73 @@ impl Differentiated {
     /// By Theorem 6.2 this equals `∂/∂θj tr(O · [[P(θ*)]]ρ)` for **every**
     /// observable `O` and input `ρ` — the strongest differential-semantics
     /// guarantee (Definition 5.3).
+    ///
+    /// The compiled programs `{P′i}` are independent simulations; they are
+    /// evaluated in parallel and summed in multiset order, so the result is
+    /// identical (bit-for-bit) no matter how many threads run. The ancilla
+    /// extension of `O` and `ρ` is built once and shared across the multiset
+    /// instead of once per program.
     pub fn derivative(&self, params: &Params, obs: &Observable, rho: &DensityMatrix) -> f64 {
-        self.compiled
-            .iter()
-            .map(|p| observable_semantics_with_ancilla(p, &self.ext_register, params, obs, rho))
-            .sum()
+        assert_eq!(
+            self.ext_register.len(),
+            rho.num_qubits() + 1,
+            "extended register must have exactly one more qubit than the input state"
+        );
+        let ext_obs = obs.with_ancilla_z();
+        let ext_rho = rho.prepend_zero_ancilla();
+        self.derivative_prepared(params, &ext_obs, &ext_rho)
     }
 
-    /// Pure-input fast path of [`derivative`](Self::derivative).
+    /// [`derivative`](Self::derivative) with the ancilla extension already
+    /// applied — what [`GradientEngine::gradient`] calls so the
+    /// `O(4^(n+1))` extended buffers are built once per gradient instead of
+    /// once per parameter.
+    pub(crate) fn derivative_prepared(
+        &self,
+        params: &Params,
+        ext_obs: &Observable,
+        ext_rho: &DensityMatrix,
+    ) -> f64 {
+        qdp_par::par_map(&self.compiled, |p| {
+            observable_semantics(p, &self.ext_register, params, ext_obs, ext_rho)
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Pure-input fast path of [`derivative`](Self::derivative): evaluates
+    /// the *lowered* multiset (resolved indices, interned parameter slots)
+    /// in parallel. Agrees with the dense path to numerical precision and
+    /// with the AST interpreter bit-for-bit.
     pub fn derivative_pure(&self, params: &Params, obs: &Observable, psi: &StateVector) -> f64 {
-        self.compiled
-            .iter()
-            .map(|p| {
-                observable_semantics_with_ancilla_pure(p, &self.ext_register, params, obs, psi)
-            })
-            .sum()
+        let ext_obs = obs.with_ancilla_z();
+        let ext_psi = StateVector::zero_state(1).tensor(psi);
+        let values = self.lowered().slot_values(params);
+        self.derivative_pure_prepared(&values, &ext_obs, &ext_psi)
+    }
+
+    /// [`derivative_pure`](Self::derivative_pure) with the ancilla extension
+    /// and slot values already resolved — what [`GradientEngine`] calls so
+    /// the shared setup happens once per gradient, not once per parameter.
+    pub(crate) fn derivative_pure_prepared(
+        &self,
+        values: &[f64],
+        ext_obs: &Observable,
+        ext_psi: &StateVector,
+    ) -> f64 {
+        qdp_par::par_map(self.lowered().programs(), |p| {
+            p.expectation_pure(values, ext_psi, ext_obs)
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// The lowered multiset, built on first use (crate-internal: the
+    /// gradient engine needs the slot table to pre-resolve parameter
+    /// values).
+    pub(crate) fn lowered(&self) -> &LoweredSet {
+        self.lowered
+            .get_or_init(|| LoweredSet::lower(&self.compiled, &self.ext_register))
     }
 }
 
@@ -222,6 +284,11 @@ pub struct GradientEngine {
     program: Stmt,
     register: Register,
     diffs: BTreeMap<String, Differentiated>,
+    /// Per parameter, the remap from its `Differentiated`'s interned slots
+    /// into the engine's canonical parameter order (`diffs` key order) —
+    /// resolves every string lookup once. Built lazily on the first pure
+    /// gradient so density-path-only engines never pay for lowering.
+    slot_remaps: std::sync::OnceLock<BTreeMap<String, Vec<usize>>>,
 }
 
 impl GradientEngine {
@@ -240,6 +307,32 @@ impl GradientEngine {
             program: program.clone(),
             register,
             diffs,
+            slot_remaps: std::sync::OnceLock::new(),
+        })
+    }
+
+    /// The per-parameter slot remaps, built (with the lowerings they index
+    /// into) on first use.
+    fn slot_remaps(&self) -> &BTreeMap<String, Vec<usize>> {
+        self.slot_remaps.get_or_init(|| {
+            let canonical: Vec<&String> = self.diffs.keys().collect();
+            self.diffs
+                .iter()
+                .map(|(name, diff)| {
+                    let remap = diff
+                        .lowered()
+                        .param_names()
+                        .iter()
+                        .map(|p| {
+                            canonical
+                                .iter()
+                                .position(|c| *c == p)
+                                .expect("gadget parameters are program parameters")
+                        })
+                        .collect();
+                    (name.clone(), remap)
+                })
+                .collect()
         })
     }
 
@@ -274,29 +367,65 @@ impl GradientEngine {
     }
 
     /// The full gradient, keyed by parameter name.
+    ///
+    /// The per-parameter evaluations are independent and run in parallel;
+    /// each entry's value is computed exactly as by
+    /// [`Differentiated::derivative`], so the map is deterministic under any
+    /// thread count.
     pub fn gradient(
         &self,
         params: &Params,
         obs: &Observable,
         rho: &DensityMatrix,
     ) -> BTreeMap<String, f64> {
-        self.diffs
-            .iter()
-            .map(|(name, diff)| (name.clone(), diff.derivative(params, obs, rho)))
-            .collect()
+        // The ancilla extension is identical for every parameter: build the
+        // O(4^(n+1)) extended buffers once and share them.
+        let ext_obs = obs.with_ancilla_z();
+        let ext_rho = rho.prepend_zero_ancilla();
+        let entries: Vec<(&String, &Differentiated)> = self.diffs.iter().collect();
+        qdp_par::par_map(&entries, |(name, diff)| {
+            (
+                (*name).clone(),
+                diff.derivative_prepared(params, &ext_obs, &ext_rho),
+            )
+        })
+        .into_iter()
+        .collect()
     }
 
-    /// The full gradient on a pure input (fast path).
+    /// The full gradient on a pure input (fast path): the ancilla-extended
+    /// observable/state and the parameter valuation are resolved **once**
+    /// and shared across all per-parameter evaluations (which then run in
+    /// parallel with zero string lookups).
     pub fn gradient_pure(
         &self,
         params: &Params,
         obs: &Observable,
         psi: &StateVector,
     ) -> BTreeMap<String, f64> {
-        self.diffs
-            .iter()
-            .map(|(name, diff)| (name.clone(), diff.derivative_pure(params, obs, psi)))
-            .collect()
+        let ext_obs = obs.with_ancilla_z();
+        let ext_psi = StateVector::zero_state(1).tensor(psi);
+        let canonical: Vec<f64> = self
+            .diffs
+            .keys()
+            .map(|name| {
+                params
+                    .get(name)
+                    .unwrap_or_else(|| panic!("parameter '{name}' has no value"))
+            })
+            .collect();
+        let slot_remaps = self.slot_remaps();
+        let entries: Vec<(&String, &Differentiated)> = self.diffs.iter().collect();
+        qdp_par::par_map(&entries, |(name, diff)| {
+            let remap = &slot_remaps[*name];
+            let values: Vec<f64> = remap.iter().map(|&i| canonical[i]).collect();
+            (
+                (*name).clone(),
+                diff.derivative_pure_prepared(&values, &ext_obs, &ext_psi),
+            )
+        })
+        .into_iter()
+        .collect()
     }
 
     /// Total number of circuit programs per full gradient evaluation —

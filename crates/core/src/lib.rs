@@ -43,6 +43,7 @@
 pub mod estimator;
 pub mod exec;
 pub mod logic;
+mod lowered;
 pub mod resource;
 pub mod semantics;
 pub mod transform;

@@ -1,0 +1,288 @@
+//! Lowered (pre-resolved) execution of compiled derivative programs.
+//!
+//! [`crate::Differentiated`] evaluates the same compiled multiset `{P′i}` at
+//! every gradient step; interpreting the AST each time re-resolves variable
+//! names against the register, re-allocates measurement operators, and
+//! re-unfolds bounded loops — all parameter-independent work. This module
+//! hoists it: each program is lowered **once** into a flat op list with
+//!
+//! * qubit indices resolved (no per-gate register lookups or `Vec` allocs),
+//! * parameter names interned into **slots** (one valuation lookup per
+//!   parameter per run instead of one per gate),
+//! * measurement operators and the `q := |0⟩` Kraus pair pre-built,
+//! * bounded `while` loops statically unfolded into nested cases.
+//!
+//! The executor mirrors `qdp_lang::denot::run_pure_branches` exactly —
+//! branch order, pruning threshold, and per-gate arithmetic are identical,
+//! so results agree bit-for-bit with the AST interpreter.
+
+use qdp_lang::ast::{Gate, Params, Stmt};
+use qdp_lang::Register;
+use qdp_linalg::Matrix;
+use qdp_sim::{Measurement, Observable, StateVector};
+
+/// Branches below this squared norm are pruned (matches `denot`).
+const PRUNE: f64 = 1e-24;
+
+/// One lowered operation.
+#[derive(Clone, Debug)]
+enum Op {
+    /// `abort`: drop the branch.
+    Abort,
+    /// A unitary application with pre-resolved targets and parameter slot.
+    Gate {
+        gate: Gate,
+        /// Index into the run's slot values, or `None` for constant angles.
+        slot: Option<usize>,
+        /// Additive angle offset (the gadget's `θ + π` shifts).
+        offset: f64,
+        targets: Vec<usize>,
+    },
+    /// `q := |0⟩` with the Kraus pair pre-built.
+    Init {
+        k0: Matrix,
+        k1: Matrix,
+        target: usize,
+    },
+    /// A measurement case over pre-built operators.
+    Case {
+        meas: Measurement,
+        arms: Vec<LoweredProgram>,
+    },
+}
+
+/// A lowered normal program: a flat sequence of [`Op`]s.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct LoweredProgram {
+    ops: Vec<Op>,
+}
+
+/// A compiled multiset lowered against one register, with a shared
+/// parameter-slot table.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct LoweredSet {
+    programs: Vec<LoweredProgram>,
+    /// Interned parameter names; slot `i` of a run valuation holds the value
+    /// of `param_names[i]`.
+    param_names: Vec<String>,
+}
+
+impl LoweredSet {
+    /// Lowers every program of a compiled multiset.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a program is additive or uses a variable outside `reg`.
+    pub fn lower(compiled: &[Stmt], reg: &Register) -> Self {
+        let mut set = LoweredSet::default();
+        set.programs = compiled
+            .iter()
+            .map(|p| {
+                let mut prog = LoweredProgram::default();
+                set_lower(p, reg, &mut set.param_names, &mut prog.ops);
+                prog
+            })
+            .collect();
+        set
+    }
+
+    /// The interned parameter names, in slot order.
+    pub fn param_names(&self) -> &[String] {
+        &self.param_names
+    }
+
+    /// Resolves a valuation into slot values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a used parameter has no value (same message as
+    /// `Angle::eval`).
+    pub fn slot_values(&self, params: &Params) -> Vec<f64> {
+        self.param_names
+            .iter()
+            .map(|name| {
+                params
+                    .get(name)
+                    .unwrap_or_else(|| panic!("parameter '{name}' has no value"))
+            })
+            .collect()
+    }
+
+    /// The lowered programs, for per-program parallel evaluation.
+    pub fn programs(&self) -> &[LoweredProgram] {
+        &self.programs
+    }
+}
+
+fn intern(names: &mut Vec<String>, name: &str) -> usize {
+    match names.iter().position(|n| n == name) {
+        Some(i) => i,
+        None => {
+            names.push(name.to_string());
+            names.len() - 1
+        }
+    }
+}
+
+fn set_lower(stmt: &Stmt, reg: &Register, names: &mut Vec<String>, out: &mut Vec<Op>) {
+    match stmt {
+        Stmt::Skip { .. } => {}
+        Stmt::Abort { .. } => out.push(Op::Abort),
+        Stmt::Init { q } => out.push(Op::Init {
+            k0: Matrix::from_real_rows(&[&[1.0, 0.0], &[0.0, 0.0]]),
+            k1: Matrix::from_real_rows(&[&[0.0, 1.0], &[0.0, 0.0]]),
+            target: reg.indices_of(std::slice::from_ref(q))[0],
+        }),
+        Stmt::Unitary { gate, qs } => {
+            let (slot, offset) = match gate.angle() {
+                Some(angle) => (
+                    angle.param.as_deref().map(|p| intern(names, p)),
+                    angle.offset,
+                ),
+                None => (None, 0.0),
+            };
+            out.push(Op::Gate {
+                gate: gate.clone(),
+                slot,
+                offset,
+                targets: reg.indices_of(qs),
+            });
+        }
+        Stmt::Seq(a, b) => {
+            set_lower(a, reg, names, out);
+            set_lower(b, reg, names, out);
+        }
+        Stmt::Case { qs, arms } => {
+            let meas = Measurement::computational(reg.indices_of(qs));
+            let arms = arms
+                .iter()
+                .map(|arm| {
+                    let mut prog = LoweredProgram::default();
+                    set_lower(arm, reg, names, &mut prog.ops);
+                    prog
+                })
+                .collect();
+            out.push(Op::Case { meas, arms });
+        }
+        Stmt::While { .. } => {
+            // Bounded loops terminate statically: each unfold decrements the
+            // bound, so full unrolling at lowering time is finite.
+            set_lower(&stmt.unfold_while_once(), reg, names, out);
+        }
+        Stmt::Sum(..) => panic!("lowering is defined on normal programs; compile first"),
+    }
+}
+
+impl LoweredProgram {
+    /// Runs the program on a pure input, appending the surviving
+    /// unnormalised branches to `out` in the same depth-first order as
+    /// `denot::run_pure_branches`.
+    fn run_from(&self, start: usize, values: &[f64], mut psi: StateVector, out: &mut Vec<StateVector>) {
+        for (i, op) in self.ops.iter().enumerate().skip(start) {
+            match op {
+                Op::Abort => return,
+                Op::Gate {
+                    gate,
+                    slot,
+                    offset,
+                    targets,
+                } => {
+                    let theta = slot.map_or(0.0, |s| values[s]) + offset;
+                    psi.apply_gate(&gate.matrix_at(theta), targets);
+                }
+                Op::Init { k0, k1, target } => {
+                    let b1 = psi.with_gate(k1, &[*target]);
+                    psi.apply_gate(k0, &[*target]);
+                    if psi.norm_sqr() > PRUNE {
+                        self.run_from(i + 1, values, psi, out);
+                    }
+                    if b1.norm_sqr() > PRUNE {
+                        self.run_from(i + 1, values, b1, out);
+                    }
+                    return;
+                }
+                Op::Case { meas, arms } => {
+                    for b in meas.branches_pure(&psi) {
+                        if b.probability > PRUNE {
+                            let mut mids = Vec::new();
+                            arms[b.outcome].run_from(0, values, b.state, &mut mids);
+                            for mid in mids {
+                                self.run_from(i + 1, values, mid, out);
+                            }
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+        out.push(psi);
+    }
+
+    /// `Σ_branches ⟨ψb|O|ψb⟩` — the expectation of the program's output.
+    pub fn expectation_pure(&self, values: &[f64], psi: &StateVector, obs: &Observable) -> f64 {
+        let mut branches = Vec::new();
+        self.run_from(0, values, psi.clone(), &mut branches);
+        branches.iter().map(|b| obs.expectation_pure(b)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdp_lang::{denot, parse_program};
+
+    fn check_agreement(src: &str, values: &[(&str, f64)]) {
+        let p = parse_program(src).unwrap();
+        let reg = Register::from_program(&p);
+        let params = Params::from_pairs(values.iter().map(|&(k, v)| (k, v)));
+        let set = LoweredSet::lower(std::slice::from_ref(&p), &reg);
+        let slots = set.slot_values(&params);
+        let psi = StateVector::zero_state(reg.len());
+        let obs = Observable::pauli_z(reg.len(), 0);
+
+        let lowered = set.programs()[0].expectation_pure(&slots, &psi, &obs);
+        let interpreted = denot::expectation_pure(&p, &reg, &params, &psi, &obs);
+        assert!(
+            (lowered - interpreted).abs() < 1e-14,
+            "{src}: lowered {lowered} vs interpreted {interpreted}"
+        );
+    }
+
+    #[test]
+    fn straight_line_program_agrees_with_interpreter() {
+        check_agreement("q1 *= RX(a); q1 *= RY(b); q1 *= RZ(a + pi/2); q1 *= H", &[
+            ("a", 0.4),
+            ("b", -1.2),
+        ]);
+    }
+
+    #[test]
+    fn branching_programs_agree_with_interpreter() {
+        check_agreement(
+            "q1 *= RX(a); case M[q1] = 0 -> q2 *= RY(b), 1 -> q2 := |0>; q1, q2 *= RZZ(a) end",
+            &[("a", 0.8), ("b", 0.3)],
+        );
+        check_agreement(
+            "q1 *= RY(a); while[2] M[q1] = 1 do q1 *= RY(b) done",
+            &[("a", 1.9), ("b", 0.7)],
+        );
+        check_agreement("q1 *= H; abort[q1]", &[]);
+    }
+
+    #[test]
+    fn slots_are_shared_and_deduplicated() {
+        let p = parse_program("q1 *= RX(a); q1 *= RY(a); q1 *= RZ(b)").unwrap();
+        let reg = Register::from_program(&p);
+        let set = LoweredSet::lower(std::slice::from_ref(&p), &reg);
+        assert_eq!(set.param_names.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no value")]
+    fn missing_parameter_panics_like_the_interpreter() {
+        let p = parse_program("q1 *= RX(a)").unwrap();
+        let reg = Register::from_program(&p);
+        let set = LoweredSet::lower(std::slice::from_ref(&p), &reg);
+        let _ = set.slot_values(&Params::new());
+    }
+}

@@ -1,0 +1,279 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking API used
+//! by `crates/bench`.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This shim keeps the bench sources unchanged and
+//! measures with plain wall-clock timing: each benchmark warms up for
+//! `warm_up_time`, then runs batches for at least `measurement_time`, and
+//! reports mean / best ns-per-iteration on stdout.
+//!
+//! Extras over a plain stopwatch:
+//!
+//! * `QDP_BENCH_FAST=1` shrinks warm-up and measurement windows (CI smoke),
+//! * `QDP_BENCH_JSON=<path>` appends one JSON line per benchmark
+//!   (`{"name":…,"mean_ns":…,"best_ns":…,"iters":…}`) for trend tracking.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup (API compatibility; the shim times the
+/// routine exclusive of setup in every mode).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+/// `QDP_BENCH_FAST` is enabled when set to anything but `"0"`.
+fn fast_mode() -> bool {
+    std::env::var("QDP_BENCH_FAST").is_ok_and(|v| v != "0")
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let fast = fast_mode();
+        Criterion {
+            sample_size: 10,
+            warm_up: if fast { Duration::from_millis(30) } else { Duration::from_millis(300) },
+            measurement: if fast { Duration::from_millis(150) } else { Duration::from_secs(2) },
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, self.warm_up, self.measurement, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (accepted for API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration (ignored in fast mode).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        if !fast_mode() {
+            self.warm_up = d;
+        }
+        self
+    }
+
+    /// Sets the measurement duration (ignored in fast mode).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        if !fast_mode() {
+            self.measurement = d;
+        }
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.warm_up, self.measurement, f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` does the actual timing.
+pub struct Bencher {
+    mode: Mode,
+    /// Accumulated (total_time, iters) samples.
+    samples: Vec<(Duration, u64)>,
+    budget: Duration,
+}
+
+enum Mode {
+    WarmUp,
+    Measure,
+}
+
+impl Bencher {
+    /// Times `routine` over enough iterations to fill the current window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        let mut batch: u64 = 1;
+        while start.elapsed() < self.budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            iters += batch;
+            if matches!(self.mode, Mode::Measure) {
+                self.samples.push((dt, batch));
+            }
+            // Grow batches until one batch takes ~1ms, bounding timer overhead.
+            if dt < Duration::from_millis(1) && batch < 1 << 20 {
+                batch *= 2;
+            }
+        }
+        let _ = iters;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let dt = t0.elapsed();
+            if matches!(self.mode, Mode::Measure) {
+                self.samples.push((dt, 1));
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, warm_up: Duration, measurement: Duration, mut f: F) {
+    let mut warm = Bencher {
+        mode: Mode::WarmUp,
+        samples: Vec::new(),
+        budget: warm_up,
+    };
+    f(&mut warm);
+
+    let mut bench = Bencher {
+        mode: Mode::Measure,
+        samples: Vec::new(),
+        budget: measurement,
+    };
+    f(&mut bench);
+
+    let total_iters: u64 = bench.samples.iter().map(|&(_, n)| n).sum();
+    if total_iters == 0 {
+        println!("{name:<55} no samples");
+        return;
+    }
+    let total_time: Duration = bench.samples.iter().map(|&(t, _)| t).sum();
+    let mean_ns = total_time.as_nanos() as f64 / total_iters as f64;
+    let best_ns = bench
+        .samples
+        .iter()
+        .map(|&(t, n)| t.as_nanos() as f64 / n as f64)
+        .fold(f64::INFINITY, f64::min);
+    println!("{name:<55} mean {:>12.1} ns/iter   best {:>12.1} ns/iter   ({} iters)", mean_ns, best_ns, total_iters);
+
+    if let Ok(path) = std::env::var("QDP_BENCH_JSON") {
+        use std::io::Write;
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                file,
+                "{{\"name\":\"{}\",\"mean_ns\":{:.1},\"best_ns\":{:.1},\"iters\":{}}}",
+                name.replace('"', "'"),
+                mean_ns,
+                best_ns,
+                total_iters
+            );
+        }
+    }
+}
+
+/// Declares a group of benchmark functions (mirrors `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point (mirrors `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Once;
+
+    /// `setenv` racing `getenv` across test threads is UB on glibc — set the
+    /// variable exactly once, before any reader runs.
+    fn enable_fast_mode() {
+        static SET: Once = Once::new();
+        SET.call_once(|| std::env::set_var("QDP_BENCH_FAST", "1"));
+    }
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        enable_fast_mode();
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("shim_smoke", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        enable_fast_mode();
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        g.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        enable_fast_mode();
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

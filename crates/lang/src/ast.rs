@@ -289,26 +289,38 @@ impl Gate {
     ///
     /// Panics when a referenced parameter is absent from `params`.
     pub fn matrix(&self, params: &Params) -> Matrix {
+        self.matrix_at(self.angle().map_or(0.0, |a| a.eval(params)))
+    }
+
+    /// The unitary matrix with the angle already evaluated to `theta`
+    /// (ignored by fixed gates): `g.matrix(params) ≡
+    /// g.matrix_at(g.angle().map_or(0.0, |a| a.eval(params)))`.
+    ///
+    /// This is the entry point of lowered executors that resolve parameter
+    /// values once per run instead of once per gate.
+    pub fn matrix_at(&self, theta: f64) -> Matrix {
         match self {
-            Gate::Rot { axis, angle } => {
-                Matrix::rotation_from_involution(&axis.matrix(), angle.eval(params))
+            // Closed-form constructors: one allocation per gate instead of
+            // building and scaling the Pauli generator.
+            Gate::Rot { axis, .. } => match axis {
+                Pauli::X => Matrix::rotation_x(theta),
+                Pauli::Y => Matrix::rotation_y(theta),
+                Pauli::Z => Matrix::rotation_z(theta),
+                Pauli::I => Matrix::rotation_from_involution(&axis.matrix(), theta),
+            },
+            Gate::Coupling { axis, .. } => match axis {
+                Pauli::I => {
+                    let sigma2 = axis.matrix().kron(&axis.matrix());
+                    Matrix::rotation_from_involution(&sigma2, theta)
+                }
+                _ => Matrix::coupling_rotation(*axis, theta),
+            },
+            Gate::CRot { controls, axis, .. } => {
+                iterated_controlled_rotation(&axis.matrix(), theta, *controls)
             }
-            Gate::Coupling { axis, angle } => {
+            Gate::CCoupling { controls, axis, .. } => {
                 let sigma2 = axis.matrix().kron(&axis.matrix());
-                Matrix::rotation_from_involution(&sigma2, angle.eval(params))
-            }
-            Gate::CRot {
-                controls,
-                axis,
-                angle,
-            } => iterated_controlled_rotation(&axis.matrix(), angle.eval(params), *controls),
-            Gate::CCoupling {
-                controls,
-                axis,
-                angle,
-            } => {
-                let sigma2 = axis.matrix().kron(&axis.matrix());
-                iterated_controlled_rotation(&sigma2, angle.eval(params), *controls)
+                iterated_controlled_rotation(&sigma2, theta, *controls)
             }
             Gate::H => Matrix::hadamard(),
             Gate::X => Matrix::pauli_x(),

@@ -106,37 +106,58 @@ pub fn run_pure_branches(
     params: &Params,
     psi: &StateVector,
 ) -> Vec<StateVector> {
+    let mut out = Vec::new();
+    run_pure_into(stmt, reg, params, psi.clone(), &mut out);
+    out
+}
+
+/// Ownership-threading worker behind [`run_pure_branches`]: straight-line
+/// segments mutate the incoming state in place (zero clones, zero
+/// per-gate vectors); only measurement branch points fork the state.
+fn run_pure_into(
+    stmt: &Stmt,
+    reg: &Register,
+    params: &Params,
+    mut psi: StateVector,
+    out: &mut Vec<StateVector>,
+) {
     const PRUNE: f64 = 1e-24;
     match stmt {
-        Stmt::Abort { .. } => vec![],
-        Stmt::Skip { .. } => vec![psi.clone()],
+        Stmt::Abort { .. } => {}
+        Stmt::Skip { .. } => out.push(psi),
         Stmt::Init { q } => {
             let idx = reg.indices_of(std::slice::from_ref(q))[0];
             let k0 = Matrix::from_real_rows(&[&[1.0, 0.0], &[0.0, 0.0]]);
             let k1 = Matrix::from_real_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
-            [k0, k1]
-                .iter()
-                .map(|k| psi.with_gate(k, &[idx]))
-                .filter(|s| s.norm_sqr() > PRUNE)
-                .collect()
+            let b1 = psi.with_gate(&k1, &[idx]);
+            psi.apply_gate(&k0, &[idx]);
+            for s in [psi, b1] {
+                if s.norm_sqr() > PRUNE {
+                    out.push(s);
+                }
+            }
         }
         Stmt::Unitary { gate, qs } => {
-            vec![psi.with_gate(&gate.matrix(params), &reg.indices_of(qs))]
+            psi.apply_gate(&gate.matrix(params), &reg.indices_of(qs));
+            out.push(psi);
         }
-        Stmt::Seq(a, b) => run_pure_branches(a, reg, params, psi)
-            .iter()
-            .flat_map(|mid| run_pure_branches(b, reg, params, mid))
-            .collect(),
+        Stmt::Seq(a, b) => {
+            let mut mids = Vec::new();
+            run_pure_into(a, reg, params, psi, &mut mids);
+            for mid in mids {
+                run_pure_into(b, reg, params, mid, out);
+            }
+        }
         Stmt::Case { qs, arms } => {
             let meas = Measurement::computational(reg.indices_of(qs));
-            meas.branches_pure(psi)
-                .into_iter()
-                .filter(|b| b.probability > PRUNE)
-                .flat_map(|b| run_pure_branches(&arms[b.outcome], reg, params, &b.state))
-                .collect()
+            for b in meas.branches_pure(&psi) {
+                if b.probability > PRUNE {
+                    run_pure_into(&arms[b.outcome], reg, params, b.state, out);
+                }
+            }
         }
         Stmt::While { .. } => {
-            run_pure_branches(&stmt.unfold_while_once(), reg, params, psi)
+            run_pure_into(&stmt.unfold_while_once(), reg, params, psi, out);
         }
         Stmt::Sum(..) => panic!("run_pure_branches is defined on normal programs"),
     }

@@ -152,10 +152,8 @@ fn combine(a: &Stmt, b: &Stmt) -> Combine {
         return Combine::Keep;
     }
     // Self-inverse fixed gates cancel.
-    if ga == gb {
-        if matches!(ga, Gate::H | Gate::X | Gate::Y | Gate::Z | Gate::Cnot) {
-            return Combine::Cancel;
-        }
+    if ga == gb && matches!(ga, Gate::H | Gate::X | Gate::Y | Gate::Z | Gate::Cnot) {
+        return Combine::Cancel;
     }
     // Constant rotations on the same axis merge.
     match (ga, gb) {

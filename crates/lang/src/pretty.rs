@@ -98,7 +98,7 @@ fn write_stmt(out: &mut String, stmt: &Stmt, level: usize, prec: Prec) {
                 indent(out, level);
                 out.push_str("(\n");
                 write_stmt(out, a, level + 1, Prec::Top);
-                out.push_str("\n");
+                out.push('\n');
                 indent(out, level + 1);
                 out.push_str("+\n");
                 write_stmt(out, b, level + 1, Prec::SumRight);
@@ -120,7 +120,7 @@ fn write_stmt(out: &mut String, stmt: &Stmt, level: usize, prec: Prec) {
             out.push_str("] =\n");
             for (m, arm) in arms.iter().enumerate() {
                 indent(out, level + 1);
-                let _ = write!(out, "{m} ->\n");
+                let _ = writeln!(out, "{m} ->");
                 write_stmt(out, arm, level + 2, Prec::Top);
                 if m + 1 < arms.len() {
                     out.push(',');
@@ -132,7 +132,7 @@ fn write_stmt(out: &mut String, stmt: &Stmt, level: usize, prec: Prec) {
         }
         Stmt::While { q, bound, body } => {
             indent(out, level);
-            let _ = write!(out, "while[{bound}] M[{q}] = 1 do\n");
+            let _ = writeln!(out, "while[{bound}] M[{q}] = 1 do");
             write_stmt(out, body, level + 1, Prec::Top);
             out.push('\n');
             indent(out, level);

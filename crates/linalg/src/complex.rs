@@ -252,6 +252,7 @@ impl Mul<C64> for f64 {
 impl Div for C64 {
     type Output = C64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w computed as z * w^-1
     fn div(self, rhs: C64) -> C64 {
         self * rhs.recip()
     }

@@ -156,6 +156,34 @@ impl Matrix {
         self.data[i * self.cols + j] += value;
     }
 
+    /// Entry at `(i, j)` without bounds checking.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee `i < self.rows()` and `j < self.cols()`;
+    /// otherwise this reads out of bounds (undefined behaviour).
+    #[inline]
+    pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> C64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        // SAFETY: the contract above bounds i*cols+j by rows*cols = data.len().
+        unsafe { *self.data.get_unchecked(i * self.cols + j) }
+    }
+
+    /// Sets the entry at `(i, j)` without bounds checking.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee `i < self.rows()` and `j < self.cols()`;
+    /// otherwise this writes out of bounds (undefined behaviour).
+    #[inline]
+    pub unsafe fn set_unchecked(&mut self, i: usize, j: usize, value: C64) {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        // SAFETY: the contract above bounds i*cols+j by rows*cols = data.len().
+        unsafe {
+            *self.data.get_unchecked_mut(i * self.cols + j) = value;
+        }
+    }
+
     /// Borrows the row-major entries.
     pub fn as_slice(&self) -> &[C64] {
         &self.data
@@ -218,7 +246,9 @@ impl Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
         for i in 0..self.rows {
             for j in 0..self.cols {
-                out.set(j, i, self.get(i, j).conj());
+                // SAFETY: i < rows and j < cols bound both accesses; the
+                // output is cols x rows, so (j, i) is in bounds.
+                unsafe { out.set_unchecked(j, i, self.get_unchecked(i, j).conj()) };
             }
         }
         out
@@ -229,7 +259,9 @@ impl Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
         for i in 0..self.rows {
             for j in 0..self.cols {
-                out.set(j, i, self.get(i, j));
+                // SAFETY: i < rows and j < cols bound both accesses; the
+                // output is cols x rows, so (j, i) is in bounds.
+                unsafe { out.set_unchecked(j, i, self.get_unchecked(i, j)) };
             }
         }
         out
@@ -397,16 +429,83 @@ impl Matrix {
     /// Single-qubit rotation `Rσ(θ) = exp(-iθσ/2) = cos(θ/2)·I − i·sin(θ/2)·σ`
     /// about the given Pauli matrix `sigma` (which must be an involution,
     /// `σ² = I`, as all Pauli strings are).
+    ///
+    /// Single-qubit rotation about the X axis, built in closed form (no
+    /// intermediate Pauli matrix) — the gate-construction hot path of the
+    /// execution engines.
+    pub fn rotation_x(theta: f64) -> Matrix {
+        let c = C64::real((theta / 2.0).cos());
+        let s = C64::imag(-(theta / 2.0).sin());
+        Matrix::from_data(2, 2, vec![c, s, s, c])
+    }
+
+    /// Single-qubit rotation about the Y axis in closed form (real-valued).
+    pub fn rotation_y(theta: f64) -> Matrix {
+        let c = C64::real((theta / 2.0).cos());
+        let s = C64::real((theta / 2.0).sin());
+        Matrix::from_data(2, 2, vec![c, -s, s, c])
+    }
+
+    /// Single-qubit rotation about the Z axis in closed form (diagonal).
+    pub fn rotation_z(theta: f64) -> Matrix {
+        let c = (theta / 2.0).cos();
+        let s = (theta / 2.0).sin();
+        Matrix::from_data(
+            2,
+            2,
+            vec![C64::new(c, -s), C64::ZERO, C64::ZERO, C64::new(c, s)],
+        )
+    }
+
+    /// Two-qubit coupling rotation `exp(-iθ(σ⊗σ)/2)` in closed form: `cos`
+    /// on the diagonal and the `σ⊗σ` pattern scaled by `-i·sin` elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`crate::Pauli::I`] (not a coupling axis).
+    pub fn coupling_rotation(axis: crate::Pauli, theta: f64) -> Matrix {
+        let c = C64::real((theta / 2.0).cos());
+        let s = C64::imag(-(theta / 2.0).sin());
+        let z = C64::ZERO;
+        let data = match axis {
+            // σx⊗σx: ones on the anti-diagonal.
+            crate::Pauli::X => vec![c, z, z, s, z, c, s, z, z, s, c, z, s, z, z, c],
+            // σy⊗σy: anti-diagonal −1, 1, 1, −1.
+            crate::Pauli::Y => vec![c, z, z, -s, z, c, s, z, z, s, c, z, -s, z, z, c],
+            // σz⊗σz: diagonal 1, −1, −1, 1.
+            crate::Pauli::Z => {
+                vec![c + s, z, z, z, z, c - s, z, z, z, z, c - s, z, z, z, z, c + s]
+            }
+            crate::Pauli::I => panic!("identity is not a coupling axis"),
+        };
+        Matrix::from_data(4, 4, data)
+    }
+
+    /// Built in a single pass over `sigma` (one allocation) — this runs once
+    /// per gate application in the simulator's execution engines.
     pub fn rotation_from_involution(sigma: &Matrix, theta: f64) -> Matrix {
         assert!(sigma.is_square(), "rotation generator must be square");
         let n = sigma.rows;
         let c = C64::real((theta / 2.0).cos());
         let s = -C64::I * (theta / 2.0).sin();
-        let mut out = sigma.scale(s);
-        for i in 0..n {
-            out.add_to(i, i, c);
+        let data = sigma
+            .data
+            .iter()
+            .enumerate()
+            .map(|(idx, &z)| {
+                let scaled = z * s;
+                if idx % (n + 1) == 0 {
+                    scaled + c
+                } else {
+                    scaled
+                }
+            })
+            .collect();
+        Matrix {
+            rows: n,
+            cols: n,
+            data,
         }
-        out
     }
 }
 

@@ -47,6 +47,7 @@ impl Pauli {
     /// assert_eq!(p, Pauli::Z);
     /// assert_eq!(phase, C64::I);
     /// ```
+    #[allow(clippy::should_implement_trait)] // returns (phase, pauli), not Self
     pub fn mul(self, other: Pauli) -> (C64, Pauli) {
         use Pauli::*;
         match (self, other) {

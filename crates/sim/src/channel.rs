@@ -7,11 +7,17 @@
 //! tick (Lemma D.2).
 
 use crate::density::DensityMatrix;
-use crate::kernels::{left_mul, right_mul};
+use crate::kernels::{left_mul, right_mul_transposed, PAR_MIN_LEN};
 use qdp_linalg::{C64, Matrix};
 
 /// A completely positive, trace-non-increasing map given by Kraus operators
 /// acting on a fixed subset of qubits.
+///
+/// Construction precomputes, per Kraus operator `K`, the adjoint `K†`, the
+/// conjugate `K̄ = (K†)ᵀ`, and the transpose `Kᵀ` — the exact factors
+/// [`apply`](Self::apply) and [`dual_apply`](Self::dual_apply) feed to the
+/// right-multiplication kernel, so no per-application transpose is ever
+/// allocated.
 ///
 /// # Examples
 ///
@@ -32,6 +38,12 @@ use qdp_linalg::{C64, Matrix};
 #[derive(Clone, Debug)]
 pub struct KrausChannel {
     kraus: Vec<Matrix>,
+    /// Cached `K†` per operator (left factor of the dual).
+    daggers: Vec<Matrix>,
+    /// Cached `K̄ = (K†)ᵀ` per operator (pre-transposed right factor of `apply`).
+    conjugates: Vec<Matrix>,
+    /// Cached `Kᵀ` per operator (pre-transposed right factor of `dual_apply`).
+    transposes: Vec<Matrix>,
     targets: Vec<usize>,
 }
 
@@ -97,7 +109,21 @@ impl KrausChannel {
         if !gap.is_psd(1e-8) {
             return Err(ChannelError::TraceIncreasing);
         }
-        Ok(KrausChannel { kraus, targets })
+        Ok(KrausChannel::from_parts(kraus, targets))
+    }
+
+    /// Builds the channel and its per-operator caches (no validation).
+    fn from_parts(kraus: Vec<Matrix>, targets: Vec<usize>) -> Self {
+        let daggers: Vec<Matrix> = kraus.iter().map(Matrix::dagger).collect();
+        let conjugates: Vec<Matrix> = kraus.iter().map(Matrix::conj).collect();
+        let transposes: Vec<Matrix> = kraus.iter().map(Matrix::transpose).collect();
+        KrausChannel {
+            kraus,
+            daggers,
+            conjugates,
+            transposes,
+            targets,
+        }
     }
 
     /// The unitary channel `U ∘ U†`.
@@ -107,21 +133,18 @@ impl KrausChannel {
     /// Panics when `u` is not unitary.
     pub fn unitary(u: Matrix, targets: Vec<usize>) -> Self {
         assert!(u.is_unitary(1e-8), "KrausChannel::unitary needs a unitary operator");
-        KrausChannel {
-            kraus: vec![u],
-            targets,
-        }
+        KrausChannel::from_parts(vec![u], targets)
     }
 
     /// The initialisation channel `E_{q→0}` (Fig. 1b of the paper).
     pub fn initialize_zero(q: usize) -> Self {
-        KrausChannel {
-            kraus: vec![
+        KrausChannel::from_parts(
+            vec![
                 Matrix::from_real_rows(&[&[1.0, 0.0], &[0.0, 0.0]]),
                 Matrix::from_real_rows(&[&[0.0, 1.0], &[0.0, 0.0]]),
             ],
-            targets: vec![q],
-        }
+            vec![q],
+        )
     }
 
     /// Single-qubit depolarising noise: with probability `p` the qubit is
@@ -134,15 +157,15 @@ impl KrausChannel {
         assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
         let s0 = (1.0 - 3.0 * p / 4.0).sqrt();
         let sp = (p / 4.0).sqrt();
-        KrausChannel {
-            kraus: vec![
+        KrausChannel::from_parts(
+            vec![
                 Matrix::identity(2).scale(C64::real(s0)),
                 Matrix::pauli_x().scale(C64::real(sp)),
                 Matrix::pauli_y().scale(C64::real(sp)),
                 Matrix::pauli_z().scale(C64::real(sp)),
             ],
-            targets: vec![q],
-        }
+            vec![q],
+        )
     }
 
     /// Single-qubit bit-flip noise: `X` with probability `p`.
@@ -152,13 +175,13 @@ impl KrausChannel {
     /// Panics unless `0 ≤ p ≤ 1`.
     pub fn bit_flip(q: usize, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
-        KrausChannel {
-            kraus: vec![
+        KrausChannel::from_parts(
+            vec![
                 Matrix::identity(2).scale(C64::real((1.0 - p).sqrt())),
                 Matrix::pauli_x().scale(C64::real(p.sqrt())),
             ],
-            targets: vec![q],
-        }
+            vec![q],
+        )
     }
 
     /// Single-qubit phase-flip (dephasing) noise: `Z` with probability `p`.
@@ -168,13 +191,13 @@ impl KrausChannel {
     /// Panics unless `0 ≤ p ≤ 1`.
     pub fn phase_flip(q: usize, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
-        KrausChannel {
-            kraus: vec![
+        KrausChannel::from_parts(
+            vec![
                 Matrix::identity(2).scale(C64::real((1.0 - p).sqrt())),
                 Matrix::pauli_z().scale(C64::real(p.sqrt())),
             ],
-            targets: vec![q],
-        }
+            vec![q],
+        )
     }
 
     /// Single-qubit amplitude damping with decay probability `gamma`
@@ -193,10 +216,7 @@ impl KrausChannel {
             vec![C64::ZERO, C64::real(gamma.sqrt())],
             vec![C64::ZERO, C64::ZERO],
         ]);
-        KrausChannel {
-            kraus: vec![k0, k1],
-            targets: vec![q],
-        }
+        KrausChannel::from_parts(vec![k0, k1], vec![q])
     }
 
     /// Borrows the Kraus operators.
@@ -210,10 +230,33 @@ impl KrausChannel {
     }
 
     /// Applies the channel: `ρ ↦ Σk KρK†`.
+    ///
+    /// Uses the cached conjugates (no per-call transpose allocation) and
+    /// evaluates the Kraus branches in parallel on large states; the branch
+    /// sum is always taken in operator order, so the result is deterministic
+    /// under any thread count.
     pub fn apply(&self, rho: &DensityMatrix) -> DensityMatrix {
-        let mut out = rho.clone();
-        out.apply_kraus(&self.kraus, &self.targets);
-        out
+        let n = rho.num_qubits();
+        let data = rho.as_slice();
+        let branch = |i: &usize| -> Vec<C64> {
+            let mut term = data.to_vec();
+            left_mul(&mut term, n, &self.kraus[*i], &self.targets);
+            right_mul_transposed(&mut term, n, &self.conjugates[*i], &self.targets);
+            term
+        };
+        let indices: Vec<usize> = (0..self.kraus.len()).collect();
+        let terms: Vec<Vec<C64>> = if data.len() >= PAR_MIN_LEN && self.kraus.len() > 1 {
+            qdp_par::par_map(&indices, branch)
+        } else {
+            indices.iter().map(branch).collect()
+        };
+        let mut acc = vec![C64::ZERO; data.len()];
+        for term in &terms {
+            for (a, t) in acc.iter_mut().zip(term) {
+                *a += *t;
+            }
+        }
+        DensityMatrix::from_flat(n, acc)
     }
 
     /// Applies the Schrödinger–Heisenberg dual to a full-space observable
@@ -226,10 +269,10 @@ impl KrausChannel {
         let dim = 1usize << n_qubits;
         assert!(o.rows() == dim && o.cols() == dim, "observable must be 2^n x 2^n");
         let mut acc = vec![C64::ZERO; dim * dim];
-        for k in &self.kraus {
+        for (dagger, transpose) in self.daggers.iter().zip(&self.transposes) {
             let mut term = o.as_slice().to_vec();
-            left_mul(&mut term, n_qubits, &k.dagger(), &self.targets);
-            right_mul(&mut term, n_qubits, k, &self.targets);
+            left_mul(&mut term, n_qubits, dagger, &self.targets);
+            right_mul_transposed(&mut term, n_qubits, transpose, &self.targets);
             for (a, t) in acc.iter_mut().zip(&term) {
                 *a += *t;
             }

@@ -5,7 +5,7 @@
 //! shrink below one (e.g. `abort` outputs the zero operator) because
 //! probabilities of measurement branches are folded into the operator itself.
 
-use crate::kernels::{left_mul, qubit_bit, right_mul};
+use crate::kernels::{left_mul, qubit_bit, right_mul_transposed};
 use crate::state::StateVector;
 use qdp_linalg::{C64, Matrix};
 
@@ -62,20 +62,34 @@ impl DensityMatrix {
     }
 
     /// Density operator `|ψ⟩⟨ψ|` of a pure (possibly sub-normalised) state.
+    ///
+    /// Rows whose amplitude is zero are skipped before the inner loop (the
+    /// whole row stays zero), and each surviving row is filled with one flat
+    /// slice write — no per-element index arithmetic or zero re-checks.
     pub fn from_pure(psi: &StateVector) -> Self {
         let n = psi.num_qubits();
         let dim = 1usize << n;
         let amps = psi.amplitudes();
         let mut data = vec![C64::ZERO; dim * dim];
-        for i in 0..dim {
-            if amps[i] == C64::ZERO {
+        for (row, &ai) in data.chunks_exact_mut(dim).zip(amps) {
+            if ai == C64::ZERO {
                 continue;
             }
-            for j in 0..dim {
-                data[i * dim + j] = amps[i] * amps[j].conj();
+            for (slot, aj) in row.iter_mut().zip(amps) {
+                *slot = ai * aj.conj();
             }
         }
         DensityMatrix { n_qubits: n, data }
+    }
+
+    /// Builds a density operator from an already-flattened row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer length is not `4ⁿ`.
+    pub fn from_flat(n_qubits: usize, data: Vec<C64>) -> Self {
+        assert_eq!(data.len(), 1usize << (2 * n_qubits), "buffer must hold 2^n x 2^n entries");
+        DensityMatrix { n_qubits, data }
     }
 
     /// Builds a density operator from an explicit matrix.
@@ -141,25 +155,32 @@ impl DensityMatrix {
     }
 
     /// Applies a unitary `U` on `targets`: `ρ ← UρU†` (Fig. 1a, Unitary).
+    ///
+    /// The right factor `(U†)ᵀ = Ū` is formed by one conjugation instead of
+    /// an adjoint *and* a transpose inside the kernel.
     pub fn apply_unitary(&mut self, u: &Matrix, targets: &[usize]) {
         left_mul(&mut self.data, self.n_qubits, u, targets);
-        right_mul(&mut self.data, self.n_qubits, &u.dagger(), targets);
+        right_mul_transposed(&mut self.data, self.n_qubits, &u.conj(), targets);
     }
 
     /// Applies one (not necessarily unitary) operator conjugation
     /// `ρ ← MρM†` — e.g. a single measurement operator `Em(ρ) = MmρMm†`.
     pub fn apply_conjugation(&mut self, m: &Matrix, targets: &[usize]) {
         left_mul(&mut self.data, self.n_qubits, m, targets);
-        right_mul(&mut self.data, self.n_qubits, &m.dagger(), targets);
+        right_mul_transposed(&mut self.data, self.n_qubits, &m.conj(), targets);
     }
 
     /// Applies a Kraus channel `ρ ← Σk KkρKk†` on `targets`.
+    ///
+    /// For repeated application of the same channel prefer
+    /// [`crate::KrausChannel::apply`], which caches the conjugated operators
+    /// and parallelises across branches.
     pub fn apply_kraus(&mut self, kraus: &[Matrix], targets: &[usize]) {
         let mut acc = vec![C64::ZERO; self.data.len()];
         for k in kraus {
             let mut term = self.data.clone();
             left_mul(&mut term, self.n_qubits, k, targets);
-            right_mul(&mut term, self.n_qubits, &k.dagger(), targets);
+            right_mul_transposed(&mut term, self.n_qubits, &k.conj(), targets);
             for (a, t) in acc.iter_mut().zip(&term) {
                 *a += *t;
             }

@@ -1,11 +1,62 @@
-//! Targeted gate-application kernels.
+//! Targeted gate-application kernels — the hot loops of the simulator.
 //!
-//! These are the hot loops of the simulator. A `k`-qubit operator is applied
-//! to an amplitude array without ever materialising the `2ⁿ × 2ⁿ` lifted
-//! operator. Density matrices reuse the same kernel by viewing a `2ⁿ × 2ⁿ`
-//! array as a state vector over `2n` qubits (row qubits first).
+//! A `k`-qubit operator is applied to an amplitude array without ever
+//! materialising the `2ⁿ × 2ⁿ` lifted operator. Density matrices reuse the
+//! same kernels by viewing a `2ⁿ × 2ⁿ` row-major array as a state vector over
+//! `2n` qubits (row qubits occupy the **high** half of the flattened index,
+//! column qubits the low half).
+//!
+//! # Kernel strategy
+//!
+//! The public entry point [`apply_matrix`] dispatches on operator shape:
+//!
+//! * **Base enumeration.** Only the `2^(n−k)` base indices (target bits
+//!   clear) are visited, produced directly by *bit-deposit* over the
+//!   non-target mask — never the full `2ⁿ` range with a mask test per index
+//!   (that reference behaviour survives as [`apply_matrix_reference`] for
+//!   validation and benchmarking).
+//! * **Specialised `k = 1` / `k = 2` kernels.** Allocation-free: the operator
+//!   is copied to stack scratch, the 2×2 / 4×4 multiply is fully unrolled,
+//!   and amplitudes are accessed through raw slices instead of per-element
+//!   [`Matrix::get`].
+//! * **Diagonal fast path.** Phase-type operators (`RZ`, `CZ`, projectors
+//!   onto basis states, …) touch each amplitude exactly once with a single
+//!   multiply.
+//! * **Block-diagonal (controlled) fast path.** Operators of the form
+//!   `|0⟩⟨0| ⊗ A + |1⟩⟨1| ⊗ B` — every controlled rotation the
+//!   differentiation gadget emits, plus `CNOT` — skip the zero blocks,
+//!   halving the multiply count.
+//! * **Parallel split.** Above [`PAR_MIN_LEN`] amplitudes the work is split
+//!   across threads via `qdp_par`: in place over contiguous aligned chunks
+//!   when the target bits lie below the chunk boundary, or by zipping the
+//!   two contiguous orbit halves in lockstep when the target is the top
+//!   bit. Every split performs the identical floating-point operations per
+//!   output element as the serial kernel, so results are bit-for-bit
+//!   deterministic regardless of thread count.
+//!
+//! Every fast path is validated against [`embed`] on randomised inputs to
+//! `1e-12` (see `crates/sim/tests/kernel_properties.rs`).
 
 use qdp_linalg::{C64, Matrix};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Arrays at least this long may be split across threads.
+pub const PAR_MIN_LEN: usize = 1 << 14;
+
+/// When set, [`apply_matrix`] routes through [`apply_matrix_reference`] —
+/// used by benchmarks to measure end-to-end speedups of the fast paths.
+static REFERENCE_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Forces every kernel through the slow reference implementation (for
+/// benchmarking the fast paths end-to-end). Affects all threads.
+pub fn set_reference_kernels(on: bool) {
+    REFERENCE_MODE.store(on, Ordering::Relaxed);
+}
+
+/// Whether [`set_reference_kernels`] is currently engaged.
+pub fn reference_kernels_enabled() -> bool {
+    REFERENCE_MODE.load(Ordering::Relaxed)
+}
 
 /// Bit position (from the least significant end) of qubit `q` in an
 /// `n`-qubit basis index. Qubit 0 is the most significant bit.
@@ -13,6 +64,31 @@ use qdp_linalg::{C64, Matrix};
 pub fn qubit_bit(n: usize, q: usize) -> usize {
     debug_assert!(q < n, "qubit index {q} out of range for {n} qubits");
     n - 1 - q
+}
+
+/// Expands `i` by inserting a zero bit at each position in `sorted_bits`
+/// (ascending): the `i`-th base index whose `sorted_bits` are all clear.
+/// This is how the kernels enumerate exactly the `2^(n−k)` orbit bases
+/// instead of scanning all `2ⁿ` indices.
+#[inline]
+pub(crate) fn deposit_zeros(mut i: usize, sorted_bits: &[usize]) -> usize {
+    for &b in sorted_bits {
+        let low = (1usize << b) - 1;
+        i = ((i & !low) << 1) | (i & low);
+    }
+    i
+}
+
+fn validate(amps: &[C64], n: usize, m: &Matrix, targets: &[usize]) {
+    let k = targets.len();
+    assert!(m.rows() == 1 << k && m.cols() == 1 << k, "operator dimension must be 2^{k}");
+    assert_eq!(amps.len(), 1 << n, "amplitude array must have length 2^{n}");
+    for (i, t) in targets.iter().enumerate() {
+        assert!(*t < n, "target {t} out of range for {n} qubits");
+        for u in &targets[i + 1..] {
+            assert_ne!(t, u, "duplicate target qubit {t}");
+        }
+    }
 }
 
 /// Applies an arbitrary `2ᵏ × 2ᵏ` matrix `m` to the amplitudes `amps` of an
@@ -26,21 +102,362 @@ pub fn qubit_bit(n: usize, q: usize) -> usize {
 ///
 /// Panics when dimensions are inconsistent or targets repeat.
 pub fn apply_matrix(amps: &mut [C64], n: usize, m: &Matrix, targets: &[usize]) {
+    validate(amps, n, m, targets);
+    if reference_kernels_enabled() {
+        apply_matrix_reference_unchecked(amps, n, m, targets);
+        return;
+    }
+    match *targets {
+        [t] => apply_1q(amps, n, m, t),
+        [t0, t1] => apply_2q(amps, n, m, t0, t1),
+        _ => apply_kq(amps, n, m, targets),
+    }
+}
+
+/// Left-multiplies a square amplitude array (row-major, dimension `2ⁿ`) by
+/// the operator `m` on `targets`: `A ← (m lifted) · A`.
+pub fn left_mul(a: &mut [C64], n: usize, m: &Matrix, targets: &[usize]) {
+    // Row index bits occupy the high half of the flattened 2n-qubit index,
+    // so row qubit q maps to qubit q of the doubled register.
+    apply_matrix(a, 2 * n, m, targets);
+}
+
+/// Right-multiplies a square amplitude array by the operator `m` on
+/// `targets`: `A ← A · (m lifted)`.
+///
+/// Allocates a transposed copy of `m` on every call; hot paths that apply
+/// the same operator repeatedly should cache the transpose and use
+/// [`right_mul_transposed`] instead.
+pub fn right_mul(a: &mut [C64], n: usize, m: &Matrix, targets: &[usize]) {
+    right_mul_transposed(a, n, &m.transpose(), targets);
+}
+
+/// Like [`right_mul`], but takes the operator **already transposed** so no
+/// per-call allocation happens: `A ← A · (m_tᵀ lifted)`.
+pub fn right_mul_transposed(a: &mut [C64], n: usize, m_t: &Matrix, targets: &[usize]) {
+    // (A·M)_{ij} = Σ_b A_{ib} M_{bj} = Σ_b (Mᵀ)_{jb} A_{ib}: apply Mᵀ on the
+    // column qubits, which sit in the low half of the doubled register.
+    let shifted: Vec<usize> = targets.iter().map(|&t| t + n).collect();
+    apply_matrix(a, 2 * n, m_t, &shifted);
+}
+
+// ---------------------------------------------------------------------------
+// k = 1
+// ---------------------------------------------------------------------------
+
+fn apply_1q(amps: &mut [C64], n: usize, m: &Matrix, t: usize) {
+    let md = m.as_slice();
+    let (m00, m01, m10, m11) = (md[0], md[1], md[2], md[3]);
+    let mask = 1usize << qubit_bit(n, t);
+
+    if m01 == C64::ZERO && m10 == C64::ZERO {
+        apply_diag(amps, &[mask], &[m00, m11]);
+        return;
+    }
+
+    // Real operators (H, RY, X, …) need four real multiplies per output
+    // component instead of the full complex product. The arithmetic below
+    // performs the identical floating-point operations the generic path
+    // would after its zero-imaginary terms are folded, so both paths agree
+    // bitwise.
+    if m00.im == 0.0 && m01.im == 0.0 && m10.im == 0.0 && m11.im == 0.0 {
+        let (r00, r01, r10, r11) = (m00.re, m01.re, m10.re, m11.re);
+        apply_1q_with(amps, mask, |a0, a1| {
+            (
+                C64::new(r00 * a0.re + r01 * a1.re, r00 * a0.im + r01 * a1.im),
+                C64::new(r10 * a0.re + r11 * a1.re, r10 * a0.im + r11 * a1.im),
+            )
+        });
+    } else {
+        apply_1q_with(amps, mask, |a0, a1| {
+            (
+                C64::ZERO.mul_add(m00, a0).mul_add(m01, a1),
+                C64::ZERO.mul_add(m10, a0).mul_add(m11, a1),
+            )
+        });
+    }
+}
+
+/// Shared driver of the dense single-qubit kernels: `pair` maps the orbit
+/// `(amps[base], amps[base|mask])` to its new values.
+fn apply_1q_with(amps: &mut [C64], mask: usize, pair: impl Fn(C64, C64) -> (C64, C64) + Sync) {
+    let align = mask << 1;
+    let serial = |chunk: &mut [C64]| {
+        for block in chunk.chunks_exact_mut(align) {
+            let (lo_half, hi_half) = block.split_at_mut(mask);
+            for (lo, hi) in lo_half.iter_mut().zip(hi_half.iter_mut()) {
+                let (a, b) = pair(*lo, *hi);
+                *lo = a;
+                *hi = b;
+            }
+        }
+    };
+    // Small arrays (the pure-state gradient path) never touch the parallel
+    // machinery: straight into the serial loop.
+    if amps.len() < PAR_MIN_LEN || qdp_par::max_threads() < 2 {
+        serial(amps);
+        return;
+    }
+    if amps.len() / align < 2 {
+        // `mask` is the top bit (`left_mul` on row qubit 0 of a density
+        // matrix is the only way here): the two orbit halves are contiguous,
+        // so split and zip them in lockstep — no snapshot, each orbit
+        // computed once, bit-identical to the serial loop.
+        let (lo_half, hi_half) = amps.split_at_mut(mask);
+        qdp_par::par_zip_chunks_mut(lo_half, hi_half, |lo_chunk, hi_chunk| {
+            for (lo, hi) in lo_chunk.iter_mut().zip(hi_chunk.iter_mut()) {
+                let (a, b) = pair(*lo, *hi);
+                *lo = a;
+                *hi = b;
+            }
+        });
+        return;
+    }
+    // In place over contiguous chunks: an index orbit {base, base|mask}
+    // stays inside any aligned chunk of 2·mask elements.
+    qdp_par::par_chunks_mut(amps, align, |_, chunk| serial(chunk));
+}
+
+// ---------------------------------------------------------------------------
+// k = 2
+// ---------------------------------------------------------------------------
+
+fn apply_2q(amps: &mut [C64], n: usize, m: &Matrix, t0: usize, t1: usize) {
+    let md = m.as_slice();
+    let mut mm = [C64::ZERO; 16];
+    mm.copy_from_slice(md);
+    let mask0 = 1usize << qubit_bit(n, t0); // most significant local bit
+    let mask1 = 1usize << qubit_bit(n, t1);
+
+    let diagonal = (0..4).all(|a| (0..4).all(|b| a == b || mm[4 * a + b] == C64::ZERO));
+    if diagonal {
+        apply_diag(amps, &[mask0, mask1], &[mm[0], mm[5], mm[10], mm[15]]);
+        return;
+    }
+
+    // Block-diagonal in the first target: |0⟩⟨0| ⊗ A + |1⟩⟨1| ⊗ B. This is
+    // every controlled gate the differentiation gadget emits (the control is
+    // the most significant target by convention), plus CNOT.
+    let block_diagonal = mm[2] == C64::ZERO
+        && mm[3] == C64::ZERO
+        && mm[6] == C64::ZERO
+        && mm[7] == C64::ZERO
+        && mm[8] == C64::ZERO
+        && mm[9] == C64::ZERO
+        && mm[12] == C64::ZERO
+        && mm[13] == C64::ZERO;
+    if block_diagonal {
+        // A acts on the t1 bit where the t0 bit is clear, B where it is set.
+        apply_blockdiag_ctrl(
+            amps,
+            mask0,
+            mask1,
+            [mm[0], mm[1], mm[4], mm[5]],
+            [mm[10], mm[11], mm[14], mm[15]],
+        );
+        return;
+    }
+
+    let (b_lo, b_hi) = if mask0 < mask1 {
+        (mask0.trailing_zeros() as usize, mask1.trailing_zeros() as usize)
+    } else {
+        (mask1.trailing_zeros() as usize, mask0.trailing_zeros() as usize)
+    };
+    let low = (1usize << b_lo) - 1;
+    let mid = (1usize << b_hi) - 1;
+    let off = [0usize, mask1, mask0, mask0 | mask1];
+
+    let quarter = amps.len() >> 2;
+    let body = |amps: &mut [C64], start: usize, end: usize, shift: usize| {
+        for i in start..end {
+            let x = ((i & !low) << 1) | (i & low);
+            let base = (((x & !mid) << 1) | (x & mid)) - shift;
+            let s = [
+                amps[base | off[0]],
+                amps[base | off[1]],
+                amps[base | off[2]],
+                amps[base | off[3]],
+            ];
+            for (a, &o) in off.iter().enumerate() {
+                let row = 4 * a;
+                amps[base | o] = C64::ZERO
+                    .mul_add(mm[row], s[0])
+                    .mul_add(mm[row + 1], s[1])
+                    .mul_add(mm[row + 2], s[2])
+                    .mul_add(mm[row + 3], s[3]);
+            }
+        }
+    };
+
+    let align = 1usize << (b_hi + 1);
+    if amps.len() >= PAR_MIN_LEN && qdp_par::max_threads() > 1 && amps.len() / align >= 2 {
+        // Aligned chunks contain whole orbits: bases within a chunk start at
+        // base index offset/4 adjusted for deposited bits. Easier and just as
+        // fast: recompute the global base range per chunk.
+        qdp_par::par_chunks_mut(amps, align, |offset, chunk| {
+            // Chunks are aligned to whole orbits, and the bit-deposit map is
+            // monotone, so the chunk starting at `offset` covers exactly the
+            // base indices [offset/4, offset/4 + chunk.len()/4).
+            let first = offset >> 2;
+            body(chunk, first, first + (chunk.len() >> 2), offset);
+        });
+        return;
+    }
+    body(amps, 0, quarter, 0);
+}
+
+/// Applies the 2×2 blocks `a` (control clear) and `b` (control set) of a
+/// block-diagonal two-qubit operator. `cmask` is the control bit, `tmask`
+/// the target bit.
+fn apply_blockdiag_ctrl(amps: &mut [C64], cmask: usize, tmask: usize, a: [C64; 4], b: [C64; 4]) {
+    let identity_a = a[0] == C64::ONE && a[1] == C64::ZERO && a[2] == C64::ZERO && a[3] == C64::ONE;
+    let align = (cmask.max(tmask)) << 1;
+    let body = |offset: usize, chunk: &mut [C64]| {
+        let quarter = chunk.len() >> 2;
+        let (b_lo, b_hi) = (
+            cmask.min(tmask).trailing_zeros() as usize,
+            cmask.max(tmask).trailing_zeros() as usize,
+        );
+        let low = (1usize << b_lo) - 1;
+        let mid = (1usize << b_hi) - 1;
+        let first = offset >> 2;
+        for i in first..first + quarter {
+            let x = ((i & !low) << 1) | (i & low);
+            let base = (((x & !mid) << 1) | (x & mid)) - offset;
+            if !identity_a {
+                let s0 = chunk[base];
+                let s1 = chunk[base | tmask];
+                chunk[base] = C64::ZERO.mul_add(a[0], s0).mul_add(a[1], s1);
+                chunk[base | tmask] = C64::ZERO.mul_add(a[2], s0).mul_add(a[3], s1);
+            }
+            let s2 = chunk[base | cmask];
+            let s3 = chunk[base | cmask | tmask];
+            chunk[base | cmask] = C64::ZERO.mul_add(b[0], s2).mul_add(b[1], s3);
+            chunk[base | cmask | tmask] = C64::ZERO.mul_add(b[2], s2).mul_add(b[3], s3);
+        }
+    };
+    if amps.len() < PAR_MIN_LEN || qdp_par::max_threads() < 2 {
+        body(0, amps);
+    } else {
+        qdp_par::par_chunks_mut(amps, align, body);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Diagonal operators (any k)
+// ---------------------------------------------------------------------------
+
+/// Multiplies each amplitude by the diagonal entry selected by its target
+/// bits. `masks[j]` is the bit of local index bit `k-1-j` (i.e. `masks[0]`
+/// is the most significant local bit).
+///
+/// Amplitudes are processed in runs of `min(masks)` consecutive elements —
+/// the local index is constant within a run, so it is computed once per run
+/// and **identity runs are skipped entirely**. That is what makes `CZ` touch
+/// a quarter of the array and a basis projector half of it.
+fn apply_diag(amps: &mut [C64], masks: &[usize], diag: &[C64]) {
+    if diag.iter().all(|&d| d == C64::ONE) {
+        return; // identity: nothing to do
+    }
+    let k = masks.len();
+    let run = *masks.iter().min().expect("diagonal kernel needs targets");
+    let body = |offset: usize, chunk: &mut [C64]| {
+        for (r, block) in chunk.chunks_exact_mut(run).enumerate() {
+            let start = offset + r * run;
+            let mut local = 0usize;
+            for (j, &mask) in masks.iter().enumerate() {
+                if start & mask != 0 {
+                    local |= 1 << (k - 1 - j);
+                }
+            }
+            let d = diag[local];
+            if d == C64::ONE {
+                continue;
+            }
+            if d.im == 0.0 {
+                let s = d.re;
+                for a in block.iter_mut() {
+                    *a = C64::new(a.re * s, a.im * s);
+                }
+            } else {
+                for a in block.iter_mut() {
+                    *a *= d;
+                }
+            }
+        }
+    };
+    if amps.len() < PAR_MIN_LEN || qdp_par::max_threads() < 2 {
+        body(0, amps);
+    } else {
+        qdp_par::par_chunks_mut(amps, run, body);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// General k ≥ 3
+// ---------------------------------------------------------------------------
+
+fn apply_kq(amps: &mut [C64], n: usize, m: &Matrix, targets: &[usize]) {
     let k = targets.len();
-    assert!(m.rows() == 1 << k && m.cols() == 1 << k, "operator dimension must be 2^{k}");
-    assert_eq!(amps.len(), 1 << n, "amplitude array must have length 2^{n}");
-    for (i, t) in targets.iter().enumerate() {
-        assert!(*t < n, "target {t} out of range for {n} qubits");
-        for u in &targets[i + 1..] {
-            assert_ne!(t, u, "duplicate target qubit {t}");
+    let dim_local = 1usize << k;
+    let masks: Vec<usize> = targets.iter().map(|&t| 1usize << qubit_bit(n, t)).collect();
+
+    // Offsets of each local basis state within the full index.
+    let mut offsets = vec![0usize; dim_local];
+    for (a, off) in offsets.iter_mut().enumerate() {
+        for (j, mask) in masks.iter().enumerate() {
+            if a & (1 << (k - 1 - j)) != 0 {
+                *off |= mask;
+            }
         }
     }
 
+    // Sorted target bit positions for the bit-deposit base enumeration.
+    let mut bits: Vec<usize> = masks.iter().map(|m| m.trailing_zeros() as usize).collect();
+    bits.sort_unstable();
+
+    let md = m.as_slice();
+    let mut scratch = vec![C64::ZERO; dim_local];
+    let n_bases = 1usize << (n - k);
+    for i in 0..n_bases {
+        let base = deposit_zeros(i, &bits);
+        for (slot, &off) in scratch.iter_mut().zip(offsets.iter()) {
+            *slot = amps[base | off];
+        }
+        for (a, &off) in offsets.iter().enumerate() {
+            let row = a * dim_local;
+            let mut acc = C64::ZERO;
+            for (b, &sb) in scratch.iter().enumerate() {
+                acc = acc.mul_add(md[row + b], sb);
+            }
+            amps[base | off] = acc;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation
+// ---------------------------------------------------------------------------
+
+/// The original full-range-scan kernel: visits every one of the `2ⁿ` indices
+/// and branch-tests for base membership, gathering through [`Matrix::get`]
+/// with heap scratch.
+///
+/// Kept as the *slow, obviously-correct* implementation that the fast paths
+/// are validated against, and as the baseline the benchmarks measure
+/// speedups over. Production paths never call it directly (but see
+/// [`set_reference_kernels`]).
+pub fn apply_matrix_reference(amps: &mut [C64], n: usize, m: &Matrix, targets: &[usize]) {
+    validate(amps, n, m, targets);
+    apply_matrix_reference_unchecked(amps, n, m, targets);
+}
+
+fn apply_matrix_reference_unchecked(amps: &mut [C64], n: usize, m: &Matrix, targets: &[usize]) {
+    let k = targets.len();
     let dim_local = 1usize << k;
     let masks: Vec<usize> = targets.iter().map(|&t| 1usize << qubit_bit(n, t)).collect();
     let all_mask: usize = masks.iter().sum();
 
-    // Offsets of each local basis state within the full index.
     let mut offsets = vec![0usize; dim_local];
     for (a, off) in offsets.iter_mut().enumerate() {
         for (j, mask) in masks.iter().enumerate() {
@@ -68,23 +485,6 @@ pub fn apply_matrix(amps: &mut [C64], n: usize, m: &Matrix, targets: &[usize]) {
         }
         base += 1;
     }
-}
-
-/// Left-multiplies a square amplitude array (row-major, dimension `2ⁿ`) by
-/// the operator `m` on `targets`: `A ← (m lifted) · A`.
-pub fn left_mul(a: &mut [C64], n: usize, m: &Matrix, targets: &[usize]) {
-    // Row index bits occupy the high half of the flattened 2n-qubit index,
-    // so row qubit q maps to qubit q of the doubled register.
-    apply_matrix(a, 2 * n, m, targets);
-}
-
-/// Right-multiplies a square amplitude array by the operator `m` on
-/// `targets`: `A ← A · (m lifted)`.
-pub fn right_mul(a: &mut [C64], n: usize, m: &Matrix, targets: &[usize]) {
-    // (A·M)_{ij} = Σ_b A_{ib} M_{bj} = Σ_b (Mᵀ)_{jb} A_{ib}: apply Mᵀ on the
-    // column qubits, which sit in the low half of the doubled register.
-    let shifted: Vec<usize> = targets.iter().map(|&t| t + n).collect();
-    apply_matrix(a, 2 * n, &m.transpose(), &shifted);
 }
 
 /// Embeds a `2ᵏ × 2ᵏ` operator on `targets` into the full `2ⁿ × 2ⁿ` space.
@@ -171,6 +571,48 @@ mod tests {
     }
 
     #[test]
+    fn dense_two_qubit_kernel_matches_embed() {
+        // A dense (non-controlled, non-diagonal) 4×4: RXX-style rotation.
+        let sigma2 = Matrix::pauli_x().kron(&Matrix::pauli_x());
+        let rxx = Matrix::rotation_from_involution(&sigma2, 0.83);
+        for n in 2..=5usize {
+            for t0 in 0..n {
+                for t1 in 0..n {
+                    if t0 == t1 {
+                        continue;
+                    }
+                    let mut amps = rand_amps(n, (n * 100 + t0 * 10 + t1) as u64 ^ 0xFACE);
+                    let expected =
+                        embed(n, &rxx, &[t0, t1]).mul_vec(&CVector::new(amps.clone()));
+                    apply_matrix(&mut amps, n, &rxx, &[t0, t1]);
+                    assert!(
+                        CVector::new(amps).approx_eq(&expected, 1e-12),
+                        "n={n} targets=({t0},{t1})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_fast_path_matches_embed() {
+        let rz = Matrix::rotation_from_involution(&Matrix::pauli_z(), 0.6);
+        let cz = Matrix::diagonal(&[C64::ONE, C64::ONE, C64::ONE, -C64::ONE]);
+        for n in 2..=4usize {
+            for t in 0..n {
+                let mut amps = rand_amps(n, (77 + n * 10 + t) as u64);
+                let expected = embed(n, &rz, &[t]).mul_vec(&CVector::new(amps.clone()));
+                apply_matrix(&mut amps, n, &rz, &[t]);
+                assert!(CVector::new(amps).approx_eq(&expected, 1e-12), "rz n={n} t={t}");
+            }
+            let mut amps = rand_amps(n, 99 + n as u64);
+            let expected = embed(n, &cz, &[0, n - 1]).mul_vec(&CVector::new(amps.clone()));
+            apply_matrix(&mut amps, n, &cz, &[0, n - 1]);
+            assert!(CVector::new(amps).approx_eq(&expected, 1e-12), "cz n={n}");
+        }
+    }
+
+    #[test]
     fn three_qubit_kernel_matches_embed() {
         // An 8×8 operator (Toffoli-like permutation) on scattered targets.
         let mut toffoli = Matrix::identity(8);
@@ -219,6 +661,64 @@ mod tests {
             let expected = rho.mul(&lifted);
             assert!(Matrix::from_data(dim, dim, right).approx_eq(&expected, 1e-12));
         }
+    }
+
+    #[test]
+    fn right_mul_transposed_matches_right_mul() {
+        let n = 3usize;
+        let rho_data = rand_amps(2 * n, 1234);
+        let u = Matrix::rotation_from_involution(&Matrix::pauli_y(), 1.1);
+        for t in 0..n {
+            let mut a = rho_data.clone();
+            right_mul(&mut a, n, &u, &[t]);
+            let mut b = rho_data.clone();
+            right_mul_transposed(&mut b, n, &u.transpose(), &[t]);
+            assert_eq!(a, b, "t={t}");
+        }
+    }
+
+    #[test]
+    fn fast_kernels_match_reference_bitwise() {
+        let gates: Vec<(Matrix, Vec<usize>)> = vec![
+            (Matrix::hadamard(), vec![2]),
+            (Matrix::rotation_from_involution(&Matrix::pauli_z(), 0.3), vec![0]),
+            (Matrix::cnot(), vec![1, 3]),
+            (
+                Matrix::rotation_from_involution(
+                    &Matrix::pauli_y().kron(&Matrix::pauli_y()),
+                    0.7,
+                ),
+                vec![3, 0],
+            ),
+        ];
+        for (g, targets) in &gates {
+            let amps = rand_amps(5, 42);
+            let mut fast = amps.clone();
+            apply_matrix(&mut fast, 5, g, targets);
+            let mut slow = amps.clone();
+            apply_matrix_reference(&mut slow, 5, g, targets);
+            // Bit equality, not approximate: the fast paths are documented
+            // to perform the identical floating-point operations as the
+            // reference scan.
+            assert_eq!(fast, slow, "{targets:?}");
+        }
+    }
+
+    #[test]
+    fn reference_mode_switch_routes_and_restores() {
+        assert!(!reference_kernels_enabled());
+        set_reference_kernels(true);
+        assert!(reference_kernels_enabled());
+        let mut amps = rand_amps(3, 5);
+        let expected = {
+            let mut e = amps.clone();
+            apply_matrix_reference(&mut e, 3, &Matrix::hadamard(), &[1]);
+            e
+        };
+        apply_matrix(&mut amps, 3, &Matrix::hadamard(), &[1]);
+        set_reference_kernels(false);
+        assert_eq!(amps, expected);
+        assert!(!reference_kernels_enabled());
     }
 
     #[test]

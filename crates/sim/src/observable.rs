@@ -169,7 +169,8 @@ impl Observable {
             .iter()
             .map(|&t| 1usize << qubit_bit(n, t))
             .collect();
-        let all_mask: usize = masks.iter().sum();
+        let mut bits: Vec<usize> = masks.iter().map(|m| m.trailing_zeros() as usize).collect();
+        bits.sort_unstable();
 
         let expand = |local: usize| -> usize {
             let mut full = 0usize;
@@ -181,9 +182,11 @@ impl Observable {
             full
         };
 
-        // tr(O_lift · ρ) = Σ_{a,b} O[a][b] Σ_env ρ[(b,env),(a,env)]
+        // tr(O_lift · ρ) = Σ_{a,b} O[a][b] Σ_env ρ[(b,env),(a,env)], with the
+        // 2^(n−k) environment indices enumerated directly by bit-deposit.
         let mut acc = C64::ZERO;
         let data = rho.as_slice();
+        let n_env = 1usize << (n - k);
         for a in 0..(1usize << k) {
             let fa = expand(a);
             for b in 0..(1usize << k) {
@@ -193,12 +196,9 @@ impl Observable {
                 }
                 let fb = expand(b);
                 let mut env_sum = C64::ZERO;
-                let mut env = 0usize;
-                while env < dim {
-                    if env & all_mask == 0 {
-                        env_sum += data[(fb | env) * dim + (fa | env)];
-                    }
-                    env += 1;
+                for e in 0..n_env {
+                    let env = crate::kernels::deposit_zeros(e, &bits);
+                    env_sum += data[(fb | env) * dim + (fa | env)];
                 }
                 acc = acc.mul_add(o_ab, env_sum);
             }
@@ -208,12 +208,57 @@ impl Observable {
     }
 
     /// Expectation `⟨ψ|O|ψ⟩` against a pure (possibly sub-normalised) state.
+    ///
+    /// For observables on at most two targets (every read-out the paper's
+    /// pipeline produces, including the `ZA ⊗ O` extension) this is a single
+    /// allocation-free pass summing `⟨ψ|` against `O|ψ⟩` orbit by orbit.
     pub fn expectation_pure(&self, psi: &StateVector) -> f64 {
         assert_eq!(
             psi.num_qubits(),
             self.n_qubits,
             "observable register size mismatch"
         );
+        let n = self.n_qubits;
+        let k = self.targets.len();
+        if k <= 2 {
+            let amps = psi.amplitudes();
+            let dim_local = 1usize << k;
+            let masks: Vec<usize> = self
+                .targets
+                .iter()
+                .map(|&t| 1usize << qubit_bit(n, t))
+                .collect();
+            let mut off = [0usize; 4];
+            for (a, slot) in off.iter_mut().enumerate().take(dim_local) {
+                for (j, &mask) in masks.iter().enumerate() {
+                    if a & (1 << (k - 1 - j)) != 0 {
+                        *slot |= mask;
+                    }
+                }
+            }
+            let mut bits: Vec<usize> =
+                masks.iter().map(|m| m.trailing_zeros() as usize).collect();
+            bits.sort_unstable();
+            let md = self.matrix.as_slice();
+            let mut acc = C64::ZERO;
+            for i in 0..1usize << (n - k) {
+                let base = crate::kernels::deposit_zeros(i, &bits);
+                let mut s = [C64::ZERO; 4];
+                for (a, slot) in s.iter_mut().enumerate().take(dim_local) {
+                    *slot = amps[base | off[a]];
+                }
+                for a in 0..dim_local {
+                    let row = a * dim_local;
+                    let mut o_psi = C64::ZERO;
+                    for b in 0..dim_local {
+                        o_psi = o_psi.mul_add(md[row + b], s[b]);
+                    }
+                    acc = acc.mul_add(s[a].conj(), o_psi);
+                }
+            }
+            debug_assert!(acc.im.abs() < 1e-7);
+            return acc.re;
+        }
         let mut transformed = psi.amplitudes().to_vec();
         apply_matrix(&mut transformed, self.n_qubits, &self.matrix, &self.targets);
         let acc = psi

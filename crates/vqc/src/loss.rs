@@ -14,7 +14,7 @@ pub trait Loss {
     fn grad(&self, prediction: f64, label: f64) -> f64;
 
     /// Total loss over a batch of `(prediction, label)` pairs.
-    fn total<'a, I>(&self, pairs: I) -> f64
+    fn total<I>(&self, pairs: I) -> f64
     where
         I: IntoIterator<Item = (f64, f64)>,
         Self: Sized,

@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_sim.json — the simulator's perf-trajectory record
+# (gate-apply and gradient wall-times, fast kernels vs the retained
+# reference implementation). Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p qdp-bench --bin bench_sim -- "${1:-BENCH_sim.json}"
