@@ -1,12 +1,16 @@
 //! Timing of the Figure 6 training loop: one full-batch epoch (16 samples,
-//! forward value + full gradient + optimizer step) of `P1` and `P2`.
+//! forward value + full gradient + optimizer step) of `P1` and `P2`, plus
+//! the `gradient_batch_16x` workload — the batched training gradient
+//! against the serial per-sample loop it replaced.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use qdp_lang::ast::Params;
 use qdp_vqc::circuits::{p1, p2};
-use qdp_vqc::loss::SquaredLoss;
+use qdp_vqc::loss::{Loss, SquaredLoss};
 use qdp_vqc::optim::GradientDescent;
 use qdp_vqc::task;
 use qdp_vqc::train::Trainer;
+use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -42,5 +46,48 @@ fn bench_epochs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_epochs);
+/// The tentpole workload of the batch engine: one full 16-sample training
+/// gradient of `P1`, batched sweep vs the per-sample loop.
+fn bench_batch_gradient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gradient_batch_16x");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+
+    let data = data();
+    let mut trainer = Trainer::new(&p1(), task::readout_observable(), data.clone())
+        .expect("P1 differentiable");
+    trainer.init_params_seeded(11);
+    let loss = SquaredLoss;
+
+    group.bench_function("batched (Trainer::loss_gradient)", |b| {
+        b.iter(|| black_box(trainer.loss_gradient(&loss)))
+    });
+
+    let engine = trainer.engine().clone();
+    let obs = task::readout_observable();
+    let params = Params::from_pairs(trainer.params().iter().map(|(k, &v)| (k.clone(), v)));
+    let names: Vec<String> = trainer.params().keys().cloned().collect();
+    group.bench_function("serial per-sample loop", |b| {
+        b.iter(|| {
+            let mut grads: BTreeMap<String, f64> =
+                names.iter().map(|k| (k.clone(), 0.0)).collect();
+            for (psi, label) in &data {
+                let pred = engine.value_pure(&params, &obs, psi);
+                let outer = loss.grad(pred, *label);
+                if outer == 0.0 {
+                    continue;
+                }
+                for (name, g) in engine.gradient_pure(&params, &obs, psi) {
+                    *grads.get_mut(&name).expect("known parameter") += outer * g;
+                }
+            }
+            black_box(grads)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_epochs, bench_batch_gradient);
 criterion_main!(benches);

@@ -1,12 +1,15 @@
 //! Emits `BENCH_sim.json` — the simulator's performance trajectory record.
 //!
-//! Measures the two headline numbers of the fast-path kernel work against
-//! the retained reference implementation:
+//! Measures the headline numbers of the simulator's performance work:
 //!
 //! 1. single-qubit gate application to a 10-qubit `DensityMatrix`
-//!    (kernel-level, fast vs reference), and
+//!    (kernel-level, fast vs reference),
 //! 2. the end-to-end `gradient.rs` workload — a full 24-parameter gradient
-//!    of the paper's `P1` circuit — fast kernels vs reference kernels.
+//!    of the paper's `P1` circuit — fast kernels vs reference kernels, and
+//! 3. `gradient_batch_16x` — the full-batch training gradient over the
+//!    16-sample classification dataset, batched engine
+//!    (`Trainer::loss_gradient` on `value_pure_batch`/`gradient_pure_batch`)
+//!    vs the serial per-sample loop it replaced.
 //!
 //! Run with `scripts/bench_sim.sh` or
 //! `cargo run --release -p qdp-bench --bin bench_sim [output-path]`.
@@ -17,7 +20,10 @@ use qdp_linalg::{C64, Matrix};
 use qdp_sim::kernels::{apply_matrix, apply_matrix_reference, set_reference_kernels};
 use qdp_sim::{DensityMatrix, StateVector};
 use qdp_vqc::circuits::p1;
+use qdp_vqc::loss::{Loss, SquaredLoss};
 use qdp_vqc::task;
+use qdp_vqc::train::Trainer;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Median-of-runs wall time in nanoseconds for `f`, self-calibrating the
@@ -70,13 +76,13 @@ fn main() {
     // --- 2. End-to-end: full P1 gradient (the gradient.rs workload). ------
     let program = p1();
     let engine = GradientEngine::new(&program).expect("P1 differentiable");
-    let params = Params::from_pairs(
-        program
-            .parameters()
-            .into_iter()
-            .enumerate()
-            .map(|(i, name)| (name, 0.2 + 0.31 * i as f64)),
-    );
+    let param_values: BTreeMap<String, f64> = program
+        .parameters()
+        .into_iter()
+        .enumerate()
+        .map(|(i, name)| (name, 0.2 + 0.31 * i as f64))
+        .collect();
+    let params = Params::from_pairs(param_values.iter().map(|(k, &v)| (k.clone(), v)));
     let obs = task::readout_observable();
     let psi = StateVector::from_bits(&[true, false, true, false]);
 
@@ -89,11 +95,68 @@ fn main() {
     });
     set_reference_kernels(false);
 
+    // --- 3. Batched vs serial full-batch training gradient (16 samples). -
+    let data: Vec<(StateVector, f64)> = task::dataset()
+        .into_iter()
+        .map(|s| (s.input_state(), s.target()))
+        .collect();
+    let batch_size = data.len();
+    let loss = SquaredLoss;
+    let param_values: BTreeMap<String, f64> = program
+        .parameters()
+        .into_iter()
+        .enumerate()
+        .map(|(i, name)| (name, 0.2 + 0.31 * i as f64))
+        .collect();
+
+    // The serial per-sample loop `Trainer::loss_gradient` ran before the
+    // batch engine existed: one interpreter forward + one per-sample
+    // gradient per dataset row, chain rule accumulated in row order.
+    let serial_loop = || -> BTreeMap<String, f64> {
+        let mut grads: BTreeMap<String, f64> =
+            param_values.keys().map(|k| (k.clone(), 0.0)).collect();
+        for (psi, label) in &data {
+            let pred = engine.value_pure(&params, &obs, psi);
+            let outer = loss.grad(pred, *label);
+            if outer == 0.0 {
+                continue;
+            }
+            let inner = engine.gradient_pure(&params, &obs, psi);
+            for (name, g) in inner {
+                *grads.get_mut(&name).expect("known parameter") += outer * g;
+            }
+        }
+        grads
+    };
+
+    let mut trainer =
+        Trainer::new(&program, task::readout_observable(), data.clone()).expect("P1 trains");
+    trainer.set_params(&param_values);
+
+    // Same numbers, two engines — sanity-check before timing.
+    let serial_grads = serial_loop();
+    let batched_grads = trainer.loss_gradient(&loss);
+    for (name, v) in &serial_grads {
+        assert!(
+            (v - batched_grads[name]).abs() < 1e-12,
+            "batched gradient diverged on {name}: {v} vs {}",
+            batched_grads[name]
+        );
+    }
+
+    let batch_serial_ns = time_ns(|| {
+        std::hint::black_box(serial_loop());
+    });
+    let batch_fast_ns = time_ns(|| {
+        std::hint::black_box(trainer.loss_gradient(&loss));
+    });
+
     let gate_speedup = gate_ref_ns / gate_fast_ns;
     let grad_speedup = grad_ref_ns / grad_fast_ns;
+    let batch_speedup = batch_serial_ns / batch_fast_ns;
 
     let json = format!(
-        "{{\n  \"bench\": \"sim\",\n  \"threads\": {},\n  \"gate_apply_10q_density\": {{\n    \"gate\": \"H on row qubit 4\",\n    \"fast_ns\": {gate_fast_ns:.1},\n    \"reference_ns\": {gate_ref_ns:.1},\n    \"speedup\": {gate_speedup:.2}\n  }},\n  \"gradient_p1_24_params\": {{\n    \"workload\": \"GradientEngine::gradient_pure on P1\",\n    \"fast_ns\": {grad_fast_ns:.1},\n    \"reference_ns\": {grad_ref_ns:.1},\n    \"speedup\": {grad_speedup:.2}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"sim\",\n  \"threads\": {},\n  \"gate_apply_10q_density\": {{\n    \"gate\": \"H on row qubit 4\",\n    \"fast_ns\": {gate_fast_ns:.1},\n    \"reference_ns\": {gate_ref_ns:.1},\n    \"speedup\": {gate_speedup:.2}\n  }},\n  \"gradient_p1_24_params\": {{\n    \"workload\": \"GradientEngine::gradient_pure on P1\",\n    \"fast_ns\": {grad_fast_ns:.1},\n    \"reference_ns\": {grad_ref_ns:.1},\n    \"speedup\": {grad_speedup:.2}\n  }},\n  \"gradient_batch_16x\": {{\n    \"workload\": \"Trainer::loss_gradient on P1, {batch_size}-sample batch\",\n    \"batched_ns\": {batch_fast_ns:.1},\n    \"serial_loop_ns\": {batch_serial_ns:.1},\n    \"speedup\": {batch_speedup:.2}\n  }}\n}}\n",
         qdp_par::max_threads(),
     );
     std::fs::write(&out_path, &json).expect("write benchmark record");
@@ -107,5 +170,10 @@ fn main() {
         gate_speedup >= 0.8 && grad_speedup >= 0.8,
         "fast paths regressed well below the reference implementation \
          (gate {gate_speedup:.2}x, gradient {grad_speedup:.2}x)"
+    );
+    assert!(
+        batch_speedup >= 1.0,
+        "the batched gradient engine must not be slower than the serial \
+         per-sample loop (got {batch_speedup:.2}x)"
     );
 }

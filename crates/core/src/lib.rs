@@ -43,12 +43,13 @@
 pub mod estimator;
 pub mod exec;
 pub mod logic;
-mod lowered;
+pub mod lowered;
 pub mod resource;
 pub mod semantics;
 pub mod transform;
 
 pub use exec::{differentiate, Differentiated, GradientEngine};
+pub use lowered::{LoweredProgram, LoweredSet, ResolvedProgram};
 pub use logic::{check, derive, Derivation, Judgement, Rule};
 pub use resource::{analyze, occurrence_count, ResourceReport};
 pub use transform::{fresh_ancilla, transform, TransformError};

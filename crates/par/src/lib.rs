@@ -21,6 +21,15 @@
 //! threads alive at any instant. Nested calls (e.g. a parallel gradient whose
 //! per-parameter work parallelises gate application) degrade gracefully to
 //! sequential execution instead of oversubscribing the machine.
+//!
+//! **Environment override.** The `QDP_PAR_THREADS` environment variable,
+//! when set to a positive integer, fixes the detected parallelism for the
+//! whole process (it is read once, on first use). CI uses it to run the
+//! entire test suite under forced 1- and 8-thread configurations so that
+//! any result depending on the thread count fails loudly. A runtime
+//! [`set_max_threads`] call still takes precedence; `set_max_threads(0)`
+//! falls back to the environment value (or hardware detection when the
+//! variable is unset or invalid).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -29,8 +38,10 @@ use std::sync::OnceLock;
 static TOKENS: OnceLock<AtomicUsize> = OnceLock::new();
 /// Optional override of the detected parallelism (0 = auto-detect).
 static MAX_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
-/// Cached hardware parallelism — `available_parallelism()` is a syscall and
-/// this is queried on every kernel invocation.
+/// Cached effective parallelism — the `QDP_PAR_THREADS` environment
+/// variable when set to a positive integer, hardware detection otherwise.
+/// Cached because `available_parallelism()` is a syscall and this is
+/// queried on every kernel invocation.
 static DETECTED: OnceLock<usize> = OnceLock::new();
 
 fn tokens() -> &'static AtomicUsize {
@@ -42,7 +53,13 @@ fn detected_parallelism() -> usize {
     if over > 0 {
         return over;
     }
-    *DETECTED.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    *DETECTED.get_or_init(|| {
+        std::env::var("QDP_PAR_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
 }
 
 /// The number of threads a top-level parallel call may use (including the
@@ -310,7 +327,13 @@ mod tests {
     fn set_max_threads_zero_restores_detected_budget() {
         // Exact token counts race with sibling tests acquiring workers, so
         // assert the reported parallelism and that work still completes.
-        let detected = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // `QDP_PAR_THREADS` (the CI matrix) takes precedence over hardware
+        // detection, so the restored value must honour it too.
+        let detected = std::env::var("QDP_PAR_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         set_max_threads(4);
         assert_eq!(max_threads(), 4);
         set_max_threads(0);

@@ -1,0 +1,28 @@
+//! The `QDP_PAR_THREADS` environment override.
+//!
+//! This lives in its own integration-test binary on purpose: the variable
+//! is read exactly once, on the first `qdp_par` call of the process, so the
+//! test must set it before anything else in the binary touches the crate.
+//! (Unit tests inside `qdp-par` share a process and would race the
+//! initialisation.)
+
+#[test]
+fn env_variable_fixes_detected_parallelism() {
+    std::env::set_var("QDP_PAR_THREADS", "3");
+    assert_eq!(qdp_par::max_threads(), 3);
+
+    // A runtime override still wins...
+    qdp_par::set_max_threads(5);
+    assert_eq!(qdp_par::max_threads(), 5);
+
+    // ...and clearing it falls back to the environment value, which was
+    // latched at first use (later changes to the variable are ignored).
+    std::env::set_var("QDP_PAR_THREADS", "7");
+    qdp_par::set_max_threads(0);
+    assert_eq!(qdp_par::max_threads(), 3);
+
+    // Parallel work still completes and preserves order under the override.
+    let items: Vec<usize> = (0..256).collect();
+    let out = qdp_par::par_map(&items, |&x| x + 1);
+    assert_eq!(out, (1..257).collect::<Vec<_>>());
+}

@@ -1,0 +1,323 @@
+//! Batched pure-state storage — the batch axis of the evaluation engine.
+//!
+//! Training (Section 8.1) and shot-noise execution evaluate the *same*
+//! compiled program multiset against many input states: the 16-sample
+//! classification dataset, parallel shot batches, sweeps over initial
+//! conditions. [`BatchedStates`] stores those inputs contiguously as a
+//! `batch × 2ⁿ` amplitude block so that
+//!
+//! * a gate can be applied to every row with the operator matrix built
+//!   **once** (the per-row kernels are the same bit-deposit fast paths
+//!   [`crate::kernels::apply_matrix`] uses for a single state),
+//! * batched evaluators can hand out disjoint row slices to `qdp_par`
+//!   workers without any per-row allocation, and
+//! * every future backend (stabilizer, shot-noise, multi-backend dispatch)
+//!   inherits one batch seam instead of inventing its own.
+//!
+//! Row `r` occupies amplitudes `[r·2ⁿ, (r+1)·2ⁿ)`; rows never alias. All
+//! per-row operations perform the identical floating-point instructions as
+//! the corresponding single-[`StateVector`] operation, so a batched
+//! evaluation agrees **bit-for-bit** with the per-sample loop it replaces,
+//! regardless of thread count.
+
+use crate::kernels::apply_matrix;
+use crate::observable::Observable;
+use crate::state::StateVector;
+use qdp_linalg::{C64, Matrix};
+
+/// A batch of pure states of a common register, stored contiguously.
+///
+/// # Examples
+///
+/// ```
+/// use qdp_linalg::Matrix;
+/// use qdp_sim::{BatchedStates, StateVector};
+///
+/// let inputs = vec![StateVector::zero_state(2), StateVector::basis_state(2, 3)];
+/// let mut batch = BatchedStates::from_states(&inputs);
+/// batch.apply_gate(&Matrix::hadamard(), &[0]);
+/// for (r, input) in inputs.iter().enumerate() {
+///     // Each row evolves exactly as the single-state path would.
+///     let expected = input.with_gate(&Matrix::hadamard(), &[0]);
+///     assert_eq!(batch.row(r), expected.amplitudes());
+/// }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchedStates {
+    n_qubits: usize,
+    rows: usize,
+    amps: Vec<C64>,
+}
+
+impl BatchedStates {
+    /// A batch of `rows` copies of `|0…0⟩` on `n_qubits`.
+    pub fn zero(rows: usize, n_qubits: usize) -> Self {
+        let dim = 1usize << n_qubits;
+        let mut amps = vec![C64::ZERO; rows * dim];
+        for r in 0..rows {
+            amps[r * dim] = C64::ONE;
+        }
+        BatchedStates {
+            n_qubits,
+            rows,
+            amps,
+        }
+    }
+
+    /// Packs a slice of states (all on the same register) into one batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the states disagree on qubit count. An empty slice
+    /// yields an empty batch over zero qubits.
+    pub fn from_states(states: &[StateVector]) -> Self {
+        let n_qubits = states.first().map_or(0, StateVector::num_qubits);
+        let dim = 1usize << n_qubits;
+        let mut amps = Vec::with_capacity(states.len() * dim);
+        for s in states {
+            assert_eq!(
+                s.num_qubits(),
+                n_qubits,
+                "all states of a batch must share one register"
+            );
+            amps.extend_from_slice(s.amplitudes());
+        }
+        BatchedStates {
+            n_qubits,
+            rows: states.len(),
+            amps,
+        }
+    }
+
+    /// Builds a batch from a raw contiguous amplitude block.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `amps.len() != rows · 2^n_qubits`.
+    pub fn from_raw(rows: usize, n_qubits: usize, amps: Vec<C64>) -> Self {
+        assert_eq!(
+            amps.len(),
+            rows << n_qubits,
+            "amplitude block must hold rows × 2^n entries"
+        );
+        BatchedStates {
+            n_qubits,
+            rows,
+            amps,
+        }
+    }
+
+    /// Number of rows (input states) in the batch.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns `true` when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Qubit count of every row.
+    pub fn num_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Hilbert-space dimension `2ⁿ` of one row.
+    pub fn dim(&self) -> usize {
+        1usize << self.n_qubits
+    }
+
+    /// Borrows the full contiguous amplitude block.
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Borrows row `r`'s amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of range.
+    pub fn row(&self, r: usize) -> &[C64] {
+        let dim = self.dim();
+        &self.amps[r * dim..(r + 1) * dim]
+    }
+
+    /// Mutably borrows row `r`'s amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of range.
+    pub fn row_mut(&mut self, r: usize) -> &mut [C64] {
+        let dim = self.dim();
+        &mut self.amps[r * dim..(r + 1) * dim]
+    }
+
+    /// Copies row `r` out into an owned [`StateVector`].
+    pub fn row_state(&self, r: usize) -> StateVector {
+        StateVector::from_amplitudes(self.n_qubits, self.row(r).to_vec())
+    }
+
+    /// Iterates over the row slices in order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[C64]> {
+        self.amps.chunks_exact(self.dim())
+    }
+
+    /// Applies an operator to **every** row on the given targets.
+    ///
+    /// A contiguous block of `2ᵏ` rows is indistinguishable from one
+    /// `(k+n)`-qubit state whose `k` high (row-index) bits the gate never
+    /// touches, so the batch is decomposed greedily into maximal
+    /// power-of-two row blocks and each block is handled by a **single**
+    /// [`apply_matrix`] call on targets shifted past the row bits — the
+    /// same bit-deposit kernels as the single-state path, with their
+    /// per-call dispatch amortised over the whole block.
+    ///
+    /// Register qubit `q` of every row sits at bit `n−1−q` of its row-local
+    /// index regardless of the block size, so each amplitude sees the
+    /// identical floating-point operations a per-row
+    /// [`StateVector::apply_gate`] would perform: results are bit-for-bit
+    /// equal to the per-row loop, under any thread count and any batch
+    /// size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or duplicate targets.
+    pub fn apply_gate(&mut self, gate: &Matrix, targets: &[usize]) {
+        if self.rows == 0 {
+            return;
+        }
+        let dim = self.dim();
+        let n = self.n_qubits;
+        let mut rest: &mut [C64] = &mut self.amps;
+        let mut remaining = self.rows;
+        while remaining > 0 {
+            let k = remaining.ilog2() as usize;
+            let block_rows = 1usize << k;
+            let (block, tail) = rest.split_at_mut(block_rows * dim);
+            let shifted: Vec<usize> = targets.iter().map(|&t| t + k).collect();
+            apply_matrix(block, n + k, gate, &shifted);
+            rest = tail;
+            remaining -= block_rows;
+        }
+    }
+
+    /// The batch `{|0⟩ ⊗ |ψr⟩}` — every row extended by a fresh ancilla
+    /// qubit prepended at index 0 in the `|0⟩` state. This is the batched
+    /// analogue of [`StateVector::tensor`] with a leading zero ancilla,
+    /// built in one pass over the block.
+    pub fn prepend_zero_ancilla(&self) -> BatchedStates {
+        let dim = self.dim();
+        let mut amps = vec![C64::ZERO; self.rows * dim * 2];
+        for r in 0..self.rows {
+            amps[r * dim * 2..r * dim * 2 + dim].copy_from_slice(self.row(r));
+        }
+        BatchedStates {
+            n_qubits: self.n_qubits + 1,
+            rows: self.rows,
+            amps,
+        }
+    }
+
+    /// Per-row expectation values `⟨ψr|O|ψr⟩` in row order, read straight
+    /// off the row slices (no copies; the observable's target masks are
+    /// computed once for the whole batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the observable's register size differs.
+    pub fn expectations(&self, obs: &Observable) -> Vec<f64> {
+        obs.expectation_batch(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_batch_rows_are_zero_states() {
+        let b = BatchedStates::zero(3, 2);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.dim(), 4);
+        for r in 0..3 {
+            assert_eq!(b.row_state(r), StateVector::zero_state(2));
+        }
+    }
+
+    #[test]
+    fn from_states_round_trips() {
+        let states = vec![
+            StateVector::basis_state(2, 1),
+            StateVector::basis_state(2, 2),
+            StateVector::zero_state(2),
+        ];
+        let b = BatchedStates::from_states(&states);
+        for (r, s) in states.iter().enumerate() {
+            assert_eq!(&b.row_state(r), s);
+        }
+        assert_eq!(b.iter_rows().count(), 3);
+    }
+
+    #[test]
+    fn batched_gate_matches_per_state_gate_bitwise() {
+        let mut states: Vec<StateVector> = (0..5)
+            .map(|k| StateVector::basis_state(3, k))
+            .collect();
+        let mut batch = BatchedStates::from_states(&states);
+        let h = Matrix::hadamard();
+        let cnot = Matrix::cnot();
+        batch.apply_gate(&h, &[1]);
+        batch.apply_gate(&cnot, &[1, 2]);
+        for s in &mut states {
+            s.apply_gate(&h, &[1]);
+            s.apply_gate(&cnot, &[1, 2]);
+        }
+        for (r, s) in states.iter().enumerate() {
+            assert_eq!(batch.row(r), s.amplitudes(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn prepend_zero_ancilla_matches_tensor() {
+        let mut plus = StateVector::zero_state(2);
+        plus.apply_gate(&Matrix::hadamard(), &[0]);
+        let batch = BatchedStates::from_states(&[plus.clone(), StateVector::basis_state(2, 3)]);
+        let ext = batch.prepend_zero_ancilla();
+        assert_eq!(ext.num_qubits(), 3);
+        let expected0 = StateVector::zero_state(1).tensor(&plus);
+        assert_eq!(ext.row(0), expected0.amplitudes());
+        let expected1 = StateVector::zero_state(1).tensor(&StateVector::basis_state(2, 3));
+        assert_eq!(ext.row(1), expected1.amplitudes());
+    }
+
+    #[test]
+    fn expectations_match_single_state_path() {
+        let states = vec![
+            StateVector::zero_state(2),
+            StateVector::basis_state(2, 2),
+        ];
+        let b = BatchedStates::from_states(&states);
+        let z = Observable::pauli_z(2, 0);
+        let expect = b.expectations(&z);
+        for (r, s) in states.iter().enumerate() {
+            assert_eq!(expect[r], z.expectation_pure(s));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_harmless() {
+        let mut b = BatchedStates::from_states(&[]);
+        assert!(b.is_empty());
+        b.apply_gate(&Matrix::identity(1), &[]);
+        assert_eq!(b.expectations(&Observable::new(0, vec![], Matrix::identity(1))).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one register")]
+    fn mixed_register_sizes_panic() {
+        let _ = BatchedStates::from_states(&[
+            StateVector::zero_state(1),
+            StateVector::zero_state(2),
+        ]);
+    }
+}

@@ -7,6 +7,8 @@
 //! that simulator, built from scratch on [`qdp_linalg`]:
 //!
 //! * [`StateVector`] — pure states `|ψ⟩` with targeted gate application,
+//! * [`BatchedStates`] — contiguous `batch × 2ⁿ` blocks of pure states for
+//!   evaluating one compiled program against many inputs at once,
 //! * [`DensityMatrix`] — partial density operators `ρ ∈ D(H)`, the carrier of
 //!   the paper's denotational semantics (Fig. 1b),
 //! * [`KrausChannel`] — admissible superoperators `E = Σk Ek ∘ Ek†` and their
@@ -34,6 +36,7 @@
 //! assert!(z.expectation(&rho).abs() < 1e-12);
 //! ```
 
+pub mod batch;
 pub mod channel;
 pub mod density;
 pub mod kernels;
@@ -42,9 +45,10 @@ pub mod observable;
 pub mod sampling;
 pub mod state;
 
+pub use batch::BatchedStates;
 pub use channel::KrausChannel;
 pub use density::DensityMatrix;
 pub use measurement::{Measurement, MeasurementBranch};
-pub use observable::Observable;
+pub use observable::{Observable, ObservableError};
 pub use sampling::ShotSampler;
 pub use state::StateVector;

@@ -13,6 +13,45 @@ use crate::kernels::{apply_matrix, qubit_bit};
 use crate::state::StateVector;
 use qdp_linalg::{C64, HermitianEigen, Matrix, PauliString};
 
+/// Errors from observable constructors that validate their input instead of
+/// panicking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObservableError {
+    /// A Pauli sum was built from zero terms.
+    EmptyPauliSum,
+    /// Term `term` of a Pauli sum acts on `found` qubits while the first
+    /// term fixed the register at `expected` qubits.
+    QubitCountMismatch {
+        /// Qubit count fixed by the first term.
+        expected: usize,
+        /// Qubit count of the offending term.
+        found: usize,
+        /// Zero-based index of the offending term.
+        term: usize,
+    },
+}
+
+impl std::fmt::Display for ObservableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObservableError::EmptyPauliSum => {
+                write!(f, "a Pauli sum needs at least one term")
+            }
+            ObservableError::QubitCountMismatch {
+                expected,
+                found,
+                term,
+            } => write!(
+                f,
+                "Pauli-sum term {term} acts on {found} qubits, but the sum is \
+                 over {expected} qubits"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ObservableError {}
+
 /// A Hermitian observable acting on a subset of an `n`-qubit register.
 ///
 /// # Examples
@@ -68,23 +107,35 @@ impl Observable {
     /// A real-weighted sum of Pauli strings `Σk wk·Pk` — the form quantum
     /// many-body Hamiltonians take in VQE applications.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `terms` is empty or the strings have different lengths.
-    pub fn from_pauli_sum(terms: &[(f64, PauliString)]) -> Self {
-        assert!(!terms.is_empty(), "a Pauli sum needs at least one term");
-        let n = terms[0].1.num_qubits();
+    /// Returns [`ObservableError::EmptyPauliSum`] for zero terms and
+    /// [`ObservableError::QubitCountMismatch`] when a term acts on a
+    /// different number of qubits than the first term — combining strings
+    /// of different lengths has no well-defined register and must be
+    /// rejected, not silently truncated or zero-padded.
+    pub fn from_pauli_sum(terms: &[(f64, PauliString)]) -> Result<Self, ObservableError> {
+        let n = match terms.first() {
+            None => return Err(ObservableError::EmptyPauliSum),
+            Some((_, first)) => first.num_qubits(),
+        };
         let dim = 1usize << n;
         let mut matrix = Matrix::zeros(dim, dim);
-        for (weight, string) in terms {
-            assert_eq!(string.num_qubits(), n, "Pauli-string length mismatch");
+        for (term, (weight, string)) in terms.iter().enumerate() {
+            if string.num_qubits() != n {
+                return Err(ObservableError::QubitCountMismatch {
+                    expected: n,
+                    found: string.num_qubits(),
+                    term,
+                });
+            }
             matrix = &matrix + &string.matrix().scale(C64::real(*weight));
         }
-        Observable {
+        Ok(Observable {
             n_qubits: n,
             targets: (0..n).collect(),
             matrix,
-        }
+        })
     }
 
     /// The smallest eigenvalue of the observable — for a Hamiltonian, its
@@ -218,56 +269,122 @@ impl Observable {
             self.n_qubits,
             "observable register size mismatch"
         );
-        let n = self.n_qubits;
-        let k = self.targets.len();
-        if k <= 2 {
-            let amps = psi.amplitudes();
-            let dim_local = 1usize << k;
-            let masks: Vec<usize> = self
-                .targets
-                .iter()
-                .map(|&t| 1usize << qubit_bit(n, t))
-                .collect();
-            let mut off = [0usize; 4];
-            for (a, slot) in off.iter_mut().enumerate().take(dim_local) {
-                for (j, &mask) in masks.iter().enumerate() {
-                    if a & (1 << (k - 1 - j)) != 0 {
-                        *slot |= mask;
-                    }
-                }
-            }
-            let mut bits: Vec<usize> =
-                masks.iter().map(|m| m.trailing_zeros() as usize).collect();
-            bits.sort_unstable();
-            let md = self.matrix.as_slice();
-            let mut acc = C64::ZERO;
-            for i in 0..1usize << (n - k) {
-                let base = crate::kernels::deposit_zeros(i, &bits);
-                let mut s = [C64::ZERO; 4];
-                for (a, slot) in s.iter_mut().enumerate().take(dim_local) {
-                    *slot = amps[base | off[a]];
-                }
-                for a in 0..dim_local {
-                    let row = a * dim_local;
-                    let mut o_psi = C64::ZERO;
-                    for b in 0..dim_local {
-                        o_psi = o_psi.mul_add(md[row + b], s[b]);
-                    }
-                    acc = acc.mul_add(s[a].conj(), o_psi);
-                }
-            }
-            debug_assert!(acc.im.abs() < 1e-7);
-            return acc.re;
+        self.expectation_amps(psi.amplitudes())
+    }
+
+    /// [`expectation_pure`](Self::expectation_pure) on a raw amplitude
+    /// slice — what batched evaluators call on the rows of a
+    /// [`crate::BatchedStates`] block without copying them out first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `amps.len() != 2ⁿ`.
+    pub fn expectation_amps(&self, amps: &[C64]) -> f64 {
+        assert_eq!(
+            amps.len(),
+            1usize << self.n_qubits,
+            "observable register size mismatch"
+        );
+        if self.targets.len() <= 2 {
+            let (off, bits) = self.small_k_layout();
+            return self.expectation_small_k(amps, &off, &bits);
         }
-        let mut transformed = psi.amplitudes().to_vec();
+        let mut transformed = amps.to_vec();
         apply_matrix(&mut transformed, self.n_qubits, &self.matrix, &self.targets);
-        let acc = psi
-            .amplitudes()
+        let acc = amps
             .iter()
             .zip(&transformed)
             .fold(C64::ZERO, |acc, (a, b)| acc.mul_add(a.conj(), *b));
         debug_assert!(acc.im.abs() < 1e-7);
         acc.re
+    }
+
+    /// Precomputed index layout of the `k ≤ 2` fast path: the full-index
+    /// offset of each local basis state, and the sorted target bit
+    /// positions for bit-deposit base enumeration.
+    fn small_k_layout(&self) -> ([usize; 4], Vec<usize>) {
+        let n = self.n_qubits;
+        let k = self.targets.len();
+        debug_assert!(k <= 2);
+        let masks: Vec<usize> = self
+            .targets
+            .iter()
+            .map(|&t| 1usize << qubit_bit(n, t))
+            .collect();
+        let mut off = [0usize; 4];
+        for (a, slot) in off.iter_mut().enumerate().take(1usize << k) {
+            for (j, &mask) in masks.iter().enumerate() {
+                if a & (1 << (k - 1 - j)) != 0 {
+                    *slot |= mask;
+                }
+            }
+        }
+        let mut bits: Vec<usize> = masks.iter().map(|m| m.trailing_zeros() as usize).collect();
+        bits.sort_unstable();
+        (off, bits)
+    }
+
+    /// The `k ≤ 2` expectation inner loop over one amplitude slice, given
+    /// a layout from [`small_k_layout`](Self::small_k_layout). Shared by
+    /// the single-state and batched read-out paths so their arithmetic can
+    /// never drift apart.
+    fn expectation_small_k(&self, amps: &[C64], off: &[usize; 4], bits: &[usize]) -> f64 {
+        let n = self.n_qubits;
+        let k = self.targets.len();
+        let dim_local = 1usize << k;
+        let md = self.matrix.as_slice();
+        let mut acc = C64::ZERO;
+        for i in 0..1usize << (n - k) {
+            let base = crate::kernels::deposit_zeros(i, bits);
+            let mut s = [C64::ZERO; 4];
+            for (a, slot) in s.iter_mut().enumerate().take(dim_local) {
+                *slot = amps[base | off[a]];
+            }
+            for a in 0..dim_local {
+                let row = a * dim_local;
+                let mut o_psi = C64::ZERO;
+                for b in 0..dim_local {
+                    o_psi = o_psi.mul_add(md[row + b], s[b]);
+                }
+                acc = acc.mul_add(s[a].conj(), o_psi);
+            }
+        }
+        debug_assert!(acc.im.abs() < 1e-7);
+        acc.re
+    }
+
+    /// Per-row expectations `⟨ψr|O|ψr⟩` over a whole [`BatchedStates`]
+    /// block in row order — the batched read-out of
+    /// [`expectation_amps`](Self::expectation_amps), with the target masks
+    /// and local offsets computed **once** and shared by every row. Each
+    /// row's arithmetic is identical to the single-state path, so entries
+    /// agree bit-for-bit with per-row calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics when register sizes differ.
+    pub fn expectation_batch(&self, states: &crate::batch::BatchedStates) -> Vec<f64> {
+        if states.is_empty() {
+            // `from_states(&[])` has no well-defined register; there is
+            // nothing to read out either way.
+            return Vec::new();
+        }
+        assert_eq!(
+            states.num_qubits(),
+            self.n_qubits,
+            "observable register size mismatch"
+        );
+        if self.targets.len() > 2 {
+            return states
+                .iter_rows()
+                .map(|row| self.expectation_amps(row))
+                .collect();
+        }
+        let (off, bits) = self.small_k_layout();
+        states
+            .iter_rows()
+            .map(|amps| self.expectation_small_k(amps, &off, &bits))
+            .collect()
     }
 
     /// Spectral decomposition into `(eigenvalue, projector)` pairs on the
@@ -351,6 +468,45 @@ mod tests {
             sum = &sum + &p.scale(C64::real(l));
         }
         assert!(sum.approx_eq(o.matrix(), 1e-9));
+    }
+
+    #[test]
+    fn pauli_sum_builds_hamiltonian() {
+        // H = Z0 + 0.5·X1 on two qubits.
+        let terms = vec![
+            (1.0, "ZI".parse::<PauliString>().unwrap()),
+            (0.5, "IX".parse::<PauliString>().unwrap()),
+        ];
+        let h = Observable::from_pauli_sum(&terms).unwrap();
+        assert!((h.expectation_pure(&StateVector::zero_state(2)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_sum_rejects_mismatched_qubit_counts() {
+        let terms = vec![
+            (1.0, "ZZ".parse::<PauliString>().unwrap()),
+            (0.5, "X".parse::<PauliString>().unwrap()),
+        ];
+        let err = Observable::from_pauli_sum(&terms).unwrap_err();
+        assert_eq!(
+            err,
+            ObservableError::QubitCountMismatch {
+                expected: 2,
+                found: 1,
+                term: 1,
+            }
+        );
+        // The error message names the offending term and both counts.
+        let msg = err.to_string();
+        assert!(msg.contains("term 1") && msg.contains("1 qubit") && msg.contains("2 qubits"), "{msg}");
+    }
+
+    #[test]
+    fn pauli_sum_rejects_empty_input() {
+        assert_eq!(
+            Observable::from_pauli_sum(&[]).unwrap_err(),
+            ObservableError::EmptyPauliSum
+        );
     }
 
     #[test]

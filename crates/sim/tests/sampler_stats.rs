@@ -1,0 +1,202 @@
+//! Statistical tests for [`ShotSampler`] — the shot-noise layer the
+//! paper's execution analysis (Section 7) sits on.
+//!
+//! Everything here runs on **seeded** samplers, so every assertion is a
+//! deterministic regression check, not a flaky statistical gamble: the
+//! empirical quantities are fixed numbers for a fixed seed, and the bounds
+//! they are checked against leave honest statistical headroom.
+
+use qdp_linalg::Matrix;
+use qdp_sim::{Measurement, Observable, ShotSampler, StateVector};
+
+fn plus_state() -> StateVector {
+    let mut psi = StateVector::zero_state(1);
+    psi.apply_gate(&Matrix::hadamard(), &[0]);
+    psi
+}
+
+/// A partially rotated state with ⟨Z⟩ = cos θ strictly between ±1.
+fn rotated_state(theta: f64) -> StateVector {
+    let mut psi = StateVector::zero_state(1);
+    psi.apply_gate(&Matrix::rotation_from_involution(&Matrix::pauli_y(), theta), &[0]);
+    psi
+}
+
+// ---------------------------------------------------------------------------
+// Seeded reproducibility
+// ---------------------------------------------------------------------------
+
+#[test]
+fn estimate_observable_is_bitwise_reproducible_per_seed() {
+    let psi = rotated_state(0.9);
+    let z = Observable::pauli_z(1, 0);
+    let run = |seed: u64| ShotSampler::seeded(seed).estimate_observable(&psi, &z, 2000);
+    assert_eq!(run(42).to_bits(), run(42).to_bits());
+    assert_eq!(run(7).to_bits(), run(7).to_bits());
+    // Different seeds draw different shot sequences (on a state with
+    // genuine shot noise the estimates collide with probability ~0).
+    assert_ne!(run(42).to_bits(), run(7).to_bits());
+}
+
+#[test]
+fn interleaved_use_does_not_break_reproducibility() {
+    // The estimate depends only on the sampler's stream position, which a
+    // fixed seed pins down across runs.
+    let psi = plus_state();
+    let z = Observable::pauli_z(1, 0);
+    let m = Measurement::computational(vec![0]);
+    let run = |seed: u64| {
+        let mut s = ShotSampler::seeded(seed);
+        let first = s.estimate_observable(&psi, &z, 500);
+        let outcome = s.measure(&psi, &m).0;
+        let second = s.estimate_observable(&psi, &z, 500);
+        (first.to_bits(), outcome, second.to_bits())
+    };
+    assert_eq!(run(1234), run(1234));
+}
+
+// ---------------------------------------------------------------------------
+// Chernoff budget
+// ---------------------------------------------------------------------------
+
+/// `chernoff_shots(m, δ)` prescribes the repetition count for estimating a
+/// sum of `m` bounded read-outs to additive precision `δ`. For a single
+/// observable (`m = 1`) that is `1/δ²` shots, i.e. a standard error of at
+/// most `δ` on a ±1-valued read-out. Over repeated independent trials the
+/// empirical RMS error must come in at or below that budget, and the mean
+/// absolute error below `δ` with room to spare.
+#[test]
+fn empirical_error_stays_within_chernoff_budget() {
+    let z = Observable::pauli_z(1, 0);
+    for (seed, theta, delta) in [(5u64, 1.1, 0.1), (91u64, 0.4, 0.2), (17u64, 2.3, 0.1)] {
+        let psi = rotated_state(theta);
+        let exact = z.expectation_pure(&psi);
+        let shots = ShotSampler::chernoff_shots(1, delta);
+        assert_eq!(shots, ((1.0 / (delta * delta)).ceil()) as usize);
+
+        let trials = 40;
+        let mut sampler = ShotSampler::seeded(seed);
+        let mut sq_err_sum = 0.0;
+        let mut abs_err_sum = 0.0;
+        let mut within = 0usize;
+        for _ in 0..trials {
+            let err = sampler.estimate_observable(&psi, &z, shots) - exact;
+            sq_err_sum += err * err;
+            abs_err_sum += err.abs();
+            if err.abs() <= delta {
+                within += 1;
+            }
+        }
+        let rms = (sq_err_sum / trials as f64).sqrt();
+        let mean_abs = abs_err_sum / trials as f64;
+        // The true standard error is δ·sin θ ≤ δ; the seeded empirical RMS
+        // sits near it, far below the 1.25·δ guard.
+        assert!(
+            rms <= 1.25 * delta,
+            "seed {seed}: RMS error {rms} above Chernoff budget δ={delta}"
+        );
+        assert!(
+            mean_abs <= delta,
+            "seed {seed}: mean |error| {mean_abs} above δ={delta}"
+        );
+        // |error| ≤ δ holds for ~68% of trials in the Gaussian limit even
+        // at maximal shot variance; require a clear majority.
+        assert!(
+            within * 2 > trials,
+            "seed {seed}: only {within}/{trials} trials within δ={delta}"
+        );
+    }
+}
+
+#[test]
+fn error_shrinks_as_the_budget_grows() {
+    // Tightening δ by 2x quadruples the budget and must (statistically,
+    // and deterministically for these seeds) shrink the empirical RMS.
+    let psi = plus_state(); // ⟨Z⟩ = 0, maximal shot variance
+    let z = Observable::pauli_z(1, 0);
+    let rms = |delta: f64, seed: u64| {
+        let shots = ShotSampler::chernoff_shots(1, delta);
+        let mut sampler = ShotSampler::seeded(seed);
+        let trials = 30;
+        let sum: f64 = (0..trials)
+            .map(|_| {
+                let err = sampler.estimate_observable(&psi, &z, shots);
+                err * err
+            })
+            .sum();
+        (sum / trials as f64).sqrt()
+    };
+    assert!(rms(0.05, 3) < rms(0.2, 3));
+}
+
+// ---------------------------------------------------------------------------
+// `measure` distribution sanity
+// ---------------------------------------------------------------------------
+
+#[test]
+fn measure_on_basis_states_is_deterministic() {
+    let m = Measurement::computational(vec![0]);
+    let mut sampler = ShotSampler::seeded(8);
+    for _ in 0..50 {
+        let (o0, s0) = sampler.measure(&StateVector::zero_state(1), &m);
+        assert_eq!(o0, 0);
+        assert_eq!(s0.classical_bit(0), Some(false));
+        let (o1, s1) = sampler.measure(&StateVector::basis_state(1, 1), &m);
+        assert_eq!(o1, 1);
+        assert_eq!(s1.classical_bit(0), Some(true));
+    }
+}
+
+#[test]
+fn measure_frequencies_track_born_probabilities() {
+    // cos²(θ/2) vs sin²(θ/2) on a rotated state, three angles, 20k shots:
+    // the seeded empirical frequency must sit within 0.015 of Born.
+    let m = Measurement::computational(vec![0]);
+    for (seed, theta) in [(21u64, 0.7f64), (22, 1.9), (23, 2.8)] {
+        let psi = rotated_state(theta);
+        let p1 = psi.probability_of(1);
+        let mut sampler = ShotSampler::seeded(seed);
+        let shots = 20_000;
+        let ones: usize = (0..shots).map(|_| sampler.measure(&psi, &m).0).sum();
+        let freq = ones as f64 / shots as f64;
+        assert!(
+            (freq - p1).abs() < 0.015,
+            "θ={theta}: frequency {freq} vs Born {p1}"
+        );
+    }
+}
+
+#[test]
+fn measure_on_entangled_pairs_never_produces_uncorrelated_outcomes() {
+    // Bell state: measuring both qubits must always agree.
+    let mut bell = StateVector::zero_state(2);
+    bell.apply_gate(&Matrix::hadamard(), &[0]);
+    bell.apply_gate(&Matrix::cnot(), &[0, 1]);
+    let m = Measurement::computational(vec![0, 1]);
+    let mut sampler = ShotSampler::seeded(77);
+    let mut seen = [0usize; 4];
+    for _ in 0..2000 {
+        let (outcome, _) = sampler.measure(&bell, &m);
+        seen[outcome] += 1;
+    }
+    assert_eq!(seen[0b01], 0, "anti-correlated outcome observed");
+    assert_eq!(seen[0b10], 0, "anti-correlated outcome observed");
+    // Both correlated outcomes occur at ~50%.
+    let f00 = seen[0b00] as f64 / 2000.0;
+    assert!((f00 - 0.5).abs() < 0.03, "frequency of 00 was {f00}");
+}
+
+#[test]
+fn sample_observable_averages_to_estimate() {
+    // `estimate_observable` is exactly the mean of `sample_observable`
+    // draws from the same stream position.
+    let psi = rotated_state(1.3);
+    let z = Observable::pauli_z(1, 0);
+    let shots = 500;
+    let mut a = ShotSampler::seeded(99);
+    let estimate = a.estimate_observable(&psi, &z, shots);
+    let mut b = ShotSampler::seeded(99);
+    let mean: f64 =
+        (0..shots).map(|_| b.sample_observable(&psi, &z)).sum::<f64>() / shots as f64;
+    assert_eq!(estimate.to_bits(), mean.to_bits());
+}

@@ -31,7 +31,7 @@ pub fn transverse_field_ising(n_sites: usize, coupling_j: f64, field_h: f64) -> 
     for i in 0..n_sites {
         terms.push((-field_h, PauliString::single(n_sites, i, Pauli::X)));
     }
-    Observable::from_pauli_sum(&terms)
+    Observable::from_pauli_sum(&terms).expect("all terms span the full chain")
 }
 
 /// The Heisenberg XXZ chain `H = Σᵢ (XᵢXᵢ₊₁ + YᵢYᵢ₊₁ + Δ·ZᵢZᵢ₊₁)`.
@@ -50,7 +50,7 @@ pub fn heisenberg_xxz(n_sites: usize, delta: f64) -> Observable {
             terms.push((weight, PauliString::new(factors)));
         }
     }
-    Observable::from_pauli_sum(&terms)
+    Observable::from_pauli_sum(&terms).expect("all terms span the full chain")
 }
 
 /// A hardware-efficient VQE ansatz in the `q-while` language: `layers`

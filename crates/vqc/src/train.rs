@@ -5,12 +5,21 @@
 //! (`d pred/dθj`), the latter computed by the paper's code-transformation
 //! scheme via [`qdp_ad::GradientEngine`]. Training is full-batch gradient
 //! descent, exactly as in the paper's case study.
+//!
+//! The dataset is packed once into a [`BatchedStates`] block at
+//! construction; every forward and gradient pass then evaluates the
+//! compiled multisets against **all** samples in one batched sweep
+//! (`GradientEngine::value_pure_batch` / `gradient_pure_batch`) instead of
+//! looping the per-sample engine — parameter slots and gate matrices are
+//! resolved once per epoch and shared by the whole batch. The results are
+//! numerically identical to the per-sample loop (see
+//! `crates/core/tests/batch_equivalence.rs`).
 
 use crate::loss::Loss;
 use crate::optim::Optimizer;
 use qdp_ad::{GradientEngine, TransformError};
 use qdp_lang::ast::{Params, Stmt};
-use qdp_sim::{Observable, StateVector};
+use qdp_sim::{BatchedStates, Observable, StateVector};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -42,13 +51,18 @@ pub type Dataset = Vec<(StateVector, f64)>;
 pub struct Trainer {
     engine: GradientEngine,
     observable: Observable,
-    dataset: Dataset,
+    /// The dataset's input states packed contiguously — built once, reused
+    /// by every batched forward/gradient sweep (the only copy held).
+    batch: BatchedStates,
+    /// The dataset's labels in row order.
+    labels: Vec<f64>,
     params: BTreeMap<String, f64>,
 }
 
 impl Trainer {
     /// Builds a trainer, differentiating the program with respect to every
-    /// parameter up front (the compile-time phase).
+    /// parameter up front (the compile-time phase) and packing the dataset
+    /// into one contiguous batch.
     ///
     /// # Errors
     ///
@@ -64,10 +78,12 @@ impl Trainer {
             .parameters()
             .map(|name| (name.to_string(), 0.0))
             .collect();
+        let (inputs, labels): (Vec<StateVector>, Vec<f64>) = dataset.into_iter().unzip();
         Ok(Trainer {
             engine,
             observable,
-            dataset,
+            batch: BatchedStates::from_states(&inputs),
+            labels,
             params,
         })
     }
@@ -103,38 +119,54 @@ impl Trainer {
         Params::from_pairs(self.params.iter().map(|(k, &v)| (k.clone(), v)))
     }
 
-    /// Predictions `lθ(z)` for every sample under the current parameters.
+    /// Predictions `lθ(z)` for every sample under the current parameters —
+    /// one batched sweep of the lowered forward program over all samples.
     pub fn predictions(&self) -> Vec<f64> {
         let params = self.params_struct();
-        self.dataset
-            .iter()
-            .map(|(psi, _)| self.engine.value_pure(&params, &self.observable, psi))
-            .collect()
+        self.engine
+            .value_pure_batch(&params, &self.observable, &self.batch)
     }
 
-    /// Total loss under the current parameters.
+    /// Total loss under the current parameters, from one batched forward
+    /// sweep.
     pub fn loss_value(&self, loss: &impl Loss) -> f64 {
         self.predictions()
             .iter()
-            .zip(&self.dataset)
-            .map(|(&pred, (_, label))| loss.loss(pred, *label))
+            .zip(&self.labels)
+            .map(|(&pred, &label)| loss.loss(pred, label))
             .sum()
     }
 
     /// The gradient of the total loss with respect to every parameter.
+    ///
+    /// One batched forward sweep produces all predictions, one batched
+    /// gradient sweep produces all per-sample quantum gradients; the chain
+    /// rule then accumulates `Σr dL/d predr · d predr/dθj` in sample order,
+    /// so the result matches the per-sample loop it replaced.
     pub fn loss_gradient(&self, loss: &impl Loss) -> BTreeMap<String, f64> {
         let params = self.params_struct();
         let mut grads: BTreeMap<String, f64> =
             self.params.keys().map(|k| (k.clone(), 0.0)).collect();
-        for (psi, label) in &self.dataset {
-            let pred = self.engine.value_pure(&params, &self.observable, psi);
-            let outer = loss.grad(pred, *label);
-            if outer == 0.0 {
+        let preds = self
+            .engine
+            .value_pure_batch(&params, &self.observable, &self.batch);
+        let outers: Vec<f64> = preds
+            .iter()
+            .zip(&self.labels)
+            .map(|(&pred, &label)| loss.grad(pred, label))
+            .collect();
+        if outers.iter().all(|&outer| outer == 0.0) {
+            return grads;
+        }
+        let inner = self
+            .engine
+            .gradient_pure_batch(&params, &self.observable, &self.batch);
+        for (row, outer) in inner.iter().zip(&outers) {
+            if *outer == 0.0 {
                 continue;
             }
-            let inner = self.engine.gradient_pure(&params, &self.observable, psi);
-            for (name, g) in inner {
-                *grads.get_mut(&name).expect("known parameter") += outer * g;
+            for (name, g) in row {
+                *grads.get_mut(name).expect("known parameter") += outer * g;
             }
         }
         grads
@@ -165,10 +197,10 @@ impl Trainer {
         let preds = self.predictions();
         let correct = preds
             .iter()
-            .zip(&self.dataset)
-            .filter(|(&p, (_, label))| (p >= 0.5) == (*label >= 0.5))
+            .zip(&self.labels)
+            .filter(|(&p, &label)| (p >= 0.5) == (label >= 0.5))
             .count();
-        correct as f64 / self.dataset.len().max(1) as f64
+        correct as f64 / self.labels.len().max(1) as f64
     }
 }
 
@@ -210,6 +242,49 @@ mod tests {
                 "{name}: {} vs {numeric}",
                 grads[name]
             );
+        }
+    }
+
+    #[test]
+    fn batched_loss_and_gradient_match_per_sample_loop() {
+        // The pre-batch implementation: one interpreter forward and one
+        // per-sample gradient per dataset row. The batched trainer must
+        // reproduce it to 1e-12 on both circuits (P2 exercises the
+        // branching executor).
+        for program in [p1(), p2()] {
+            let dataset = data();
+            let mut trainer =
+                Trainer::new(&program, task::readout_observable(), dataset.clone()).unwrap();
+            trainer.init_params_seeded(9);
+            let loss = SquaredLoss;
+            let params = trainer.params_struct();
+            let engine = trainer.engine();
+            let obs = task::readout_observable();
+
+            let mut serial_loss = 0.0;
+            let mut serial_grads: BTreeMap<String, f64> =
+                trainer.params().keys().map(|k| (k.clone(), 0.0)).collect();
+            for (psi, label) in &dataset {
+                let pred = engine.value_pure(&params, &obs, psi);
+                serial_loss += loss.loss(pred, *label);
+                let outer = loss.grad(pred, *label);
+                if outer == 0.0 {
+                    continue;
+                }
+                for (name, g) in engine.gradient_pure(&params, &obs, psi) {
+                    *serial_grads.get_mut(&name).unwrap() += outer * g;
+                }
+            }
+
+            assert!((trainer.loss_value(&loss) - serial_loss).abs() < 1e-12);
+            let batched = trainer.loss_gradient(&loss);
+            for (name, s) in &serial_grads {
+                assert!(
+                    (batched[name] - s).abs() < 1e-12,
+                    "dL/d{name}: batched {} vs serial {s}",
+                    batched[name]
+                );
+            }
         }
     }
 
