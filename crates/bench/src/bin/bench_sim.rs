@@ -9,16 +9,21 @@
 //! 3. `gradient_batch_16x` — the full-batch training gradient over the
 //!    16-sample classification dataset, batched engine
 //!    (`Trainer::loss_gradient` on `value_pure_batch`/`gradient_pure_batch`)
-//!    vs the serial per-sample loop it replaced.
+//!    vs the serial per-sample loop it replaced, and
+//! 4. `estimator_shots` — the shot-noise P1 gradient (Section 7's
+//!    execution model, 1024 trajectories per parameter), batched
+//!    `ShotEngine` sweeps (`gradient_pure_shots`) vs the serial per-shot
+//!    AST loop (`estimate_derivative`).
 //!
 //! Run with `scripts/bench_sim.sh` or
 //! `cargo run --release -p qdp-bench --bin bench_sim [output-path]`.
 
+use qdp_ad::estimator::estimate_derivative;
 use qdp_ad::GradientEngine;
 use qdp_lang::ast::Params;
 use qdp_linalg::{C64, Matrix};
 use qdp_sim::kernels::{apply_matrix, apply_matrix_reference, set_reference_kernels};
-use qdp_sim::{DensityMatrix, StateVector};
+use qdp_sim::{DensityMatrix, ShotSampler, StateVector};
 use qdp_vqc::circuits::p1;
 use qdp_vqc::loss::{Loss, SquaredLoss};
 use qdp_vqc::task;
@@ -151,12 +156,63 @@ fn main() {
         std::hint::black_box(trainer.loss_gradient(&loss));
     });
 
+    // --- 4. Shot-noise estimator: batched engine vs serial per-shot loop. -
+    // The P1 gradient workload under Section 7's execution model: every
+    // parameter's derivative estimated from sampled trajectories. The
+    // serial loop interprets the AST one shot at a time
+    // (`estimate_derivative`); the batched engine spends the same budget
+    // in `ShotEngine` sweeps (`gradient_pure_shots`).
+    let est_shots = 1024usize;
+    let est_psi = StateVector::from_bits(&[true, false, true, false]);
+    let est_seed = 42u64;
+
+    let serial_shot_loop = || -> BTreeMap<String, f64> {
+        engine
+            .parameters()
+            .enumerate()
+            .map(|(j, name)| {
+                let diff = engine.differentiated(name).expect("known parameter");
+                let mut sampler = ShotSampler::seeded(qdp_sim::derive_seed(est_seed, j as u64));
+                (
+                    name.to_string(),
+                    estimate_derivative(diff, &params, &obs, &est_psi, est_shots, &mut sampler),
+                )
+            })
+            .collect()
+    };
+    let batched_shot_gradient =
+        || engine.gradient_pure_shots(&params, &obs, &est_psi, est_shots, est_seed);
+
+    // Both estimators must sit near the exact gradient before timing
+    // (m = 1 per P1 parameter ⇒ standard error 1/√1024 ≈ 0.03).
+    let exact_grad = engine.gradient_pure(&params, &obs, &est_psi);
+    for (grads, path) in [
+        (serial_shot_loop(), "serial"),
+        (batched_shot_gradient(), "batched"),
+    ] {
+        for (name, v) in &grads {
+            assert!(
+                (v - exact_grad[name]).abs() < 0.2,
+                "{path} shot estimate diverged on {name}: {v} vs {}",
+                exact_grad[name]
+            );
+        }
+    }
+
+    let shots_serial_ns = time_ns(|| {
+        std::hint::black_box(serial_shot_loop());
+    });
+    let shots_batched_ns = time_ns(|| {
+        std::hint::black_box(batched_shot_gradient());
+    });
+
     let gate_speedup = gate_ref_ns / gate_fast_ns;
     let grad_speedup = grad_ref_ns / grad_fast_ns;
     let batch_speedup = batch_serial_ns / batch_fast_ns;
+    let shots_speedup = shots_serial_ns / shots_batched_ns;
 
     let json = format!(
-        "{{\n  \"bench\": \"sim\",\n  \"threads\": {},\n  \"gate_apply_10q_density\": {{\n    \"gate\": \"H on row qubit 4\",\n    \"fast_ns\": {gate_fast_ns:.1},\n    \"reference_ns\": {gate_ref_ns:.1},\n    \"speedup\": {gate_speedup:.2}\n  }},\n  \"gradient_p1_24_params\": {{\n    \"workload\": \"GradientEngine::gradient_pure on P1\",\n    \"fast_ns\": {grad_fast_ns:.1},\n    \"reference_ns\": {grad_ref_ns:.1},\n    \"speedup\": {grad_speedup:.2}\n  }},\n  \"gradient_batch_16x\": {{\n    \"workload\": \"Trainer::loss_gradient on P1, {batch_size}-sample batch\",\n    \"batched_ns\": {batch_fast_ns:.1},\n    \"serial_loop_ns\": {batch_serial_ns:.1},\n    \"speedup\": {batch_speedup:.2}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"sim\",\n  \"threads\": {},\n  \"gate_apply_10q_density\": {{\n    \"gate\": \"H on row qubit 4\",\n    \"fast_ns\": {gate_fast_ns:.1},\n    \"reference_ns\": {gate_ref_ns:.1},\n    \"speedup\": {gate_speedup:.2}\n  }},\n  \"gradient_p1_24_params\": {{\n    \"workload\": \"GradientEngine::gradient_pure on P1\",\n    \"fast_ns\": {grad_fast_ns:.1},\n    \"reference_ns\": {grad_ref_ns:.1},\n    \"speedup\": {grad_speedup:.2}\n  }},\n  \"gradient_batch_16x\": {{\n    \"workload\": \"Trainer::loss_gradient on P1, {batch_size}-sample batch\",\n    \"batched_ns\": {batch_fast_ns:.1},\n    \"serial_loop_ns\": {batch_serial_ns:.1},\n    \"speedup\": {batch_speedup:.2}\n  }},\n  \"estimator_shots\": {{\n    \"workload\": \"shot-noise P1 gradient, {est_shots} shots x 24 params\",\n    \"batched_ns\": {shots_batched_ns:.1},\n    \"serial_loop_ns\": {shots_serial_ns:.1},\n    \"speedup\": {shots_speedup:.2}\n  }}\n}}\n",
         qdp_par::max_threads(),
     );
     std::fs::write(&out_path, &json).expect("write benchmark record");
@@ -175,5 +231,10 @@ fn main() {
         batch_speedup >= 1.0,
         "the batched gradient engine must not be slower than the serial \
          per-sample loop (got {batch_speedup:.2}x)"
+    );
+    assert!(
+        shots_speedup >= 1.5,
+        "the batched shot-noise estimator must clearly beat the serial \
+         per-shot loop (got {shots_speedup:.2}x; the recorded target is 3x)"
     );
 }

@@ -11,7 +11,7 @@ use qdp_ad::estimator::estimate_derivative;
 use qdp_ad::{differentiate, occurrence_count};
 use qdp_lang::ast::Params;
 use qdp_lang::parse_program;
-use qdp_sim::{Observable, ShotSampler, StateVector};
+use qdp_sim::{chernoff_shots, Observable, ShotSampler, StateVector};
 use qdp_vqc::baseline::PhaseShift;
 
 fn main() {
@@ -36,7 +36,7 @@ fn main() {
     }
     println!(
         "\nChernoff budget for δ=0.05 with m={m}: {} shots",
-        ShotSampler::chernoff_shots(m, 0.05)
+        chernoff_shots(m, 0.05)
     );
 
     // Circuit-count comparison: gadget vs phase-shift on a circuit program.

@@ -11,7 +11,10 @@ use crate::exec::Differentiated;
 use qdp_lang::ast::{Params, Stmt};
 use qdp_lang::Register;
 use qdp_linalg::Matrix;
-use qdp_sim::{Measurement, Observable, ShotSampler, StateVector};
+use qdp_sim::{
+    BatchedStates, Measurement, Observable, ProjectiveObservable, ShotEngine, ShotSampler,
+    StateVector, SHOT_TILE,
+};
 
 /// Runs one *sampled trajectory* of a normal program on a pure state:
 /// measurement outcomes are drawn from the Born rule and the state collapses
@@ -27,6 +30,25 @@ pub fn sample_trajectory(
     psi: &StateVector,
     sampler: &mut ShotSampler,
 ) -> Option<StateVector> {
+    let mut outcomes = Vec::new();
+    sample_trajectory_traced(stmt, reg, params, psi, sampler, &mut outcomes)
+}
+
+/// [`sample_trajectory`] with the drawn measurement outcomes appended to
+/// `outcomes` in program order (`init` resets included) — the serial
+/// reference the batched [`ShotEngine`] is differentially tested against.
+///
+/// # Panics
+///
+/// Panics on additive programs.
+pub fn sample_trajectory_traced(
+    stmt: &Stmt,
+    reg: &Register,
+    params: &Params,
+    psi: &StateVector,
+    sampler: &mut ShotSampler,
+    outcomes: &mut Vec<usize>,
+) -> Option<StateVector> {
     match stmt {
         Stmt::Abort { .. } => None,
         Stmt::Skip { .. } => Some(psi.clone()),
@@ -37,6 +59,7 @@ pub fn sample_trajectory(
             // applying X on outcome 1.
             let meas = Measurement::computational(vec![idx]);
             let (outcome, mut collapsed) = sampler.measure(psi, &meas);
+            outcomes.push(outcome);
             if outcome == 1 {
                 collapsed.apply_gate(&Matrix::pauli_x(), &[idx]);
             }
@@ -46,28 +69,35 @@ pub fn sample_trajectory(
             Some(psi.with_gate(&gate.matrix(params), &reg.indices_of(qs)))
         }
         Stmt::Seq(a, b) => {
-            let mid = sample_trajectory(a, reg, params, psi, sampler)?;
-            sample_trajectory(b, reg, params, &mid, sampler)
+            let mid = sample_trajectory_traced(a, reg, params, psi, sampler, outcomes)?;
+            sample_trajectory_traced(b, reg, params, &mid, sampler, outcomes)
         }
         Stmt::Case { qs, arms } => {
             let meas = Measurement::computational(reg.indices_of(qs));
             let (outcome, collapsed) = sampler.measure(psi, &meas);
-            sample_trajectory(&arms[outcome], reg, params, &collapsed, sampler)
+            outcomes.push(outcome);
+            sample_trajectory_traced(&arms[outcome], reg, params, &collapsed, sampler, outcomes)
         }
         Stmt::While { .. } => {
-            sample_trajectory(&stmt.unfold_while_once(), reg, params, psi, sampler)
+            sample_trajectory_traced(&stmt.unfold_while_once(), reg, params, psi, sampler, outcomes)
         }
         Stmt::Sum(..) => panic!("sample_trajectory is defined on normal programs"),
     }
 }
 
 /// A shot-based estimate of the derivative computed by a [`Differentiated`]
-/// artifact on a pure input.
+/// artifact on a pure input — the **serial per-shot reference loop**.
 ///
 /// Each shot: draw `i` uniformly from the `m` compiled programs, run a
 /// sampled trajectory of `P′i` on `|0⟩A ⊗ |ψ⟩`, sample the observable
 /// `ZA ⊗ O` once (0 when the trajectory aborted), and scale by `m`.
 /// The estimator is unbiased for the exact derivative.
+///
+/// This interprets the AST one shot at a time on a single state; it is kept
+/// as the oracle and benchmark baseline of
+/// [`estimate_derivative_batched`], which spends the same budget in batched
+/// trajectory sweeps (`estimator_shots` in `BENCH_sim.json` tracks the
+/// gap).
 ///
 /// Returns 0 when the derivative multiset is empty.
 pub fn estimate_derivative(
@@ -99,12 +129,141 @@ pub fn estimate_derivative(
     m as f64 * acc / shots as f64
 }
 
-/// The shot budget the Chernoff analysis prescribes for precision `delta`
-/// given `m` compiled programs — re-exported from the simulator for
-/// convenience.
-pub fn chernoff_shots(m: usize, delta: f64) -> usize {
-    ShotSampler::chernoff_shots(m, delta)
+/// A batched shot-noise estimate of the same sum — the production path.
+///
+/// The estimator is statistically identical to [`estimate_derivative`]
+/// (uniform program draws, Born-rule trajectories, one `ZA ⊗ O` sample per
+/// shot, scaled by `m`) but spends the Chernoff budget in **batched
+/// trajectory sweeps**:
+///
+/// * each compiled program is resolved **once** per call
+///   (`ResolvedProgram` → [`qdp_sim::TrajProgram`]): every gate matrix is
+///   built a single time and the `ZA ⊗ O` eigendecomposition is hoisted
+///   out of the shot loop entirely,
+/// * the per-shot program indices are drawn **up front** from the master
+///   stream `ShotSampler::seeded(seed)`,
+/// * shots are split into fixed [`SHOT_TILE`]-sized tiles fanned out
+///   across `qdp_par`; within a tile, same-program shots form one
+///   [`BatchedStates`] block per program (one row per shot) that a
+///   [`ShotEngine`] sweeps with branch-grouped batching,
+/// * shot `s` draws its trajectory and read-out from the derived stream
+///   `ShotSampler::derived(seed, s)` wherever it runs, and tile sums are
+///   reduced in tile order.
+///
+/// The last two points make the result **bit-for-bit identical under any
+/// thread count** for a fixed `seed` — the determinism contract CI pins
+/// under forced 1/2/8-thread configurations.
+///
+/// Returns 0 when the derivative multiset is empty.
+///
+/// # Panics
+///
+/// Panics when `shots` is zero or a used parameter has no value.
+pub fn estimate_derivative_batched(
+    diff: &Differentiated,
+    params: &Params,
+    obs: &Observable,
+    psi: &StateVector,
+    shots: usize,
+    seed: u64,
+) -> f64 {
+    PreparedDerivativeEstimator::new(diff, params, obs).estimate(psi, shots, seed)
 }
+
+/// [`estimate_derivative_batched`] split into its per-valuation setup and
+/// its per-evaluation sweep: programs resolved into [`ShotEngine`]s and
+/// the `ZA ⊗ O` read-out eigendecomposed **once**, reusable across
+/// arbitrarily many inputs and seeds. Batch evaluators (the shot-noise
+/// `Trainer` sweeping a dataset) build one per parameter per epoch and
+/// share it across the row fan-out.
+#[derive(Clone, Debug)]
+pub struct PreparedDerivativeEstimator {
+    engines: Vec<ShotEngine>,
+    readout: ProjectiveObservable,
+}
+
+impl PreparedDerivativeEstimator {
+    /// Resolves the compiled multiset of `diff` under `params` and
+    /// decomposes the extended read-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a used parameter has no value.
+    pub fn new(diff: &Differentiated, params: &Params, obs: &Observable) -> Self {
+        let lowered = diff.lowered();
+        let values = lowered.slot_values(params);
+        PreparedDerivativeEstimator {
+            engines: lowered
+                .programs()
+                .iter()
+                .map(|p| ShotEngine::new(p.resolve(&values).to_trajectory()))
+                .collect(),
+            readout: ProjectiveObservable::new(&obs.with_ancilla_z()),
+        }
+    }
+
+    /// The number of compiled programs `m` of the underlying multiset.
+    pub fn num_programs(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// One batched derivative estimate — identical bits to
+    /// [`estimate_derivative_batched`] with the same arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shots` is zero.
+    pub fn estimate(&self, psi: &StateVector, shots: usize, seed: u64) -> f64 {
+        assert!(shots > 0, "need at least one shot");
+        let m = self.engines.len();
+        if m == 0 {
+            return 0.0;
+        }
+        let ext_psi = StateVector::zero_state(1).tensor(psi);
+
+        // Per-shot program indices, drawn up front from the master stream.
+        let mut master = ShotSampler::seeded(seed);
+        let indices: Vec<u32> = (0..shots).map(|_| master.uniform_index(m) as u32).collect();
+
+        let tiles: Vec<(usize, &[u32])> = indices
+            .chunks(SHOT_TILE)
+            .enumerate()
+            .map(|(t, chunk)| (t * SHOT_TILE, chunk))
+            .collect();
+        let tile_sums = qdp_par::par_map(&tiles, |&(start, chunk)| {
+            let mut acc = 0.0;
+            for (prog, engine) in self.engines.iter().enumerate() {
+                // The tile's shots of this program become one batch row
+                // each.
+                let shot_ids: Vec<usize> = chunk
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &ix)| ix as usize == prog)
+                    .map(|(r, _)| start + r)
+                    .collect();
+                if shot_ids.is_empty() {
+                    continue;
+                }
+                let batch = BatchedStates::repeat(&ext_psi, shot_ids.len());
+                let mut samplers: Vec<ShotSampler> = shot_ids
+                    .iter()
+                    .map(|&s| ShotSampler::derived(seed, s as u64))
+                    .collect();
+                acc += engine
+                    .sample_sweep(batch, &mut samplers, &self.readout)
+                    .into_iter()
+                    .sum::<f64>();
+            }
+            acc
+        });
+        m as f64 * tile_sums.into_iter().sum::<f64>() / shots as f64
+    }
+}
+
+/// The shot budget the Chernoff analysis prescribes for precision `delta`
+/// given `m` compiled programs — the single workspace definition lives in
+/// the simulator ([`qdp_sim::chernoff_shots`]); this is a re-export.
+pub use qdp_sim::chernoff_shots;
 
 #[cfg(test)]
 mod tests {
@@ -228,6 +387,68 @@ mod tests {
     #[test]
     fn chernoff_budget_grows_with_m() {
         assert!(chernoff_shots(4, 0.1) > chernoff_shots(2, 0.1));
+    }
+
+    #[test]
+    fn batched_estimator_is_consistent_with_exact_derivative() {
+        let p = parse_program("q1 *= RX(t); q1 *= RY(t)").unwrap();
+        let diff = differentiate(&p, "t").unwrap();
+        let params = Params::from_pairs([("t", 0.5)]);
+        let obs = Observable::pauli_z(1, 0);
+        let psi = StateVector::zero_state(1);
+        let exact = diff.derivative_pure(&params, &obs, &psi);
+        let estimate = estimate_derivative_batched(&diff, &params, &obs, &psi, 80_000, 7);
+        assert!(
+            (estimate - exact).abs() < 0.05,
+            "estimate {estimate} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn batched_estimator_handles_control_flow_programs() {
+        let p = parse_program(
+            "q1 *= RX(t); case M[q1] = 0 -> q1 *= RY(t), 1 -> q1 *= RZ(t) end; \
+             while[2] M[q1] = 1 do q1 *= RY(t) done",
+        )
+        .unwrap();
+        let diff = differentiate(&p, "t").unwrap();
+        let params = Params::from_pairs([("t", 1.1)]);
+        let obs = Observable::pauli_z(1, 0);
+        let psi = StateVector::zero_state(1);
+        let exact = diff.derivative_pure(&params, &obs, &psi);
+        let estimate = estimate_derivative_batched(&diff, &params, &obs, &psi, 120_000, 77);
+        assert!(
+            (estimate - exact).abs() < 0.06,
+            "estimate {estimate} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn batched_estimator_of_parameterless_program_is_zero() {
+        let p = parse_program("q1 *= H").unwrap();
+        let diff = differentiate(&p, "t").unwrap();
+        assert!(diff.compiled().is_empty());
+        let est = estimate_derivative_batched(
+            &diff,
+            &Params::new(),
+            &Observable::pauli_z(1, 0),
+            &StateVector::zero_state(1),
+            10,
+            1,
+        );
+        assert_eq!(est, 0.0);
+    }
+
+    #[test]
+    fn batched_estimator_is_reproducible_per_seed() {
+        let p = parse_program("q1 *= RX(t); q1 *= RY(t)").unwrap();
+        let diff = differentiate(&p, "t").unwrap();
+        let params = Params::from_pairs([("t", 0.9)]);
+        let obs = Observable::pauli_z(1, 0);
+        let psi = StateVector::zero_state(1);
+        let run = |seed: u64| estimate_derivative_batched(&diff, &params, &obs, &psi, 3000, seed);
+        assert_eq!(run(4).to_bits(), run(4).to_bits());
+        assert_ne!(run(4).to_bits(), run(5).to_bits());
     }
 
     #[test]

@@ -467,6 +467,140 @@ impl GradientEngine {
         self.diffs.values().map(|d| d.compiled().len()).sum()
     }
 
+    /// Shot-based estimate of the forward value `⟨O⟩` — what a hardware
+    /// run would report: `shots` sampled trajectories of the program from
+    /// `psi`, one projective read-out each, averaged.
+    ///
+    /// Runs on the lowered forward program through the batched
+    /// [`qdp_sim::ShotEngine`] (tiled across `qdp_par`, shot `s` on the
+    /// derived stream `(seed, s)`), so the estimate is bit-for-bit
+    /// deterministic for a fixed seed under any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shots` is zero or a used parameter has no value.
+    pub fn value_pure_shots(
+        &self,
+        params: &Params,
+        obs: &Observable,
+        psi: &StateVector,
+        shots: usize,
+        seed: u64,
+    ) -> f64 {
+        self.value_pure_shots_batch(params, obs, std::slice::from_ref(psi), shots, &[seed])
+            .remove(0)
+    }
+
+    /// [`value_pure_shots`](Self::value_pure_shots) for many inputs at
+    /// once: the forward program is resolved and the read-out decomposed
+    /// **once**, then the inputs fan out across `qdp_par` workers (row `r`
+    /// on stream `row_seeds[r]`, order-preserving — deterministic under
+    /// any thread count). Entry `r` is bit-identical to the single-input
+    /// call with the same seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs` and `row_seeds` disagree in length, `shots` is
+    /// zero, or a used parameter has no value.
+    pub fn value_pure_shots_batch(
+        &self,
+        params: &Params,
+        obs: &Observable,
+        inputs: &[StateVector],
+        shots: usize,
+        row_seeds: &[u64],
+    ) -> Vec<f64> {
+        assert_eq!(
+            inputs.len(),
+            row_seeds.len(),
+            "one seed stream per input row"
+        );
+        let fwd = self.forward_lowered();
+        let values = fwd.slot_values(params);
+        let engine = qdp_sim::ShotEngine::new(fwd.programs()[0].resolve(&values).to_trajectory());
+        let readout = qdp_sim::ProjectiveObservable::new(obs);
+        let rows: Vec<(usize, u64)> = row_seeds.iter().copied().enumerate().collect();
+        qdp_par::par_map(&rows, |&(r, seed)| {
+            engine.estimate_expectation_prepared(&inputs[r], &readout, shots, seed)
+        })
+    }
+
+    /// Shot-based estimate of the full gradient on a pure input: each
+    /// parameter's derivative is estimated by
+    /// [`crate::estimator::estimate_derivative_batched`] with
+    /// `shots_per_param` trajectories on its own derived seed stream
+    /// (`qdp_sim::derive_seed(seed, j)` for the `j`-th parameter in
+    /// lexicographic order).
+    ///
+    /// For the Chernoff guarantee of Section 7, pass
+    /// `shots_per_param = chernoff_shots(mj, δ)` per parameter; a fixed
+    /// budget trades accuracy uniformly. Deterministic for a fixed seed
+    /// under any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shots_per_param` is zero or a used parameter has no
+    /// value.
+    pub fn gradient_pure_shots(
+        &self,
+        params: &Params,
+        obs: &Observable,
+        psi: &StateVector,
+        shots_per_param: usize,
+        seed: u64,
+    ) -> BTreeMap<String, f64> {
+        self.gradient_pure_shots_batch(params, obs, std::slice::from_ref(psi), shots_per_param, &[seed])
+            .remove(0)
+    }
+
+    /// [`gradient_pure_shots`](Self::gradient_pure_shots) for many inputs
+    /// at once: every parameter's
+    /// [`crate::estimator::PreparedDerivativeEstimator`] (resolved
+    /// programs, decomposed read-out) is built **once** and shared by all
+    /// rows, which fan out across `qdp_par` workers — row `r` estimates
+    /// parameter `j` on the derived stream `(row_seeds[r], j)`, exactly as
+    /// the single-input call does, so entry `r` is bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs` and `row_seeds` disagree in length,
+    /// `shots_per_param` is zero, or a used parameter has no value.
+    pub fn gradient_pure_shots_batch(
+        &self,
+        params: &Params,
+        obs: &Observable,
+        inputs: &[StateVector],
+        shots_per_param: usize,
+        row_seeds: &[u64],
+    ) -> Vec<BTreeMap<String, f64>> {
+        assert_eq!(
+            inputs.len(),
+            row_seeds.len(),
+            "one seed stream per input row"
+        );
+        let prepared: Vec<(&String, crate::estimator::PreparedDerivativeEstimator)> = self
+            .diffs
+            .iter()
+            .map(|(name, diff)| {
+                (
+                    name,
+                    crate::estimator::PreparedDerivativeEstimator::new(diff, params, obs),
+                )
+            })
+            .collect();
+        let rows: Vec<(usize, u64)> = row_seeds.iter().copied().enumerate().collect();
+        qdp_par::par_map(&rows, |&(r, seed)| {
+            prepared
+                .iter()
+                .enumerate()
+                .map(|(j, (name, estimator))| {
+                    let stream = qdp_sim::derive_seed(seed, j as u64);
+                    ((*name).clone(), estimator.estimate(&inputs[r], shots_per_param, stream))
+                })
+                .collect()
+        })
+    }
+
     /// Forward values `tr(O·[[P(θ*)]]|ψr⟩⟨ψr|)` for every row of a batch.
     ///
     /// Runs on the **lowered** forward program (resolved indices, interned
@@ -734,6 +868,41 @@ mod tests {
                 "row {r}: batched {} vs serial {serial}",
                 batched[r]
             );
+        }
+    }
+
+    #[test]
+    fn shot_based_value_and_gradient_track_exact_ones() {
+        let p = parse_program(
+            "q1 *= RX(a); case M[q1] = 0 -> q2 *= RY(b), 1 -> q2 *= RZ(a) end",
+        )
+        .unwrap();
+        let engine = GradientEngine::new(&p).unwrap();
+        let params = Params::from_pairs([("a", 0.5), ("b", 1.4)]);
+        let obs = Observable::pauli_z(2, 1);
+        let psi = StateVector::zero_state(2);
+
+        let value = engine.value_pure_shots(&params, &obs, &psi, 40_000, 3);
+        assert!(
+            (value - engine.value_pure(&params, &obs, &psi)).abs() < 0.02,
+            "shot value {value}"
+        );
+
+        let grad = engine.gradient_pure_shots(&params, &obs, &psi, 60_000, 9);
+        let exact = engine.gradient_pure(&params, &obs, &psi);
+        assert_eq!(grad.len(), exact.len());
+        for (name, v) in &exact {
+            assert!(
+                (grad[name] - v).abs() < 0.06,
+                "∂/∂{name}: shots {} vs exact {v}",
+                grad[name]
+            );
+        }
+
+        // Fixed seed ⇒ bitwise reproducible.
+        let again = engine.gradient_pure_shots(&params, &obs, &psi, 60_000, 9);
+        for (name, v) in &grad {
+            assert_eq!(v.to_bits(), again[name].to_bits(), "∂/∂{name}");
         }
     }
 

@@ -413,6 +413,33 @@ impl ResolvedProgram<'_> {
         branches.iter().map(|b| obs.expectation_pure(b)).sum()
     }
 
+    /// Converts into an owned [`qdp_sim::TrajProgram`] for the batched
+    /// shot engine: the *sampled* execution form of the same program, with
+    /// every gate matrix and measurement carried over as-is.
+    ///
+    /// The only representational change is `q := |0⟩`: the exact executor
+    /// enumerates both Kraus branches, while the trajectory form measures
+    /// the qubit and flips on outcome 1 (`TrajProgram::push_init`) —
+    /// exactly what `qdp_ad::estimator::sample_trajectory` does, so engine
+    /// trajectories driven by the same streams match it bit for bit.
+    pub fn to_trajectory(&self) -> qdp_sim::TrajProgram {
+        let mut out = qdp_sim::TrajProgram::new();
+        for op in &self.ops {
+            match op {
+                ResolvedOp::Abort => out.push_abort(),
+                ResolvedOp::Gate { matrix, targets } => {
+                    out.push_gate(matrix.clone(), targets.to_vec());
+                }
+                ResolvedOp::Init { target, .. } => out.push_init(*target),
+                ResolvedOp::Case { meas, arms } => out.push_case(
+                    (*meas).clone(),
+                    arms.iter().map(ResolvedProgram::to_trajectory).collect(),
+                ),
+            }
+        }
+        out
+    }
+
     /// The expectation of the program's output on **every** row of a batch,
     /// in row order.
     ///

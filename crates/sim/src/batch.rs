@@ -89,6 +89,22 @@ impl BatchedStates {
         }
     }
 
+    /// A batch of `rows` copies of one state — the starting block of a shot
+    /// sweep (every trajectory departs from the same prepared input). Built
+    /// in one pass over the contiguous block.
+    pub fn repeat(psi: &StateVector, rows: usize) -> Self {
+        let dim = psi.dim();
+        let mut amps = Vec::with_capacity(rows * dim);
+        for _ in 0..rows {
+            amps.extend_from_slice(psi.amplitudes());
+        }
+        BatchedStates {
+            n_qubits: psi.num_qubits(),
+            rows,
+            amps,
+        }
+    }
+
     /// Builds a batch from a raw contiguous amplitude block.
     ///
     /// # Panics

@@ -16,7 +16,9 @@
 //! * [`Measurement`] — quantum measurements `{Mm}` with branch enumeration
 //!   (Section 2.3),
 //! * [`Observable`] — Hermitian read-outs `O` with `tr(Oρ)` expectations and
-//!   shot-based sampling (Section 5).
+//!   shot-based sampling (Section 5),
+//! * [`ShotEngine`] — batched shot-noise execution: sampled trajectories of
+//!   whole shot blocks with branch-grouped batching (Section 7).
 //!
 //! Qubit `k` of an `n`-qubit system corresponds to bit `n-1-k` of a basis
 //! index, i.e. qubit 0 is the most significant bit. This matches the
@@ -43,6 +45,7 @@ pub mod kernels;
 pub mod measurement;
 pub mod observable;
 pub mod sampling;
+pub mod shots;
 pub mod state;
 
 pub use batch::BatchedStates;
@@ -50,5 +53,6 @@ pub use channel::KrausChannel;
 pub use density::DensityMatrix;
 pub use measurement::{Measurement, MeasurementBranch};
 pub use observable::{Observable, ObservableError};
-pub use sampling::ShotSampler;
+pub use sampling::{chernoff_shots, collapse_with_draw, derive_seed, ProjectiveObservable, ShotSampler};
+pub use shots::{ShotEngine, TrajProgram, TrajectoryRow, SHOT_TILE};
 pub use state::StateVector;

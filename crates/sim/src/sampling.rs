@@ -5,6 +5,19 @@
 //! measurement, with `O(1/δ²)` repetitions for additive error `δ` (Chernoff
 //! bound). This module provides that statistical layer over the exact
 //! simulator.
+//!
+//! The randomness is organised around two primitives shared by every shot
+//! path in the workspace:
+//!
+//! * [`collapse_with_draw`] — the Born-rule branch selection and collapse
+//!   for one pre-drawn uniform variate. [`ShotSampler::measure`] and the
+//!   batched [`crate::ShotEngine`] both call it, so a batched sweep and a
+//!   serial per-shot loop driven by the same stream produce **bit-identical**
+//!   outcomes and collapsed states.
+//! * [`derive_seed`] — the stream-derivation contract: shot `s` of a run
+//!   seeded with `seed` draws from `ShotSampler::derived(seed, s)`. Because
+//!   each shot owns an independent stream, work can be tiled across threads
+//!   in any way without changing a single drawn value.
 
 use crate::measurement::Measurement;
 use crate::observable::Observable;
@@ -12,6 +25,155 @@ use crate::state::StateVector;
 use qdp_linalg::C64;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// The shot budget the paper's Chernoff analysis prescribes for estimating a
+/// sum of `m` bounded (`-I ⊑ O ⊑ I`) program read-outs to additive
+/// precision `delta` — Section 7's `O(m²/δ²)`, with the constant pinned to
+/// `⌈m²/δ²⌉` (one shot estimates a single read-out to `δ = 1`).
+///
+/// This is the **single** definition in the workspace;
+/// `qdp_ad::estimator::chernoff_shots` re-exports it.
+///
+/// # Panics
+///
+/// Panics when `delta` is not positive.
+pub fn chernoff_shots(m: usize, delta: f64) -> usize {
+    assert!(delta > 0.0, "precision must be positive");
+    let m = m.max(1) as f64;
+    ((m * m) / (delta * delta)).ceil() as usize
+}
+
+/// Derives the seed of stream `stream` of a run seeded with `seed` — a
+/// SplitMix64 finalizer over `seed + (stream+1)·γ`, the standard recipe for
+/// decorrelating enumerated substreams of one master seed.
+///
+/// This is the workspace-wide determinism contract for parallel shot
+/// execution: shot `s` always draws from `ShotSampler::derived(seed, s)`,
+/// no matter which thread or tile runs it.
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed.wrapping_add(stream.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Performs one Born-rule shot of `measurement` on a normalised pure state
+/// for a **pre-drawn** uniform variate `u ∈ [0, 1)`: returns the sampled
+/// outcome and the collapsed, renormalised state.
+///
+/// This is the deterministic core of [`ShotSampler::measure`], factored out
+/// so batched executors that manage their own per-row streams perform the
+/// *identical* floating-point selection and collapse arithmetic.
+///
+/// # Panics
+///
+/// Panics if the state has (numerically) zero norm.
+pub fn collapse_with_draw(
+    u: f64,
+    psi: &StateVector,
+    measurement: &Measurement,
+) -> (usize, StateVector) {
+    let total = psi.norm_sqr();
+    assert!(total > 1e-300, "cannot measure a zero-norm state");
+    let branches = measurement.branches_pure(psi);
+    let mut r: f64 = u * total;
+    for b in &branches {
+        r -= b.probability;
+        if r <= 0.0 {
+            let mut state = b.state.clone();
+            if b.probability > 0.0 {
+                state.scale(C64::real((total / b.probability).sqrt().min(1e150)));
+                // Renormalise to the parent state's norm.
+                let norm = state.norm_sqr().sqrt();
+                if norm > 0.0 {
+                    state.scale(C64::real(total.sqrt() / norm));
+                }
+            }
+            return (b.outcome, state);
+        }
+    }
+    // Floating-point slack: fall back to the last branch with support.
+    let last = branches
+        .into_iter()
+        .rev()
+        .find(|b| b.probability > 0.0)
+        .expect("no branch has support");
+    let mut state = last.state.clone();
+    let norm = state.norm_sqr().sqrt();
+    if norm > 0.0 {
+        state.scale(C64::real(total.sqrt() / norm));
+    }
+    (last.outcome, state)
+}
+
+/// An observable's spectral measurement `{(λm, Pm)}` hoisted for repeated
+/// sampling: the eigendecomposition runs **once** and each projector is
+/// wrapped as an [`Observable`] whose expectation fast path can be replayed
+/// against arbitrarily many states (or batch rows) with zero per-shot
+/// allocation.
+///
+/// [`ShotSampler::sample_observable`] builds one per call; batched sweeps
+/// build one per estimator invocation and share it across all shots.
+#[derive(Clone, Debug)]
+pub struct ProjectiveObservable {
+    pairs: Vec<(f64, Observable)>,
+}
+
+impl ProjectiveObservable {
+    /// Decomposes `obs` into its `(eigenvalue, projector)` read-out pairs.
+    pub fn new(obs: &Observable) -> Self {
+        ProjectiveObservable {
+            pairs: obs
+                .to_projective()
+                .into_iter()
+                .map(|(eigenvalue, projector)| {
+                    (
+                        eigenvalue,
+                        Observable::new(obs.num_qubits(), obs.targets().to_vec(), projector),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// The `(eigenvalue, projector-observable)` pairs in eigenvalue order.
+    pub fn pairs(&self) -> &[(f64, Observable)] {
+        &self.pairs
+    }
+
+    /// One projective sample for a pre-drawn uniform `u ∈ [0, 1)` against a
+    /// raw amplitude slice whose squared norm is `total` (pass
+    /// `psi.norm_sqr()`; callers must handle `total ≈ 0` themselves —
+    /// see [`ShotSampler::sample_observable`]).
+    pub fn sample_with_draw(&self, u: f64, total: f64, amps: &[C64]) -> f64 {
+        self.select_with(u, total, |k| self.pairs[k].1.expectation_amps(amps))
+    }
+
+    /// The cumulative Born-rule selection shared by every sampling path:
+    /// walks the pairs in order, subtracting `probability(k)` (evaluated
+    /// lazily, so early exits skip the remaining projectors) from
+    /// `u · total`, and returns the first eigenvalue driving the rest
+    /// non-positive — the last eigenvalue under floating-point slack.
+    ///
+    /// [`sample_with_draw`](Self::sample_with_draw) and the batched
+    /// read-out of `ShotEngine::sample_sweep` both go through this one
+    /// loop, so their selection arithmetic can never drift apart.
+    pub(crate) fn select_with(
+        &self,
+        u: f64,
+        total: f64,
+        mut probability: impl FnMut(usize) -> f64,
+    ) -> f64 {
+        let mut r = u * total;
+        for (k, (eigenvalue, _)) in self.pairs.iter().enumerate() {
+            r -= probability(k);
+            if r <= 0.0 {
+                return *eigenvalue;
+            }
+        }
+        self.pairs.last().map(|(l, _)| *l).unwrap_or(0.0)
+    }
+}
 
 /// A seeded sampler producing measurement shots from simulated states.
 ///
@@ -41,11 +203,24 @@ impl ShotSampler {
         }
     }
 
+    /// The sampler of stream `stream` of a run seeded with `seed` — see
+    /// [`derive_seed`] for the contract.
+    pub fn derived(seed: u64, stream: u64) -> Self {
+        ShotSampler::seeded(derive_seed(seed, stream))
+    }
+
     /// Creates a sampler from operating-system entropy.
     pub fn from_entropy() -> Self {
         ShotSampler {
             rng: StdRng::from_entropy(),
         }
+    }
+
+    /// Draws one uniform variate in `[0, 1)` — the raw fuel of
+    /// [`collapse_with_draw`] and
+    /// [`ProjectiveObservable::sample_with_draw`].
+    pub fn next_uniform(&mut self) -> f64 {
+        self.rng.gen()
     }
 
     /// Draws a uniform index in `0..n`.
@@ -64,37 +239,8 @@ impl ShotSampler {
         psi: &StateVector,
         measurement: &Measurement,
     ) -> (usize, StateVector) {
-        let total = psi.norm_sqr();
-        assert!(total > 1e-300, "cannot measure a zero-norm state");
-        let branches = measurement.branches_pure(psi);
-        let mut r: f64 = self.rng.gen::<f64>() * total;
-        for b in &branches {
-            r -= b.probability;
-            if r <= 0.0 {
-                let mut state = b.state.clone();
-                if b.probability > 0.0 {
-                    state.scale(C64::real((total / b.probability).sqrt().min(1e150)));
-                    // Renormalise to the parent state's norm.
-                    let norm = state.norm_sqr().sqrt();
-                    if norm > 0.0 {
-                        state.scale(C64::real(total.sqrt() / norm));
-                    }
-                }
-                return (b.outcome, state);
-            }
-        }
-        // Floating-point slack: fall back to the last branch with support.
-        let last = branches
-            .into_iter()
-            .rev()
-            .find(|b| b.probability > 0.0)
-            .expect("no branch has support");
-        let mut state = last.state.clone();
-        let norm = state.norm_sqr().sqrt();
-        if norm > 0.0 {
-            state.scale(C64::real(total.sqrt() / norm));
-        }
-        (last.outcome, state)
+        let u = self.next_uniform();
+        collapse_with_draw(u, psi, measurement)
     }
 
     /// One shot of an observable: projectively measures in the observable's
@@ -104,21 +250,9 @@ impl ShotSampler {
         if total <= 1e-300 {
             return 0.0;
         }
-        let mut r: f64 = self.rng.gen::<f64>() * total;
-        let projective = obs.to_projective();
-        for (eigenvalue, projector) in &projective {
-            let p = Observable::new(
-                obs.num_qubits(),
-                obs.targets().to_vec(),
-                projector.clone(),
-            )
-            .expectation_pure(psi);
-            r -= p;
-            if r <= 0.0 {
-                return *eigenvalue;
-            }
-        }
-        projective.last().map(|(l, _)| *l).unwrap_or(0.0)
+        let projective = ProjectiveObservable::new(obs);
+        let u = self.next_uniform();
+        projective.sample_with_draw(u, total, psi.amplitudes())
     }
 
     /// Monte-Carlo estimate of `⟨O⟩` from `shots` projective samples.
@@ -129,20 +263,17 @@ impl ShotSampler {
         shots: usize,
     ) -> f64 {
         assert!(shots > 0, "need at least one shot");
+        let total = psi.norm_sqr();
+        if total <= 1e-300 {
+            return 0.0;
+        }
+        let projective = ProjectiveObservable::new(obs);
         let mut acc = 0.0;
         for _ in 0..shots {
-            acc += self.sample_observable(psi, obs);
+            let u = self.next_uniform();
+            acc += projective.sample_with_draw(u, total, psi.amplitudes());
         }
         acc / shots as f64
-    }
-
-    /// Number of repetitions the paper's Chernoff analysis prescribes for
-    /// estimating a sum of `m` program read-outs to additive precision
-    /// `delta` (Section 7: `O(m²/δ²)`).
-    pub fn chernoff_shots(m: usize, delta: f64) -> usize {
-        assert!(delta > 0.0, "precision must be positive");
-        let m = m.max(1) as f64;
-        ((m * m) / (delta * delta)).ceil() as usize
     }
 }
 
@@ -183,6 +314,26 @@ mod tests {
     }
 
     #[test]
+    fn measure_equals_collapse_with_same_draw() {
+        // `measure` must be exactly "draw one uniform, collapse": the
+        // batched engine relies on this split to match the serial path
+        // bit for bit.
+        let mut psi = StateVector::zero_state(2);
+        psi.apply_gate(&Matrix::hadamard(), &[0]);
+        psi.apply_gate(&Matrix::cnot(), &[0, 1]);
+        let m = Measurement::computational(vec![0]);
+        let mut a = ShotSampler::seeded(31);
+        let mut b = ShotSampler::seeded(31);
+        for _ in 0..16 {
+            let (o1, s1) = a.measure(&psi, &m);
+            let u = b.next_uniform();
+            let (o2, s2) = collapse_with_draw(u, &psi, &m);
+            assert_eq!(o1, o2);
+            assert_eq!(s1.amplitudes(), s2.amplitudes());
+        }
+    }
+
+    #[test]
     fn observable_estimate_converges() {
         let psi = StateVector::zero_state(1); // ⟨Z⟩ = 1 exactly
         let z = Observable::pauli_z(1, 0);
@@ -207,9 +358,38 @@ mod tests {
 
     #[test]
     fn chernoff_shot_count_scales_quadratically() {
-        assert_eq!(ShotSampler::chernoff_shots(1, 0.1), 100);
-        assert_eq!(ShotSampler::chernoff_shots(2, 0.1), 400);
-        assert_eq!(ShotSampler::chernoff_shots(4, 0.1), 1600);
+        assert_eq!(chernoff_shots(1, 0.1), 100);
+        assert_eq!(chernoff_shots(2, 0.1), 400);
+        assert_eq!(chernoff_shots(4, 0.1), 1600);
+    }
+
+    #[test]
+    fn chernoff_budget_formula_is_pinned() {
+        // The budget is exactly ⌈m²/δ²⌉ (m clamped to ≥ 1) — the single
+        // definition `qdp_ad::estimator` re-exports.
+        assert_eq!(chernoff_shots(3, 0.05), 3600);
+        assert_eq!(chernoff_shots(0, 0.5), 4);
+        assert_eq!(chernoff_shots(5, 0.3), (25.0f64 / 0.09).ceil() as usize);
+        assert_eq!(chernoff_shots(1, 1.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn chernoff_rejects_nonpositive_delta() {
+        let _ = chernoff_shots(2, 0.0);
+    }
+
+    #[test]
+    fn derived_streams_are_reproducible_and_distinct() {
+        let draws = |seed: u64, stream: u64| -> Vec<u64> {
+            let mut s = ShotSampler::derived(seed, stream);
+            (0..8).map(|_| (s.next_uniform() * 1e15) as u64).collect()
+        };
+        assert_eq!(draws(9, 0), draws(9, 0));
+        assert_ne!(draws(9, 0), draws(9, 1));
+        assert_ne!(draws(9, 0), draws(10, 0));
+        // Adjacent streams of adjacent seeds must not collide either.
+        assert_ne!(derive_seed(9, 1), derive_seed(10, 0));
     }
 
     #[test]

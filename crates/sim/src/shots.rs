@@ -1,0 +1,664 @@
+//! Batched shot-noise execution — trajectory sweeps over [`BatchedStates`].
+//!
+//! Section 7 of the paper spends a Chernoff budget of `O(m²/δ²)` sampled
+//! trajectories per derivative estimate. Running those trajectories one at
+//! a time repeats all parameter-independent work per shot: every gate
+//! matrix is rebuilt, every kernel dispatch covers a single state, the
+//! read-out is re-eigendecomposed. [`ShotEngine`] instead executes a whole
+//! *block* of shots — one [`BatchedStates`] row per shot — so that
+//!
+//! * straight-line gate segments become **single batched kernel calls**
+//!   streaming the operator over every row at once,
+//! * measurements (`case` arms, `q := |0⟩` resets) are taken for **all**
+//!   rows in one pass and the rows are regrouped into outcome-homogeneous
+//!   sub-batches (*branch-grouped batching*) that keep enjoying batched
+//!   kernels, instead of decaying to per-row evaluation, and
+//! * the observable read-out is sampled per row against a
+//!   [`ProjectiveObservable`] hoisted once per sweep.
+//!
+//! # Determinism contract
+//!
+//! Every row owns an independent [`ShotSampler`] stream. Measurement
+//! collapse goes through the same [`collapse_with_draw`] the serial
+//! sampler uses, gate streaming goes through [`BatchedStates::apply_gate`]
+//! (bit-for-bit equal to per-row application), and regrouping preserves
+//! row order within each outcome — so a batched sweep produces **bitwise**
+//! the same outcomes and collapsed states as running each row alone with
+//! the same stream, no matter how rows are grouped or how many threads run
+//! the kernels. `crates/core/tests/shot_engine_differential.rs` is the
+//! oracle.
+
+use crate::batch::BatchedStates;
+use crate::measurement::Measurement;
+use crate::observable::Observable;
+use crate::sampling::{collapse_with_draw, ProjectiveObservable, ShotSampler};
+use crate::state::StateVector;
+use qdp_linalg::Matrix;
+
+/// Rows per parallel shot tile of [`ShotEngine::estimate_expectation`].
+///
+/// Fixed (not derived from the thread count) so the tile partition — and
+/// with it every drawn value and every rounding order — is identical under
+/// any `qdp_par` configuration.
+pub const SHOT_TILE: usize = 256;
+
+/// One operation of a sampled-trajectory program.
+#[derive(Clone, Debug)]
+enum TrajOp {
+    /// An operator application with the matrix already built.
+    Gate { matrix: Matrix, targets: Vec<usize> },
+    /// `q := |0⟩`, sampled: measure `q` and flip on outcome 1.
+    Init {
+        meas: Measurement,
+        flip: Matrix,
+        target: usize,
+    },
+    /// A measurement branching over per-outcome arm programs.
+    Case {
+        meas: Measurement,
+        arms: Vec<TrajProgram>,
+    },
+    /// Drop the trajectory.
+    Abort,
+}
+
+/// A trajectory program: the sampled-execution form of a normal program,
+/// with every matrix and measurement pre-built for a fixed valuation.
+///
+/// Built either directly through the `push_*` methods or from a lowered
+/// derivative program (`qdp_ad::ResolvedProgram::to_trajectory`). The
+/// sampled semantics mirror `qdp_ad::estimator::sample_trajectory` op for
+/// op: `Init` measures the target and applies `X` on outcome 1, `Case`
+/// draws one outcome from the Born rule and continues into that arm.
+#[derive(Clone, Debug, Default)]
+pub struct TrajProgram {
+    ops: Vec<TrajOp>,
+}
+
+impl TrajProgram {
+    /// An empty (skip) program.
+    pub fn new() -> Self {
+        TrajProgram::default()
+    }
+
+    /// Appends an operator application.
+    pub fn push_gate(&mut self, matrix: Matrix, targets: Vec<usize>) {
+        self.ops.push(TrajOp::Gate { matrix, targets });
+    }
+
+    /// Appends a `q := |0⟩` reset of qubit `target` (measure + conditional
+    /// flip — the sampled form of the reset channel).
+    pub fn push_init(&mut self, target: usize) {
+        self.ops.push(TrajOp::Init {
+            meas: Measurement::computational(vec![target]),
+            flip: Matrix::pauli_x(),
+            target,
+        });
+    }
+
+    /// Appends a measurement case: `meas` is sampled once per trajectory
+    /// and execution continues into `arms[outcome]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the arm count does not match the outcome count.
+    pub fn push_case(&mut self, meas: Measurement, arms: Vec<TrajProgram>) {
+        assert_eq!(
+            meas.num_outcomes(),
+            arms.len(),
+            "one arm per measurement outcome"
+        );
+        self.ops.push(TrajOp::Case { meas, arms });
+    }
+
+    /// Appends an abort: trajectories reaching it are dropped.
+    pub fn push_abort(&mut self) {
+        self.ops.push(TrajOp::Abort);
+    }
+
+    /// Number of top-level operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is a bare `skip`.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// The result of one sampled trajectory (one batch row).
+#[derive(Clone, Debug)]
+pub struct TrajectoryRow {
+    /// The final collapsed state, or `None` when the trajectory aborted.
+    pub state: Option<StateVector>,
+    /// Every measurement outcome drawn along the trajectory, in program
+    /// order (`Init` resets included).
+    pub outcomes: Vec<usize>,
+}
+
+/// A row in flight: its original batch index and outcome history.
+#[derive(Clone, Debug)]
+struct RowCtx {
+    orig: usize,
+    outcomes: Vec<usize>,
+}
+
+/// An outcome-homogeneous group of rows evolving together.
+struct Group {
+    states: BatchedStates,
+    rows: Vec<RowCtx>,
+    /// Fused-mode state: per qubit, the pending product of
+    /// not-yet-applied single-qubit gates (`pending[q] = g_k · … · g_1` in
+    /// program order). Always empty in bitwise (unfused) mode.
+    pending: Vec<Option<Matrix>>,
+}
+
+impl Group {
+    /// Applies the pending 1q products of `targets` (ascending qubit
+    /// order, deterministically), as one batched kernel call each.
+    fn flush(&mut self, targets: &[usize]) {
+        let mut ts: Vec<usize> = targets.to_vec();
+        ts.sort_unstable();
+        for t in ts {
+            if let Some(m) = self.pending[t].take() {
+                self.states.apply_gate(&m, &[t]);
+            }
+        }
+    }
+
+    /// Applies every pending product (ascending qubit order).
+    fn flush_all(&mut self) {
+        for t in 0..self.pending.len() {
+            if let Some(m) = self.pending[t].take() {
+                self.states.apply_gate(&m, &[t]);
+            }
+        }
+    }
+}
+
+/// The batched shot-noise executor for one [`TrajProgram`].
+///
+/// # Examples
+///
+/// ```
+/// use qdp_linalg::Matrix;
+/// use qdp_sim::{BatchedStates, ShotEngine, ShotSampler, TrajProgram};
+///
+/// // H then a computational measurement: every shot collapses to a basis
+/// // state recorded in its outcome history.
+/// let mut p = TrajProgram::new();
+/// p.push_gate(Matrix::hadamard(), vec![0]);
+/// p.push_case(
+///     qdp_sim::Measurement::computational(vec![0]),
+///     vec![TrajProgram::new(), TrajProgram::new()],
+/// );
+/// let engine = ShotEngine::new(p);
+/// let mut samplers: Vec<ShotSampler> =
+///     (0..8).map(|s| ShotSampler::derived(1, s)).collect();
+/// let rows = engine.run(BatchedStates::zero(8, 1), &mut samplers);
+/// for row in &rows {
+///     assert_eq!(row.outcomes.len(), 1);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShotEngine {
+    program: TrajProgram,
+}
+
+impl ShotEngine {
+    /// Wraps a trajectory program for batched execution.
+    pub fn new(program: TrajProgram) -> Self {
+        ShotEngine { program }
+    }
+
+    /// The wrapped program.
+    pub fn program(&self) -> &TrajProgram {
+        &self.program
+    }
+
+    /// Runs one sampled trajectory per row of `states`, row `r` drawing
+    /// from `samplers[r]`. Returns per-row results in input row order.
+    ///
+    /// This is the **bitwise-reference executor**: gates are applied one
+    /// by one in program order, so results equal running each row as its
+    /// own batch of one and (via the shared collapse primitive) the serial
+    /// per-shot loop, bit for bit — see the module docs for the contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samplers.len() != states.len()`.
+    pub fn run(&self, states: BatchedStates, samplers: &mut [ShotSampler]) -> Vec<TrajectoryRow> {
+        let total_rows = states.len();
+        let (finished, aborted) = self.sweep(states, samplers, false);
+        let mut out: Vec<Option<TrajectoryRow>> = (0..total_rows).map(|_| None).collect();
+        for group in finished {
+            let Group { states, rows, .. } = group;
+            for (r, ctx) in rows.into_iter().enumerate() {
+                out[ctx.orig] = Some(TrajectoryRow {
+                    state: Some(states.row_state(r)),
+                    outcomes: ctx.outcomes,
+                });
+            }
+        }
+        for ctx in aborted {
+            out[ctx.orig] = Some(TrajectoryRow {
+                state: None,
+                outcomes: ctx.outcomes,
+            });
+        }
+        out.into_iter()
+            .map(|row| row.expect("every row either finishes or aborts"))
+            .collect()
+    }
+
+    /// Runs one trajectory per row and samples `readout` once on each
+    /// surviving final state (0.0 for aborted rows, which draw nothing —
+    /// matching the serial estimator). Returns per-row samples in input
+    /// row order.
+    ///
+    /// The per-projector expectations of each final group are computed
+    /// batch-wise with the observable's index layout hoisted once, so the
+    /// read-out costs one batched pass per projector instead of one
+    /// eigendecomposition per shot. On top of that, straight-line gate
+    /// segments **fuse** commuting single-qubit gates per qubit into one
+    /// 2×2 product before streaming (exactly like the exact batched
+    /// evaluator's straight-line fast path), flushed at measurements,
+    /// multi-qubit gates, and the read-out. Fusion reorders rounding, so
+    /// samples agree with [`run`](Self::run)-plus-serial-sampling
+    /// statistically (states differ by ≪ 1e-12) rather than bit for bit;
+    /// the sweep itself stays fully deterministic — identical bits for any
+    /// thread count, any batch decomposition, and any row grouping.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samplers.len() != states.len()`.
+    pub fn sample_sweep(
+        &self,
+        states: BatchedStates,
+        samplers: &mut [ShotSampler],
+        readout: &ProjectiveObservable,
+    ) -> Vec<f64> {
+        let total_rows = states.len();
+        let (finished, aborted) = self.sweep(states, samplers, true);
+        let mut out = vec![0.0; total_rows];
+        for group in finished {
+            // One batched expectation pass per projector, shared by every
+            // row of the group.
+            let per_projector: Vec<Vec<f64>> = readout
+                .pairs()
+                .iter()
+                .map(|(_, projector)| projector.expectation_batch(&group.states))
+                .collect();
+            for (r, ctx) in group.rows.iter().enumerate() {
+                // The shared selection loop of `sample_with_draw`, with
+                // the expectations read from the batched passes.
+                let total: f64 = group.states.row(r).iter().map(|z| z.norm_sqr()).sum();
+                if total <= 1e-300 {
+                    continue;
+                }
+                let u = samplers[ctx.orig].next_uniform();
+                out[ctx.orig] = readout.select_with(u, total, |k| per_projector[k][r]);
+            }
+        }
+        drop(aborted); // aborted rows stay 0.0 and draw nothing
+        out
+    }
+
+    /// Tiled parallel shot estimate of `⟨obs⟩` on the program's output from
+    /// `shots` trajectories starting at `psi`: the mean of one read-out
+    /// sample per shot (0 for aborted trajectories).
+    ///
+    /// Shots are split into fixed [`SHOT_TILE`]-row tiles fanned out across
+    /// `qdp_par`; shot `s` draws from the derived stream
+    /// `ShotSampler::derived(seed, s)` wherever it runs, and tile sums are
+    /// reduced in tile order — the result is **bit-for-bit identical under
+    /// any thread count**.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shots` is zero.
+    pub fn estimate_expectation(
+        &self,
+        psi: &StateVector,
+        obs: &Observable,
+        shots: usize,
+        seed: u64,
+    ) -> f64 {
+        self.estimate_expectation_prepared(psi, &ProjectiveObservable::new(obs), shots, seed)
+    }
+
+    /// [`estimate_expectation`](Self::estimate_expectation) with the
+    /// read-out decomposition already built — what repeated-evaluation
+    /// callers (a training epoch sweeping many inputs) use so the
+    /// eigendecomposition happens once, not once per input.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shots` is zero.
+    pub fn estimate_expectation_prepared(
+        &self,
+        psi: &StateVector,
+        readout: &ProjectiveObservable,
+        shots: usize,
+        seed: u64,
+    ) -> f64 {
+        assert!(shots > 0, "need at least one shot");
+        let tiles: Vec<(usize, usize)> = (0..shots)
+            .step_by(SHOT_TILE)
+            .map(|start| (start, SHOT_TILE.min(shots - start)))
+            .collect();
+        let sums = qdp_par::par_map(&tiles, |&(start, rows)| {
+            let batch = BatchedStates::repeat(psi, rows);
+            let mut samplers: Vec<ShotSampler> = (0..rows)
+                .map(|r| ShotSampler::derived(seed, (start + r) as u64))
+                .collect();
+            self.sample_sweep(batch, &mut samplers, readout)
+                .into_iter()
+                .sum::<f64>()
+        });
+        sums.into_iter().sum::<f64>() / shots as f64
+    }
+
+    /// Executes the program over the whole batch, branch-grouping on every
+    /// measurement; returns the surviving outcome-homogeneous groups and
+    /// the aborted rows. With `fuse`, straight-line segments accumulate
+    /// per-qubit 1q products instead of applying each gate immediately.
+    fn sweep(
+        &self,
+        states: BatchedStates,
+        samplers: &mut [ShotSampler],
+        fuse: bool,
+    ) -> (Vec<Group>, Vec<RowCtx>) {
+        assert_eq!(
+            states.len(),
+            samplers.len(),
+            "one sampler stream per batch row"
+        );
+        let group = Group {
+            rows: (0..states.len())
+                .map(|orig| RowCtx {
+                    orig,
+                    outcomes: Vec::new(),
+                })
+                .collect(),
+            pending: vec![None; states.num_qubits()],
+            states,
+        };
+        let mut finished = Vec::new();
+        let mut aborted = Vec::new();
+        if group.rows.is_empty() {
+            return (finished, aborted);
+        }
+        exec(
+            &self.program.ops,
+            Vec::new(),
+            group,
+            samplers,
+            fuse,
+            &mut finished,
+            &mut aborted,
+        );
+        (finished, aborted)
+    }
+}
+
+/// Executes `ops` on `group`, with `cont` the stack of suspended op slices
+/// to resume (innermost last) once `ops` is exhausted — the continuation a
+/// `case` arm returns into.
+fn exec<'p>(
+    ops: &'p [TrajOp],
+    cont: Vec<&'p [TrajOp]>,
+    mut group: Group,
+    samplers: &mut [ShotSampler],
+    fuse: bool,
+    finished: &mut Vec<Group>,
+    aborted: &mut Vec<RowCtx>,
+) {
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            TrajOp::Gate { matrix, targets } => {
+                if !fuse {
+                    // Bitwise mode: one batched kernel call streams the
+                    // operator over every row, in program order.
+                    group.states.apply_gate(matrix, targets);
+                } else if let [t] = targets[..] {
+                    group.pending[t] = Some(match group.pending[t].take() {
+                        None => matrix.clone(),
+                        Some(prev) => matrix.mul(&prev),
+                    });
+                } else {
+                    // A multi-qubit gate orders against the pending
+                    // rotations of its own targets only.
+                    group.flush(targets);
+                    group.states.apply_gate(matrix, targets);
+                }
+            }
+            TrajOp::Abort => {
+                // Dropped rows never need their pending products.
+                aborted.append(&mut group.rows);
+                return;
+            }
+            TrajOp::Init { meas, flip, target } => {
+                group.flush_all();
+                let rest = &ops[i + 1..];
+                for (outcome, mut sub) in measure_group(group, meas, samplers) {
+                    if outcome == 1 {
+                        sub.states.apply_gate(flip, &[*target]);
+                    }
+                    exec(rest, cont.clone(), sub, samplers, fuse, finished, aborted);
+                }
+                return;
+            }
+            TrajOp::Case { meas, arms } => {
+                group.flush_all();
+                let rest = &ops[i + 1..];
+                for (outcome, sub) in measure_group(group, meas, samplers) {
+                    let mut arm_cont = cont.clone();
+                    arm_cont.push(rest);
+                    exec(&arms[outcome].ops, arm_cont, sub, samplers, fuse, finished, aborted);
+                }
+                return;
+            }
+        }
+    }
+    let mut cont = cont;
+    match cont.pop() {
+        // Pending products flow into the continuation: there is no
+        // measurement between an arm's trailing gates and the join.
+        Some(next) => exec(next, cont, group, samplers, fuse, finished, aborted),
+        None => {
+            group.flush_all();
+            finished.push(group);
+        }
+    }
+}
+
+/// Measures every row of `group` at once (each row drawing from its own
+/// stream, collapsing through the serial-identical [`collapse_with_draw`])
+/// and regroups the rows into outcome-homogeneous sub-batches.
+///
+/// Sub-batches are returned in ascending outcome order; rows keep their
+/// relative order inside each sub-batch, so the regrouping is a pure
+/// deterministic function of the drawn outcomes.
+fn measure_group(
+    group: Group,
+    meas: &Measurement,
+    samplers: &mut [ShotSampler],
+) -> Vec<(usize, Group)> {
+    debug_assert!(
+        group.pending.iter().all(Option::is_none),
+        "pending products must be flushed before measuring"
+    );
+    let Group { states, rows, pending } = group;
+    let mut buckets: Vec<(Vec<RowCtx>, Vec<StateVector>)> = (0..meas.num_outcomes())
+        .map(|_| (Vec::new(), Vec::new()))
+        .collect();
+    for (r, mut ctx) in rows.into_iter().enumerate() {
+        let psi = states.row_state(r);
+        let u = samplers[ctx.orig].next_uniform();
+        let (outcome, collapsed) = collapse_with_draw(u, &psi, meas);
+        ctx.outcomes.push(outcome);
+        buckets[outcome].0.push(ctx);
+        buckets[outcome].1.push(collapsed);
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .filter(|(_, (rows, _))| !rows.is_empty())
+        .map(|(outcome, (rows, collapsed))| {
+            (
+                outcome,
+                Group {
+                    states: BatchedStates::from_states(&collapsed),
+                    rows,
+                    pending: pending.clone(),
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observable::Observable;
+
+    fn rotation_y(theta: f64) -> Matrix {
+        Matrix::rotation_from_involution(&Matrix::pauli_y(), theta)
+    }
+
+    #[test]
+    fn straight_line_batch_matches_per_row_gates() {
+        let mut p = TrajProgram::new();
+        p.push_gate(Matrix::hadamard(), vec![0]);
+        p.push_gate(Matrix::cnot(), vec![0, 1]);
+        p.push_gate(rotation_y(0.7), vec![1]);
+        let engine = ShotEngine::new(p);
+        let inputs: Vec<StateVector> = (0..5).map(|k| StateVector::basis_state(2, k % 4)).collect();
+        let mut samplers: Vec<ShotSampler> = (0..5).map(|s| ShotSampler::derived(3, s)).collect();
+        let rows = engine.run(BatchedStates::from_states(&inputs), &mut samplers);
+        for (input, row) in inputs.iter().zip(&rows) {
+            let mut expected = input.clone();
+            expected.apply_gate(&Matrix::hadamard(), &[0]);
+            expected.apply_gate(&Matrix::cnot(), &[0, 1]);
+            expected.apply_gate(&rotation_y(0.7), &[1]);
+            assert!(row.outcomes.is_empty());
+            assert_eq!(
+                row.state.as_ref().unwrap().amplitudes(),
+                expected.amplitudes()
+            );
+        }
+    }
+
+    #[test]
+    fn init_resets_every_row_to_zero() {
+        let mut p = TrajProgram::new();
+        p.push_gate(Matrix::hadamard(), vec![0]);
+        p.push_init(0);
+        let engine = ShotEngine::new(p);
+        let mut samplers: Vec<ShotSampler> = (0..32).map(|s| ShotSampler::derived(7, s)).collect();
+        let rows = engine.run(BatchedStates::zero(32, 1), &mut samplers);
+        let mut seen = [false, false];
+        for row in &rows {
+            assert_eq!(row.outcomes.len(), 1);
+            seen[row.outcomes[0]] = true;
+            let state = row.state.as_ref().unwrap();
+            assert_eq!(state.classical_bit(0), Some(false));
+        }
+        // Both measurement outcomes occur across 32 shots of |+⟩.
+        assert!(seen[0] && seen[1], "outcomes {seen:?}");
+    }
+
+    #[test]
+    fn abort_rows_are_reported_as_none() {
+        let mut killed = TrajProgram::new();
+        killed.push_abort();
+        let mut p = TrajProgram::new();
+        p.push_gate(Matrix::hadamard(), vec![0]);
+        p.push_case(
+            Measurement::computational(vec![0]),
+            vec![TrajProgram::new(), killed],
+        );
+        let engine = ShotEngine::new(p);
+        let mut samplers: Vec<ShotSampler> = (0..64).map(|s| ShotSampler::derived(11, s)).collect();
+        let rows = engine.run(BatchedStates::zero(64, 1), &mut samplers);
+        let mut aborted = 0usize;
+        for row in &rows {
+            match row.outcomes[0] {
+                0 => assert!(row.state.is_some()),
+                _ => {
+                    assert!(row.state.is_none());
+                    aborted += 1;
+                }
+            }
+        }
+        assert!(aborted > 0, "no trajectory took the aborting arm");
+    }
+
+    #[test]
+    fn sample_sweep_matches_run_plus_serial_sampling() {
+        // One engine call with a read-out must equal running trajectories
+        // first and sampling each surviving state with the continued
+        // per-row stream. (Every straight-line segment here is a single
+        // gate, so sweep fusion is trivially the identity and the
+        // agreement is bitwise.)
+        let mut arm1 = TrajProgram::new();
+        arm1.push_gate(rotation_y(1.1), vec![1]);
+        let mut p = TrajProgram::new();
+        p.push_gate(Matrix::hadamard(), vec![0]);
+        p.push_case(
+            Measurement::computational(vec![0]),
+            vec![TrajProgram::new(), arm1],
+        );
+        let engine = ShotEngine::new(p);
+        let obs = Observable::pauli_z(2, 1);
+        let readout = ProjectiveObservable::new(&obs);
+        let shots = 40;
+
+        let batch = BatchedStates::zero(shots, 2);
+        let mut samplers: Vec<ShotSampler> =
+            (0..shots).map(|s| ShotSampler::derived(5, s as u64)).collect();
+        let samples = engine.sample_sweep(batch, &mut samplers, &readout);
+
+        let batch = BatchedStates::zero(shots, 2);
+        let mut samplers: Vec<ShotSampler> =
+            (0..shots).map(|s| ShotSampler::derived(5, s as u64)).collect();
+        let rows = engine.run(batch, &mut samplers);
+        for (row, (sampler, sample)) in rows.iter().zip(samplers.iter_mut().zip(&samples)) {
+            let expected = match &row.state {
+                None => 0.0,
+                Some(psi) => sampler.sample_observable(psi, &obs),
+            };
+            assert_eq!(expected.to_bits(), sample.to_bits());
+        }
+    }
+
+    #[test]
+    fn estimate_expectation_converges_and_is_deterministic() {
+        let mut p = TrajProgram::new();
+        p.push_gate(rotation_y(0.8), vec![0]);
+        let engine = ShotEngine::new(p);
+        let obs = Observable::pauli_z(1, 0);
+        let psi = StateVector::zero_state(1);
+        let est = engine.estimate_expectation(&psi, &obs, 40_000, 2024);
+        assert!((est - 0.8f64.cos()).abs() < 0.02, "estimate {est}");
+        let again = engine.estimate_expectation(&psi, &obs, 40_000, 2024);
+        assert_eq!(est.to_bits(), again.to_bits());
+    }
+
+    #[test]
+    fn empty_batch_is_harmless() {
+        let engine = ShotEngine::new(TrajProgram::new());
+        let rows = engine.run(BatchedStates::from_states(&[]), &mut []);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one sampler stream per batch row")]
+    fn mismatched_sampler_count_panics() {
+        let engine = ShotEngine::new(TrajProgram::new());
+        let mut samplers = vec![ShotSampler::seeded(1)];
+        let _ = engine.run(BatchedStates::zero(2, 1), &mut samplers);
+    }
+}

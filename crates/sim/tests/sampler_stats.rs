@@ -7,7 +7,7 @@
 //! they are checked against leave honest statistical headroom.
 
 use qdp_linalg::Matrix;
-use qdp_sim::{Measurement, Observable, ShotSampler, StateVector};
+use qdp_sim::{chernoff_shots, Measurement, Observable, ShotSampler, StateVector};
 
 fn plus_state() -> StateVector {
     let mut psi = StateVector::zero_state(1);
@@ -71,7 +71,7 @@ fn empirical_error_stays_within_chernoff_budget() {
     for (seed, theta, delta) in [(5u64, 1.1, 0.1), (91u64, 0.4, 0.2), (17u64, 2.3, 0.1)] {
         let psi = rotated_state(theta);
         let exact = z.expectation_pure(&psi);
-        let shots = ShotSampler::chernoff_shots(1, delta);
+        let shots = chernoff_shots(1, delta);
         assert_eq!(shots, ((1.0 / (delta * delta)).ceil()) as usize);
 
         let trials = 40;
@@ -115,7 +115,7 @@ fn error_shrinks_as_the_budget_grows() {
     let psi = plus_state(); // ⟨Z⟩ = 0, maximal shot variance
     let z = Observable::pauli_z(1, 0);
     let rms = |delta: f64, seed: u64| {
-        let shots = ShotSampler::chernoff_shots(1, delta);
+        let shots = chernoff_shots(1, delta);
         let mut sampler = ShotSampler::seeded(seed);
         let trials = 30;
         let sum: f64 = (0..trials)

@@ -1,0 +1,194 @@
+//! Property tests of branch-grouped batching: regrouping rows into
+//! outcome-homogeneous sub-batches is an *optimisation*, never a semantic
+//! change. Every row of a batched [`ShotEngine`] sweep must carry the same
+//! outcome history and the same final amplitudes (to 1e-12; they are in
+//! fact produced by identical kernel arithmetic) as the per-row fallback —
+//! the same engine run on a batch of one with the same stream.
+//!
+//! Programs are generated randomly over gates, resets, nested `case`s and
+//! aborts, so the regrouping recursion is exercised at every depth.
+
+use qdp_linalg::{C64, Matrix};
+use qdp_sim::{
+    BatchedStates, Measurement, ProjectiveObservable, Observable, ShotEngine, ShotSampler,
+    StateVector, TrajProgram,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random single-qubit unitary drawn from rotations and fixed gates.
+fn random_1q_gate(rng: &mut StdRng) -> Matrix {
+    match rng.gen_range(0..5usize) {
+        0 => Matrix::hadamard(),
+        1 => Matrix::pauli_x(),
+        2 => Matrix::rotation_from_involution(&Matrix::pauli_x(), rng.gen::<f64>() * 6.0),
+        3 => Matrix::rotation_from_involution(&Matrix::pauli_y(), rng.gen::<f64>() * 6.0),
+        _ => Matrix::rotation_from_involution(&Matrix::pauli_z(), rng.gen::<f64>() * 6.0),
+    }
+}
+
+/// A random trajectory program over `n` qubits with branching depth
+/// `depth`: gates, resets, and (for positive depth) measurement cases with
+/// randomly generated arms, one of which may abort.
+fn random_program(rng: &mut StdRng, n: usize, len: usize, depth: usize) -> TrajProgram {
+    let mut p = TrajProgram::new();
+    for _ in 0..len {
+        let q = rng.gen_range(0..n);
+        match rng.gen_range(0..8usize) {
+            0..=3 => p.push_gate(random_1q_gate(rng), vec![q]),
+            4 if n >= 2 => {
+                let mut q2 = rng.gen_range(0..n);
+                while q2 == q {
+                    q2 = rng.gen_range(0..n);
+                }
+                p.push_gate(Matrix::cnot(), vec![q, q2]);
+            }
+            4 => p.push_gate(random_1q_gate(rng), vec![q]),
+            5 => p.push_init(q),
+            _ if depth > 0 => {
+                let mut arms: Vec<TrajProgram> = (0..2)
+                    .map(|_| random_program(rng, n, len / 2 + 1, depth - 1))
+                    .collect();
+                if rng.gen_range(0..6usize) == 0 {
+                    arms[1].push_abort();
+                }
+                p.push_case(Measurement::computational(vec![q]), arms);
+            }
+            _ => p.push_gate(random_1q_gate(rng), vec![q]),
+        }
+    }
+    p
+}
+
+/// A random normalised pure state on `n` qubits.
+fn random_state(rng: &mut StdRng, n: usize) -> StateVector {
+    let dim = 1usize << n;
+    let mut amps: Vec<C64> = (0..dim)
+        .map(|_| C64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+        .collect();
+    let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+    for a in &mut amps {
+        *a *= C64::real(1.0 / norm);
+    }
+    StateVector::from_amplitudes(n, amps)
+}
+
+#[test]
+fn regrouped_rows_match_per_row_fallback() {
+    let mut rng = StdRng::seed_from_u64(0x9e0b);
+    for trial in 0..20 {
+        let n = 1 + trial % 4;
+        let program = random_program(&mut rng, n, 5 + trial % 6, 2);
+        let engine = ShotEngine::new(program);
+        let batch_size = [1usize, 2, 7, 16, 33][trial % 5];
+        let inputs: Vec<StateVector> = (0..batch_size).map(|_| random_state(&mut rng, n)).collect();
+        let seed = 0xF00 + trial as u64;
+
+        let mut samplers: Vec<ShotSampler> = (0..batch_size)
+            .map(|r| ShotSampler::derived(seed, r as u64))
+            .collect();
+        let grouped = engine.run(BatchedStates::from_states(&inputs), &mut samplers);
+
+        for (r, input) in inputs.iter().enumerate() {
+            // Per-row fallback: the same row alone, same stream — no
+            // regrouping can ever happen in a batch of one.
+            let mut solo_sampler = vec![ShotSampler::derived(seed, r as u64)];
+            let solo = engine
+                .run(BatchedStates::from_states(std::slice::from_ref(input)), &mut solo_sampler)
+                .remove(0);
+
+            assert_eq!(
+                solo.outcomes, grouped[r].outcomes,
+                "trial {trial}: outcome history of row {r} changed under regrouping"
+            );
+            match (&solo.state, &grouped[r].state) {
+                (None, None) => {}
+                (Some(s), Some(g)) => {
+                    for (k, (a, b)) in s.amplitudes().iter().zip(g.amplitudes()).enumerate() {
+                        assert!(
+                            (a.re - b.re).abs() <= 1e-12 && (a.im - b.im).abs() <= 1e-12,
+                            "trial {trial} row {r} amp {k}: solo {a:?} vs grouped {b:?}"
+                        );
+                    }
+                }
+                _ => panic!("trial {trial} row {r}: abort status changed under regrouping"),
+            }
+        }
+    }
+}
+
+#[test]
+fn regrouped_readout_samples_match_per_row_fallback() {
+    // The full estimator path: trajectories plus one projective read-out
+    // per surviving row, batched vs per-row, bit for bit.
+    let mut rng = StdRng::seed_from_u64(0x51de);
+    for trial in 0..10 {
+        let n = 1 + trial % 3;
+        let program = random_program(&mut rng, n, 6, 2);
+        let engine = ShotEngine::new(program);
+        let obs = Observable::pauli_z(n, rng.gen_range(0..n));
+        let readout = ProjectiveObservable::new(&obs);
+        let batch_size = 19;
+        let inputs: Vec<StateVector> = (0..batch_size).map(|_| random_state(&mut rng, n)).collect();
+        let seed = 0xABC + trial as u64;
+
+        let mut samplers: Vec<ShotSampler> = (0..batch_size)
+            .map(|r| ShotSampler::derived(seed, r as u64))
+            .collect();
+        let grouped = engine.sample_sweep(BatchedStates::from_states(&inputs), &mut samplers, &readout);
+
+        for (r, input) in inputs.iter().enumerate() {
+            let mut solo_sampler = vec![ShotSampler::derived(seed, r as u64)];
+            let solo = engine.sample_sweep(
+                BatchedStates::from_states(std::slice::from_ref(input)),
+                &mut solo_sampler,
+                &readout,
+            )[0];
+            assert_eq!(
+                solo.to_bits(),
+                grouped[r].to_bits(),
+                "trial {trial} row {r}: read-out sample changed under regrouping"
+            );
+        }
+    }
+}
+
+#[test]
+fn regrouping_is_insensitive_to_row_order() {
+    // Permuting the input rows (with their streams) permutes the results —
+    // each row's trajectory depends only on its own state and stream.
+    let mut rng = StdRng::seed_from_u64(0x707);
+    let n = 3;
+    let program = random_program(&mut rng, n, 8, 2);
+    let engine = ShotEngine::new(program);
+    let batch_size = 11;
+    let inputs: Vec<StateVector> = (0..batch_size).map(|_| random_state(&mut rng, n)).collect();
+
+    let mut samplers: Vec<ShotSampler> = (0..batch_size)
+        .map(|r| ShotSampler::derived(1, r as u64))
+        .collect();
+    let forward = engine.run(BatchedStates::from_states(&inputs), &mut samplers);
+
+    let rev_inputs: Vec<StateVector> = inputs.iter().rev().cloned().collect();
+    let mut rev_samplers: Vec<ShotSampler> = (0..batch_size)
+        .rev()
+        .map(|r| ShotSampler::derived(1, r as u64))
+        .collect();
+    let reversed = engine.run(BatchedStates::from_states(&rev_inputs), &mut rev_samplers);
+
+    for r in 0..batch_size {
+        let a = &forward[r];
+        let b = &reversed[batch_size - 1 - r];
+        assert_eq!(a.outcomes, b.outcomes, "row {r}");
+        match (&a.state, &b.state) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                for (p, q) in x.amplitudes().iter().zip(y.amplitudes()) {
+                    assert_eq!(p.re.to_bits(), q.re.to_bits());
+                    assert_eq!(p.im.to_bits(), q.im.to_bits());
+                }
+            }
+            _ => panic!("row {r} abort status diverged under permutation"),
+        }
+    }
+}
