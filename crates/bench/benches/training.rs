@@ -1,7 +1,10 @@
 //! Timing of the Figure 6 training loop: one full-batch epoch (16 samples,
-//! forward value + full gradient + optimizer step) of `P1` and `P2`, plus
-//! the `gradient_batch_16x` workload — the batched training gradient
-//! against the serial per-sample loop it replaced.
+//! forward value + full gradient + optimizer step) of `P1` and `P2`, the
+//! `gradient_batch_16x` workload — the batched training gradient against
+//! the serial per-sample loop it replaced — and the
+//! `gradient_branching_batch` workload: the branch-weighted batched
+//! executor on `P2`'s measurement-controlled derivative multisets against
+//! per-row branch enumeration.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qdp_lang::ast::Params;
@@ -89,5 +92,43 @@ fn bench_batch_gradient(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_epochs, bench_batch_gradient);
+/// The branch-weighted exact executor's headline workload: one full
+/// 16-sample, 36-parameter gradient of the measurement-controlled `P2`,
+/// batched branch-weighted sweep vs per-row branch enumeration.
+fn bench_branching_gradient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gradient_branching_batch");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+
+    let data = data();
+    let engine = qdp_ad::GradientEngine::new(&p2()).expect("P2 differentiable");
+    let obs = task::readout_observable();
+    let params = Params::from_pairs(
+        p2()
+            .parameters()
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| (name, 0.2 + 0.31 * i as f64)),
+    );
+    let inputs: Vec<qdp_sim::StateVector> = data.iter().map(|(psi, _)| psi.clone()).collect();
+    let batch = qdp_sim::BatchedStates::from_states(&inputs);
+
+    group.bench_function("branch-weighted batched sweep", |b| {
+        b.iter(|| black_box(engine.gradient_pure_batch(&params, &obs, &batch)))
+    });
+    group.bench_function("per-row branch enumeration", |b| {
+        b.iter(|| {
+            let rows: Vec<_> = inputs
+                .iter()
+                .map(|psi| engine.gradient_pure(&params, &obs, psi))
+                .collect();
+            black_box(rows)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_epochs, bench_batch_gradient, bench_branching_gradient);
 criterion_main!(benches);

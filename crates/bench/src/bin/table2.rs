@@ -23,4 +23,15 @@ fn main() {
             format!("VIOLATED on {} rows", violations.len())
         }
     );
+
+    println!("\nShot-noise execution cost (Section 7 Chernoff budgets):\n");
+    print!("{}", qdp_bench::render_shot_budgets(&rows, &[0.3, 0.1, 0.05]));
+
+    // Multi-parameter case study: the per-gradient total Σj ⌈mj²/δ²⌉.
+    let p2 = qdp_vqc::circuits::p2();
+    let budget = qdp_ad::gradient_shot_budget(&p2, 0.1).expect("P2 differentiable");
+    println!(
+        "\nfull-gradient budget at δ=0.1 for P2(Θ,Φ,Ψ) ({} parameters): {budget} trajectories",
+        p2.parameters().len()
+    );
 }

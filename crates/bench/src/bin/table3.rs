@@ -22,4 +22,7 @@ fn main() {
     println!(
         "while rows where |#∂| < OC (aborting unrollings optimised out, paper note (3)): {strict}"
     );
+
+    println!("\nShot-noise execution cost (Section 7 Chernoff budgets):\n");
+    print!("{}", qdp_bench::render_shot_budgets(&rows, &[0.3, 0.1, 0.05]));
 }

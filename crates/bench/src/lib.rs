@@ -170,6 +170,37 @@ pub fn table2_rows() -> Vec<(MeasuredRow, Option<PaperRow>)> {
         .collect()
 }
 
+/// Renders the Section 7 **shot-budget** companion of the copy-count
+/// tables: total sampled trajectories per θ-gradient at each target
+/// precision `δ`, computed from the measured `|#∂/∂θ(·)|` through
+/// `qdp_ad::resource`'s Chernoff wiring (`⌈m²/δ²⌉` — each trajectory
+/// consumes a fresh input-state copy, so this is the execution cost the
+/// resource analysis ultimately controls).
+pub fn render_shot_budgets(rows: &[(MeasuredRow, Option<PaperRow>)], deltas: &[f64]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<12} | {:>11}", "P(θ)", "|#∂/∂θ(·)|"));
+    for d in deltas {
+        out.push_str(&format!(" | {:>14}", format!("shots @ δ={d}")));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(28 + 17 * deltas.len()));
+    out.push('\n');
+    for (m, _) in rows {
+        let report = qdp_ad::ResourceReport {
+            param: qdp_vqc::families::THETA.to_string(),
+            occurrence_count: m.oc,
+            derivative_programs: m.derivative_programs,
+        };
+        out.push_str(&format!("{:<12} | {:>11}", m.name, m.derivative_programs));
+        for &d in deltas {
+            out.push_str(&format!(" | {:>14}", report.chernoff_budget(d)));
+        }
+        out.push('\n');
+    }
+    out.push_str("\nshots = ⌈m²/δ²⌉ trajectories (= input-state copies) per derivative\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,5 +294,18 @@ mod tests {
         let text = render_comparison(&rows);
         // header + separator + rows + blank line + legend
         assert_eq!(text.lines().count(), rows.len() + 4);
+    }
+
+    #[test]
+    fn shot_budgets_follow_chernoff_formula() {
+        let rows = table2_rows();
+        let text = render_shot_budgets(&rows, &[0.1]);
+        assert_eq!(text.lines().count(), rows.len() + 4);
+        // Spot-check one row: QNN_{M,i} has m = 24 → 24²/0.1² = 57600.
+        let qnn = text
+            .lines()
+            .find(|l| l.starts_with("QNN_{M,i}"))
+            .expect("QNN_{M,i} row present");
+        assert!(qnn.contains("57600"), "{qnn}");
     }
 }

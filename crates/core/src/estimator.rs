@@ -180,6 +180,8 @@ pub fn estimate_derivative_batched(
 pub struct PreparedDerivativeEstimator {
     engines: Vec<ShotEngine>,
     readout: ProjectiveObservable,
+    /// The extended observable `ZA ⊗ O` itself, for the exact baseline.
+    ext_obs: Observable,
 }
 
 impl PreparedDerivativeEstimator {
@@ -192,19 +194,39 @@ impl PreparedDerivativeEstimator {
     pub fn new(diff: &Differentiated, params: &Params, obs: &Observable) -> Self {
         let lowered = diff.lowered();
         let values = lowered.slot_values(params);
+        let ext_obs = obs.with_ancilla_z();
         PreparedDerivativeEstimator {
             engines: lowered
                 .programs()
                 .iter()
                 .map(|p| ShotEngine::new(p.resolve(&values).to_trajectory()))
                 .collect(),
-            readout: ProjectiveObservable::new(&obs.with_ancilla_z()),
+            readout: ProjectiveObservable::new(&ext_obs),
+            ext_obs,
         }
     }
 
     /// The number of compiled programs `m` of the underlying multiset.
     pub fn num_programs(&self) -> usize {
         self.engines.len()
+    }
+
+    /// The **exact** value of the estimated sum (Eq. 7.1) on one input —
+    /// the baseline every shot estimate converges to — computed on the
+    /// *same* trajectory IR the sampled sweeps run: each resolved
+    /// program's engine executes the branch-weighted exact sweep
+    /// ([`ShotEngine::expectation_sweep`]) and the per-program values sum
+    /// in multiset order. Agrees with
+    /// [`Differentiated::derivative_pure`]'s per-row enumeration to
+    /// numerical precision, and is bit-for-bit deterministic under any
+    /// thread count.
+    pub fn exact(&self, psi: &StateVector) -> f64 {
+        let ext_psi = StateVector::zero_state(1).tensor(psi);
+        qdp_par::par_map(&self.engines, |engine| {
+            engine.expectation_sweep(BatchedStates::repeat(&ext_psi, 1), &self.ext_obs)[0]
+        })
+        .into_iter()
+        .sum()
     }
 
     /// One batched derivative estimate — identical bits to
@@ -437,6 +459,32 @@ mod tests {
             1,
         );
         assert_eq!(est, 0.0);
+    }
+
+    #[test]
+    fn prepared_exact_baseline_matches_per_row_derivative() {
+        // The estimator's exact baseline runs on the unified trajectory IR
+        // (branch-weighted sweep); the per-row enumeration pins it.
+        for src in [
+            "q1 *= RX(t); q1 *= RY(t)",
+            "q1 *= RX(t); case M[q1] = 0 -> q1 *= RY(t), 1 -> q1 *= RZ(t) end",
+            "q1 *= RY(t); while[2] M[q1] = 1 do q1 *= RY(t) done",
+        ] {
+            let p = parse_program(src).unwrap();
+            let diff = differentiate(&p, "t").unwrap();
+            let params = Params::from_pairs([("t", 0.8)]);
+            let obs = Observable::pauli_z(1, 0);
+            let prepared = PreparedDerivativeEstimator::new(&diff, &params, &obs);
+            for k in 0..2usize {
+                let psi = StateVector::basis_state(1, k);
+                let exact = prepared.exact(&psi);
+                let oracle = diff.derivative_pure(&params, &obs, &psi);
+                assert!(
+                    (exact - oracle).abs() < 1e-12,
+                    "{src} on |{k}⟩: IR {exact} vs oracle {oracle}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -51,5 +51,5 @@ pub mod transform;
 pub use exec::{differentiate, Differentiated, GradientEngine};
 pub use lowered::{LoweredProgram, LoweredSet, ResolvedProgram};
 pub use logic::{check, derive, Derivation, Judgement, Rule};
-pub use resource::{analyze, occurrence_count, ResourceReport};
+pub use resource::{analyze, gradient_shot_budget, occurrence_count, ResourceReport};
 pub use transform::{fresh_ancilla, transform, TransformError};

@@ -24,19 +24,27 @@
 //! state. [`LoweredSet::expectation_batch`] therefore resolves each program
 //! once per batch into a [`ResolvedProgram`] — slots substituted, every
 //! gate matrix built exactly once — and then fans the `batch × programs`
-//! tile grid out through `qdp_par::par_map`. Tiles are reduced per row in
-//! multiset order, so results are bit-for-bit independent of the thread
-//! count; against the per-sample loop they agree to numerical precision
-//! (≪ 1e-12 — the straight-line fast path fuses commuting rotations,
-//! which reorders rounding).
+//! tile grid out through `qdp_par::par_map`. Straight-line programs fuse
+//! commuting rotations and stream the whole batch per operator; branching
+//! programs convert to the [`qdp_sim::TrajProgram`] IR (the same lowered
+//! form the shot engine samples) and run the **branch-weighted exact
+//! sweep** [`qdp_sim::ShotEngine::expectation_sweep`] — all rows measured
+//! at once, the block forked into outcome-homogeneous sub-batches carrying
+//! branch weights, leaf read-outs summed per row. Tiles are reduced per
+//! row in multiset order, so results are bit-for-bit independent of the
+//! thread count; against the per-row oracle
+//! ([`ResolvedProgram::expectation_pure`]) they agree to numerical
+//! precision (≪ 1e-12 — fusion and leaf-summation order move rounding,
+//! nothing else).
 
 use qdp_lang::ast::{Gate, Params, Stmt};
 use qdp_lang::Register;
 use qdp_linalg::Matrix;
-use qdp_sim::{BatchedStates, Measurement, Observable, StateVector};
+use qdp_sim::{BatchedStates, Measurement, Observable, ShotEngine, StateVector};
 
-/// Branches below this squared norm are pruned (matches `denot`).
-const PRUNE: f64 = 1e-24;
+/// Branches below this squared norm are pruned (matches `denot` and the
+/// branch-weighted batched executor).
+const PRUNE: f64 = qdp_sim::BRANCH_PRUNE;
 
 /// One lowered operation.
 #[derive(Clone, Debug)]
@@ -138,16 +146,17 @@ impl LoweredSet {
     /// `i` run on input row `r`.
     ///
     /// Parameter slots are resolved **once** — each gate matrix is built a
-    /// single time and shared by all rows and branches — and the
-    /// `batch × programs` work grid is split across `qdp_par` workers: one
-    /// tile per program at the outer level (straight-line programs stream
-    /// every gate over the whole batch block in one kernel call each),
-    /// with branching programs fanning their rows out as inner tiles.
-    /// Per-row sums run in multiset order over the order-preserving
-    /// `par_map` output, so the result is bit-for-bit deterministic under
-    /// any thread count; it agrees with the per-sample serial loop to
-    /// numerical precision (≪ 1e-12 — straight-line fusion reorders
-    /// rounding; branching programs match bitwise).
+    /// single time and shared by all rows and branches — and the work is
+    /// split across `qdp_par` workers one program at a time: straight-line
+    /// programs stream every fused operator over the whole batch block in
+    /// one kernel call each, and branching programs run the
+    /// branch-weighted exact sweep over the whole block (see
+    /// [`ResolvedProgram::expectation_batch`]). Per-row sums run in
+    /// multiset order over the order-preserving `par_map` output, so the
+    /// result is bit-for-bit deterministic under any thread count; it
+    /// agrees with the per-sample serial loop to numerical precision
+    /// (≪ 1e-12 — fusion and branch-weighted leaf summation reorder
+    /// rounding, nothing else).
     ///
     /// # Panics
     ///
@@ -239,55 +248,15 @@ fn set_lower(stmt: &Stmt, reg: &Register, names: &mut Vec<String>, out: &mut Vec
 }
 
 impl LoweredProgram {
-    /// Runs the program on a pure input, appending the surviving
-    /// unnormalised branches to `out` in the same depth-first order as
-    /// `denot::run_pure_branches`.
-    fn run_from(&self, start: usize, values: &[f64], mut psi: StateVector, out: &mut Vec<StateVector>) {
-        for (i, op) in self.ops.iter().enumerate().skip(start) {
-            match op {
-                Op::Abort => return,
-                Op::Gate {
-                    gate,
-                    slot,
-                    offset,
-                    targets,
-                } => {
-                    let theta = slot.map_or(0.0, |s| values[s]) + offset;
-                    psi.apply_gate(&gate.matrix_at(theta), targets);
-                }
-                Op::Init { k0, k1, target } => {
-                    let b1 = psi.with_gate(k1, &[*target]);
-                    psi.apply_gate(k0, &[*target]);
-                    if psi.norm_sqr() > PRUNE {
-                        self.run_from(i + 1, values, psi, out);
-                    }
-                    if b1.norm_sqr() > PRUNE {
-                        self.run_from(i + 1, values, b1, out);
-                    }
-                    return;
-                }
-                Op::Case { meas, arms } => {
-                    for b in meas.branches_pure(&psi) {
-                        if b.probability > PRUNE {
-                            let mut mids = Vec::new();
-                            arms[b.outcome].run_from(0, values, b.state, &mut mids);
-                            for mid in mids {
-                                self.run_from(i + 1, values, mid, out);
-                            }
-                        }
-                    }
-                    return;
-                }
-            }
-        }
-        out.push(psi);
-    }
-
     /// `Σ_branches ⟨ψb|O|ψb⟩` — the expectation of the program's output.
+    ///
+    /// Substitutes the valuation and delegates to the **single** per-row
+    /// branch enumerator, [`ResolvedProgram::expectation_pure`] (the
+    /// resolved matrices carry the identical bits `Gate::matrix_at`
+    /// produces, so this equals the pre-resolution executor bit for bit —
+    /// there is no second enumeration copy to drift from it).
     pub fn expectation_pure(&self, values: &[f64], psi: &StateVector, obs: &Observable) -> f64 {
-        let mut branches = Vec::new();
-        self.run_from(0, values, psi.clone(), &mut branches);
-        branches.iter().map(|b| obs.expectation_pure(b)).sum()
+        self.resolve(values).expectation_pure(psi, obs)
     }
 
     /// Substitutes the slot values into the op list: every gate matrix is
@@ -370,6 +339,12 @@ impl ResolvedProgram<'_> {
     /// Runs the program from op `start`, appending surviving unnormalised
     /// branches to `out` in the same depth-first order as
     /// `denot::run_pure_branches`.
+    ///
+    /// This is the **retained per-row branch-enumeration oracle**: the
+    /// production batched path runs the branch-weighted sweep on the
+    /// trajectory IR instead, and the randomized differential suite
+    /// (`crates/core/tests/branch_weighted_differential.rs`) pins the two
+    /// against each other at 1e-12.
     fn run_from(&self, start: usize, mut psi: StateVector, out: &mut Vec<StateVector>) {
         for (i, op) in self.ops.iter().enumerate().skip(start) {
             match op {
@@ -406,22 +381,29 @@ impl ResolvedProgram<'_> {
     }
 
     /// `Σ_branches ⟨ψb|O|ψb⟩` — the expectation of the program's output on
-    /// one input state.
+    /// one input state, by per-row branch enumeration (the retained
+    /// oracle; see [`run_from`](Self::run_from)).
     pub fn expectation_pure(&self, psi: &StateVector, obs: &Observable) -> f64 {
         let mut branches = Vec::new();
         self.run_from(0, psi.clone(), &mut branches);
         branches.iter().map(|b| obs.expectation_pure(b)).sum()
     }
 
-    /// Converts into an owned [`qdp_sim::TrajProgram`] for the batched
-    /// shot engine: the *sampled* execution form of the same program, with
-    /// every gate matrix and measurement carried over as-is.
+    /// Converts into an owned [`qdp_sim::TrajProgram`] — the **single
+    /// lowered branching IR** both execution modes run: sampled trajectory
+    /// sweeps ([`ShotEngine::run`]/[`ShotEngine::sample_sweep`]) and the
+    /// branch-weighted exact sweep
+    /// ([`ShotEngine::expectation_sweep`], the production path of
+    /// [`expectation_batch`](Self::expectation_batch) for branching
+    /// programs). Every gate matrix and measurement is carried over as-is.
     ///
-    /// The only representational change is `q := |0⟩`: the exact executor
+    /// The only representational change is `q := |0⟩`: the per-row oracle
     /// enumerates both Kraus branches, while the trajectory form measures
     /// the qubit and flips on outcome 1 (`TrajProgram::push_init`) —
     /// exactly what `qdp_ad::estimator::sample_trajectory` does, so engine
-    /// trajectories driven by the same streams match it bit for bit.
+    /// trajectories driven by the same streams match it bit for bit (and
+    /// the exact sweep's branches agree with the Kraus pair to numerical
+    /// precision).
     pub fn to_trajectory(&self) -> qdp_sim::TrajProgram {
         let mut out = qdp_sim::TrajProgram::new();
         for op in &self.ops {
@@ -456,22 +438,29 @@ impl ResolvedProgram<'_> {
     /// * **streaming** — each surviving operator goes through **one**
     ///   [`BatchedStates::apply_gate`] call that evolves all rows at once.
     ///
-    /// Fusion reorders commuting operations, so batched results agree with
-    /// the per-sample executor to numerical precision (≪ 1e-12) rather
-    /// than bit-for-bit; the batched path itself is fully deterministic —
-    /// identical bits for any thread count and any batch decomposition.
-    /// Programs with `Init`/`Case`/`Abort` branch points fall back to
-    /// unfused per-row evaluation, fanned out via `qdp_par`.
+    /// Programs with `Init`/`Case`/`Abort` branch points — the
+    /// measurement-controlled programs the code transformation produces —
+    /// convert to the trajectory IR ([`to_trajectory`](Self::to_trajectory))
+    /// and run the **branch-weighted exact sweep**
+    /// ([`ShotEngine::expectation_sweep`]): all rows measured at once, the
+    /// block forked into outcome-homogeneous weighted sub-batches that
+    /// keep streaming batched (fused) kernel calls, leaf read-outs summed
+    /// per row. Both paths share one IR with sampled execution; neither
+    /// decays to per-row evaluation.
+    ///
+    /// Fusion and leaf-summation order reorder rounding, so batched
+    /// results agree with the per-row oracle
+    /// ([`expectation_pure`](Self::expectation_pure)) to numerical
+    /// precision (≪ 1e-12) rather than bit-for-bit; the batched path
+    /// itself is fully deterministic — identical bits for any thread
+    /// count and any batch decomposition.
     pub fn expectation_batch(&self, states: &BatchedStates, obs: &Observable) -> Vec<f64> {
         let straight_line = self
             .ops
             .iter()
             .all(|op| matches!(op, ResolvedOp::Gate { .. }));
         if !straight_line {
-            let rows: Vec<usize> = (0..states.len()).collect();
-            return qdp_par::par_map(&rows, |&r| {
-                self.expectation_pure(&states.row_state(r), obs)
-            });
+            return ShotEngine::new(self.to_trajectory()).expectation_sweep(states.clone(), obs);
         }
         let n = states.num_qubits();
         let mut work = states.clone();
@@ -574,11 +563,12 @@ mod tests {
     }
 
     #[test]
-    fn expectation_batch_matches_per_row_evaluation_bitwise() {
-        // Bitwise agreement with the per-row executor holds on *branching*
-        // programs (the `while` forces the unfused per-row path);
-        // straight-line programs fuse commuting rotations and agree to
-        // 1e-12 instead (see `batch_equivalence.rs`).
+    fn branching_expectation_batch_matches_per_row_oracle() {
+        // Branching programs (the `while` forces branch points) run the
+        // branch-weighted sweep; the retained per-row oracle pins it at
+        // 1e-12 (leaf-summation order and the measure+flip form of `init`
+        // move rounding; the randomized suite in
+        // `branch_weighted_differential.rs` covers the full space).
         let p = parse_program(
             "q1 *= RY(a); while[2] M[q1] = 1 do q1 *= RY(b) done; q2 *= RX(a)",
         )
@@ -596,7 +586,36 @@ mod tests {
                 .iter()
                 .map(|prog| prog.expectation_pure(&values, psi, &obs))
                 .sum();
-            assert_eq!(batched[r].to_bits(), serial.to_bits(), "row {r}");
+            assert!(
+                (batched[r] - serial).abs() < 1e-12,
+                "row {r}: batched {} vs per-row {serial}",
+                batched[r]
+            );
+        }
+    }
+
+    #[test]
+    fn branching_expectation_batch_is_invariant_under_batch_composition() {
+        // Per-row results of the branch-weighted sweep carry identical
+        // bits whether a row runs alone or inside any batch.
+        let p = parse_program(
+            "q1 *= RX(a); case M[q1] = 0 -> q2 *= RY(b), 1 -> q2 := |0> end; q1, q2 *= RZZ(a)",
+        )
+        .unwrap();
+        let reg = Register::from_program(&p);
+        let set = LoweredSet::lower(std::slice::from_ref(&p), &reg);
+        let values = set.slot_values(&Params::from_pairs([("a", 0.9), ("b", -0.4)]));
+        let obs = Observable::pauli_z(reg.len(), 1);
+        let rows: Vec<StateVector> = (0..4).map(|k| StateVector::basis_state(reg.len(), k)).collect();
+        let batch = qdp_sim::BatchedStates::from_states(&rows);
+        let together = set.expectation_batch(&values, &batch, &obs);
+        for (r, psi) in rows.iter().enumerate() {
+            let alone = set.expectation_batch(
+                &values,
+                &qdp_sim::BatchedStates::from_states(std::slice::from_ref(psi)),
+                &obs,
+            )[0];
+            assert_eq!(together[r].to_bits(), alone.to_bits(), "row {r}");
         }
     }
 

@@ -75,6 +75,45 @@ impl ResourceReport {
     pub fn satisfies_bound(&self) -> bool {
         self.derivative_programs <= self.occurrence_count
     }
+
+    /// The Chernoff trajectory budget of this parameter's derivative at
+    /// additive precision `delta` — `⌈m²/δ²⌉` sampled trajectories
+    /// ([`qdp_sim::chernoff_shots`], Section 7), each consuming a fresh
+    /// copy of the input state. Zero when the derivative multiset is empty
+    /// (the derivative is exactly 0; nothing to sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `delta` is not positive.
+    pub fn chernoff_budget(&self, delta: f64) -> usize {
+        assert!(delta > 0.0, "precision must be positive");
+        if self.derivative_programs == 0 {
+            0
+        } else {
+            qdp_sim::chernoff_shots(self.derivative_programs, delta)
+        }
+    }
+}
+
+/// Total sampled trajectories one **full gradient** of `stmt` costs at
+/// additive precision `delta` per parameter: `Σj ⌈mj²/δ²⌉` over the
+/// per-parameter derivative multisets — the execution-cost companion to
+/// the copy-count tables (what the Tables 2/3 binaries report alongside
+/// `OC`/`|#∂|`).
+///
+/// # Errors
+///
+/// Returns [`TransformError`] for programs outside the differentiable
+/// fragment.
+///
+/// # Panics
+///
+/// Panics when `delta` is not positive.
+pub fn gradient_shot_budget(stmt: &Stmt, delta: f64) -> Result<usize, TransformError> {
+    Ok(analyze(stmt)?
+        .iter()
+        .map(|report| report.chernoff_budget(delta))
+        .sum())
 }
 
 /// Computes [`ResourceReport`]s for every parameter of a program.
@@ -183,6 +222,42 @@ mod tests {
         assert_eq!(a.derivative_programs, 2);
         assert_eq!(b.occurrence_count, 1);
         assert_eq!(b.derivative_programs, 1);
+    }
+
+    #[test]
+    fn chernoff_budget_follows_program_counts() {
+        let p = parse_program("q1 *= RX(a); q1 *= RY(b); q1 *= RZ(a)").unwrap();
+        let reports = analyze(&p).unwrap();
+        let a = reports.iter().find(|r| r.param == "a").unwrap();
+        let b = reports.iter().find(|r| r.param == "b").unwrap();
+        // m = 2 at δ = 0.1 → 400 shots; m = 1 → 100 (⌈m²/δ²⌉).
+        assert_eq!(a.chernoff_budget(0.1), 400);
+        assert_eq!(b.chernoff_budget(0.1), 100);
+        assert_eq!(gradient_shot_budget(&p, 0.1).unwrap(), 500);
+    }
+
+    #[test]
+    fn empty_multisets_cost_no_trajectories() {
+        // No parameters → no derivative programs → zero budget.
+        let p = parse_program("q1 *= H").unwrap();
+        assert_eq!(gradient_shot_budget(&p, 0.1).unwrap(), 0);
+        let report = ResourceReport {
+            param: "t".into(),
+            occurrence_count: 0,
+            derivative_programs: 0,
+        };
+        assert_eq!(report.chernoff_budget(0.5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn chernoff_budget_rejects_nonpositive_delta_even_when_empty() {
+        let report = ResourceReport {
+            param: "t".into(),
+            occurrence_count: 0,
+            derivative_programs: 0,
+        };
+        let _ = report.chernoff_budget(0.0);
     }
 
     #[test]

@@ -66,6 +66,23 @@ pub fn qubit_bit(n: usize, q: usize) -> usize {
     n - 1 - q
 }
 
+/// The local (operator-space) index of `full_index` under the target
+/// `masks`, with `masks[0]` the **most significant** local bit — the one
+/// shared definition of the target-order convention every bucketing pass
+/// (measurement probabilities, selected-branch collapse, diagonal
+/// read-outs) folds full indices through.
+#[inline]
+pub(crate) fn local_index(full_index: usize, masks: &[usize]) -> usize {
+    let k = masks.len();
+    let mut local = 0usize;
+    for (j, &mask) in masks.iter().enumerate() {
+        if full_index & mask != 0 {
+            local |= 1 << (k - 1 - j);
+        }
+    }
+    local
+}
+
 /// Expands `i` by inserting a zero bit at each position in `sorted_bits`
 /// (ascending): the `i`-th base index whose `sorted_bits` are all clear.
 /// This is how the kernels enumerate exactly the `2^(n−k)` orbit bases

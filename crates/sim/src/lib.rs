@@ -17,8 +17,10 @@
 //!   (Section 2.3),
 //! * [`Observable`] — Hermitian read-outs `O` with `tr(Oρ)` expectations and
 //!   shot-based sampling (Section 5),
-//! * [`ShotEngine`] — batched shot-noise execution: sampled trajectories of
-//!   whole shot blocks with branch-grouped batching (Section 7).
+//! * [`ShotEngine`] — batched execution of the [`TrajProgram`] branching
+//!   IR in both modes: sampled trajectories of whole shot blocks with
+//!   branch-grouped batching (Section 7), and exact **branch-weighted**
+//!   sweeps that fork a block into every measurement outcome at once.
 //!
 //! Qubit `k` of an `n`-qubit system corresponds to bit `n-1-k` of a basis
 //! index, i.e. qubit 0 is the most significant bit. This matches the
@@ -40,6 +42,8 @@
 
 pub mod batch;
 pub mod channel;
+#[cfg(test)]
+pub(crate) mod test_support;
 pub mod density;
 pub mod kernels;
 pub mod measurement;
@@ -54,5 +58,5 @@ pub use density::DensityMatrix;
 pub use measurement::{Measurement, MeasurementBranch};
 pub use observable::{Observable, ObservableError};
 pub use sampling::{chernoff_shots, collapse_with_draw, derive_seed, ProjectiveObservable, ShotSampler};
-pub use shots::{ShotEngine, TrajProgram, TrajectoryRow, SHOT_TILE};
+pub use shots::{ShotEngine, TrajProgram, TrajectoryRow, BRANCH_PRUNE, SHOT_TILE};
 pub use state::StateVector;

@@ -6,8 +6,9 @@
 //! so probabilities ride along inside the partial density operators.
 
 use crate::density::DensityMatrix;
+use crate::kernels::qubit_bit;
 use crate::state::StateVector;
-use qdp_linalg::Matrix;
+use qdp_linalg::{C64, Matrix};
 
 /// A quantum measurement: operators `{Mm}` on a subset of qubits with
 /// `Σm Mm†Mm = I`.
@@ -27,6 +28,17 @@ use qdp_linalg::Matrix;
 pub struct Measurement {
     operators: Vec<Matrix>,
     targets: Vec<usize>,
+    /// Whether `operators` are exactly the computational-basis projectors
+    /// `{|m⟩⟨m|}` in outcome order — the shape every `case`/`init`
+    /// measurement in the language has, and the gate for the
+    /// *selected-branch* fast paths ([`branch_probabilities_pure`],
+    /// [`collapse_pure`]): probabilities from one bucketed `|amp|²` pass
+    /// and a single materialised branch, instead of applying every
+    /// operator.
+    ///
+    /// [`branch_probabilities_pure`]: Measurement::branch_probabilities_pure
+    /// [`collapse_pure`]: Measurement::collapse_pure
+    computational: bool,
 }
 
 /// One unnormalised branch of a pure-state measurement.
@@ -62,7 +74,16 @@ impl Measurement {
             sum.approx_eq(&Matrix::identity(dim), 1e-8),
             "measurement operators must satisfy completeness Σ M†M = I"
         );
-        Measurement { operators, targets }
+        let computational = operators.len() == dim
+            && operators
+                .iter()
+                .enumerate()
+                .all(|(m, op)| *op == Matrix::basis_projector(dim, m));
+        Measurement {
+            operators,
+            targets,
+            computational,
+        }
     }
 
     /// The computational-basis measurement on `targets`: outcome `m` is the
@@ -71,7 +92,11 @@ impl Measurement {
     pub fn computational(targets: Vec<usize>) -> Self {
         let dim = 1usize << targets.len();
         let operators = (0..dim).map(|k| Matrix::basis_projector(dim, k)).collect();
-        Measurement { operators, targets }
+        Measurement {
+            operators,
+            targets,
+            computational: true,
+        }
     }
 
     /// A two-outcome measurement `{M0, M1}` as used by `while` guards.
@@ -123,6 +148,11 @@ impl Measurement {
     }
 
     /// All branches of a pure state, with probabilities.
+    ///
+    /// This materialises **every** branch state; it is the reference oracle
+    /// the selected-branch fast paths
+    /// ([`branch_probabilities_pure`](Self::branch_probabilities_pure) +
+    /// [`collapse_pure`](Self::collapse_pure)) are pinned against bitwise.
     pub fn branches_pure(&self, psi: &StateVector) -> Vec<MeasurementBranch> {
         self.operators
             .iter()
@@ -136,6 +166,143 @@ impl Measurement {
                 }
             })
             .collect()
+    }
+
+    /// Whether the fast single-pass paths apply: computational-basis
+    /// operators on at most two targets (the only shapes the basis
+    /// projectors route through the diagonal kernel, whose arithmetic the
+    /// fast paths replicate bit for bit).
+    fn fast_computational(&self) -> bool {
+        self.computational && self.targets.len() <= 2
+    }
+
+    /// The local outcome masks of a fast-path (≤ 2 target) computational
+    /// measurement against an `n`-qubit register, allocation-free: bit `j`
+    /// of the full index contributes bit `k−1−j` of the outcome (first
+    /// target most significant, matching
+    /// [`Measurement::computational`]'s operator order). Returns the mask
+    /// array and the target count `k`.
+    fn outcome_masks(&self, n: usize) -> ([usize; 2], usize) {
+        let k = self.targets.len();
+        debug_assert!(k <= 2, "fast masks are only built on the fast path");
+        let mut masks = [0usize; 2];
+        for (j, &t) in self.targets.iter().enumerate() {
+            masks[j] = 1usize << qubit_bit(n, t);
+        }
+        (masks, k)
+    }
+
+    /// The branch probabilities `pm = ‖Mm|ψ⟩‖²` of every outcome, without
+    /// keeping the branch states.
+    ///
+    /// For computational measurements on ≤ 2 targets this is a **single
+    /// bucketed `|amp|²` pass** over the state: each amplitude contributes
+    /// to exactly one outcome bucket, in index order — the identical values
+    /// in the identical addition order as `‖Mm|ψ⟩‖²` of the materialised
+    /// branch (non-members contribute exact `+0.0` there), so the results
+    /// equal [`branches_pure`](Self::branches_pure)'s probabilities **bit
+    /// for bit**. Other measurements fall back to applying each operator.
+    pub fn branch_probabilities_pure(&self, psi: &StateVector) -> Vec<f64> {
+        self.branch_probabilities_amps(psi.num_qubits(), psi.amplitudes())
+    }
+
+    /// [`branch_probabilities_pure`](Self::branch_probabilities_pure) on a
+    /// raw amplitude slice — what batched executors call on the rows of a
+    /// `BatchedStates` block without copying them out first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `amps.len() != 2^n_qubits`.
+    pub fn branch_probabilities_amps(&self, n_qubits: usize, amps: &[C64]) -> Vec<f64> {
+        let mut probs = Vec::new();
+        self.branch_probabilities_into(n_qubits, amps, &mut probs);
+        probs
+    }
+
+    /// [`branch_probabilities_amps`](Self::branch_probabilities_amps)
+    /// writing into a reusable buffer (cleared and refilled) — the
+    /// allocation-free form the batched executors call once per row per
+    /// measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `amps.len() != 2^n_qubits`.
+    pub fn branch_probabilities_into(&self, n_qubits: usize, amps: &[C64], probs: &mut Vec<f64>) {
+        assert_eq!(amps.len(), 1usize << n_qubits, "amplitude slice length mismatch");
+        probs.clear();
+        probs.resize(self.num_outcomes(), 0.0);
+        if !self.fast_computational() {
+            let psi = StateVector::from_amplitudes(n_qubits, amps.to_vec());
+            for (m, op) in self.operators.iter().enumerate() {
+                probs[m] = psi.with_gate(op, &self.targets).norm_sqr();
+            }
+            return;
+        }
+        let (masks, k) = self.outcome_masks(n_qubits);
+        for (i, a) in amps.iter().enumerate() {
+            probs[crate::kernels::local_index(i, &masks[..k])] += a.norm_sqr();
+        }
+    }
+
+    /// One unnormalised branch `Mm|ψ⟩` of a pure state — the
+    /// selected-branch half of the fast collapse: callers that already know
+    /// the outcome (from [`branch_probabilities_pure`](Self::branch_probabilities_pure)
+    /// and a draw, or from exact branch enumeration) materialise only this
+    /// branch instead of all of them.
+    ///
+    /// For computational measurements on ≤ 2 targets the projector is
+    /// applied as a masked copy replicating the diagonal kernel's
+    /// arithmetic exactly (members untouched, non-members multiplied
+    /// component-wise by `0.0`, preserving IEEE signed zeros) — the result
+    /// equals `psi.with_gate(&operators[outcome], targets)` **bit for
+    /// bit**; other measurements go through that very call.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `outcome` is out of range.
+    pub fn collapse_pure(&self, psi: &StateVector, outcome: usize) -> StateVector {
+        let n = psi.num_qubits();
+        let mut amps = Vec::with_capacity(psi.dim());
+        self.collapse_amps_into(n, psi.amplitudes(), outcome, &mut amps);
+        StateVector::from_amplitudes(n, amps)
+    }
+
+    /// [`collapse_pure`](Self::collapse_pure) writing the collapsed
+    /// amplitudes straight onto the end of `out` — how the branch-weighted
+    /// batched executor fills an outcome sub-batch block without a
+    /// per-row `StateVector` round trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `outcome` is out of range or `amps.len() != 2^n_qubits`.
+    pub fn collapse_amps_into(
+        &self,
+        n_qubits: usize,
+        amps: &[C64],
+        outcome: usize,
+        out: &mut Vec<C64>,
+    ) {
+        assert!(outcome < self.num_outcomes(), "outcome {outcome} out of range");
+        assert_eq!(amps.len(), 1usize << n_qubits, "amplitude slice length mismatch");
+        if !self.fast_computational() {
+            let psi = StateVector::from_amplitudes(n_qubits, amps.to_vec());
+            out.extend_from_slice(
+                psi.with_gate(&self.operators[outcome], &self.targets).amplitudes(),
+            );
+            return;
+        }
+        let (masks, k) = self.outcome_masks(n_qubits);
+        out.reserve(amps.len());
+        for (i, a) in amps.iter().enumerate() {
+            out.push(if crate::kernels::local_index(i, &masks[..k]) == outcome {
+                *a
+            } else {
+                // The diagonal kernel multiplies non-members by the real
+                // scalar 0.0 component-wise; pushing `C64::ZERO` would
+                // lose the signed zeros it produces.
+                C64::new(a.re * 0.0, a.im * 0.0)
+            });
+        }
     }
 }
 
@@ -209,6 +376,78 @@ mod tests {
     #[should_panic(expected = "completeness")]
     fn incomplete_operators_panic() {
         let _ = Measurement::new(vec![Matrix::basis_projector(2, 0)], vec![0]);
+    }
+
+    use crate::test_support::awkward_state;
+
+    #[test]
+    fn fast_probabilities_match_branches_pure_bitwise() {
+        for (targets, seed) in [(vec![0usize], 3u64), (vec![2], 4), (vec![1, 3], 5), (vec![3, 0], 6)] {
+            let m = Measurement::computational(targets.clone());
+            let psi = awkward_state(4, seed);
+            let fast = m.branch_probabilities_pure(&psi);
+            let oracle = m.branches_pure(&psi);
+            assert_eq!(fast.len(), oracle.len());
+            for (p, b) in fast.iter().zip(&oracle) {
+                assert_eq!(p.to_bits(), b.probability.to_bits(), "targets {targets:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_collapse_matches_with_gate_bitwise() {
+        for (targets, seed) in [(vec![0usize], 11u64), (vec![2], 12), (vec![0, 2], 13), (vec![3, 1], 14)] {
+            let m = Measurement::computational(targets.clone());
+            let psi = awkward_state(4, seed);
+            for outcome in 0..m.num_outcomes() {
+                let fast = m.collapse_pure(&psi, outcome);
+                let oracle = psi.with_gate(&m.operators()[outcome], m.targets());
+                // Bit equality including zero signs: the masked copy must
+                // replicate the diagonal kernel exactly.
+                let fast_bits: Vec<(u64, u64)> = fast
+                    .amplitudes()
+                    .iter()
+                    .map(|a| (a.re.to_bits(), a.im.to_bits()))
+                    .collect();
+                let oracle_bits: Vec<(u64, u64)> = oracle
+                    .amplitudes()
+                    .iter()
+                    .map(|a| (a.re.to_bits(), a.im.to_bits()))
+                    .collect();
+                assert_eq!(fast_bits, oracle_bits, "targets {targets:?} outcome {outcome}");
+            }
+        }
+    }
+
+    #[test]
+    fn general_measurements_use_operator_application() {
+        // A non-computational two-outcome measurement (X-basis): the fast
+        // flag must be off and both paths still agree with branches_pure.
+        let h = Matrix::hadamard();
+        let p_plus = h.mul(&Matrix::basis_projector(2, 0)).mul(&h);
+        let p_minus = h.mul(&Matrix::basis_projector(2, 1)).mul(&h);
+        let m = Measurement::two_outcome(p_plus, p_minus, vec![0]);
+        assert!(!m.computational);
+        let psi = awkward_state(2, 21);
+        let probs = m.branch_probabilities_pure(&psi);
+        for (p, b) in probs.iter().zip(&m.branches_pure(&psi)) {
+            assert_eq!(p.to_bits(), b.probability.to_bits());
+        }
+        for outcome in 0..2 {
+            assert_eq!(
+                m.collapse_pure(&psi, outcome).amplitudes(),
+                m.branches_pure(&psi)[outcome].state.amplitudes()
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_basis_projectors_are_detected_as_computational() {
+        let m = Measurement::new(
+            vec![Matrix::basis_projector(2, 0), Matrix::basis_projector(2, 1)],
+            vec![1],
+        );
+        assert!(m.computational);
     }
 
     #[test]

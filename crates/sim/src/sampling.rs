@@ -65,6 +65,20 @@ pub fn derive_seed(seed: u64, stream: u64) -> u64 {
 /// so batched executors that manage their own per-row streams perform the
 /// *identical* floating-point selection and collapse arithmetic.
 ///
+/// # Selected-branch collapse
+///
+/// Branch **probabilities are computed first**
+/// ([`Measurement::branch_probabilities_pure`] — for computational
+/// measurements one bucketed `|amp|²` pass, no operator applications) and
+/// only the drawn outcome is materialised
+/// ([`Measurement::collapse_pure`]), instead of building every branch via
+/// `branches_pure` and discarding all but one. The probabilities and the
+/// selected state carry the identical bits the `branches_pure` path
+/// produces (signed zeros of the projector kernel included), so the
+/// selection walk, the rescaling, and therefore every drawn trajectory in
+/// the workspace are unchanged bit for bit — `branches_pure` stays as the
+/// reference oracle the equivalence tests pin this against.
+///
 /// # Panics
 ///
 /// Panics if the state has (numerically) zero norm.
@@ -75,35 +89,47 @@ pub fn collapse_with_draw(
 ) -> (usize, StateVector) {
     let total = psi.norm_sqr();
     assert!(total > 1e-300, "cannot measure a zero-norm state");
-    let branches = measurement.branches_pure(psi);
+    let probs = measurement.branch_probabilities_pure(psi);
     let mut r: f64 = u * total;
-    for b in &branches {
-        r -= b.probability;
+    for (outcome, &p) in probs.iter().enumerate() {
+        r -= p;
         if r <= 0.0 {
-            let mut state = b.state.clone();
-            if b.probability > 0.0 {
-                state.scale(C64::real((total / b.probability).sqrt().min(1e150)));
+            let mut state = measurement.collapse_pure(psi, outcome);
+            if p > 0.0 {
+                state.scale(C64::real((total / p).sqrt().min(1e150)));
                 // Renormalise to the parent state's norm.
                 let norm = state.norm_sqr().sqrt();
                 if norm > 0.0 {
                     state.scale(C64::real(total.sqrt() / norm));
                 }
             }
-            return (b.outcome, state);
+            return (outcome, state);
         }
     }
     // Floating-point slack: fall back to the last branch with support.
-    let last = branches
-        .into_iter()
+    let outcome = (0..probs.len())
         .rev()
-        .find(|b| b.probability > 0.0)
+        .find(|&m| probs[m] > 0.0)
         .expect("no branch has support");
-    let mut state = last.state.clone();
+    let mut state = measurement.collapse_pure(psi, outcome);
     let norm = state.norm_sqr().sqrt();
     if norm > 0.0 {
         state.scale(C64::real(total.sqrt() / norm));
     }
-    (last.outcome, state)
+    (outcome, state)
+}
+
+/// The precomputed layout of a **diagonal** observable's read-out: which
+/// spectral pair each computational-basis state belongs to, plus the
+/// full-index target masks — everything one bucketed `|amp|²` pass needs.
+#[derive(Clone, Debug)]
+struct DiagonalReadout {
+    /// Full-index bit of each target, in target order (first target most
+    /// significant in the local index).
+    masks: Vec<usize>,
+    /// `pair_of_local[b]` = index into `pairs` of the projector containing
+    /// local basis state `b`.
+    pair_of_local: Vec<usize>,
 }
 
 /// An observable's spectral measurement `{(λm, Pm)}` hoisted for repeated
@@ -112,16 +138,44 @@ pub fn collapse_with_draw(
 /// against arbitrarily many states (or batch rows) with zero per-shot
 /// allocation.
 ///
+/// **Diagonal fast path.** When the observable is diagonal in the
+/// computational basis (`Z`-basis read-outs — `Z`, `|1⟩⟨1|`, every
+/// `ZA ⊗ O` extension of a diagonal `O`: the common case of the paper's
+/// pipeline), its projectors partition the basis states, so *all* pair
+/// probabilities of a state come from **one bucketed `|amp|²` pass**
+/// instead of one expectation pass per projector. Detection happens once at
+/// construction; every sampling path (serial [`ShotSampler`] and the
+/// batched `ShotEngine` read-out) routes through the same
+/// [`row_probabilities`](Self::row_probabilities), so serial and batched
+/// draws can never drift apart. [`ProjectiveObservable::general`] builds
+/// the same decomposition with the fast path disabled — the reference the
+/// equivalence tests compare against.
+///
 /// [`ShotSampler::sample_observable`] builds one per call; batched sweeps
 /// build one per estimator invocation and share it across all shots.
 #[derive(Clone, Debug)]
 pub struct ProjectiveObservable {
     pairs: Vec<(f64, Observable)>,
+    /// `Some` when the observable is diagonal and every projector cleanly
+    /// partitions the basis states (see [`DiagonalReadout`]).
+    diagonal: Option<DiagonalReadout>,
 }
 
 impl ProjectiveObservable {
-    /// Decomposes `obs` into its `(eigenvalue, projector)` read-out pairs.
+    /// Decomposes `obs` into its `(eigenvalue, projector)` read-out pairs,
+    /// detecting the diagonal fast path.
     pub fn new(obs: &Observable) -> Self {
+        let mut out = ProjectiveObservable::general(obs);
+        out.diagonal = out.detect_diagonal(obs);
+        out
+    }
+
+    /// The same spectral decomposition with the diagonal fast path
+    /// **disabled**: every probability goes through the per-projector
+    /// expectation pass. This is the reference implementation the diagonal
+    /// path is differentially tested against; production callers should use
+    /// [`new`](Self::new).
+    pub fn general(obs: &Observable) -> Self {
         ProjectiveObservable {
             pairs: obs
                 .to_projective()
@@ -133,7 +187,65 @@ impl ProjectiveObservable {
                     )
                 })
                 .collect(),
+            diagonal: None,
         }
+    }
+
+    /// Builds the [`DiagonalReadout`] when `obs` is diagonal in the
+    /// computational basis and the spectral projectors partition the local
+    /// basis states into clean 0/1 diagonal blocks; `None` otherwise.
+    fn detect_diagonal(&self, obs: &Observable) -> Option<DiagonalReadout> {
+        let m = obs.matrix();
+        let dim = m.rows();
+        for a in 0..dim {
+            for b in 0..dim {
+                if a != b && m.get(a, b) != C64::ZERO {
+                    return None;
+                }
+            }
+        }
+        // Map each local basis state to the (single) projector containing
+        // it. The projectors of a diagonal matrix are themselves diagonal
+        // 0/1 matrices up to eigensolver round-off; anything murkier than a
+        // clear 0-or-1 diagonal entry falls back to the general path.
+        let mut pair_of_local = vec![usize::MAX; dim];
+        for (k, (_, projector)) in self.pairs.iter().enumerate() {
+            let p = projector.matrix();
+            for (a, slot) in pair_of_local.iter_mut().enumerate() {
+                for b in 0..dim {
+                    let entry = p.get(a, b);
+                    if a != b {
+                        if entry.norm_sqr() > 1e-18 {
+                            return None;
+                        }
+                        continue;
+                    }
+                    if entry.im.abs() > 1e-9 {
+                        return None;
+                    }
+                    if entry.re > 0.5 {
+                        if (entry.re - 1.0).abs() > 1e-9 || *slot != usize::MAX {
+                            return None;
+                        }
+                        *slot = k;
+                    } else if entry.re.abs() > 1e-9 {
+                        return None;
+                    }
+                }
+            }
+        }
+        if pair_of_local.contains(&usize::MAX) {
+            return None;
+        }
+        let n = obs.num_qubits();
+        Some(DiagonalReadout {
+            masks: obs
+                .targets()
+                .iter()
+                .map(|&t| 1usize << crate::kernels::qubit_bit(n, t))
+                .collect(),
+            pair_of_local,
+        })
     }
 
     /// The `(eigenvalue, projector-observable)` pairs in eigenvalue order.
@@ -141,12 +253,52 @@ impl ProjectiveObservable {
         &self.pairs
     }
 
+    /// Whether the diagonal fast path is engaged.
+    pub fn is_diagonal(&self) -> bool {
+        self.diagonal.is_some()
+    }
+
+    /// All pair probabilities (unnormalised — relative to the slice's
+    /// squared norm) of one amplitude slice from a **single bucketed
+    /// `|amp|²` pass**, or `None` when the observable is not diagonal.
+    ///
+    /// Every sampling path uses this same function when it returns `Some`,
+    /// so serial and batched read-outs select from identical probabilities.
+    pub fn row_probabilities(&self, amps: &[C64]) -> Option<Vec<f64>> {
+        let mut probs = Vec::new();
+        self.row_probabilities_into(amps, &mut probs).then_some(probs)
+    }
+
+    /// [`row_probabilities`](Self::row_probabilities) writing into a
+    /// reusable buffer (cleared and refilled) — the allocation-free form
+    /// batched read-out loops call once per row. Returns `false` (buffer
+    /// untouched) when the observable is not diagonal.
+    pub fn row_probabilities_into(&self, amps: &[C64], probs: &mut Vec<f64>) -> bool {
+        let Some(d) = self.diagonal.as_ref() else {
+            return false;
+        };
+        probs.clear();
+        probs.resize(self.pairs.len(), 0.0);
+        for (i, a) in amps.iter().enumerate() {
+            let local = crate::kernels::local_index(i, &d.masks);
+            probs[d.pair_of_local[local]] += a.norm_sqr();
+        }
+        true
+    }
+
     /// One projective sample for a pre-drawn uniform `u ∈ [0, 1)` against a
     /// raw amplitude slice whose squared norm is `total` (pass
     /// `psi.norm_sqr()`; callers must handle `total ≈ 0` themselves —
     /// see [`ShotSampler::sample_observable`]).
+    ///
+    /// Diagonal observables draw from one bucketed `|amp|²` pass; the rest
+    /// evaluate one projector expectation per selection step (lazily, so
+    /// early exits skip the remaining projectors).
     pub fn sample_with_draw(&self, u: f64, total: f64, amps: &[C64]) -> f64 {
-        self.select_with(u, total, |k| self.pairs[k].1.expectation_amps(amps))
+        match self.row_probabilities(amps) {
+            Some(probs) => self.select_with(u, total, |k| probs[k]),
+            None => self.select_with(u, total, |k| self.pairs[k].1.expectation_amps(amps)),
+        }
     }
 
     /// The cumulative Born-rule selection shared by every sampling path:
@@ -390,6 +542,140 @@ mod tests {
         assert_ne!(draws(9, 0), draws(10, 0));
         // Adjacent streams of adjacent seeds must not collide either.
         assert_ne!(derive_seed(9, 1), derive_seed(10, 0));
+    }
+
+    /// The pre-selected-branch-collapse algorithm, kept verbatim as the
+    /// `branches_pure`-based oracle the production path is pinned against.
+    fn collapse_with_draw_oracle(
+        u: f64,
+        psi: &StateVector,
+        measurement: &Measurement,
+    ) -> (usize, StateVector) {
+        let total = psi.norm_sqr();
+        assert!(total > 1e-300, "cannot measure a zero-norm state");
+        let branches = measurement.branches_pure(psi);
+        let mut r: f64 = u * total;
+        for b in &branches {
+            r -= b.probability;
+            if r <= 0.0 {
+                let mut state = b.state.clone();
+                if b.probability > 0.0 {
+                    state.scale(C64::real((total / b.probability).sqrt().min(1e150)));
+                    let norm = state.norm_sqr().sqrt();
+                    if norm > 0.0 {
+                        state.scale(C64::real(total.sqrt() / norm));
+                    }
+                }
+                return (b.outcome, state);
+            }
+        }
+        let last = branches
+            .into_iter()
+            .rev()
+            .find(|b| b.probability > 0.0)
+            .expect("no branch has support");
+        let mut state = last.state.clone();
+        let norm = state.norm_sqr().sqrt();
+        if norm > 0.0 {
+            state.scale(C64::real(total.sqrt() / norm));
+        }
+        (last.outcome, state)
+    }
+
+    use crate::test_support::awkward_state;
+
+    #[test]
+    fn selected_branch_collapse_matches_branches_pure_oracle_bitwise() {
+        // Computational measurements (the fast path) and a rotated general
+        // measurement, over states with zero/negative components and the
+        // whole [0, 1) draw range — outcomes and collapsed amplitudes must
+        // carry identical bits to the all-branches oracle.
+        let h = Matrix::hadamard();
+        let x_basis = Measurement::two_outcome(
+            h.mul(&Matrix::basis_projector(2, 0)).mul(&h),
+            h.mul(&Matrix::basis_projector(2, 1)).mul(&h),
+            vec![1],
+        );
+        let measurements = [
+            Measurement::computational(vec![0]),
+            Measurement::computational(vec![2]),
+            Measurement::computational(vec![1, 3]),
+            x_basis,
+        ];
+        for (mi, m) in measurements.iter().enumerate() {
+            for seed in 0..6u64 {
+                let psi = awkward_state(4, 1000 * (mi as u64 + 1) + seed);
+                for step in 0..16 {
+                    let u = step as f64 / 16.0;
+                    let (o_fast, s_fast) = collapse_with_draw(u, &psi, m);
+                    let (o_ref, s_ref) = collapse_with_draw_oracle(u, &psi, m);
+                    assert_eq!(o_fast, o_ref, "measurement {mi} seed {seed} u {u}");
+                    let fast_bits: Vec<(u64, u64)> = s_fast
+                        .amplitudes()
+                        .iter()
+                        .map(|a| (a.re.to_bits(), a.im.to_bits()))
+                        .collect();
+                    let ref_bits: Vec<(u64, u64)> = s_ref
+                        .amplitudes()
+                        .iter()
+                        .map(|a| (a.re.to_bits(), a.im.to_bits()))
+                        .collect();
+                    assert_eq!(fast_bits, ref_bits, "measurement {mi} seed {seed} u {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_readout_is_detected_for_z_basis_observables() {
+        assert!(ProjectiveObservable::new(&Observable::pauli_z(2, 1)).is_diagonal());
+        assert!(ProjectiveObservable::new(&Observable::projector_one(3, 0)).is_diagonal());
+        // The paper's extended read-out Z ⊗ |1⟩⟨1| is diagonal too.
+        assert!(
+            ProjectiveObservable::new(&Observable::projector_one(2, 1).with_ancilla_z())
+                .is_diagonal()
+        );
+        // X is not.
+        let x = Observable::new(1, vec![0], Matrix::pauli_x());
+        assert!(!ProjectiveObservable::new(&x).is_diagonal());
+        // `general` always disables the fast path.
+        assert!(!ProjectiveObservable::general(&Observable::pauli_z(1, 0)).is_diagonal());
+    }
+
+    #[test]
+    fn diagonal_readout_samples_match_general_path() {
+        // Same decomposition, fast vs general probability evaluation: the
+        // selected eigenvalue must agree on every draw and the bucketed
+        // probabilities must match the per-projector passes to 1e-12.
+        let observables = [
+            Observable::pauli_z(3, 1),
+            Observable::projector_one(3, 2),
+            Observable::projector_one(2, 1).with_ancilla_z(),
+        ];
+        for (oi, obs) in observables.iter().enumerate() {
+            let fast = ProjectiveObservable::new(obs);
+            let general = ProjectiveObservable::general(obs);
+            assert!(fast.is_diagonal(), "observable {oi}");
+            for seed in 0..8u64 {
+                let psi = awkward_state(obs.num_qubits(), 77 + seed);
+                let total = psi.norm_sqr();
+                let probs = fast.row_probabilities(psi.amplitudes()).unwrap();
+                for (k, (_, projector)) in general.pairs().iter().enumerate() {
+                    let reference = projector.expectation_amps(psi.amplitudes());
+                    assert!(
+                        (probs[k] - reference).abs() < 1e-12,
+                        "observable {oi} pair {k}: {} vs {reference}",
+                        probs[k]
+                    );
+                }
+                for step in 0..32 {
+                    let u = (step as f64 + 0.5) / 32.0;
+                    let a = fast.sample_with_draw(u, total, psi.amplitudes());
+                    let b = general.sample_with_draw(u, total, psi.amplitudes());
+                    assert_eq!(a.to_bits(), b.to_bits(), "observable {oi} u {u}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,32 +1,53 @@
-//! Batched shot-noise execution — trajectory sweeps over [`BatchedStates`].
+//! Batched trajectory execution — **sampled and exact** sweeps over
+//! [`BatchedStates`], on one branching IR.
 //!
-//! Section 7 of the paper spends a Chernoff budget of `O(m²/δ²)` sampled
-//! trajectories per derivative estimate. Running those trajectories one at
-//! a time repeats all parameter-independent work per shot: every gate
-//! matrix is rebuilt, every kernel dispatch covers a single state, the
-//! read-out is re-eigendecomposed. [`ShotEngine`] instead executes a whole
-//! *block* of shots — one [`BatchedStates`] row per shot — so that
+//! [`TrajProgram`] is the single lowered form every branching program runs
+//! as, in both execution modes:
 //!
-//! * straight-line gate segments become **single batched kernel calls**
-//!   streaming the operator over every row at once,
-//! * measurements (`case` arms, `q := |0⟩` resets) are taken for **all**
-//!   rows in one pass and the rows are regrouped into outcome-homogeneous
-//!   sub-batches (*branch-grouped batching*) that keep enjoying batched
-//!   kernels, instead of decaying to per-row evaluation, and
-//! * the observable read-out is sampled per row against a
-//!   [`ProjectiveObservable`] hoisted once per sweep.
+//! * **Sampled** (Section 7's shot-noise model): [`ShotEngine::run`] /
+//!   [`ShotEngine::sample_sweep`] draw one measurement outcome per row
+//!   from its own [`ShotSampler`] stream and regroup rows into
+//!   outcome-homogeneous sub-batches (*branch-grouped batching*), so a
+//!   Chernoff budget of `O(m²/δ²)` trajectories executes as batched
+//!   kernel calls instead of one state at a time.
+//! * **Exact** (*branch-weighted*): [`ShotEngine::expectation_sweep`]
+//!   measures all rows at once, computes per-outcome branch probabilities,
+//!   and forks the block into **every** surviving outcome at once — the
+//!   same regrouping machinery generalized over a weight-carrying row
+//!   descriptor. Sub-batches carry accumulated branch weights
+//!   (probabilities, riding inside the unnormalised amplitudes) instead of
+//!   sampled draws, and leaf read-outs sum weighted expectations per
+//!   original row. This is exact branch enumeration at batched-kernel
+//!   speed — the executor behind `qdp_ad`'s exact batched evaluation of
+//!   `case`/`init`/while-unrolled programs.
+//!
+//! Both modes share the straight-line machinery: gate segments stream as
+//! single batched kernel calls (with per-qubit 2×2 fusion of commuting
+//! single-qubit gates where the mode allows), and measurements take one
+//! pass over the whole block through the selected-branch primitives of
+//! [`crate::Measurement`].
 //!
 //! # Determinism contract
 //!
-//! Every row owns an independent [`ShotSampler`] stream. Measurement
-//! collapse goes through the same [`collapse_with_draw`] the serial
-//! sampler uses, gate streaming goes through [`BatchedStates::apply_gate`]
-//! (bit-for-bit equal to per-row application), and regrouping preserves
-//! row order within each outcome — so a batched sweep produces **bitwise**
-//! the same outcomes and collapsed states as running each row alone with
-//! the same stream, no matter how rows are grouped or how many threads run
-//! the kernels. `crates/core/tests/shot_engine_differential.rs` is the
-//! oracle.
+//! Sampled sweeps: every row owns an independent [`ShotSampler`] stream.
+//! Measurement collapse goes through the same [`collapse_with_draw`] the
+//! serial sampler uses, gate streaming goes through
+//! [`BatchedStates::apply_gate`] (bit-for-bit equal to per-row
+//! application), and regrouping preserves row order within each outcome —
+//! so a batched sweep produces **bitwise** the same outcomes and collapsed
+//! states as running each row alone with the same stream, no matter how
+//! rows are grouped or how many threads run the kernels.
+//! `crates/core/tests/shot_engine_differential.rs` is the oracle.
+//!
+//! Exact sweeps are deterministic, full stop: per-row results are a pure
+//! function of the program and that row's input, **bit-for-bit invariant
+//! under thread count, batch decomposition, and row order** (every
+//! batched kernel call and leaf read-out performs per-row-identical
+//! floating-point operations, and each row's leaves accumulate in its own
+//! depth-first branch order). Against the per-row branch enumerator they
+//! agree to ≪ 1e-12 (fusion and leaf-order differences move rounding,
+//! nothing else) — `crates/core/tests/branch_weighted_differential.rs` is
+//! the oracle.
 
 use crate::batch::BatchedStates;
 use crate::measurement::Measurement;
@@ -41,6 +62,14 @@ use qdp_linalg::Matrix;
 /// with it every drawn value and every rounding order — is identical under
 /// any `qdp_par` configuration.
 pub const SHOT_TILE: usize = 256;
+
+/// Rows per parallel tile of the exact branch-weighted sweep
+/// ([`ShotEngine::expectation_sweep`]). Smaller than [`SHOT_TILE`]
+/// because exact batches are datasets (tens of rows), not shot blocks:
+/// the tile must be small enough that one branching program over one
+/// training batch still fans out across workers. Fixed for a predictable
+/// partition; per-row bits do not depend on it.
+pub const EXACT_TILE: usize = 8;
 
 /// One operation of a sampled-trajectory program.
 #[derive(Clone, Debug)]
@@ -144,7 +173,8 @@ struct RowCtx {
     outcomes: Vec<usize>,
 }
 
-/// An outcome-homogeneous group of rows evolving together.
+/// An outcome-homogeneous group of rows evolving together under the
+/// **sampled** executor.
 struct Group {
     states: BatchedStates,
     rows: Vec<RowCtx>,
@@ -154,27 +184,67 @@ struct Group {
     pending: Vec<Option<Matrix>>,
 }
 
-impl Group {
-    /// Applies the pending 1q products of `targets` (ascending qubit
-    /// order, deterministically), as one batched kernel call each.
-    fn flush(&mut self, targets: &[usize]) {
-        let mut ts: Vec<usize> = targets.to_vec();
-        ts.sort_unstable();
-        for t in ts {
-            if let Some(m) = self.pending[t].take() {
-                self.states.apply_gate(&m, &[t]);
-            }
+/// Applies the pending 1q products of `targets` (ascending qubit order,
+/// deterministically), as one batched kernel call each. Shared by the
+/// sampled and exact executors.
+fn flush_targets(states: &mut BatchedStates, pending: &mut [Option<Matrix>], targets: &[usize]) {
+    let mut ts: Vec<usize> = targets.to_vec();
+    ts.sort_unstable();
+    for t in ts {
+        if let Some(m) = pending[t].take() {
+            states.apply_gate(&m, &[t]);
         }
+    }
+}
+
+/// Applies every pending product (ascending qubit order).
+fn flush_all(states: &mut BatchedStates, pending: &mut [Option<Matrix>]) {
+    for (t, slot) in pending.iter_mut().enumerate() {
+        if let Some(m) = slot.take() {
+            states.apply_gate(&m, &[t]);
+        }
+    }
+}
+
+impl Group {
+    /// See [`flush_targets`].
+    fn flush(&mut self, targets: &[usize]) {
+        flush_targets(&mut self.states, &mut self.pending, targets);
     }
 
-    /// Applies every pending product (ascending qubit order).
+    /// See [`flush_all`].
     fn flush_all(&mut self) {
-        for t in 0..self.pending.len() {
-            if let Some(m) = self.pending[t].take() {
-                self.states.apply_gate(&m, &[t]);
-            }
-        }
+        flush_all(&mut self.states, &mut self.pending);
     }
+}
+
+/// Branches whose accumulated weight (unnormalised squared norm) is at or
+/// below this threshold are pruned by the exact branch-weighted sweep —
+/// the same constant `qdp_lang::denot::run_pure_branches` and the per-row
+/// branch enumerators use, so pruning decisions line up across executors.
+pub const BRANCH_PRUNE: f64 = 1e-24;
+
+/// A row in flight of the **exact** branch-weighted sweep: its original
+/// batch index and the accumulated branch weight — the squared norm of its
+/// unnormalised state, i.e. the probability of the measurement history
+/// that produced it (times the input row's own squared norm). This is the
+/// weight-carrying row descriptor the sampled executor's [`RowCtx`]
+/// generalizes to: where a sampled row records drawn outcomes, a weighted
+/// row records how much probability mass its branch carries.
+#[derive(Clone, Debug)]
+struct WeightedRow {
+    orig: usize,
+    weight: f64,
+}
+
+/// An outcome-homogeneous group of weighted rows evolving together under
+/// the **exact** executor. Gates always fuse (the exact path has no
+/// bitwise-reference mode — its oracle is the per-row branch enumerator,
+/// pinned at 1e-12).
+struct WeightedGroup {
+    states: BatchedStates,
+    rows: Vec<WeightedRow>,
+    pending: Vec<Option<Matrix>>,
 }
 
 /// The batched shot-noise executor for one [`TrajProgram`].
@@ -283,22 +353,34 @@ impl ShotEngine {
         let (finished, aborted) = self.sweep(states, samplers, true);
         let mut out = vec![0.0; total_rows];
         for group in finished {
-            // One batched expectation pass per projector, shared by every
-            // row of the group.
-            let per_projector: Vec<Vec<f64>> = readout
-                .pairs()
-                .iter()
-                .map(|(_, projector)| projector.expectation_batch(&group.states))
-                .collect();
+            // Diagonal read-outs take one bucketed |amp|² pass per row
+            // (the same `row_probabilities` the serial sampler selects
+            // from, so draws can never drift apart); general observables
+            // take one batched expectation pass per projector, shared by
+            // every row of the group.
+            let per_projector: Vec<Vec<f64>> = if readout.is_diagonal() {
+                Vec::new()
+            } else {
+                readout
+                    .pairs()
+                    .iter()
+                    .map(|(_, projector)| projector.expectation_batch(&group.states))
+                    .collect()
+            };
+            let mut probs = Vec::new();
             for (r, ctx) in group.rows.iter().enumerate() {
                 // The shared selection loop of `sample_with_draw`, with
-                // the expectations read from the batched passes.
+                // the probabilities read from whichever pass ran.
                 let total: f64 = group.states.row(r).iter().map(|z| z.norm_sqr()).sum();
                 if total <= 1e-300 {
                     continue;
                 }
                 let u = samplers[ctx.orig].next_uniform();
-                out[ctx.orig] = readout.select_with(u, total, |k| per_projector[k][r]);
+                out[ctx.orig] = if readout.row_probabilities_into(group.states.row(r), &mut probs) {
+                    readout.select_with(u, total, |k| probs[k])
+                } else {
+                    readout.select_with(u, total, |k| per_projector[k][r])
+                };
             }
         }
         drop(aborted); // aborted rows stay 0.0 and draw nothing
@@ -358,6 +440,96 @@ impl ShotEngine {
                 .sum::<f64>()
         });
         sums.into_iter().sum::<f64>() / shots as f64
+    }
+
+    /// **Branch-weighted exact execution**: the exact expectation
+    /// `Σ_branches ⟨ψb|O|ψb⟩` of the program's output for every row of the
+    /// batch, in row order.
+    ///
+    /// Where [`run`](Self::run) samples one outcome per row, this sweep
+    /// measures all rows at once, computes per-outcome branch
+    /// probabilities (the selected-branch primitives of [`Measurement`] —
+    /// one bucketed `|amp|²` pass for computational measurements), and
+    /// forks the block into **every** surviving outcome: each sub-group
+    /// carries its rows' accumulated branch weights in their unnormalised
+    /// amplitudes and keeps streaming batched kernel calls. At the leaves,
+    /// one batched read-out pass per group accumulates
+    /// `out[r] += ⟨ψleaf|O|ψleaf⟩` — exactly the quantity per-row branch
+    /// enumeration computes, evaluated block-wise.
+    ///
+    /// Straight-line segments fuse commuting single-qubit gates per qubit
+    /// into one 2×2 product (like the exact batched evaluator's
+    /// straight-line fast path), flushed at measurements, multi-qubit
+    /// gates, and leaves. Per-row results are **bit-for-bit invariant
+    /// under thread count, batch decomposition, and row order**, and agree
+    /// with the per-row enumerator to ≪ 1e-12 (fusion and leaf-summation
+    /// order move rounding only). Aborted branches contribute 0; branches
+    /// at weight ≤ [`BRANCH_PRUNE`] are dropped, matching the per-row
+    /// enumerators.
+    ///
+    /// Batches beyond [`EXACT_TILE`] rows split into fixed-size row tiles
+    /// fanned out across `qdp_par`, so a single branching program over a
+    /// large batch still scales with threads. Tiling is harmless to the
+    /// contract precisely *because* of the decomposition invariance above:
+    /// every row's bits are the same in any tile.
+    pub fn expectation_sweep(&self, states: BatchedStates, obs: &Observable) -> Vec<f64> {
+        let total_rows = states.len();
+        if total_rows == 0 {
+            return Vec::new();
+        }
+        if total_rows <= EXACT_TILE || qdp_par::max_threads() < 2 {
+            return self.expectation_sweep_tile(states, obs);
+        }
+        let dim = states.dim();
+        let n = states.num_qubits();
+        let tiles: Vec<(usize, usize)> = (0..total_rows)
+            .step_by(EXACT_TILE)
+            .map(|start| (start, EXACT_TILE.min(total_rows - start)))
+            .collect();
+        let per_tile = qdp_par::par_map(&tiles, |&(start, rows)| {
+            let block = BatchedStates::from_raw(
+                rows,
+                n,
+                states.amplitudes()[start * dim..(start + rows) * dim].to_vec(),
+            );
+            self.expectation_sweep_tile(block, obs)
+        });
+        per_tile.concat()
+    }
+
+    /// One tile of [`expectation_sweep`](Self::expectation_sweep): the
+    /// serial branch-weighted sweep over a whole block.
+    fn expectation_sweep_tile(&self, states: BatchedStates, obs: &Observable) -> Vec<f64> {
+        let mut out = vec![0.0; states.len()];
+        let group = weighted_root(states);
+        exec_weighted(&self.program.ops, Vec::new(), group, &mut |group: WeightedGroup| {
+            let values = obs.expectation_batch(&group.states);
+            for (ctx, v) in group.rows.iter().zip(values) {
+                out[ctx.orig] += v;
+            }
+        });
+        out
+    }
+
+    /// The surviving leaf weights of every row of an exact sweep, in that
+    /// row's depth-first branch order — the diagnostic view of
+    /// [`expectation_sweep`](Self::expectation_sweep) the property suites
+    /// pin: for an abort-free program on normalised inputs each row's
+    /// weights sum to 1 (up to the [`BRANCH_PRUNE`] threshold), because
+    /// its branch tree is trace-preserving.
+    pub fn leaf_weights(&self, states: BatchedStates) -> Vec<Vec<f64>> {
+        let total_rows = states.len();
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); total_rows];
+        if total_rows == 0 {
+            return out;
+        }
+        let group = weighted_root(states);
+        exec_weighted(&self.program.ops, Vec::new(), group, &mut |group: WeightedGroup| {
+            for ctx in &group.rows {
+                out[ctx.orig].push(ctx.weight);
+            }
+        });
+        out
     }
 
     /// Executes the program over the whole batch, branch-grouping on every
@@ -519,6 +691,141 @@ fn measure_group(
         .collect()
 }
 
+/// The root group of an exact sweep: every input row with its own squared
+/// norm as the initial weight (1 for normalised inputs).
+fn weighted_root(states: BatchedStates) -> WeightedGroup {
+    let rows = (0..states.len())
+        .map(|orig| WeightedRow {
+            orig,
+            weight: states.row(orig).iter().map(|z| z.norm_sqr()).sum(),
+        })
+        .collect();
+    WeightedGroup {
+        pending: vec![None; states.num_qubits()],
+        rows,
+        states,
+    }
+}
+
+/// Executes `ops` on `group` **exactly**, with `cont` the stack of
+/// suspended op slices to resume (innermost last) once `ops` is exhausted.
+/// At every measurement the group forks into outcome-homogeneous
+/// sub-groups via [`branch_groups`]; `leaf` is called once per surviving
+/// leaf group (pending products flushed).
+fn exec_weighted<'p>(
+    ops: &'p [TrajOp],
+    cont: Vec<&'p [TrajOp]>,
+    mut group: WeightedGroup,
+    leaf: &mut dyn FnMut(WeightedGroup),
+) {
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            TrajOp::Gate { matrix, targets } => {
+                if let [t] = targets[..] {
+                    group.pending[t] = Some(match group.pending[t].take() {
+                        None => matrix.clone(),
+                        Some(prev) => matrix.mul(&prev),
+                    });
+                } else {
+                    // A multi-qubit gate orders against the pending
+                    // rotations of its own targets only.
+                    flush_targets(&mut group.states, &mut group.pending, targets);
+                    group.states.apply_gate(matrix, targets);
+                }
+            }
+            TrajOp::Abort => return, // aborted branches contribute nothing
+            TrajOp::Init { meas, flip, target } => {
+                flush_all(&mut group.states, &mut group.pending);
+                let rest = &ops[i + 1..];
+                for (outcome, mut sub) in branch_groups(group, meas) {
+                    if outcome == 1 {
+                        sub.states.apply_gate(flip, &[*target]);
+                    }
+                    exec_weighted(rest, cont.clone(), sub, leaf);
+                }
+                return;
+            }
+            TrajOp::Case { meas, arms } => {
+                flush_all(&mut group.states, &mut group.pending);
+                let rest = &ops[i + 1..];
+                for (outcome, sub) in branch_groups(group, meas) {
+                    let mut arm_cont = cont.clone();
+                    arm_cont.push(rest);
+                    exec_weighted(&arms[outcome].ops, arm_cont, sub, leaf);
+                }
+                return;
+            }
+        }
+    }
+    let mut cont = cont;
+    match cont.pop() {
+        // Pending products flow into the continuation: there is no
+        // measurement between an arm's trailing gates and the join.
+        Some(next) => exec_weighted(next, cont, group, leaf),
+        None => {
+            flush_all(&mut group.states, &mut group.pending);
+            leaf(group);
+        }
+    }
+}
+
+/// Forks a weighted group at a measurement: every row's branch
+/// probabilities are computed **first**
+/// ([`Measurement::branch_probabilities_pure`] — one bucketed `|amp|²`
+/// pass for computational measurements), then only the branches above the
+/// pruning threshold are materialised ([`Measurement::collapse_pure`],
+/// kept **unnormalised** so the branch probability rides inside the
+/// amplitudes, as exact branch enumeration requires), and the surviving
+/// rows regroup into outcome-homogeneous sub-groups.
+///
+/// Sub-groups are returned in ascending outcome order and rows keep their
+/// relative order inside each one — for a single row this is exactly the
+/// depth-first branch order of the per-row enumerators, so leaf
+/// accumulation per row follows the same order batched as alone.
+fn branch_groups(group: WeightedGroup, meas: &Measurement) -> Vec<(usize, WeightedGroup)> {
+    debug_assert!(
+        group.pending.iter().all(Option::is_none),
+        "pending products must be flushed before measuring"
+    );
+    let WeightedGroup { states, rows, pending } = group;
+    let n = states.num_qubits();
+    // Collapsed rows are written straight onto each outcome's amplitude
+    // block (`collapse_amps_into`) — no per-row state round trips.
+    let mut buckets: Vec<(Vec<WeightedRow>, Vec<qdp_linalg::C64>)> = (0..meas.num_outcomes())
+        .map(|_| (Vec::new(), Vec::new()))
+        .collect();
+    let mut probs = Vec::new();
+    for (r, ctx) in rows.into_iter().enumerate() {
+        let amps = states.row(r);
+        meas.branch_probabilities_into(n, amps, &mut probs);
+        for (outcome, &weight) in probs.iter().enumerate() {
+            if weight > BRANCH_PRUNE {
+                buckets[outcome].0.push(WeightedRow {
+                    orig: ctx.orig,
+                    weight,
+                });
+                meas.collapse_amps_into(n, amps, outcome, &mut buckets[outcome].1);
+            }
+        }
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .filter(|(_, (rows, _))| !rows.is_empty())
+        .map(|(outcome, (rows, block))| {
+            let states = BatchedStates::from_raw(rows.len(), n, block);
+            (
+                outcome,
+                WeightedGroup {
+                    states,
+                    rows,
+                    pending: pending.clone(),
+                },
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -652,6 +959,154 @@ mod tests {
         let engine = ShotEngine::new(TrajProgram::new());
         let rows = engine.run(BatchedStates::from_states(&[]), &mut []);
         assert!(rows.is_empty());
+        assert!(engine
+            .expectation_sweep(BatchedStates::from_states(&[]), &Observable::pauli_z(1, 0))
+            .is_empty());
+    }
+
+    /// The per-row exact branch enumerator — the oracle of the weighted
+    /// sweep, mirroring `qdp_ad::ResolvedProgram::run_from` on the
+    /// trajectory IR (Init enumerated as measure + flip).
+    fn enumerate_branches(ops: &[TrajOp], mut psi: StateVector, out: &mut Vec<StateVector>) {
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                TrajOp::Gate { matrix, targets } => psi.apply_gate(matrix, targets),
+                TrajOp::Abort => return,
+                TrajOp::Init { meas, flip, target } => {
+                    for b in meas.branches_pure(&psi) {
+                        if b.probability > BRANCH_PRUNE {
+                            let mut state = b.state;
+                            if b.outcome == 1 {
+                                state.apply_gate(flip, &[*target]);
+                            }
+                            enumerate_branches(&ops[i + 1..], state, out);
+                        }
+                    }
+                    return;
+                }
+                TrajOp::Case { meas, arms } => {
+                    for b in meas.branches_pure(&psi) {
+                        if b.probability > BRANCH_PRUNE {
+                            let mut mids = Vec::new();
+                            enumerate_branches(&arms[b.outcome].ops, b.state, &mut mids);
+                            for mid in mids {
+                                enumerate_branches(&ops[i + 1..], mid, out);
+                            }
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+        out.push(psi);
+    }
+
+    fn branching_program() -> TrajProgram {
+        // H; case M[0] = 0 -> RY(1.1)[1], 1 -> (RY(0.4)[0]; init 1) end; CNOT
+        let mut arm0 = TrajProgram::new();
+        arm0.push_gate(rotation_y(1.1), vec![1]);
+        let mut arm1 = TrajProgram::new();
+        arm1.push_gate(rotation_y(0.4), vec![0]);
+        arm1.push_init(1);
+        let mut p = TrajProgram::new();
+        p.push_gate(Matrix::hadamard(), vec![0]);
+        p.push_case(Measurement::computational(vec![0]), vec![arm0, arm1]);
+        p.push_gate(Matrix::cnot(), vec![0, 1]);
+        p
+    }
+
+    #[test]
+    fn expectation_sweep_matches_per_row_enumeration() {
+        let engine = ShotEngine::new(branching_program());
+        let obs = Observable::pauli_z(2, 1);
+        let inputs: Vec<StateVector> = (0..5)
+            .map(|k| {
+                let mut s = StateVector::basis_state(2, k % 4);
+                s.apply_gate(&rotation_y(0.3 + 0.2 * k as f64), &[0]);
+                s
+            })
+            .collect();
+        let swept = engine.expectation_sweep(BatchedStates::from_states(&inputs), &obs);
+        for (r, psi) in inputs.iter().enumerate() {
+            let mut leaves = Vec::new();
+            enumerate_branches(&engine.program().ops, psi.clone(), &mut leaves);
+            let expected: f64 = leaves.iter().map(|b| obs.expectation_pure(b)).sum();
+            assert!(
+                (swept[r] - expected).abs() < 1e-12,
+                "row {r}: swept {} vs enumerated {expected}",
+                swept[r]
+            );
+        }
+    }
+
+    #[test]
+    fn expectation_sweep_rows_are_invariant_under_batch_composition() {
+        // Per-row results must carry identical bits whether the row runs
+        // alone or inside any batch, in any order.
+        let engine = ShotEngine::new(branching_program());
+        let obs = Observable::pauli_z(2, 1);
+        let inputs: Vec<StateVector> = (0..6)
+            .map(|k| {
+                let mut s = StateVector::basis_state(2, k % 4);
+                s.apply_gate(&rotation_y(0.9 - 0.1 * k as f64), &[1]);
+                s
+            })
+            .collect();
+        let together = engine.expectation_sweep(BatchedStates::from_states(&inputs), &obs);
+        for (r, psi) in inputs.iter().enumerate() {
+            let alone =
+                engine.expectation_sweep(BatchedStates::from_states(std::slice::from_ref(psi)), &obs)[0];
+            assert_eq!(together[r].to_bits(), alone.to_bits(), "row {r}");
+        }
+        let reversed: Vec<StateVector> = inputs.iter().rev().cloned().collect();
+        let backwards = engine.expectation_sweep(BatchedStates::from_states(&reversed), &obs);
+        for (r, v) in together.iter().enumerate() {
+            assert_eq!(
+                v.to_bits(),
+                backwards[inputs.len() - 1 - r].to_bits(),
+                "row {r} under reversal"
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_weights_sum_to_one_for_abort_free_programs() {
+        let engine = ShotEngine::new(branching_program());
+        let inputs: Vec<StateVector> = (0..4).map(|k| StateVector::basis_state(2, k)).collect();
+        let weights = engine.leaf_weights(BatchedStates::from_states(&inputs));
+        for (r, row) in weights.iter().enumerate() {
+            let total: f64 = row.iter().sum();
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "row {r}: leaf weights {row:?} sum to {total}"
+            );
+            assert!(row.iter().all(|&w| w > 0.0), "row {r}: {row:?}");
+        }
+    }
+
+    #[test]
+    fn aborted_branches_contribute_nothing() {
+        // H; case M[0] = 0 -> skip, 1 -> abort end: only the |0⟩ branch
+        // (weight 1/2) reads out.
+        let mut killed = TrajProgram::new();
+        killed.push_abort();
+        let mut p = TrajProgram::new();
+        p.push_gate(Matrix::hadamard(), vec![0]);
+        p.push_case(
+            Measurement::computational(vec![0]),
+            vec![TrajProgram::new(), killed],
+        );
+        let engine = ShotEngine::new(p);
+        let obs = Observable::projector_zero(1, 0);
+        let swept = engine.expectation_sweep(BatchedStates::zero(3, 1), &obs);
+        for (r, v) in swept.iter().enumerate() {
+            assert!((v - 0.5).abs() < 1e-12, "row {r}: {v}");
+        }
+        let weights = engine.leaf_weights(BatchedStates::zero(2, 1));
+        for row in &weights {
+            assert_eq!(row.len(), 1, "only the surviving branch leaves a leaf");
+            assert!((row[0] - 0.5).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -1,0 +1,28 @@
+//! Shared helpers for this crate's unit tests.
+
+use crate::state::StateVector;
+use qdp_linalg::C64;
+
+/// A deterministic pseudo-random state with pure-imaginary, negative, and
+/// negative-zero components — the inputs that expose signed-zero drift
+/// between masked-copy fast paths and the gate kernels. One definition,
+/// used by the measurement and sampling suites alike.
+pub(crate) fn awkward_state(n: usize, seed: u64) -> StateVector {
+    let mut s = seed;
+    let mut next = || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    };
+    let amps: Vec<C64> = (0..1usize << n)
+        .map(|i| {
+            if i % 5 == 0 {
+                C64::new(0.0, next())
+            } else if i % 7 == 0 {
+                C64::new(next(), -0.0)
+            } else {
+                C64::new(next(), next())
+            }
+        })
+        .collect();
+    StateVector::from_amplitudes(n, amps)
+}
