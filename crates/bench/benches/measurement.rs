@@ -1,0 +1,111 @@
+//! Timing of the block-level measurement engine (`measurement_sweep`):
+//! one `P2` parameter's branching derivative multiset, exactly evaluated
+//! over the 16-sample dataset — block measurement sweeps
+//! (`ShotEngine::expectation_sweep`: one probability sweep and one
+//! strided collapse pass per group per fork) vs the retained per-row
+//! measurement path (`ResolvedProgram::expectation_pure`) — plus the same
+//! multiset sampled at a 1024-shot budget, batched sweeps vs the serial
+//! per-shot AST loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdp_ad::estimator::{estimate_derivative, estimate_derivative_batched};
+use qdp_ad::GradientEngine;
+use qdp_lang::ast::Params;
+use qdp_sim::{BatchedStates, ShotEngine, ShotSampler, StateVector};
+use qdp_vqc::circuits::p2;
+use qdp_vqc::task;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_measurement_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("measurement_sweep");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+
+    let engine = GradientEngine::new(&p2()).expect("P2 differentiable");
+    let params = Params::from_pairs(
+        p2().parameters()
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| (name, 0.2 + 0.31 * i as f64)),
+    );
+    let obs = task::readout_observable();
+    let names: Vec<String> = engine.parameters().map(|s| s.to_string()).collect();
+    let diffs: Vec<_> = names
+        .iter()
+        .map(|name| engine.differentiated(name).expect("cached artifact"))
+        .collect();
+    let mut resolved = Vec::new();
+    for diff in &diffs {
+        let lowered = diff.lowered();
+        let slots = lowered.slot_values(&params);
+        resolved.extend(lowered.programs().iter().map(|p| p.resolve(&slots)));
+    }
+    let engines: Vec<ShotEngine> = resolved
+        .iter()
+        .map(|p| ShotEngine::new(p.to_trajectory()))
+        .collect();
+    let ext_obs = obs.with_ancilla_z();
+    let inputs: Vec<StateVector> = task::dataset().into_iter().map(|s| s.input_state()).collect();
+    let ext_inputs: Vec<StateVector> = inputs
+        .iter()
+        .map(|psi| StateVector::zero_state(1).tensor(psi))
+        .collect();
+    let ext_batch = BatchedStates::from_states(&ext_inputs);
+
+    group.bench_function("block exact sweeps (36 params x 16 rows)", |b| {
+        b.iter(|| {
+            let total: f64 = engines
+                .iter()
+                .map(|e| {
+                    e.expectation_sweep(ext_batch.clone(), &ext_obs)
+                        .into_iter()
+                        .sum::<f64>()
+                })
+                .sum();
+            black_box(total)
+        })
+    });
+    group.bench_function("per-row measurement path (36 params x 16 rows)", |b| {
+        b.iter(|| {
+            let total: f64 = resolved
+                .iter()
+                .map(|p| {
+                    ext_inputs
+                        .iter()
+                        .map(|psi| p.expectation_pure(psi, &ext_obs))
+                        .sum::<f64>()
+                })
+                .sum();
+            black_box(total)
+        })
+    });
+
+    let shots = 1024usize;
+    group.bench_function("block sampled estimate (1024 shots)", |b| {
+        b.iter(|| {
+            black_box(estimate_derivative_batched(
+                diffs[0], &params, &obs, &inputs[0], shots, 9,
+            ))
+        })
+    });
+    group.bench_function("serial per-shot loop (1024 shots)", |b| {
+        b.iter(|| {
+            let mut sampler = ShotSampler::seeded(9);
+            black_box(estimate_derivative(
+                diffs[0],
+                &params,
+                &obs,
+                &inputs[0],
+                shots,
+                &mut sampler,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_measurement_sweep);
+criterion_main!(benches);

@@ -19,12 +19,20 @@
 //!    the branch-weighted batched executor
 //!    (`GradientEngine::gradient_pure_batch` forking the whole block at
 //!    each measurement) vs the per-row branch-enumeration baseline
-//!    (`gradient_pure` per sample).
+//!    (`gradient_pure` per sample), and
+//! 6. `measurement_sweep` — the block-level measurement engine on its
+//!    measurement-heavy workload: one `P2` parameter's branching
+//!    derivative multiset evaluated exactly over the 16-sample dataset
+//!    (`ShotEngine::expectation_sweep`, one probability sweep and one
+//!    collapse pass per group per fork) vs the retained per-row
+//!    measurement path (`ResolvedProgram::expectation_pure`, one
+//!    measurement pass per row per fork), plus the same multiset sampled
+//!    at a 1024-shot budget (batched sweeps vs the serial per-shot loop).
 //!
 //! Run with `scripts/bench_sim.sh` or
 //! `cargo run --release -p qdp-bench --bin bench_sim [output-path]`.
 
-use qdp_ad::estimator::estimate_derivative;
+use qdp_ad::estimator::{estimate_derivative, estimate_derivative_batched};
 use qdp_ad::GradientEngine;
 use qdp_lang::ast::Params;
 use qdp_linalg::{C64, Matrix};
@@ -256,14 +264,101 @@ fn main() {
         std::hint::black_box(branching_batched());
     });
 
+    // --- 6. Block-level measurement: group sweeps vs the per-row path. ----
+    // The full branching P2 gradient's sweep work: every parameter's
+    // derivative multiset — each compiled program branches at the
+    // measurement the gadget controls — evaluated exactly over the
+    // 16-sample dataset. The block path measures each group with one
+    // probability sweep and one strided collapse pass per outcome; the
+    // baseline is the retained per-row measurement path, the pinned
+    // branch-enumeration oracle `ResolvedProgram::expectation_pure`.
+    let p2_names: Vec<String> = p2_engine.parameters().map(|s| s.to_string()).collect();
+    let p2_diffs: Vec<_> = p2_names
+        .iter()
+        .map(|name| p2_engine.differentiated(name).expect("cached artifact"))
+        .collect();
+    let mut resolved = Vec::new();
+    for diff in &p2_diffs {
+        let lowered = diff.lowered();
+        let slots = lowered.slot_values(&p2_params);
+        resolved.extend(lowered.programs().iter().map(|p| p.resolve(&slots)));
+    }
+    let sweep_engines: Vec<qdp_sim::ShotEngine> = resolved
+        .iter()
+        .map(|p| qdp_sim::ShotEngine::new(p.to_trajectory()))
+        .collect();
+    let ext_obs = obs.with_ancilla_z();
+    let ext_inputs: Vec<StateVector> = p2_inputs
+        .iter()
+        .map(|psi| StateVector::zero_state(1).tensor(psi))
+        .collect();
+    let ext_batch = qdp_sim::BatchedStates::from_states(&ext_inputs);
+
+    let meas_block = || -> f64 {
+        sweep_engines
+            .iter()
+            .map(|e| {
+                e.expectation_sweep(ext_batch.clone(), &ext_obs)
+                    .into_iter()
+                    .sum::<f64>()
+            })
+            .sum()
+    };
+    let meas_per_row = || -> f64 {
+        resolved
+            .iter()
+            .map(|p| {
+                ext_inputs
+                    .iter()
+                    .map(|psi| p.expectation_pure(psi, &ext_obs))
+                    .sum::<f64>()
+            })
+            .sum()
+    };
+
+    // Same numbers, two measurement paths — sanity-check before timing.
+    assert!(
+        (meas_block() - meas_per_row()).abs() < 1e-9,
+        "block measurement sweep diverged: {} vs {}",
+        meas_block(),
+        meas_per_row()
+    );
+
+    let meas_per_row_ns = time_ns(|| {
+        std::hint::black_box(meas_per_row());
+    });
+    let meas_block_ns = time_ns(|| {
+        std::hint::black_box(meas_block());
+    });
+
+    // One multiset under the shot-noise model: 1024 trajectories, batched
+    // block-measurement sweeps vs the serial per-shot AST loop.
+    let meas_shots = 1024usize;
+    let meas_psi = &p2_inputs[0];
+    let meas_diff = p2_diffs[0];
+    let sampled_block =
+        || estimate_derivative_batched(meas_diff, &p2_params, &obs, meas_psi, meas_shots, 9);
+    let sampled_serial = || {
+        let mut sampler = ShotSampler::seeded(9);
+        estimate_derivative(meas_diff, &p2_params, &obs, meas_psi, meas_shots, &mut sampler)
+    };
+    let meas_sampled_serial_ns = time_ns(|| {
+        std::hint::black_box(sampled_serial());
+    });
+    let meas_sampled_block_ns = time_ns(|| {
+        std::hint::black_box(sampled_block());
+    });
+
     let gate_speedup = gate_ref_ns / gate_fast_ns;
     let grad_speedup = grad_ref_ns / grad_fast_ns;
     let batch_speedup = batch_serial_ns / batch_fast_ns;
     let shots_speedup = shots_serial_ns / shots_batched_ns;
     let branch_speedup = branch_serial_ns / branch_batched_ns;
+    let meas_speedup = meas_per_row_ns / meas_block_ns;
+    let meas_sampled_speedup = meas_sampled_serial_ns / meas_sampled_block_ns;
 
     let json = format!(
-        "{{\n  \"bench\": \"sim\",\n  \"threads\": {},\n  \"gate_apply_10q_density\": {{\n    \"gate\": \"H on row qubit 4\",\n    \"fast_ns\": {gate_fast_ns:.1},\n    \"reference_ns\": {gate_ref_ns:.1},\n    \"speedup\": {gate_speedup:.2}\n  }},\n  \"gradient_p1_24_params\": {{\n    \"workload\": \"GradientEngine::gradient_pure on P1\",\n    \"fast_ns\": {grad_fast_ns:.1},\n    \"reference_ns\": {grad_ref_ns:.1},\n    \"speedup\": {grad_speedup:.2}\n  }},\n  \"gradient_batch_16x\": {{\n    \"workload\": \"Trainer::loss_gradient on P1, {batch_size}-sample batch\",\n    \"batched_ns\": {batch_fast_ns:.1},\n    \"serial_loop_ns\": {batch_serial_ns:.1},\n    \"speedup\": {batch_speedup:.2}\n  }},\n  \"estimator_shots\": {{\n    \"workload\": \"shot-noise P1 gradient, {est_shots} shots x 24 params\",\n    \"batched_ns\": {shots_batched_ns:.1},\n    \"serial_loop_ns\": {shots_serial_ns:.1},\n    \"speedup\": {shots_speedup:.2}\n  }},\n  \"gradient_branching_batch\": {{\n    \"workload\": \"branch-weighted P2 gradient, {batch_size}-sample batch x {branch_params} params\",\n    \"batched_ns\": {branch_batched_ns:.1},\n    \"per_row_ns\": {branch_serial_ns:.1},\n    \"speedup\": {branch_speedup:.2}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"sim\",\n  \"threads\": {},\n  \"gate_apply_10q_density\": {{\n    \"gate\": \"H on row qubit 4\",\n    \"fast_ns\": {gate_fast_ns:.1},\n    \"reference_ns\": {gate_ref_ns:.1},\n    \"speedup\": {gate_speedup:.2}\n  }},\n  \"gradient_p1_24_params\": {{\n    \"workload\": \"GradientEngine::gradient_pure on P1\",\n    \"fast_ns\": {grad_fast_ns:.1},\n    \"reference_ns\": {grad_ref_ns:.1},\n    \"speedup\": {grad_speedup:.2}\n  }},\n  \"gradient_batch_16x\": {{\n    \"workload\": \"Trainer::loss_gradient on P1, {batch_size}-sample batch\",\n    \"batched_ns\": {batch_fast_ns:.1},\n    \"serial_loop_ns\": {batch_serial_ns:.1},\n    \"speedup\": {batch_speedup:.2}\n  }},\n  \"estimator_shots\": {{\n    \"workload\": \"shot-noise P1 gradient, {est_shots} shots x 24 params\",\n    \"batched_ns\": {shots_batched_ns:.1},\n    \"serial_loop_ns\": {shots_serial_ns:.1},\n    \"speedup\": {shots_speedup:.2}\n  }},\n  \"gradient_branching_batch\": {{\n    \"workload\": \"branch-weighted P2 gradient, {batch_size}-sample batch x {branch_params} params\",\n    \"batched_ns\": {branch_batched_ns:.1},\n    \"per_row_ns\": {branch_serial_ns:.1},\n    \"speedup\": {branch_speedup:.2}\n  }},\n  \"measurement_sweep\": {{\n    \"workload\": \"P2 branching gradient multisets ({branch_params} params, {batch_size}-row exact sweeps) + {meas_shots}-shot estimate, block vs per-row measurement\",\n    \"exact_block_ns\": {meas_block_ns:.1},\n    \"exact_per_row_ns\": {meas_per_row_ns:.1},\n    \"sampled_block_ns\": {meas_sampled_block_ns:.1},\n    \"sampled_serial_ns\": {meas_sampled_serial_ns:.1},\n    \"sampled_speedup\": {meas_sampled_speedup:.2},\n    \"speedup\": {meas_speedup:.2}\n  }}\n}}\n",
         qdp_par::max_threads(),
     );
     std::fs::write(&out_path, &json).expect("write benchmark record");
@@ -292,5 +387,10 @@ fn main() {
         branch_speedup >= 1.5,
         "the branch-weighted executor must clearly beat per-row branch \
          enumeration (got {branch_speedup:.2}x; the recorded target is 2x)"
+    );
+    assert!(
+        meas_speedup >= 1.5,
+        "the block measurement sweep must clearly beat the per-row \
+         measurement path (got {meas_speedup:.2}x; the recorded target is 2x)"
     );
 }

@@ -168,7 +168,10 @@ impl BatchedStates {
         &mut self.amps[r * dim..(r + 1) * dim]
     }
 
-    /// Copies row `r` out into an owned [`StateVector`].
+    /// Copies row `r` out into an owned [`StateVector`] — for results that
+    /// must outlive the batch. Hot loops that only *read* a row should use
+    /// the [`row`](Self::row) borrow (every `qdp-sim` per-row primitive has
+    /// an `_amps`/slice form precisely so no owned state is needed).
     pub fn row_state(&self, r: usize) -> StateVector {
         StateVector::from_amplitudes(self.n_qubits, self.row(r).to_vec())
     }
@@ -176,6 +179,25 @@ impl BatchedStates {
     /// Iterates over the row slices in order.
     pub fn iter_rows(&self) -> impl Iterator<Item = &[C64]> {
         self.amps.chunks_exact(self.dim())
+    }
+
+    /// Consumes the batch and returns its contiguous amplitude block — the
+    /// inverse of [`from_raw`](Self::from_raw), letting executors recycle a
+    /// spent group's allocation instead of dropping it.
+    pub fn into_raw(self) -> Vec<C64> {
+        self.amps
+    }
+
+    /// Per-row squared norms in row order, written into `out` (cleared and
+    /// refilled): one pass over the contiguous block, each row summed by
+    /// the identical fold [`StateVector::norm_sqr`] performs — so entries
+    /// match per-row calls bit for bit.
+    pub fn row_norms_sqr_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            self.iter_rows()
+                .map(|row| row.iter().map(|z| z.norm_sqr()).sum::<f64>()),
+        );
     }
 
     /// Applies an operator to **every** row on the given targets.
@@ -206,12 +228,24 @@ impl BatchedStates {
         let n = self.n_qubits;
         let mut rest: &mut [C64] = &mut self.amps;
         let mut remaining = self.rows;
+        // Shift targets past the row bits on the stack for the common
+        // k ≤ 2 operators — one heap round trip per kernel call otherwise.
+        let mut small = [0usize; 2];
+        let mut spilled: Vec<usize>;
         while remaining > 0 {
             let k = remaining.ilog2() as usize;
             let block_rows = 1usize << k;
             let (block, tail) = rest.split_at_mut(block_rows * dim);
-            let shifted: Vec<usize> = targets.iter().map(|&t| t + k).collect();
-            apply_matrix(block, n + k, gate, &shifted);
+            let shifted: &[usize] = if targets.len() <= 2 {
+                for (slot, &t) in small.iter_mut().zip(targets) {
+                    *slot = t + k;
+                }
+                &small[..targets.len()]
+            } else {
+                spilled = targets.iter().map(|&t| t + k).collect();
+                &spilled
+            };
+            apply_matrix(block, n + k, gate, shifted);
             rest = tail;
             remaining -= block_rows;
         }
@@ -326,6 +360,30 @@ mod tests {
         assert!(b.is_empty());
         b.apply_gate(&Matrix::identity(1), &[]);
         assert_eq!(b.expectations(&Observable::new(0, vec![], Matrix::identity(1))).len(), 0);
+    }
+
+    #[test]
+    fn row_norms_match_per_row_norm_sqr_bitwise() {
+        let mut states: Vec<StateVector> = (0..4).map(|k| StateVector::basis_state(2, k)).collect();
+        for (k, s) in states.iter_mut().enumerate() {
+            s.apply_gate(&Matrix::hadamard(), &[k % 2]);
+            s.scale(C64::new(0.6, -0.3));
+        }
+        let b = BatchedStates::from_states(&states);
+        let mut norms = vec![99.0];
+        b.row_norms_sqr_into(&mut norms);
+        assert_eq!(norms.len(), 4);
+        for (r, s) in states.iter().enumerate() {
+            assert_eq!(norms[r].to_bits(), s.norm_sqr().to_bits(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn into_raw_round_trips_through_from_raw() {
+        let b = BatchedStates::zero(3, 2);
+        let amps = b.clone().into_raw();
+        assert_eq!(amps.len(), 12);
+        assert_eq!(BatchedStates::from_raw(3, 2, amps), b);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! so probabilities ride along inside the partial density operators.
 
 use crate::density::DensityMatrix;
-use crate::kernels::qubit_bit;
+use crate::kernels::{apply_matrix, local_index, qubit_bit};
 use crate::state::StateVector;
 use qdp_linalg::{C64, Matrix};
 
@@ -232,15 +232,99 @@ impl Measurement {
         probs.clear();
         probs.resize(self.num_outcomes(), 0.0);
         if !self.fast_computational() {
-            let psi = StateVector::from_amplitudes(n_qubits, amps.to_vec());
+            // One scratch buffer for all operators: each `Mm|ψ⟩` is the
+            // identical arithmetic `with_gate` performs, without building a
+            // `StateVector` per operator.
+            let mut scratch: Vec<C64> = Vec::with_capacity(amps.len());
             for (m, op) in self.operators.iter().enumerate() {
-                probs[m] = psi.with_gate(op, &self.targets).norm_sqr();
+                scratch.clear();
+                scratch.extend_from_slice(amps);
+                apply_matrix(&mut scratch, n_qubits, op, &self.targets);
+                probs[m] = scratch.iter().map(|z| z.norm_sqr()).sum();
             }
             return;
         }
         let (masks, k) = self.outcome_masks(n_qubits);
         for (i, a) in amps.iter().enumerate() {
-            probs[crate::kernels::local_index(i, &masks[..k])] += a.norm_sqr();
+            probs[local_index(i, &masks[..k])] += a.norm_sqr();
+        }
+    }
+
+    /// The branch probabilities of **every row** of a contiguous
+    /// `rows × 2ⁿ` amplitude block, from **one bucketed `|amp|²` sweep**
+    /// over the whole block: `table` is cleared and refilled with
+    /// `rows × num_outcomes` entries, row `r`'s probabilities at
+    /// `table[r·outcomes .. (r+1)·outcomes]`.
+    ///
+    /// Each row's buckets accumulate the identical values in the identical
+    /// addition order as [`branch_probabilities_into`] on that row alone,
+    /// so the table matches per-row calls **bit for bit** — the block form
+    /// merely amortises the outcome-mask setup and the dispatch over the
+    /// group. Non-computational measurements apply each operator per row
+    /// through one shared scratch buffer.
+    ///
+    /// [`branch_probabilities_into`]: Measurement::branch_probabilities_into
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block.len()` is not a multiple of `2^n_qubits`.
+    pub fn branch_probabilities_block(&self, n_qubits: usize, block: &[C64], table: &mut Vec<f64>) {
+        let dim = 1usize << n_qubits;
+        assert_eq!(block.len() % dim, 0, "block must hold whole rows");
+        let outcomes = self.num_outcomes();
+        table.clear();
+        table.resize((block.len() / dim) * outcomes, 0.0);
+        if !self.fast_computational() {
+            let mut scratch: Vec<C64> = Vec::with_capacity(dim);
+            for (r, row) in block.chunks_exact(dim).enumerate() {
+                for (m, op) in self.operators.iter().enumerate() {
+                    scratch.clear();
+                    scratch.extend_from_slice(row);
+                    apply_matrix(&mut scratch, n_qubits, op, &self.targets);
+                    table[r * outcomes + m] = scratch.iter().map(|z| z.norm_sqr()).sum();
+                }
+            }
+            return;
+        }
+        // The fast path only ever sees one or two targets (see
+        // `fast_computational`); dispatching on the count once per *block*
+        // — not once per amplitude through the generic `local_index` —
+        // keeps the masks in registers. Each row's buckets accumulate in
+        // the identical order in both arms, so bits are unchanged.
+        let (masks, k) = self.outcome_masks(n_qubits);
+        if k == 1 {
+            // Register-resident buckets: each one accumulates the identical
+            // values in the identical order as indexing the table per
+            // amplitude, so bits are unchanged.
+            let m = masks[0];
+            for (row, buckets) in block
+                .chunks_exact(dim)
+                .zip(table.chunks_exact_mut(outcomes))
+            {
+                let (mut p0, mut p1) = (0.0f64, 0.0f64);
+                for (i, a) in row.iter().enumerate() {
+                    if i & m != 0 {
+                        p1 += a.norm_sqr();
+                    } else {
+                        p0 += a.norm_sqr();
+                    }
+                }
+                buckets[0] = p0;
+                buckets[1] = p1;
+            }
+        } else {
+            let (m0, m1) = (masks[0], masks[1]);
+            for (row, buckets) in block
+                .chunks_exact(dim)
+                .zip(table.chunks_exact_mut(outcomes))
+            {
+                let mut acc = [0.0f64; 4];
+                for (i, a) in row.iter().enumerate() {
+                    let local = (usize::from(i & m0 != 0) << 1) | usize::from(i & m1 != 0);
+                    acc[local] += a.norm_sqr();
+                }
+                buckets.copy_from_slice(&acc);
+            }
         }
     }
 
@@ -285,16 +369,18 @@ impl Measurement {
         assert!(outcome < self.num_outcomes(), "outcome {outcome} out of range");
         assert_eq!(amps.len(), 1usize << n_qubits, "amplitude slice length mismatch");
         if !self.fast_computational() {
-            let psi = StateVector::from_amplitudes(n_qubits, amps.to_vec());
-            out.extend_from_slice(
-                psi.with_gate(&self.operators[outcome], &self.targets).amplitudes(),
-            );
+            // Copy once onto the destination and apply the operator in
+            // place — the same arithmetic as `with_gate`, without the
+            // intermediate `StateVector` round trip.
+            let start = out.len();
+            out.extend_from_slice(amps);
+            apply_matrix(&mut out[start..], n_qubits, &self.operators[outcome], &self.targets);
             return;
         }
         let (masks, k) = self.outcome_masks(n_qubits);
         out.reserve(amps.len());
         for (i, a) in amps.iter().enumerate() {
-            out.push(if crate::kernels::local_index(i, &masks[..k]) == outcome {
+            out.push(if local_index(i, &masks[..k]) == outcome {
                 *a
             } else {
                 // The diagonal kernel multiplies non-members by the real
@@ -302,6 +388,78 @@ impl Measurement {
                 // lose the signed zeros it produces.
                 C64::new(a.re * 0.0, a.im * 0.0)
             });
+        }
+    }
+
+    /// Materialises outcome `outcome`'s unnormalised branch of the
+    /// **selected rows** of a contiguous `rows × 2ⁿ` amplitude block: one
+    /// strided pass over the surviving source rows (in `rows` order),
+    /// appending each collapsed row to `out` — how the block-level
+    /// regrouping fills one outcome's entire sub-batch with a single call
+    /// instead of one [`collapse_amps_into`](Self::collapse_amps_into) per
+    /// row.
+    ///
+    /// Every row's collapse performs the identical masked copy as the
+    /// per-row path (non-members multiplied component-wise by `0.0`,
+    /// preserving the projector kernel's IEEE signed zeros), so the
+    /// destination block equals per-row calls **bit for bit**.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `outcome` is out of range, `block` does not hold whole
+    /// rows, or a selected row index is out of range.
+    pub fn collapse_block_into(
+        &self,
+        n_qubits: usize,
+        block: &[C64],
+        rows: &[usize],
+        outcome: usize,
+        out: &mut Vec<C64>,
+    ) {
+        assert!(outcome < self.num_outcomes(), "outcome {outcome} out of range");
+        let dim = 1usize << n_qubits;
+        assert_eq!(block.len() % dim, 0, "block must hold whole rows");
+        if !self.fast_computational() {
+            for &r in rows {
+                let start = out.len();
+                out.extend_from_slice(&block[r * dim..(r + 1) * dim]);
+                apply_matrix(&mut out[start..], n_qubits, &self.operators[outcome], &self.targets);
+            }
+            return;
+        }
+        // Same per-block target-count dispatch as the probability sweep;
+        // the copy itself is identical amplitude for amplitude (`extend`
+        // from an exact-size iterator skips the per-push length updates).
+        let (masks, k) = self.outcome_masks(n_qubits);
+        out.reserve(rows.len() * dim);
+        if k == 1 {
+            let m = masks[0];
+            let member = if outcome == 1 { m } else { 0 };
+            for &r in rows {
+                out.extend(block[r * dim..(r + 1) * dim].iter().enumerate().map(
+                    |(i, a)| {
+                        if i & m == member {
+                            *a
+                        } else {
+                            C64::new(a.re * 0.0, a.im * 0.0)
+                        }
+                    },
+                ));
+            }
+        } else {
+            let (m0, m1) = (masks[0], masks[1]);
+            for &r in rows {
+                out.extend(block[r * dim..(r + 1) * dim].iter().enumerate().map(
+                    |(i, a)| {
+                        let local = (usize::from(i & m0 != 0) << 1) | usize::from(i & m1 != 0);
+                        if local == outcome {
+                            *a
+                        } else {
+                            C64::new(a.re * 0.0, a.im * 0.0)
+                        }
+                    },
+                ));
+            }
         }
     }
 }
@@ -448,6 +606,99 @@ mod tests {
             vec![1],
         );
         assert!(m.computational);
+    }
+
+    /// Packs `count` awkward states into one contiguous block.
+    fn awkward_block(n: usize, count: usize, seed0: u64) -> Vec<C64> {
+        let mut block = Vec::new();
+        for s in 0..count {
+            block.extend_from_slice(awkward_state(n, seed0 + s as u64).amplitudes());
+        }
+        block
+    }
+
+    #[test]
+    fn block_probabilities_match_per_row_calls_bitwise() {
+        let h = Matrix::hadamard();
+        let x_basis = Measurement::two_outcome(
+            h.mul(&Matrix::basis_projector(2, 0)).mul(&h),
+            h.mul(&Matrix::basis_projector(2, 1)).mul(&h),
+            vec![1],
+        );
+        let measurements = [
+            Measurement::computational(vec![0]),
+            Measurement::computational(vec![3]),
+            Measurement::computational(vec![2, 0]),
+            x_basis,
+        ];
+        for (mi, m) in measurements.iter().enumerate() {
+            for rows in [1usize, 2, 5, 16] {
+                let block = awkward_block(4, rows, 100 * (mi as u64 + 1));
+                let mut table = vec![-1.0]; // must be cleared, not appended
+                m.branch_probabilities_block(4, &block, &mut table);
+                assert_eq!(table.len(), rows * m.num_outcomes());
+                let dim = 1usize << 4;
+                let mut probs = Vec::new();
+                for r in 0..rows {
+                    m.branch_probabilities_into(4, &block[r * dim..(r + 1) * dim], &mut probs);
+                    for (o, (a, b)) in table[r * m.num_outcomes()..(r + 1) * m.num_outcomes()]
+                        .iter()
+                        .zip(&probs)
+                        .enumerate()
+                    {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "measurement {mi} rows {rows} row {r} outcome {o}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_collapse_matches_per_row_calls_bitwise() {
+        // Strided row selections included: the block pass must only touch
+        // the selected rows, in selection order, with identical bits —
+        // signed zeros of the masked copy included.
+        let h = Matrix::hadamard();
+        let x_basis = Measurement::two_outcome(
+            h.mul(&Matrix::basis_projector(2, 0)).mul(&h),
+            h.mul(&Matrix::basis_projector(2, 1)).mul(&h),
+            vec![0],
+        );
+        let measurements = [
+            Measurement::computational(vec![1]),
+            Measurement::computational(vec![3, 1]),
+            x_basis,
+        ];
+        let dim = 1usize << 4;
+        for (mi, m) in measurements.iter().enumerate() {
+            let block = awkward_block(4, 7, 500 * (mi as u64 + 1));
+            for (si, selected) in [vec![0usize, 1, 2, 3, 4, 5, 6], vec![2], vec![6, 0, 3]]
+                .iter()
+                .enumerate()
+            {
+                for outcome in 0..m.num_outcomes() {
+                    let mut blocked = Vec::new();
+                    m.collapse_block_into(4, &block, selected, outcome, &mut blocked);
+                    assert_eq!(blocked.len(), selected.len() * dim);
+                    let mut per_row = Vec::new();
+                    for &r in selected {
+                        m.collapse_amps_into(4, &block[r * dim..(r + 1) * dim], outcome, &mut per_row);
+                    }
+                    let bits = |v: &[C64]| -> Vec<(u64, u64)> {
+                        v.iter().map(|a| (a.re.to_bits(), a.im.to_bits())).collect()
+                    };
+                    assert_eq!(
+                        bits(&blocked),
+                        bits(&per_row),
+                        "measurement {mi} selection {si} outcome {outcome}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

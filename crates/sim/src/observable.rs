@@ -328,25 +328,84 @@ impl Observable {
     /// a layout from [`small_k_layout`](Self::small_k_layout). Shared by
     /// the single-state and batched read-out paths so their arithmetic can
     /// never drift apart.
+    ///
+    /// `k = 1` and `k = 2` are fully unrolled — the identical `mul_add`
+    /// sequence as the generic loop, so results carry the same bits; only
+    /// the per-orbit loop and bounds-check overhead goes away. The generic
+    /// loop remains for `k = 0` (trivial observables).
     fn expectation_small_k(&self, amps: &[C64], off: &[usize; 4], bits: &[usize]) -> f64 {
         let n = self.n_qubits;
         let k = self.targets.len();
-        let dim_local = 1usize << k;
         let md = self.matrix.as_slice();
         let mut acc = C64::ZERO;
-        for i in 0..1usize << (n - k) {
-            let base = crate::kernels::deposit_zeros(i, bits);
-            let mut s = [C64::ZERO; 4];
-            for (a, slot) in s.iter_mut().enumerate().take(dim_local) {
-                *slot = amps[base | off[a]];
-            }
-            for a in 0..dim_local {
-                let row = a * dim_local;
-                let mut o_psi = C64::ZERO;
-                for b in 0..dim_local {
-                    o_psi = o_psi.mul_add(md[row + b], s[b]);
+        match k {
+            1 => {
+                let low = (1usize << bits[0]) - 1;
+                let o1 = off[1];
+                let (m00, m01, m10, m11) = (md[0], md[1], md[2], md[3]);
+                for i in 0..1usize << (n - 1) {
+                    let base = ((i & !low) << 1) | (i & low);
+                    let s0 = amps[base];
+                    let s1 = amps[base | o1];
+                    let o_psi = C64::ZERO.mul_add(m00, s0).mul_add(m01, s1);
+                    acc = acc.mul_add(s0.conj(), o_psi);
+                    let o_psi = C64::ZERO.mul_add(m10, s0).mul_add(m11, s1);
+                    acc = acc.mul_add(s1.conj(), o_psi);
                 }
-                acc = acc.mul_add(s[a].conj(), o_psi);
+            }
+            2 => {
+                let low0 = (1usize << bits[0]) - 1;
+                let low1 = (1usize << bits[1]) - 1;
+                for i in 0..1usize << (n - 2) {
+                    let mut base = ((i & !low0) << 1) | (i & low0);
+                    base = ((base & !low1) << 1) | (base & low1);
+                    let s0 = amps[base];
+                    let s1 = amps[base | off[1]];
+                    let s2 = amps[base | off[2]];
+                    let s3 = amps[base | off[3]];
+                    let o_psi = C64::ZERO
+                        .mul_add(md[0], s0)
+                        .mul_add(md[1], s1)
+                        .mul_add(md[2], s2)
+                        .mul_add(md[3], s3);
+                    acc = acc.mul_add(s0.conj(), o_psi);
+                    let o_psi = C64::ZERO
+                        .mul_add(md[4], s0)
+                        .mul_add(md[5], s1)
+                        .mul_add(md[6], s2)
+                        .mul_add(md[7], s3);
+                    acc = acc.mul_add(s1.conj(), o_psi);
+                    let o_psi = C64::ZERO
+                        .mul_add(md[8], s0)
+                        .mul_add(md[9], s1)
+                        .mul_add(md[10], s2)
+                        .mul_add(md[11], s3);
+                    acc = acc.mul_add(s2.conj(), o_psi);
+                    let o_psi = C64::ZERO
+                        .mul_add(md[12], s0)
+                        .mul_add(md[13], s1)
+                        .mul_add(md[14], s2)
+                        .mul_add(md[15], s3);
+                    acc = acc.mul_add(s3.conj(), o_psi);
+                }
+            }
+            _ => {
+                let dim_local = 1usize << k;
+                for i in 0..1usize << (n - k) {
+                    let base = crate::kernels::deposit_zeros(i, bits);
+                    let mut s = [C64::ZERO; 4];
+                    for (a, slot) in s.iter_mut().enumerate().take(dim_local) {
+                        *slot = amps[base | off[a]];
+                    }
+                    for a in 0..dim_local {
+                        let row = a * dim_local;
+                        let mut o_psi = C64::ZERO;
+                        for b in 0..dim_local {
+                            o_psi = o_psi.mul_add(md[row + b], s[b]);
+                        }
+                        acc = acc.mul_add(s[a].conj(), o_psi);
+                    }
+                }
             }
         }
         debug_assert!(acc.im.abs() < 1e-7);
@@ -364,10 +423,24 @@ impl Observable {
     ///
     /// Panics when register sizes differ.
     pub fn expectation_batch(&self, states: &crate::batch::BatchedStates) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.expectation_batch_into(states, &mut out);
+        out
+    }
+
+    /// [`expectation_batch`](Self::expectation_batch) writing into a
+    /// reusable buffer (cleared and refilled) — the allocation-free form
+    /// batched leaf read-outs call once per group.
+    ///
+    /// # Panics
+    ///
+    /// Panics when register sizes differ.
+    pub fn expectation_batch_into(&self, states: &crate::batch::BatchedStates, out: &mut Vec<f64>) {
+        out.clear();
         if states.is_empty() {
             // `from_states(&[])` has no well-defined register; there is
             // nothing to read out either way.
-            return Vec::new();
+            return;
         }
         assert_eq!(
             states.num_qubits(),
@@ -375,16 +448,15 @@ impl Observable {
             "observable register size mismatch"
         );
         if self.targets.len() > 2 {
-            return states
-                .iter_rows()
-                .map(|row| self.expectation_amps(row))
-                .collect();
+            out.extend(states.iter_rows().map(|row| self.expectation_amps(row)));
+            return;
         }
         let (off, bits) = self.small_k_layout();
-        states
-            .iter_rows()
-            .map(|amps| self.expectation_small_k(amps, &off, &bits))
-            .collect()
+        out.extend(
+            states
+                .iter_rows()
+                .map(|amps| self.expectation_small_k(amps, &off, &bits)),
+        );
     }
 
     /// Spectral decomposition into `(eigenvalue, projector)` pairs on the

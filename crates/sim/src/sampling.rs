@@ -286,6 +286,73 @@ impl ProjectiveObservable {
         true
     }
 
+    /// All pair probabilities of **every row** of a contiguous
+    /// `rows × 2ⁿ` amplitude block from **one bucketed `|amp|²` sweep**,
+    /// or `false` (table untouched) when the observable is not diagonal:
+    /// `table` is cleared and refilled with `rows × pairs` entries, row
+    /// `r`'s probabilities at `table[r·pairs .. (r+1)·pairs]`.
+    ///
+    /// Each row's buckets accumulate the identical values in the identical
+    /// order as [`row_probabilities_into`](Self::row_probabilities_into)
+    /// on that row alone, so batched and per-row read-outs select from
+    /// bit-identical probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block.len()` is not `rows` whole rows.
+    pub fn row_probabilities_block(&self, block: &[C64], rows: usize, table: &mut Vec<f64>) -> bool {
+        let Some(d) = self.diagonal.as_ref() else {
+            return false;
+        };
+        let dim = 1usize << self.pairs[0].1.num_qubits();
+        assert_eq!(
+            block.len(),
+            rows * dim,
+            "block must hold {rows} whole {dim}-amplitude rows"
+        );
+        let pairs = self.pairs.len();
+        table.clear();
+        table.resize(rows * pairs, 0.0);
+        for (r, row) in block.chunks_exact(dim).enumerate() {
+            let buckets = &mut table[r * pairs..(r + 1) * pairs];
+            for (i, a) in row.iter().enumerate() {
+                let local = crate::kernels::local_index(i, &d.masks);
+                buckets[d.pair_of_local[local]] += a.norm_sqr();
+            }
+        }
+        true
+    }
+
+    /// The full `rows × pairs` read-out probability table of a batch —
+    /// the block form every group read-out goes through: **one** bucketed
+    /// sweep over the whole block for diagonal observables, one batched
+    /// expectation pass per projector otherwise (never one pass per row).
+    /// Values are identical to the per-row paths bit for bit, so serial
+    /// and batched draws can never drift apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics when register sizes differ.
+    pub fn pair_probabilities_batch(
+        &self,
+        states: &crate::batch::BatchedStates,
+        table: &mut Vec<f64>,
+    ) {
+        if self.row_probabilities_block(states.amplitudes(), states.len(), table) {
+            return;
+        }
+        let pairs = self.pairs.len();
+        table.clear();
+        table.resize(states.len() * pairs, 0.0);
+        let mut column = Vec::new();
+        for (k, (_, projector)) in self.pairs.iter().enumerate() {
+            projector.expectation_batch_into(states, &mut column);
+            for (r, &v) in column.iter().enumerate() {
+                table[r * pairs + k] = v;
+            }
+        }
+    }
+
     /// One projective sample for a pre-drawn uniform `u ∈ [0, 1)` against a
     /// raw amplitude slice whose squared norm is `total` (pass
     /// `psi.norm_sqr()`; callers must handle `total ≈ 0` themselves —

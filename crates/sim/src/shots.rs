@@ -23,9 +23,14 @@
 //!
 //! Both modes share the straight-line machinery: gate segments stream as
 //! single batched kernel calls (with per-qubit 2×2 fusion of commuting
-//! single-qubit gates where the mode allows), and measurements take one
-//! pass over the whole block through the selected-branch primitives of
-//! [`crate::Measurement`].
+//! single-qubit gates where the mode allows), and measurements are
+//! **block-level**: one bucketed probability sweep over the whole group's
+//! contiguous amplitude block
+//! ([`Measurement::branch_probabilities_block`]), one strided collapse
+//! pass per surviving outcome ([`Measurement::collapse_block_into`]), and
+//! a pooled [`RegroupScratch`] arena recycling every buffer a fork needs —
+//! so a measurement performs no per-row kernel calls and, once the pools
+//! are warm, no allocations at all.
 //!
 //! # Determinism contract
 //!
@@ -52,9 +57,12 @@
 use crate::batch::BatchedStates;
 use crate::measurement::Measurement;
 use crate::observable::Observable;
-use crate::sampling::{collapse_with_draw, ProjectiveObservable, ShotSampler};
+use crate::sampling::{ProjectiveObservable, ShotSampler};
 use crate::state::StateVector;
-use qdp_linalg::Matrix;
+use qdp_linalg::{C64, Matrix};
+
+#[cfg(doc)]
+use crate::sampling::collapse_with_draw;
 
 /// Rows per parallel shot tile of [`ShotEngine::estimate_expectation`].
 ///
@@ -167,7 +175,7 @@ pub struct TrajectoryRow {
 }
 
 /// A row in flight: its original batch index and outcome history.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 struct RowCtx {
     orig: usize,
     outcomes: Vec<usize>,
@@ -180,41 +188,80 @@ struct Group {
     rows: Vec<RowCtx>,
     /// Fused-mode state: per qubit, the pending product of
     /// not-yet-applied single-qubit gates (`pending[q] = g_k · … · g_1` in
-    /// program order). Always empty in bitwise (unfused) mode.
-    pending: Vec<Option<Matrix>>,
+    /// program order), held as a stack 2×2 so fusing a gate never touches
+    /// the heap. Always empty in bitwise (unfused) mode.
+    pending: Vec<Option<[C64; 4]>>,
+}
+
+/// The 2×2 operator as a stack array — how the fusion path reads a 1q gate
+/// matrix without cloning it.
+#[inline]
+fn mat2(m: &Matrix) -> [C64; 4] {
+    let s = m.as_slice();
+    debug_assert_eq!(s.len(), 4, "1q gates are 2x2");
+    [s[0], s[1], s[2], s[3]]
+}
+
+/// The 2×2 product `a · b` on stack arrays, replicating
+/// [`Matrix::mul`]'s accumulation order (including its zero-entry skip)
+/// exactly — fused products carry the identical bits the heap path
+/// produced, with zero allocation.
+#[inline]
+fn mul2(a: &[C64; 4], b: &[C64; 4]) -> [C64; 4] {
+    let mut out = [C64::ZERO; 4];
+    for i in 0..2 {
+        for k in 0..2 {
+            let aik = a[i * 2 + k];
+            if aik == C64::ZERO {
+                continue;
+            }
+            let ro = i * 2;
+            let rb = k * 2;
+            out[ro] = out[ro].mul_add(aik, b[rb]);
+            out[ro + 1] = out[ro + 1].mul_add(aik, b[rb + 1]);
+        }
+    }
+    out
 }
 
 /// Applies the pending 1q products of `targets` (ascending qubit order,
-/// deterministically), as one batched kernel call each. Shared by the
-/// sampled and exact executors.
-fn flush_targets(states: &mut BatchedStates, pending: &mut [Option<Matrix>], targets: &[usize]) {
-    let mut ts: Vec<usize> = targets.to_vec();
-    ts.sort_unstable();
-    for t in ts {
+/// deterministically), as one batched kernel call each, through the
+/// sweep's reusable 2×2 `gate` scratch (no per-flush heap traffic).
+/// Shared by the sampled and exact executors.
+fn flush_targets(
+    states: &mut BatchedStates,
+    pending: &mut [Option<[C64; 4]>],
+    targets: &[usize],
+    gate: &mut Matrix,
+) {
+    // Multi-qubit gates in the pipeline have two targets; sort on the
+    // stack and only spill for exotic hand-built operators.
+    let mut small = [0usize; 2];
+    let mut spilled: Vec<usize>;
+    let ts: &[usize] = if targets.len() <= 2 {
+        small[..targets.len()].copy_from_slice(targets);
+        small[..targets.len()].sort_unstable();
+        &small[..targets.len()]
+    } else {
+        spilled = targets.to_vec();
+        spilled.sort_unstable();
+        &spilled
+    };
+    for &t in ts {
         if let Some(m) = pending[t].take() {
-            states.apply_gate(&m, &[t]);
+            gate.as_mut_slice().copy_from_slice(&m);
+            states.apply_gate(gate, &[t]);
         }
     }
 }
 
 /// Applies every pending product (ascending qubit order).
-fn flush_all(states: &mut BatchedStates, pending: &mut [Option<Matrix>]) {
+fn flush_all(states: &mut BatchedStates, pending: &mut [Option<[C64; 4]>], gate: &mut Matrix) {
     for (t, slot) in pending.iter_mut().enumerate() {
         if let Some(m) = slot.take() {
-            states.apply_gate(&m, &[t]);
+            gate.as_mut_slice().copy_from_slice(&m);
+            states.apply_gate(gate, &[t]);
         }
-    }
-}
-
-impl Group {
-    /// See [`flush_targets`].
-    fn flush(&mut self, targets: &[usize]) {
-        flush_targets(&mut self.states, &mut self.pending, targets);
-    }
-
-    /// See [`flush_all`].
-    fn flush_all(&mut self) {
-        flush_all(&mut self.states, &mut self.pending);
     }
 }
 
@@ -244,7 +291,196 @@ struct WeightedRow {
 struct WeightedGroup {
     states: BatchedStates,
     rows: Vec<WeightedRow>,
-    pending: Vec<Option<Matrix>>,
+    pending: Vec<Option<[C64; 4]>>,
+}
+
+/// Reusable scratch of the block-level regrouping machinery: the
+/// probability table, per-row records, and pooled buffers every fork
+/// needs. One arena lives per thread ([`SCRATCH`]), shared by every sweep
+/// that runs on it, so once the first forks warm the pools a measurement
+/// performs **zero per-row and zero per-fork allocations** — buffers flow
+/// from spent parent groups back into new child groups, double-buffered:
+/// a parent's amplitude block is the read side of the collapse passes
+/// while its children's blocks are the write side, and it returns to the
+/// pool the moment the children exist. Scratch contents never influence
+/// results, so the reuse is invisible to the determinism contract.
+#[derive(Default)]
+struct RegroupScratch {
+    /// Total capacity (in amplitudes) currently held by `blocks`.
+    pooled_amps: usize,
+    /// `rows × outcomes` branch-probability table of the current fork (or
+    /// `rows × pairs` read-out table of the current leaf group).
+    probs: Vec<f64>,
+    /// Per-row squared norms of the current fork or read-out group.
+    totals: Vec<f64>,
+    /// Per-row draw records of the current fork (sampled mode).
+    draws: Vec<Draw>,
+    /// Parent-block indices of the rows surviving into the outcome under
+    /// construction.
+    selected: Vec<usize>,
+    /// Outcome indices ordered by weight (mass-budget pruning).
+    order: Vec<usize>,
+    /// `rows × outcomes` keep flags of the current fork (exact mode).
+    keep: Vec<bool>,
+    /// Pooled amplitude blocks.
+    blocks: Vec<Vec<C64>>,
+    /// Pooled pending-product tables.
+    pendings: Vec<Vec<Option<[C64; 4]>>>,
+    /// Pooled weighted row lists (exact mode).
+    weighted_rows: Vec<Vec<WeightedRow>>,
+    /// Pooled sampled row lists.
+    sampled_rows: Vec<Vec<RowCtx>>,
+    /// Pooled fork child lists (exact mode).
+    weighted_forks: Vec<Vec<(usize, WeightedGroup)>>,
+    /// Pooled fork child lists (sampled mode).
+    sampled_forks: Vec<Vec<(usize, Group)>>,
+}
+
+/// Upper bound on every [`RegroupScratch`] pool: enough that real branch
+/// trees never miss (a fork holds a handful of buffers per outcome times
+/// the tree depth), while buffers donated by callers — every sweep's root
+/// block ends up offered to the arena — cannot accumulate without bound
+/// across the thread's lifetime.
+const SCRATCH_POOL_CAP: usize = 64;
+
+/// Upper bound on the **amplitudes retained** by a thread's pooled blocks
+/// (`4 Mi` `C64`s = 64 MiB): large-register sweeps still recycle a few
+/// big blocks through their own forks, but a long-lived thread cannot
+/// stay pinned at the footprint of the largest sweep it ever ran.
+const SCRATCH_POOL_AMPS: usize = 1 << 22;
+
+/// Pushes onto a pool unless it is at [`SCRATCH_POOL_CAP`] (the buffer is
+/// dropped instead).
+fn pool_give<T>(pool: &mut Vec<T>, item: T) {
+    if pool.len() < SCRATCH_POOL_CAP {
+        pool.push(item);
+    }
+}
+
+impl RegroupScratch {
+    fn take_block(&mut self) -> Vec<C64> {
+        let block = self.blocks.pop().unwrap_or_default();
+        self.pooled_amps -= block.capacity();
+        block
+    }
+
+    fn give_block(&mut self, mut block: Vec<C64>) {
+        if self.blocks.len() >= SCRATCH_POOL_CAP
+            || self.pooled_amps + block.capacity() > SCRATCH_POOL_AMPS
+        {
+            return;
+        }
+        block.clear();
+        self.pooled_amps += block.capacity();
+        self.blocks.push(block);
+    }
+
+    fn take_pending(&mut self, n_qubits: usize) -> Vec<Option<[C64; 4]>> {
+        let mut pending = self.pendings.pop().unwrap_or_default();
+        pending.clear();
+        pending.resize(n_qubits, None);
+        pending
+    }
+
+    /// Reclaims a spent **exact** group's buffers into the pools.
+    fn reclaim_weighted(&mut self, group: WeightedGroup) {
+        let WeightedGroup { states, mut rows, pending } = group;
+        self.give_block(states.into_raw());
+        rows.clear();
+        pool_give(&mut self.weighted_rows, rows);
+        pool_give(&mut self.pendings, pending);
+    }
+
+    /// Reclaims a spent **sampled** group's buffers into the pools (its
+    /// row contexts must already have moved on — to sub-groups or the
+    /// aborted list).
+    fn reclaim_sampled(&mut self, group: Group) {
+        let Group { states, mut rows, pending } = group;
+        debug_assert!(rows.is_empty(), "row contexts outlive their group");
+        self.give_block(states.into_raw());
+        rows.clear();
+        pool_give(&mut self.sampled_rows, rows);
+        pool_give(&mut self.pendings, pending);
+    }
+}
+
+thread_local! {
+    /// The per-thread regroup arena. The serial paths (and every sweep on
+    /// a 1-thread configuration) keep their pools warm across calls; a
+    /// fresh `qdp_par` scoped worker starts cold and warms within its
+    /// first fork.
+    static SCRATCH: std::cell::RefCell<RegroupScratch> =
+        std::cell::RefCell::new(RegroupScratch::default());
+}
+
+/// One row's Born-rule record at a sampled fork — everything the in-place
+/// rescale of its collapsed row needs, mirroring [`collapse_with_draw`].
+#[derive(Clone, Copy, Debug)]
+struct Draw {
+    /// The drawn outcome.
+    outcome: usize,
+    /// The drawn branch's probability.
+    p: f64,
+    /// The row's pre-measurement squared norm.
+    total: f64,
+    /// Whether the floating-point-slack fallback selected the branch
+    /// (which skips the `(total/p).sqrt()` blow-up, like the serial path).
+    slack: bool,
+}
+
+/// The Born-rule selection walk of [`collapse_with_draw`] on a
+/// pre-computed probability row — identical arithmetic to the serial path
+/// (including the slack fallback to the last branch with support), so
+/// batched draws match it bit for bit.
+///
+/// # Panics
+///
+/// Panics when no branch has support.
+fn select_branch(u: f64, total: f64, probs: &[f64]) -> Draw {
+    let mut r: f64 = u * total;
+    for (outcome, &p) in probs.iter().enumerate() {
+        r -= p;
+        if r <= 0.0 {
+            return Draw { outcome, p, total, slack: false };
+        }
+    }
+    let outcome = (0..probs.len())
+        .rev()
+        .find(|&m| probs[m] > 0.0)
+        .expect("no branch has support");
+    Draw {
+        outcome,
+        p: probs[outcome],
+        total,
+        slack: true,
+    }
+}
+
+/// Replays, in place on one freshly collapsed destination row, the
+/// rescaling [`collapse_with_draw`] applies to the selected branch: the
+/// `(total/p).sqrt()` blow-up (skipped on the slack path, and — like the
+/// serial path — skipped entirely together with the renormalisation when
+/// the drawn probability is zero), then the renormalisation to the parent
+/// norm. The identical `C64` scalar multiplies over the identical full
+/// row and the identical norm fold, so the row carries the serial path's
+/// bits.
+fn rescale_collapsed(row: &mut [C64], d: Draw) {
+    if !d.slack {
+        if d.p <= 0.0 {
+            return;
+        }
+        let s = C64::real((d.total / d.p).sqrt().min(1e150));
+        for a in row.iter_mut() {
+            *a *= s;
+        }
+    }
+    let norm = row.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        let s = C64::real(d.total.sqrt() / norm);
+        for a in row.iter_mut() {
+            *a *= s;
+        }
+    }
 }
 
 /// The batched shot-noise executor for one [`TrajProgram`].
@@ -274,12 +510,51 @@ struct WeightedGroup {
 #[derive(Clone, Debug)]
 pub struct ShotEngine {
     program: TrajProgram,
+    /// Droppable probability mass per row of the exact sweep, as a
+    /// fraction of the row's initial mass — see
+    /// [`with_mass_budget`](Self::with_mass_budget). 0 (the default)
+    /// prunes only below [`BRANCH_PRUNE`], preserving today's bits.
+    mass_budget: f64,
 }
 
 impl ShotEngine {
     /// Wraps a trajectory program for batched execution.
     pub fn new(program: TrajProgram) -> Self {
-        ShotEngine { program }
+        ShotEngine {
+            program,
+            mass_budget: 0.0,
+        }
+    }
+
+    /// Gives the **exact** sweep a weighted-leaf pruning budget: each
+    /// row may drop measurement branches totalling at most
+    /// `epsilon × (that row's initial squared norm)` of probability mass
+    /// over its whole branch tree — i.e. the cumulative kept leaf weight
+    /// stays ≥ `1 − ε` on normalised inputs. At every fork the
+    /// lowest-weight surviving branches are dropped first (greedily, in
+    /// the sweep's deterministic depth-first order), which prunes whole
+    /// subtrees and trades a **bounded** read-out error — at most `ε` for
+    /// observables with `‖O‖ ≤ 1`, since
+    /// `|Σ_dropped ⟨ψb|O|ψb⟩| ≤ Σ_dropped ‖ψb‖²` — for large speedups on
+    /// deep while-unrollings.
+    ///
+    /// Pruning decisions are a pure per-row function of the program and
+    /// that row's input, so the exact sweep's thread-count / batch-composition /
+    /// row-order invariance is untouched. The default `ε = 0` drops
+    /// nothing beyond [`BRANCH_PRUNE`] and preserves the unpruned sweep
+    /// bit for bit. Sampled sweeps never prune (every shot follows one
+    /// drawn branch).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epsilon` is not in `[0, 1)`.
+    pub fn with_mass_budget(mut self, epsilon: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&epsilon),
+            "mass budget must be in [0, 1), got {epsilon}"
+        );
+        self.mass_budget = epsilon;
+        self
     }
 
     /// The wrapped program.
@@ -327,12 +602,17 @@ impl ShotEngine {
     /// matching the serial estimator). Returns per-row samples in input
     /// row order.
     ///
-    /// The per-projector expectations of each final group are computed
-    /// batch-wise with the observable's index layout hoisted once, so the
-    /// read-out costs one batched pass per projector instead of one
-    /// eigendecomposition per shot. On top of that, straight-line gate
-    /// segments **fuse** commuting single-qubit gates per qubit into one
-    /// 2×2 product before streaming (exactly like the exact batched
+    /// The read-out of each final group is **block-level**: one
+    /// `rows × pairs` probability table per group
+    /// ([`ProjectiveObservable::pair_probabilities_batch`] — a single
+    /// bucketed `|amp|²` sweep over the group's contiguous block for
+    /// diagonal observables, one batched expectation pass per projector
+    /// otherwise) plus one norm pass, so leaf read-out is one sweep per
+    /// group instead of one per row. The probabilities are bit-identical
+    /// to the per-row passes the serial sampler selects from, so draws can
+    /// never drift apart. On top of that, straight-line gate segments
+    /// **fuse** commuting single-qubit gates per qubit into one 2×2
+    /// product before streaming (exactly like the exact batched
     /// evaluator's straight-line fast path), flushed at measurements,
     /// multi-qubit gates, and the read-out. Fusion reorders rounding, so
     /// samples agree with [`run`](Self::run)-plus-serial-sampling
@@ -352,35 +632,21 @@ impl ShotEngine {
         let total_rows = states.len();
         let (finished, aborted) = self.sweep(states, samplers, true);
         let mut out = vec![0.0; total_rows];
+        let pairs = readout.pairs().len();
+        let mut table = Vec::new();
+        let mut totals = Vec::new();
         for group in finished {
-            // Diagonal read-outs take one bucketed |amp|² pass per row
-            // (the same `row_probabilities` the serial sampler selects
-            // from, so draws can never drift apart); general observables
-            // take one batched expectation pass per projector, shared by
-            // every row of the group.
-            let per_projector: Vec<Vec<f64>> = if readout.is_diagonal() {
-                Vec::new()
-            } else {
-                readout
-                    .pairs()
-                    .iter()
-                    .map(|(_, projector)| projector.expectation_batch(&group.states))
-                    .collect()
-            };
-            let mut probs = Vec::new();
+            readout.pair_probabilities_batch(&group.states, &mut table);
+            group.states.row_norms_sqr_into(&mut totals);
             for (r, ctx) in group.rows.iter().enumerate() {
                 // The shared selection loop of `sample_with_draw`, with
-                // the probabilities read from whichever pass ran.
-                let total: f64 = group.states.row(r).iter().map(|z| z.norm_sqr()).sum();
+                // the probabilities read off the group's table.
+                let total = totals[r];
                 if total <= 1e-300 {
                     continue;
                 }
                 let u = samplers[ctx.orig].next_uniform();
-                out[ctx.orig] = if readout.row_probabilities_into(group.states.row(r), &mut probs) {
-                    readout.select_with(u, total, |k| probs[k])
-                } else {
-                    readout.select_with(u, total, |k| per_projector[k][r])
-                };
+                out[ctx.orig] = readout.select_with(u, total, |k| table[r * pairs + k]);
             }
         }
         drop(aborted); // aborted rows stay 0.0 and draw nothing
@@ -501,12 +767,21 @@ impl ShotEngine {
     /// serial branch-weighted sweep over a whole block.
     fn expectation_sweep_tile(&self, states: BatchedStates, obs: &Observable) -> Vec<f64> {
         let mut out = vec![0.0; states.len()];
-        let group = weighted_root(states);
-        exec_weighted(&self.program.ops, Vec::new(), group, &mut |group: WeightedGroup| {
-            let values = obs.expectation_batch(&group.states);
-            for (ctx, v) in group.rows.iter().zip(values) {
-                out[ctx.orig] += v;
-            }
+        let mut values = Vec::new();
+        SCRATCH.with(|cell| {
+            let scratch = &mut cell.borrow_mut();
+            let group = weighted_root(states, scratch);
+            let mut sweep = ExactSweep {
+                budgets: self.budgets_for(&group),
+                scratch,
+                flush_gate: Matrix::zeros(2, 2),
+            };
+            sweep.exec(&self.program.ops, Vec::new(), group, &mut |group: &WeightedGroup| {
+                obs.expectation_batch_into(&group.states, &mut values);
+                for (ctx, v) in group.rows.iter().zip(&values) {
+                    out[ctx.orig] += v;
+                }
+            });
         });
         out
     }
@@ -515,21 +790,39 @@ impl ShotEngine {
     /// row's depth-first branch order — the diagnostic view of
     /// [`expectation_sweep`](Self::expectation_sweep) the property suites
     /// pin: for an abort-free program on normalised inputs each row's
-    /// weights sum to 1 (up to the [`BRANCH_PRUNE`] threshold), because
-    /// its branch tree is trace-preserving.
+    /// weights sum to 1 (up to the [`BRANCH_PRUNE`] threshold — and up to
+    /// the engine's [mass budget](Self::with_mass_budget), which drops at
+    /// most `ε` of each row's mass), because its branch tree is
+    /// trace-preserving.
     pub fn leaf_weights(&self, states: BatchedStates) -> Vec<Vec<f64>> {
         let total_rows = states.len();
         let mut out: Vec<Vec<f64>> = vec![Vec::new(); total_rows];
         if total_rows == 0 {
             return out;
         }
-        let group = weighted_root(states);
-        exec_weighted(&self.program.ops, Vec::new(), group, &mut |group: WeightedGroup| {
-            for ctx in &group.rows {
-                out[ctx.orig].push(ctx.weight);
-            }
+        SCRATCH.with(|cell| {
+            let scratch = &mut cell.borrow_mut();
+            let group = weighted_root(states, scratch);
+            let mut sweep = ExactSweep {
+                budgets: self.budgets_for(&group),
+                scratch,
+                flush_gate: Matrix::zeros(2, 2),
+            };
+            sweep.exec(&self.program.ops, Vec::new(), group, &mut |group: &WeightedGroup| {
+                for ctx in &group.rows {
+                    out[ctx.orig].push(ctx.weight);
+                }
+            });
         });
         out
+    }
+
+    /// Each root row's droppable-mass budget: `ε ×` its initial mass.
+    fn budgets_for(&self, root: &WeightedGroup) -> Vec<f64> {
+        root.rows
+            .iter()
+            .map(|ctx| self.mass_budget * ctx.weight)
+            .collect()
     }
 
     /// Executes the program over the whole batch, branch-grouping on every
@@ -557,273 +850,401 @@ impl ShotEngine {
             pending: vec![None; states.num_qubits()],
             states,
         };
-        let mut finished = Vec::new();
-        let mut aborted = Vec::new();
         if group.rows.is_empty() {
-            return (finished, aborted);
+            return (Vec::new(), Vec::new());
         }
-        exec(
-            &self.program.ops,
-            Vec::new(),
-            group,
-            samplers,
-            fuse,
-            &mut finished,
-            &mut aborted,
-        );
-        (finished, aborted)
-    }
-}
-
-/// Executes `ops` on `group`, with `cont` the stack of suspended op slices
-/// to resume (innermost last) once `ops` is exhausted — the continuation a
-/// `case` arm returns into.
-fn exec<'p>(
-    ops: &'p [TrajOp],
-    cont: Vec<&'p [TrajOp]>,
-    mut group: Group,
-    samplers: &mut [ShotSampler],
-    fuse: bool,
-    finished: &mut Vec<Group>,
-    aborted: &mut Vec<RowCtx>,
-) {
-    for (i, op) in ops.iter().enumerate() {
-        match op {
-            TrajOp::Gate { matrix, targets } => {
-                if !fuse {
-                    // Bitwise mode: one batched kernel call streams the
-                    // operator over every row, in program order.
-                    group.states.apply_gate(matrix, targets);
-                } else if let [t] = targets[..] {
-                    group.pending[t] = Some(match group.pending[t].take() {
-                        None => matrix.clone(),
-                        Some(prev) => matrix.mul(&prev),
-                    });
-                } else {
-                    // A multi-qubit gate orders against the pending
-                    // rotations of its own targets only.
-                    group.flush(targets);
-                    group.states.apply_gate(matrix, targets);
-                }
-            }
-            TrajOp::Abort => {
-                // Dropped rows never need their pending products.
-                aborted.append(&mut group.rows);
-                return;
-            }
-            TrajOp::Init { meas, flip, target } => {
-                group.flush_all();
-                let rest = &ops[i + 1..];
-                for (outcome, mut sub) in measure_group(group, meas, samplers) {
-                    if outcome == 1 {
-                        sub.states.apply_gate(flip, &[*target]);
-                    }
-                    exec(rest, cont.clone(), sub, samplers, fuse, finished, aborted);
-                }
-                return;
-            }
-            TrajOp::Case { meas, arms } => {
-                group.flush_all();
-                let rest = &ops[i + 1..];
-                for (outcome, sub) in measure_group(group, meas, samplers) {
-                    let mut arm_cont = cont.clone();
-                    arm_cont.push(rest);
-                    exec(&arms[outcome].ops, arm_cont, sub, samplers, fuse, finished, aborted);
-                }
-                return;
-            }
-        }
-    }
-    let mut cont = cont;
-    match cont.pop() {
-        // Pending products flow into the continuation: there is no
-        // measurement between an arm's trailing gates and the join.
-        Some(next) => exec(next, cont, group, samplers, fuse, finished, aborted),
-        None => {
-            group.flush_all();
-            finished.push(group);
-        }
-    }
-}
-
-/// Measures every row of `group` at once (each row drawing from its own
-/// stream, collapsing through the serial-identical [`collapse_with_draw`])
-/// and regroups the rows into outcome-homogeneous sub-batches.
-///
-/// Sub-batches are returned in ascending outcome order; rows keep their
-/// relative order inside each sub-batch, so the regrouping is a pure
-/// deterministic function of the drawn outcomes.
-fn measure_group(
-    group: Group,
-    meas: &Measurement,
-    samplers: &mut [ShotSampler],
-) -> Vec<(usize, Group)> {
-    debug_assert!(
-        group.pending.iter().all(Option::is_none),
-        "pending products must be flushed before measuring"
-    );
-    let Group { states, rows, pending } = group;
-    let mut buckets: Vec<(Vec<RowCtx>, Vec<StateVector>)> = (0..meas.num_outcomes())
-        .map(|_| (Vec::new(), Vec::new()))
-        .collect();
-    for (r, mut ctx) in rows.into_iter().enumerate() {
-        let psi = states.row_state(r);
-        let u = samplers[ctx.orig].next_uniform();
-        let (outcome, collapsed) = collapse_with_draw(u, &psi, meas);
-        ctx.outcomes.push(outcome);
-        buckets[outcome].0.push(ctx);
-        buckets[outcome].1.push(collapsed);
-    }
-    buckets
-        .into_iter()
-        .enumerate()
-        .filter(|(_, (rows, _))| !rows.is_empty())
-        .map(|(outcome, (rows, collapsed))| {
-            (
-                outcome,
-                Group {
-                    states: BatchedStates::from_states(&collapsed),
-                    rows,
-                    pending: pending.clone(),
-                },
-            )
+        SCRATCH.with(|cell| {
+            let scratch = &mut cell.borrow_mut();
+            let mut sweep = SampledSweep {
+                samplers,
+                fuse,
+                scratch,
+                flush_gate: Matrix::zeros(2, 2),
+                finished: Vec::new(),
+                aborted: Vec::new(),
+            };
+            sweep.exec(&self.program.ops, Vec::new(), group);
+            (sweep.finished, sweep.aborted)
         })
-        .collect()
+    }
+}
+
+/// The state of one **sampled** sweep: the per-row streams, the fusion
+/// mode, the regroup scratch arena, and the accumulating leaf/abort lists.
+struct SampledSweep<'s> {
+    samplers: &'s mut [ShotSampler],
+    fuse: bool,
+    scratch: &'s mut RegroupScratch,
+    /// Reusable 2×2 the pending products flush through.
+    flush_gate: Matrix,
+    finished: Vec<Group>,
+    aborted: Vec<RowCtx>,
+}
+
+impl SampledSweep<'_> {
+    /// Executes `ops` on `group`, with `cont` the stack of suspended op
+    /// slices to resume (innermost last) once `ops` is exhausted — the
+    /// continuation a `case` arm returns into.
+    fn exec<'p>(&mut self, ops: &'p [TrajOp], cont: Vec<&'p [TrajOp]>, mut group: Group) {
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                TrajOp::Gate { matrix, targets } => {
+                    if !self.fuse {
+                        // Bitwise mode: one batched kernel call streams the
+                        // operator over every row, in program order.
+                        group.states.apply_gate(matrix, targets);
+                    } else if let [t] = targets[..] {
+                        group.pending[t] = Some(match group.pending[t].take() {
+                            None => mat2(matrix),
+                            Some(prev) => mul2(&mat2(matrix), &prev),
+                        });
+                    } else {
+                        // A multi-qubit gate orders against the pending
+                        // rotations of its own targets only.
+                        flush_targets(
+                            &mut group.states,
+                            &mut group.pending,
+                            targets,
+                            &mut self.flush_gate,
+                        );
+                        group.states.apply_gate(matrix, targets);
+                    }
+                }
+                TrajOp::Abort => {
+                    // Dropped rows never need their pending products.
+                    self.aborted.append(&mut group.rows);
+                    self.scratch.reclaim_sampled(group);
+                    return;
+                }
+                TrajOp::Init { meas, flip, target } => {
+                    flush_all(&mut group.states, &mut group.pending, &mut self.flush_gate);
+                    let rest = &ops[i + 1..];
+                    let mut forks = self.scratch.sampled_forks.pop().unwrap_or_default();
+                    self.measure_group(group, meas, &mut forks);
+                    for (outcome, mut sub) in forks.drain(..) {
+                        if outcome == 1 {
+                            sub.states.apply_gate(flip, &[*target]);
+                        }
+                        self.exec(rest, cont.clone(), sub);
+                    }
+                    pool_give(&mut self.scratch.sampled_forks, forks);
+                    return;
+                }
+                TrajOp::Case { meas, arms } => {
+                    flush_all(&mut group.states, &mut group.pending, &mut self.flush_gate);
+                    let rest = &ops[i + 1..];
+                    let mut forks = self.scratch.sampled_forks.pop().unwrap_or_default();
+                    self.measure_group(group, meas, &mut forks);
+                    for (outcome, sub) in forks.drain(..) {
+                        let mut arm_cont = cont.clone();
+                        arm_cont.push(rest);
+                        self.exec(&arms[outcome].ops, arm_cont, sub);
+                    }
+                    pool_give(&mut self.scratch.sampled_forks, forks);
+                    return;
+                }
+            }
+        }
+        let mut cont = cont;
+        match cont.pop() {
+            // Pending products flow into the continuation: there is no
+            // measurement between an arm's trailing gates and the join.
+            Some(next) => self.exec(next, cont, group),
+            None => {
+                flush_all(&mut group.states, &mut group.pending, &mut self.flush_gate);
+                self.finished.push(group);
+            }
+        }
+    }
+
+    /// Measures every row of `group` at once and regroups the rows into
+    /// outcome-homogeneous sub-batches, appended to `forks` in ascending
+    /// outcome order (rows keep their relative order inside each one, so
+    /// the regrouping is a pure deterministic function of the drawn
+    /// outcomes).
+    ///
+    /// **Block-level**: the pre-measurement norms and the full
+    /// `rows × outcomes` probability table come from one sweep each over
+    /// the group's contiguous amplitude block
+    /// ([`Measurement::branch_probabilities_block`]); each row then draws
+    /// from its own stream through [`select_branch`]; and each outcome's
+    /// sub-batch is materialised by one strided
+    /// [`Measurement::collapse_block_into`] pass with the serial rescaling
+    /// replayed in place on the destination rows ([`rescale_collapsed`]).
+    /// Drawn outcomes and collapsed amplitudes are **bit for bit** the
+    /// per-row [`collapse_with_draw`] results — the differential suites
+    /// pin this — and the scratch arena makes the whole fork
+    /// allocation-free once its pools are warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a row has (numerically) zero norm.
+    fn measure_group(&mut self, group: Group, meas: &Measurement, forks: &mut Vec<(usize, Group)>) {
+        debug_assert!(
+            group.pending.iter().all(Option::is_none),
+            "pending products must be flushed before measuring"
+        );
+        let Group { states, mut rows, pending } = group;
+        let n = states.num_qubits();
+        let dim = states.dim();
+        states.row_norms_sqr_into(&mut self.scratch.totals);
+        meas.branch_probabilities_block(n, states.amplitudes(), &mut self.scratch.probs);
+        let outcomes = meas.num_outcomes();
+        self.scratch.draws.clear();
+        for (r, ctx) in rows.iter_mut().enumerate() {
+            let total = self.scratch.totals[r];
+            assert!(total > 1e-300, "cannot measure a zero-norm state");
+            let u = self.samplers[ctx.orig].next_uniform();
+            let d = select_branch(u, total, &self.scratch.probs[r * outcomes..(r + 1) * outcomes]);
+            ctx.outcomes.push(d.outcome);
+            self.scratch.draws.push(d);
+        }
+        let mut selected = std::mem::take(&mut self.scratch.selected);
+        for m in 0..outcomes {
+            selected.clear();
+            let mut sub_rows = self.scratch.sampled_rows.pop().unwrap_or_default();
+            for (r, d) in self.scratch.draws.iter().enumerate() {
+                if d.outcome == m {
+                    selected.push(r);
+                    sub_rows.push(std::mem::take(&mut rows[r]));
+                }
+            }
+            if selected.is_empty() {
+                pool_give(&mut self.scratch.sampled_rows, sub_rows);
+                continue;
+            }
+            let mut dst = self.scratch.take_block();
+            meas.collapse_block_into(n, states.amplitudes(), &selected, m, &mut dst);
+            for (j, &r) in selected.iter().enumerate() {
+                rescale_collapsed(&mut dst[j * dim..(j + 1) * dim], self.scratch.draws[r]);
+            }
+            let pending = self.scratch.take_pending(n);
+            forks.push((
+                m,
+                Group {
+                    states: BatchedStates::from_raw(selected.len(), n, dst),
+                    rows: sub_rows,
+                    pending,
+                },
+            ));
+        }
+        self.scratch.selected = selected;
+        rows.clear();
+        self.scratch.reclaim_sampled(Group { states, rows, pending });
+    }
 }
 
 /// The root group of an exact sweep: every input row with its own squared
-/// norm as the initial weight (1 for normalised inputs).
-fn weighted_root(states: BatchedStates) -> WeightedGroup {
-    let rows = (0..states.len())
-        .map(|orig| WeightedRow {
-            orig,
-            weight: states.row(orig).iter().map(|z| z.norm_sqr()).sum(),
-        })
-        .collect();
+/// norm as the initial weight (1 for normalised inputs), read off one
+/// block pass, with the row list and pending table drawn from the arena.
+fn weighted_root(states: BatchedStates, scratch: &mut RegroupScratch) -> WeightedGroup {
+    states.row_norms_sqr_into(&mut scratch.totals);
+    let mut rows = scratch.weighted_rows.pop().unwrap_or_default();
+    rows.extend(
+        scratch
+            .totals
+            .iter()
+            .enumerate()
+            .map(|(orig, &weight)| WeightedRow { orig, weight }),
+    );
     WeightedGroup {
-        pending: vec![None; states.num_qubits()],
+        pending: scratch.take_pending(states.num_qubits()),
         rows,
         states,
     }
 }
 
-/// Executes `ops` on `group` **exactly**, with `cont` the stack of
-/// suspended op slices to resume (innermost last) once `ops` is exhausted.
-/// At every measurement the group forks into outcome-homogeneous
-/// sub-groups via [`branch_groups`]; `leaf` is called once per surviving
-/// leaf group (pending products flushed).
-fn exec_weighted<'p>(
-    ops: &'p [TrajOp],
-    cont: Vec<&'p [TrajOp]>,
-    mut group: WeightedGroup,
-    leaf: &mut dyn FnMut(WeightedGroup),
-) {
-    for (i, op) in ops.iter().enumerate() {
-        match op {
-            TrajOp::Gate { matrix, targets } => {
-                if let [t] = targets[..] {
-                    group.pending[t] = Some(match group.pending[t].take() {
-                        None => matrix.clone(),
-                        Some(prev) => matrix.mul(&prev),
-                    });
-                } else {
-                    // A multi-qubit gate orders against the pending
-                    // rotations of its own targets only.
-                    flush_targets(&mut group.states, &mut group.pending, targets);
-                    group.states.apply_gate(matrix, targets);
-                }
-            }
-            TrajOp::Abort => return, // aborted branches contribute nothing
-            TrajOp::Init { meas, flip, target } => {
-                flush_all(&mut group.states, &mut group.pending);
-                let rest = &ops[i + 1..];
-                for (outcome, mut sub) in branch_groups(group, meas) {
-                    if outcome == 1 {
-                        sub.states.apply_gate(flip, &[*target]);
-                    }
-                    exec_weighted(rest, cont.clone(), sub, leaf);
-                }
-                return;
-            }
-            TrajOp::Case { meas, arms } => {
-                flush_all(&mut group.states, &mut group.pending);
-                let rest = &ops[i + 1..];
-                for (outcome, sub) in branch_groups(group, meas) {
-                    let mut arm_cont = cont.clone();
-                    arm_cont.push(rest);
-                    exec_weighted(&arms[outcome].ops, arm_cont, sub, leaf);
-                }
-                return;
-            }
-        }
-    }
-    let mut cont = cont;
-    match cont.pop() {
-        // Pending products flow into the continuation: there is no
-        // measurement between an arm's trailing gates and the join.
-        Some(next) => exec_weighted(next, cont, group, leaf),
-        None => {
-            flush_all(&mut group.states, &mut group.pending);
-            leaf(group);
-        }
-    }
+/// The state of one **exact** branch-weighted sweep: the per-row
+/// droppable-mass budgets and the regroup scratch arena.
+struct ExactSweep<'a> {
+    /// Remaining droppable probability mass per original (tile-local) row
+    /// — `ε ×` the row's initial mass, shared by every fork of that row's
+    /// branch tree in the sweep's deterministic depth-first order (see
+    /// [`ShotEngine::with_mass_budget`]). All zero by default.
+    budgets: Vec<f64>,
+    scratch: &'a mut RegroupScratch,
+    /// Reusable 2×2 the pending products flush through.
+    flush_gate: Matrix,
 }
 
-/// Forks a weighted group at a measurement: every row's branch
-/// probabilities are computed **first**
-/// ([`Measurement::branch_probabilities_pure`] — one bucketed `|amp|²`
-/// pass for computational measurements), then only the branches above the
-/// pruning threshold are materialised ([`Measurement::collapse_pure`],
-/// kept **unnormalised** so the branch probability rides inside the
-/// amplitudes, as exact branch enumeration requires), and the surviving
-/// rows regroup into outcome-homogeneous sub-groups.
-///
-/// Sub-groups are returned in ascending outcome order and rows keep their
-/// relative order inside each one — for a single row this is exactly the
-/// depth-first branch order of the per-row enumerators, so leaf
-/// accumulation per row follows the same order batched as alone.
-fn branch_groups(group: WeightedGroup, meas: &Measurement) -> Vec<(usize, WeightedGroup)> {
-    debug_assert!(
-        group.pending.iter().all(Option::is_none),
-        "pending products must be flushed before measuring"
-    );
-    let WeightedGroup { states, rows, pending } = group;
-    let n = states.num_qubits();
-    // Collapsed rows are written straight onto each outcome's amplitude
-    // block (`collapse_amps_into`) — no per-row state round trips.
-    let mut buckets: Vec<(Vec<WeightedRow>, Vec<qdp_linalg::C64>)> = (0..meas.num_outcomes())
-        .map(|_| (Vec::new(), Vec::new()))
-        .collect();
-    let mut probs = Vec::new();
-    for (r, ctx) in rows.into_iter().enumerate() {
-        let amps = states.row(r);
-        meas.branch_probabilities_into(n, amps, &mut probs);
-        for (outcome, &weight) in probs.iter().enumerate() {
-            if weight > BRANCH_PRUNE {
-                buckets[outcome].0.push(WeightedRow {
-                    orig: ctx.orig,
-                    weight,
-                });
-                meas.collapse_amps_into(n, amps, outcome, &mut buckets[outcome].1);
+impl ExactSweep<'_> {
+    /// Executes `ops` on `group` **exactly**, with `cont` the stack of
+    /// suspended op slices to resume (innermost last) once `ops` is
+    /// exhausted. At every measurement the group forks into
+    /// outcome-homogeneous sub-groups via
+    /// [`branch_groups`](Self::branch_groups); `leaf` is called once per
+    /// surviving leaf group (pending products flushed), whose buffers are
+    /// then reclaimed into the arena.
+    fn exec<'p>(
+        &mut self,
+        ops: &'p [TrajOp],
+        cont: Vec<&'p [TrajOp]>,
+        mut group: WeightedGroup,
+        leaf: &mut dyn FnMut(&WeightedGroup),
+    ) {
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                TrajOp::Gate { matrix, targets } => {
+                    if let [t] = targets[..] {
+                        group.pending[t] = Some(match group.pending[t].take() {
+                            None => mat2(matrix),
+                            Some(prev) => mul2(&mat2(matrix), &prev),
+                        });
+                    } else {
+                        // A multi-qubit gate orders against the pending
+                        // rotations of its own targets only.
+                        flush_targets(
+                            &mut group.states,
+                            &mut group.pending,
+                            targets,
+                            &mut self.flush_gate,
+                        );
+                        group.states.apply_gate(matrix, targets);
+                    }
+                }
+                TrajOp::Abort => {
+                    // Aborted branches contribute nothing.
+                    self.scratch.reclaim_weighted(group);
+                    return;
+                }
+                TrajOp::Init { meas, flip, target } => {
+                    flush_all(&mut group.states, &mut group.pending, &mut self.flush_gate);
+                    let rest = &ops[i + 1..];
+                    let mut forks = self.scratch.weighted_forks.pop().unwrap_or_default();
+                    self.branch_groups(group, meas, &mut forks);
+                    for (outcome, mut sub) in forks.drain(..) {
+                        if outcome == 1 {
+                            sub.states.apply_gate(flip, &[*target]);
+                        }
+                        self.exec(rest, cont.clone(), sub, leaf);
+                    }
+                    pool_give(&mut self.scratch.weighted_forks, forks);
+                    return;
+                }
+                TrajOp::Case { meas, arms } => {
+                    flush_all(&mut group.states, &mut group.pending, &mut self.flush_gate);
+                    let rest = &ops[i + 1..];
+                    let mut forks = self.scratch.weighted_forks.pop().unwrap_or_default();
+                    self.branch_groups(group, meas, &mut forks);
+                    for (outcome, sub) in forks.drain(..) {
+                        let mut arm_cont = cont.clone();
+                        arm_cont.push(rest);
+                        self.exec(&arms[outcome].ops, arm_cont, sub, leaf);
+                    }
+                    pool_give(&mut self.scratch.weighted_forks, forks);
+                    return;
+                }
+            }
+        }
+        let mut cont = cont;
+        match cont.pop() {
+            // Pending products flow into the continuation: there is no
+            // measurement between an arm's trailing gates and the join.
+            Some(next) => self.exec(next, cont, group, leaf),
+            None => {
+                flush_all(&mut group.states, &mut group.pending, &mut self.flush_gate);
+                leaf(&group);
+                self.scratch.reclaim_weighted(group);
             }
         }
     }
-    buckets
-        .into_iter()
-        .enumerate()
-        .filter(|(_, (rows, _))| !rows.is_empty())
-        .map(|(outcome, (rows, block))| {
-            let states = BatchedStates::from_raw(rows.len(), n, block);
-            (
-                outcome,
+
+    /// Forks a weighted group at a measurement, appending the surviving
+    /// outcome-homogeneous sub-groups to `forks` in ascending outcome
+    /// order (rows keep their relative order inside each one — for a
+    /// single row this is exactly the depth-first branch order of the
+    /// per-row enumerators, so leaf accumulation per row follows the same
+    /// order batched as alone).
+    ///
+    /// **Block-level**: every row's branch probabilities come from **one**
+    /// bucketed `|amp|²` sweep over the group's contiguous amplitude block
+    /// ([`Measurement::branch_probabilities_block`]), and each surviving
+    /// outcome's sub-batch is materialised by one strided
+    /// [`Measurement::collapse_block_into`] pass — kept **unnormalised**
+    /// so the branch probability rides inside the amplitudes, as exact
+    /// branch enumeration requires. No per-row kernel calls; the scratch
+    /// arena makes the fork allocation-free once warm.
+    ///
+    /// Branches at weight ≤ [`BRANCH_PRUNE`] are dropped as always; on top
+    /// of that, a row with remaining [mass budget](ShotEngine::with_mass_budget)
+    /// greedily drops its lowest-weight surviving branches while their
+    /// cumulative mass still fits the budget.
+    fn branch_groups(
+        &mut self,
+        group: WeightedGroup,
+        meas: &Measurement,
+        forks: &mut Vec<(usize, WeightedGroup)>,
+    ) {
+        debug_assert!(
+            group.pending.iter().all(Option::is_none),
+            "pending products must be flushed before measuring"
+        );
+        let WeightedGroup { states, mut rows, pending } = group;
+        let n = states.num_qubits();
+        meas.branch_probabilities_block(n, states.amplitudes(), &mut self.scratch.probs);
+        let outcomes = meas.num_outcomes();
+        self.scratch.keep.clear();
+        self.scratch.keep.resize(rows.len() * outcomes, false);
+        for (r, ctx) in rows.iter().enumerate() {
+            let probs = &self.scratch.probs[r * outcomes..(r + 1) * outcomes];
+            let keep = &mut self.scratch.keep[r * outcomes..(r + 1) * outcomes];
+            for (m, &w) in probs.iter().enumerate() {
+                keep[m] = w > BRANCH_PRUNE;
+            }
+            let budget = self.budgets[ctx.orig];
+            if budget > 0.0 {
+                // Mass-budget pruning: drop the lowest-weight surviving
+                // branches (ties by outcome index — fully deterministic)
+                // while their cumulative mass fits the row's remaining
+                // budget, and charge the budget for what was dropped.
+                let order = &mut self.scratch.order;
+                order.clear();
+                order.extend((0..outcomes).filter(|&m| keep[m]));
+                order.sort_by(|&a, &b| probs[a].total_cmp(&probs[b]).then(a.cmp(&b)));
+                let mut remaining = budget;
+                for &m in order.iter() {
+                    if probs[m] > remaining {
+                        break;
+                    }
+                    remaining -= probs[m];
+                    keep[m] = false;
+                }
+                self.budgets[ctx.orig] = remaining;
+            }
+        }
+        let mut selected = std::mem::take(&mut self.scratch.selected);
+        for m in 0..outcomes {
+            selected.clear();
+            let mut sub_rows = self.scratch.weighted_rows.pop().unwrap_or_default();
+            for (r, ctx) in rows.iter().enumerate() {
+                if self.scratch.keep[r * outcomes + m] {
+                    selected.push(r);
+                    sub_rows.push(WeightedRow {
+                        orig: ctx.orig,
+                        weight: self.scratch.probs[r * outcomes + m],
+                    });
+                }
+            }
+            if selected.is_empty() {
+                pool_give(&mut self.scratch.weighted_rows, sub_rows);
+                continue;
+            }
+            let mut dst = self.scratch.take_block();
+            meas.collapse_block_into(n, states.amplitudes(), &selected, m, &mut dst);
+            let pending = self.scratch.take_pending(n);
+            forks.push((
+                m,
                 WeightedGroup {
-                    states,
-                    rows,
-                    pending: pending.clone(),
+                    states: BatchedStates::from_raw(selected.len(), n, dst),
+                    rows: sub_rows,
+                    pending,
                 },
-            )
-        })
-        .collect()
+            ));
+        }
+        self.scratch.selected = selected;
+        rows.clear();
+        self.scratch.reclaim_weighted(WeightedGroup { states, rows, pending });
+    }
 }
 
 #[cfg(test)]
@@ -1107,6 +1528,93 @@ mod tests {
             assert_eq!(row.len(), 1, "only the surviving branch leaves a leaf");
             assert!((row[0] - 0.5).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn zero_mass_budget_preserves_unpruned_bits() {
+        let plain = ShotEngine::new(branching_program());
+        let pruned = ShotEngine::new(branching_program()).with_mass_budget(0.0);
+        let obs = Observable::pauli_z(2, 1);
+        let inputs: Vec<StateVector> = (0..5)
+            .map(|k| {
+                let mut s = StateVector::basis_state(2, k % 4);
+                s.apply_gate(&rotation_y(0.2 + 0.3 * k as f64), &[1]);
+                s
+            })
+            .collect();
+        let batch = BatchedStates::from_states(&inputs);
+        let a = plain.expectation_sweep(batch.clone(), &obs);
+        let b = pruned.expectation_sweep(batch, &obs);
+        for (r, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn mass_budget_error_is_bounded_by_epsilon() {
+        // ‖Z‖ = 1, so the pruned sweep may deviate from the unpruned
+        // oracle by at most the dropped probability mass — ε per row.
+        let oracle = ShotEngine::new(branching_program());
+        let obs = Observable::pauli_z(2, 1);
+        let inputs: Vec<StateVector> = (0..6)
+            .map(|k| {
+                let mut s = StateVector::basis_state(2, k % 4);
+                s.apply_gate(&rotation_y(0.15 + 0.23 * k as f64), &[0]);
+                s
+            })
+            .collect();
+        let exact = oracle.expectation_sweep(BatchedStates::from_states(&inputs), &obs);
+        for epsilon in [0.01, 0.1, 0.3] {
+            let engine = ShotEngine::new(branching_program()).with_mass_budget(epsilon);
+            let pruned = engine.expectation_sweep(BatchedStates::from_states(&inputs), &obs);
+            for (r, (p, e)) in pruned.iter().zip(&exact).enumerate() {
+                assert!(
+                    (p - e).abs() <= epsilon + 1e-12,
+                    "ε = {epsilon} row {r}: pruned {p} vs exact {e}"
+                );
+            }
+            // Kept leaf mass per row stays ≥ 1 − ε.
+            let weights = engine.leaf_weights(BatchedStates::from_states(&inputs));
+            for (r, row) in weights.iter().enumerate() {
+                let total: f64 = row.iter().sum();
+                assert!(
+                    total >= 1.0 - epsilon - 1e-12,
+                    "ε = {epsilon} row {r}: kept mass {total}"
+                );
+            }
+            // Pruning decisions are per-row: batch composition invariance
+            // survives a non-zero budget.
+            for (r, psi) in inputs.iter().enumerate() {
+                let alone = engine
+                    .expectation_sweep(BatchedStates::from_states(std::slice::from_ref(psi)), &obs)[0];
+                assert_eq!(pruned[r].to_bits(), alone.to_bits(), "ε = {epsilon} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn mass_budget_drops_low_weight_branches() {
+        // RY(0.2) puts ~1% of the mass on |1⟩; a 5% budget prunes that
+        // branch (and everything under it), halving the leaf count.
+        let mut p = TrajProgram::new();
+        p.push_gate(rotation_y(0.2), vec![0]);
+        p.push_case(
+            Measurement::computational(vec![0]),
+            vec![TrajProgram::new(), TrajProgram::new()],
+        );
+        let unpruned = ShotEngine::new(p.clone()).leaf_weights(BatchedStates::zero(1, 1));
+        assert_eq!(unpruned[0].len(), 2);
+        let pruned = ShotEngine::new(p)
+            .with_mass_budget(0.05)
+            .leaf_weights(BatchedStates::zero(1, 1));
+        assert_eq!(pruned[0].len(), 1, "low-weight branch survives: {:?}", pruned[0]);
+        assert!(pruned[0][0] >= 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "mass budget must be in [0, 1)")]
+    fn mass_budget_rejects_out_of_range_epsilon() {
+        let _ = ShotEngine::new(TrajProgram::new()).with_mass_budget(1.0);
     }
 
     #[test]
