@@ -222,9 +222,14 @@ impl PreparedDerivativeEstimator {
     /// thread count.
     pub fn exact(&self, psi: &StateVector) -> f64 {
         let ext_psi = StateVector::zero_state(1).tensor(psi);
-        qdp_par::par_map(&self.engines, |engine| {
-            engine.expectation_sweep(BatchedStates::repeat(&ext_psi, 1), &self.ext_obs)[0]
-        })
+        // Engines are pure per call, so a panicked tile retries
+        // bit-identically before the failure is surfaced.
+        qdp_par::try_par_map_retry(
+            &self.engines,
+            |engine| engine.expectation_sweep(BatchedStates::repeat(&ext_psi, 1), &self.ext_obs)[0],
+            TILE_RETRIES,
+        )
+        .unwrap_or_else(|e| panic!("{}", qdp_sim::QdpError::from(e)))
         .into_iter()
         .sum()
     }
@@ -252,7 +257,7 @@ impl PreparedDerivativeEstimator {
             .enumerate()
             .map(|(t, chunk)| (t * SHOT_TILE, chunk))
             .collect();
-        let tile_sums = qdp_par::par_map(&tiles, |&(start, chunk)| {
+        let tile_sums = qdp_par::try_par_map_retry(&tiles, |&(start, chunk)| {
             let mut acc = 0.0;
             for (prog, engine) in self.engines.iter().enumerate() {
                 // The tile's shots of this program become one batch row
@@ -277,10 +282,17 @@ impl PreparedDerivativeEstimator {
                     .sum::<f64>();
             }
             acc
-        });
+        }, TILE_RETRIES)
+        .unwrap_or_else(|e| panic!("{}", qdp_sim::QdpError::from(e)));
         m as f64 * tile_sums.into_iter().sum::<f64>() / shots as f64
     }
 }
+
+/// Bounded retry budget for panicked worker tiles: tiles are pure per
+/// call (fresh batch, fresh derived streams), so a retry is bit-identical
+/// to a first-try success, and two retries heal any transient fault the
+/// fault-injection suite models.
+const TILE_RETRIES: usize = 2;
 
 /// The shot budget the Chernoff analysis prescribes for precision `delta`
 /// given `m` compiled programs — the single workspace definition lives in

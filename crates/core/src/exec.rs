@@ -19,6 +19,11 @@ use qdp_lang::{compile, denot, Register};
 use qdp_sim::{BatchedStates, DensityMatrix, Observable, StateVector};
 use std::collections::BTreeMap;
 
+/// Bounded retry budget for panicked worker tiles in this module's
+/// parallel fan-outs. Every fanned-out closure here is pure per call, so
+/// a retry is bit-identical to a first-try success.
+const TILE_RETRIES: usize = 2;
+
 /// The compile-time artifact of differentiating one program with respect to
 /// one parameter.
 ///
@@ -234,9 +239,14 @@ impl Differentiated {
         ext_obs: &Observable,
         ext_rho: &DensityMatrix,
     ) -> f64 {
-        qdp_par::par_map(&self.compiled, |p| {
-            observable_semantics(p, &self.ext_register, params, ext_obs, ext_rho)
-        })
+        // Pure per program, so a panicked worker tile retries
+        // bit-identically before the failure is surfaced.
+        qdp_par::try_par_map_retry(
+            &self.compiled,
+            |p| observable_semantics(p, &self.ext_register, params, ext_obs, ext_rho),
+            TILE_RETRIES,
+        )
+        .unwrap_or_else(|e| panic!("{}", qdp_sim::QdpError::from(e)))
         .into_iter()
         .sum()
     }
@@ -261,9 +271,12 @@ impl Differentiated {
         ext_obs: &Observable,
         ext_psi: &StateVector,
     ) -> f64 {
-        qdp_par::par_map(self.lowered().programs(), |p| {
-            p.expectation_pure(values, ext_psi, ext_obs)
-        })
+        qdp_par::try_par_map_retry(
+            self.lowered().programs(),
+            |p| p.expectation_pure(values, ext_psi, ext_obs),
+            TILE_RETRIES,
+        )
+        .unwrap_or_else(|e| panic!("{}", qdp_sim::QdpError::from(e)))
         .into_iter()
         .sum()
     }
@@ -357,6 +370,9 @@ impl GradientEngine {
                         .param_names()
                         .iter()
                         .map(|p| {
+                            // Infallible: every gadget parameter is a
+                            // parameter of the program it was derived from.
+                            #[allow(clippy::expect_used)]
                             canonical
                                 .iter()
                                 .position(|c| *c == p)
@@ -520,9 +536,14 @@ impl GradientEngine {
         let engine = qdp_sim::ShotEngine::new(fwd.programs()[0].resolve(&values).to_trajectory());
         let readout = qdp_sim::ProjectiveObservable::new(obs);
         let rows: Vec<(usize, u64)> = row_seeds.iter().copied().enumerate().collect();
-        qdp_par::par_map(&rows, |&(r, seed)| {
-            engine.estimate_expectation_prepared(&inputs[r], &readout, shots, seed)
-        })
+        // Each row is pure (fresh derived streams per call), so a panicked
+        // worker tile retries bit-identically before failing.
+        qdp_par::try_par_map_retry(
+            &rows,
+            |&(r, seed)| engine.estimate_expectation_prepared(&inputs[r], &readout, shots, seed),
+            TILE_RETRIES,
+        )
+        .unwrap_or_else(|e| panic!("{}", qdp_sim::QdpError::from(e)))
     }
 
     /// Shot-based estimate of the full gradient on a pure input: each
@@ -589,16 +610,21 @@ impl GradientEngine {
             })
             .collect();
         let rows: Vec<(usize, u64)> = row_seeds.iter().copied().enumerate().collect();
-        qdp_par::par_map(&rows, |&(r, seed)| {
-            prepared
-                .iter()
-                .enumerate()
-                .map(|(j, (name, estimator))| {
-                    let stream = qdp_sim::derive_seed(seed, j as u64);
-                    ((*name).clone(), estimator.estimate(&inputs[r], shots_per_param, stream))
-                })
-                .collect()
-        })
+        qdp_par::try_par_map_retry(
+            &rows,
+            |&(r, seed)| {
+                prepared
+                    .iter()
+                    .enumerate()
+                    .map(|(j, (name, estimator))| {
+                        let stream = qdp_sim::derive_seed(seed, j as u64);
+                        ((*name).clone(), estimator.estimate(&inputs[r], shots_per_param, stream))
+                    })
+                    .collect()
+            },
+            TILE_RETRIES,
+        )
+        .unwrap_or_else(|e| panic!("{}", qdp_sim::QdpError::from(e)))
     }
 
     /// Forward values `tr(O·[[P(θ*)]]|ψr⟩⟨ψr|)` for every row of a batch.

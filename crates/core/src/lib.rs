@@ -40,6 +40,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+// Production code routes failures through typed errors or messageful
+// panics; bare unwrap/expect is confined to tests.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod estimator;
 pub mod exec;
 pub mod logic;

@@ -180,8 +180,11 @@ impl LoweredSet {
         );
         let resolved: Vec<ResolvedProgram<'_>> =
             self.programs.iter().map(|p| p.resolve(values)).collect();
+        // Pure per program, so a panicked worker tile retries
+        // bit-identically (twice) before the failure is surfaced.
         let per_program: Vec<Vec<f64>> =
-            qdp_par::par_map(&resolved, |p| p.expectation_batch(states, obs));
+            qdp_par::try_par_map_retry(&resolved, |p| p.expectation_batch(states, obs), 2)
+                .unwrap_or_else(|e| panic!("{}", qdp_sim::QdpError::from(e)));
         (0..rows)
             .map(|r| per_program.iter().map(|per_row| per_row[r]).sum())
             .collect()

@@ -118,23 +118,29 @@ impl Parser {
 
     fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
         match self.peek() {
-            Some(t) if &t.kind == kind => Ok(self.advance().expect("peeked")),
-            Some(t) => Err(ParseError {
-                message: format!("expected {kind}, found {}", t.kind),
-                position: t.start,
-            }),
-            None => Err(self.error(format!("expected {kind}, found end of input"))),
+            Some(t) if &t.kind == kind => {}
+            Some(t) => {
+                return Err(ParseError {
+                    message: format!("expected {kind}, found {}", t.kind),
+                    position: t.start,
+                })
+            }
+            None => return Err(self.error(format!("expected {kind}, found end of input"))),
         }
+        // The peeked token is present and matches, so `advance` yields it;
+        // the fallback error keeps this panic-free regardless.
+        self.advance()
+            .ok_or_else(|| self.error(format!("expected {kind}, found end of input")))
     }
 
     fn expect_ident(&mut self) -> Result<String, ParseError> {
         match self.peek() {
             Some(Token {
-                kind: TokenKind::Ident(_),
+                kind: TokenKind::Ident(name),
                 ..
             }) => {
-                let t = self.advance().expect("peeked");
-                let TokenKind::Ident(name) = t.kind else { unreachable!() };
+                let name = name.clone();
+                self.advance();
                 Ok(name)
             }
             Some(t) => Err(ParseError {

@@ -1,0 +1,80 @@
+//! Regression suite: malformed source must come back as a spanned
+//! [`qdp_lang::parser::ParseError`], never as a panic. Every input here
+//! is a truncation or mutation that once exercised a panicking path
+//! (`expect("peeked")`-style internal unwraps) or plausibly could.
+
+use qdp_lang::parse_program;
+
+/// Inputs that must parse-fail gracefully. Each is paired with a
+/// substring the error message must contain, so the errors stay
+/// actionable, not just non-panicking.
+const MALFORMED: &[(&str, &str)] = &[
+    // Truncations ending right before an expected token.
+    ("q1 *=", "end of input"),
+    ("q1 :=", "expected"),
+    ("q1", "expected"),
+    ("case M[q1] = 0 -> skip[q1]", "unterminated case"),
+    ("case M[q1] = 0 ->", "end of input"),
+    ("case M[q1] =", "end of input"),
+    ("case M[q1]", "expected"),
+    ("case M[", "end of input"),
+    ("case", "expected"),
+    ("while[2] M[q1] = 1 do skip[q1]", "expected"),
+    ("while[2] M[q1] = 1 do", "end of input"),
+    ("while[2] M[q1] = 1", "expected"),
+    ("while[2] M[q1] =", "end of input"),
+    ("while[2]", "expected"),
+    ("while[", "end of input"),
+    ("skip[", "end of input"),
+    ("abort[q1]; ", "end of input"),
+    ("(a := |0>", "expected"),
+    ("q1 *= RX(", "expected"),
+    ("q1 *= RX(t", "expected"),
+    // Wrong token where a specific kind is required.
+    ("q1 *= 3", "expected"),
+    ("case M[7] = 0 -> skip[q1] end", "identifier"),
+    ("while[q] M[q1] = 1 do skip[q1] done", "integer"),
+    ("q1 := |0> + + q2 := |0>", "expected"),
+    // Lexer-level garbage.
+    ("q1 # q2", "unexpected character"),
+    ("\u{1F600}", "unexpected character"),
+];
+
+#[test]
+fn malformed_inputs_error_instead_of_panicking() {
+    for (src, needle) in MALFORMED {
+        let result = std::panic::catch_unwind(|| parse_program(src));
+        let outcome = result.unwrap_or_else(|_| panic!("parser panicked on {src:?}"));
+        let err = outcome.expect_err(&format!("{src:?} unexpectedly parsed"));
+        assert!(
+            err.to_string().contains(needle),
+            "{src:?}: error {err} does not mention {needle:?}"
+        );
+        assert!(
+            err.position <= src.len(),
+            "{src:?}: error position {} past end of input",
+            err.position
+        );
+    }
+}
+
+#[test]
+fn exhaustive_truncations_of_a_real_program_never_panic() {
+    // Every prefix of a program exercising all statement forms must
+    // either parse (some prefixes are complete programs) or error
+    // cleanly with an in-bounds span.
+    let src = "q1 := |0>; q1 *= RX(2 * t + pi / 2); \
+               case M[q1] = 0 -> skip[q1], 1 -> q1 *= X end; \
+               while[2] M[q1] = 1 do q1 *= RY(t) done; abort[q1]";
+    for cut in 0..src.len() {
+        if !src.is_char_boundary(cut) {
+            continue;
+        }
+        let prefix = &src[..cut];
+        let result = std::panic::catch_unwind(|| parse_program(prefix));
+        let outcome = result.unwrap_or_else(|_| panic!("parser panicked on prefix {prefix:?}"));
+        if let Err(e) = outcome {
+            assert!(e.position <= prefix.len(), "prefix {prefix:?}: bad span");
+        }
+    }
+}

@@ -30,7 +30,21 @@
 //! [`set_max_threads`] call still takes precedence; `set_max_threads(0)`
 //! falls back to the environment value (or hardware detection when the
 //! variable is unset or invalid).
+//!
+//! **Panic isolation.** Every item of a parallel map runs under
+//! [`std::panic::catch_unwind`], so a panicking tile never tears down the
+//! process by itself. [`try_par_map`] surfaces the failure as a typed
+//! [`TileError`] naming the lowest failing item index (deterministic under
+//! any thread interleaving); [`try_par_map_retry`] additionally re-runs
+//! failed items — valid because tiles are pure and order-invariant by
+//! contract, so a retry is bit-identical to a first-try success. [`par_map`]
+//! keeps its infallible signature by re-raising the original panic message
+//! on the calling thread, which also makes panic propagation identical
+//! between the sequential fallback and the threaded path.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -117,45 +131,168 @@ impl Drop for TokenGuard {
     }
 }
 
+/// A tile (one item of a parallel map) that panicked instead of returning.
+///
+/// `index` is the item's position in the input slice — by the determinism
+/// contract it identifies the same work under any thread count — and
+/// `message` carries the original panic payload when it was a string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TileError {
+    /// Index of the failing item in the input slice. When several tiles
+    /// fail, the lowest index is reported (deterministic under any
+    /// interleaving).
+    pub index: usize,
+    /// The panic message, or a placeholder for non-string payloads.
+    pub message: String,
+}
+
+impl std::fmt::Display for TileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker tile {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TileError {}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The shared fan-out core: order-preserving map with every item call
+/// isolated under `catch_unwind`. Worker threads can therefore never
+/// panic through `f`; a `join` error is re-raised verbatim (it can only
+/// mean a panic outside the guarded call, e.g. allocator failure).
+fn map_isolated<T, R, F>(items: &[T], f: &F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let call = |x: &T| catch_unwind(AssertUnwindSafe(|| f(x))).map_err(panic_message);
+    let n = items.len();
+    let extra = if n < 2 { 0 } else { acquire((n - 1).min(max_threads().saturating_sub(1))) };
+    if extra == 0 {
+        return items.iter().map(call).collect();
+    }
+    let _guard = TokenGuard(extra);
+    let workers = extra + 1;
+    let chunk = n.div_ceil(workers);
+    let call = &call;
+    let parts: Vec<&[T]> = items.chunks(chunk).collect();
+    let mut results: Vec<Vec<Result<R, String>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = parts[1..]
+            .iter()
+            .map(|&part| s.spawn(move || part.iter().map(call).collect::<Vec<_>>()))
+            .collect();
+        let first: Vec<Result<R, String>> = parts[0].iter().map(call).collect();
+        let mut all = vec![first];
+        for h in handles {
+            all.push(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
+        }
+        all
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in &mut results {
+        out.append(part);
+    }
+    out
+}
+
+/// Flattens per-item results into the first (lowest-index) failure, if any.
+fn collect_tiles<R>(results: Vec<Result<R, String>>) -> Result<Vec<R>, TileError> {
+    let mut out = Vec::with_capacity(results.len());
+    let mut first_err: Option<TileError> = None;
+    for (index, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(v) => out.push(v),
+            Err(message) => {
+                if first_err.is_none() {
+                    first_err = Some(TileError { index, message });
+                }
+            }
+        }
+    }
+    match first_err {
+        None => Ok(out),
+        Some(e) => Err(e),
+    }
+}
+
 /// Order-preserving parallel map: `out[i] = f(&items[i])`.
 ///
 /// Splits `items` into contiguous runs, maps each run on its own scoped
 /// thread, and concatenates the per-run outputs in order. Falls back to a
 /// plain sequential map when `items` is small or the thread budget is
 /// exhausted.
+///
+/// # Panics
+///
+/// A panicking item re-raises its original panic message on the calling
+/// thread after every other item has completed — identical behaviour to
+/// the sequential fallback modulo the completion of later items. Use
+/// [`try_par_map`] or [`try_par_map_retry`] to receive a [`TileError`]
+/// instead.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n = items.len();
-    let extra = if n < 2 { 0 } else { acquire((n - 1).min(max_threads().saturating_sub(1))) };
-    if extra == 0 {
-        return items.iter().map(f).collect();
+    match collect_tiles(map_isolated(items, &f)) {
+        Ok(out) => out,
+        Err(e) => panic!("{}", e.message),
     }
-    let _guard = TokenGuard(extra);
-    let workers = extra + 1;
-    let chunk = n.div_ceil(workers);
-    let f = &f;
-    let parts: Vec<&[T]> = items.chunks(chunk).collect();
-    let mut results: Vec<Vec<R>> = std::thread::scope(|s| {
-        let handles: Vec<_> = parts[1..]
-            .iter()
-            .map(|&part| s.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        let first: Vec<R> = parts[0].iter().map(f).collect();
-        let mut all = vec![first];
-        for h in handles {
-            all.push(h.join().expect("qdp-par worker panicked"));
+}
+
+/// Fallible order-preserving parallel map: like [`par_map`], but a
+/// panicking item surfaces as `Err(TileError)` — naming the lowest failing
+/// item index — instead of tearing down the calling thread. All items run
+/// to completion before the error is reported, so the global thread budget
+/// is fully restored on return.
+pub fn try_par_map<T, R, F>(items: &[T], f: F) -> Result<Vec<R>, TileError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    collect_tiles(map_isolated(items, &f))
+}
+
+/// [`try_par_map`] with bounded retries: items that panicked are re-run
+/// sequentially on the calling thread, in index order, up to `max_retries`
+/// additional attempts each.
+///
+/// Retrying is sound because map items are pure functions of their input
+/// by the crate's determinism contract — a successful retry returns the
+/// same bits a first-try success would have, so transient faults (a
+/// poisoned scratch buffer, an injected test fault) heal without
+/// observable effect. Items that still fail after the budget surface as
+/// the lowest-index [`TileError`].
+pub fn try_par_map_retry<T, R, F>(items: &[T], f: F, max_retries: usize) -> Result<Vec<R>, TileError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let mut results = map_isolated(items, &f);
+    for _ in 0..max_retries {
+        if results.iter().all(Result::is_ok) {
+            break;
         }
-        all
-    });
-    let mut out: Vec<R> = Vec::with_capacity(n);
-    for part in &mut results {
-        out.append(part);
+        for (i, slot) in results.iter_mut().enumerate() {
+            if slot.is_err() {
+                *slot = catch_unwind(AssertUnwindSafe(|| f(&items[i]))).map_err(panic_message);
+            }
+        }
     }
-    out
+    collect_tiles(results)
 }
 
 /// Parallel iteration over disjoint contiguous chunks of `data`.
@@ -187,24 +324,40 @@ where
     // Round the chunk length up to a multiple of `align`.
     let chunk = n.div_ceil(workers).div_ceil(align) * align;
     let f = &f;
-    std::thread::scope(|s| {
+    let first_err = std::thread::scope(|s| {
         let mut offset = 0usize;
         let mut rest = data;
         let mut handles = Vec::with_capacity(workers);
         while rest.len() > chunk {
             let (head, tail) = rest.split_at_mut(chunk);
             let off = offset;
-            handles.push(s.spawn(move || f(off, head)));
+            handles.push(s.spawn(move || {
+                catch_unwind(AssertUnwindSafe(|| f(off, head))).map_err(panic_message)
+            }));
             offset += chunk;
             rest = tail;
         }
-        if !rest.is_empty() {
-            f(offset, rest);
-        }
+        let own = if rest.is_empty() {
+            Ok(())
+        } else {
+            catch_unwind(AssertUnwindSafe(|| f(offset, rest))).map_err(panic_message)
+        };
+        // Join every worker before deciding the outcome so a panic never
+        // leaves chunks half-processed behind the caller's back; report
+        // the lowest-offset failure (spawn order) deterministically.
+        let mut first_err: Option<String> = None;
         for h in handles {
-            h.join().expect("qdp-par worker panicked");
+            if let Err(msg) = h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)) {
+                if first_err.is_none() {
+                    first_err = Some(msg);
+                }
+            }
         }
+        first_err.or(own.err())
     });
+    if let Some(msg) = first_err {
+        panic!("{msg}");
+    }
 }
 
 /// Parallel iteration over two equal-length mutable slices split at the same
@@ -235,24 +388,37 @@ where
     let workers = extra + 1;
     let chunk = n.div_ceil(workers);
     let f = &f;
-    std::thread::scope(|s| {
+    let first_err = std::thread::scope(|s| {
         let mut rest_a = a;
         let mut rest_b = b;
         let mut handles = Vec::with_capacity(workers);
         while rest_a.len() > chunk {
             let (head_a, tail_a) = rest_a.split_at_mut(chunk);
             let (head_b, tail_b) = rest_b.split_at_mut(chunk);
-            handles.push(s.spawn(move || f(head_a, head_b)));
+            handles.push(s.spawn(move || {
+                catch_unwind(AssertUnwindSafe(|| f(head_a, head_b))).map_err(panic_message)
+            }));
             rest_a = tail_a;
             rest_b = tail_b;
         }
-        if !rest_a.is_empty() {
-            f(rest_a, rest_b);
-        }
+        let own = if rest_a.is_empty() {
+            Ok(())
+        } else {
+            catch_unwind(AssertUnwindSafe(|| f(rest_a, rest_b))).map_err(panic_message)
+        };
+        let mut first_err: Option<String> = None;
         for h in handles {
-            h.join().expect("qdp-par worker panicked");
+            if let Err(msg) = h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)) {
+                if first_err.is_none() {
+                    first_err = Some(msg);
+                }
+            }
         }
+        first_err.or(own.err())
     });
+    if let Some(msg) = first_err {
+        panic!("{msg}");
+    }
 }
 
 #[cfg(test)]
@@ -348,5 +514,142 @@ mod tests {
         let a: f64 = par_map(&items, |&x| x * x).iter().sum();
         let b: f64 = par_map(&items, |&x| x * x).iter().sum();
         assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    /// Panic-isolation tests inject real panics; silence the default hook's
+    /// stderr spew for the duration of one closure (hook is global, so these
+    /// tests serialize on a lock).
+    fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = catch_unwind(AssertUnwindSafe(f));
+        std::panic::set_hook(prev);
+        match out {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+
+    #[test]
+    fn try_par_map_matches_par_map_on_healthy_input() {
+        let items: Vec<f64> = (0..4096).map(|i| (i as f64).cos()).collect();
+        let ok = try_par_map(&items, |&x| x * x).unwrap();
+        let plain = par_map(&items, |&x| x * x);
+        assert_eq!(ok.len(), plain.len());
+        for (a, b) in ok.iter().zip(plain.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn try_par_map_reports_lowest_failing_index() {
+        with_quiet_panics(|| {
+            let items: Vec<usize> = (0..64).collect();
+            let err = try_par_map(&items, |&x| {
+                assert!(x != 13 && x != 40, "tile {x} exploded");
+                x * 2
+            })
+            .unwrap_err();
+            assert_eq!(err.index, 13);
+            assert!(err.message.contains("tile 13 exploded"), "{}", err.message);
+        });
+    }
+
+    #[test]
+    fn try_par_map_retry_heals_transient_faults() {
+        with_quiet_panics(|| {
+            // Item 7 panics on its first attempt only; the bounded retry
+            // must heal it and return the same bits as a clean run.
+            let fired = AtomicUsize::new(0);
+            let items: Vec<usize> = (0..32).collect();
+            let out = try_par_map_retry(
+                &items,
+                |&x| {
+                    if x == 7 && fired.fetch_add(1, Ordering::SeqCst) == 0 {
+                        panic!("transient");
+                    }
+                    x + 1
+                },
+                2,
+            )
+            .unwrap();
+            assert_eq!(out, (1..=32).collect::<Vec<_>>());
+            assert_eq!(fired.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    fn try_par_map_retry_exhausts_budget_into_tile_error() {
+        with_quiet_panics(|| {
+            let attempts = AtomicUsize::new(0);
+            let items: Vec<usize> = (0..8).collect();
+            let err = try_par_map_retry(
+                &items,
+                |&x| {
+                    if x == 3 {
+                        attempts.fetch_add(1, Ordering::SeqCst);
+                        panic!("permanent fault");
+                    }
+                    x
+                },
+                2,
+            )
+            .unwrap_err();
+            assert_eq!(err.index, 3);
+            assert!(err.message.contains("permanent fault"));
+            // First pass + two retries.
+            assert_eq!(attempts.load(Ordering::SeqCst), 3);
+        });
+    }
+
+    #[test]
+    fn par_map_repanics_with_original_message() {
+        with_quiet_panics(|| {
+            let items: Vec<usize> = (0..128).collect();
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                par_map(&items, |&x| {
+                    assert!(x != 100, "original payload {x}");
+                    x
+                })
+            }))
+            .unwrap_err();
+            assert!(panic_message(caught).contains("original payload 100"));
+        });
+    }
+
+    #[test]
+    fn worker_panic_does_not_drain_token_budget() {
+        with_quiet_panics(|| {
+            let items: Vec<usize> = (0..256).collect();
+            for _ in 0..4 {
+                let _ = try_par_map(&items, |&x| {
+                    assert!(x % 97 != 96, "boom");
+                    x
+                });
+            }
+            // Budget must be fully restored: a healthy run still parallelises
+            // and produces the right answer.
+            let out = par_map(&items, |&x| x * 3);
+            assert_eq!(out, (0..256).map(|x| x * 3).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn par_chunks_mut_propagates_worker_panic_message() {
+        with_quiet_panics(|| {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                let mut data = vec![0u32; 4096];
+                par_chunks_mut(&mut data, 1, |offset, chunk| {
+                    // Exactly one chunk holds the final element, whether the
+                    // run is threaded or degraded to sequential.
+                    assert!(offset + chunk.len() < 4096, "chunk fault at {offset}");
+                    chunk.fill(1);
+                });
+            }))
+            .unwrap_err();
+            assert!(panic_message(caught).contains("chunk fault"));
+        });
     }
 }

@@ -249,6 +249,7 @@ impl BatchedStates {
             rest = tail;
             remaining -= block_rows;
         }
+        crate::fault::kernel_checkpoint(self.n_qubits, self.rows, &mut self.amps);
     }
 
     /// The batch `{|0⟩ ⊗ |ψr⟩}` — every row extended by a fresh ancilla

@@ -377,6 +377,8 @@ fn apply_diag(amps: &mut [C64], masks: &[usize], diag: &[C64]) {
         return; // identity: nothing to do
     }
     let k = masks.len();
+    // Infallible: diagonal kernels are only built for k ≥ 1 targets.
+    #[allow(clippy::expect_used)]
     let run = *masks.iter().min().expect("diagonal kernel needs targets");
     let body = |offset: usize, chunk: &mut [C64]| {
         for (r, block) in chunk.chunks_exact_mut(run).enumerate() {

@@ -40,11 +40,17 @@
 //! assert!(z.expectation(&rho).abs() < 1e-12);
 //! ```
 
+// Production code routes failures through typed errors or messageful
+// panics; bare unwrap/expect is confined to tests.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod batch;
 pub mod channel;
 #[cfg(test)]
 pub(crate) mod test_support;
 pub mod density;
+pub mod error;
+pub mod fault;
 pub mod kernels;
 pub mod measurement;
 pub mod observable;
@@ -55,8 +61,12 @@ pub mod state;
 pub use batch::BatchedStates;
 pub use channel::KrausChannel;
 pub use density::DensityMatrix;
+pub use error::{HealthConfig, HealthPolicy, QdpError};
 pub use measurement::{Measurement, MeasurementBranch};
 pub use observable::{Observable, ObservableError};
-pub use sampling::{chernoff_shots, collapse_with_draw, derive_seed, ProjectiveObservable, ShotSampler};
+pub use sampling::{
+    chernoff_shots, collapse_with_draw, derive_seed, try_chernoff_shots, ProjectiveObservable,
+    ShotSampler,
+};
 pub use shots::{ShotEngine, TrajProgram, TrajectoryRow, BRANCH_PRUNE, SHOT_TILE};
 pub use state::StateVector;

@@ -36,11 +36,28 @@ use rand::{Rng, SeedableRng};
 ///
 /// # Panics
 ///
-/// Panics when `delta` is not positive.
+/// Panics when `delta` is not finite and positive — the panicking wrapper
+/// of [`try_chernoff_shots`].
 pub fn chernoff_shots(m: usize, delta: f64) -> usize {
-    assert!(delta > 0.0, "precision must be positive");
+    match try_chernoff_shots(m, delta) {
+        Ok(shots) => shots,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`chernoff_shots`]: rejects a precision `delta` that is
+/// not finite and positive (a non-finite δ would silently yield a zero or
+/// nonsensical shot budget) with a typed
+/// [`QdpError::InvalidPrecision`](crate::error::QdpError::InvalidPrecision).
+pub fn try_chernoff_shots(m: usize, delta: f64) -> Result<usize, crate::error::QdpError> {
+    if !delta.is_finite() || delta <= 0.0 {
+        return Err(crate::error::QdpError::InvalidPrecision {
+            value: delta,
+            what: "precision",
+        });
+    }
     let m = m.max(1) as f64;
-    ((m * m) / (delta * delta)).ceil() as usize
+    Ok(((m * m) / (delta * delta)).ceil() as usize)
 }
 
 /// Derives the seed of stream `stream` of a run seeded with `seed` — a
@@ -107,6 +124,9 @@ pub fn collapse_with_draw(
         }
     }
     // Floating-point slack: fall back to the last branch with support.
+    // Infallible: the walk only falls through when `total > 0`, so at
+    // least one branch probability is positive.
+    #[allow(clippy::expect_used)]
     let outcome = (0..probs.len())
         .rev()
         .find(|&m| probs[m] > 0.0)
@@ -409,7 +429,7 @@ impl ProjectiveObservable {
 /// let estimate = sampler.estimate_observable(&psi, &z, 4096);
 /// assert!(estimate.abs() < 0.1); // true value is 0
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ShotSampler {
     rng: StdRng,
 }

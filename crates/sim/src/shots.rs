@@ -55,14 +55,12 @@
 //! the oracle.
 
 use crate::batch::BatchedStates;
+use crate::error::{HealthConfig, HealthPolicy, QdpError};
 use crate::measurement::Measurement;
 use crate::observable::Observable;
-use crate::sampling::{ProjectiveObservable, ShotSampler};
+use crate::sampling::{collapse_with_draw, ProjectiveObservable, ShotSampler};
 use crate::state::StateVector;
 use qdp_linalg::{C64, Matrix};
-
-#[cfg(doc)]
-use crate::sampling::collapse_with_draw;
 
 /// Rows per parallel shot tile of [`ShotEngine::estimate_expectation`].
 ///
@@ -444,6 +442,9 @@ fn select_branch(u: f64, total: f64, probs: &[f64]) -> Draw {
             return Draw { outcome, p, total, slack: false };
         }
     }
+    // Infallible: the walk only falls through when `total > 0`, so at
+    // least one branch probability is positive.
+    #[allow(clippy::expect_used)]
     let outcome = (0..probs.len())
         .rev()
         .find(|&m| probs[m] > 0.0)
@@ -515,7 +516,17 @@ pub struct ShotEngine {
     /// [`with_mass_budget`](Self::with_mass_budget). 0 (the default)
     /// prunes only below [`BRANCH_PRUNE`], preserving today's bits.
     mass_budget: f64,
+    /// Numerical-health monitoring at measurement boundaries — see
+    /// [`with_health`](Self::with_health). `None` (the default) performs
+    /// no checks and preserves the unmonitored engine bit for bit.
+    health: Option<HealthConfig>,
 }
+
+/// Bounded retry budget for panicked worker tiles on the fallible fan-out
+/// paths: a tile is re-run up to this many extra times (deterministically
+/// — tiles are pure functions of their input) before its failure surfaces
+/// as [`QdpError::WorkerPanic`].
+const TILE_RETRIES: usize = 2;
 
 impl ShotEngine {
     /// Wraps a trajectory program for batched execution.
@@ -523,7 +534,30 @@ impl ShotEngine {
         ShotEngine {
             program,
             mass_budget: 0.0,
+            health: None,
         }
+    }
+
+    /// Enables numerical-health monitoring: at every measurement boundary
+    /// the per-row norm / branch-probability sweeps the engine already
+    /// performs are additionally checked for NaN/Inf and for norm drift
+    /// beyond `cfg.drift_tol`, and failing rows are handled per
+    /// `cfg.policy` (see [`HealthPolicy`]). The checks piggyback on
+    /// existing block passes — no extra sweeps over the amplitudes.
+    ///
+    /// Only the fallible entry points (`try_run`, `try_sample_sweep`,
+    /// `try_expectation_sweep`, `try_estimate_expectation_prepared`) can
+    /// report a [`QdpError`]; the infallible ones panic with the same
+    /// message. Unmonitored engines (the default) skip every check and
+    /// stay bit-identical to the pre-monitoring engine.
+    pub fn with_health(mut self, cfg: HealthConfig) -> Self {
+        self.health = Some(cfg);
+        self
+    }
+
+    /// The engine's health configuration, when monitoring is enabled.
+    pub fn health(&self) -> Option<HealthConfig> {
+        self.health
     }
 
     /// Gives the **exact** sweep a weighted-leaf pruning budget: each
@@ -547,14 +581,26 @@ impl ShotEngine {
     ///
     /// # Panics
     ///
-    /// Panics when `epsilon` is not in `[0, 1)`.
-    pub fn with_mass_budget(mut self, epsilon: f64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&epsilon),
-            "mass budget must be in [0, 1), got {epsilon}"
-        );
+    /// Panics when `epsilon` is not in `[0, 1)` (including NaN). Use
+    /// [`try_with_mass_budget`](Self::try_with_mass_budget) for a typed
+    /// error instead.
+    pub fn with_mass_budget(self, epsilon: f64) -> Self {
+        match self.try_with_mass_budget(epsilon) {
+            Ok(engine) => engine,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`with_mass_budget`](Self::with_mass_budget) with typed validation:
+    /// rejects ε outside `[0, 1)` — NaN included, since `(0.0..1.0)`
+    /// contains no NaN — as [`QdpError::InvalidMassBudget`] instead of
+    /// panicking.
+    pub fn try_with_mass_budget(mut self, epsilon: f64) -> Result<Self, QdpError> {
+        if !(0.0..1.0).contains(&epsilon) {
+            return Err(QdpError::InvalidMassBudget { epsilon });
+        }
         self.mass_budget = epsilon;
-        self
+        Ok(self)
     }
 
     /// The wrapped program.
@@ -572,10 +618,36 @@ impl ShotEngine {
     ///
     /// # Panics
     ///
-    /// Panics when `samplers.len() != states.len()`.
+    /// Panics when `samplers.len() != states.len()`, or (with health
+    /// monitoring enabled) with a [`QdpError`] message when a check fails
+    /// unrecoverably — use [`try_run`](Self::try_run) for the typed form.
     pub fn run(&self, states: BatchedStates, samplers: &mut [ShotSampler]) -> Vec<TrajectoryRow> {
+        match self.try_run(states, samplers) {
+            Ok(rows) => rows,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`run`](Self::run) with typed errors: health-check failures under
+    /// [`HealthPolicy::FailFast`] (or unrepairable NaN/Inf under
+    /// [`HealthPolicy::Renormalize`]) return a [`QdpError`] instead of
+    /// panicking. Under [`HealthPolicy::DegradeToOracle`] the affected
+    /// rows are re-run serially from their original inputs and streams on
+    /// the per-row reference path ([`collapse_with_draw`]) — bit-identical
+    /// to this unfused executor's own contract — while healthy rows keep
+    /// their batched bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samplers.len() != states.len()`.
+    pub fn try_run(
+        &self,
+        states: BatchedStates,
+        samplers: &mut [ShotSampler],
+    ) -> Result<Vec<TrajectoryRow>, QdpError> {
         let total_rows = states.len();
-        let (finished, aborted) = self.sweep(states, samplers, false);
+        let snapshot = self.degrade_snapshot(&states, samplers);
+        let (finished, aborted, defects) = self.try_sweep(states, samplers, false)?;
         let mut out: Vec<Option<TrajectoryRow>> = (0..total_rows).map(|_| None).collect();
         for group in finished {
             let Group { states, rows, .. } = group;
@@ -592,9 +664,89 @@ impl ShotEngine {
                 outcomes: ctx.outcomes,
             });
         }
-        out.into_iter()
-            .map(|row| row.expect("every row either finishes or aborts"))
-            .collect()
+        if let Some((inputs, streams)) = snapshot {
+            let mut streams = streams;
+            for orig in dedup_defects(defects) {
+                out[orig] = Some(self.replay_row(&inputs[orig], &mut streams[orig]));
+            }
+        }
+        Ok(out
+            .into_iter()
+            .enumerate()
+            .map(|(r, row)| match row {
+                Some(row) => row,
+                // Unreachable by construction: every row finishes, aborts,
+                // or is replaced by its oracle replay.
+                None => panic!("row {r} neither finished nor aborted"),
+            })
+            .collect())
+    }
+
+    /// The per-row input/stream snapshots `DegradeToOracle` recovery
+    /// replays from — taken only when that policy is active, so the other
+    /// configurations pay nothing.
+    fn degrade_snapshot(
+        &self,
+        states: &BatchedStates,
+        samplers: &[ShotSampler],
+    ) -> Option<(Vec<StateVector>, Vec<ShotSampler>)> {
+        match self.health {
+            Some(HealthConfig { policy: HealthPolicy::DegradeToOracle, .. }) => Some((
+                (0..states.len()).map(|r| states.row_state(r)).collect(),
+                samplers.to_vec(),
+            )),
+            _ => None,
+        }
+    }
+
+    /// Serial reference replay of one row: gates in program order on a
+    /// single [`StateVector`], every measurement through the shared
+    /// [`collapse_with_draw`] primitive — the retained per-row path the
+    /// batched sampled executor is pinned against bit for bit.
+    fn replay_row(&self, input: &StateVector, sampler: &mut ShotSampler) -> TrajectoryRow {
+        let mut psi = input.clone();
+        let mut outcomes = Vec::new();
+        let mut ops: &[TrajOp] = &self.program.ops;
+        let mut cont: Vec<&[TrajOp]> = Vec::new();
+        let mut i = 0;
+        loop {
+            if i == ops.len() {
+                match cont.pop() {
+                    Some(next) => {
+                        ops = next;
+                        i = 0;
+                    }
+                    None => return TrajectoryRow { state: Some(psi), outcomes },
+                }
+                continue;
+            }
+            match &ops[i] {
+                TrajOp::Gate { matrix, targets } => {
+                    psi.apply_gate(matrix, targets);
+                    i += 1;
+                }
+                TrajOp::Abort => return TrajectoryRow { state: None, outcomes },
+                TrajOp::Init { meas, flip, target } => {
+                    let (outcome, collapsed) =
+                        collapse_with_draw(sampler.next_uniform(), &psi, meas);
+                    psi = collapsed;
+                    outcomes.push(outcome);
+                    if outcome == 1 {
+                        psi.apply_gate(flip, &[*target]);
+                    }
+                    i += 1;
+                }
+                TrajOp::Case { meas, arms } => {
+                    let (outcome, collapsed) =
+                        collapse_with_draw(sampler.next_uniform(), &psi, meas);
+                    psi = collapsed;
+                    outcomes.push(outcome);
+                    cont.push(&ops[i + 1..]);
+                    ops = &arms[outcome].ops;
+                    i = 0;
+                }
+            }
+        }
     }
 
     /// Runs one trajectory per row and samples `readout` once on each
@@ -622,15 +774,40 @@ impl ShotEngine {
     ///
     /// # Panics
     ///
-    /// Panics when `samplers.len() != states.len()`.
+    /// Panics when `samplers.len() != states.len()`, or (with health
+    /// monitoring enabled) with a [`QdpError`] message — use
+    /// [`try_sample_sweep`](Self::try_sample_sweep) for the typed form.
     pub fn sample_sweep(
         &self,
         states: BatchedStates,
         samplers: &mut [ShotSampler],
         readout: &ProjectiveObservable,
     ) -> Vec<f64> {
+        match self.try_sample_sweep(states, samplers, readout) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`sample_sweep`](Self::sample_sweep) with typed errors — the
+    /// health-policy semantics of [`try_run`](Self::try_run), with
+    /// [`HealthPolicy::DegradeToOracle`] rows re-run serially from their
+    /// original inputs and streams ([`collapse_with_draw`] plus the shared
+    /// per-row read-out selection), unaffected rows keeping their batched
+    /// bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samplers.len() != states.len()`.
+    pub fn try_sample_sweep(
+        &self,
+        states: BatchedStates,
+        samplers: &mut [ShotSampler],
+        readout: &ProjectiveObservable,
+    ) -> Result<Vec<f64>, QdpError> {
         let total_rows = states.len();
-        let (finished, aborted) = self.sweep(states, samplers, true);
+        let snapshot = self.degrade_snapshot(&states, samplers);
+        let (finished, aborted, defects) = self.try_sweep(states, samplers, true)?;
         let mut out = vec![0.0; total_rows];
         let pairs = readout.pairs().len();
         let mut table = Vec::new();
@@ -650,7 +827,25 @@ impl ShotEngine {
             }
         }
         drop(aborted); // aborted rows stay 0.0 and draw nothing
-        out
+        if let Some((inputs, streams)) = snapshot {
+            let mut streams = streams;
+            for orig in dedup_defects(defects) {
+                let row = self.replay_row(&inputs[orig], &mut streams[orig]);
+                out[orig] = match row.state {
+                    None => 0.0, // aborted rows draw nothing
+                    Some(psi) => {
+                        let total = psi.norm_sqr();
+                        if total <= 1e-300 {
+                            0.0
+                        } else {
+                            let u = streams[orig].next_uniform();
+                            readout.sample_with_draw(u, total, psi.amplitudes())
+                        }
+                    }
+                };
+            }
+        }
+        Ok(out)
     }
 
     /// Tiled parallel shot estimate of `⟨obs⟩` on the program's output from
@@ -683,7 +878,11 @@ impl ShotEngine {
     ///
     /// # Panics
     ///
-    /// Panics when `shots` is zero.
+    /// Panics when `shots` is zero, or with a [`QdpError`] message when a
+    /// tile fails beyond the retry budget or a health check fails
+    /// unrecoverably — use
+    /// [`try_estimate_expectation_prepared`](Self::try_estimate_expectation_prepared)
+    /// for the typed form.
     pub fn estimate_expectation_prepared(
         &self,
         psi: &StateVector,
@@ -691,21 +890,53 @@ impl ShotEngine {
         shots: usize,
         seed: u64,
     ) -> f64 {
+        match self.try_estimate_expectation_prepared(psi, readout, shots, seed) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`estimate_expectation_prepared`](Self::estimate_expectation_prepared)
+    /// with fault tolerance: each shot tile runs panic-isolated, a
+    /// panicked tile is retried up to 2 extra times (bit-identically —
+    /// tiles are pure functions of `(psi, seed, tile range)`), and
+    /// exhausted retries or health-check failures surface as a typed
+    /// [`QdpError`] instead of aborting the process.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shots` is zero.
+    pub fn try_estimate_expectation_prepared(
+        &self,
+        psi: &StateVector,
+        readout: &ProjectiveObservable,
+        shots: usize,
+        seed: u64,
+    ) -> Result<f64, QdpError> {
         assert!(shots > 0, "need at least one shot");
         let tiles: Vec<(usize, usize)> = (0..shots)
             .step_by(SHOT_TILE)
             .map(|start| (start, SHOT_TILE.min(shots - start)))
             .collect();
-        let sums = qdp_par::par_map(&tiles, |&(start, rows)| {
-            let batch = BatchedStates::repeat(psi, rows);
-            let mut samplers: Vec<ShotSampler> = (0..rows)
-                .map(|r| ShotSampler::derived(seed, (start + r) as u64))
-                .collect();
-            self.sample_sweep(batch, &mut samplers, readout)
-                .into_iter()
-                .sum::<f64>()
-        });
-        sums.into_iter().sum::<f64>() / shots as f64
+        let sums = qdp_par::try_par_map_retry(
+            &tiles,
+            |&(start, rows)| {
+                crate::fault::tile_checkpoint(start / SHOT_TILE);
+                let batch = BatchedStates::repeat(psi, rows);
+                let mut samplers: Vec<ShotSampler> = (0..rows)
+                    .map(|r| ShotSampler::derived(seed, (start + r) as u64))
+                    .collect();
+                self.try_sample_sweep(batch, &mut samplers, readout)
+                    .map(|values| values.into_iter().sum::<f64>())
+            },
+            TILE_RETRIES,
+        )
+        .map_err(QdpError::from)?;
+        let mut acc = 0.0;
+        for sum in sums {
+            acc += sum?;
+        }
+        Ok(acc / shots as f64)
     }
 
     /// **Branch-weighted exact execution**: the exact expectation
@@ -739,9 +970,29 @@ impl ShotEngine {
     /// contract precisely *because* of the decomposition invariance above:
     /// every row's bits are the same in any tile.
     pub fn expectation_sweep(&self, states: BatchedStates, obs: &Observable) -> Vec<f64> {
+        match self.try_expectation_sweep(states, obs) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`expectation_sweep`](Self::expectation_sweep) with fault
+    /// tolerance: row tiles run panic-isolated with up to 2 bit-identical
+    /// retries each, health checks at every fork compare each row's
+    /// branch-probability mass against its carried weight (trace
+    /// preservation), and failures surface as typed [`QdpError`]s. Under
+    /// [`HealthPolicy::DegradeToOracle`] affected rows are re-run from
+    /// their tile inputs on the retained per-row branch enumerator
+    /// ([`Measurement::branches_pure`], agreeing with the sweep to
+    /// ≪ 1e-12); healthy rows keep their batched bits.
+    pub fn try_expectation_sweep(
+        &self,
+        states: BatchedStates,
+        obs: &Observable,
+    ) -> Result<Vec<f64>, QdpError> {
         let total_rows = states.len();
         if total_rows == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         if total_rows <= EXACT_TILE || qdp_par::max_threads() < 2 {
             return self.expectation_sweep_tile(states, obs);
@@ -752,38 +1003,130 @@ impl ShotEngine {
             .step_by(EXACT_TILE)
             .map(|start| (start, EXACT_TILE.min(total_rows - start)))
             .collect();
-        let per_tile = qdp_par::par_map(&tiles, |&(start, rows)| {
-            let block = BatchedStates::from_raw(
-                rows,
-                n,
-                states.amplitudes()[start * dim..(start + rows) * dim].to_vec(),
-            );
-            self.expectation_sweep_tile(block, obs)
-        });
-        per_tile.concat()
+        let per_tile = qdp_par::try_par_map_retry(
+            &tiles,
+            |&(start, rows)| {
+                crate::fault::tile_checkpoint(start / EXACT_TILE);
+                let block = BatchedStates::from_raw(
+                    rows,
+                    n,
+                    states.amplitudes()[start * dim..(start + rows) * dim].to_vec(),
+                );
+                self.expectation_sweep_tile(block, obs)
+            },
+            TILE_RETRIES,
+        )
+        .map_err(QdpError::from)?;
+        let mut out = Vec::with_capacity(total_rows);
+        for tile in per_tile {
+            out.extend(tile?);
+        }
+        Ok(out)
     }
 
     /// One tile of [`expectation_sweep`](Self::expectation_sweep): the
-    /// serial branch-weighted sweep over a whole block.
-    fn expectation_sweep_tile(&self, states: BatchedStates, obs: &Observable) -> Vec<f64> {
+    /// serial branch-weighted sweep over a whole block, with
+    /// `DegradeToOracle` recovery handled tile-locally (row indices are
+    /// tile-local, so a degraded row's oracle re-run needs only this
+    /// tile's inputs).
+    fn expectation_sweep_tile(
+        &self,
+        states: BatchedStates,
+        obs: &Observable,
+    ) -> Result<Vec<f64>, QdpError> {
+        let inputs: Option<Vec<StateVector>> = match self.health {
+            Some(HealthConfig { policy: HealthPolicy::DegradeToOracle, .. }) => {
+                Some((0..states.len()).map(|r| states.row_state(r)).collect())
+            }
+            _ => None,
+        };
         let mut out = vec![0.0; states.len()];
         let mut values = Vec::new();
-        SCRATCH.with(|cell| {
+        let defects = SCRATCH.with(|cell| {
             let scratch = &mut cell.borrow_mut();
             let group = weighted_root(states, scratch);
             let mut sweep = ExactSweep {
                 budgets: self.budgets_for(&group),
                 scratch,
                 flush_gate: Matrix::zeros(2, 2),
+                health: self.health,
+                defects: Vec::new(),
             };
             sweep.exec(&self.program.ops, Vec::new(), group, &mut |group: &WeightedGroup| {
                 obs.expectation_batch_into(&group.states, &mut values);
                 for (ctx, v) in group.rows.iter().zip(&values) {
                     out[ctx.orig] += v;
                 }
-            });
-        });
-        out
+            })?;
+            Ok::<Vec<usize>, QdpError>(sweep.defects)
+        })?;
+        if let Some(inputs) = inputs {
+            for orig in dedup_defects(defects) {
+                // Overwrite, not accumulate: partial leaf sums from
+                // branches that completed before the fault are discarded.
+                out[orig] = self.exact_reference_row(inputs[orig].clone(), obs);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The retained per-row exact reference: depth-first branch
+    /// enumeration of the trajectory program on one state, unnormalised
+    /// branches carried whole, leaves summed as `Σ_b ⟨ψb|O|ψb⟩`. This is
+    /// the path [`HealthPolicy::DegradeToOracle`] re-runs defected rows
+    /// on; it agrees with the branch-weighted sweep to ≪ 1e-12 (fusion
+    /// and leaf-order rounding only).
+    fn exact_reference_row(&self, psi: StateVector, obs: &Observable) -> f64 {
+        let mut acc = 0.0;
+        self.exact_reference_from(&self.program.ops, Vec::new(), psi, obs, &mut acc);
+        acc
+    }
+
+    fn exact_reference_from<'p>(
+        &'p self,
+        ops: &'p [TrajOp],
+        cont: Vec<&'p [TrajOp]>,
+        mut psi: StateVector,
+        obs: &Observable,
+        acc: &mut f64,
+    ) {
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                TrajOp::Gate { matrix, targets } => psi.apply_gate(matrix, targets),
+                TrajOp::Abort => return,
+                TrajOp::Init { meas, flip, target } => {
+                    let rest = &ops[i + 1..];
+                    for b in meas.branches_pure(&psi) {
+                        if b.probability <= BRANCH_PRUNE {
+                            continue;
+                        }
+                        let mut sub = b.state;
+                        if b.outcome == 1 {
+                            sub.apply_gate(flip, &[*target]);
+                        }
+                        self.exact_reference_from(rest, cont.clone(), sub, obs, acc);
+                    }
+                    return;
+                }
+                TrajOp::Case { meas, arms } => {
+                    let rest = &ops[i + 1..];
+                    for b in meas.branches_pure(&psi) {
+                        if b.probability <= BRANCH_PRUNE {
+                            continue;
+                        }
+                        let mut arm_cont = cont.clone();
+                        arm_cont.push(rest);
+                        self.exact_reference_from(&arms[b.outcome].ops, arm_cont, b.state, obs, acc);
+                    }
+                    return;
+                }
+            }
+        }
+        let mut cont = cont;
+        match cont.pop() {
+            Some(next) => self.exact_reference_from(next, cont, psi, obs, acc),
+            None => *acc += obs.expectation_pure(&psi),
+        }
     }
 
     /// The surviving leaf weights of every row of an exact sweep, in that
@@ -807,12 +1150,17 @@ impl ShotEngine {
                 budgets: self.budgets_for(&group),
                 scratch,
                 flush_gate: Matrix::zeros(2, 2),
+                // Diagnostic view: never health-monitored.
+                health: None,
+                defects: Vec::new(),
             };
-            sweep.exec(&self.program.ops, Vec::new(), group, &mut |group: &WeightedGroup| {
-                for ctx in &group.rows {
-                    out[ctx.orig].push(ctx.weight);
-                }
-            });
+            sweep
+                .exec(&self.program.ops, Vec::new(), group, &mut |group: &WeightedGroup| {
+                    for ctx in &group.rows {
+                        out[ctx.orig].push(ctx.weight);
+                    }
+                })
+                .unwrap_or_else(|e| panic!("{e}"));
         });
         out
     }
@@ -826,20 +1174,35 @@ impl ShotEngine {
     }
 
     /// Executes the program over the whole batch, branch-grouping on every
-    /// measurement; returns the surviving outcome-homogeneous groups and
-    /// the aborted rows. With `fuse`, straight-line segments accumulate
-    /// per-qubit 1q products instead of applying each gate immediately.
-    fn sweep(
+    /// measurement; returns the surviving outcome-homogeneous groups, the
+    /// aborted rows, and the original indices of rows degraded to the
+    /// oracle (non-empty only under [`HealthPolicy::DegradeToOracle`]).
+    /// With `fuse`, straight-line segments accumulate per-qubit 1q
+    /// products instead of applying each gate immediately.
+    ///
+    /// When the engine is health-monitored, each row's expected squared
+    /// norm is read off one extra root pass and checked (piggybacked on
+    /// the norms sweep every measurement already performs) at each
+    /// boundary; unmonitored engines skip all of it and keep today's bits.
+    fn try_sweep(
         &self,
         states: BatchedStates,
         samplers: &mut [ShotSampler],
         fuse: bool,
-    ) -> (Vec<Group>, Vec<RowCtx>) {
+    ) -> Result<SweepOutput, QdpError> {
         assert_eq!(
             states.len(),
             samplers.len(),
             "one sampler stream per batch row"
         );
+        let expected = match self.health {
+            Some(_) => {
+                let mut norms = Vec::new();
+                states.row_norms_sqr_into(&mut norms);
+                norms
+            }
+            None => Vec::new(),
+        };
         let group = Group {
             rows: (0..states.len())
                 .map(|orig| RowCtx {
@@ -851,7 +1214,7 @@ impl ShotEngine {
             states,
         };
         if group.rows.is_empty() {
-            return (Vec::new(), Vec::new());
+            return Ok((Vec::new(), Vec::new(), Vec::new()));
         }
         SCRATCH.with(|cell| {
             let scratch = &mut cell.borrow_mut();
@@ -862,11 +1225,26 @@ impl ShotEngine {
                 flush_gate: Matrix::zeros(2, 2),
                 finished: Vec::new(),
                 aborted: Vec::new(),
+                health: self.health,
+                expected,
+                defects: Vec::new(),
             };
-            sweep.exec(&self.program.ops, Vec::new(), group);
-            (sweep.finished, sweep.aborted)
+            sweep.exec(&self.program.ops, Vec::new(), group)?;
+            Ok((sweep.finished, sweep.aborted, sweep.defects))
         })
     }
+}
+
+/// Outcome of a sampled sweep: finished leaf groups, aborted row
+/// contexts, and the original indices of health-defected rows.
+type SweepOutput = (Vec<Group>, Vec<RowCtx>, Vec<usize>);
+
+/// Sorts and deduplicates the degraded-row index list (a row can fail
+/// checks at more than one boundary before its placeholder stabilises).
+fn dedup_defects(mut defects: Vec<usize>) -> Vec<usize> {
+    defects.sort_unstable();
+    defects.dedup();
+    defects
 }
 
 /// The state of one **sampled** sweep: the per-row streams, the fusion
@@ -879,13 +1257,27 @@ struct SampledSweep<'s> {
     flush_gate: Matrix,
     finished: Vec<Group>,
     aborted: Vec<RowCtx>,
+    /// Health monitoring config (`None` = no checks, today's bits).
+    health: Option<HealthConfig>,
+    /// Expected squared norm per **original** row index (root norms —
+    /// collapse renormalises to the parent norm and gates are unitary, so
+    /// a healthy row carries its root norm at every boundary). Empty when
+    /// unmonitored.
+    expected: Vec<f64>,
+    /// Original indices of rows degraded to the oracle.
+    defects: Vec<usize>,
 }
 
 impl SampledSweep<'_> {
     /// Executes `ops` on `group`, with `cont` the stack of suspended op
     /// slices to resume (innermost last) once `ops` is exhausted — the
     /// continuation a `case` arm returns into.
-    fn exec<'p>(&mut self, ops: &'p [TrajOp], cont: Vec<&'p [TrajOp]>, mut group: Group) {
+    fn exec<'p>(
+        &mut self,
+        ops: &'p [TrajOp],
+        cont: Vec<&'p [TrajOp]>,
+        mut group: Group,
+    ) -> Result<(), QdpError> {
         for (i, op) in ops.iter().enumerate() {
             match op {
                 TrajOp::Gate { matrix, targets } => {
@@ -914,34 +1306,34 @@ impl SampledSweep<'_> {
                     // Dropped rows never need their pending products.
                     self.aborted.append(&mut group.rows);
                     self.scratch.reclaim_sampled(group);
-                    return;
+                    return Ok(());
                 }
                 TrajOp::Init { meas, flip, target } => {
                     flush_all(&mut group.states, &mut group.pending, &mut self.flush_gate);
                     let rest = &ops[i + 1..];
                     let mut forks = self.scratch.sampled_forks.pop().unwrap_or_default();
-                    self.measure_group(group, meas, &mut forks);
+                    self.measure_group(group, meas, &mut forks)?;
                     for (outcome, mut sub) in forks.drain(..) {
                         if outcome == 1 {
                             sub.states.apply_gate(flip, &[*target]);
                         }
-                        self.exec(rest, cont.clone(), sub);
+                        self.exec(rest, cont.clone(), sub)?;
                     }
                     pool_give(&mut self.scratch.sampled_forks, forks);
-                    return;
+                    return Ok(());
                 }
                 TrajOp::Case { meas, arms } => {
                     flush_all(&mut group.states, &mut group.pending, &mut self.flush_gate);
                     let rest = &ops[i + 1..];
                     let mut forks = self.scratch.sampled_forks.pop().unwrap_or_default();
-                    self.measure_group(group, meas, &mut forks);
+                    self.measure_group(group, meas, &mut forks)?;
                     for (outcome, sub) in forks.drain(..) {
                         let mut arm_cont = cont.clone();
                         arm_cont.push(rest);
-                        self.exec(&arms[outcome].ops, arm_cont, sub);
+                        self.exec(&arms[outcome].ops, arm_cont, sub)?;
                     }
                     pool_give(&mut self.scratch.sampled_forks, forks);
-                    return;
+                    return Ok(());
                 }
             }
         }
@@ -953,6 +1345,7 @@ impl SampledSweep<'_> {
             None => {
                 flush_all(&mut group.states, &mut group.pending, &mut self.flush_gate);
                 self.finished.push(group);
+                Ok(())
             }
         }
     }
@@ -979,15 +1372,83 @@ impl SampledSweep<'_> {
     /// # Panics
     ///
     /// Panics when a row has (numerically) zero norm.
-    fn measure_group(&mut self, group: Group, meas: &Measurement, forks: &mut Vec<(usize, Group)>) {
+    fn measure_group(
+        &mut self,
+        group: Group,
+        meas: &Measurement,
+        forks: &mut Vec<(usize, Group)>,
+    ) -> Result<(), QdpError> {
         debug_assert!(
             group.pending.iter().all(Option::is_none),
             "pending products must be flushed before measuring"
         );
-        let Group { states, mut rows, pending } = group;
+        let Group { mut states, mut rows, pending } = group;
         let n = states.num_qubits();
         let dim = states.dim();
         states.row_norms_sqr_into(&mut self.scratch.totals);
+        // Health checks piggyback on the norms pass the measurement just
+        // performed — before the zero-norm assert (NaN fails `> 1e-300`
+        // too) and before the probability table is built, so repairs and
+        // placeholder rows feed consistent probabilities downstream.
+        if let Some(cfg) = self.health {
+            for (r, ctx) in rows.iter().enumerate() {
+                let total = self.scratch.totals[r];
+                let expected = self.expected[ctx.orig];
+                let non_finite = !total.is_finite() || !expected.is_finite();
+                let drifted = !non_finite
+                    && (total - expected).abs()
+                        > cfg.drift_tol * expected.abs().max(f64::MIN_POSITIVE);
+                if !non_finite && !drifted {
+                    continue;
+                }
+                match cfg.policy {
+                    HealthPolicy::FailFast => {
+                        return Err(if non_finite {
+                            QdpError::NonFinite { row: ctx.orig, context: "row norms" }
+                        } else {
+                            QdpError::NormDrift {
+                                row: ctx.orig,
+                                expected,
+                                actual: total,
+                                tolerance: cfg.drift_tol,
+                            }
+                        });
+                    }
+                    HealthPolicy::Renormalize => {
+                        // Finite drift is repairable by rescaling; NaN/Inf
+                        // amplitudes are not — no scale factor undoes them.
+                        if non_finite || total <= 1e-300 {
+                            return Err(QdpError::NonFinite { row: ctx.orig, context: "row norms" });
+                        }
+                        let s = C64::real((expected / total).sqrt());
+                        for a in states.row_mut(r) {
+                            *a *= s;
+                        }
+                        self.scratch.totals[r] = expected;
+                    }
+                    HealthPolicy::DegradeToOracle => {
+                        // Replace the row with a well-formed placeholder so
+                        // the batched sweep stays defined; its output is
+                        // discarded and recomputed on the reference path.
+                        // Per-row sampler independence and the row-order
+                        // invariance contract keep healthy rows' bits
+                        // untouched by the substitution.
+                        self.defects.push(ctx.orig);
+                        let norm = if expected.is_finite() && expected > 1e-300 {
+                            expected
+                        } else {
+                            1.0
+                        };
+                        let row = states.row_mut(r);
+                        for a in row.iter_mut() {
+                            *a = C64::ZERO;
+                        }
+                        row[0] = C64::real(norm.sqrt());
+                        self.scratch.totals[r] = norm;
+                    }
+                }
+            }
+        }
         meas.branch_probabilities_block(n, states.amplitudes(), &mut self.scratch.probs);
         let outcomes = meas.num_outcomes();
         self.scratch.draws.clear();
@@ -1031,6 +1492,7 @@ impl SampledSweep<'_> {
         self.scratch.selected = selected;
         rows.clear();
         self.scratch.reclaim_sampled(Group { states, rows, pending });
+        Ok(())
     }
 }
 
@@ -1065,6 +1527,10 @@ struct ExactSweep<'a> {
     scratch: &'a mut RegroupScratch,
     /// Reusable 2×2 the pending products flush through.
     flush_gate: Matrix,
+    /// Health monitoring config (`None` = no checks, today's bits).
+    health: Option<HealthConfig>,
+    /// Original (tile-local) indices of rows degraded to the oracle.
+    defects: Vec<usize>,
 }
 
 impl ExactSweep<'_> {
@@ -1081,7 +1547,7 @@ impl ExactSweep<'_> {
         cont: Vec<&'p [TrajOp]>,
         mut group: WeightedGroup,
         leaf: &mut dyn FnMut(&WeightedGroup),
-    ) {
+    ) -> Result<(), QdpError> {
         for (i, op) in ops.iter().enumerate() {
             match op {
                 TrajOp::Gate { matrix, targets } => {
@@ -1105,34 +1571,34 @@ impl ExactSweep<'_> {
                 TrajOp::Abort => {
                     // Aborted branches contribute nothing.
                     self.scratch.reclaim_weighted(group);
-                    return;
+                    return Ok(());
                 }
                 TrajOp::Init { meas, flip, target } => {
                     flush_all(&mut group.states, &mut group.pending, &mut self.flush_gate);
                     let rest = &ops[i + 1..];
                     let mut forks = self.scratch.weighted_forks.pop().unwrap_or_default();
-                    self.branch_groups(group, meas, &mut forks);
+                    self.branch_groups(group, meas, &mut forks)?;
                     for (outcome, mut sub) in forks.drain(..) {
                         if outcome == 1 {
                             sub.states.apply_gate(flip, &[*target]);
                         }
-                        self.exec(rest, cont.clone(), sub, leaf);
+                        self.exec(rest, cont.clone(), sub, leaf)?;
                     }
                     pool_give(&mut self.scratch.weighted_forks, forks);
-                    return;
+                    return Ok(());
                 }
                 TrajOp::Case { meas, arms } => {
                     flush_all(&mut group.states, &mut group.pending, &mut self.flush_gate);
                     let rest = &ops[i + 1..];
                     let mut forks = self.scratch.weighted_forks.pop().unwrap_or_default();
-                    self.branch_groups(group, meas, &mut forks);
+                    self.branch_groups(group, meas, &mut forks)?;
                     for (outcome, sub) in forks.drain(..) {
                         let mut arm_cont = cont.clone();
                         arm_cont.push(rest);
-                        self.exec(&arms[outcome].ops, arm_cont, sub, leaf);
+                        self.exec(&arms[outcome].ops, arm_cont, sub, leaf)?;
                     }
                     pool_give(&mut self.scratch.weighted_forks, forks);
-                    return;
+                    return Ok(());
                 }
             }
         }
@@ -1145,6 +1611,7 @@ impl ExactSweep<'_> {
                 flush_all(&mut group.states, &mut group.pending, &mut self.flush_gate);
                 leaf(&group);
                 self.scratch.reclaim_weighted(group);
+                Ok(())
             }
         }
     }
@@ -1174,15 +1641,76 @@ impl ExactSweep<'_> {
         group: WeightedGroup,
         meas: &Measurement,
         forks: &mut Vec<(usize, WeightedGroup)>,
-    ) {
+    ) -> Result<(), QdpError> {
         debug_assert!(
             group.pending.iter().all(Option::is_none),
             "pending products must be flushed before measuring"
         );
-        let WeightedGroup { states, mut rows, pending } = group;
+        let WeightedGroup { mut states, mut rows, pending } = group;
         let n = states.num_qubits();
         meas.branch_probabilities_block(n, states.amplitudes(), &mut self.scratch.probs);
         let outcomes = meas.num_outcomes();
+        // Health checks piggyback on the probability pass: measurements
+        // are trace-complete (`Σm M†mMm = I`), so each row's probability
+        // mass must equal its carried branch weight up to drift tolerance.
+        if let Some(cfg) = self.health {
+            for (r, ctx) in rows.iter().enumerate() {
+                let range = r * outcomes..(r + 1) * outcomes;
+                let total: f64 = self.scratch.probs[range.clone()].iter().sum();
+                let expected = ctx.weight;
+                let orig = ctx.orig;
+                let non_finite = !total.is_finite() || !expected.is_finite();
+                let drifted = !non_finite
+                    && (total - expected).abs()
+                        > cfg.drift_tol * expected.abs().max(f64::MIN_POSITIVE);
+                if !non_finite && !drifted {
+                    continue;
+                }
+                match cfg.policy {
+                    HealthPolicy::FailFast => {
+                        return Err(if non_finite {
+                            QdpError::NonFinite { row: orig, context: "branch probabilities" }
+                        } else {
+                            QdpError::NormDrift {
+                                row: orig,
+                                expected,
+                                actual: total,
+                                tolerance: cfg.drift_tol,
+                            }
+                        });
+                    }
+                    HealthPolicy::Renormalize => {
+                        if non_finite || total <= 1e-300 {
+                            return Err(QdpError::NonFinite {
+                                row: orig,
+                                context: "branch probabilities",
+                            });
+                        }
+                        // Rescale the row's amplitudes and its probability
+                        // entries together, so child weights stay
+                        // consistent with the repaired amplitudes.
+                        let ratio = expected / total;
+                        let s = C64::real(ratio.sqrt());
+                        for a in states.row_mut(r) {
+                            *a *= s;
+                        }
+                        for p in &mut self.scratch.probs[range] {
+                            *p *= ratio;
+                        }
+                    }
+                    HealthPolicy::DegradeToOracle => {
+                        // Zeroing the row's probability entries drops it
+                        // from every outcome (nothing clears BRANCH_PRUNE),
+                        // excising its subtree from the batched sweep; the
+                        // tile re-runs it on the per-row enumerator.
+                        self.defects.push(orig);
+                        for p in &mut self.scratch.probs[range] {
+                            *p = 0.0;
+                        }
+                    }
+                }
+            }
+        }
         self.scratch.keep.clear();
         self.scratch.keep.resize(rows.len() * outcomes, false);
         for (r, ctx) in rows.iter().enumerate() {
@@ -1244,6 +1772,7 @@ impl ExactSweep<'_> {
         self.scratch.selected = selected;
         rows.clear();
         self.scratch.reclaim_weighted(WeightedGroup { states, rows, pending });
+        Ok(())
     }
 }
 

@@ -37,7 +37,7 @@ pub type Dataset = Vec<(StateVector, f64)>;
 /// estimate from sub-stream `2r` and its gradient estimates from `2r + 1`
 /// — a fixed seed reproduces a training run bit for bit under any thread
 /// count.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ShotNoise {
     /// Trajectories per forward (prediction) estimate.
     pub value_shots: usize,
@@ -47,6 +47,101 @@ pub struct ShotNoise {
     pub gradient_shots: usize,
     /// Master seed of the run's shot streams.
     pub seed: u64,
+}
+
+/// A resumable snapshot of a [`Trainer`]'s training position: the epoch
+/// counter, every parameter value, and the shot-noise configuration.
+///
+/// Because all of the trainer's randomness derives from
+/// `(ShotNoise::seed, epoch)` — epoch `e` uses `derive_seed(seed, e)`,
+/// with per-sample sub-streams `2r` / `2r + 1` below that — these three
+/// pieces are the *entire* training state: restoring a checkpoint into a
+/// fresh trainer over the same program and dataset and continuing
+/// produces **bit-identical** parameters to the uninterrupted run.
+/// Optimizer state is not carried; pair checkpoints with a stateless
+/// optimizer (plain [`crate::optim::GradientDescent`]) or persist the
+/// optimizer separately.
+///
+/// [`serialize`](Self::serialize) round-trips through a line-oriented text
+/// format with every `f64` written as the hex of its IEEE-754 bits, so a
+/// file round trip is exact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// The shot-noise epoch counter at snapshot time.
+    pub epoch: u64,
+    /// Every parameter's value at snapshot time.
+    pub params: BTreeMap<String, f64>,
+    /// The shot-noise configuration (`None` = exact mode).
+    pub shot_noise: Option<ShotNoise>,
+}
+
+impl Checkpoint {
+    /// Renders the checkpoint as a line-oriented text block (`f64`s as
+    /// hex bit patterns, so deserialization is bit-exact).
+    pub fn serialize(&self) -> String {
+        let mut out = String::from("qdp-checkpoint v1\n");
+        out.push_str(&format!("epoch {}\n", self.epoch));
+        if let Some(cfg) = &self.shot_noise {
+            out.push_str(&format!(
+                "shots {} {} {}\n",
+                cfg.value_shots, cfg.gradient_shots, cfg.seed
+            ));
+        }
+        for (name, value) in &self.params {
+            out.push_str(&format!("param {name} {:016x}\n", value.to_bits()));
+        }
+        out
+    }
+
+    /// Parses a checkpoint produced by [`serialize`](Self::serialize).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn deserialize(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("qdp-checkpoint v1") => {}
+            other => return Err(format!("bad checkpoint header: {other:?}")),
+        }
+        let mut epoch = None;
+        let mut shot_noise = None;
+        let mut params = BTreeMap::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            match fields.as_slice() {
+                ["epoch", e] => {
+                    epoch = Some(
+                        e.parse::<u64>()
+                            .map_err(|_| format!("bad epoch: {line:?}"))?,
+                    );
+                }
+                ["shots", v, g, s] => {
+                    let parse =
+                        |x: &str| x.parse::<u64>().map_err(|_| format!("bad shots line: {line:?}"));
+                    shot_noise = Some(ShotNoise {
+                        value_shots: parse(v)? as usize,
+                        gradient_shots: parse(g)? as usize,
+                        seed: parse(s)?,
+                    });
+                }
+                ["param", name, bits] => {
+                    let bits = u64::from_str_radix(bits, 16)
+                        .map_err(|_| format!("bad param bits: {line:?}"))?;
+                    params.insert(name.to_string(), f64::from_bits(bits));
+                }
+                _ => return Err(format!("unrecognised checkpoint line: {line:?}")),
+            }
+        }
+        Ok(Checkpoint {
+            epoch: epoch.ok_or("checkpoint is missing the epoch line")?,
+            params,
+            shot_noise,
+        })
+    }
 }
 
 /// A full-batch trainer for one program and read-out observable.
@@ -309,6 +404,27 @@ impl Trainer {
         value
     }
 
+    /// Snapshots the trainer's resumable state — see [`Checkpoint`] for
+    /// the exact-resume contract.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            epoch: self.shot_epoch,
+            params: self.params.clone(),
+            shot_noise: self.shot_noise,
+        }
+    }
+
+    /// Restores a [`Checkpoint`] taken from a trainer over the same
+    /// program and dataset: epoch counter, parameter values (unknown
+    /// names are ignored, as in [`set_params`](Self::set_params)), and
+    /// shot-noise configuration. Training continued from here is
+    /// bit-identical to the run the checkpoint was taken from.
+    pub fn restore(&mut self, ckpt: &Checkpoint) {
+        self.shot_epoch = ckpt.epoch;
+        self.set_params(&ckpt.params);
+        self.shot_noise = ckpt.shot_noise;
+    }
+
     /// Runs `epochs` epochs and returns the loss history.
     pub fn train(
         &mut self,
@@ -478,6 +594,75 @@ mod tests {
         // A different seed draws different shots.
         let c = run(12);
         assert!(a.iter().any(|(name, v)| v.to_bits() != c[name].to_bits()));
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let noise = ShotNoise { value_shots: 32, gradient_shots: 32, seed: 17 };
+        let make = || {
+            let mut t = Trainer::new(&p1(), task::readout_observable(), data()).unwrap();
+            t.init_params_seeded(3);
+            t.set_shot_noise(Some(noise));
+            t
+        };
+
+        // Uninterrupted run: 6 shot-noise epochs.
+        let mut straight = make();
+        straight.train(6, &SquaredLoss, &mut GradientDescent::new(0.2));
+
+        // Interrupted run: 3 epochs, checkpoint through the text format,
+        // resume in a *fresh* trainer, 3 more epochs.
+        let mut first_half = make();
+        first_half.train(3, &SquaredLoss, &mut GradientDescent::new(0.2));
+        let text = first_half.checkpoint().serialize();
+        drop(first_half);
+        let ckpt = Checkpoint::deserialize(&text).unwrap();
+        assert_eq!(ckpt.epoch, 3);
+        assert_eq!(ckpt.shot_noise, Some(noise));
+        let mut resumed = Trainer::new(&p1(), task::readout_observable(), data()).unwrap();
+        resumed.restore(&ckpt);
+        resumed.train(3, &SquaredLoss, &mut GradientDescent::new(0.2));
+
+        for (name, v) in straight.params() {
+            assert_eq!(
+                v.to_bits(),
+                resumed.params()[name].to_bits(),
+                "{name} diverged after resume"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_serialization_is_bit_exact() {
+        let ckpt = Checkpoint {
+            epoch: 41,
+            params: BTreeMap::from([
+                ("T0".to_string(), -0.0),
+                ("F5".to_string(), std::f64::consts::PI),
+                ("T11".to_string(), 1e-300),
+            ]),
+            shot_noise: None,
+        };
+        let round = Checkpoint::deserialize(&ckpt.serialize()).unwrap();
+        assert_eq!(round.epoch, 41);
+        assert_eq!(round.shot_noise, None);
+        for (name, v) in &ckpt.params {
+            assert_eq!(v.to_bits(), round.params[name].to_bits(), "{name}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_deserialize_rejects_malformed_input() {
+        assert!(Checkpoint::deserialize("").is_err());
+        assert!(Checkpoint::deserialize("nonsense").is_err());
+        assert!(Checkpoint::deserialize("qdp-checkpoint v1\n").is_err()); // no epoch
+        assert!(Checkpoint::deserialize("qdp-checkpoint v1\nepoch x\n").is_err());
+        assert!(
+            Checkpoint::deserialize("qdp-checkpoint v1\nepoch 1\nparam T0 zz\n").is_err()
+        );
+        assert!(
+            Checkpoint::deserialize("qdp-checkpoint v1\nepoch 1\nmystery line\n").is_err()
+        );
     }
 
     #[test]
