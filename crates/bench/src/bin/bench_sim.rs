@@ -2,8 +2,21 @@
 //!
 //! Measures the headline numbers of the simulator's performance work:
 //!
+//! 0. `gate_apply` — the **L2-resident batched seam workload**: one gate
+//!    per kernel dispatch class — H (dense real), RX (dense complex),
+//!    RZ (diagonal), CNOT (block-diagonal controlled) — applied to a
+//!    16-row × 10-qubit `BatchedStates` (two 128 KiB planes,
+//!    cache-resident), plus the block measurement kernels
+//!    (`branch_probabilities_block` / `collapse_block_into`) on the same
+//!    block. This is where the PR-7 split-plane layout shows up; the PR-6
+//!    interleaved-layout record is compiled in as the *before* number
+//!    (measured at commit 6b04277 with identical workload, iteration
+//!    policy, and `-C target-cpu=x86-64-v3`, in the same session as the
+//!    PR-7 record so machine conditions match).
 //! 1. single-qubit gate application to a 10-qubit `DensityMatrix`
-//!    (kernel-level, fast vs reference),
+//!    (kernel-level, fast vs reference) — DRAM-bound (16 MiB of
+//!    amplitudes), so layout changes barely move it; guarded against the
+//!    PR-5 record instead,
 //! 2. the end-to-end `gradient.rs` workload — a full 24-parameter gradient
 //!    of the paper's `P1` circuit — fast kernels vs reference kernels, and
 //! 3. `gradient_batch_16x` — the full-batch training gradient over the
@@ -37,7 +50,7 @@ use qdp_ad::GradientEngine;
 use qdp_lang::ast::Params;
 use qdp_linalg::{C64, Matrix};
 use qdp_sim::kernels::{apply_matrix, apply_matrix_reference, set_reference_kernels};
-use qdp_sim::{DensityMatrix, ShotSampler, StateVector};
+use qdp_sim::{BatchedStates, DensityMatrix, Measurement, ShotSampler, StateVector};
 use qdp_vqc::circuits::p1;
 use qdp_vqc::loss::{Loss, SquaredLoss};
 use qdp_vqc::task;
@@ -75,8 +88,91 @@ fn time_ns(mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// A random normalized `n`-qubit state (the micro-workload inputs — same
+/// generator and seeds as the PR-6 baseline run).
+fn random_state(n: usize, seed: u64) -> StateVector {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    };
+    let amps: Vec<C64> = (0..1usize << n).map(|_| C64::new(next(), next())).collect();
+    let norm = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+    StateVector::from_amplitudes(
+        n,
+        amps.into_iter().map(|a| C64::new(a.re / norm, a.im / norm)).collect(),
+    )
+}
+
+/// PR-6 (interleaved AoS layout, commit 6b04277) record of the batched
+/// 16×10q seam micro-workloads — the *before* numbers `gate_apply` and the
+/// `measurement_sweep` block kernels compare against. Measured on the same
+/// machine/flags with `bench_micro` at that commit.
+const PR6_GATE_H_NS: f64 = 8482.6;
+const PR6_GATE_RX_NS: f64 = 18864.5;
+const PR6_GATE_RZ_NS: f64 = 13946.6;
+const PR6_GATE_CNOT_NS: f64 = 14016.1;
+const PR6_BLOCK_PROBS_NS: f64 = 12999.1;
+const PR6_BLOCK_COLLAPSE_NS: f64 = 12912.6;
+
+/// PR-6 record of the two macro workloads whose hot loops the split-plane
+/// layout rewrote underneath (`batched_ns` in the committed BENCH_sim.json
+/// at commit 6b04277, re-measured in the same session as the micro
+/// baselines) — recorded alongside the new numbers for trend tracking.
+const PR6_ESTIMATOR_SHOTS_BATCHED_NS: f64 = 14620161.0;
+const PR6_BRANCHING_BATCHED_NS: f64 = 1268493.9;
+
+/// PR-5 record of the DRAM-bound density-matrix gate apply (`fast_ns` of
+/// `gate_apply_10q_density` in the committed BENCH_sim.json at PR 5) — the
+/// regression floor for the legacy headline.
+const PR5_GATE_APPLY_DENSITY_NS: f64 = 748660.7;
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sim.json".to_string());
+
+    // --- 0. gate_apply: the L2-resident batched seam workload. ------------
+    let micro_n = 10usize;
+    let micro_rows = 16usize;
+    let micro_states: Vec<StateVector> =
+        (0..micro_rows).map(|r| random_state(micro_n, r as u64 + 1)).collect();
+    let mut micro_batch = BatchedStates::from_states(&micro_states);
+
+    let h = Matrix::hadamard();
+    let rx = Matrix::rotation_x(0.7);
+    let rz = Matrix::rotation_z(0.7);
+    let cnot = Matrix::cnot();
+    let gate_h_ns = time_ns(|| micro_batch.apply_gate(&h, &[4]));
+    let gate_rx_ns = time_ns(|| micro_batch.apply_gate(&rx, &[5]));
+    let gate_rz_ns = time_ns(|| micro_batch.apply_gate(&rz, &[6]));
+    let gate_cnot_ns = time_ns(|| micro_batch.apply_gate(&cnot, &[3, 7]));
+
+    let micro_batch = BatchedStates::from_states(&micro_states);
+    let micro_meas = Measurement::computational(vec![4]);
+    let mut micro_table = Vec::new();
+    let block_probs_ns = time_ns(|| {
+        let (re, im) = micro_batch.planes();
+        micro_meas.branch_probabilities_block(micro_n, re, im, &mut micro_table);
+        std::hint::black_box(&micro_table);
+    });
+    let micro_selected: Vec<usize> = (0..micro_rows).collect();
+    let (mut micro_out_re, mut micro_out_im) = (Vec::new(), Vec::new());
+    let block_collapse_ns = time_ns(|| {
+        micro_out_re.clear();
+        micro_out_im.clear();
+        let (re, im) = micro_batch.planes();
+        micro_meas.collapse_block_into(
+            micro_n,
+            re,
+            im,
+            &micro_selected,
+            0,
+            &mut micro_out_re,
+            &mut micro_out_im,
+        );
+        std::hint::black_box((&micro_out_re, &micro_out_im));
+    });
 
     // --- 1. Kernel-level: H on one qubit of a 10-qubit density matrix. ----
     let n = 10usize;
@@ -357,8 +453,20 @@ fn main() {
     let meas_speedup = meas_per_row_ns / meas_block_ns;
     let meas_sampled_speedup = meas_sampled_serial_ns / meas_sampled_block_ns;
 
+    // The PR-7 headline: combined time over the four dispatch classes (and
+    // the two block measurement kernels) vs the PR-6 interleaved-layout
+    // record on the identical workload. Per-gate befores are emitted too so
+    // the JSON shows where the layout pays (complex/diagonal orbits) and
+    // where the store ports cap it (H).
+    let gate_total_ns = gate_h_ns + gate_rx_ns + gate_rz_ns + gate_cnot_ns;
+    let pr6_gate_total_ns = PR6_GATE_H_NS + PR6_GATE_RX_NS + PR6_GATE_RZ_NS + PR6_GATE_CNOT_NS;
+    let gate_apply_speedup = pr6_gate_total_ns / gate_total_ns;
+    let meas_micro_total_ns = block_probs_ns + block_collapse_ns;
+    let pr6_meas_micro_total_ns = PR6_BLOCK_PROBS_NS + PR6_BLOCK_COLLAPSE_NS;
+    let meas_micro_speedup = pr6_meas_micro_total_ns / meas_micro_total_ns;
+
     let json = format!(
-        "{{\n  \"bench\": \"sim\",\n  \"threads\": {},\n  \"gate_apply_10q_density\": {{\n    \"gate\": \"H on row qubit 4\",\n    \"fast_ns\": {gate_fast_ns:.1},\n    \"reference_ns\": {gate_ref_ns:.1},\n    \"speedup\": {gate_speedup:.2}\n  }},\n  \"gradient_p1_24_params\": {{\n    \"workload\": \"GradientEngine::gradient_pure on P1\",\n    \"fast_ns\": {grad_fast_ns:.1},\n    \"reference_ns\": {grad_ref_ns:.1},\n    \"speedup\": {grad_speedup:.2}\n  }},\n  \"gradient_batch_16x\": {{\n    \"workload\": \"Trainer::loss_gradient on P1, {batch_size}-sample batch\",\n    \"batched_ns\": {batch_fast_ns:.1},\n    \"serial_loop_ns\": {batch_serial_ns:.1},\n    \"speedup\": {batch_speedup:.2}\n  }},\n  \"estimator_shots\": {{\n    \"workload\": \"shot-noise P1 gradient, {est_shots} shots x 24 params\",\n    \"batched_ns\": {shots_batched_ns:.1},\n    \"serial_loop_ns\": {shots_serial_ns:.1},\n    \"speedup\": {shots_speedup:.2}\n  }},\n  \"gradient_branching_batch\": {{\n    \"workload\": \"branch-weighted P2 gradient, {batch_size}-sample batch x {branch_params} params\",\n    \"batched_ns\": {branch_batched_ns:.1},\n    \"per_row_ns\": {branch_serial_ns:.1},\n    \"speedup\": {branch_speedup:.2}\n  }},\n  \"measurement_sweep\": {{\n    \"workload\": \"P2 branching gradient multisets ({branch_params} params, {batch_size}-row exact sweeps) + {meas_shots}-shot estimate, block vs per-row measurement\",\n    \"exact_block_ns\": {meas_block_ns:.1},\n    \"exact_per_row_ns\": {meas_per_row_ns:.1},\n    \"sampled_block_ns\": {meas_sampled_block_ns:.1},\n    \"sampled_serial_ns\": {meas_sampled_serial_ns:.1},\n    \"sampled_speedup\": {meas_sampled_speedup:.2},\n    \"speedup\": {meas_speedup:.2}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"sim\",\n  \"threads\": {},\n  \"gate_apply\": {{\n    \"workload\": \"16x10q batched seam, L2-resident, one gate per dispatch class (H dense-real, RX dense-complex, RZ diagonal, CNOT block-diagonal)\",\n    \"gate_h_ns\": {gate_h_ns:.1},\n    \"gate_rx_ns\": {gate_rx_ns:.1},\n    \"gate_rz_ns\": {gate_rz_ns:.1},\n    \"gate_cnot_ns\": {gate_cnot_ns:.1},\n    \"total_ns\": {gate_total_ns:.1},\n    \"pr6_gate_h_ns\": {PR6_GATE_H_NS:.1},\n    \"pr6_gate_rx_ns\": {PR6_GATE_RX_NS:.1},\n    \"pr6_gate_rz_ns\": {PR6_GATE_RZ_NS:.1},\n    \"pr6_gate_cnot_ns\": {PR6_GATE_CNOT_NS:.1},\n    \"pr6_total_ns\": {pr6_gate_total_ns:.1},\n    \"speedup_vs_pr6\": {gate_apply_speedup:.2}\n  }},\n  \"gate_apply_10q_density\": {{\n    \"gate\": \"H on row qubit 4\",\n    \"fast_ns\": {gate_fast_ns:.1},\n    \"reference_ns\": {gate_ref_ns:.1},\n    \"speedup\": {gate_speedup:.2}\n  }},\n  \"gradient_p1_24_params\": {{\n    \"workload\": \"GradientEngine::gradient_pure on P1\",\n    \"fast_ns\": {grad_fast_ns:.1},\n    \"reference_ns\": {grad_ref_ns:.1},\n    \"speedup\": {grad_speedup:.2}\n  }},\n  \"gradient_batch_16x\": {{\n    \"workload\": \"Trainer::loss_gradient on P1, {batch_size}-sample batch\",\n    \"batched_ns\": {batch_fast_ns:.1},\n    \"serial_loop_ns\": {batch_serial_ns:.1},\n    \"speedup\": {batch_speedup:.2}\n  }},\n  \"estimator_shots\": {{\n    \"workload\": \"shot-noise P1 gradient, {est_shots} shots x 24 params\",\n    \"batched_ns\": {shots_batched_ns:.1},\n    \"pr6_batched_ns\": {PR6_ESTIMATOR_SHOTS_BATCHED_NS:.1},\n    \"serial_loop_ns\": {shots_serial_ns:.1},\n    \"speedup\": {shots_speedup:.2}\n  }},\n  \"gradient_branching_batch\": {{\n    \"workload\": \"branch-weighted P2 gradient, {batch_size}-sample batch x {branch_params} params\",\n    \"batched_ns\": {branch_batched_ns:.1},\n    \"pr6_batched_ns\": {PR6_BRANCHING_BATCHED_NS:.1},\n    \"per_row_ns\": {branch_serial_ns:.1},\n    \"speedup\": {branch_speedup:.2}\n  }},\n  \"measurement_sweep\": {{\n    \"workload\": \"P2 branching gradient multisets ({branch_params} params, {batch_size}-row exact sweeps) + {meas_shots}-shot estimate, block vs per-row measurement\",\n    \"exact_block_ns\": {meas_block_ns:.1},\n    \"exact_per_row_ns\": {meas_per_row_ns:.1},\n    \"sampled_block_ns\": {meas_sampled_block_ns:.1},\n    \"sampled_serial_ns\": {meas_sampled_serial_ns:.1},\n    \"sampled_speedup\": {meas_sampled_speedup:.2},\n    \"speedup\": {meas_speedup:.2},\n    \"block_probs_ns\": {block_probs_ns:.1},\n    \"block_collapse_ns\": {block_collapse_ns:.1},\n    \"micro_total_ns\": {meas_micro_total_ns:.1},\n    \"pr6_block_probs_ns\": {PR6_BLOCK_PROBS_NS:.1},\n    \"pr6_block_collapse_ns\": {PR6_BLOCK_COLLAPSE_NS:.1},\n    \"pr6_micro_total_ns\": {pr6_meas_micro_total_ns:.1},\n    \"micro_speedup_vs_pr6\": {meas_micro_speedup:.2}\n  }}\n}}\n",
         qdp_par::max_threads(),
     );
     std::fs::write(&out_path, &json).expect("write benchmark record");
@@ -392,5 +500,22 @@ fn main() {
         meas_speedup >= 1.5,
         "the block measurement sweep must clearly beat the per-row \
          measurement path (got {meas_speedup:.2}x; the recorded target is 2x)"
+    );
+    assert!(
+        gate_apply_speedup >= 1.2,
+        "the split-plane gate seam regressed against the PR-6 interleaved \
+         record (got {gate_apply_speedup:.2}x; the recorded target is 1.5x)"
+    );
+    assert!(
+        meas_micro_speedup >= 1.4,
+        "the split-plane block measurement kernels regressed against the \
+         PR-6 interleaved record (got {meas_micro_speedup:.2}x; the \
+         recorded target is 1.5x)"
+    );
+    assert!(
+        gate_fast_ns <= PR5_GATE_APPLY_DENSITY_NS * 1.5,
+        "the DRAM-bound density gate apply regressed well past the PR-5 \
+         record ({gate_fast_ns:.1}ns vs the {PR5_GATE_APPLY_DENSITY_NS:.1}ns \
+         floor)"
     );
 }

@@ -196,6 +196,13 @@ fn amp_bits(amps: &[C64]) -> Vec<(u64, u64)> {
         .collect()
 }
 
+fn plane_bits(re: &[f64], im: &[f64]) -> Vec<(u64, u64)> {
+    re.iter()
+        .zip(im)
+        .map(|(r, i)| (r.to_bits(), i.to_bits()))
+        .collect()
+}
+
 #[test]
 fn block_probability_kernel_matches_per_row_oracle_bitwise() {
     let _guard = serialized();
@@ -214,7 +221,8 @@ fn block_probability_kernel_matches_per_row_oracle_bitwise() {
             let states = random_batch(&mut rng, n, rows);
             let batch = BatchedStates::from_states(&states);
             let mut table = Vec::new();
-            meas.branch_probabilities_block(n, batch.amplitudes(), &mut table);
+            let (bre, bim) = batch.planes();
+            meas.branch_probabilities_block(n, bre, bim, &mut table);
             let outcomes = meas.num_outcomes();
             assert_eq!(table.len(), rows * outcomes);
             for (r, psi) in states.iter().enumerate() {
@@ -253,15 +261,22 @@ fn block_collapse_kernel_matches_per_row_oracle_bitwise() {
             [(0..rows).collect(), vec![4], vec![7, 2, 5, 0]];
         for selected in &selections {
             for outcome in 0..meas.num_outcomes() {
-                let mut block = Vec::new();
-                meas.collapse_block_into(n, batch.amplitudes(), selected, outcome, &mut block);
+                let mut block_re = Vec::new();
+                let mut block_im = Vec::new();
+                let (bre, bim) = batch.planes();
+                meas.collapse_block_into(n, bre, bim, selected, outcome, &mut block_re, &mut block_im);
                 let dim = 1usize << n;
-                assert_eq!(block.len(), selected.len() * dim);
+                assert_eq!(block_re.len(), selected.len() * dim);
+                assert_eq!(block_im.len(), selected.len() * dim);
                 for (j, &r) in selected.iter().enumerate() {
                     let oracle = meas.collapse_pure(&states[r], outcome);
+                    let (ore, oim) = oracle.planes();
                     assert_eq!(
-                        amp_bits(&block[j * dim..(j + 1) * dim]),
-                        amp_bits(oracle.amplitudes()),
+                        plane_bits(
+                            &block_re[j * dim..(j + 1) * dim],
+                            &block_im[j * dim..(j + 1) * dim]
+                        ),
+                        plane_bits(ore, oim),
                         "n {n} selection {selected:?} outcome {outcome} row {r}"
                     );
                 }
@@ -345,8 +360,8 @@ fn sampled_trajectories_are_bitwise_invariant_under_batch_composition() {
                 match (&solo.state, &grouped[r].state) {
                     (None, None) => {}
                     (Some(s), Some(g)) => assert_eq!(
-                        amp_bits(s.amplitudes()),
-                        amp_bits(g.amplitudes()),
+                        amp_bits(&s.amplitudes()),
+                        amp_bits(&g.amplitudes()),
                         "case {ci} rows {rows} row {r}: collapsed state changed"
                     ),
                     _ => panic!("case {ci} rows {rows} row {r}: abort status changed"),

@@ -421,6 +421,146 @@ where
     }
 }
 
+/// Parallel iteration over two equal-length mutable slices split at the
+/// same aligned points: `f(offset, a_chunk, b_chunk)` sees corresponding
+/// chunks of both slices, with `offset` the index of the chunks' first
+/// element. The split-plane kernels use this to walk the `re` and `im`
+/// planes of a state in lockstep; `align` keeps index orbits inside one
+/// chunk exactly as in [`par_chunks_mut`].
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths.
+pub fn par_chunks2_mut<T, F>(a: &mut [T], b: &mut [T], align: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T], &mut [T]) + Sync,
+{
+    assert_eq!(a.len(), b.len(), "zipped slices must have equal lengths");
+    let n = a.len();
+    let align = align.max(1);
+    let max_chunks = n / align;
+    let extra = if max_chunks < 2 {
+        0
+    } else {
+        acquire((max_chunks - 1).min(max_threads().saturating_sub(1)))
+    };
+    if extra == 0 {
+        f(0, a, b);
+        return;
+    }
+    let _guard = TokenGuard(extra);
+    let workers = extra + 1;
+    let chunk = n.div_ceil(workers).div_ceil(align) * align;
+    let f = &f;
+    let first_err = std::thread::scope(|s| {
+        let mut offset = 0usize;
+        let mut rest_a = a;
+        let mut rest_b = b;
+        let mut handles = Vec::with_capacity(workers);
+        while rest_a.len() > chunk {
+            let (head_a, tail_a) = rest_a.split_at_mut(chunk);
+            let (head_b, tail_b) = rest_b.split_at_mut(chunk);
+            let off = offset;
+            handles.push(s.spawn(move || {
+                catch_unwind(AssertUnwindSafe(|| f(off, head_a, head_b))).map_err(panic_message)
+            }));
+            offset += chunk;
+            rest_a = tail_a;
+            rest_b = tail_b;
+        }
+        let own = if rest_a.is_empty() {
+            Ok(())
+        } else {
+            catch_unwind(AssertUnwindSafe(|| f(offset, rest_a, rest_b))).map_err(panic_message)
+        };
+        let mut first_err: Option<String> = None;
+        for h in handles {
+            if let Err(msg) = h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)) {
+                if first_err.is_none() {
+                    first_err = Some(msg);
+                }
+            }
+        }
+        first_err.or(own.err())
+    });
+    if let Some(msg) = first_err {
+        panic!("{msg}");
+    }
+}
+
+/// Parallel iteration over four equal-length mutable slices split at the
+/// same points: `f(a_chunk, b_chunk, c_chunk, d_chunk)` sees corresponding
+/// chunks. The split-plane single-qubit kernel uses this when the target is
+/// the top bit, pairing the contiguous lo/hi orbit halves of the `re` plane
+/// with the matching halves of the `im` plane.
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths.
+pub fn par_zip4_chunks_mut<T, F>(a: &mut [T], b: &mut [T], c: &mut [T], d: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut [T], &mut [T], &mut [T], &mut [T]) + Sync,
+{
+    let n = a.len();
+    assert!(
+        b.len() == n && c.len() == n && d.len() == n,
+        "zipped slices must have equal lengths"
+    );
+    let extra = if n < 2 {
+        0
+    } else {
+        acquire((n - 1).min(max_threads().saturating_sub(1)))
+    };
+    if extra == 0 {
+        f(a, b, c, d);
+        return;
+    }
+    let _guard = TokenGuard(extra);
+    let workers = extra + 1;
+    let chunk = n.div_ceil(workers);
+    let f = &f;
+    let first_err = std::thread::scope(|s| {
+        let mut rest_a = a;
+        let mut rest_b = b;
+        let mut rest_c = c;
+        let mut rest_d = d;
+        let mut handles = Vec::with_capacity(workers);
+        while rest_a.len() > chunk {
+            let (ha, ta) = rest_a.split_at_mut(chunk);
+            let (hb, tb) = rest_b.split_at_mut(chunk);
+            let (hc, tc) = rest_c.split_at_mut(chunk);
+            let (hd, td) = rest_d.split_at_mut(chunk);
+            handles.push(s.spawn(move || {
+                catch_unwind(AssertUnwindSafe(|| f(ha, hb, hc, hd))).map_err(panic_message)
+            }));
+            rest_a = ta;
+            rest_b = tb;
+            rest_c = tc;
+            rest_d = td;
+        }
+        let own = if rest_a.is_empty() {
+            Ok(())
+        } else {
+            catch_unwind(AssertUnwindSafe(|| f(rest_a, rest_b, rest_c, rest_d)))
+                .map_err(panic_message)
+        };
+        let mut first_err: Option<String> = None;
+        for h in handles {
+            if let Err(msg) = h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)) {
+                if first_err.is_none() {
+                    first_err = Some(msg);
+                }
+            }
+        }
+        first_err.or(own.err())
+    });
+    if let Some(msg) = first_err {
+        panic!("{msg}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,6 +610,64 @@ mod tests {
         });
         let total: usize = sums.iter().sum();
         assert_eq!(total, (0..1024).sum::<usize>());
+    }
+
+    #[test]
+    fn par_chunks2_mut_pairs_aligned_chunks() {
+        let mut a: Vec<usize> = (0..4096).collect();
+        let mut b: Vec<usize> = (0..4096).map(|x| x + 7).collect();
+        par_chunks2_mut(&mut a, &mut b, 16, |offset, ca, cb| {
+            assert_eq!(offset % 16, 0, "chunk offset must be aligned");
+            assert_eq!(ca.len(), cb.len());
+            for (i, (x, y)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                assert_eq!(*y, *x + 7, "planes desynced at {}", offset + i);
+                *x += offset;
+                *y += offset;
+            }
+        });
+        for i in 0..4096 {
+            // offset is the largest multiple of the chunk size ≤ i only in
+            // the sequential case; either way both slices saw the same one.
+            assert_eq!(b[i], a[i] + 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn par_chunks2_mut_rejects_length_mismatch() {
+        let mut a = vec![0u8; 8];
+        let mut b = vec![0u8; 9];
+        par_chunks2_mut(&mut a, &mut b, 1, |_, _, _| {});
+    }
+
+    #[test]
+    fn par_zip4_chunks_mut_splits_all_four_in_lockstep() {
+        let n = 5000usize;
+        let mut a: Vec<usize> = (0..n).collect();
+        let mut b: Vec<usize> = (0..n).map(|x| x * 2).collect();
+        let mut c: Vec<usize> = (0..n).map(|x| x * 3).collect();
+        let mut d: Vec<usize> = (0..n).map(|x| x * 4).collect();
+        par_zip4_chunks_mut(&mut a, &mut b, &mut c, &mut d, |ca, cb, cc, cd| {
+            for i in 0..ca.len() {
+                assert_eq!(cb[i], ca[i] * 2);
+                assert_eq!(cc[i], ca[i] * 3);
+                assert_eq!(cd[i], ca[i] * 4);
+                cd[i] += cb[i] + cc[i];
+            }
+        });
+        for (i, &v) in d.iter().enumerate() {
+            assert_eq!(v, i * 9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn par_zip4_chunks_mut_rejects_length_mismatch() {
+        let mut a = vec![0u8; 4];
+        let mut b = vec![0u8; 4];
+        let mut c = vec![0u8; 3];
+        let mut d = vec![0u8; 4];
+        par_zip4_chunks_mut(&mut a, &mut b, &mut c, &mut d, |_, _, _, _| {});
     }
 
     #[test]

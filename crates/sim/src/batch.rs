@@ -4,26 +4,36 @@
 //! compiled program multiset against many input states: the 16-sample
 //! classification dataset, parallel shot batches, sweeps over initial
 //! conditions. [`BatchedStates`] stores those inputs contiguously as a
-//! `batch × 2ⁿ` amplitude block so that
+//! `batch × 2ⁿ` amplitude block — **split-plane** like [`StateVector`]: one
+//! contiguous `f64` plane of real parts, one of imaginary parts — so that
 //!
 //! * a gate can be applied to every row with the operator matrix built
 //!   **once** (the per-row kernels are the same bit-deposit fast paths
-//!   [`crate::kernels::apply_matrix`] uses for a single state),
-//! * batched evaluators can hand out disjoint row slices to `qdp_par`
+//!   [`crate::kernels::apply_matrix_planes`] uses for a single state),
+//! * batched evaluators can hand out disjoint row plane slices to `qdp_par`
 //!   workers without any per-row allocation, and
 //! * every future backend (stabilizer, shot-noise, multi-backend dispatch)
 //!   inherits one batch seam instead of inventing its own.
 //!
-//! Row `r` occupies amplitudes `[r·2ⁿ, (r+1)·2ⁿ)`; rows never alias. All
+//! Row `r` occupies plane entries `[r·2ⁿ, (r+1)·2ⁿ)`; rows never alias. All
 //! per-row operations perform the identical floating-point instructions as
 //! the corresponding single-[`StateVector`] operation, so a batched
 //! evaluation agrees **bit-for-bit** with the per-sample loop it replaces,
-//! regardless of thread count.
+//! regardless of thread count, batch size, or cache-tile boundaries.
 
-use crate::kernels::apply_matrix;
+use crate::kernels::{apply_matrix_planes, planes_to_aos};
+use crate::lanes;
 use crate::observable::Observable;
 use crate::state::StateVector;
 use qdp_linalg::{C64, Matrix};
+
+/// Cap, in amplitudes, on the row blocks [`BatchedStates::apply_gate`]
+/// hands to one kernel call: `2¹⁴` amplitudes = 256 KiB of plane data,
+/// comfortably inside a per-core L2. A gate then streams each tile's two
+/// planes once while they stay cache-resident across the row block, instead
+/// of walking a batch-sized footprint per call. Tiling never changes
+/// results: every amplitude's arithmetic depends only on its own orbit.
+pub const L2_TILE_AMPS: usize = 1 << 14;
 
 /// A batch of pure states of a common register, stored contiguously.
 ///
@@ -46,22 +56,20 @@ use qdp_linalg::{C64, Matrix};
 pub struct BatchedStates {
     n_qubits: usize,
     rows: usize,
-    amps: Vec<C64>,
+    re: Vec<f64>,
+    im: Vec<f64>,
 }
 
 impl BatchedStates {
     /// A batch of `rows` copies of `|0…0⟩` on `n_qubits`.
     pub fn zero(rows: usize, n_qubits: usize) -> Self {
         let dim = 1usize << n_qubits;
-        let mut amps = vec![C64::ZERO; rows * dim];
+        let mut re = vec![0.0; rows * dim];
+        let im = vec![0.0; rows * dim];
         for r in 0..rows {
-            amps[r * dim] = C64::ONE;
+            re[r * dim] = 1.0;
         }
-        BatchedStates {
-            n_qubits,
-            rows,
-            amps,
-        }
+        BatchedStates { n_qubits, rows, re, im }
     }
 
     /// Packs a slice of states (all on the same register) into one batch.
@@ -73,54 +81,60 @@ impl BatchedStates {
     pub fn from_states(states: &[StateVector]) -> Self {
         let n_qubits = states.first().map_or(0, StateVector::num_qubits);
         let dim = 1usize << n_qubits;
-        let mut amps = Vec::with_capacity(states.len() * dim);
+        let mut re = Vec::with_capacity(states.len() * dim);
+        let mut im = Vec::with_capacity(states.len() * dim);
         for s in states {
             assert_eq!(
                 s.num_qubits(),
                 n_qubits,
                 "all states of a batch must share one register"
             );
-            amps.extend_from_slice(s.amplitudes());
+            let (sre, sim) = s.planes();
+            re.extend_from_slice(sre);
+            im.extend_from_slice(sim);
         }
         BatchedStates {
             n_qubits,
             rows: states.len(),
-            amps,
+            re,
+            im,
         }
     }
 
     /// A batch of `rows` copies of one state — the starting block of a shot
     /// sweep (every trajectory departs from the same prepared input). Built
-    /// in one pass over the contiguous block.
+    /// in one pass over the contiguous planes.
     pub fn repeat(psi: &StateVector, rows: usize) -> Self {
         let dim = psi.dim();
-        let mut amps = Vec::with_capacity(rows * dim);
+        let mut re = Vec::with_capacity(rows * dim);
+        let mut im = Vec::with_capacity(rows * dim);
+        let (sre, sim) = psi.planes();
         for _ in 0..rows {
-            amps.extend_from_slice(psi.amplitudes());
+            re.extend_from_slice(sre);
+            im.extend_from_slice(sim);
         }
         BatchedStates {
             n_qubits: psi.num_qubits(),
             rows,
-            amps,
+            re,
+            im,
         }
     }
 
-    /// Builds a batch from a raw contiguous amplitude block.
+    /// Builds a batch from raw contiguous planes.
     ///
     /// # Panics
     ///
-    /// Panics when `amps.len() != rows · 2^n_qubits`.
-    pub fn from_raw(rows: usize, n_qubits: usize, amps: Vec<C64>) -> Self {
+    /// Panics when the planes disagree in length or don't hold
+    /// `rows · 2^n_qubits` entries.
+    pub fn from_raw(rows: usize, n_qubits: usize, re: Vec<f64>, im: Vec<f64>) -> Self {
+        assert_eq!(re.len(), im.len(), "re/im planes must have equal lengths");
         assert_eq!(
-            amps.len(),
+            re.len(),
             rows << n_qubits,
             "amplitude block must hold rows × 2^n entries"
         );
-        BatchedStates {
-            n_qubits,
-            rows,
-            amps,
-        }
+        BatchedStates { n_qubits, rows, re, im }
     }
 
     /// Number of rows (input states) in the batch.
@@ -143,61 +157,86 @@ impl BatchedStates {
         1usize << self.n_qubits
     }
 
-    /// Borrows the full contiguous amplitude block.
-    pub fn amplitudes(&self) -> &[C64] {
-        &self.amps
+    /// Gathers the full block into an owned interleaved copy — interop and
+    /// oracle view only; hot loops read [`planes`](Self::planes).
+    pub fn amplitudes(&self) -> Vec<C64> {
+        planes_to_aos(&self.re, &self.im)
     }
 
-    /// Borrows row `r`'s amplitudes.
+    /// Borrows the full contiguous `(re, im)` planes.
+    pub fn planes(&self) -> (&[f64], &[f64]) {
+        (&self.re, &self.im)
+    }
+
+    /// Mutably borrows the full contiguous `(re, im)` planes.
+    pub fn planes_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.re, &mut self.im)
+    }
+
+    /// Gathers row `r` into an owned interleaved copy.
     ///
     /// # Panics
     ///
     /// Panics when `r` is out of range.
-    pub fn row(&self, r: usize) -> &[C64] {
-        let dim = self.dim();
-        &self.amps[r * dim..(r + 1) * dim]
+    pub fn row(&self, r: usize) -> Vec<C64> {
+        let (re, im) = self.row_planes(r);
+        planes_to_aos(re, im)
     }
 
-    /// Mutably borrows row `r`'s amplitudes.
+    /// Borrows row `r`'s `(re, im)` planes.
     ///
     /// # Panics
     ///
     /// Panics when `r` is out of range.
-    pub fn row_mut(&mut self, r: usize) -> &mut [C64] {
+    pub fn row_planes(&self, r: usize) -> (&[f64], &[f64]) {
         let dim = self.dim();
-        &mut self.amps[r * dim..(r + 1) * dim]
+        debug_assert!(r < self.rows, "row {r} out of range for {} rows", self.rows);
+        (&self.re[r * dim..(r + 1) * dim], &self.im[r * dim..(r + 1) * dim])
+    }
+
+    /// Mutably borrows row `r`'s `(re, im)` planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of range.
+    pub fn row_planes_mut(&mut self, r: usize) -> (&mut [f64], &mut [f64]) {
+        let dim = self.dim();
+        debug_assert!(r < self.rows, "row {r} out of range for {} rows", self.rows);
+        (
+            &mut self.re[r * dim..(r + 1) * dim],
+            &mut self.im[r * dim..(r + 1) * dim],
+        )
     }
 
     /// Copies row `r` out into an owned [`StateVector`] — for results that
     /// must outlive the batch. Hot loops that only *read* a row should use
-    /// the [`row`](Self::row) borrow (every `qdp-sim` per-row primitive has
-    /// an `_amps`/slice form precisely so no owned state is needed).
+    /// the [`row_planes`](Self::row_planes) borrow (every `qdp-sim` per-row
+    /// primitive has a plane form precisely so no owned state is needed).
     pub fn row_state(&self, r: usize) -> StateVector {
-        StateVector::from_amplitudes(self.n_qubits, self.row(r).to_vec())
+        let (re, im) = self.row_planes(r);
+        StateVector::from_planes(self.n_qubits, re.to_vec(), im.to_vec())
     }
 
-    /// Iterates over the row slices in order.
-    pub fn iter_rows(&self) -> impl Iterator<Item = &[C64]> {
-        self.amps.chunks_exact(self.dim())
+    /// Iterates over the row plane pairs in order.
+    pub fn iter_row_planes(&self) -> impl Iterator<Item = (&[f64], &[f64])> {
+        let dim = self.dim();
+        self.re.chunks_exact(dim).zip(self.im.chunks_exact(dim))
     }
 
-    /// Consumes the batch and returns its contiguous amplitude block — the
-    /// inverse of [`from_raw`](Self::from_raw), letting executors recycle a
-    /// spent group's allocation instead of dropping it.
-    pub fn into_raw(self) -> Vec<C64> {
-        self.amps
+    /// Consumes the batch and returns its contiguous planes — the inverse
+    /// of [`from_raw`](Self::from_raw), letting executors recycle a spent
+    /// group's allocations instead of dropping them.
+    pub fn into_raw(self) -> (Vec<f64>, Vec<f64>) {
+        (self.re, self.im)
     }
 
     /// Per-row squared norms in row order, written into `out` (cleared and
-    /// refilled): one pass over the contiguous block, each row summed by
-    /// the identical fold [`StateVector::norm_sqr`] performs — so entries
-    /// match per-row calls bit for bit.
+    /// refilled): one pass over the contiguous planes, each row summed by
+    /// the identical lane-split reduction [`StateVector::norm_sqr`]
+    /// performs — so entries match per-row calls bit for bit.
     pub fn row_norms_sqr_into(&self, out: &mut Vec<f64>) {
         out.clear();
-        out.extend(
-            self.iter_rows()
-                .map(|row| row.iter().map(|z| z.norm_sqr()).sum::<f64>()),
-        );
+        out.extend(self.iter_row_planes().map(|(re, im)| lanes::sum_norm_sqr(re, im)));
     }
 
     /// Applies an operator to **every** row on the given targets.
@@ -205,17 +244,18 @@ impl BatchedStates {
     /// A contiguous block of `2ᵏ` rows is indistinguishable from one
     /// `(k+n)`-qubit state whose `k` high (row-index) bits the gate never
     /// touches, so the batch is decomposed greedily into maximal
-    /// power-of-two row blocks and each block is handled by a **single**
-    /// [`apply_matrix`] call on targets shifted past the row bits — the
-    /// same bit-deposit kernels as the single-state path, with their
-    /// per-call dispatch amortised over the whole block.
+    /// power-of-two row blocks — capped at [`L2_TILE_AMPS`] amplitudes so a
+    /// tile's planes stay L2-resident — and each block is handled by a
+    /// **single** [`apply_matrix_planes`] call on targets shifted past the
+    /// row bits: the same bit-deposit kernels as the single-state path,
+    /// with their per-call dispatch amortised over the whole tile.
     ///
     /// Register qubit `q` of every row sits at bit `n−1−q` of its row-local
     /// index regardless of the block size, so each amplitude sees the
     /// identical floating-point operations a per-row
     /// [`StateVector::apply_gate`] would perform: results are bit-for-bit
-    /// equal to the per-row loop, under any thread count and any batch
-    /// size.
+    /// equal to the per-row loop, under any thread count, batch size, or
+    /// tile cap.
     ///
     /// # Panics
     ///
@@ -226,16 +266,21 @@ impl BatchedStates {
         }
         let dim = self.dim();
         let n = self.n_qubits;
-        let mut rest: &mut [C64] = &mut self.amps;
+        // Largest row-block exponent that keeps one tile within the cache
+        // budget (at least one row, however large the register).
+        let k_cap = if dim >= L2_TILE_AMPS { 0 } else { (L2_TILE_AMPS / dim).ilog2() as usize };
+        let mut rest_re: &mut [f64] = &mut self.re;
+        let mut rest_im: &mut [f64] = &mut self.im;
         let mut remaining = self.rows;
         // Shift targets past the row bits on the stack for the common
         // k ≤ 2 operators — one heap round trip per kernel call otherwise.
         let mut small = [0usize; 2];
         let mut spilled: Vec<usize>;
         while remaining > 0 {
-            let k = remaining.ilog2() as usize;
+            let k = (remaining.ilog2() as usize).min(k_cap);
             let block_rows = 1usize << k;
-            let (block, tail) = rest.split_at_mut(block_rows * dim);
+            let (block_re, tail_re) = rest_re.split_at_mut(block_rows * dim);
+            let (block_im, tail_im) = rest_im.split_at_mut(block_rows * dim);
             let shifted: &[usize] = if targets.len() <= 2 {
                 for (slot, &t) in small.iter_mut().zip(targets) {
                     *slot = t + k;
@@ -245,32 +290,37 @@ impl BatchedStates {
                 spilled = targets.iter().map(|&t| t + k).collect();
                 &spilled
             };
-            apply_matrix(block, n + k, gate, shifted);
-            rest = tail;
+            apply_matrix_planes(block_re, block_im, n + k, gate, shifted);
+            rest_re = tail_re;
+            rest_im = tail_im;
             remaining -= block_rows;
         }
-        crate::fault::kernel_checkpoint(self.n_qubits, self.rows, &mut self.amps);
+        crate::fault::kernel_checkpoint(self.n_qubits, self.rows, &mut self.re, &mut self.im);
     }
 
     /// The batch `{|0⟩ ⊗ |ψr⟩}` — every row extended by a fresh ancilla
     /// qubit prepended at index 0 in the `|0⟩` state. This is the batched
     /// analogue of [`StateVector::tensor`] with a leading zero ancilla,
-    /// built in one pass over the block.
+    /// built in one pass over the planes.
     pub fn prepend_zero_ancilla(&self) -> BatchedStates {
         let dim = self.dim();
-        let mut amps = vec![C64::ZERO; self.rows * dim * 2];
+        let mut re = vec![0.0; self.rows * dim * 2];
+        let mut im = vec![0.0; self.rows * dim * 2];
         for r in 0..self.rows {
-            amps[r * dim * 2..r * dim * 2 + dim].copy_from_slice(self.row(r));
+            let (rre, rim) = self.row_planes(r);
+            re[r * dim * 2..r * dim * 2 + dim].copy_from_slice(rre);
+            im[r * dim * 2..r * dim * 2 + dim].copy_from_slice(rim);
         }
         BatchedStates {
             n_qubits: self.n_qubits + 1,
             rows: self.rows,
-            amps,
+            re,
+            im,
         }
     }
 
     /// Per-row expectation values `⟨ψr|O|ψr⟩` in row order, read straight
-    /// off the row slices (no copies; the observable's target masks are
+    /// off the row planes (no copies; the observable's target masks are
     /// computed once for the whole batch).
     ///
     /// # Panics
@@ -306,7 +356,7 @@ mod tests {
         for (r, s) in states.iter().enumerate() {
             assert_eq!(&b.row_state(r), s);
         }
-        assert_eq!(b.iter_rows().count(), 3);
+        assert_eq!(b.iter_row_planes().count(), 3);
     }
 
     #[test]
@@ -322,6 +372,28 @@ mod tests {
         for s in &mut states {
             s.apply_gate(&h, &[1]);
             s.apply_gate(&cnot, &[1, 2]);
+        }
+        for (r, s) in states.iter().enumerate() {
+            assert_eq!(batch.row(r), s.amplitudes(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn tiled_blocks_match_per_state_gate_bitwise() {
+        // 40 rows of 10 qubits = 40960 amps > L2_TILE_AMPS: apply_gate must
+        // tile (16 + 16 + 8 rows) yet agree with the per-row path exactly.
+        const { assert!(40 << 10 > L2_TILE_AMPS) };
+        let mut states: Vec<StateVector> = (0..40)
+            .map(|k| StateVector::basis_state(10, k * 17 % 1024))
+            .collect();
+        let mut batch = BatchedStates::from_states(&states);
+        let h = Matrix::hadamard();
+        let rz = Matrix::rotation_from_involution(&Matrix::pauli_z(), 0.4);
+        batch.apply_gate(&h, &[3]);
+        batch.apply_gate(&rz, &[9]);
+        for s in &mut states {
+            s.apply_gate(&h, &[3]);
+            s.apply_gate(&rz, &[9]);
         }
         for (r, s) in states.iter().enumerate() {
             assert_eq!(batch.row(r), s.amplitudes(), "row {r}");
@@ -382,9 +454,9 @@ mod tests {
     #[test]
     fn into_raw_round_trips_through_from_raw() {
         let b = BatchedStates::zero(3, 2);
-        let amps = b.clone().into_raw();
-        assert_eq!(amps.len(), 12);
-        assert_eq!(BatchedStates::from_raw(3, 2, amps), b);
+        let (re, im) = b.clone().into_raw();
+        assert_eq!(re.len(), 12);
+        assert_eq!(BatchedStates::from_raw(3, 2, re, im), b);
     }
 
     #[test]

@@ -71,11 +71,11 @@ impl DensityMatrix {
         let dim = 1usize << n;
         let amps = psi.amplitudes();
         let mut data = vec![C64::ZERO; dim * dim];
-        for (row, &ai) in data.chunks_exact_mut(dim).zip(amps) {
+        for (row, &ai) in data.chunks_exact_mut(dim).zip(&amps) {
             if ai == C64::ZERO {
                 continue;
             }
-            for (slot, aj) in row.iter_mut().zip(amps) {
+            for (slot, aj) in row.iter_mut().zip(&amps) {
                 *slot = ai * aj.conj();
             }
         }

@@ -104,8 +104,9 @@ pub enum QdpError {
         epsilon: f64,
     },
     /// A Chernoff shot budget was requested with a precision δ that is
-    /// not finite and positive, or an observable magnitude `m` that is
-    /// not finite and non-negative.
+    /// not finite and positive, or one so small that the budget
+    /// `⌈(m/δ)²⌉` has no `usize` representation (the naive float cast
+    /// would saturate silently).
     InvalidPrecision {
         /// The rejected δ (or m, as named by the message).
         value: f64,
@@ -132,7 +133,18 @@ impl std::fmt::Display for QdpError {
                 write!(f, "mass budget must be in [0, 1), got {epsilon}")
             }
             QdpError::InvalidPrecision { value, what } => {
-                write!(f, "{what} must be finite and positive, got {value}")
+                if value.is_finite() && *value > 0.0 {
+                    // A finite positive value can only be rejected because
+                    // the shot budget it implies has no machine
+                    // representation.
+                    write!(
+                        f,
+                        "{what} {value} is too demanding: the shot budget \
+                         ⌈(m/δ)²⌉ overflows usize"
+                    )
+                } else {
+                    write!(f, "{what} must be finite and positive, got {value}")
+                }
             }
         }
     }

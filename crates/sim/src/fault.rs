@@ -20,7 +20,6 @@
 //! `QDP_PAR_THREADS=1`) — the fault suites use exactly those shapes for
 //! [`FaultSite::Kernel`] plans.
 
-use qdp_linalg::C64;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
@@ -106,9 +105,9 @@ pub fn fired_count() -> usize {
 }
 
 /// Hook called by `BatchedStates::apply_gate` after each kernel
-/// invocation. `amps` is the full `rows × 2ⁿ` amplitude block.
+/// invocation. `re`/`im` are the full `rows × 2ⁿ` split amplitude planes.
 #[inline]
-pub(crate) fn kernel_checkpoint(n_qubits: usize, rows: usize, amps: &mut [C64]) {
+pub(crate) fn kernel_checkpoint(n_qubits: usize, rows: usize, re: &mut [f64], im: &mut [f64]) {
     if !ARMED.load(Ordering::Relaxed) {
         return;
     }
@@ -122,13 +121,23 @@ pub(crate) fn kernel_checkpoint(n_qubits: usize, rows: usize, amps: &mut [C64]) 
     }
     p.fired += 1;
     let dim = 1usize << n_qubits;
-    let slice = &mut amps[row * dim..(row + 1) * dim];
+    let row_re = &mut re[row * dim..(row + 1) * dim];
+    let row_im = &mut im[row * dim..(row + 1) * dim];
     match kind {
-        FaultKind::Nan => slice[0] = C64::new(f64::NAN, 0.0),
-        FaultKind::Inf => slice[0] = C64::new(f64::INFINITY, 0.0),
+        FaultKind::Nan => {
+            row_re[0] = f64::NAN;
+            row_im[0] = 0.0;
+        }
+        FaultKind::Inf => {
+            row_re[0] = f64::INFINITY;
+            row_im[0] = 0.0;
+        }
         FaultKind::Scale(factor) => {
-            for a in slice.iter_mut() {
-                *a = *a * factor;
+            // Matches `C64 * f64` componentwise, so the drift is the exact
+            // scaling the AoS hook produced.
+            for (ar, ai) in row_re.iter_mut().zip(row_im.iter_mut()) {
+                *ar *= factor;
+                *ai *= factor;
             }
         }
     }

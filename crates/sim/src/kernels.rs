@@ -455,6 +455,524 @@ fn apply_kq(amps: &mut [C64], n: usize, m: &Matrix, targets: &[usize]) {
 }
 
 // ---------------------------------------------------------------------------
+// Split-plane (SoA) kernels
+// ---------------------------------------------------------------------------
+//
+// PR 7 moved `StateVector`/`BatchedStates` to a split-plane layout: the real
+// and imaginary components live in two separate contiguous `f64` planes
+// instead of an interleaved `Vec<C64>`. The kernels below are *structural
+// transcriptions* of the AoS kernels above — every orbit is loaded into
+// `C64` temporaries, transformed by the **same** `C64` expressions, and
+// stored back — so bitwise agreement with the AoS path is by construction,
+// not by accident. What changes is the memory shape: after inlining, LLVM
+// sees plain scalar loops over four contiguous `f64` streams (lo-re, lo-im,
+// hi-re, hi-im) with provably disjoint `&mut` slices, which is exactly the
+// shape its loop vectorizer turns into 4-wide AVX2 code (see
+// `.cargo/config.toml`). The AoS kernels stay as the cross-layout oracle;
+// `layout_differential.rs` pins the two layouts against each other.
+
+/// Loads amplitude `i` from split planes.
+#[inline(always)]
+fn ld(re: &[f64], im: &[f64], i: usize) -> C64 {
+    C64::new(re[i], im[i])
+}
+
+/// Stores amplitude `i` into split planes.
+#[inline(always)]
+fn st(re: &mut [f64], im: &mut [f64], i: usize, z: C64) {
+    re[i] = z.re;
+    im[i] = z.im;
+}
+
+/// Gathers split planes into an interleaved AoS copy.
+pub fn planes_to_aos(re: &[f64], im: &[f64]) -> Vec<C64> {
+    debug_assert_eq!(re.len(), im.len(), "re/im planes must have equal lengths");
+    re.iter().zip(im.iter()).map(|(&r, &i)| C64::new(r, i)).collect()
+}
+
+/// Scatters an interleaved AoS slice into split planes.
+///
+/// # Panics
+///
+/// Panics when the lengths disagree.
+pub fn aos_to_planes(amps: &[C64], re: &mut [f64], im: &mut [f64]) {
+    assert!(
+        amps.len() == re.len() && amps.len() == im.len(),
+        "plane lengths must match the amplitude count"
+    );
+    for (i, a) in amps.iter().enumerate() {
+        re[i] = a.re;
+        im[i] = a.im;
+    }
+}
+
+fn validate_planes(re: &[f64], im: &[f64], n: usize, m: &Matrix, targets: &[usize]) {
+    assert_eq!(re.len(), im.len(), "re/im planes must have equal lengths");
+    let k = targets.len();
+    assert!(m.rows() == 1 << k && m.cols() == 1 << k, "operator dimension must be 2^{k}");
+    assert_eq!(re.len(), 1 << n, "amplitude array must have length 2^{n}");
+    for (i, t) in targets.iter().enumerate() {
+        assert!(*t < n, "target {t} out of range for {n} qubits");
+        for u in &targets[i + 1..] {
+            assert_ne!(t, u, "duplicate target qubit {t}");
+        }
+    }
+}
+
+/// Split-plane twin of [`apply_matrix`]: applies a `2ᵏ × 2ᵏ` operator on
+/// `targets` to amplitudes stored as separate `re`/`im` planes.
+///
+/// Performs the identical floating-point operations per amplitude as
+/// [`apply_matrix`] on the interleaved layout — results agree bit for bit,
+/// under any thread count (the parallel splits mirror the AoS ones).
+///
+/// # Panics
+///
+/// Panics when dimensions are inconsistent, plane lengths differ, or
+/// targets repeat.
+pub fn apply_matrix_planes(re: &mut [f64], im: &mut [f64], n: usize, m: &Matrix, targets: &[usize]) {
+    validate_planes(re, im, n, m, targets);
+    if reference_kernels_enabled() {
+        // The oracle stays AoS on purpose: gather, run the reference scan,
+        // scatter — a cross-layout round trip every reference-mode caller
+        // exercises for free.
+        let mut amps = planes_to_aos(re, im);
+        apply_matrix_reference_unchecked(&mut amps, n, m, targets);
+        aos_to_planes(&amps, re, im);
+        return;
+    }
+    match *targets {
+        [t] => apply_1q_planes(re, im, n, m, t),
+        [t0, t1] => apply_2q_planes(re, im, n, m, t0, t1),
+        _ => apply_kq_planes(re, im, n, m, targets),
+    }
+}
+
+fn apply_1q_planes(re: &mut [f64], im: &mut [f64], n: usize, m: &Matrix, t: usize) {
+    let md = m.as_slice();
+    let (m00, m01, m10, m11) = (md[0], md[1], md[2], md[3]);
+    let mask = 1usize << qubit_bit(n, t);
+
+    if m01 == C64::ZERO && m10 == C64::ZERO {
+        apply_diag_planes(re, im, &[mask], &[m00, m11]);
+        return;
+    }
+
+    // Same real/generic split as `apply_1q`, with the per-orbit arithmetic
+    // transcribed onto raw plane scalars. The expressions below perform the
+    // identical floating-point operations (same order, same associativity,
+    // leading `0.0 +` terms of the `C64::mul_add` chain included) as the
+    // `C64` closures in `apply_1q` — results agree bit for bit. Passing
+    // scalars instead of `C64` aggregates is what lets LLVM keep the four
+    // streams in vector registers: the struct round trip defeated the SLP
+    // vectorizer and cost ~2× on cache-resident strided orbits.
+    // The closures capture the coefficients **by value** (`move`): captured
+    // by reference, every loop iteration reloads them through a double
+    // indirection the alias analysis cannot hoist past the plane stores,
+    // which costs ~3× on cache-resident orbits.
+    if m00.im == 0.0 && m01.im == 0.0 && m10.im == 0.0 && m11.im == 0.0 {
+        let (r00, r01, r10, r11) = (m00.re, m01.re, m10.re, m11.re);
+        apply_1q_with_planes(re, im, mask, move |a0r, a0i, a1r, a1i| {
+            (
+                r00 * a0r + r01 * a1r,
+                r00 * a0i + r01 * a1i,
+                r10 * a0r + r11 * a1r,
+                r10 * a0i + r11 * a1i,
+            )
+        });
+    } else {
+        apply_1q_with_planes(re, im, mask, move |a0r, a0i, a1r, a1i| {
+            complex_pair(m00, m01, m10, m11, a0r, a0i, a1r, a1i)
+        });
+    }
+}
+
+/// The generic-complex orbit update `(g_row0 · a, g_row1 · a)` on raw plane
+/// scalars: the exact floating-point operation sequence of
+/// `C64::ZERO.mul_add(g00, a0).mul_add(g01, a1)` (and the second row),
+/// leading `0.0 +` terms included — `0.0 + x` flushes a negative-zero `x`
+/// to `+0.0`, so folding it away would change bits.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn complex_pair(
+    g00: C64,
+    g01: C64,
+    g10: C64,
+    g11: C64,
+    a0r: f64,
+    a0i: f64,
+    a1r: f64,
+    a1i: f64,
+) -> (f64, f64, f64, f64) {
+    let s0r = (0.0 + g00.re * a0r) - g00.im * a0i;
+    let s0i = (0.0 + g00.re * a0i) + g00.im * a0r;
+    let lor = (s0r + g01.re * a1r) - g01.im * a1i;
+    let loi = (s0i + g01.re * a1i) + g01.im * a1r;
+    let s1r = (0.0 + g10.re * a0r) - g10.im * a0i;
+    let s1i = (0.0 + g10.re * a0i) + g10.im * a0r;
+    let hir = (s1r + g11.re * a1r) - g11.im * a1i;
+    let hii = (s1i + g11.re * a1i) + g11.im * a1r;
+    (lor, loi, hir, hii)
+}
+
+/// Plane twin of [`apply_1q_with`]. The inner loop runs over four disjoint
+/// `&mut [f64]` streams obtained by `split_at_mut`, which is the
+/// noalias-friendly shape the autovectorizer needs. The orbit callback
+/// takes and returns **raw scalars** (`a0.re, a0.im, a1.re, a1.im`), never
+/// `C64` values: aggregate formation in the hot loop blocks SLP
+/// vectorization of the four streams.
+fn apply_1q_with_planes(
+    re: &mut [f64],
+    im: &mut [f64],
+    mask: usize,
+    pair: impl Fn(f64, f64, f64, f64) -> (f64, f64, f64, f64) + Copy + Sync,
+) {
+    // The sweep is a by-value `#[inline(always)]` helper rather than a
+    // shared closure: a closure used by both the serial and the parallel
+    // dispatch gets outlined, and the outlined copy re-reads the gate
+    // coefficients through a captured reference on every orbit — the alias
+    // analysis cannot hoist those loads past the plane stores. Inlining a
+    // `Copy` closure at each call site keeps the coefficients in registers.
+    #[inline(always)]
+    fn sweep(
+        cre: &mut [f64],
+        cim: &mut [f64],
+        mask: usize,
+        pair: impl Fn(f64, f64, f64, f64) -> (f64, f64, f64, f64) + Copy,
+    ) {
+        let align = mask << 1;
+        for (bre, bim) in cre.chunks_exact_mut(align).zip(cim.chunks_exact_mut(align)) {
+            let (lre, hre) = bre.split_at_mut(mask);
+            let (lim, him) = bim.split_at_mut(mask);
+            for i in 0..mask {
+                let (lr, li, hr, hi) = pair(lre[i], lim[i], hre[i], him[i]);
+                lre[i] = lr;
+                lim[i] = li;
+                hre[i] = hr;
+                him[i] = hi;
+            }
+        }
+    }
+    let align = mask << 1;
+    if re.len() < PAR_MIN_LEN || qdp_par::max_threads() < 2 {
+        sweep(re, im, mask, pair);
+        return;
+    }
+    if re.len() / align < 2 {
+        // `mask` is the top bit: the two orbit halves are contiguous; zip
+        // all four streams in lockstep.
+        let (lre, hre) = re.split_at_mut(mask);
+        let (lim, him) = im.split_at_mut(mask);
+        qdp_par::par_zip4_chunks_mut(lre, lim, hre, him, move |lr, li, hr, hi| {
+            for i in 0..lr.len() {
+                let (ar, ai, br, bi) = pair(lr[i], li[i], hr[i], hi[i]);
+                lr[i] = ar;
+                li[i] = ai;
+                hr[i] = br;
+                hi[i] = bi;
+            }
+        });
+        return;
+    }
+    qdp_par::par_chunks2_mut(re, im, align, move |_, cre, cim| sweep(cre, cim, mask, pair));
+}
+
+fn apply_2q_planes(re: &mut [f64], im: &mut [f64], n: usize, m: &Matrix, t0: usize, t1: usize) {
+    let md = m.as_slice();
+    let mut mm = [C64::ZERO; 16];
+    mm.copy_from_slice(md);
+    let mask0 = 1usize << qubit_bit(n, t0); // most significant local bit
+    let mask1 = 1usize << qubit_bit(n, t1);
+
+    let diagonal = (0..4).all(|a| (0..4).all(|b| a == b || mm[4 * a + b] == C64::ZERO));
+    if diagonal {
+        apply_diag_planes(re, im, &[mask0, mask1], &[mm[0], mm[5], mm[10], mm[15]]);
+        return;
+    }
+
+    let block_diagonal = mm[2] == C64::ZERO
+        && mm[3] == C64::ZERO
+        && mm[6] == C64::ZERO
+        && mm[7] == C64::ZERO
+        && mm[8] == C64::ZERO
+        && mm[9] == C64::ZERO
+        && mm[12] == C64::ZERO
+        && mm[13] == C64::ZERO;
+    if block_diagonal {
+        apply_blockdiag_ctrl_planes(
+            re,
+            im,
+            mask0,
+            mask1,
+            [mm[0], mm[1], mm[4], mm[5]],
+            [mm[10], mm[11], mm[14], mm[15]],
+        );
+        return;
+    }
+
+    let (b_lo, b_hi) = if mask0 < mask1 {
+        (mask0.trailing_zeros() as usize, mask1.trailing_zeros() as usize)
+    } else {
+        (mask1.trailing_zeros() as usize, mask0.trailing_zeros() as usize)
+    };
+    let low = (1usize << b_lo) - 1;
+    let mid = (1usize << b_hi) - 1;
+    let off = [0usize, mask1, mask0, mask0 | mask1];
+
+    let quarter = re.len() >> 2;
+    let body = |cre: &mut [f64], cim: &mut [f64], start: usize, end: usize, shift: usize| {
+        for i in start..end {
+            let x = ((i & !low) << 1) | (i & low);
+            let base = (((x & !mid) << 1) | (x & mid)) - shift;
+            let s = [
+                ld(cre, cim, base | off[0]),
+                ld(cre, cim, base | off[1]),
+                ld(cre, cim, base | off[2]),
+                ld(cre, cim, base | off[3]),
+            ];
+            for (a, &o) in off.iter().enumerate() {
+                let row = 4 * a;
+                let z = C64::ZERO
+                    .mul_add(mm[row], s[0])
+                    .mul_add(mm[row + 1], s[1])
+                    .mul_add(mm[row + 2], s[2])
+                    .mul_add(mm[row + 3], s[3]);
+                st(cre, cim, base | o, z);
+            }
+        }
+    };
+
+    let align = 1usize << (b_hi + 1);
+    if re.len() >= PAR_MIN_LEN && qdp_par::max_threads() > 1 && re.len() / align >= 2 {
+        qdp_par::par_chunks2_mut(re, im, align, |offset, cre, cim| {
+            let first = offset >> 2;
+            body(cre, cim, first, first + (cre.len() >> 2), offset);
+        });
+        return;
+    }
+    body(re, im, 0, quarter, 0);
+}
+
+/// Plane twin of [`apply_blockdiag_ctrl`], restructured into contiguous
+/// orbit **runs** (like [`apply_1q_with_planes`]) instead of per-orbit
+/// index arithmetic: the target bit splits each `2·tmask` block into
+/// lo/hi halves, and the control bit selects whole blocks (`cmask >
+/// tmask`) or aligned `cmask`-length runs inside the halves (`cmask <
+/// tmask`) — every inner loop is a branch-free vectorizable sweep. The
+/// per-orbit arithmetic is [`complex_pair`], the exact transcription of
+/// the `C64::mul_add` chain the AoS kernel applies; orbits are
+/// independent, so the changed visit order cannot change any bits.
+fn apply_blockdiag_ctrl_planes(
+    re: &mut [f64],
+    im: &mut [f64],
+    cmask: usize,
+    tmask: usize,
+    a: [C64; 4],
+    b: [C64; 4],
+) {
+    let identity_a = a[0] == C64::ONE && a[1] == C64::ZERO && a[2] == C64::ZERO && a[3] == C64::ONE;
+    let align = (cmask.max(tmask)) << 1;
+
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        g: &[C64; 4],
+        lre: &mut [f64],
+        lim: &mut [f64],
+        hre: &mut [f64],
+        him: &mut [f64],
+        start: usize,
+        len: usize,
+    ) {
+        for i in start..start + len {
+            let (lr, li, hr, hi) =
+                complex_pair(g[0], g[1], g[2], g[3], lre[i], lim[i], hre[i], him[i]);
+            lre[i] = lr;
+            lim[i] = li;
+            hre[i] = hr;
+            him[i] = hi;
+        }
+    }
+
+    let body = |offset: usize, cre: &mut [f64], cim: &mut [f64]| {
+        let tb = tmask << 1;
+        for (r, (bre, bim)) in
+            cre.chunks_exact_mut(tb).zip(cim.chunks_exact_mut(tb)).enumerate()
+        {
+            let bstart = offset + r * tb;
+            let (lre, hre) = bre.split_at_mut(tmask);
+            let (lim, him) = bim.split_at_mut(tmask);
+            if cmask > tmask {
+                // The control bit is constant across this block.
+                if bstart & cmask != 0 {
+                    run(&b, lre, lim, hre, him, 0, tmask);
+                } else if !identity_a {
+                    run(&a, lre, lim, hre, him, 0, tmask);
+                }
+            } else {
+                // `bstart` is `2·tmask`-aligned and `cmask < tmask`, so the
+                // control bit of orbit `i` is `i & cmask`: control-set
+                // orbits form `cmask`-length runs at odd multiples.
+                let mut i = cmask;
+                while i < tmask {
+                    run(&b, lre, lim, hre, him, i, cmask);
+                    i += cmask << 1;
+                }
+                if !identity_a {
+                    let mut i = 0;
+                    while i < tmask {
+                        run(&a, lre, lim, hre, him, i, cmask);
+                        i += cmask << 1;
+                    }
+                }
+            }
+        }
+    };
+    if re.len() < PAR_MIN_LEN || qdp_par::max_threads() < 2 {
+        body(0, re, im);
+    } else {
+        qdp_par::par_chunks2_mut(re, im, align, body);
+    }
+}
+
+/// Plane twin of [`apply_diag`]: identity runs are skipped, real diagonal
+/// entries scale each plane with one multiply per component — a loop the
+/// vectorizer turns into two contiguous streaming multiplies.
+fn apply_diag_planes(re: &mut [f64], im: &mut [f64], masks: &[usize], diag: &[C64]) {
+    if diag.iter().all(|&d| d == C64::ONE) {
+        return; // identity: nothing to do
+    }
+    let k = masks.len();
+    // Infallible: diagonal kernels are only built for k ≥ 1 targets.
+    #[allow(clippy::expect_used)]
+    let run = *masks.iter().min().expect("diagonal kernel needs targets");
+
+    // Per-run multiply with the entry's real/complex split — the same
+    // arithmetic, element order, and identity-run skip as the generic body
+    // below, shared by the single-target fast path.
+    #[inline(always)]
+    fn scale_run(re: &mut [f64], im: &mut [f64], d: C64) {
+        if d == C64::ONE {
+            return;
+        }
+        if d.im == 0.0 {
+            let s = d.re;
+            for (ar, ai) in re.iter_mut().zip(im.iter_mut()) {
+                *ar *= s;
+                *ai *= s;
+            }
+        } else {
+            let (dr, di) = (d.re, d.im);
+            for (ar, ai) in re.iter_mut().zip(im.iter_mut()) {
+                let (r0, i0) = (*ar, *ai);
+                *ar = r0 * dr - i0 * di;
+                *ai = r0 * di + i0 * dr;
+            }
+        }
+    }
+
+    if k == 1 {
+        // Single target: the plane alternates `run`-length d₀/d₁ blocks, so
+        // both entries hoist out of the sweep — no per-run outcome-index
+        // computation or entry reload (which dominates at small `run`).
+        let (d0, d1) = (diag[0], diag[1]);
+        let body = move |_: usize, cre: &mut [f64], cim: &mut [f64]| {
+            let block = run << 1;
+            for (bre, bim) in cre.chunks_exact_mut(block).zip(cim.chunks_exact_mut(block)) {
+                let (lre, hre) = bre.split_at_mut(run);
+                let (lim, him) = bim.split_at_mut(run);
+                scale_run(lre, lim, d0);
+                scale_run(hre, him, d1);
+            }
+        };
+        if re.len() < PAR_MIN_LEN || qdp_par::max_threads() < 2 {
+            body(0, re, im);
+        } else {
+            qdp_par::par_chunks2_mut(re, im, run << 1, body);
+        }
+        return;
+    }
+
+    let body = |offset: usize, cre: &mut [f64], cim: &mut [f64]| {
+        for (r, (bre, bim)) in cre
+            .chunks_exact_mut(run)
+            .zip(cim.chunks_exact_mut(run))
+            .enumerate()
+        {
+            let start = offset + r * run;
+            let mut local = 0usize;
+            for (j, &mask) in masks.iter().enumerate() {
+                if start & mask != 0 {
+                    local |= 1 << (k - 1 - j);
+                }
+            }
+            let d = diag[local];
+            if d == C64::ONE {
+                continue;
+            }
+            if d.im == 0.0 {
+                let s = d.re;
+                for (ar, ai) in bre.iter_mut().zip(bim.iter_mut()) {
+                    *ar *= s;
+                    *ai *= s;
+                }
+            } else {
+                // Raw-scalar transcription of `C64::new(*ar, *ai) * d` —
+                // same operations, same order; forming the `C64` aggregate
+                // in the loop keeps the two streams out of vector registers.
+                let (dr, di) = (d.re, d.im);
+                for (ar, ai) in bre.iter_mut().zip(bim.iter_mut()) {
+                    let (r0, i0) = (*ar, *ai);
+                    *ar = r0 * dr - i0 * di;
+                    *ai = r0 * di + i0 * dr;
+                }
+            }
+        }
+    };
+    if re.len() < PAR_MIN_LEN || qdp_par::max_threads() < 2 {
+        body(0, re, im);
+    } else {
+        qdp_par::par_chunks2_mut(re, im, run, body);
+    }
+}
+
+fn apply_kq_planes(re: &mut [f64], im: &mut [f64], n: usize, m: &Matrix, targets: &[usize]) {
+    let k = targets.len();
+    let dim_local = 1usize << k;
+    let masks: Vec<usize> = targets.iter().map(|&t| 1usize << qubit_bit(n, t)).collect();
+
+    let mut offsets = vec![0usize; dim_local];
+    for (a, off) in offsets.iter_mut().enumerate() {
+        for (j, mask) in masks.iter().enumerate() {
+            if a & (1 << (k - 1 - j)) != 0 {
+                *off |= mask;
+            }
+        }
+    }
+
+    let mut bits: Vec<usize> = masks.iter().map(|m| m.trailing_zeros() as usize).collect();
+    bits.sort_unstable();
+
+    let md = m.as_slice();
+    let mut scratch = vec![C64::ZERO; dim_local];
+    let n_bases = 1usize << (n - k);
+    for i in 0..n_bases {
+        let base = deposit_zeros(i, &bits);
+        for (slot, &off) in scratch.iter_mut().zip(offsets.iter()) {
+            *slot = ld(re, im, base | off);
+        }
+        for (a, &off) in offsets.iter().enumerate() {
+            let row = a * dim_local;
+            let mut acc = C64::ZERO;
+            for (b, &sb) in scratch.iter().enumerate() {
+                acc = acc.mul_add(md[row + b], sb);
+            }
+            st(re, im, base | off, acc);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Reference implementation
 // ---------------------------------------------------------------------------
 
@@ -750,6 +1268,127 @@ mod tests {
         assert_eq!(amps[1], C64::ZERO);
         assert_eq!(amps[3], C64::ZERO);
         assert!(amps[0].approx_eq(C64::real(0.5), 1e-15));
+    }
+
+    fn split(amps: &[C64]) -> (Vec<f64>, Vec<f64>) {
+        (amps.iter().map(|a| a.re).collect(), amps.iter().map(|a| a.im).collect())
+    }
+
+    fn assert_planes_eq(re: &[f64], im: &[f64], amps: &[C64], ctx: &str) {
+        assert_eq!(re.len(), amps.len(), "{ctx}");
+        for (i, a) in amps.iter().enumerate() {
+            assert_eq!(re[i].to_bits(), a.re.to_bits(), "{ctx} re[{i}]");
+            assert_eq!(im[i].to_bits(), a.im.to_bits(), "{ctx} im[{i}]");
+        }
+    }
+
+    /// Every plane kernel shape (dense 1q, real 1q, diagonal, controlled,
+    /// dense 2q, k = 3) against the AoS fast path, bit for bit.
+    #[test]
+    fn plane_kernels_match_aos_bitwise() {
+        let mut toffoli = Matrix::identity(8);
+        toffoli.set(6, 6, C64::ZERO);
+        toffoli.set(7, 7, C64::ZERO);
+        toffoli.set(6, 7, C64::ONE);
+        toffoli.set(7, 6, C64::ONE);
+        let gates: Vec<(Matrix, Vec<usize>)> = vec![
+            (Matrix::hadamard(), vec![2]),
+            (Matrix::rotation_from_involution(&Matrix::pauli_y(), 0.9), vec![4]),
+            (Matrix::rotation_from_involution(&Matrix::pauli_x(), 1.2), vec![0]),
+            (Matrix::rotation_from_involution(&Matrix::pauli_z(), 0.3), vec![0]),
+            (Matrix::diagonal(&[C64::ONE, C64::ONE, C64::ONE, -C64::ONE]), vec![1, 4]),
+            (Matrix::cnot(), vec![1, 3]),
+            (Matrix::cnot(), vec![4, 0]),
+            (
+                Matrix::rotation_from_involution(
+                    &Matrix::pauli_y().kron(&Matrix::pauli_y()),
+                    0.7,
+                ),
+                vec![3, 0],
+            ),
+            (Matrix::basis_projector(2, 0), vec![2]),
+            (toffoli, vec![4, 1, 3]),
+        ];
+        for (g, targets) in &gates {
+            let amps = rand_amps(5, 42);
+            let mut aos = amps.clone();
+            apply_matrix(&mut aos, 5, g, targets);
+            let (mut re, mut im) = split(&amps);
+            apply_matrix_planes(&mut re, &mut im, 5, g, targets);
+            assert_planes_eq(&re, &im, &aos, &format!("{targets:?}"));
+        }
+    }
+
+    /// Same pin above the parallel threshold, exercising all three split
+    /// strategies: aligned chunks (low target), four-stream zip (top bit),
+    /// and the 2q chunked path.
+    #[test]
+    fn plane_kernels_match_aos_bitwise_above_parallel_threshold() {
+        let n = 15; // 2^15 = 32768 ≥ PAR_MIN_LEN
+        let gates: Vec<(Matrix, Vec<usize>)> = vec![
+            (Matrix::hadamard(), vec![n - 1]), // low bit → aligned chunks
+            (Matrix::hadamard(), vec![0]),     // top bit → zip halves
+            (Matrix::rotation_from_involution(&Matrix::pauli_z(), 0.3), vec![2]),
+            (Matrix::cnot(), vec![0, n - 1]),
+            (
+                Matrix::rotation_from_involution(
+                    &Matrix::pauli_x().kron(&Matrix::pauli_x()),
+                    0.5,
+                ),
+                vec![1, n - 2],
+            ),
+        ];
+        for (g, targets) in &gates {
+            let amps = rand_amps(n, 7);
+            let mut aos = amps.clone();
+            apply_matrix(&mut aos, n, g, targets);
+            let (mut re, mut im) = split(&amps);
+            apply_matrix_planes(&mut re, &mut im, n, g, targets);
+            assert_planes_eq(&re, &im, &aos, &format!("{targets:?}"));
+        }
+    }
+
+    #[test]
+    fn plane_reference_mode_round_trips_through_aos_oracle() {
+        let amps = rand_amps(4, 9);
+        let expected = {
+            let mut e = amps.clone();
+            apply_matrix_reference(&mut e, 4, &Matrix::hadamard(), &[1]);
+            e
+        };
+        let (mut re, mut im) = split(&amps);
+        set_reference_kernels(true);
+        apply_matrix_planes(&mut re, &mut im, 4, &Matrix::hadamard(), &[1]);
+        set_reference_kernels(false);
+        assert_planes_eq(&re, &im, &expected, "reference mode");
+    }
+
+    #[test]
+    fn planes_aos_conversions_round_trip() {
+        let amps = rand_amps(3, 11);
+        let (re, im) = split(&amps);
+        assert_eq!(planes_to_aos(&re, &im), amps);
+        let mut re2 = vec![0.0; 8];
+        let mut im2 = vec![0.0; 8];
+        aos_to_planes(&amps, &mut re2, &mut im2);
+        assert_eq!(re2, re);
+        assert_eq!(im2, im);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_plane_lengths_panic() {
+        let mut re = vec![0.0; 4];
+        let mut im = vec![0.0; 2];
+        apply_matrix_planes(&mut re, &mut im, 2, &Matrix::hadamard(), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate target")]
+    fn duplicate_targets_panic_on_planes() {
+        let mut re = vec![0.0; 4];
+        let mut im = vec![0.0; 4];
+        apply_matrix_planes(&mut re, &mut im, 2, &Matrix::cnot(), &[0, 0]);
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod density;
 pub mod error;
 pub mod fault;
 pub mod kernels;
+pub(crate) mod lanes;
 pub mod measurement;
 pub mod observable;
 pub mod sampling;

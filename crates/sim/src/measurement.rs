@@ -6,9 +6,88 @@
 //! so probabilities ride along inside the partial density operators.
 
 use crate::density::DensityMatrix;
-use crate::kernels::{apply_matrix, local_index, qubit_bit};
+use crate::kernels::{apply_matrix, apply_matrix_planes, local_index, qubit_bit};
+use crate::lanes;
 use crate::state::StateVector;
 use qdp_linalg::{C64, Matrix};
+
+/// One row's bucketed lane-split `|amp|²` sweep over split planes: each
+/// constant-outcome **run** of indices feeds its bucket's partials through
+/// [`lanes::add_run`], runs in ascending index order, so every bucket gets
+/// exactly the bits [`lanes::sum_norm_sqr`] produces over that bucket's
+/// members zero-padded to the whole row — which is precisely the collapsed
+/// branch's norm. `out` must hold `2^masks.len()` slots.
+fn fast_bucket_probs(re: &[f64], im: &[f64], masks: &[usize], out: &mut [f64]) {
+    match masks.len() {
+        0 => out[0] = lanes::sum_norm_sqr(re, im),
+        1 => {
+            // Outcome flips every `m` indices: run `t` is local outcome
+            // `t & 1`.
+            let m = masks[0];
+            let mut acc = [[0.0f64; lanes::LANES]; 2];
+            for t in 0..re.len() / m {
+                lanes::add_run(&mut acc[t & 1], re, im, t * m, m);
+            }
+            out[0] = lanes::combine(acc[0]);
+            out[1] = lanes::combine(acc[1]);
+        }
+        _ => {
+            // Both outcome bits are constant over runs of the smaller mask.
+            let (m0, m1) = (masks[0], masks[1]);
+            let run = m0.min(m1);
+            let mut acc = [[0.0f64; lanes::LANES]; 4];
+            for t in 0..re.len() / run {
+                let s = t * run;
+                let local = (usize::from(s & m0 != 0) << 1) | usize::from(s & m1 != 0);
+                lanes::add_run(&mut acc[local], re, im, s, run);
+            }
+            for (slot, a) in out.iter_mut().zip(acc.iter()) {
+                *slot = lanes::combine(*a);
+            }
+        }
+    }
+}
+
+/// Appends one row's masked-copy collapse to the destination planes:
+/// members copied untouched, non-members multiplied by the real scalar
+/// `0.0` component-wise — the identical IEEE signed zeros the diagonal
+/// projector kernel produces.
+#[inline]
+fn collapse_row_planes(
+    re: &[f64],
+    im: &[f64],
+    masks: &[usize],
+    outcome: usize,
+    out_re: &mut Vec<f64>,
+    out_im: &mut Vec<f64>,
+) {
+    match masks.len() {
+        0 => {
+            out_re.extend_from_slice(re);
+            out_im.extend_from_slice(im);
+        }
+        1 => {
+            let m = masks[0];
+            let member = if outcome == 1 { m } else { 0 };
+            let keep = |(i, &a): (usize, &f64)| if i & m == member { a } else { a * 0.0 };
+            out_re.extend(re.iter().enumerate().map(keep));
+            out_im.extend(im.iter().enumerate().map(keep));
+        }
+        _ => {
+            let (m0, m1) = (masks[0], masks[1]);
+            let keep = |(i, &a): (usize, &f64)| {
+                let local = (usize::from(i & m0 != 0) << 1) | usize::from(i & m1 != 0);
+                if local == outcome {
+                    a
+                } else {
+                    a * 0.0
+                }
+            };
+            out_re.extend(re.iter().enumerate().map(keep));
+            out_im.extend(im.iter().enumerate().map(keep));
+        }
+    }
+}
 
 /// A quantum measurement: operators `{Mm}` on a subset of qubits with
 /// `Σm Mm†Mm = I`.
@@ -197,13 +276,17 @@ impl Measurement {
     ///
     /// For computational measurements on ≤ 2 targets this is a **single
     /// bucketed `|amp|²` pass** over the state: each amplitude contributes
-    /// to exactly one outcome bucket, in index order — the identical values
-    /// in the identical addition order as `‖Mm|ψ⟩‖²` of the materialised
-    /// branch (non-members contribute exact `+0.0` there), so the results
-    /// equal [`branches_pure`](Self::branches_pure)'s probabilities **bit
-    /// for bit**. Other measurements fall back to applying each operator.
+    /// to exactly one outcome bucket, in index order under the lane-split
+    /// reduction contract of [`crate::lanes`] — the identical values on the
+    /// identical lane partials as `‖Mm|ψ⟩‖²` of the materialised branch
+    /// (non-members contribute exact `+0.0` there), so the results equal
+    /// [`branches_pure`](Self::branches_pure)'s probabilities **bit for
+    /// bit**. Other measurements fall back to applying each operator.
     pub fn branch_probabilities_pure(&self, psi: &StateVector) -> Vec<f64> {
-        self.branch_probabilities_amps(psi.num_qubits(), psi.amplitudes())
+        let mut probs = Vec::new();
+        let (re, im) = psi.planes();
+        self.branch_probabilities_planes_into(psi.num_qubits(), re, im, &mut probs);
+        probs
     }
 
     /// [`branch_probabilities_pure`](Self::branch_probabilities_pure) on a
@@ -220,9 +303,11 @@ impl Measurement {
     }
 
     /// [`branch_probabilities_amps`](Self::branch_probabilities_amps)
-    /// writing into a reusable buffer (cleared and refilled) — the
-    /// allocation-free form the batched executors call once per row per
-    /// measurement.
+    /// writing into a reusable buffer (cleared and refilled) — the retained
+    /// **AoS oracle form**: it walks an interleaved `C64` slice amplitude
+    /// by amplitude, yet accumulates on the same global-index lane partials
+    /// as the split-plane engine, so its results pin the plane forms
+    /// bit for bit across the layout seam.
     ///
     /// # Panics
     ///
@@ -240,91 +325,127 @@ impl Measurement {
                 scratch.clear();
                 scratch.extend_from_slice(amps);
                 apply_matrix(&mut scratch, n_qubits, op, &self.targets);
-                probs[m] = scratch.iter().map(|z| z.norm_sqr()).sum();
+                probs[m] = lanes::sum_norm_sqr_aos(&scratch);
             }
             return;
         }
         let (masks, k) = self.outcome_masks(n_qubits);
+        let mut acc = [[0.0f64; lanes::LANES]; 4];
         for (i, a) in amps.iter().enumerate() {
-            probs[local_index(i, &masks[..k])] += a.norm_sqr();
+            acc[local_index(i, &masks[..k])][i % lanes::LANES] += a.norm_sqr();
+        }
+        for (m, p) in probs.iter_mut().enumerate() {
+            *p = lanes::combine(acc[m]);
         }
     }
 
-    /// The branch probabilities of **every row** of a contiguous
-    /// `rows × 2ⁿ` amplitude block, from **one bucketed `|amp|²` sweep**
-    /// over the whole block: `table` is cleared and refilled with
-    /// `rows × num_outcomes` entries, row `r`'s probabilities at
-    /// `table[r·outcomes .. (r+1)·outcomes]`.
+    /// [`branch_probabilities_into`](Self::branch_probabilities_into) on
+    /// one row's split `re`/`im` planes — the form the split-plane engine
+    /// calls. Fast-path buckets accumulate run by run through
+    /// [`lanes::add_run`], which reproduces the AoS oracle's bits exactly
+    /// (both follow the global-index lane contract of [`crate::lanes`]).
     ///
-    /// Each row's buckets accumulate the identical values in the identical
-    /// addition order as [`branch_probabilities_into`] on that row alone,
-    /// so the table matches per-row calls **bit for bit** — the block form
-    /// merely amortises the outcome-mask setup and the dispatch over the
-    /// group. Non-computational measurements apply each operator per row
-    /// through one shared scratch buffer.
+    /// # Panics
+    ///
+    /// Panics when either plane's length is not `2^n_qubits`.
+    pub fn branch_probabilities_planes_into(
+        &self,
+        n_qubits: usize,
+        re: &[f64],
+        im: &[f64],
+        probs: &mut Vec<f64>,
+    ) {
+        let dim = 1usize << n_qubits;
+        assert!(
+            re.len() == dim && im.len() == dim,
+            "amplitude plane length mismatch"
+        );
+        probs.clear();
+        probs.resize(self.num_outcomes(), 0.0);
+        if !self.fast_computational() {
+            let mut scratch_re: Vec<f64> = Vec::with_capacity(dim);
+            let mut scratch_im: Vec<f64> = Vec::with_capacity(dim);
+            for (m, op) in self.operators.iter().enumerate() {
+                scratch_re.clear();
+                scratch_re.extend_from_slice(re);
+                scratch_im.clear();
+                scratch_im.extend_from_slice(im);
+                apply_matrix_planes(&mut scratch_re, &mut scratch_im, n_qubits, op, &self.targets);
+                probs[m] = lanes::sum_norm_sqr(&scratch_re, &scratch_im);
+            }
+            return;
+        }
+        let (masks, k) = self.outcome_masks(n_qubits);
+        fast_bucket_probs(re, im, &masks[..k], probs);
+    }
+
+    /// The branch probabilities of **every row** of a contiguous
+    /// `rows × 2ⁿ` pair of split amplitude planes, from **one bucketed
+    /// lane-split `|amp|²` sweep** over the whole block: `table` is cleared
+    /// and refilled with `rows × num_outcomes` entries, row `r`'s
+    /// probabilities at `table[r·outcomes .. (r+1)·outcomes]`.
+    ///
+    /// Each row's buckets accumulate the identical values on the identical
+    /// global-index lane partials as [`branch_probabilities_into`] on that
+    /// row alone, so the table matches per-row calls (plane **or** AoS
+    /// oracle form) **bit for bit** — the block form merely amortises the
+    /// outcome-mask setup and the dispatch over the group. The run-based
+    /// sweep walks both planes contiguously, which is what lets the
+    /// autovectorizer keep the four lane partials in one vector register.
+    /// Non-computational measurements apply each operator per row through
+    /// one shared pair of scratch planes.
     ///
     /// [`branch_probabilities_into`]: Measurement::branch_probabilities_into
     ///
     /// # Panics
     ///
-    /// Panics when `block.len()` is not a multiple of `2^n_qubits`.
-    pub fn branch_probabilities_block(&self, n_qubits: usize, block: &[C64], table: &mut Vec<f64>) {
+    /// Panics when the planes differ in length or don't hold whole rows.
+    pub fn branch_probabilities_block(
+        &self,
+        n_qubits: usize,
+        re: &[f64],
+        im: &[f64],
+        table: &mut Vec<f64>,
+    ) {
         let dim = 1usize << n_qubits;
-        assert_eq!(block.len() % dim, 0, "block must hold whole rows");
+        assert_eq!(re.len(), im.len(), "re/im planes must have equal lengths");
+        assert_eq!(re.len() % dim, 0, "block must hold whole rows");
         let outcomes = self.num_outcomes();
+        let rows = re.len() / dim;
         table.clear();
-        table.resize((block.len() / dim) * outcomes, 0.0);
+        table.resize(rows * outcomes, 0.0);
         if !self.fast_computational() {
-            let mut scratch: Vec<C64> = Vec::with_capacity(dim);
-            for (r, row) in block.chunks_exact(dim).enumerate() {
+            let mut scratch_re: Vec<f64> = Vec::with_capacity(dim);
+            let mut scratch_im: Vec<f64> = Vec::with_capacity(dim);
+            for ((row_re, row_im), buckets) in re
+                .chunks_exact(dim)
+                .zip(im.chunks_exact(dim))
+                .zip(table.chunks_exact_mut(outcomes))
+            {
                 for (m, op) in self.operators.iter().enumerate() {
-                    scratch.clear();
-                    scratch.extend_from_slice(row);
-                    apply_matrix(&mut scratch, n_qubits, op, &self.targets);
-                    table[r * outcomes + m] = scratch.iter().map(|z| z.norm_sqr()).sum();
+                    scratch_re.clear();
+                    scratch_re.extend_from_slice(row_re);
+                    scratch_im.clear();
+                    scratch_im.extend_from_slice(row_im);
+                    apply_matrix_planes(
+                        &mut scratch_re,
+                        &mut scratch_im,
+                        n_qubits,
+                        op,
+                        &self.targets,
+                    );
+                    buckets[m] = lanes::sum_norm_sqr(&scratch_re, &scratch_im);
                 }
             }
             return;
         }
-        // The fast path only ever sees one or two targets (see
-        // `fast_computational`); dispatching on the count once per *block*
-        // — not once per amplitude through the generic `local_index` —
-        // keeps the masks in registers. Each row's buckets accumulate in
-        // the identical order in both arms, so bits are unchanged.
         let (masks, k) = self.outcome_masks(n_qubits);
-        if k == 1 {
-            // Register-resident buckets: each one accumulates the identical
-            // values in the identical order as indexing the table per
-            // amplitude, so bits are unchanged.
-            let m = masks[0];
-            for (row, buckets) in block
-                .chunks_exact(dim)
-                .zip(table.chunks_exact_mut(outcomes))
-            {
-                let (mut p0, mut p1) = (0.0f64, 0.0f64);
-                for (i, a) in row.iter().enumerate() {
-                    if i & m != 0 {
-                        p1 += a.norm_sqr();
-                    } else {
-                        p0 += a.norm_sqr();
-                    }
-                }
-                buckets[0] = p0;
-                buckets[1] = p1;
-            }
-        } else {
-            let (m0, m1) = (masks[0], masks[1]);
-            for (row, buckets) in block
-                .chunks_exact(dim)
-                .zip(table.chunks_exact_mut(outcomes))
-            {
-                let mut acc = [0.0f64; 4];
-                for (i, a) in row.iter().enumerate() {
-                    let local = (usize::from(i & m0 != 0) << 1) | usize::from(i & m1 != 0);
-                    acc[local] += a.norm_sqr();
-                }
-                buckets.copy_from_slice(&acc);
-            }
+        for ((row_re, row_im), buckets) in re
+            .chunks_exact(dim)
+            .zip(im.chunks_exact(dim))
+            .zip(table.chunks_exact_mut(outcomes))
+        {
+            fast_bucket_probs(row_re, row_im, &masks[..k], buckets);
         }
     }
 
@@ -346,9 +467,11 @@ impl Measurement {
     /// Panics when `outcome` is out of range.
     pub fn collapse_pure(&self, psi: &StateVector, outcome: usize) -> StateVector {
         let n = psi.num_qubits();
-        let mut amps = Vec::with_capacity(psi.dim());
-        self.collapse_amps_into(n, psi.amplitudes(), outcome, &mut amps);
-        StateVector::from_amplitudes(n, amps)
+        let mut out_re = Vec::with_capacity(psi.dim());
+        let mut out_im = Vec::with_capacity(psi.dim());
+        let (re, im) = psi.planes();
+        self.collapse_planes_into(n, re, im, outcome, &mut out_re, &mut out_im);
+        StateVector::from_planes(n, out_re, out_im)
     }
 
     /// [`collapse_pure`](Self::collapse_pure) writing the collapsed
@@ -391,39 +514,95 @@ impl Measurement {
         }
     }
 
-    /// Materialises outcome `outcome`'s unnormalised branch of the
-    /// **selected rows** of a contiguous `rows × 2ⁿ` amplitude block: one
-    /// strided pass over the surviving source rows (in `rows` order),
-    /// appending each collapsed row to `out` — how the block-level
-    /// regrouping fills one outcome's entire sub-batch with a single call
-    /// instead of one [`collapse_amps_into`](Self::collapse_amps_into) per
-    /// row.
-    ///
-    /// Every row's collapse performs the identical masked copy as the
-    /// per-row path (non-members multiplied component-wise by `0.0`,
-    /// preserving the projector kernel's IEEE signed zeros), so the
-    /// destination block equals per-row calls **bit for bit**.
+    /// [`collapse_amps_into`](Self::collapse_amps_into) on one row's split
+    /// `re`/`im` planes, appending the collapsed row to the destination
+    /// planes — the form the split-plane engine calls. The masked copy is
+    /// the identical arithmetic as the AoS oracle form (signed zeros
+    /// included), so the two layouts agree bit for bit.
     ///
     /// # Panics
     ///
-    /// Panics when `outcome` is out of range, `block` does not hold whole
-    /// rows, or a selected row index is out of range.
-    pub fn collapse_block_into(
+    /// Panics when `outcome` is out of range or either plane's length is
+    /// not `2^n_qubits`.
+    pub fn collapse_planes_into(
         &self,
         n_qubits: usize,
-        block: &[C64],
-        rows: &[usize],
+        re: &[f64],
+        im: &[f64],
         outcome: usize,
-        out: &mut Vec<C64>,
+        out_re: &mut Vec<f64>,
+        out_im: &mut Vec<f64>,
     ) {
         assert!(outcome < self.num_outcomes(), "outcome {outcome} out of range");
         let dim = 1usize << n_qubits;
-        assert_eq!(block.len() % dim, 0, "block must hold whole rows");
+        assert!(
+            re.len() == dim && im.len() == dim,
+            "amplitude plane length mismatch"
+        );
+        if !self.fast_computational() {
+            let start = out_re.len();
+            out_re.extend_from_slice(re);
+            out_im.extend_from_slice(im);
+            apply_matrix_planes(
+                &mut out_re[start..],
+                &mut out_im[start..],
+                n_qubits,
+                &self.operators[outcome],
+                &self.targets,
+            );
+            return;
+        }
+        let (masks, k) = self.outcome_masks(n_qubits);
+        out_re.reserve(dim);
+        out_im.reserve(dim);
+        collapse_row_planes(re, im, &masks[..k], outcome, out_re, out_im);
+    }
+
+    /// Materialises outcome `outcome`'s unnormalised branch of the
+    /// **selected rows** of a contiguous `rows × 2ⁿ` pair of split
+    /// amplitude planes: one strided pass over the surviving source rows
+    /// (in `rows` order), appending each collapsed row to the destination
+    /// planes — how the block-level regrouping fills one outcome's entire
+    /// sub-batch with a single call instead of one
+    /// [`collapse_planes_into`](Self::collapse_planes_into) per row.
+    ///
+    /// Every row's collapse performs the identical masked copy as the
+    /// per-row paths in both layouts (non-members multiplied
+    /// component-wise by `0.0`, preserving the projector kernel's IEEE
+    /// signed zeros), so the destination block equals per-row calls **bit
+    /// for bit**.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `outcome` is out of range, the planes differ in length
+    /// or don't hold whole rows, or a selected row index is out of range.
+    #[allow(clippy::too_many_arguments)]
+    pub fn collapse_block_into(
+        &self,
+        n_qubits: usize,
+        re: &[f64],
+        im: &[f64],
+        rows: &[usize],
+        outcome: usize,
+        out_re: &mut Vec<f64>,
+        out_im: &mut Vec<f64>,
+    ) {
+        assert!(outcome < self.num_outcomes(), "outcome {outcome} out of range");
+        let dim = 1usize << n_qubits;
+        assert_eq!(re.len(), im.len(), "re/im planes must have equal lengths");
+        assert_eq!(re.len() % dim, 0, "block must hold whole rows");
         if !self.fast_computational() {
             for &r in rows {
-                let start = out.len();
-                out.extend_from_slice(&block[r * dim..(r + 1) * dim]);
-                apply_matrix(&mut out[start..], n_qubits, &self.operators[outcome], &self.targets);
+                let start = out_re.len();
+                out_re.extend_from_slice(&re[r * dim..(r + 1) * dim]);
+                out_im.extend_from_slice(&im[r * dim..(r + 1) * dim]);
+                apply_matrix_planes(
+                    &mut out_re[start..],
+                    &mut out_im[start..],
+                    n_qubits,
+                    &self.operators[outcome],
+                    &self.targets,
+                );
             }
             return;
         }
@@ -431,35 +610,17 @@ impl Measurement {
         // the copy itself is identical amplitude for amplitude (`extend`
         // from an exact-size iterator skips the per-push length updates).
         let (masks, k) = self.outcome_masks(n_qubits);
-        out.reserve(rows.len() * dim);
-        if k == 1 {
-            let m = masks[0];
-            let member = if outcome == 1 { m } else { 0 };
-            for &r in rows {
-                out.extend(block[r * dim..(r + 1) * dim].iter().enumerate().map(
-                    |(i, a)| {
-                        if i & m == member {
-                            *a
-                        } else {
-                            C64::new(a.re * 0.0, a.im * 0.0)
-                        }
-                    },
-                ));
-            }
-        } else {
-            let (m0, m1) = (masks[0], masks[1]);
-            for &r in rows {
-                out.extend(block[r * dim..(r + 1) * dim].iter().enumerate().map(
-                    |(i, a)| {
-                        let local = (usize::from(i & m0 != 0) << 1) | usize::from(i & m1 != 0);
-                        if local == outcome {
-                            *a
-                        } else {
-                            C64::new(a.re * 0.0, a.im * 0.0)
-                        }
-                    },
-                ));
-            }
+        out_re.reserve(rows.len() * dim);
+        out_im.reserve(rows.len() * dim);
+        for &r in rows {
+            collapse_row_planes(
+                &re[r * dim..(r + 1) * dim],
+                &im[r * dim..(r + 1) * dim],
+                &masks[..k],
+                outcome,
+                out_re,
+                out_im,
+            );
         }
     }
 }
@@ -608,17 +769,24 @@ mod tests {
         assert!(m.computational);
     }
 
-    /// Packs `count` awkward states into one contiguous block.
-    fn awkward_block(n: usize, count: usize, seed0: u64) -> Vec<C64> {
-        let mut block = Vec::new();
+    /// Packs `count` awkward states into one contiguous pair of planes.
+    fn awkward_block(n: usize, count: usize, seed0: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut re = Vec::new();
+        let mut im = Vec::new();
         for s in 0..count {
-            block.extend_from_slice(awkward_state(n, seed0 + s as u64).amplitudes());
+            let psi = awkward_state(n, seed0 + s as u64);
+            let (r, i) = psi.planes();
+            re.extend_from_slice(r);
+            im.extend_from_slice(i);
         }
-        block
+        (re, im)
     }
 
     #[test]
     fn block_probabilities_match_per_row_calls_bitwise() {
+        // The per-row oracle here is the retained **AoS** form, so this
+        // pin crosses the layout seam: split-plane block sweep vs
+        // interleaved per-row accumulation.
         let h = Matrix::hadamard();
         let x_basis = Measurement::two_outcome(
             h.mul(&Matrix::basis_projector(2, 0)).mul(&h),
@@ -633,14 +801,18 @@ mod tests {
         ];
         for (mi, m) in measurements.iter().enumerate() {
             for rows in [1usize, 2, 5, 16] {
-                let block = awkward_block(4, rows, 100 * (mi as u64 + 1));
+                let (re, im) = awkward_block(4, rows, 100 * (mi as u64 + 1));
                 let mut table = vec![-1.0]; // must be cleared, not appended
-                m.branch_probabilities_block(4, &block, &mut table);
+                m.branch_probabilities_block(4, &re, &im, &mut table);
                 assert_eq!(table.len(), rows * m.num_outcomes());
                 let dim = 1usize << 4;
                 let mut probs = Vec::new();
                 for r in 0..rows {
-                    m.branch_probabilities_into(4, &block[r * dim..(r + 1) * dim], &mut probs);
+                    let row = crate::kernels::planes_to_aos(
+                        &re[r * dim..(r + 1) * dim],
+                        &im[r * dim..(r + 1) * dim],
+                    );
+                    m.branch_probabilities_into(4, &row, &mut probs);
                     for (o, (a, b)) in table[r * m.num_outcomes()..(r + 1) * m.num_outcomes()]
                         .iter()
                         .zip(&probs)
@@ -661,7 +833,8 @@ mod tests {
     fn block_collapse_matches_per_row_calls_bitwise() {
         // Strided row selections included: the block pass must only touch
         // the selected rows, in selection order, with identical bits —
-        // signed zeros of the masked copy included.
+        // signed zeros of the masked copy included. The per-row oracle is
+        // the retained AoS form, crossing the layout seam.
         let h = Matrix::hadamard();
         let x_basis = Measurement::two_outcome(
             h.mul(&Matrix::basis_projector(2, 0)).mul(&h),
@@ -675,25 +848,44 @@ mod tests {
         ];
         let dim = 1usize << 4;
         for (mi, m) in measurements.iter().enumerate() {
-            let block = awkward_block(4, 7, 500 * (mi as u64 + 1));
+            let (re, im) = awkward_block(4, 7, 500 * (mi as u64 + 1));
             for (si, selected) in [vec![0usize, 1, 2, 3, 4, 5, 6], vec![2], vec![6, 0, 3]]
                 .iter()
                 .enumerate()
             {
                 for outcome in 0..m.num_outcomes() {
-                    let mut blocked = Vec::new();
-                    m.collapse_block_into(4, &block, selected, outcome, &mut blocked);
-                    assert_eq!(blocked.len(), selected.len() * dim);
+                    let mut blocked_re = Vec::new();
+                    let mut blocked_im = Vec::new();
+                    m.collapse_block_into(
+                        4,
+                        &re,
+                        &im,
+                        selected,
+                        outcome,
+                        &mut blocked_re,
+                        &mut blocked_im,
+                    );
+                    assert_eq!(blocked_re.len(), selected.len() * dim);
                     let mut per_row = Vec::new();
                     for &r in selected {
-                        m.collapse_amps_into(4, &block[r * dim..(r + 1) * dim], outcome, &mut per_row);
+                        let row = crate::kernels::planes_to_aos(
+                            &re[r * dim..(r + 1) * dim],
+                            &im[r * dim..(r + 1) * dim],
+                        );
+                        m.collapse_amps_into(4, &row, outcome, &mut per_row);
                     }
-                    let bits = |v: &[C64]| -> Vec<(u64, u64)> {
-                        v.iter().map(|a| (a.re.to_bits(), a.im.to_bits())).collect()
-                    };
+                    let blocked_bits: Vec<(u64, u64)> = blocked_re
+                        .iter()
+                        .zip(&blocked_im)
+                        .map(|(a, b)| (a.to_bits(), b.to_bits()))
+                        .collect();
+                    let per_row_bits: Vec<(u64, u64)> = per_row
+                        .iter()
+                        .map(|a| (a.re.to_bits(), a.im.to_bits()))
+                        .collect();
                     assert_eq!(
-                        bits(&blocked),
-                        bits(&per_row),
+                        blocked_bits,
+                        per_row_bits,
                         "measurement {mi} selection {si} outcome {outcome}"
                     );
                 }

@@ -269,7 +269,43 @@ impl Observable {
             self.n_qubits,
             "observable register size mismatch"
         );
-        self.expectation_amps(psi.amplitudes())
+        let (re, im) = psi.planes();
+        self.expectation_planes(re, im)
+    }
+
+    /// [`expectation_pure`](Self::expectation_pure) on one row's split
+    /// `re`/`im` planes — the form the split-plane engine calls. Every
+    /// orbit loads its amplitudes from the planes and then runs the
+    /// **identical** `mul_add` chain as the AoS oracle form
+    /// ([`expectation_amps`](Self::expectation_amps)), so the two layouts
+    /// agree bit for bit. The accumulation stays serial: expectations are
+    /// conjugate-weighted dot products, not `|amp|²` norms, and their
+    /// pinned order predates the lane-split contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either plane's length is not `2ⁿ`.
+    pub fn expectation_planes(&self, re: &[f64], im: &[f64]) -> f64 {
+        let dim = 1usize << self.n_qubits;
+        assert!(
+            re.len() == dim && im.len() == dim,
+            "observable register size mismatch"
+        );
+        if self.targets.len() <= 2 {
+            let (off, bits) = self.small_k_layout();
+            return self.expectation_small_k_planes(re, im, &off, &bits);
+        }
+        let mut tre = re.to_vec();
+        let mut tim = im.to_vec();
+        crate::kernels::apply_matrix_planes(&mut tre, &mut tim, self.n_qubits, &self.matrix, &self.targets);
+        let mut acc = C64::ZERO;
+        for i in 0..dim {
+            let a = C64::new(re[i], im[i]);
+            let b = C64::new(tre[i], tim[i]);
+            acc = acc.mul_add(a.conj(), b);
+        }
+        debug_assert!(acc.im.abs() < 1e-7);
+        acc.re
     }
 
     /// [`expectation_pure`](Self::expectation_pure) on a raw amplitude
@@ -412,6 +448,98 @@ impl Observable {
         acc.re
     }
 
+    /// The `k ≤ 2` expectation inner loop over one pair of split planes —
+    /// a structural transcription of
+    /// [`expectation_small_k`](Self::expectation_small_k): amplitudes are
+    /// loaded from the planes into `C64`s and fed through the identical
+    /// `mul_add` sequence, so results carry the same bits as the AoS
+    /// oracle.
+    fn expectation_small_k_planes(
+        &self,
+        re: &[f64],
+        im: &[f64],
+        off: &[usize; 4],
+        bits: &[usize],
+    ) -> f64 {
+        let n = self.n_qubits;
+        let k = self.targets.len();
+        let md = self.matrix.as_slice();
+        let ld = |i: usize| C64::new(re[i], im[i]);
+        let mut acc = C64::ZERO;
+        match k {
+            1 => {
+                let low = (1usize << bits[0]) - 1;
+                let o1 = off[1];
+                let (m00, m01, m10, m11) = (md[0], md[1], md[2], md[3]);
+                for i in 0..1usize << (n - 1) {
+                    let base = ((i & !low) << 1) | (i & low);
+                    let s0 = ld(base);
+                    let s1 = ld(base | o1);
+                    let o_psi = C64::ZERO.mul_add(m00, s0).mul_add(m01, s1);
+                    acc = acc.mul_add(s0.conj(), o_psi);
+                    let o_psi = C64::ZERO.mul_add(m10, s0).mul_add(m11, s1);
+                    acc = acc.mul_add(s1.conj(), o_psi);
+                }
+            }
+            2 => {
+                let low0 = (1usize << bits[0]) - 1;
+                let low1 = (1usize << bits[1]) - 1;
+                for i in 0..1usize << (n - 2) {
+                    let mut base = ((i & !low0) << 1) | (i & low0);
+                    base = ((base & !low1) << 1) | (base & low1);
+                    let s0 = ld(base);
+                    let s1 = ld(base | off[1]);
+                    let s2 = ld(base | off[2]);
+                    let s3 = ld(base | off[3]);
+                    let o_psi = C64::ZERO
+                        .mul_add(md[0], s0)
+                        .mul_add(md[1], s1)
+                        .mul_add(md[2], s2)
+                        .mul_add(md[3], s3);
+                    acc = acc.mul_add(s0.conj(), o_psi);
+                    let o_psi = C64::ZERO
+                        .mul_add(md[4], s0)
+                        .mul_add(md[5], s1)
+                        .mul_add(md[6], s2)
+                        .mul_add(md[7], s3);
+                    acc = acc.mul_add(s1.conj(), o_psi);
+                    let o_psi = C64::ZERO
+                        .mul_add(md[8], s0)
+                        .mul_add(md[9], s1)
+                        .mul_add(md[10], s2)
+                        .mul_add(md[11], s3);
+                    acc = acc.mul_add(s2.conj(), o_psi);
+                    let o_psi = C64::ZERO
+                        .mul_add(md[12], s0)
+                        .mul_add(md[13], s1)
+                        .mul_add(md[14], s2)
+                        .mul_add(md[15], s3);
+                    acc = acc.mul_add(s3.conj(), o_psi);
+                }
+            }
+            _ => {
+                let dim_local = 1usize << k;
+                for i in 0..1usize << (n - k) {
+                    let base = crate::kernels::deposit_zeros(i, bits);
+                    let mut s = [C64::ZERO; 4];
+                    for (a, slot) in s.iter_mut().enumerate().take(dim_local) {
+                        *slot = ld(base | off[a]);
+                    }
+                    for a in 0..dim_local {
+                        let row = a * dim_local;
+                        let mut o_psi = C64::ZERO;
+                        for b in 0..dim_local {
+                            o_psi = o_psi.mul_add(md[row + b], s[b]);
+                        }
+                        acc = acc.mul_add(s[a].conj(), o_psi);
+                    }
+                }
+            }
+        }
+        debug_assert!(acc.im.abs() < 1e-7);
+        acc.re
+    }
+
     /// Per-row expectations `⟨ψr|O|ψr⟩` over a whole [`BatchedStates`]
     /// block in row order — the batched read-out of
     /// [`expectation_amps`](Self::expectation_amps), with the target masks
@@ -448,14 +576,18 @@ impl Observable {
             "observable register size mismatch"
         );
         if self.targets.len() > 2 {
-            out.extend(states.iter_rows().map(|row| self.expectation_amps(row)));
+            out.extend(
+                states
+                    .iter_row_planes()
+                    .map(|(re, im)| self.expectation_planes(re, im)),
+            );
             return;
         }
         let (off, bits) = self.small_k_layout();
         out.extend(
             states
-                .iter_rows()
-                .map(|amps| self.expectation_small_k(amps, &off, &bits)),
+                .iter_row_planes()
+                .map(|(re, im)| self.expectation_small_k_planes(re, im, &off, &bits)),
         );
     }
 
@@ -579,6 +711,24 @@ mod tests {
             Observable::from_pauli_sum(&[]).unwrap_err(),
             ObservableError::EmptyPauliSum
         );
+    }
+
+    #[test]
+    fn plane_expectations_match_aos_oracle_bitwise() {
+        // k = 1, k = 2, and a generic k = 3 observable: the split-plane
+        // path must reproduce the retained AoS oracle exactly.
+        let observables = [
+            Observable::pauli_z(4, 2),
+            Observable::new(4, vec![3, 1], Matrix::pauli_x().kron(&Matrix::pauli_z())),
+            Observable::from_pauli_string(&"XYZI".parse::<PauliString>().unwrap()),
+        ];
+        for (oi, o) in observables.iter().enumerate() {
+            let psi = crate::test_support::awkward_state(4, 7 + oi as u64);
+            let (re, im) = psi.planes();
+            let plane = o.expectation_planes(re, im);
+            let aos = o.expectation_amps(&psi.amplitudes());
+            assert_eq!(plane.to_bits(), aos.to_bits(), "observable {oi}");
+        }
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub fn chernoff_shots(m: usize, delta: f64) -> usize {
 
 /// Fallible form of [`chernoff_shots`]: rejects a precision `delta` that is
 /// not finite and positive (a non-finite δ would silently yield a zero or
-/// nonsensical shot budget) with a typed
+/// nonsensical shot budget), **or so small that the budget `⌈(m/δ)²⌉` has
+/// no `usize` representation**, with a typed
 /// [`QdpError::InvalidPrecision`](crate::error::QdpError::InvalidPrecision).
 pub fn try_chernoff_shots(m: usize, delta: f64) -> Result<usize, crate::error::QdpError> {
     if !delta.is_finite() || delta <= 0.0 {
@@ -57,7 +58,20 @@ pub fn try_chernoff_shots(m: usize, delta: f64) -> Result<usize, crate::error::Q
         });
     }
     let m = m.max(1) as f64;
-    Ok(((m * m) / (delta * delta)).ceil() as usize)
+    let budget = ((m * m) / (delta * delta)).ceil();
+    // An `as usize` cast of an oversized float silently saturates: a δ of,
+    // say, 1e-200 would quietly clamp the budget to usize::MAX instead of
+    // reporting that the requested precision is unsatisfiable. `>=` also
+    // rejects the infinite budget a subnormal δ produces when δ²
+    // underflows to zero (budget is never NaN: m ≥ 1 and δ is finite
+    // positive, so the quotient is positive or +∞).
+    if budget >= usize::MAX as f64 {
+        return Err(crate::error::QdpError::InvalidPrecision {
+            value: delta,
+            what: "precision",
+        });
+    }
+    Ok(budget as usize)
 }
 
 /// Derives the seed of stream `stream` of a run seeded with `seed` — a
@@ -290,9 +304,16 @@ impl ProjectiveObservable {
     }
 
     /// [`row_probabilities`](Self::row_probabilities) writing into a
-    /// reusable buffer (cleared and refilled) — the allocation-free form
-    /// batched read-out loops call once per row. Returns `false` (buffer
-    /// untouched) when the observable is not diagonal.
+    /// reusable buffer (cleared and refilled) — the retained **AoS oracle
+    /// form**. Returns `false` (buffer untouched) when the observable is
+    /// not diagonal.
+    ///
+    /// The bucket walk stays **serial** in index order (unlike the
+    /// measurement sweeps, no lane split): the `pair_of_local` indirection
+    /// maps basis states to buckets arbitrarily, so there are no
+    /// constant-outcome runs to exploit, and the pinned order predates the
+    /// lane contract. The plane form walks in the identical order, so the
+    /// layouts agree bit for bit.
     pub fn row_probabilities_into(&self, amps: &[C64], probs: &mut Vec<f64>) -> bool {
         let Some(d) = self.diagonal.as_ref() else {
             return false;
@@ -306,38 +327,69 @@ impl ProjectiveObservable {
         true
     }
 
+    /// [`row_probabilities_into`](Self::row_probabilities_into) on one
+    /// row's split `re`/`im` planes — the form the split-plane engine
+    /// calls. The identical serial walk and `re² + im²` terms as the AoS
+    /// oracle, so the layouts agree bit for bit.
+    pub fn row_probabilities_planes_into(
+        &self,
+        re: &[f64],
+        im: &[f64],
+        probs: &mut Vec<f64>,
+    ) -> bool {
+        let Some(d) = self.diagonal.as_ref() else {
+            return false;
+        };
+        debug_assert_eq!(re.len(), im.len(), "re/im planes must have equal lengths");
+        probs.clear();
+        probs.resize(self.pairs.len(), 0.0);
+        for i in 0..re.len() {
+            let local = crate::kernels::local_index(i, &d.masks);
+            probs[d.pair_of_local[local]] += re[i] * re[i] + im[i] * im[i];
+        }
+        true
+    }
+
     /// All pair probabilities of **every row** of a contiguous
-    /// `rows × 2ⁿ` amplitude block from **one bucketed `|amp|²` sweep**,
-    /// or `false` (table untouched) when the observable is not diagonal:
-    /// `table` is cleared and refilled with `rows × pairs` entries, row
-    /// `r`'s probabilities at `table[r·pairs .. (r+1)·pairs]`.
+    /// `rows × 2ⁿ` pair of split amplitude planes from **one bucketed
+    /// `|amp|²` sweep**, or `false` (table untouched) when the observable
+    /// is not diagonal: `table` is cleared and refilled with
+    /// `rows × pairs` entries, row `r`'s probabilities at
+    /// `table[r·pairs .. (r+1)·pairs]`.
     ///
     /// Each row's buckets accumulate the identical values in the identical
-    /// order as [`row_probabilities_into`](Self::row_probabilities_into)
-    /// on that row alone, so batched and per-row read-outs select from
-    /// bit-identical probabilities.
+    /// order as the per-row forms on that row alone, so batched and
+    /// per-row read-outs select from bit-identical probabilities.
     ///
     /// # Panics
     ///
-    /// Panics when `block.len()` is not `rows` whole rows.
-    pub fn row_probabilities_block(&self, block: &[C64], rows: usize, table: &mut Vec<f64>) -> bool {
+    /// Panics when the planes are not `rows` whole rows.
+    pub fn row_probabilities_block(
+        &self,
+        re: &[f64],
+        im: &[f64],
+        rows: usize,
+        table: &mut Vec<f64>,
+    ) -> bool {
         let Some(d) = self.diagonal.as_ref() else {
             return false;
         };
         let dim = 1usize << self.pairs[0].1.num_qubits();
-        assert_eq!(
-            block.len(),
-            rows * dim,
+        assert!(
+            re.len() == rows * dim && im.len() == rows * dim,
             "block must hold {rows} whole {dim}-amplitude rows"
         );
         let pairs = self.pairs.len();
         table.clear();
         table.resize(rows * pairs, 0.0);
-        for (r, row) in block.chunks_exact(dim).enumerate() {
-            let buckets = &mut table[r * pairs..(r + 1) * pairs];
-            for (i, a) in row.iter().enumerate() {
+        for ((row_re, row_im), buckets) in re
+            .chunks_exact(dim)
+            .zip(im.chunks_exact(dim))
+            .zip(table.chunks_exact_mut(pairs))
+        {
+            for i in 0..dim {
                 let local = crate::kernels::local_index(i, &d.masks);
-                buckets[d.pair_of_local[local]] += a.norm_sqr();
+                buckets[d.pair_of_local[local]] += row_re[i] * row_re[i] + row_im[i] * row_im[i];
             }
         }
         true
@@ -358,7 +410,8 @@ impl ProjectiveObservable {
         states: &crate::batch::BatchedStates,
         table: &mut Vec<f64>,
     ) {
-        if self.row_probabilities_block(states.amplitudes(), states.len(), table) {
+        let (re, im) = states.planes();
+        if self.row_probabilities_block(re, im, states.len(), table) {
             return;
         }
         let pairs = self.pairs.len();
@@ -380,11 +433,26 @@ impl ProjectiveObservable {
     ///
     /// Diagonal observables draw from one bucketed `|amp|²` pass; the rest
     /// evaluate one projector expectation per selection step (lazily, so
-    /// early exits skip the remaining projectors).
+    /// early exits skip the remaining projectors). This AoS form is the
+    /// retained oracle; the engine calls
+    /// [`sample_with_draw_planes`](Self::sample_with_draw_planes).
     pub fn sample_with_draw(&self, u: f64, total: f64, amps: &[C64]) -> f64 {
         match self.row_probabilities(amps) {
             Some(probs) => self.select_with(u, total, |k| probs[k]),
             None => self.select_with(u, total, |k| self.pairs[k].1.expectation_amps(amps)),
+        }
+    }
+
+    /// [`sample_with_draw`](Self::sample_with_draw) on one row's split
+    /// `re`/`im` planes: identical probabilities (serial bucket walk or
+    /// per-projector expectation, both bitwise-pinned across the layout
+    /// seam) through the identical selection loop.
+    pub fn sample_with_draw_planes(&self, u: f64, total: f64, re: &[f64], im: &[f64]) -> f64 {
+        let mut probs = Vec::new();
+        if self.row_probabilities_planes_into(re, im, &mut probs) {
+            self.select_with(u, total, |k| probs[k])
+        } else {
+            self.select_with(u, total, |k| self.pairs[k].1.expectation_planes(re, im))
         }
     }
 
@@ -491,7 +559,8 @@ impl ShotSampler {
         }
         let projective = ProjectiveObservable::new(obs);
         let u = self.next_uniform();
-        projective.sample_with_draw(u, total, psi.amplitudes())
+        let (re, im) = psi.planes();
+        projective.sample_with_draw_planes(u, total, re, im)
     }
 
     /// Monte-Carlo estimate of `⟨O⟩` from `shots` projective samples.
@@ -507,10 +576,11 @@ impl ShotSampler {
             return 0.0;
         }
         let projective = ProjectiveObservable::new(obs);
+        let (re, im) = psi.planes();
         let mut acc = 0.0;
         for _ in 0..shots {
             let u = self.next_uniform();
-            acc += projective.sample_with_draw(u, total, psi.amplitudes());
+            acc += projective.sample_with_draw_planes(u, total, re, im);
         }
         acc / shots as f64
     }
@@ -616,6 +686,30 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn chernoff_rejects_nonpositive_delta() {
         let _ = chernoff_shots(2, 0.0);
+    }
+
+    #[test]
+    fn chernoff_rejects_unrepresentable_budgets_at_extreme_delta() {
+        // Pre-fix, ⌈(m/δ)²⌉ went through a bare `as usize` cast, which
+        // silently saturates to usize::MAX for tiny δ — including the
+        // subnormal range where δ² underflows to 0 and the budget is ∞.
+        for bad in [1e-12, 1e-200, f64::MIN_POSITIVE] {
+            match try_chernoff_shots(3, bad) {
+                Err(crate::error::QdpError::InvalidPrecision { value, what }) => {
+                    assert_eq!(value.to_bits(), bad.to_bits());
+                    assert_eq!(what, "precision");
+                }
+                other => panic!("δ = {bad}: expected InvalidPrecision, got {other:?}"),
+            }
+            // The message must name the real failure — the budget has no
+            // usize representation — not claim δ wasn't positive.
+            let msg = try_chernoff_shots(3, bad).unwrap_err().to_string();
+            assert!(msg.contains("overflows"), "{msg}");
+        }
+        // Just inside the cliff: ~1e18 shots is a representable (if
+        // absurd) budget and must still be accepted.
+        let huge = try_chernoff_shots(1, 1e-9).unwrap();
+        assert!(huge > 0 && huge < usize::MAX, "budget {huge}");
     }
 
     #[test]
@@ -746,9 +840,18 @@ mod tests {
             for seed in 0..8u64 {
                 let psi = awkward_state(obs.num_qubits(), 77 + seed);
                 let total = psi.norm_sqr();
-                let probs = fast.row_probabilities(psi.amplitudes()).unwrap();
+                let amps = psi.amplitudes();
+                let (re, im) = psi.planes();
+                let probs = fast.row_probabilities(&amps).unwrap();
+                // The plane form must reproduce the AoS oracle's buckets
+                // bit for bit.
+                let mut plane_probs = Vec::new();
+                assert!(fast.row_probabilities_planes_into(re, im, &mut plane_probs));
+                for (k, (p, q)) in probs.iter().zip(&plane_probs).enumerate() {
+                    assert_eq!(p.to_bits(), q.to_bits(), "observable {oi} pair {k}");
+                }
                 for (k, (_, projector)) in general.pairs().iter().enumerate() {
-                    let reference = projector.expectation_amps(psi.amplitudes());
+                    let reference = projector.expectation_amps(&amps);
                     assert!(
                         (probs[k] - reference).abs() < 1e-12,
                         "observable {oi} pair {k}: {} vs {reference}",
@@ -757,9 +860,13 @@ mod tests {
                 }
                 for step in 0..32 {
                     let u = (step as f64 + 0.5) / 32.0;
-                    let a = fast.sample_with_draw(u, total, psi.amplitudes());
-                    let b = general.sample_with_draw(u, total, psi.amplitudes());
+                    let a = fast.sample_with_draw(u, total, &amps);
+                    let b = general.sample_with_draw(u, total, &amps);
                     assert_eq!(a.to_bits(), b.to_bits(), "observable {oi} u {u}");
+                    let c = fast.sample_with_draw_planes(u, total, re, im);
+                    let d = general.sample_with_draw_planes(u, total, re, im);
+                    assert_eq!(a.to_bits(), c.to_bits(), "observable {oi} u {u} (planes)");
+                    assert_eq!(b.to_bits(), d.to_bits(), "observable {oi} u {u} (planes)");
                 }
             }
         }

@@ -320,8 +320,8 @@ struct RegroupScratch {
     order: Vec<usize>,
     /// `rows × outcomes` keep flags of the current fork (exact mode).
     keep: Vec<bool>,
-    /// Pooled amplitude blocks.
-    blocks: Vec<Vec<C64>>,
+    /// Pooled amplitude-plane pairs (`re`, `im`).
+    blocks: Vec<(Vec<f64>, Vec<f64>)>,
     /// Pooled pending-product tables.
     pendings: Vec<Vec<Option<[C64; 4]>>>,
     /// Pooled weighted row lists (exact mode).
@@ -342,9 +342,10 @@ struct RegroupScratch {
 const SCRATCH_POOL_CAP: usize = 64;
 
 /// Upper bound on the **amplitudes retained** by a thread's pooled blocks
-/// (`4 Mi` `C64`s = 64 MiB): large-register sweeps still recycle a few
-/// big blocks through their own forks, but a long-lived thread cannot
-/// stay pinned at the footprint of the largest sweep it ever ran.
+/// (`4 Mi` amplitudes = two 32 MiB planes): large-register sweeps still
+/// recycle a few big blocks through their own forks, but a long-lived
+/// thread cannot stay pinned at the footprint of the largest sweep it ever
+/// ran.
 const SCRATCH_POOL_AMPS: usize = 1 << 22;
 
 /// Pushes onto a pool unless it is at [`SCRATCH_POOL_CAP`] (the buffer is
@@ -356,21 +357,21 @@ fn pool_give<T>(pool: &mut Vec<T>, item: T) {
 }
 
 impl RegroupScratch {
-    fn take_block(&mut self) -> Vec<C64> {
-        let block = self.blocks.pop().unwrap_or_default();
-        self.pooled_amps -= block.capacity();
-        block
+    fn take_block(&mut self) -> (Vec<f64>, Vec<f64>) {
+        let (re, im) = self.blocks.pop().unwrap_or_default();
+        self.pooled_amps -= re.capacity().max(im.capacity());
+        (re, im)
     }
 
-    fn give_block(&mut self, mut block: Vec<C64>) {
-        if self.blocks.len() >= SCRATCH_POOL_CAP
-            || self.pooled_amps + block.capacity() > SCRATCH_POOL_AMPS
-        {
+    fn give_block(&mut self, (mut re, mut im): (Vec<f64>, Vec<f64>)) {
+        let amps = re.capacity().max(im.capacity());
+        if self.blocks.len() >= SCRATCH_POOL_CAP || self.pooled_amps + amps > SCRATCH_POOL_AMPS {
             return;
         }
-        block.clear();
-        self.pooled_amps += block.capacity();
-        self.blocks.push(block);
+        re.clear();
+        im.clear();
+        self.pooled_amps += amps;
+        self.blocks.push((re, im));
     }
 
     fn take_pending(&mut self, n_qubits: usize) -> Vec<Option<[C64; 4]>> {
@@ -462,25 +463,31 @@ fn select_branch(u: f64, total: f64, probs: &[f64]) -> Draw {
 /// `(total/p).sqrt()` blow-up (skipped on the slack path, and — like the
 /// serial path — skipped entirely together with the renormalisation when
 /// the drawn probability is zero), then the renormalisation to the parent
-/// norm. The identical `C64` scalar multiplies over the identical full
-/// row and the identical norm fold, so the row carries the serial path's
-/// bits.
-fn rescale_collapsed(row: &mut [C64], d: Draw) {
+/// norm. The identical complex scalar multiplies over the identical full
+/// row ([`StateVector::scale`], transcribed onto the planes) and the
+/// identical lane-split norm fold ([`StateVector::norm_sqr`]), so the row
+/// carries the serial path's bits.
+fn rescale_collapsed(re: &mut [f64], im: &mut [f64], d: Draw) {
     if !d.slack {
         if d.p <= 0.0 {
             return;
         }
-        let s = C64::real((d.total / d.p).sqrt().min(1e150));
-        for a in row.iter_mut() {
-            *a *= s;
-        }
+        scale_planes(re, im, C64::real((d.total / d.p).sqrt().min(1e150)));
     }
-    let norm = row.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+    let norm = crate::lanes::sum_norm_sqr(re, im).sqrt();
     if norm > 0.0 {
-        let s = C64::real(d.total.sqrt() / norm);
-        for a in row.iter_mut() {
-            *a *= s;
-        }
+        scale_planes(re, im, C64::real(d.total.sqrt() / norm));
+    }
+}
+
+/// [`StateVector::scale`] transcribed onto borrowed planes: the full
+/// complex multiply per amplitude — not a componentwise shortcut, whose
+/// signed zeros would differ from the serial path's.
+fn scale_planes(re: &mut [f64], im: &mut [f64], s: C64) {
+    for (ar, ai) in re.iter_mut().zip(im.iter_mut()) {
+        let z = C64::new(*ar, *ai) * s;
+        *ar = z.re;
+        *ai = z.im;
     }
 }
 
@@ -839,7 +846,8 @@ impl ShotEngine {
                             0.0
                         } else {
                             let u = streams[orig].next_uniform();
-                            readout.sample_with_draw(u, total, psi.amplitudes())
+                            let (re, im) = psi.planes();
+                            readout.sample_with_draw_planes(u, total, re, im)
                         }
                     }
                 };
@@ -1007,10 +1015,12 @@ impl ShotEngine {
             &tiles,
             |&(start, rows)| {
                 crate::fault::tile_checkpoint(start / EXACT_TILE);
+                let (re, im) = states.planes();
                 let block = BatchedStates::from_raw(
                     rows,
                     n,
-                    states.amplitudes()[start * dim..(start + rows) * dim].to_vec(),
+                    re[start * dim..(start + rows) * dim].to_vec(),
+                    im[start * dim..(start + rows) * dim].to_vec(),
                 );
                 self.expectation_sweep_tile(block, obs)
             },
@@ -1421,9 +1431,8 @@ impl SampledSweep<'_> {
                             return Err(QdpError::NonFinite { row: ctx.orig, context: "row norms" });
                         }
                         let s = C64::real((expected / total).sqrt());
-                        for a in states.row_mut(r) {
-                            *a *= s;
-                        }
+                        let (row_re, row_im) = states.row_planes_mut(r);
+                        scale_planes(row_re, row_im, s);
                         self.scratch.totals[r] = expected;
                     }
                     HealthPolicy::DegradeToOracle => {
@@ -1439,17 +1448,19 @@ impl SampledSweep<'_> {
                         } else {
                             1.0
                         };
-                        let row = states.row_mut(r);
-                        for a in row.iter_mut() {
-                            *a = C64::ZERO;
-                        }
-                        row[0] = C64::real(norm.sqrt());
+                        let (row_re, row_im) = states.row_planes_mut(r);
+                        row_re.fill(0.0);
+                        row_im.fill(0.0);
+                        row_re[0] = norm.sqrt();
                         self.scratch.totals[r] = norm;
                     }
                 }
             }
         }
-        meas.branch_probabilities_block(n, states.amplitudes(), &mut self.scratch.probs);
+        {
+            let (re, im) = states.planes();
+            meas.branch_probabilities_block(n, re, im, &mut self.scratch.probs);
+        }
         let outcomes = meas.num_outcomes();
         self.scratch.draws.clear();
         for (r, ctx) in rows.iter_mut().enumerate() {
@@ -1474,16 +1485,23 @@ impl SampledSweep<'_> {
                 pool_give(&mut self.scratch.sampled_rows, sub_rows);
                 continue;
             }
-            let mut dst = self.scratch.take_block();
-            meas.collapse_block_into(n, states.amplitudes(), &selected, m, &mut dst);
+            let (mut dst_re, mut dst_im) = self.scratch.take_block();
+            {
+                let (re, im) = states.planes();
+                meas.collapse_block_into(n, re, im, &selected, m, &mut dst_re, &mut dst_im);
+            }
             for (j, &r) in selected.iter().enumerate() {
-                rescale_collapsed(&mut dst[j * dim..(j + 1) * dim], self.scratch.draws[r]);
+                rescale_collapsed(
+                    &mut dst_re[j * dim..(j + 1) * dim],
+                    &mut dst_im[j * dim..(j + 1) * dim],
+                    self.scratch.draws[r],
+                );
             }
             let pending = self.scratch.take_pending(n);
             forks.push((
                 m,
                 Group {
-                    states: BatchedStates::from_raw(selected.len(), n, dst),
+                    states: BatchedStates::from_raw(selected.len(), n, dst_re, dst_im),
                     rows: sub_rows,
                     pending,
                 },
@@ -1648,7 +1666,10 @@ impl ExactSweep<'_> {
         );
         let WeightedGroup { mut states, mut rows, pending } = group;
         let n = states.num_qubits();
-        meas.branch_probabilities_block(n, states.amplitudes(), &mut self.scratch.probs);
+        {
+            let (re, im) = states.planes();
+            meas.branch_probabilities_block(n, re, im, &mut self.scratch.probs);
+        }
         let outcomes = meas.num_outcomes();
         // Health checks piggyback on the probability pass: measurements
         // are trace-complete (`Σm M†mMm = I`), so each row's probability
@@ -1691,9 +1712,8 @@ impl ExactSweep<'_> {
                         // consistent with the repaired amplitudes.
                         let ratio = expected / total;
                         let s = C64::real(ratio.sqrt());
-                        for a in states.row_mut(r) {
-                            *a *= s;
-                        }
+                        let (row_re, row_im) = states.row_planes_mut(r);
+                        scale_planes(row_re, row_im, s);
                         for p in &mut self.scratch.probs[range] {
                             *p *= ratio;
                         }
@@ -1757,13 +1777,16 @@ impl ExactSweep<'_> {
                 pool_give(&mut self.scratch.weighted_rows, sub_rows);
                 continue;
             }
-            let mut dst = self.scratch.take_block();
-            meas.collapse_block_into(n, states.amplitudes(), &selected, m, &mut dst);
+            let (mut dst_re, mut dst_im) = self.scratch.take_block();
+            {
+                let (re, im) = states.planes();
+                meas.collapse_block_into(n, re, im, &selected, m, &mut dst_re, &mut dst_im);
+            }
             let pending = self.scratch.take_pending(n);
             forks.push((
                 m,
                 WeightedGroup {
-                    states: BatchedStates::from_raw(selected.len(), n, dst),
+                    states: BatchedStates::from_raw(selected.len(), n, dst_re, dst_im),
                     rows: sub_rows,
                     pending,
                 },

@@ -1,13 +1,25 @@
 //! Pure quantum states.
 
-use crate::kernels::{apply_matrix, qubit_bit};
-use qdp_linalg::{C64, CVector, Matrix};
+use crate::kernels::{apply_matrix_planes, planes_to_aos, qubit_bit};
+use crate::lanes;
+use qdp_linalg::{C64, Matrix};
 
 /// A pure state `|ψ⟩` of an `n`-qubit register, possibly sub-normalised.
 ///
 /// Sub-normalised states arise as measurement branches: the squared norm is
 /// the probability of the branch (this mirrors the paper's use of *partial*
 /// density operators to carry probabilities through the semantics).
+///
+/// # Storage
+///
+/// Amplitudes are stored **split-plane** (SoA): the real parts in one
+/// contiguous `f64` plane, the imaginary parts in another, instead of an
+/// interleaved `Vec<C64>`. Every hot loop then walks plain contiguous `f64`
+/// streams, which is the shape LLVM's loop vectorizer turns into packed
+/// SIMD code. The layout is invisible at the public seam: gates, norms,
+/// measurements and read-outs behave exactly as before, and
+/// [`amplitudes`](Self::amplitudes) gathers an interleaved copy on demand
+/// for oracle comparisons and interop.
 ///
 /// # Examples
 ///
@@ -24,15 +36,14 @@ use qdp_linalg::{C64, CVector, Matrix};
 #[derive(Clone, Debug, PartialEq)]
 pub struct StateVector {
     n_qubits: usize,
-    amps: Vec<C64>,
+    re: Vec<f64>,
+    im: Vec<f64>,
 }
 
 impl StateVector {
     /// The all-zeros computational basis state `|0…0⟩`.
     pub fn zero_state(n_qubits: usize) -> Self {
-        let mut amps = vec![C64::ZERO; 1 << n_qubits];
-        amps[0] = C64::ONE;
-        StateVector { n_qubits, amps }
+        Self::basis_state(n_qubits, 0)
     }
 
     /// The computational basis state `|k⟩`.
@@ -42,19 +53,33 @@ impl StateVector {
     /// Panics when `k >= 2ⁿ`.
     pub fn basis_state(n_qubits: usize, k: usize) -> Self {
         assert!(k < 1 << n_qubits, "basis index {k} out of range");
-        let mut amps = vec![C64::ZERO; 1 << n_qubits];
-        amps[k] = C64::ONE;
-        StateVector { n_qubits, amps }
+        let mut re = vec![0.0; 1 << n_qubits];
+        let im = vec![0.0; 1 << n_qubits];
+        re[k] = 1.0;
+        StateVector { n_qubits, re, im }
     }
 
-    /// Builds a state from raw amplitudes.
+    /// Builds a state from raw interleaved amplitudes.
     ///
     /// # Panics
     ///
     /// Panics when the length is not a power of two matching `n_qubits`.
     pub fn from_amplitudes(n_qubits: usize, amps: Vec<C64>) -> Self {
         assert_eq!(amps.len(), 1 << n_qubits, "amplitude count must be 2^n");
-        StateVector { n_qubits, amps }
+        let re = amps.iter().map(|a| a.re).collect();
+        let im = amps.iter().map(|a| a.im).collect();
+        StateVector { n_qubits, re, im }
+    }
+
+    /// Builds a state from raw split planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the planes disagree in length or don't hold `2ⁿ` entries.
+    pub fn from_planes(n_qubits: usize, re: Vec<f64>, im: Vec<f64>) -> Self {
+        assert_eq!(re.len(), im.len(), "re/im planes must have equal lengths");
+        assert_eq!(re.len(), 1 << n_qubits, "amplitude count must be 2^n");
+        StateVector { n_qubits, re, im }
     }
 
     /// The basis state `|b₀b₁…⟩` for classical bits (qubit 0 first).
@@ -76,28 +101,47 @@ impl StateVector {
 
     /// Hilbert-space dimension `2ⁿ`.
     pub fn dim(&self) -> usize {
-        self.amps.len()
+        self.re.len()
     }
 
-    /// Borrows the amplitudes.
-    pub fn amplitudes(&self) -> &[C64] {
-        &self.amps
+    /// Gathers the amplitudes into an owned interleaved copy — the interop
+    /// and oracle view. Hot loops should read the split planes via
+    /// [`planes`](Self::planes) instead; every per-state primitive in this
+    /// crate has a plane form precisely so this gather never sits on a hot
+    /// path.
+    pub fn amplitudes(&self) -> Vec<C64> {
+        planes_to_aos(&self.re, &self.im)
     }
 
-    /// Mutably borrows the amplitudes.
-    pub fn amplitudes_mut(&mut self) -> &mut [C64] {
-        &mut self.amps
+    /// Amplitude of basis index `k`.
+    pub fn amplitude(&self, k: usize) -> C64 {
+        C64::new(self.re[k], self.im[k])
+    }
+
+    /// Borrows the split `(re, im)` planes.
+    pub fn planes(&self) -> (&[f64], &[f64]) {
+        (&self.re, &self.im)
+    }
+
+    /// Mutably borrows the split `(re, im)` planes.
+    pub fn planes_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.re, &mut self.im)
     }
 
     /// Squared norm — the total probability carried by this (branch) state.
+    ///
+    /// Summed with the fixed lane-split reduction of [`crate::lanes`]
+    /// (lane = index mod 4, combine `(p0+p1)+(p2+p3)`): bit-identical
+    /// across thread counts and vector widths, and the same order every
+    /// other `|amp|²` reduction in the crate uses.
     pub fn norm_sqr(&self) -> f64 {
-        self.amps.iter().map(|z| z.norm_sqr()).sum()
+        lanes::sum_norm_sqr(&self.re, &self.im)
     }
 
     /// Probability of observing basis index `k` (relative to a normalised
     /// parent state).
     pub fn probability_of(&self, k: usize) -> f64 {
-        self.amps[k].norm_sqr()
+        self.re[k] * self.re[k] + self.im[k] * self.im[k]
     }
 
     /// Applies an arbitrary operator (not necessarily unitary) on `targets`.
@@ -106,7 +150,7 @@ impl StateVector {
     ///
     /// Panics on dimension mismatch or duplicate targets.
     pub fn apply_gate(&mut self, gate: &Matrix, targets: &[usize]) {
-        apply_matrix(&mut self.amps, self.n_qubits, gate, targets);
+        apply_matrix_planes(&mut self.re, &mut self.im, self.n_qubits, gate, targets);
     }
 
     /// Returns a copy with the operator applied.
@@ -118,36 +162,46 @@ impl StateVector {
 
     /// Tensor product `self ⊗ other` (other's qubits appended after).
     pub fn tensor(&self, other: &StateVector) -> StateVector {
-        let v = CVector::new(self.amps.clone()).kron(&CVector::new(other.amps.clone()));
+        let od = other.dim();
+        let mut re = Vec::with_capacity(self.dim() * od);
+        let mut im = Vec::with_capacity(self.dim() * od);
+        for i in 0..self.dim() {
+            let a = self.amplitude(i);
+            for j in 0..od {
+                let z = a * other.amplitude(j);
+                re.push(z.re);
+                im.push(z.im);
+            }
+        }
         StateVector {
             n_qubits: self.n_qubits + other.n_qubits,
-            amps: v.into_inner(),
+            re,
+            im,
         }
     }
 
     /// Inner product `⟨self|other⟩`.
     pub fn inner(&self, other: &StateVector) -> C64 {
         assert_eq!(self.n_qubits, other.n_qubits, "qubit-count mismatch");
-        self.amps
-            .iter()
-            .zip(&other.amps)
-            .fold(C64::ZERO, |acc, (a, b)| acc.mul_add(a.conj(), *b))
+        let mut acc = C64::ZERO;
+        for i in 0..self.dim() {
+            acc = acc.mul_add(self.amplitude(i).conj(), other.amplitude(i));
+        }
+        acc
     }
 
     /// Approximate equality within entry-wise tolerance `tol`.
     pub fn approx_eq(&self, other: &StateVector, tol: f64) -> bool {
         self.n_qubits == other.n_qubits
-            && self
-                .amps
-                .iter()
-                .zip(&other.amps)
-                .all(|(a, b)| a.approx_eq(*b, tol))
+            && (0..self.dim()).all(|i| self.amplitude(i).approx_eq(other.amplitude(i), tol))
     }
 
     /// Scales all amplitudes by `s`.
     pub fn scale(&mut self, s: C64) {
-        for a in &mut self.amps {
-            *a *= s;
+        for (ar, ai) in self.re.iter_mut().zip(self.im.iter_mut()) {
+            let z = C64::new(*ar, *ai) * s;
+            *ar = z.re;
+            *ai = z.im;
         }
     }
 
@@ -158,11 +212,12 @@ impl StateVector {
         let mask = 1usize << qubit_bit(self.n_qubits, q);
         let mut p1 = 0.0;
         let mut p0 = 0.0;
-        for (i, a) in self.amps.iter().enumerate() {
+        for i in 0..self.dim() {
+            let n = self.re[i] * self.re[i] + self.im[i] * self.im[i];
             if i & mask != 0 {
-                p1 += a.norm_sqr();
+                p1 += n;
             } else {
-                p0 += a.norm_sqr();
+                p0 += n;
             }
         }
         let total = p0 + p1;
@@ -249,5 +304,35 @@ mod tests {
         let ip = s.inner(&s);
         assert!((ip.re - s.norm_sqr()).abs() < 1e-14);
         assert!(ip.im.abs() < 1e-14);
+    }
+
+    #[test]
+    fn amplitudes_round_trip_through_planes() {
+        let mut s = StateVector::zero_state(3);
+        s.apply_gate(&Matrix::hadamard(), &[0]);
+        s.apply_gate(&Matrix::cnot(), &[0, 2]);
+        let amps = s.amplitudes();
+        let rebuilt = StateVector::from_amplitudes(3, amps.clone());
+        assert_eq!(rebuilt, s);
+        let (re, im) = s.planes();
+        let by_planes = StateVector::from_planes(3, re.to_vec(), im.to_vec());
+        assert_eq!(by_planes, s);
+        for (k, a) in amps.iter().enumerate() {
+            assert_eq!(s.amplitude(k), *a);
+        }
+    }
+
+    #[test]
+    fn scale_matches_complex_multiply() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_gate(&Matrix::hadamard(), &[0]);
+        let before = s.amplitudes();
+        let f = C64::new(0.6, -0.3);
+        s.scale(f);
+        for (k, b) in before.iter().enumerate() {
+            let expected = *b * f;
+            assert_eq!(s.amplitude(k).re.to_bits(), expected.re.to_bits());
+            assert_eq!(s.amplitude(k).im.to_bits(), expected.im.to_bits());
+        }
     }
 }

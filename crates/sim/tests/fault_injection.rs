@@ -234,7 +234,8 @@ fn degrade_to_oracle_recovers_poisoned_rows_and_preserves_healthy_bits() {
     for (r, (got, want)) in recovered.iter().zip(&clean_rows).enumerate() {
         assert_eq!(got.outcomes, want.outcomes, "row {r}: outcomes diverged");
         let (got, want) = (got.state.as_ref().unwrap(), want.state.as_ref().unwrap());
-        for (i, (a, b)) in got.amplitudes().iter().zip(want.amplitudes()).enumerate() {
+        let (got, want) = (got.amplitudes(), want.amplitudes());
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
             let d = (*a - *b).norm_sqr().sqrt();
             assert!(d < 1e-12, "row {r} amp {i}: {a:?} vs {b:?}");
             if r != 2 {

@@ -1,0 +1,635 @@
+//! Split-plane (SoA) vs interleaved (AoS) layout differential suite — the
+//! re-pinned determinism contract of the PR-7 layout change.
+//!
+//! Every test builds the **same arithmetic twice**: once through the
+//! split-plane production paths (`StateVector` / `BatchedStates` planes,
+//! `*_planes_*` measurement and read-out forms, the batched `ShotEngine`
+//! executors) and once through the retained AoS oracle forms
+//! (`kernels::apply_matrix` on `Vec<C64>`, `branch_probabilities_into`,
+//! `collapse_amps_into`, `expectation_amps`, `sample_with_draw`), then
+//! compares **f64 bit patterns**, not approximate values. Randomized
+//! branching programs (n ≤ 8, `case` forks, `q := |0⟩` resets — the shapes
+//! derivative lowering emits as outcome multisets) run over batches of
+//! 1 / 2 / 16 / 33 rows under forced 1 / 2 / 8 worker threads.
+//!
+//! The AoS replays here deliberately re-transcribe the lane-split
+//! reduction contract (`crates/sim/src/lanes.rs`) and the serial collapse
+//! primitive (`collapse_with_draw`) from scratch instead of calling them,
+//! so a regression in either the plane paths *or* the shared primitives
+//! shows up as a bit mismatch against an independent implementation.
+
+use qdp_linalg::{C64, Matrix};
+use qdp_sim::kernels::apply_matrix;
+use qdp_sim::{
+    BatchedStates, Measurement, Observable, ProjectiveObservable, ShotEngine, ShotSampler,
+    StateVector, TrajProgram, BRANCH_PRUNE,
+};
+use std::sync::Mutex;
+
+/// Serializes the thread-override tests in this binary: `set_max_threads`
+/// requires a quiesced process (see `block_measurement_differential.rs`).
+static THREAD_OVERRIDE: Mutex<()> = Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    THREAD_OVERRIDE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+const BATCH_SIZES: [usize; 4] = [1, 2, 16, 33];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+// ---------------------------------------------------------------------------
+// Deterministic randomness (qdp-sim has no dev-dependency on `rand`).
+// ---------------------------------------------------------------------------
+
+/// Knuth MMIX LCG — the same generator the `lanes` unit tests use.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state
+}
+
+/// Uniform in `[0, 1)` from the top 53 bits.
+fn uniform(state: &mut u64) -> f64 {
+    (lcg(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Uniform in `[-1, 1)`.
+fn signed_unit(state: &mut u64) -> f64 {
+    2.0 * uniform(state) - 1.0
+}
+
+/// A random normalized `n`-qubit state.
+fn random_state(n: usize, rng: &mut u64) -> Vec<C64> {
+    let mut amps: Vec<C64> = (0..1usize << n)
+        .map(|_| C64::new(signed_unit(rng), signed_unit(rng)))
+        .collect();
+    let norm = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+    for a in &mut amps {
+        *a = C64::new(a.re / norm, a.im / norm);
+    }
+    amps
+}
+
+// ---------------------------------------------------------------------------
+// Bit-pattern views.
+// ---------------------------------------------------------------------------
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+fn amp_bits(amps: &[C64]) -> Vec<(u64, u64)> {
+    amps.iter().map(|a| (a.re.to_bits(), a.im.to_bits())).collect()
+}
+
+fn plane_bits(re: &[f64], im: &[f64]) -> Vec<(u64, u64)> {
+    re.iter().zip(im).map(|(r, i)| (r.to_bits(), i.to_bits())).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Independent AoS transcriptions of the shared primitives.
+// ---------------------------------------------------------------------------
+
+/// The lane-split norm reduction (`lanes::sum_norm_sqr`) re-transcribed on
+/// interleaved amplitudes: lane `i % 4`, per-element fold, combine
+/// `(p0 + p1) + (p2 + p3)`.
+fn norm_sqr_aos(amps: &[C64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    for (i, a) in amps.iter().enumerate() {
+        acc[i % 4] += a.re * a.re + a.im * a.im;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// `StateVector::scale` on interleaved amplitudes — the full complex
+/// multiply per element, as the plane path transcribes it.
+fn scale_aos(amps: &mut [C64], s: C64) {
+    for a in amps.iter_mut() {
+        *a *= s;
+    }
+}
+
+/// `collapse_with_draw` re-transcribed on interleaved amplitudes through
+/// the AoS oracle forms: identical selection walk, identical rescale and
+/// renormalization arithmetic, identical slack fallback.
+fn collapse_with_draw_aos(
+    u: f64,
+    n: usize,
+    amps: &[C64],
+    meas: &Measurement,
+) -> (usize, Vec<C64>) {
+    let total = norm_sqr_aos(amps);
+    assert!(total > 1e-300, "cannot measure a zero-norm state");
+    let probs = meas.branch_probabilities_amps(n, amps);
+    let mut out = Vec::new();
+    let mut r: f64 = u * total;
+    for (outcome, &p) in probs.iter().enumerate() {
+        r -= p;
+        if r <= 0.0 {
+            meas.collapse_amps_into(n, amps, outcome, &mut out);
+            if p > 0.0 {
+                scale_aos(&mut out, C64::real((total / p).sqrt().min(1e150)));
+                let norm = norm_sqr_aos(&out).sqrt();
+                if norm > 0.0 {
+                    scale_aos(&mut out, C64::real(total.sqrt() / norm));
+                }
+            }
+            return (outcome, out);
+        }
+    }
+    let outcome = (0..probs.len())
+        .rev()
+        .find(|&m| probs[m] > 0.0)
+        .expect("no branch has support");
+    meas.collapse_amps_into(n, amps, outcome, &mut out);
+    let norm = norm_sqr_aos(&out).sqrt();
+    if norm > 0.0 {
+        scale_aos(&mut out, C64::real(total.sqrt() / norm));
+    }
+    (outcome, out)
+}
+
+// ---------------------------------------------------------------------------
+// Random branching programs with an AoS mirror for independent replay.
+// ---------------------------------------------------------------------------
+
+/// One gate of a mirror program.
+#[derive(Clone)]
+struct MirrorGate {
+    matrix: Matrix,
+    targets: Vec<usize>,
+}
+
+/// The mirror of a `TrajProgram`: the same ops, held where the test can
+/// walk them (arm bodies are flat gate lists, so replay needs no
+/// continuation stack).
+enum MirrorOp {
+    Gate(MirrorGate),
+    /// `q := |0⟩`: measure computationally, flip with `X` on outcome 1.
+    Init(usize),
+    Case {
+        meas: Measurement,
+        arms: Vec<Vec<MirrorGate>>,
+    },
+}
+
+fn random_gate(n: usize, rng: &mut u64) -> MirrorGate {
+    let q = (lcg(rng) as usize) % n;
+    let theta = std::f64::consts::PI * signed_unit(rng);
+    match lcg(rng) % 6 {
+        0 => MirrorGate { matrix: Matrix::hadamard(), targets: vec![q] },
+        1 => MirrorGate { matrix: Matrix::rotation_x(theta), targets: vec![q] },
+        2 => MirrorGate { matrix: Matrix::rotation_y(theta), targets: vec![q] },
+        3 => MirrorGate { matrix: Matrix::rotation_z(theta), targets: vec![q] },
+        4 if n >= 2 => {
+            let mut c = (lcg(rng) as usize) % n;
+            if c == q {
+                c = (c + 1) % n;
+            }
+            MirrorGate { matrix: Matrix::cnot(), targets: vec![c, q] }
+        }
+        _ => MirrorGate { matrix: Matrix::pauli_x(), targets: vec![q] },
+    }
+}
+
+/// A random 1-qubit measurement: computational, or a rotated two-outcome
+/// general measurement `Mk = Pk · R†` (complete: `Σ Mk†Mk = R·I·R† = I`),
+/// which forces the general operator-application probability path.
+fn random_meas(n: usize, rng: &mut u64) -> Measurement {
+    let q = (lcg(rng) as usize) % n;
+    if lcg(rng).is_multiple_of(2) {
+        Measurement::computational(vec![q])
+    } else {
+        let r = Matrix::rotation_y(std::f64::consts::PI * signed_unit(rng));
+        let rd = r.dagger();
+        let m0 = Matrix::basis_projector(2, 0).mul(&rd);
+        let m1 = Matrix::basis_projector(2, 1).mul(&rd);
+        Measurement::two_outcome(m0, m1, vec![q])
+    }
+}
+
+/// Builds a random branching program and its mirror: gates, `case` forks
+/// with per-arm gate bodies, and `q := |0⟩` resets — the outcome-multiset
+/// shapes the derivative lowering produces.
+fn random_program(n: usize, len: usize, rng: &mut u64) -> (TrajProgram, Vec<MirrorOp>) {
+    let mut prog = TrajProgram::new();
+    let mut mirror = Vec::new();
+    for _ in 0..len {
+        match lcg(rng) % 8 {
+            0..=4 => {
+                let g = random_gate(n, rng);
+                prog.push_gate(g.matrix.clone(), g.targets.clone());
+                mirror.push(MirrorOp::Gate(g));
+            }
+            5 => {
+                let q = (lcg(rng) as usize) % n;
+                prog.push_init(q);
+                mirror.push(MirrorOp::Init(q));
+            }
+            _ => {
+                let meas = random_meas(n, rng);
+                let arms: Vec<Vec<MirrorGate>> = (0..meas.num_outcomes())
+                    .map(|_| {
+                        (0..lcg(rng) % 3).map(|_| random_gate(n, rng)).collect()
+                    })
+                    .collect();
+                let traj_arms: Vec<TrajProgram> = arms
+                    .iter()
+                    .map(|body| {
+                        let mut arm = TrajProgram::new();
+                        for g in body {
+                            arm.push_gate(g.matrix.clone(), g.targets.clone());
+                        }
+                        arm
+                    })
+                    .collect();
+                prog.push_case(meas.clone(), traj_arms);
+                mirror.push(MirrorOp::Case { meas, arms });
+            }
+        }
+    }
+    (prog, mirror)
+}
+
+/// Serial AoS replay of one sampled trajectory: `kernels::apply_matrix`
+/// for every gate, [`collapse_with_draw_aos`] for every measurement,
+/// drawing from the same per-row stream the engine uses.
+fn replay_sampled_aos(
+    n: usize,
+    input: &[C64],
+    mirror: &[MirrorOp],
+    sampler: &mut ShotSampler,
+) -> (Vec<C64>, Vec<usize>) {
+    let mut amps = input.to_vec();
+    let mut outcomes = Vec::new();
+    for op in mirror {
+        match op {
+            MirrorOp::Gate(g) => apply_matrix(&mut amps, n, &g.matrix, &g.targets),
+            MirrorOp::Init(q) => {
+                let meas = Measurement::computational(vec![*q]);
+                let (outcome, collapsed) =
+                    collapse_with_draw_aos(sampler.next_uniform(), n, &amps, &meas);
+                amps = collapsed;
+                outcomes.push(outcome);
+                if outcome == 1 {
+                    apply_matrix(&mut amps, n, &Matrix::pauli_x(), &[*q]);
+                }
+            }
+            MirrorOp::Case { meas, arms } => {
+                let (outcome, collapsed) =
+                    collapse_with_draw_aos(sampler.next_uniform(), n, &amps, meas);
+                amps = collapsed;
+                outcomes.push(outcome);
+                for g in &arms[outcome] {
+                    apply_matrix(&mut amps, n, &g.matrix, &g.targets);
+                }
+            }
+        }
+    }
+    (amps, outcomes)
+}
+
+/// Serial AoS branch enumeration of the **exact** weighted sweep: every
+/// measurement forks into all outcomes with the weights riding in the
+/// (un-rescaled) collapsed amplitudes, branches at weight ≤
+/// [`BRANCH_PRUNE`] are dropped, and each surviving leaf contributes
+/// `⟨ψleaf|O|ψleaf⟩` through the AoS expectation oracle.
+fn enumerate_exact_aos(n: usize, amps: &[C64], mirror: &[MirrorOp], obs: &Observable) -> f64 {
+    fn walk(n: usize, amps: Vec<C64>, ops: &[MirrorOp], obs: &Observable) -> f64 {
+        match ops.first() {
+            None => obs.expectation_amps(&amps),
+            Some(MirrorOp::Gate(g)) => {
+                let mut amps = amps;
+                apply_matrix(&mut amps, n, &g.matrix, &g.targets);
+                walk(n, amps, &ops[1..], obs)
+            }
+            Some(MirrorOp::Init(q)) => {
+                let meas = Measurement::computational(vec![*q]);
+                let mut sum = 0.0;
+                for outcome in 0..meas.num_outcomes() {
+                    let mut branch = Vec::new();
+                    meas.collapse_amps_into(n, &amps, outcome, &mut branch);
+                    if norm_sqr_aos(&branch) <= BRANCH_PRUNE {
+                        continue;
+                    }
+                    if outcome == 1 {
+                        apply_matrix(&mut branch, n, &Matrix::pauli_x(), &[*q]);
+                    }
+                    sum += walk(n, branch, &ops[1..], obs);
+                }
+                sum
+            }
+            Some(MirrorOp::Case { meas, arms }) => {
+                let mut sum = 0.0;
+                for (outcome, arm) in arms.iter().enumerate() {
+                    let mut branch = Vec::new();
+                    meas.collapse_amps_into(n, &amps, outcome, &mut branch);
+                    if norm_sqr_aos(&branch) <= BRANCH_PRUNE {
+                        continue;
+                    }
+                    for g in arm {
+                        apply_matrix(&mut branch, n, &g.matrix, &g.targets);
+                    }
+                    sum += walk(n, branch, &ops[1..], obs);
+                }
+                sum
+            }
+        }
+    }
+    walk(n, amps.to_vec(), mirror, obs)
+}
+
+// ---------------------------------------------------------------------------
+// 1. Per-row measurement paths: plane forms vs AoS oracle forms, bitwise.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn per_row_measurement_paths_match_aos_oracle_bitwise() {
+    let mut rng = 0x1517_u64;
+    for n in [1usize, 2, 4, 5, 8] {
+        for case in 0..4 {
+            let amps = random_state(n, &mut rng);
+            let psi = StateVector::from_amplitudes(n, amps.clone());
+            let (re, im) = psi.planes();
+
+            let mut measurements = vec![Measurement::computational(vec![
+                (lcg(&mut rng) as usize) % n,
+            ])];
+            if n >= 2 {
+                let q0 = (lcg(&mut rng) as usize) % n;
+                let q1 = (q0 + 1 + (lcg(&mut rng) as usize) % (n - 1)) % n;
+                measurements.push(Measurement::computational(vec![q0, q1]));
+            }
+            measurements.push(random_meas(n, &mut rng));
+
+            for meas in &measurements {
+                // Probabilities: pure / planes-into vs the AoS oracle forms.
+                let p_pure = meas.branch_probabilities_pure(&psi);
+                let p_amps = meas.branch_probabilities_amps(n, &amps);
+                assert_eq!(bits(&p_pure), bits(&p_amps), "n={n} case={case}");
+
+                let mut p_planes = Vec::new();
+                meas.branch_probabilities_planes_into(n, re, im, &mut p_planes);
+                let mut p_aos = Vec::new();
+                meas.branch_probabilities_into(n, &amps, &mut p_aos);
+                assert_eq!(bits(&p_planes), bits(&p_aos), "n={n} case={case}");
+
+                // Collapse: pure / planes-into vs the AoS oracle form.
+                for outcome in 0..meas.num_outcomes() {
+                    let collapsed = meas.collapse_pure(&psi, outcome);
+                    let (cre, cim) = collapsed.planes();
+
+                    let mut aos = Vec::new();
+                    meas.collapse_amps_into(n, &amps, outcome, &mut aos);
+                    assert_eq!(
+                        plane_bits(cre, cim),
+                        amp_bits(&aos),
+                        "collapse n={n} case={case} outcome={outcome}"
+                    );
+
+                    let (mut pre, mut pim) = (Vec::new(), Vec::new());
+                    meas.collapse_planes_into(n, re, im, outcome, &mut pre, &mut pim);
+                    assert_eq!(
+                        plane_bits(&pre, &pim),
+                        amp_bits(&aos),
+                        "collapse_planes n={n} case={case} outcome={outcome}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Expectations: plane form vs AoS oracle form, bitwise.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn expectation_planes_matches_aos_oracle_bitwise() {
+    let mut rng = 0x2329_u64;
+    for n in [1usize, 2, 4, 5, 8] {
+        let q = (lcg(&mut rng) as usize) % n;
+        let r = Matrix::rotation_y(std::f64::consts::PI * signed_unit(&mut rng));
+        let rotated_z = r.mul(&Matrix::pauli_z()).mul(&r.dagger());
+        let observables = [
+            Observable::pauli_z(n, q),
+            Observable::projector_one(n, q),
+            Observable::new(n, vec![q], rotated_z),
+        ];
+        for case in 0..4 {
+            let amps = random_state(n, &mut rng);
+            let psi = StateVector::from_amplitudes(n, amps.clone());
+            let (re, im) = psi.planes();
+            for obs in &observables {
+                let via_pure = obs.expectation_pure(&psi);
+                let via_planes = obs.expectation_planes(re, im);
+                let via_amps = obs.expectation_amps(&amps);
+                assert_eq!(via_pure.to_bits(), via_amps.to_bits(), "n={n} case={case}");
+                assert_eq!(via_planes.to_bits(), via_amps.to_bits(), "n={n} case={case}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Projective read-out: plane probability/sampling paths vs AoS, bitwise.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn readout_probabilities_and_draws_match_aos_bitwise() {
+    let mut rng = 0x3147_u64;
+    for n in [2usize, 4, 8] {
+        let q = (lcg(&mut rng) as usize) % n;
+        for obs in [Observable::pauli_z(n, q), Observable::projector_one(n, q)] {
+            // `new` takes the diagonal fast path; `general` the reference
+            // expectation path — both must agree across layouts.
+            for readout in [ProjectiveObservable::new(&obs), ProjectiveObservable::general(&obs)] {
+                let amps = random_state(n, &mut rng);
+                let psi = StateVector::from_amplitudes(n, amps.clone());
+                let (re, im) = psi.planes();
+
+                let mut p_aos = Vec::new();
+                readout.row_probabilities_into(&amps, &mut p_aos);
+                let mut p_planes = Vec::new();
+                readout.row_probabilities_planes_into(re, im, &mut p_planes);
+                assert_eq!(bits(&p_planes), bits(&p_aos), "n={n} q={q}");
+
+                let total = norm_sqr_aos(&amps);
+                assert_eq!(total.to_bits(), psi.norm_sqr().to_bits(), "n={n} q={q}");
+                for step in 0..=20 {
+                    let u = step as f64 / 20.0;
+                    let via_aos = readout.sample_with_draw(u, total, &amps);
+                    let via_planes = readout.sample_with_draw_planes(u, total, re, im);
+                    assert_eq!(
+                        via_planes.to_bits(),
+                        via_aos.to_bits(),
+                        "n={n} q={q} u={u}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Exact weighted sweep: thread-count and batch-composition invariance
+//    (bitwise), and agreement with independent per-row AoS enumeration.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn exact_sweep_invariant_across_threads_and_batches_and_matches_aos_enumeration() {
+    let _guard = serialized();
+    let mut rng = 0x4717_u64;
+    for (n, len) in [(2usize, 6usize), (4, 8), (5, 8), (8, 6)] {
+        let (prog, mirror) = random_program(n, len, &mut rng);
+        let engine = ShotEngine::new(prog);
+        let obs = Observable::pauli_z(n, (lcg(&mut rng) as usize) % n);
+
+        let rows: Vec<Vec<C64>> = (0..*BATCH_SIZES.iter().max().expect("non-empty"))
+            .map(|_| random_state(n, &mut rng))
+            .collect();
+
+        // Pin from the largest batch so every smaller batch is a prefix.
+        let mut pinned: Option<Vec<u64>> = None;
+        for &batch in BATCH_SIZES.iter().rev() {
+            let states: Vec<StateVector> = rows[..batch]
+                .iter()
+                .map(|amps| StateVector::from_amplitudes(n, amps.clone()))
+                .collect();
+            for &threads in &THREAD_COUNTS {
+                qdp_par::set_max_threads(threads);
+                let out = engine.expectation_sweep(BatchedStates::from_states(&states), &obs);
+                qdp_par::set_max_threads(0);
+                assert_eq!(out.len(), batch);
+                // Row r's bits must not depend on thread count or on which
+                // batch it rides in.
+                let out_bits = bits(&out);
+                match &pinned {
+                    Some(first) => assert_eq!(
+                        out_bits,
+                        first[..batch],
+                        "n={n} batch={batch} threads={threads}"
+                    ),
+                    None => pinned = Some(out_bits.clone()),
+                }
+            }
+        }
+
+        // Independent per-row AoS enumeration agrees to well below 1e-12
+        // (the sweep fuses 1q gates, which only moves rounding).
+        let pinned = pinned.expect("at least one batch ran");
+        for (r, amps) in rows.iter().enumerate() {
+            let reference = enumerate_exact_aos(n, amps, &mirror, &obs);
+            let got = f64::from_bits(pinned[r]);
+            assert!(
+                (got - reference).abs() <= 1e-12,
+                "n={n} row={r}: sweep {got} vs AoS enumeration {reference}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 5. Sampled batched executor vs fully serial AoS replay, bitwise.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sampled_run_matches_serial_aos_replay_bitwise() {
+    let _guard = serialized();
+    let mut rng = 0x5923_u64;
+    for (n, len, seed) in [(2usize, 6usize, 11u64), (4, 8, 13), (5, 8, 17), (8, 6, 19)] {
+        let (prog, mirror) = random_program(n, len, &mut rng);
+        let engine = ShotEngine::new(prog);
+
+        let rows: Vec<Vec<C64>> = (0..*BATCH_SIZES.iter().max().expect("non-empty"))
+            .map(|_| random_state(n, &mut rng))
+            .collect();
+
+        for &batch in &BATCH_SIZES {
+            let states: Vec<StateVector> = rows[..batch]
+                .iter()
+                .map(|amps| StateVector::from_amplitudes(n, amps.clone()))
+                .collect();
+            for &threads in &THREAD_COUNTS {
+                qdp_par::set_max_threads(threads);
+                let mut samplers: Vec<ShotSampler> =
+                    (0..batch).map(|r| ShotSampler::derived(seed, r as u64)).collect();
+                let out =
+                    engine.run(BatchedStates::from_states(&states), &mut samplers);
+                qdp_par::set_max_threads(0);
+                assert_eq!(out.len(), batch);
+
+                for (r, row) in out.iter().enumerate() {
+                    let mut replay_sampler = ShotSampler::derived(seed, r as u64);
+                    let (want_amps, want_outcomes) =
+                        replay_sampled_aos(n, &rows[r], &mirror, &mut replay_sampler);
+                    assert_eq!(
+                        row.outcomes, want_outcomes,
+                        "n={n} batch={batch} threads={threads} row={r}"
+                    );
+                    let state = row
+                        .state
+                        .as_ref()
+                        .expect("no aborts in generated programs");
+                    let (sre, sim) = state.planes();
+                    assert_eq!(
+                        plane_bits(sre, sim),
+                        amp_bits(&want_amps),
+                        "n={n} batch={batch} threads={threads} row={r}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 6. Signed zeros: the projector collapse writes `re·0.0` / `im·0.0` into
+//    non-members, so negative components leave −0.0 — identical bits in
+//    both layouts.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn collapse_preserves_signed_zero_bits_across_layouts() {
+    let n = 2;
+    let amps = vec![
+        C64::new(-0.5, 0.5),
+        C64::new(0.5, -0.5),
+        C64::new(-0.5, -0.5),
+        C64::new(0.5, 0.5),
+    ];
+    let psi = StateVector::from_amplitudes(n, amps.clone());
+    let meas = Measurement::computational(vec![0]);
+
+    for outcome in 0..2 {
+        let collapsed = meas.collapse_pure(&psi, outcome);
+        let mut aos = Vec::new();
+        meas.collapse_amps_into(n, &amps, outcome, &mut aos);
+
+        let (cre, cim) = collapsed.planes();
+        assert_eq!(plane_bits(cre, cim), amp_bits(&aos), "outcome={outcome}");
+
+        // Each outcome zeroes two amplitudes with a negative component:
+        // the planes must carry actual −0.0 bits, not +0.0.
+        let neg_zeros = cre
+            .iter()
+            .chain(cim.iter())
+            .filter(|x| **x == 0.0 && x.is_sign_negative())
+            .count();
+        assert!(
+            neg_zeros >= 2,
+            "outcome={outcome}: expected −0.0 non-members, planes {cre:?} / {cim:?}"
+        );
+
+        // And a full draw-collapse round-trip (rescale included) keeps the
+        // layouts bit-identical on this signed-zero-heavy state.
+        let (sel_plane, state) = qdp_sim::collapse_with_draw(0.3, &psi, &meas);
+        let (sel_aos, replay) = collapse_with_draw_aos(0.3, n, &amps, &meas);
+        assert_eq!(sel_plane, sel_aos);
+        let (rre, rim) = state.planes();
+        assert_eq!(plane_bits(rre, rim), amp_bits(&replay));
+    }
+}

@@ -35,4 +35,4 @@ pub mod train;
 
 pub use circuits::{p1, p2, q_block};
 pub use families::{Control, Family, InstanceConfig};
-pub use train::{Checkpoint, ShotNoise, Trainer};
+pub use train::{Checkpoint, CheckpointError, ShotNoise, Trainer};

@@ -75,6 +75,58 @@ pub struct Checkpoint {
     pub shot_noise: Option<ShotNoise>,
 }
 
+/// A structured [`Checkpoint::deserialize`] failure. Restoring is
+/// all-or-nothing: any of these means nothing was parsed into a trainer,
+/// so a corrupt or truncated file can never silently restore a partial —
+/// or bit-garbled — training position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The input leads with a `qdp-checkpoint` header of a version this
+    /// build does not read — a real checkpoint from a different release,
+    /// not line noise.
+    VersionMismatch {
+        /// The header line as found.
+        found: String,
+    },
+    /// The input does not lead with a checkpoint header at all (`None` =
+    /// empty input).
+    BadHeader {
+        /// The first line as found.
+        found: Option<String>,
+    },
+    /// The required `epoch` line never appeared — the classic signature
+    /// of a file truncated near its start.
+    MissingEpoch,
+    /// A body line failed to parse; `what` names the defect.
+    MalformedLine {
+        /// The offending line.
+        line: String,
+        /// What was wrong with it.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::VersionMismatch { found } => {
+                write!(f, "unsupported checkpoint version: {found:?} (this build reads v1)")
+            }
+            CheckpointError::BadHeader { found } => {
+                write!(f, "bad checkpoint header: {found:?}")
+            }
+            CheckpointError::MissingEpoch => {
+                write!(f, "checkpoint is missing the epoch line (truncated file?)")
+            }
+            CheckpointError::MalformedLine { line, what } => {
+                write!(f, "malformed checkpoint line {line:?}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
 impl Checkpoint {
     /// Renders the checkpoint as a line-oriented text block (`f64`s as
     /// hex bit patterns, so deserialization is bit-exact).
@@ -97,13 +149,28 @@ impl Checkpoint {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first malformed line.
-    pub fn deserialize(text: &str) -> Result<Self, String> {
+    /// Returns a typed [`CheckpointError`] on the first defect: an
+    /// unsupported header version, a missing epoch, or a malformed line.
+    /// Parameter payloads must be **exactly 16 hex digits** — the width
+    /// `serialize` writes for an `f64`'s bits. A bare `from_str_radix`
+    /// would happily accept a truncated payload (`"3ff"` parses to a tiny
+    /// garbage double) or a `+` sign prefix, silently restoring corrupted
+    /// values; the width check turns every such truncation into an error.
+    pub fn deserialize(text: &str) -> Result<Self, CheckpointError> {
         let mut lines = text.lines();
         match lines.next() {
             Some("qdp-checkpoint v1") => {}
-            other => return Err(format!("bad checkpoint header: {other:?}")),
+            Some(other) if other.starts_with("qdp-checkpoint ") => {
+                return Err(CheckpointError::VersionMismatch { found: other.to_string() });
+            }
+            other => {
+                return Err(CheckpointError::BadHeader { found: other.map(str::to_string) });
+            }
         }
+        let malformed = |line: &str, what: &'static str| CheckpointError::MalformedLine {
+            line: line.to_string(),
+            what,
+        };
         let mut epoch = None;
         let mut shot_noise = None;
         let mut params = BTreeMap::new();
@@ -116,12 +183,14 @@ impl Checkpoint {
                 ["epoch", e] => {
                     epoch = Some(
                         e.parse::<u64>()
-                            .map_err(|_| format!("bad epoch: {line:?}"))?,
+                            .map_err(|_| malformed(line, "epoch must be a decimal u64"))?,
                     );
                 }
                 ["shots", v, g, s] => {
-                    let parse =
-                        |x: &str| x.parse::<u64>().map_err(|_| format!("bad shots line: {line:?}"));
+                    let parse = |x: &str| {
+                        x.parse::<u64>()
+                            .map_err(|_| malformed(line, "shots fields must be decimal u64s"))
+                    };
                     shot_noise = Some(ShotNoise {
                         value_shots: parse(v)? as usize,
                         gradient_shots: parse(g)? as usize,
@@ -129,15 +198,21 @@ impl Checkpoint {
                     });
                 }
                 ["param", name, bits] => {
+                    if bits.len() != 16 || !bits.bytes().all(|b| b.is_ascii_hexdigit()) {
+                        return Err(malformed(
+                            line,
+                            "param payload must be exactly 16 hex digits",
+                        ));
+                    }
                     let bits = u64::from_str_radix(bits, 16)
-                        .map_err(|_| format!("bad param bits: {line:?}"))?;
+                        .map_err(|_| malformed(line, "param payload must be exactly 16 hex digits"))?;
                     params.insert(name.to_string(), f64::from_bits(bits));
                 }
-                _ => return Err(format!("unrecognised checkpoint line: {line:?}")),
+                _ => return Err(malformed(line, "unrecognised checkpoint line")),
             }
         }
         Ok(Checkpoint {
-            epoch: epoch.ok_or("checkpoint is missing the epoch line")?,
+            epoch: epoch.ok_or(CheckpointError::MissingEpoch)?,
             params,
             shot_noise,
         })
@@ -663,6 +738,82 @@ mod tests {
         assert!(
             Checkpoint::deserialize("qdp-checkpoint v1\nepoch 1\nmystery line\n").is_err()
         );
+    }
+
+    #[test]
+    fn checkpoint_deserialize_rejects_corrupt_payloads_with_typed_errors() {
+        // Truncated or padded hex payloads once slipped through
+        // `from_str_radix` and restored a bit-garbled f64; each must now
+        // surface as a typed MalformedLine, never a silent partial restore.
+        let corrupt = [
+            "param t0 3ff",               // truncated payload
+            "param t0 3ff00000000000000", // 17 digits
+            "param t0 +ff0000000000000",  // sign prefix, 16 bytes
+            "param t0 3ff000000000000g",  // non-hex digit
+        ];
+        for line in corrupt {
+            let text = format!("qdp-checkpoint v1\nepoch 1\n{line}\n");
+            match Checkpoint::deserialize(&text) {
+                Err(CheckpointError::MalformedLine { what, .. }) => {
+                    assert!(what.contains("16 hex"), "{line}: {what}")
+                }
+                other => panic!("{line}: expected MalformedLine, got {other:?}"),
+            }
+        }
+        // A checkpoint from a future format version is told apart from
+        // line noise.
+        assert_eq!(
+            Checkpoint::deserialize("qdp-checkpoint v2\nepoch 1\n"),
+            Err(CheckpointError::VersionMismatch {
+                found: "qdp-checkpoint v2".to_string()
+            })
+        );
+        assert_eq!(
+            Checkpoint::deserialize(""),
+            Err(CheckpointError::BadHeader { found: None })
+        );
+        assert_eq!(
+            Checkpoint::deserialize("qdp-checkpoint v1\n"),
+            Err(CheckpointError::MissingEpoch)
+        );
+    }
+
+    #[test]
+    fn checkpoint_prefix_truncations_never_restore_garbage() {
+        // Every byte-prefix of a real serialized checkpoint either errors
+        // or parses to a checkpoint whose surviving params are bit-exact
+        // copies of the originals — a torn write can lose trailing lines,
+        // but it can never garble a value that does restore.
+        let full = Checkpoint {
+            epoch: 12,
+            params: [("alpha".to_string(), -0.75), ("beta".to_string(), 1e-12)]
+                .into_iter()
+                .collect(),
+            shot_noise: Some(ShotNoise {
+                value_shots: 64,
+                gradient_shots: 256,
+                seed: 9,
+            }),
+        };
+        let text = full.serialize();
+        for cut in 0..text.len() {
+            let prefix = &text[..cut];
+            if let Ok(partial) = Checkpoint::deserialize(prefix) {
+                // A cut inside the decimal epoch line can shorten the
+                // number itself — inherent to the text format; the
+                // hardening target is the hex f64 payloads below.
+                if prefix.ends_with('\n') {
+                    assert_eq!(partial.epoch, full.epoch, "prefix of {cut} bytes");
+                }
+                for (name, value) in &partial.params {
+                    assert_eq!(
+                        value.to_bits(),
+                        full.params[name].to_bits(),
+                        "prefix of {cut} bytes: param {name} restored garbled"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
