@@ -37,9 +37,10 @@ fn bench_measurement_sweep(c: &mut Criterion) {
         .iter()
         .map(|name| engine.differentiated(name).expect("cached artifact"))
         .collect();
+    let skeletons: Vec<_> = diffs.iter().map(|d| d.skeleton()).collect();
     let mut resolved = Vec::new();
-    for diff in &diffs {
-        let lowered = diff.lowered();
+    for skeleton in &skeletons {
+        let lowered = skeleton.lowered();
         let slots = lowered.slot_values(&params);
         resolved.extend(lowered.programs().iter().map(|p| p.resolve(&slots)));
     }

@@ -40,7 +40,14 @@
 //!    collapse pass per group per fork) vs the retained per-row
 //!    measurement path (`ResolvedProgram::expectation_pure`, one
 //!    measurement pass per row per fork), plus the same multiset sampled
-//!    at a 1024-shot budget (batched sweeps vs the serial per-shot loop).
+//!    at a 1024-shot budget (batched sweeps vs the serial per-shot loop),
+//!    and
+//! 7. `compile_cache` — the compile-once pipeline on the full 36-parameter
+//!    `P2` gradient: cold per-call recompilation (fresh
+//!    `LoweredSet::lower` of all 36 gadget multisets on top of the
+//!    evaluation) vs the warm interned path, plus the `±π/2` shift rule on
+//!    the **single** interned forward skeleton — whose compile count is
+//!    pinned in-process to exactly one lowered program.
 //!
 //! Run with `scripts/bench_sim.sh` or
 //! `cargo run --release -p qdp-bench --bin bench_sim [output-path]`.
@@ -373,9 +380,10 @@ fn main() {
         .iter()
         .map(|name| p2_engine.differentiated(name).expect("cached artifact"))
         .collect();
+    let p2_skeletons: Vec<_> = p2_diffs.iter().map(|d| d.skeleton()).collect();
     let mut resolved = Vec::new();
-    for diff in &p2_diffs {
-        let lowered = diff.lowered();
+    for skeleton in &p2_skeletons {
+        let lowered = skeleton.lowered();
         let slots = lowered.slot_values(&p2_params);
         resolved.extend(lowered.programs().iter().map(|p| p.resolve(&slots)));
     }
@@ -445,6 +453,51 @@ fn main() {
         std::hint::black_box(sampled_block());
     });
 
+    // --- 7. compile_cache: the 36-param P2 gradient, cold vs warm. --------
+    // Cold = what every call paid in the per-entry-point world: freshly
+    // lowering all 36 gadget multisets on top of the evaluation. Warm =
+    // the interned path (`gradient_pure` on the process-wide cache). The
+    // shift rule collapses the same gradient onto ONE lowered skeleton
+    // evaluated at 72 shifted valuations — its compile count is pinned
+    // here, in-process, as the acceptance check of the compile-once path.
+    let compile_psi = &p2_inputs[0];
+    let lower_36_ns = time_ns(|| {
+        for diff in &p2_diffs {
+            std::hint::black_box(qdp_ad::LoweredSet::lower(
+                diff.compiled(),
+                diff.ext_register(),
+            ));
+        }
+    });
+
+    // P2 forward program's process-wide first touch happens right here, on
+    // this thread, so the thread-local lowering counter delta is exact.
+    let lowers_before_shift = qdp_ad::lower_invocations();
+    let shift_grad = p2_engine.gradient_pure_shift(&p2_params, &obs, compile_psi);
+    let shift_lowered_programs = qdp_ad::lower_invocations() - lowers_before_shift;
+    assert_eq!(
+        shift_lowered_programs, 1,
+        "the 36-param shift gradient must lower exactly one program skeleton"
+    );
+    let gadget_grad = p2_engine.gradient_pure(&p2_params, &obs, compile_psi);
+    for (name, v) in &shift_grad {
+        assert!(
+            (v - gadget_grad[name]).abs() < 1e-8,
+            "shift-rule gradient diverged on {name}: {v} vs {}",
+            gadget_grad[name]
+        );
+    }
+
+    let grad_warm_ns = time_ns(|| {
+        std::hint::black_box(p2_engine.gradient_pure(&p2_params, &obs, compile_psi));
+    });
+    let grad_shift_ns = time_ns(|| {
+        std::hint::black_box(p2_engine.gradient_pure_shift(&p2_params, &obs, compile_psi));
+    });
+    let grad_cold_ns = grad_warm_ns + lower_36_ns;
+    let warm_speedup = grad_cold_ns / grad_warm_ns;
+    let shift_speedup = grad_warm_ns / grad_shift_ns;
+
     let gate_speedup = gate_ref_ns / gate_fast_ns;
     let grad_speedup = grad_ref_ns / grad_fast_ns;
     let batch_speedup = batch_serial_ns / batch_fast_ns;
@@ -466,7 +519,7 @@ fn main() {
     let meas_micro_speedup = pr6_meas_micro_total_ns / meas_micro_total_ns;
 
     let json = format!(
-        "{{\n  \"bench\": \"sim\",\n  \"threads\": {},\n  \"gate_apply\": {{\n    \"workload\": \"16x10q batched seam, L2-resident, one gate per dispatch class (H dense-real, RX dense-complex, RZ diagonal, CNOT block-diagonal)\",\n    \"gate_h_ns\": {gate_h_ns:.1},\n    \"gate_rx_ns\": {gate_rx_ns:.1},\n    \"gate_rz_ns\": {gate_rz_ns:.1},\n    \"gate_cnot_ns\": {gate_cnot_ns:.1},\n    \"total_ns\": {gate_total_ns:.1},\n    \"pr6_gate_h_ns\": {PR6_GATE_H_NS:.1},\n    \"pr6_gate_rx_ns\": {PR6_GATE_RX_NS:.1},\n    \"pr6_gate_rz_ns\": {PR6_GATE_RZ_NS:.1},\n    \"pr6_gate_cnot_ns\": {PR6_GATE_CNOT_NS:.1},\n    \"pr6_total_ns\": {pr6_gate_total_ns:.1},\n    \"speedup_vs_pr6\": {gate_apply_speedup:.2}\n  }},\n  \"gate_apply_10q_density\": {{\n    \"gate\": \"H on row qubit 4\",\n    \"fast_ns\": {gate_fast_ns:.1},\n    \"reference_ns\": {gate_ref_ns:.1},\n    \"speedup\": {gate_speedup:.2}\n  }},\n  \"gradient_p1_24_params\": {{\n    \"workload\": \"GradientEngine::gradient_pure on P1\",\n    \"fast_ns\": {grad_fast_ns:.1},\n    \"reference_ns\": {grad_ref_ns:.1},\n    \"speedup\": {grad_speedup:.2}\n  }},\n  \"gradient_batch_16x\": {{\n    \"workload\": \"Trainer::loss_gradient on P1, {batch_size}-sample batch\",\n    \"batched_ns\": {batch_fast_ns:.1},\n    \"serial_loop_ns\": {batch_serial_ns:.1},\n    \"speedup\": {batch_speedup:.2}\n  }},\n  \"estimator_shots\": {{\n    \"workload\": \"shot-noise P1 gradient, {est_shots} shots x 24 params\",\n    \"batched_ns\": {shots_batched_ns:.1},\n    \"pr6_batched_ns\": {PR6_ESTIMATOR_SHOTS_BATCHED_NS:.1},\n    \"serial_loop_ns\": {shots_serial_ns:.1},\n    \"speedup\": {shots_speedup:.2}\n  }},\n  \"gradient_branching_batch\": {{\n    \"workload\": \"branch-weighted P2 gradient, {batch_size}-sample batch x {branch_params} params\",\n    \"batched_ns\": {branch_batched_ns:.1},\n    \"pr6_batched_ns\": {PR6_BRANCHING_BATCHED_NS:.1},\n    \"per_row_ns\": {branch_serial_ns:.1},\n    \"speedup\": {branch_speedup:.2}\n  }},\n  \"measurement_sweep\": {{\n    \"workload\": \"P2 branching gradient multisets ({branch_params} params, {batch_size}-row exact sweeps) + {meas_shots}-shot estimate, block vs per-row measurement\",\n    \"exact_block_ns\": {meas_block_ns:.1},\n    \"exact_per_row_ns\": {meas_per_row_ns:.1},\n    \"sampled_block_ns\": {meas_sampled_block_ns:.1},\n    \"sampled_serial_ns\": {meas_sampled_serial_ns:.1},\n    \"sampled_speedup\": {meas_sampled_speedup:.2},\n    \"speedup\": {meas_speedup:.2},\n    \"block_probs_ns\": {block_probs_ns:.1},\n    \"block_collapse_ns\": {block_collapse_ns:.1},\n    \"micro_total_ns\": {meas_micro_total_ns:.1},\n    \"pr6_block_probs_ns\": {PR6_BLOCK_PROBS_NS:.1},\n    \"pr6_block_collapse_ns\": {PR6_BLOCK_COLLAPSE_NS:.1},\n    \"pr6_micro_total_ns\": {pr6_meas_micro_total_ns:.1},\n    \"micro_speedup_vs_pr6\": {meas_micro_speedup:.2}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"sim\",\n  \"threads\": {},\n  \"gate_apply\": {{\n    \"workload\": \"16x10q batched seam, L2-resident, one gate per dispatch class (H dense-real, RX dense-complex, RZ diagonal, CNOT block-diagonal)\",\n    \"gate_h_ns\": {gate_h_ns:.1},\n    \"gate_rx_ns\": {gate_rx_ns:.1},\n    \"gate_rz_ns\": {gate_rz_ns:.1},\n    \"gate_cnot_ns\": {gate_cnot_ns:.1},\n    \"total_ns\": {gate_total_ns:.1},\n    \"pr6_gate_h_ns\": {PR6_GATE_H_NS:.1},\n    \"pr6_gate_rx_ns\": {PR6_GATE_RX_NS:.1},\n    \"pr6_gate_rz_ns\": {PR6_GATE_RZ_NS:.1},\n    \"pr6_gate_cnot_ns\": {PR6_GATE_CNOT_NS:.1},\n    \"pr6_total_ns\": {pr6_gate_total_ns:.1},\n    \"speedup_vs_pr6\": {gate_apply_speedup:.2}\n  }},\n  \"gate_apply_10q_density\": {{\n    \"gate\": \"H on row qubit 4\",\n    \"fast_ns\": {gate_fast_ns:.1},\n    \"reference_ns\": {gate_ref_ns:.1},\n    \"speedup\": {gate_speedup:.2}\n  }},\n  \"gradient_p1_24_params\": {{\n    \"workload\": \"GradientEngine::gradient_pure on P1\",\n    \"fast_ns\": {grad_fast_ns:.1},\n    \"reference_ns\": {grad_ref_ns:.1},\n    \"speedup\": {grad_speedup:.2}\n  }},\n  \"gradient_batch_16x\": {{\n    \"workload\": \"Trainer::loss_gradient on P1, {batch_size}-sample batch\",\n    \"batched_ns\": {batch_fast_ns:.1},\n    \"serial_loop_ns\": {batch_serial_ns:.1},\n    \"speedup\": {batch_speedup:.2}\n  }},\n  \"estimator_shots\": {{\n    \"workload\": \"shot-noise P1 gradient, {est_shots} shots x 24 params\",\n    \"batched_ns\": {shots_batched_ns:.1},\n    \"pr6_batched_ns\": {PR6_ESTIMATOR_SHOTS_BATCHED_NS:.1},\n    \"serial_loop_ns\": {shots_serial_ns:.1},\n    \"speedup\": {shots_speedup:.2}\n  }},\n  \"gradient_branching_batch\": {{\n    \"workload\": \"branch-weighted P2 gradient, {batch_size}-sample batch x {branch_params} params\",\n    \"batched_ns\": {branch_batched_ns:.1},\n    \"pr6_batched_ns\": {PR6_BRANCHING_BATCHED_NS:.1},\n    \"per_row_ns\": {branch_serial_ns:.1},\n    \"speedup\": {branch_speedup:.2}\n  }},\n  \"measurement_sweep\": {{\n    \"workload\": \"P2 branching gradient multisets ({branch_params} params, {batch_size}-row exact sweeps) + {meas_shots}-shot estimate, block vs per-row measurement\",\n    \"exact_block_ns\": {meas_block_ns:.1},\n    \"exact_per_row_ns\": {meas_per_row_ns:.1},\n    \"sampled_block_ns\": {meas_sampled_block_ns:.1},\n    \"sampled_serial_ns\": {meas_sampled_serial_ns:.1},\n    \"sampled_speedup\": {meas_sampled_speedup:.2},\n    \"speedup\": {meas_speedup:.2},\n    \"block_probs_ns\": {block_probs_ns:.1},\n    \"block_collapse_ns\": {block_collapse_ns:.1},\n    \"micro_total_ns\": {meas_micro_total_ns:.1},\n    \"pr6_block_probs_ns\": {PR6_BLOCK_PROBS_NS:.1},\n    \"pr6_block_collapse_ns\": {PR6_BLOCK_COLLAPSE_NS:.1},\n    \"pr6_micro_total_ns\": {pr6_meas_micro_total_ns:.1},\n    \"micro_speedup_vs_pr6\": {meas_micro_speedup:.2}\n  }},\n  \"compile_cache\": {{\n    \"workload\": \"36-param P2 gradient, 1 input; fresh 36-multiset lowering vs interned warm path vs single-skeleton shift rule\",\n    \"lower_36_multisets_ns\": {lower_36_ns:.1},\n    \"gradient_cold_ns\": {grad_cold_ns:.1},\n    \"gradient_warm_ns\": {grad_warm_ns:.1},\n    \"warm_speedup_vs_cold\": {warm_speedup:.2},\n    \"gradient_shift_ns\": {grad_shift_ns:.1},\n    \"shift_lowered_programs\": {shift_lowered_programs},\n    \"shift_speedup_vs_warm\": {shift_speedup:.2}\n  }}\n}}\n",
         qdp_par::max_threads(),
     );
     std::fs::write(&out_path, &json).expect("write benchmark record");
@@ -517,5 +570,10 @@ fn main() {
         "the DRAM-bound density gate apply regressed well past the PR-5 \
          record ({gate_fast_ns:.1}ns vs the {PR5_GATE_APPLY_DENSITY_NS:.1}ns \
          floor)"
+    );
+    assert!(
+        warm_speedup >= 1.05,
+        "the interned warm gradient must clearly beat cold per-call \
+         recompilation (got {warm_speedup:.2}x)"
     );
 }

@@ -1,0 +1,280 @@
+//! The interned-program cache — lowering as a memoized query.
+//!
+//! Every gradient entry point used to re-lower its compiled multiset from
+//! the AST behind its own `OnceLock`: `Differentiated`, `GradientEngine`'s
+//! forward program, and `PreparedDerivativeEstimator` each paid the full
+//! parse-tree walk, register resolution, loop unrolling, and constant
+//! matrix construction for programs the process had already compiled.
+//! [`ProgramCache`] deletes that duplication: interning a compiled multiset
+//! returns an [`Arc<CompiledSkeleton>`] that is built **exactly once per
+//! unique program per process** and shared by every caller thereafter.
+//!
+//! # Cache key contract
+//!
+//! The key is [`qdp_lang::multiset_fingerprint`] — a structural hash of the
+//! ordered program list **and** the register it lowers against (variable
+//! names, order, width; an ancilla-extended register keys differently from
+//! its base). The hash only routes the lookup: every entry stores the full
+//! compiled multiset and register, and lookup verifies deep structural
+//! equality before sharing, so a 64-bit collision costs a bucket scan but
+//! can never alias two different programs onto one skeleton.
+//!
+//! # Concurrency
+//!
+//! The bucket map is held behind a `Mutex` only long enough to find or
+//! insert an entry; lowering itself runs inside the entry's own
+//! `OnceLock::get_or_init`, so concurrent first-touch of one program lowers
+//! once (every other thread blocks on that entry alone, not on the cache),
+//! and first-touch of *different* programs never serializes against each
+//! other's compilation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use qdp_lang::{multiset_fingerprint, Register, Stmt};
+use qdp_sim::TrajProgram;
+
+use crate::lowered::{LoweredSet, TrajSkeleton};
+
+/// Everything parameter-independent about one compiled multiset, built once
+/// at intern time: the lowered op lists (constant matrices hoisted) and one
+/// patchable trajectory skeleton per program.
+#[derive(Debug)]
+pub struct CompiledSkeleton {
+    lowered: LoweredSet,
+    trajectories: Vec<TrajSkeleton>,
+}
+
+impl CompiledSkeleton {
+    fn build(compiled: &[Stmt], reg: &Register) -> Self {
+        let lowered = LoweredSet::lower(compiled, reg);
+        let trajectories = lowered
+            .programs()
+            .iter()
+            .map(crate::lowered::LoweredProgram::to_skeleton)
+            .collect();
+        CompiledSkeleton {
+            lowered,
+            trajectories,
+        }
+    }
+
+    /// The shared lowered multiset.
+    pub fn lowered(&self) -> &LoweredSet {
+        &self.lowered
+    }
+
+    /// One patchable trajectory skeleton per lowered program, in multiset
+    /// order.
+    pub fn trajectories(&self) -> &[TrajSkeleton] {
+        &self.trajectories
+    }
+
+    /// Substitutes a valuation into program `i`'s skeleton — bit-identical
+    /// to `lowered().programs()[i].resolve(values).to_trajectory()` with
+    /// only the parameterized matrices rebuilt.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range or `values` is shorter than the slot
+    /// table.
+    pub fn trajectory_at(&self, i: usize, values: &[f64]) -> TrajProgram {
+        self.trajectories[i].at(values)
+    }
+}
+
+/// Per-entry bookkeeping: the verified identity plus the lazily-built
+/// skeleton and its usage counters.
+#[derive(Debug)]
+struct Entry {
+    compiled: Vec<Stmt>,
+    register: Register,
+    cell: OnceLock<Arc<CompiledSkeleton>>,
+    lowers: AtomicUsize,
+    hits: AtomicUsize,
+}
+
+/// Usage counters of one interned program (see
+/// [`ProgramCache::stats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// How many times the entry's skeleton was compiled — at most 1.
+    pub lowers: usize,
+    /// How many interns were served from the already-built skeleton.
+    pub hits: usize,
+}
+
+/// A memoization table from structural program fingerprints to shared
+/// compiled skeletons. One global instance ([`ProgramCache::global`])
+/// backs every gradient entry point; fresh instances exist for tests that
+/// need isolated first-touch behaviour.
+#[derive(Debug, Default)]
+pub struct ProgramCache {
+    buckets: Mutex<HashMap<u64, Vec<Arc<Entry>>>>,
+}
+
+/// Poison-tolerant lock: entry insertion can't corrupt the map (pushes of
+/// `Arc`s), so a panicked holder leaves a usable structure behind.
+fn lock(m: &Mutex<HashMap<u64, Vec<Arc<Entry>>>>) -> MutexGuard<'_, HashMap<u64, Vec<Arc<Entry>>>> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ProgramCache::default()
+    }
+
+    /// The process-wide cache every gradient entry point interns through.
+    pub fn global() -> &'static ProgramCache {
+        static GLOBAL: OnceLock<ProgramCache> = OnceLock::new();
+        GLOBAL.get_or_init(ProgramCache::new)
+    }
+
+    /// Interns a compiled multiset over a register: returns the shared
+    /// skeleton, compiling it only on the process-wide first touch of this
+    /// exact (multiset, register) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lowering does (additive programs, variables outside the
+    /// register).
+    pub fn intern(&self, compiled: &[Stmt], reg: &Register) -> Arc<CompiledSkeleton> {
+        self.intern_keyed(multiset_fingerprint(compiled, reg), compiled, reg)
+    }
+
+    /// The intern body, with the key supplied by the caller — split out so
+    /// collision behaviour is testable (two different programs forced onto
+    /// one key must still get distinct skeletons).
+    fn intern_keyed(&self, key: u64, compiled: &[Stmt], reg: &Register) -> Arc<CompiledSkeleton> {
+        let entry = {
+            let mut map = lock(&self.buckets);
+            let bucket = map.entry(key).or_default();
+            match bucket
+                .iter()
+                .find(|e| e.register == *reg && e.compiled == compiled)
+            {
+                Some(e) => Arc::clone(e),
+                None => {
+                    let e = Arc::new(Entry {
+                        compiled: compiled.to_vec(),
+                        register: reg.clone(),
+                        cell: OnceLock::new(),
+                        lowers: AtomicUsize::new(0),
+                        hits: AtomicUsize::new(0),
+                    });
+                    bucket.push(Arc::clone(&e));
+                    e
+                }
+            }
+        };
+        // Lowering runs outside the map lock; losers of a first-touch race
+        // block on this entry's cell only.
+        let mut fresh = false;
+        let skeleton = entry
+            .cell
+            .get_or_init(|| {
+                fresh = true;
+                entry.lowers.fetch_add(1, Ordering::Relaxed);
+                Arc::new(CompiledSkeleton::build(&entry.compiled, &entry.register))
+            })
+            .clone();
+        if !fresh {
+            entry.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        skeleton
+    }
+
+    /// The usage counters of one interned program, or `None` when the pair
+    /// was never interned.
+    pub fn stats(&self, compiled: &[Stmt], reg: &Register) -> Option<CacheStats> {
+        let map = lock(&self.buckets);
+        let bucket = map.get(&multiset_fingerprint(compiled, reg))?;
+        let entry = bucket
+            .iter()
+            .find(|e| e.register == *reg && e.compiled == compiled)?;
+        Some(CacheStats {
+            lowers: entry.lowers.load(Ordering::Relaxed),
+            hits: entry.hits.load(Ordering::Relaxed),
+        })
+    }
+
+    /// How many distinct programs the cache holds.
+    pub fn unique_programs(&self) -> usize {
+        lock(&self.buckets).values().map(Vec::len).sum()
+    }
+
+    /// Total compilations across all entries — equals
+    /// [`unique_programs`](Self::unique_programs) once every entry's first
+    /// touch has completed.
+    pub fn total_lowers(&self) -> usize {
+        lock(&self.buckets)
+            .values()
+            .flatten()
+            .map(|e| e.lowers.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdp_lang::parse_program;
+
+    fn program(src: &str) -> (Vec<Stmt>, Register) {
+        let p = parse_program(src).unwrap();
+        let reg = Register::from_program(&p);
+        (vec![p], reg)
+    }
+
+    #[test]
+    fn intern_compiles_once_and_shares_the_skeleton() {
+        let cache = ProgramCache::new();
+        let (p, reg) = program("q1 *= RX(a); q1 *= H");
+        let first = cache.intern(&p, &reg);
+        let second = cache.intern(&p, &reg);
+        assert!(Arc::ptr_eq(&first, &second), "interns must share one skeleton");
+        assert_eq!(
+            cache.stats(&p, &reg),
+            Some(CacheStats { lowers: 1, hits: 1 })
+        );
+    }
+
+    #[test]
+    fn forced_key_collision_does_not_alias() {
+        // Drive two structurally different programs through one bucket: the
+        // deep-equality check must keep their skeletons distinct.
+        let cache = ProgramCache::new();
+        let (p1, reg1) = program("q1 *= RX(a)");
+        let (p2, reg2) = program("q1 *= RY(b); q1 *= H");
+        let s1 = cache.intern_keyed(42, &p1, &reg1);
+        let s2 = cache.intern_keyed(42, &p2, &reg2);
+        assert!(!Arc::ptr_eq(&s1, &s2), "collision must not alias skeletons");
+        assert_eq!(s1.lowered().param_names(), ["a"]);
+        assert_eq!(s2.lowered().param_names(), ["b"]);
+        assert_eq!(cache.unique_programs(), 2);
+        assert_eq!(cache.total_lowers(), 2);
+        // Re-interning under the collided key still finds the right entry.
+        assert!(Arc::ptr_eq(&s1, &cache.intern_keyed(42, &p1, &reg1)));
+    }
+
+    #[test]
+    fn register_variants_get_distinct_entries() {
+        use qdp_lang::Var;
+        let cache = ProgramCache::new();
+        let p = vec![parse_program("q1 *= RX(a)").unwrap()];
+        let base = Register::from_vars([Var::new("q1")]);
+        let wide = Register::from_vars([Var::new("q1"), Var::new("q2")]);
+        let ext = base.with_ancilla_front(Var::new("A"));
+        let s_base = cache.intern(&p, &base);
+        let s_wide = cache.intern(&p, &wide);
+        let s_ext = cache.intern(&p, &ext);
+        assert!(!Arc::ptr_eq(&s_base, &s_wide));
+        assert!(!Arc::ptr_eq(&s_base, &s_ext));
+        assert_eq!(cache.unique_programs(), 3);
+    }
+}

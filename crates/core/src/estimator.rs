@@ -184,26 +184,65 @@ pub struct PreparedDerivativeEstimator {
     ext_obs: Observable,
 }
 
+/// The valuation-independent half of a [`PreparedDerivativeEstimator`]:
+/// the interned compiled skeleton (trajectory templates with constant
+/// matrices final), the decomposed `ZA ⊗ O` read-out, and the extended
+/// observable. Everything here depends only on (program, observable) —
+/// **not** on the parameter values — so a caller evaluating many
+/// valuations (a parameter-shift sweep, a training loop) builds this once
+/// and calls [`prepare`](Self::prepare) per valuation, which re-patches
+/// only the shifted parameter slots.
+#[derive(Clone, Debug)]
+pub struct DerivativeEstimatorSkeleton {
+    skeleton: std::sync::Arc<crate::cache::CompiledSkeleton>,
+    readout: ProjectiveObservable,
+    ext_obs: Observable,
+}
+
+impl DerivativeEstimatorSkeleton {
+    /// Interns the compiled multiset of `diff` (shared across the process
+    /// via [`crate::ProgramCache`]) and decomposes the extended read-out.
+    pub fn new(diff: &Differentiated, obs: &Observable) -> Self {
+        let ext_obs = obs.with_ancilla_z();
+        DerivativeEstimatorSkeleton {
+            skeleton: diff.skeleton(),
+            readout: ProjectiveObservable::new(&ext_obs),
+            ext_obs,
+        }
+    }
+
+    /// Substitutes one valuation: clones the trajectory templates and
+    /// overwrites only the parameterized matrices
+    /// ([`crate::TrajSkeleton::at`]). Bit-identical to resolving the
+    /// multiset from scratch under the same valuation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a used parameter has no value.
+    pub fn prepare(&self, params: &Params) -> PreparedDerivativeEstimator {
+        let values = self.skeleton.lowered().slot_values(params);
+        PreparedDerivativeEstimator {
+            engines: (0..self.skeleton.trajectories().len())
+                .map(|i| ShotEngine::new(self.skeleton.trajectory_at(i, &values)))
+                .collect(),
+            readout: self.readout.clone(),
+            ext_obs: self.ext_obs.clone(),
+        }
+    }
+}
+
 impl PreparedDerivativeEstimator {
     /// Resolves the compiled multiset of `diff` under `params` and
-    /// decomposes the extended read-out.
+    /// decomposes the extended read-out — the one-valuation convenience
+    /// form of [`DerivativeEstimatorSkeleton::new`] +
+    /// [`prepare`](DerivativeEstimatorSkeleton::prepare); multi-valuation
+    /// callers should hold the skeleton instead.
     ///
     /// # Panics
     ///
     /// Panics when a used parameter has no value.
     pub fn new(diff: &Differentiated, params: &Params, obs: &Observable) -> Self {
-        let lowered = diff.lowered();
-        let values = lowered.slot_values(params);
-        let ext_obs = obs.with_ancilla_z();
-        PreparedDerivativeEstimator {
-            engines: lowered
-                .programs()
-                .iter()
-                .map(|p| ShotEngine::new(p.resolve(&values).to_trajectory()))
-                .collect(),
-            readout: ProjectiveObservable::new(&ext_obs),
-            ext_obs,
-        }
+        DerivativeEstimatorSkeleton::new(diff, obs).prepare(params)
     }
 
     /// The number of compiled programs `m` of the underlying multiset.

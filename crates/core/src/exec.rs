@@ -11,6 +11,7 @@
 //! [`Differentiated`] packages steps 1–2; [`GradientEngine`] caches one
 //! `Differentiated` per parameter and evaluates whole gradients.
 
+use crate::cache::{CompiledSkeleton, ProgramCache};
 use crate::lowered::LoweredSet;
 use crate::semantics::observable_semantics;
 use crate::transform::{fresh_ancilla, transform, TransformError};
@@ -18,6 +19,7 @@ use qdp_lang::ast::{Params, Stmt, Var};
 use qdp_lang::{compile, denot, Register};
 use qdp_sim::{BatchedStates, DensityMatrix, Observable, StateVector};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Bounded retry budget for panicked worker tiles in this module's
 /// parallel fan-outs. Every fanned-out closure here is pure per call, so
@@ -51,12 +53,6 @@ pub struct Differentiated {
     ancilla: Var,
     additive: Stmt,
     compiled: Vec<Stmt>,
-    /// The compiled multiset lowered against `ext_register` (resolved qubit
-    /// indices, interned parameter slots, pre-built measurements) — the
-    /// run-time fast path of [`derivative_pure`](Self::derivative_pure).
-    /// Built lazily: density-path-only callers (e.g. [`second_derivative`]'s
-    /// inner programs) never pay for lowering.
-    lowered: std::sync::OnceLock<LoweredSet>,
     base_register: Register,
     ext_register: Register,
 }
@@ -110,7 +106,6 @@ pub fn differentiate_in(
         ancilla,
         additive,
         compiled,
-        lowered: std::sync::OnceLock::new(),
         base_register: base_register.clone(),
         ext_register,
     })
@@ -258,21 +253,25 @@ impl Differentiated {
     pub fn derivative_pure(&self, params: &Params, obs: &Observable, psi: &StateVector) -> f64 {
         let ext_obs = obs.with_ancilla_z();
         let ext_psi = StateVector::zero_state(1).tensor(psi);
-        let values = self.lowered().slot_values(params);
-        self.derivative_pure_prepared(&values, &ext_obs, &ext_psi)
+        let skeleton = self.skeleton();
+        let values = skeleton.lowered().slot_values(params);
+        self.derivative_pure_prepared(skeleton.lowered(), &values, &ext_obs, &ext_psi)
     }
 
-    /// [`derivative_pure`](Self::derivative_pure) with the ancilla extension
-    /// and slot values already resolved — what [`GradientEngine`] calls so
-    /// the shared setup happens once per gradient, not once per parameter.
+    /// [`derivative_pure`](Self::derivative_pure) with the ancilla extension,
+    /// slot values, and interned lowering already resolved — what
+    /// [`GradientEngine`] calls so the shared setup (including the one cache
+    /// lookup per parameter) happens once per gradient, not once per
+    /// parameter per evaluation step.
     pub(crate) fn derivative_pure_prepared(
         &self,
+        lowered: &LoweredSet,
         values: &[f64],
         ext_obs: &Observable,
         ext_psi: &StateVector,
     ) -> f64 {
         qdp_par::try_par_map_retry(
-            self.lowered().programs(),
+            lowered.programs(),
             |p| p.expectation_pure(values, ext_psi, ext_obs),
             TILE_RETRIES,
         )
@@ -298,17 +297,23 @@ impl Differentiated {
     ) -> Vec<f64> {
         let ext_obs = obs.with_ancilla_z();
         let ext_states = states.prepend_zero_ancilla();
-        let values = self.lowered().slot_values(params);
-        self.lowered().expectation_batch(&values, &ext_states, &ext_obs)
+        let skeleton = self.skeleton();
+        let values = skeleton.lowered().slot_values(params);
+        skeleton
+            .lowered()
+            .expectation_batch(&values, &ext_states, &ext_obs)
     }
 
-    /// The lowered multiset (resolved qubit indices, interned parameter
-    /// slots, pre-built measurements), built on first use. Public so batch
-    /// evaluators and future backends can drive
-    /// [`LoweredSet::expectation_batch`] directly.
-    pub fn lowered(&self) -> &LoweredSet {
-        self.lowered
-            .get_or_init(|| LoweredSet::lower(&self.compiled, &self.ext_register))
+    /// The compiled skeleton (lowered multiset with resolved qubit indices,
+    /// interned parameter slots, pre-built measurements and constant
+    /// matrices, plus patchable trajectory templates), interned through the
+    /// process-wide [`ProgramCache`]: the first `Differentiated` of a given
+    /// (multiset, register) pair anywhere in the process compiles it, every
+    /// later one — including clones and re-differentiations of the same
+    /// program — shares that one skeleton. Public so batch evaluators and
+    /// future backends can drive [`LoweredSet::expectation_batch`] directly.
+    pub fn skeleton(&self) -> Arc<CompiledSkeleton> {
+        ProgramCache::global().intern(&self.compiled, &self.ext_register)
     }
 }
 
@@ -322,12 +327,10 @@ pub struct GradientEngine {
     /// Per parameter, the remap from its `Differentiated`'s interned slots
     /// into the engine's canonical parameter order (`diffs` key order) —
     /// resolves every string lookup once. Built lazily on the first pure
-    /// gradient so density-path-only engines never pay for lowering.
+    /// gradient so density-path-only engines never pay for lowering. This
+    /// is cheap derived indexing, not a compilation: the lowerings it
+    /// indexes into live in the process-wide [`ProgramCache`].
     slot_remaps: std::sync::OnceLock<BTreeMap<String, Vec<usize>>>,
-    /// The *forward* program lowered as a one-element set — the fast path
-    /// of batched forward evaluation. Built lazily so engines that never
-    /// evaluate batches pay nothing.
-    forward: std::sync::OnceLock<LoweredSet>,
 }
 
 impl GradientEngine {
@@ -347,18 +350,18 @@ impl GradientEngine {
             register,
             diffs,
             slot_remaps: std::sync::OnceLock::new(),
-            forward: std::sync::OnceLock::new(),
         })
     }
 
-    /// The forward program as a lowered one-element set, built on first use.
-    fn forward_lowered(&self) -> &LoweredSet {
-        self.forward
-            .get_or_init(|| LoweredSet::lower(std::slice::from_ref(&self.program), &self.register))
+    /// The forward program as an interned one-element skeleton — the fast
+    /// path of batched forward evaluation and the shift-rule gradient.
+    /// Compiled once per process via the shared [`ProgramCache`].
+    pub fn forward_skeleton(&self) -> Arc<CompiledSkeleton> {
+        ProgramCache::global().intern(std::slice::from_ref(&self.program), &self.register)
     }
 
-    /// The per-parameter slot remaps, built (with the lowerings they index
-    /// into) on first use.
+    /// The per-parameter slot remaps, built (against the interned
+    /// lowerings they index into) on first use.
     fn slot_remaps(&self) -> &BTreeMap<String, Vec<usize>> {
         self.slot_remaps.get_or_init(|| {
             let canonical: Vec<&String> = self.diffs.keys().collect();
@@ -366,6 +369,7 @@ impl GradientEngine {
                 .iter()
                 .map(|(name, diff)| {
                     let remap = diff
+                        .skeleton()
                         .lowered()
                         .param_names()
                         .iter()
@@ -464,13 +468,19 @@ impl GradientEngine {
             })
             .collect();
         let slot_remaps = self.slot_remaps();
-        let entries: Vec<(&String, &Differentiated)> = self.diffs.iter().collect();
-        qdp_par::par_map(&entries, |(name, diff)| {
+        // Intern serially before the fan-out: the cache lookups (hash +
+        // bucket scan under one lock) stay off the worker threads.
+        let entries: Vec<(&String, &Differentiated, Arc<CompiledSkeleton>)> = self
+            .diffs
+            .iter()
+            .map(|(name, diff)| (name, diff, diff.skeleton()))
+            .collect();
+        qdp_par::par_map(&entries, |(name, diff, skeleton)| {
             let remap = &slot_remaps[*name];
             let values: Vec<f64> = remap.iter().map(|&i| canonical[i]).collect();
             (
                 (*name).clone(),
-                diff.derivative_pure_prepared(&values, &ext_obs, &ext_psi),
+                diff.derivative_pure_prepared(skeleton.lowered(), &values, &ext_obs, &ext_psi),
             )
         })
         .into_iter()
@@ -531,9 +541,12 @@ impl GradientEngine {
             row_seeds.len(),
             "one seed stream per input row"
         );
-        let fwd = self.forward_lowered();
-        let values = fwd.slot_values(params);
-        let engine = qdp_sim::ShotEngine::new(fwd.programs()[0].resolve(&values).to_trajectory());
+        let fwd = self.forward_skeleton();
+        let values = fwd.lowered().slot_values(params);
+        // The patched skeleton carries the identical bits a fresh
+        // resolve-and-convert would: shot streams stay bit-stable across
+        // cold and warm cache states.
+        let engine = qdp_sim::ShotEngine::new(fwd.trajectory_at(0, &values));
         let readout = qdp_sim::ProjectiveObservable::new(obs);
         let rows: Vec<(usize, u64)> = row_seeds.iter().copied().enumerate().collect();
         // Each row is pure (fresh derived streams per call), so a panicked
@@ -640,9 +653,9 @@ impl GradientEngine {
         obs: &Observable,
         states: &BatchedStates,
     ) -> Vec<f64> {
-        let fwd = self.forward_lowered();
-        let values = fwd.slot_values(params);
-        fwd.expectation_batch(&values, states, obs)
+        let fwd = self.forward_skeleton();
+        let values = fwd.lowered().slot_values(params);
+        fwd.lowered().expectation_batch(&values, states, obs)
     }
 
     /// The full gradient for **every** row of a batch, keyed by parameter
@@ -675,11 +688,17 @@ impl GradientEngine {
             })
             .collect();
         let slot_remaps = self.slot_remaps();
-        let entries: Vec<(&String, &Differentiated)> = self.diffs.iter().collect();
-        let per_param: Vec<Vec<f64>> = qdp_par::par_map(&entries, |(name, diff)| {
+        let entries: Vec<(&String, Arc<CompiledSkeleton>)> = self
+            .diffs
+            .iter()
+            .map(|(name, diff)| (name, diff.skeleton()))
+            .collect();
+        let per_param: Vec<Vec<f64>> = qdp_par::par_map(&entries, |(name, skeleton)| {
             let remap = &slot_remaps[*name];
             let values: Vec<f64> = remap.iter().map(|&i| canonical[i]).collect();
-            diff.lowered().expectation_batch(&values, &ext_states, &ext_obs)
+            skeleton
+                .lowered()
+                .expectation_batch(&values, &ext_states, &ext_obs)
         });
         (0..states.len())
             .map(|r| {
@@ -687,6 +706,115 @@ impl GradientEngine {
                     .iter()
                     .zip(&per_param)
                     .map(|((name, _), derivs)| ((*name).clone(), derivs[r]))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Whether the phase-shift rule applies: every parameter occurs exactly
+    /// once along any execution path ([`crate::resource::occurrence_count`]
+    /// counts `while` bodies `bound` times and takes the per-path maximum
+    /// over `case` arms). Each parameterized gate is `exp(−iθG/2)·C` with
+    /// `G² = I`, so each surviving branch's read-out — and hence the
+    /// multiset expectation — is `a + b·cos θ + c·sin θ` in a
+    /// once-occurring θ, which the `±π/2` shift rule differentiates
+    /// exactly.
+    pub fn shift_rule_eligible(&self) -> bool {
+        self.diffs
+            .keys()
+            .all(|p| crate::resource::occurrence_count(&self.program, p) == 1)
+    }
+
+    /// The full gradient on a pure input via the `±π/2` shift rule — the
+    /// compile-once fast path for shift-eligible programs (see
+    /// [`shift_rule_eligible`](Self::shift_rule_eligible)).
+    ///
+    /// Where the gadget path compiles one multiset per parameter (36
+    /// lowered multisets for a 36-parameter circuit), this path evaluates
+    /// the **single** interned forward skeleton at `2P` shifted valuations:
+    /// `∂f/∂θj = (f(θj + π/2) − f(θj − π/2)) / 2`. One program skeleton is
+    /// lowered per process, total, and only slot `j` changes between
+    /// evaluations. Agrees with [`gradient_pure`](Self::gradient_pure) to
+    /// numerical precision and with the interpreter-level shift rule
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the program is not shift-eligible or a used parameter
+    /// has no value.
+    pub fn gradient_pure_shift(
+        &self,
+        params: &Params,
+        obs: &Observable,
+        psi: &StateVector,
+    ) -> BTreeMap<String, f64> {
+        self.gradient_pure_shift_batch(params, obs, &BatchedStates::gather(&[psi]))
+            .remove(0)
+    }
+
+    /// [`gradient_pure_shift`](Self::gradient_pure_shift) for every row of
+    /// a batch: the `2P` shifted valuations fan out across `qdp_par`
+    /// workers, each evaluating the shared forward skeleton over the whole
+    /// batch, and per-row central differences are assembled in canonical
+    /// parameter order — bit-for-bit deterministic under any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the program is not shift-eligible, a used parameter has
+    /// no value, or the batch register does not match the program's.
+    pub fn gradient_pure_shift_batch(
+        &self,
+        params: &Params,
+        obs: &Observable,
+        states: &BatchedStates,
+    ) -> Vec<BTreeMap<String, f64>> {
+        assert!(
+            self.shift_rule_eligible(),
+            "shift-rule gradient requires every parameter to occur exactly once \
+             per execution path; use gradient_pure_batch for general programs"
+        );
+        let fwd = self.forward_skeleton();
+        let lowered = fwd.lowered();
+        let base = lowered.slot_values(params);
+        let names: Vec<&String> = self.diffs.keys().collect();
+        // Two shifted valuations per parameter, in canonical order. Slots
+        // are looked up once; the jobs share the base valuation.
+        let jobs: Vec<(usize, f64)> = names
+            .iter()
+            .flat_map(|name| {
+                // Infallible: the forward lowering interns every parameter
+                // the program uses.
+                #[allow(clippy::expect_used)]
+                let slot = lowered
+                    .param_names()
+                    .iter()
+                    .position(|p| p == *name)
+                    .expect("engine parameters are forward-program parameters");
+                let half = std::f64::consts::FRAC_PI_2;
+                [(slot, half), (slot, -half)]
+            })
+            .collect();
+        // Pure per valuation, so a panicked worker tile retries
+        // bit-identically before the failure is surfaced. Inner batch
+        // evaluations degrade to sequential under the global token budget.
+        let evals: Vec<Vec<f64>> = qdp_par::try_par_map_retry(
+            &jobs,
+            |&(slot, shift)| {
+                let mut values = base.clone();
+                values[slot] += shift;
+                lowered.expectation_batch(&values, states, obs)
+            },
+            TILE_RETRIES,
+        )
+        .unwrap_or_else(|e| panic!("{}", qdp_sim::QdpError::from(e)));
+        (0..states.len())
+            .map(|r| {
+                names
+                    .iter()
+                    .enumerate()
+                    .map(|(j, name)| {
+                        ((*name).clone(), (evals[2 * j][r] - evals[2 * j + 1][r]) / 2.0)
+                    })
                     .collect()
             })
             .collect()

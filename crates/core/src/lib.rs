@@ -44,16 +44,20 @@
 // panics; bare unwrap/expect is confined to tests.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cache;
 pub mod estimator;
 pub mod exec;
 pub mod logic;
 pub mod lowered;
 pub mod resource;
 pub mod semantics;
+pub mod service;
 pub mod transform;
 
+pub use cache::{CacheStats, CompiledSkeleton, ProgramCache};
 pub use exec::{differentiate, Differentiated, GradientEngine};
-pub use lowered::{LoweredProgram, LoweredSet, ResolvedProgram};
+pub use lowered::{lower_invocations, LoweredProgram, LoweredSet, ResolvedProgram, TrajSkeleton};
+pub use service::{GradientService, ProgramHandle};
 pub use logic::{check, derive, Derivation, Judgement, Rule};
 pub use resource::{analyze, gradient_shot_budget, occurrence_count, ResourceReport};
 pub use transform::{fresh_ancilla, transform, TransformError};

@@ -46,6 +46,19 @@ use qdp_sim::{BatchedStates, Measurement, Observable, ShotEngine, StateVector};
 /// branch-weighted batched executor).
 const PRUNE: f64 = qdp_sim::BRANCH_PRUNE;
 
+thread_local! {
+    static LOWER_CALLS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// How many times [`LoweredSet::lower`] has run **on this thread** — the
+/// probe behind the compile-once contract. `qdp_ad::ProgramCache` interning
+/// lowers on the calling thread (inside its `OnceLock` initializer), so a
+/// test thread's delta across a region counts exactly the compilations that
+/// region triggered, race-free under the parallel test harness.
+pub fn lower_invocations() -> usize {
+    LOWER_CALLS.with(std::cell::Cell::get)
+}
+
 /// One lowered operation.
 #[derive(Clone, Debug)]
 enum Op {
@@ -59,6 +72,13 @@ enum Op {
         /// Additive angle offset (the gadget's `θ + π` shifts).
         offset: f64,
         targets: Vec<usize>,
+        /// The matrix, pre-built at lowering time, for gates whose angle
+        /// carries no parameter (`slot == None`): constant rotations, the
+        /// Hadamards and controlled shifts of the differentiation gadget,
+        /// every Clifford. Parameter-dependent matrices stay `None` and are
+        /// built per valuation by [`LoweredProgram::resolve`] — so a warm
+        /// skeleton re-patches only the shifted slots.
+        fixed: Option<Matrix>,
     },
     /// `q := |0⟩` with the Kraus pair pre-built.
     Init {
@@ -99,6 +119,7 @@ impl LoweredSet {
     ///
     /// Panics when a program is additive or uses a variable outside `reg`.
     pub fn lower(compiled: &[Stmt], reg: &Register) -> Self {
+        LOWER_CALLS.with(|c| c.set(c.get() + 1));
         let mut set = LoweredSet {
             n_qubits: reg.len(),
             ..LoweredSet::default()
@@ -218,11 +239,18 @@ fn set_lower(stmt: &Stmt, reg: &Register, names: &mut Vec<String>, out: &mut Vec
                 ),
                 None => (None, 0.0),
             };
+            // Parameter-independent matrices are built here, once per
+            // lowering, and shared by every subsequent resolve.
+            let fixed = match slot {
+                None => Some(gate.matrix_at(offset)),
+                Some(_) => None,
+            };
             out.push(Op::Gate {
                 gate: gate.clone(),
                 slot,
                 offset,
                 targets: reg.indices_of(qs),
+                fixed,
             });
         }
         Stmt::Seq(a, b) => {
@@ -282,13 +310,20 @@ impl LoweredProgram {
                         slot,
                         offset,
                         targets,
-                    } => {
-                        let theta = slot.map_or(0.0, |s| values[s]) + offset;
-                        ResolvedOp::Gate {
-                            matrix: gate.matrix_at(theta),
-                            targets,
+                        fixed,
+                    } => match (slot, fixed) {
+                        // Constant-angle gates borrow the matrix built at
+                        // lowering time — zero trigonometry, zero allocation
+                        // per valuation.
+                        (None, Some(matrix)) => ResolvedOp::FixedGate { matrix, targets },
+                        _ => {
+                            let theta = slot.map_or(0.0, |s| values[s]) + offset;
+                            ResolvedOp::Gate {
+                                matrix: gate.matrix_at(theta),
+                                targets,
+                            }
                         }
-                    }
+                    },
                     Op::Init { k0, k1, target } => ResolvedOp::Init {
                         k0,
                         k1,
@@ -304,15 +339,144 @@ impl LoweredProgram {
     }
 }
 
+/// The location and recipe of one parameter-dependent matrix inside a
+/// [`TrajSkeleton`] template.
+#[derive(Clone, Debug)]
+struct SlotPatch {
+    /// Path into the template: op index, then alternating arm index / op
+    /// index through nested `Case`s (the addressing scheme of
+    /// [`qdp_sim::TrajProgram::gate_matrix_mut`]).
+    path: Vec<usize>,
+    gate: Gate,
+    slot: usize,
+    offset: f64,
+}
+
+/// A pre-built [`qdp_sim::TrajProgram`] with **patchable parameter slots**
+/// — the per-valuation artifact of the compile-once pipeline.
+///
+/// Building a trajectory program from scratch per valuation re-clones every
+/// constant matrix, re-resolves the read-out, and re-walks the op tree;
+/// only the parameterized matrices actually change. A skeleton does that
+/// walk once: the template holds every constant matrix, measurement, and
+/// arm structure final, with parameterized gates holding a placeholder
+/// matrix (their value at slot 0), and [`at`](Self::at) clones the template
+/// and overwrites **only** the recorded slot positions via
+/// `TrajProgram::gate_matrix_mut`.
+///
+/// `skeleton.at(&values)` is bit-identical to
+/// `program.resolve(&values).to_trajectory()`: both routes build every
+/// matrix through the same `Gate::matrix_at` at the same angle, and the op
+/// order is the same tree walk.
+#[derive(Clone, Debug)]
+pub struct TrajSkeleton {
+    template: qdp_sim::TrajProgram,
+    patches: Vec<SlotPatch>,
+}
+
+impl TrajSkeleton {
+    /// Substitutes a valuation: clones the template and re-patches only the
+    /// parameterized matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values` is shorter than the program's slot table.
+    pub fn at(&self, values: &[f64]) -> qdp_sim::TrajProgram {
+        let mut out = self.template.clone();
+        for p in &self.patches {
+            *out.gate_matrix_mut(&p.path) = p.gate.matrix_at(values[p.slot] + p.offset);
+        }
+        out
+    }
+
+    /// How many parameterized slots the template re-patches per valuation.
+    pub fn patch_count(&self) -> usize {
+        self.patches.len()
+    }
+}
+
+impl LoweredProgram {
+    /// Builds the patchable trajectory skeleton of this program (see
+    /// [`TrajSkeleton`]). Placeholder matrices for parameterized gates are
+    /// built at angle `offset` and are always overwritten by
+    /// [`TrajSkeleton::at`].
+    pub fn to_skeleton(&self) -> TrajSkeleton {
+        let mut patches = Vec::new();
+        let mut prefix = Vec::new();
+        let template = skeleton_template(&self.ops, &mut prefix, &mut patches);
+        TrajSkeleton { template, patches }
+    }
+}
+
+fn skeleton_template(
+    ops: &[Op],
+    prefix: &mut Vec<usize>,
+    patches: &mut Vec<SlotPatch>,
+) -> qdp_sim::TrajProgram {
+    let mut out = qdp_sim::TrajProgram::new();
+    // Ops map 1:1 onto trajectory ops (`Skip` vanished at lowering time),
+    // so the template op index is the lowered op index.
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Abort => out.push_abort(),
+            Op::Gate {
+                gate,
+                slot,
+                offset,
+                targets,
+                fixed,
+            } => {
+                if let Some(s) = slot {
+                    prefix.push(i);
+                    patches.push(SlotPatch {
+                        path: prefix.clone(),
+                        gate: gate.clone(),
+                        slot: *s,
+                        offset: *offset,
+                    });
+                    prefix.pop();
+                }
+                let placeholder = match fixed {
+                    Some(m) => m.clone(),
+                    None => gate.matrix_at(*offset),
+                };
+                out.push_gate(placeholder, targets.clone());
+            }
+            Op::Init { target, .. } => out.push_init(*target),
+            Op::Case { meas, arms } => {
+                let arm_templates = arms
+                    .iter()
+                    .enumerate()
+                    .map(|(a, arm)| {
+                        prefix.push(i);
+                        prefix.push(a);
+                        let t = skeleton_template(&arm.ops, prefix, patches);
+                        prefix.pop();
+                        prefix.pop();
+                        t
+                    })
+                    .collect();
+                out.push_case(meas.clone(), arm_templates);
+            }
+        }
+    }
+    out
+}
+
 /// One op of a [`ResolvedProgram`]: like [`Op`] but with the gate matrix
 /// already built for a fixed valuation.
 #[derive(Clone, Debug)]
 enum ResolvedOp<'p> {
     /// `abort`: drop the branch.
     Abort,
-    /// A unitary with its matrix pre-built.
+    /// A parameterized unitary with its matrix built for this valuation.
     Gate {
         matrix: Matrix,
+        targets: &'p [usize],
+    },
+    /// A constant unitary borrowing the matrix hoisted at lowering time.
+    FixedGate {
+        matrix: &'p Matrix,
         targets: &'p [usize],
     },
     /// `q := |0⟩`, borrowing the pre-built Kraus pair.
@@ -353,6 +517,9 @@ impl ResolvedProgram<'_> {
             match op {
                 ResolvedOp::Abort => return,
                 ResolvedOp::Gate { matrix, targets } => {
+                    psi.apply_gate(matrix, targets);
+                }
+                ResolvedOp::FixedGate { matrix, targets } => {
                     psi.apply_gate(matrix, targets);
                 }
                 ResolvedOp::Init { k0, k1, target } => {
@@ -415,6 +582,9 @@ impl ResolvedProgram<'_> {
                 ResolvedOp::Gate { matrix, targets } => {
                     out.push_gate(matrix.clone(), targets.to_vec());
                 }
+                ResolvedOp::FixedGate { matrix, targets } => {
+                    out.push_gate((*matrix).clone(), targets.to_vec());
+                }
                 ResolvedOp::Init { target, .. } => out.push_init(*target),
                 ResolvedOp::Case { meas, arms } => out.push_case(
                     (*meas).clone(),
@@ -461,7 +631,7 @@ impl ResolvedProgram<'_> {
         let straight_line = self
             .ops
             .iter()
-            .all(|op| matches!(op, ResolvedOp::Gate { .. }));
+            .all(|op| matches!(op, ResolvedOp::Gate { .. } | ResolvedOp::FixedGate { .. }));
         if !straight_line {
             return ShotEngine::new(self.to_trajectory()).expectation_sweep(states.clone(), obs);
         }
@@ -471,8 +641,10 @@ impl ResolvedProgram<'_> {
         // `pending[q] = g_k · … · g_1` in program order.
         let mut pending: Vec<Option<Matrix>> = vec![None; n];
         for op in &self.ops {
-            let ResolvedOp::Gate { matrix, targets } = op else {
-                unreachable!("straight-line programs contain only gates")
+            let (matrix, targets): (&Matrix, &[usize]) = match op {
+                ResolvedOp::Gate { matrix, targets } => (matrix, targets),
+                ResolvedOp::FixedGate { matrix, targets } => (matrix, targets),
+                _ => unreachable!("straight-line programs contain only gates"),
             };
             if let [t] = targets[..] {
                 pending[t] = Some(match pending[t].take() {

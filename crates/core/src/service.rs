@@ -1,0 +1,660 @@
+//! A long-lived, multi-tenant gradient front end with request coalescing.
+//!
+//! [`GradientService`] generalizes the one-valuation estimator embryo into
+//! a server: clients register programs (deduplicated structurally — two
+//! registrations of the same program share one tenant and therefore one
+//! [`crate::GradientEngine`] and one interned skeleton) and submit
+//! expectation/gradient requests from any number of threads. Requests
+//! against the same tenant that are **compatible** — same request kind,
+//! same valuation, same observable, same shot budget — coalesce into one
+//! shared [`qdp_sim::BatchedStates`] tile: a single leader gathers the
+//! queued inputs into one contiguous batch, runs **one** kernel sweep
+//! through the engine's batched entry point, and distributes the per-row
+//! results. The batch axis of PR 2 becomes the multi-tenancy axis.
+//!
+//! # Determinism contract
+//!
+//! Every client's result is **bit-identical to running its request solo**:
+//!
+//! * exact kinds ride the batched evaluators, whose per-row outputs are
+//!   invariant under batch composition (pinned by
+//!   `crates/core/tests/batch_equivalence.rs` and the branch-weighted
+//!   differential suite) — row `r` of a coalesced sweep carries the same
+//!   bits as a one-row sweep of that input;
+//! * shot kinds pass each client's own seed as its row's stream
+//!   (`row_seeds[r]`), and the batched shot entry points guarantee row `r`
+//!   is bit-identical to the single-input call with that seed (the
+//!   [`qdp_sim::derive_seed`] per-row stream contract of PR 3).
+//!
+//! So coalescing changes *when* work happens, never *what* any client
+//! observes — under any thread count and any arrival interleaving.
+//!
+//! # Leadership protocol
+//!
+//! Per tenant: submitters enqueue under the tenant lock and wait on its
+//! condvar. When no leader is active and at least
+//! [`min_batch`](GradientService::with_admission) requests are pending (or
+//! [`flush`](GradientService::flush) was called), one waiter elects itself
+//! leader, drains the **head group** (the oldest request plus every
+//! pending request compatible with it, in submission order), releases the
+//! lock, runs the one batched sweep, publishes results keyed by ticket,
+//! and steps down. Requests left behind (incompatible or arrived late)
+//! are served by subsequent leaders; everything pending when the gate
+//! opened is owed a sweep, so an incompatible remainder smaller than the
+//! threshold cannot strand. A panicking leader steps down via an
+//! RAII guard so followers re-elect instead of hanging; submissions are
+//! validated on the caller's thread first so the sweep itself cannot fail
+//! on malformed requests.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use qdp_lang::ast::{Params, Stmt};
+use qdp_sim::{BatchedStates, Observable, StateVector};
+
+use crate::exec::GradientEngine;
+use crate::transform::TransformError;
+
+/// What one request asks for. Seeds live here (not in the compatibility
+/// key) so clients with distinct seeds still coalesce.
+#[derive(Clone, Debug)]
+enum Request {
+    /// Exact forward value `⟨O⟩`.
+    Value { params: Params, obs: Observable },
+    /// Exact gradient via the per-parameter gadget multisets.
+    Gradient { params: Params, obs: Observable },
+    /// Exact gradient via the `±π/2` shift rule on the forward skeleton.
+    ShiftGradient { params: Params, obs: Observable },
+    /// Shot-sampled forward value on the client's seed stream.
+    ValueShots {
+        params: Params,
+        obs: Observable,
+        shots: usize,
+        seed: u64,
+    },
+    /// Shot-sampled gradient on the client's seed stream.
+    GradientShots {
+        params: Params,
+        obs: Observable,
+        shots_per_param: usize,
+        seed: u64,
+    },
+}
+
+/// The result of one request.
+#[derive(Clone, Debug)]
+enum Output {
+    Value(f64),
+    Gradient(BTreeMap<String, f64>),
+}
+
+/// Whether two requests may share one batched sweep: same kind, same
+/// valuation (`Params` is an ordered map, compared by value bits), same
+/// observable (register width, targets, matrix entries — compared
+/// bitwise via `Matrix: PartialEq`), same shot budget. Seeds are
+/// intentionally excluded: they become per-row streams.
+fn compatible(a: &Request, b: &Request) -> bool {
+    fn obs_eq(x: &Observable, y: &Observable) -> bool {
+        x.num_qubits() == y.num_qubits() && x.targets() == y.targets() && x.matrix() == y.matrix()
+    }
+    match (a, b) {
+        (
+            Request::Value { params: p1, obs: o1 },
+            Request::Value { params: p2, obs: o2 },
+        )
+        | (
+            Request::Gradient { params: p1, obs: o1 },
+            Request::Gradient { params: p2, obs: o2 },
+        )
+        | (
+            Request::ShiftGradient { params: p1, obs: o1 },
+            Request::ShiftGradient { params: p2, obs: o2 },
+        ) => p1 == p2 && obs_eq(o1, o2),
+        (
+            Request::ValueShots { params: p1, obs: o1, shots: s1, .. },
+            Request::ValueShots { params: p2, obs: o2, shots: s2, .. },
+        ) => s1 == s2 && p1 == p2 && obs_eq(o1, o2),
+        (
+            Request::GradientShots { params: p1, obs: o1, shots_per_param: s1, .. },
+            Request::GradientShots { params: p2, obs: o2, shots_per_param: s2, .. },
+        ) => s1 == s2 && p1 == p2 && obs_eq(o1, o2),
+        _ => false,
+    }
+}
+
+/// One queued request.
+#[derive(Debug)]
+struct Pending {
+    ticket: u64,
+    input: StateVector,
+    request: Request,
+}
+
+#[derive(Debug, Default)]
+struct TenantState {
+    pending: Vec<Pending>,
+    results: HashMap<u64, Output>,
+    /// Whether a leader is currently running a sweep.
+    leader: bool,
+    /// Sticky "serve whatever is pending" override of the admission
+    /// threshold; reset once the queue drains.
+    flush: bool,
+    /// Requests already admitted (the gate opened while they were queued)
+    /// but not yet drained into a group. The admission threshold gates a
+    /// *quiet* queue only: once it opens, everything pending at that
+    /// moment is owed a sweep, so an incompatible remainder smaller than
+    /// `min_batch` elects follow-up leaders instead of stranding.
+    admitted: usize,
+    next_ticket: u64,
+}
+
+/// One registered program: the shared engine plus the coalescing queue.
+#[derive(Debug)]
+struct Tenant {
+    engine: Arc<GradientEngine>,
+    state: Mutex<TenantState>,
+    ready: Condvar,
+    /// Batched sweeps run on behalf of this tenant.
+    sweeps: AtomicUsize,
+    /// Requests served (across all sweeps).
+    served: AtomicUsize,
+}
+
+/// An opaque reference to a registered program — cheap to clone and share
+/// across client threads.
+#[derive(Clone, Debug)]
+pub struct ProgramHandle {
+    tenant: Arc<Tenant>,
+}
+
+/// The compile-once gradient server (see the module docs).
+#[derive(Debug, Default)]
+pub struct GradientService {
+    tenants: Mutex<Vec<Arc<Tenant>>>,
+    min_batch: usize,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Steps a panicked leader down so followers re-elect instead of hanging
+/// forever on a leadership that will never complete.
+struct LeaderGuard<'a> {
+    tenant: &'a Tenant,
+    armed: bool,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            lock(&self.tenant.state).leader = false;
+            self.tenant.ready.notify_all();
+        }
+    }
+}
+
+impl GradientService {
+    /// A service that sweeps as soon as any request is pending
+    /// (`min_batch = 1`): correct everywhere, coalescing opportunistically
+    /// when requests happen to queue up.
+    pub fn new() -> Self {
+        GradientService {
+            tenants: Mutex::new(Vec::new()),
+            min_batch: 1,
+        }
+    }
+
+    /// A service whose leaders wait until `min_batch` requests are pending
+    /// before sweeping — the throughput knob: `N` compatible clients with
+    /// `min_batch = N` are guaranteed to share exactly one sweep. Pair
+    /// with [`flush`](Self::flush) when fewer requests may arrive.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min_batch` is zero.
+    pub fn with_admission(min_batch: usize) -> Self {
+        assert!(min_batch > 0, "admission threshold must be at least 1");
+        GradientService {
+            tenants: Mutex::new(Vec::new()),
+            min_batch,
+        }
+    }
+
+    /// Registers a program, deduplicating structurally: a program equal to
+    /// an already-registered one returns a handle to the **same** tenant
+    /// (same engine, same interned skeletons, shared coalescing queue).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`TransformError`] of engine construction.
+    pub fn register(&self, program: &Stmt) -> Result<ProgramHandle, TransformError> {
+        if let Some(t) = lock(&self.tenants)
+            .iter()
+            .find(|t| t.engine.program() == program)
+        {
+            return Ok(ProgramHandle { tenant: Arc::clone(t) });
+        }
+        // Engine construction (per-parameter transform + compile) runs
+        // outside the registry lock; a racing duplicate is resolved on
+        // re-entry below.
+        let engine = Arc::new(GradientEngine::new(program)?);
+        let mut tenants = lock(&self.tenants);
+        if let Some(t) = tenants.iter().find(|t| t.engine.program() == program) {
+            return Ok(ProgramHandle { tenant: Arc::clone(t) });
+        }
+        let tenant = Arc::new(Tenant {
+            engine,
+            state: Mutex::new(TenantState::default()),
+            ready: Condvar::new(),
+            sweeps: AtomicUsize::new(0),
+            served: AtomicUsize::new(0),
+        });
+        tenants.push(Arc::clone(&tenant));
+        Ok(ProgramHandle { tenant })
+    }
+
+    /// The handle's shared engine, for direct (uncoalesced) evaluation —
+    /// e.g. wiring a `qdp-vqc` trainer onto the same compiled skeletons
+    /// the service serves.
+    pub fn engine(&self, handle: &ProgramHandle) -> Arc<GradientEngine> {
+        Arc::clone(&handle.tenant.engine)
+    }
+
+    /// How many distinct programs are registered.
+    pub fn tenant_count(&self) -> usize {
+        lock(&self.tenants).len()
+    }
+
+    /// Batched sweeps run for this handle's program so far.
+    pub fn sweeps(&self, handle: &ProgramHandle) -> usize {
+        handle.tenant.sweeps.load(Ordering::Relaxed)
+    }
+
+    /// Requests served for this handle's program so far.
+    pub fn served(&self, handle: &ProgramHandle) -> usize {
+        handle.tenant.served.load(Ordering::Relaxed)
+    }
+
+    /// Overrides the admission threshold for everything currently pending
+    /// on this handle's program: the next leader sweeps whatever is queued
+    /// even if fewer than `min_batch` requests arrived.
+    pub fn flush(&self, handle: &ProgramHandle) {
+        lock(&handle.tenant.state).flush = true;
+        handle.tenant.ready.notify_all();
+    }
+
+    /// Exact forward value `⟨O⟩` — blocks until a (possibly shared) sweep
+    /// serves it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a used parameter has no value or the input width does
+    /// not match the program register.
+    pub fn expectation(
+        &self,
+        handle: &ProgramHandle,
+        params: &Params,
+        obs: &Observable,
+        psi: &StateVector,
+    ) -> f64 {
+        self.validate(handle, params, psi);
+        match self.submit(handle, psi.clone(), Request::Value {
+            params: params.clone(),
+            obs: obs.clone(),
+        }) {
+            Output::Value(v) => v,
+            Output::Gradient(_) => unreachable!("value requests produce scalar outputs"),
+        }
+    }
+
+    /// Exact gradient via the gadget multisets, keyed by parameter name.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`expectation`](Self::expectation).
+    pub fn gradient(
+        &self,
+        handle: &ProgramHandle,
+        params: &Params,
+        obs: &Observable,
+        psi: &StateVector,
+    ) -> BTreeMap<String, f64> {
+        self.validate(handle, params, psi);
+        match self.submit(handle, psi.clone(), Request::Gradient {
+            params: params.clone(),
+            obs: obs.clone(),
+        }) {
+            Output::Gradient(g) => g,
+            Output::Value(_) => unreachable!("gradient requests produce map outputs"),
+        }
+    }
+
+    /// Exact gradient via the `±π/2` shift rule on the single interned
+    /// forward skeleton (see
+    /// [`GradientEngine::gradient_pure_shift_batch`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`expectation`](Self::expectation), plus
+    /// shift-rule eligibility.
+    pub fn gradient_shift(
+        &self,
+        handle: &ProgramHandle,
+        params: &Params,
+        obs: &Observable,
+        psi: &StateVector,
+    ) -> BTreeMap<String, f64> {
+        self.validate(handle, params, psi);
+        assert!(
+            handle.tenant.engine.shift_rule_eligible(),
+            "shift-rule gradient requires every parameter to occur exactly once \
+             per execution path"
+        );
+        match self.submit(handle, psi.clone(), Request::ShiftGradient {
+            params: params.clone(),
+            obs: obs.clone(),
+        }) {
+            Output::Gradient(g) => g,
+            Output::Value(_) => unreachable!("gradient requests produce map outputs"),
+        }
+    }
+
+    /// Shot-sampled forward value on this client's own `seed` stream —
+    /// bit-identical to [`GradientEngine::value_pure_shots`] with the same
+    /// seed, no matter which clients it coalesced with.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`expectation`](Self::expectation), plus
+    /// `shots > 0`.
+    pub fn expectation_shots(
+        &self,
+        handle: &ProgramHandle,
+        params: &Params,
+        obs: &Observable,
+        psi: &StateVector,
+        shots: usize,
+        seed: u64,
+    ) -> f64 {
+        self.validate(handle, params, psi);
+        assert!(shots > 0, "need at least one shot");
+        match self.submit(handle, psi.clone(), Request::ValueShots {
+            params: params.clone(),
+            obs: obs.clone(),
+            shots,
+            seed,
+        }) {
+            Output::Value(v) => v,
+            Output::Gradient(_) => unreachable!("value requests produce scalar outputs"),
+        }
+    }
+
+    /// Shot-sampled gradient on this client's own `seed` stream —
+    /// bit-identical to [`GradientEngine::gradient_pure_shots`] with the
+    /// same seed, no matter which clients it coalesced with.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`expectation`](Self::expectation), plus
+    /// `shots_per_param > 0`.
+    pub fn gradient_shots(
+        &self,
+        handle: &ProgramHandle,
+        params: &Params,
+        obs: &Observable,
+        psi: &StateVector,
+        shots_per_param: usize,
+        seed: u64,
+    ) -> BTreeMap<String, f64> {
+        self.validate(handle, params, psi);
+        assert!(shots_per_param > 0, "need at least one shot per parameter");
+        match self.submit(handle, psi.clone(), Request::GradientShots {
+            params: params.clone(),
+            obs: obs.clone(),
+            shots_per_param,
+            seed,
+        }) {
+            Output::Gradient(g) => g,
+            Output::Value(_) => unreachable!("gradient requests produce map outputs"),
+        }
+    }
+
+    /// Fail fast on the caller's thread, before enqueueing: a request that
+    /// would panic mid-sweep would strand its whole coalesced group.
+    fn validate(&self, handle: &ProgramHandle, params: &Params, psi: &StateVector) {
+        let engine = &handle.tenant.engine;
+        assert_eq!(
+            psi.num_qubits(),
+            engine.register().len(),
+            "input state width must match the program register"
+        );
+        for name in engine.parameters() {
+            assert!(
+                params.get(name).is_some(),
+                "parameter '{name}' has no value"
+            );
+        }
+    }
+
+    /// Enqueues one request and blocks until its result is published,
+    /// serving as leader when elected (see the module docs).
+    fn submit(&self, handle: &ProgramHandle, input: StateVector, request: Request) -> Output {
+        let tenant = &*handle.tenant;
+        let mut st = lock(&tenant.state);
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.pending.push(Pending {
+            ticket,
+            input,
+            request,
+        });
+        loop {
+            if let Some(out) = st.results.remove(&ticket) {
+                return out;
+            }
+            let admitted =
+                st.pending.len() >= self.min_batch || st.flush || st.admitted > 0;
+            if !st.leader && !st.pending.is_empty() && admitted {
+                st.leader = true;
+                if st.admitted == 0 {
+                    // The gate just opened: everything queued right now is
+                    // owed service, however the head groups split it.
+                    st.admitted = st.pending.len();
+                }
+                // Drain the head group: oldest request plus every pending
+                // request compatible with it, in submission order.
+                let mut group: Vec<Pending> = Vec::new();
+                let mut rest: Vec<Pending> = Vec::new();
+                for p in st.pending.drain(..) {
+                    if group.is_empty() || compatible(&group[0].request, &p.request) {
+                        group.push(p);
+                    } else {
+                        rest.push(p);
+                    }
+                }
+                st.pending = rest;
+                st.admitted = st.admitted.saturating_sub(group.len());
+                if st.pending.is_empty() {
+                    st.flush = false;
+                    st.admitted = 0;
+                }
+                drop(st);
+
+                let mut guard = LeaderGuard {
+                    tenant,
+                    armed: true,
+                };
+                let outputs = run_group(&tenant.engine, &group);
+                tenant.sweeps.fetch_add(1, Ordering::Relaxed);
+                tenant.served.fetch_add(group.len(), Ordering::Relaxed);
+
+                st = lock(&tenant.state);
+                for (p, out) in group.iter().zip(outputs) {
+                    st.results.insert(p.ticket, out);
+                }
+                st.leader = false;
+                guard.armed = false;
+                tenant.ready.notify_all();
+                continue;
+            }
+            st = match tenant.ready.wait(st) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+}
+
+/// Runs one coalesced group as a single batched sweep and returns one
+/// output per member, in group (submission) order.
+fn run_group(engine: &GradientEngine, group: &[Pending]) -> Vec<Output> {
+    let rows: Vec<&StateVector> = group.iter().map(|p| &p.input).collect();
+    match &group[0].request {
+        Request::Value { params, obs } => {
+            let batch = BatchedStates::gather(&rows);
+            engine
+                .value_pure_batch(params, obs, &batch)
+                .into_iter()
+                .map(Output::Value)
+                .collect()
+        }
+        Request::Gradient { params, obs } => {
+            let batch = BatchedStates::gather(&rows);
+            engine
+                .gradient_pure_batch(params, obs, &batch)
+                .into_iter()
+                .map(Output::Gradient)
+                .collect()
+        }
+        Request::ShiftGradient { params, obs } => {
+            let batch = BatchedStates::gather(&rows);
+            engine
+                .gradient_pure_shift_batch(params, obs, &batch)
+                .into_iter()
+                .map(Output::Gradient)
+                .collect()
+        }
+        Request::ValueShots {
+            params, obs, shots, ..
+        } => {
+            let inputs: Vec<StateVector> = group.iter().map(|p| p.input.clone()).collect();
+            let row_seeds: Vec<u64> = group.iter().map(|p| request_seed(&p.request)).collect();
+            engine
+                .value_pure_shots_batch(params, obs, &inputs, *shots, &row_seeds)
+                .into_iter()
+                .map(Output::Value)
+                .collect()
+        }
+        Request::GradientShots {
+            params,
+            obs,
+            shots_per_param,
+            ..
+        } => {
+            let inputs: Vec<StateVector> = group.iter().map(|p| p.input.clone()).collect();
+            let row_seeds: Vec<u64> = group.iter().map(|p| request_seed(&p.request)).collect();
+            engine
+                .gradient_pure_shots_batch(params, obs, &inputs, *shots_per_param, &row_seeds)
+                .into_iter()
+                .map(Output::Gradient)
+                .collect()
+        }
+    }
+}
+
+/// The per-client seed of a shot request (exact requests carry none).
+fn request_seed(request: &Request) -> u64 {
+    match request {
+        Request::ValueShots { seed, .. } | Request::GradientShots { seed, .. } => *seed,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdp_lang::parse_program;
+
+    #[test]
+    fn registration_deduplicates_structurally() {
+        let service = GradientService::new();
+        let p = parse_program("q1 *= RX(a); q1 *= RY(b)").unwrap();
+        let same = parse_program("q1 *= RX(a); q1 *= RY(b)").unwrap();
+        let other = parse_program("q1 *= RX(a); q1 *= RZ(b)").unwrap();
+        let h1 = service.register(&p).unwrap();
+        let h2 = service.register(&same).unwrap();
+        let h3 = service.register(&other).unwrap();
+        assert!(Arc::ptr_eq(&h1.tenant, &h2.tenant));
+        assert!(!Arc::ptr_eq(&h1.tenant, &h3.tenant));
+        assert_eq!(service.tenant_count(), 2);
+    }
+
+    #[test]
+    fn solo_requests_match_direct_engine_calls() {
+        let service = GradientService::new();
+        let p = parse_program("q1 *= RX(a); q2 *= RY(b); q1, q2 *= RZZ(c)").unwrap();
+        let handle = service.register(&p).unwrap();
+        let engine = service.engine(&handle);
+        let params = Params::from_pairs([("a", 0.3), ("b", -0.7), ("c", 1.9)]);
+        let obs = Observable::pauli_z(2, 0);
+        let psi = StateVector::zero_state(2);
+
+        let v = service.expectation(&handle, &params, &obs, &psi);
+        let direct_v = engine.value_pure_batch(
+            &params,
+            &obs,
+            &BatchedStates::gather(&[&psi]),
+        )[0];
+        assert_eq!(v.to_bits(), direct_v.to_bits());
+
+        let g = service.gradient(&handle, &params, &obs, &psi);
+        let direct_g = engine.gradient_pure_batch(
+            &params,
+            &obs,
+            &BatchedStates::gather(&[&psi]),
+        );
+        for (name, val) in &g {
+            assert_eq!(val.to_bits(), direct_g[0][name].to_bits(), "∂/∂{name}");
+        }
+
+        let gs = service.gradient_shift(&handle, &params, &obs, &psi);
+        for (name, val) in &g {
+            assert!((gs[name] - val).abs() < 1e-10, "shift ∂/∂{name}");
+        }
+        assert_eq!(service.served(&handle), 3);
+        assert_eq!(service.sweeps(&handle), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no value")]
+    fn missing_parameter_fails_fast_on_the_caller_thread() {
+        let service = GradientService::new();
+        let p = parse_program("q1 *= RX(a)").unwrap();
+        let handle = service.register(&p).unwrap();
+        let _ = service.expectation(
+            &handle,
+            &Params::new(),
+            &Observable::pauli_z(1, 0),
+            &StateVector::zero_state(1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "width must match")]
+    fn mismatched_input_fails_fast_on_the_caller_thread() {
+        let service = GradientService::new();
+        let p = parse_program("q1 *= RX(a)").unwrap();
+        let handle = service.register(&p).unwrap();
+        let _ = service.expectation(
+            &handle,
+            &Params::from_pairs([("a", 0.2)]),
+            &Observable::pauli_z(1, 0),
+            &StateVector::zero_state(3),
+        );
+    }
+}

@@ -330,7 +330,8 @@ fn sampled_trajectories_are_bitwise_invariant_under_batch_composition() {
     for (ci, case) in cases().iter().enumerate().take(3) {
         let param = case.engine.parameters().next().expect("has parameters");
         let diff = differentiate(case.engine.program(), param).unwrap();
-        let lowered = diff.lowered();
+        let skeleton = diff.skeleton();
+        let lowered = skeleton.lowered();
         let values = lowered.slot_values(&case.params);
         let Some(prog) = lowered.programs().first() else {
             continue;

@@ -1,0 +1,437 @@
+//! Cache-correctness suite of the interned-program pipeline (PR 8).
+//!
+//! * **Memoization differential** — randomized branching programs, the
+//!   interned [`qdp_ad::CompiledSkeleton`] against a fresh
+//!   [`LoweredSet::lower`] of the same compiled multiset: expectation
+//!   sweeps must agree **bitwise**, and [`TrajSkeleton`] slot-patching must
+//!   reproduce the freshly-resolved trajectory's sampled runs bit for bit
+//!   across successive valuations of one shared skeleton.
+//! * **Collision probes** — near-miss programs (wider register, renamed
+//!   parameter, ancilla-extended register, shifted constant angle) must
+//!   fingerprint apart and intern as distinct entries; a *forced* key
+//!   collision is covered by the in-module cache tests.
+//! * **Concurrent first-touch** — 8 threads interning one program through
+//!   a fresh cache must share a single compilation.
+//! * **Compile-count acceptance** — a 36-parameter `P2`-shaped circuit's
+//!   shift-rule gradient lowers exactly **one** program skeleton (the
+//!   gadget path lowers 36 multisets / 72 programs for the same gradient),
+//!   and the two paths agree to 1e-8.
+
+use qdp_ad::{differentiate, lower_invocations, GradientEngine, LoweredSet, ProgramCache};
+use qdp_lang::ast::{Angle, Gate, Params, Stmt, Var};
+use qdp_lang::{parse_program, program_fingerprint, Register};
+use qdp_linalg::{C64, Pauli};
+use qdp_sim::{BatchedStates, Observable, ShotEngine, ShotSampler, StateVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn var(i: usize) -> Var {
+    Var::new(format!("q{}", i + 1))
+}
+
+/// A random branching program over `n` qubits: rotations, couplings,
+/// resets, computational `case`s, and bounded `while` loops.
+fn random_branching_program(rng: &mut StdRng, n: usize, params: &[String], len: usize) -> Stmt {
+    let axes = [Pauli::X, Pauli::Y, Pauli::Z];
+    let mut stmts: Vec<Stmt> = Vec::with_capacity(len + n);
+    for q in 0..n {
+        stmts.push(Stmt::unitary(Gate::H, [var(q)]));
+    }
+    for _ in 0..len {
+        let param = params[rng.gen_range(0..params.len())].clone();
+        let axis = axes[rng.gen_range(0..3usize)];
+        let q = rng.gen_range(0..n);
+        match rng.gen_range(0..8usize) {
+            0 | 1 => stmts.push(Stmt::rot(axis, param, var(q))),
+            2 => stmts.push(Stmt::unitary(
+                Gate::Rot {
+                    axis,
+                    angle: Angle {
+                        param: Some(param),
+                        offset: std::f64::consts::PI / 2.0,
+                    },
+                },
+                [var(q)],
+            )),
+            3 if n >= 2 => {
+                let mut q2 = rng.gen_range(0..n);
+                while q2 == q {
+                    q2 = rng.gen_range(0..n);
+                }
+                stmts.push(Stmt::unitary(
+                    Gate::Coupling {
+                        axis,
+                        angle: Angle::param(param),
+                    },
+                    [var(q), var(q2)],
+                ));
+            }
+            3 => stmts.push(Stmt::unitary(Gate::H, [var(q)])),
+            4 => stmts.push(Stmt::init(var(q))),
+            5 | 6 => {
+                let other = params[rng.gen_range(0..params.len())].clone();
+                stmts.push(Stmt::Case {
+                    qs: vec![var(q)],
+                    arms: vec![
+                        Stmt::rot(axis, param, var((q + 1) % n)),
+                        Stmt::rot(axes[rng.gen_range(0..3usize)], other, var(q)),
+                    ],
+                });
+            }
+            _ => stmts.push(Stmt::while_bounded(
+                var(q),
+                rng.gen_range(1..3usize) as u32,
+                Stmt::rot(axis, param, var(q)),
+            )),
+        }
+    }
+    Stmt::seq(stmts)
+}
+
+/// A random normalised pure state on `n` qubits.
+fn random_state(rng: &mut StdRng, n: usize) -> StateVector {
+    let dim = 1usize << n;
+    let mut amps: Vec<C64> = (0..dim)
+        .map(|_| C64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+        .collect();
+    let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+    for a in &mut amps {
+        *a *= C64::real(1.0 / norm);
+    }
+    StateVector::from_amplitudes(n, amps)
+}
+
+// ---------------------------------------------------------------------------
+// Memoization differentials
+// ---------------------------------------------------------------------------
+
+#[test]
+fn interned_lowering_matches_fresh_lowering_bitwise() {
+    let mut rng = StdRng::seed_from_u64(0xCACE);
+    for trial in 0..10 {
+        let n = 1 + (trial % 4);
+        let params: Vec<String> = (0..3).map(|i| format!("mz{i}")).collect();
+        let program = random_branching_program(&mut rng, n, &params, 4 + trial % 6);
+        let diff = differentiate(&program, &params[0]).unwrap();
+
+        let skeleton = diff.skeleton();
+        let fresh = LoweredSet::lower(diff.compiled(), diff.ext_register());
+        assert_eq!(skeleton.lowered().param_names(), fresh.param_names());
+
+        let values = Params::from_pairs(
+            params
+                .iter()
+                .map(|p| (p.clone(), rng.gen::<f64>() * std::f64::consts::TAU)),
+        );
+        let slots = fresh.slot_values(&values);
+        let ext_obs = Observable::pauli_z(n, 0).with_ancilla_z();
+        let inputs: Vec<StateVector> = (0..5)
+            .map(|_| StateVector::zero_state(1).tensor(&random_state(&mut rng, n)))
+            .collect();
+        let batch = BatchedStates::from_states(&inputs);
+
+        let cached_out = skeleton.lowered().expectation_batch(&slots, &batch, &ext_obs);
+        let fresh_out = fresh.expectation_batch(&slots, &batch, &ext_obs);
+        for (r, (c, f)) in cached_out.iter().zip(&fresh_out).enumerate() {
+            assert_eq!(
+                c.to_bits(),
+                f.to_bits(),
+                "trial {trial} row {r}: cached {c} vs fresh {f}"
+            );
+        }
+    }
+}
+
+#[test]
+fn trajectory_skeleton_patching_matches_fresh_resolution_bitwise() {
+    // Two successive valuations through ONE interned skeleton: patching
+    // must leave no residue of the first valuation in the second, and each
+    // patched trajectory must drive the shot engine bit-identically to a
+    // freshly resolved one.
+    let mut rng = StdRng::seed_from_u64(0x7A7A);
+    for trial in 0..8 {
+        let n = 1 + (trial % 4);
+        let params: Vec<String> = (0..3).map(|i| format!("tk{i}")).collect();
+        let program = random_branching_program(&mut rng, n, &params, 5);
+        let reg = Register::from_program(&program);
+        let skeleton = ProgramCache::new().intern(std::slice::from_ref(&program), &reg);
+        let fresh = LoweredSet::lower(std::slice::from_ref(&program), &reg);
+
+        for round in 0..2 {
+            let values = Params::from_pairs(
+                params
+                    .iter()
+                    .map(|p| (p.clone(), rng.gen::<f64>() * std::f64::consts::TAU)),
+            );
+            let slots = fresh.slot_values(&values);
+            let patched = ShotEngine::new(skeleton.trajectory_at(0, &slots));
+            let resolved = ShotEngine::new(fresh.programs()[0].resolve(&slots).to_trajectory());
+
+            let inputs: Vec<StateVector> = (0..4).map(|_| random_state(&mut rng, reg.len())).collect();
+            let seed = 0xF00 + (trial * 2 + round) as u64;
+            let mut samplers_a: Vec<ShotSampler> = (0..inputs.len())
+                .map(|r| ShotSampler::derived(seed, r as u64))
+                .collect();
+            let mut samplers_b: Vec<ShotSampler> = (0..inputs.len())
+                .map(|r| ShotSampler::derived(seed, r as u64))
+                .collect();
+            let out_a = patched.run(BatchedStates::from_states(&inputs), &mut samplers_a);
+            let out_b = resolved.run(BatchedStates::from_states(&inputs), &mut samplers_b);
+            for (r, (a, b)) in out_a.iter().zip(&out_b).enumerate() {
+                assert_eq!(a.outcomes, b.outcomes, "trial {trial} round {round} row {r}");
+                match (&a.state, &b.state) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => {
+                        for (k, (xa, ya)) in x.amplitudes().iter().zip(y.amplitudes()).enumerate() {
+                            assert_eq!(
+                                xa.re.to_bits(),
+                                ya.re.to_bits(),
+                                "trial {trial} round {round} row {r} amp {k} re"
+                            );
+                            assert_eq!(
+                                xa.im.to_bits(),
+                                ya.im.to_bits(),
+                                "trial {trial} round {round} row {r} amp {k} im"
+                            );
+                        }
+                    }
+                    _ => panic!("abort status diverged on trial {trial} round {round} row {r}"),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collision probes: near-miss programs must not alias
+// ---------------------------------------------------------------------------
+
+#[test]
+fn near_miss_programs_fingerprint_and_intern_apart() {
+    let base = parse_program("q1 *= RX(np)").unwrap();
+    let base_reg = Register::from_program(&base);
+
+    let renamed = parse_program("q1 *= RX(nq)").unwrap();
+    let wide_reg = Register::from_vars([Var::new("q1"), Var::new("q2")]);
+    let ext_reg = base_reg.with_ancilla_front(Var::new("Anc"));
+    let offset = Stmt::unitary(
+        Gate::Rot {
+            axis: Pauli::X,
+            angle: Angle {
+                param: Some("np".to_string()),
+                offset: 0.25,
+            },
+        },
+        [Var::new("q1")],
+    );
+
+    let fp = program_fingerprint(&base, &base_reg);
+    assert_ne!(
+        fp,
+        program_fingerprint(&renamed, &Register::from_program(&renamed)),
+        "parameter rename must change the fingerprint"
+    );
+    assert_ne!(
+        fp,
+        program_fingerprint(&base, &wide_reg),
+        "register width must be part of the key"
+    );
+    assert_ne!(
+        fp,
+        program_fingerprint(&base, &ext_reg),
+        "ancilla extension must be part of the key"
+    );
+    assert_ne!(
+        fp,
+        program_fingerprint(&offset, &base_reg),
+        "constant angle offset must change the fingerprint"
+    );
+
+    // And a fresh cache keeps all five variants as distinct entries with
+    // distinct skeletons.
+    let cache = ProgramCache::new();
+    let s_base = cache.intern(std::slice::from_ref(&base), &base_reg);
+    let s_renamed = cache.intern(std::slice::from_ref(&renamed), &Register::from_program(&renamed));
+    let s_wide = cache.intern(std::slice::from_ref(&base), &wide_reg);
+    let s_ext = cache.intern(std::slice::from_ref(&base), &ext_reg);
+    let s_offset = cache.intern(std::slice::from_ref(&offset), &base_reg);
+    assert!(!Arc::ptr_eq(&s_base, &s_renamed));
+    assert!(!Arc::ptr_eq(&s_base, &s_wide));
+    assert!(!Arc::ptr_eq(&s_base, &s_ext));
+    assert!(!Arc::ptr_eq(&s_base, &s_offset));
+    assert_eq!(cache.unique_programs(), 5);
+    assert_eq!(cache.total_lowers(), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent first-touch
+// ---------------------------------------------------------------------------
+
+#[test]
+fn concurrent_first_touch_compiles_once() {
+    let cache = Arc::new(ProgramCache::new());
+    let program = vec![parse_program("q1 *= RX(ct); q2 *= RY(ct); q1, q2 *= RZZ(cu)").unwrap()];
+    let reg = Register::from_program(&program[0]);
+    let barrier = Arc::new(std::sync::Barrier::new(8));
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            let program = program.clone();
+            let reg = reg.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                cache.intern(&program, &reg)
+            })
+        })
+        .collect();
+    let skeletons: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for s in &skeletons[1..] {
+        assert!(Arc::ptr_eq(&skeletons[0], s), "all threads must share one skeleton");
+    }
+    let stats = cache.stats(&program, &reg).unwrap();
+    assert_eq!(stats.lowers, 1, "first touch must compile exactly once");
+    assert_eq!(stats.hits, 7, "the other seven interns are hits");
+}
+
+// ---------------------------------------------------------------------------
+// Compile-count acceptance: 36 parameters, ONE lowered skeleton
+// ---------------------------------------------------------------------------
+
+/// The paper's `Q(Γ)` rotation block with parameters `"{prefix}0..11"`
+/// over `q1..q4` — rebuilt locally so this binary's copy of the circuit is
+/// interned by this test alone (the process-wide cache is shared by every
+/// test thread in the binary; a unique program makes the compile-count
+/// delta exact).
+fn rot_block(prefix: &str) -> Stmt {
+    let mut stmts = Vec::with_capacity(12);
+    for (stage, axis) in [Pauli::X, Pauli::Y, Pauli::Z].into_iter().enumerate() {
+        for q in 0..4 {
+            stmts.push(Stmt::rot(
+                axis,
+                format!("{prefix}{}", stage * 4 + q),
+                var(q),
+            ));
+        }
+    }
+    Stmt::seq(stmts)
+}
+
+/// `P2`-shaped: `Q(Θ); case M[q1] = 0 → Q(Φ), 1 → Q(Ψ) end`, 36 params.
+fn p2_shaped() -> Stmt {
+    Stmt::seq([
+        rot_block("cT"),
+        Stmt::Case {
+            qs: vec![Var::new("q1")],
+            arms: vec![rot_block("cF"), rot_block("cS")],
+        },
+    ])
+}
+
+#[test]
+fn shift_gradient_of_36_param_circuit_lowers_exactly_one_skeleton() {
+    let program = p2_shaped();
+    let engine = GradientEngine::new(&program).unwrap();
+    assert_eq!(engine.parameters().count(), 36);
+    assert!(engine.shift_rule_eligible(), "each of the 36 params occurs once per path");
+    // The gadget path compiles one multiset per parameter; the shift path
+    // evaluates ONE shared skeleton at 72 shifted valuations instead.
+    assert_eq!(engine.total_programs(), 36);
+
+    let params = Params::from_pairs(
+        engine
+            .parameters()
+            .enumerate()
+            .map(|(i, name)| (name.to_string(), 0.2 + 0.31 * i as f64)),
+    );
+    let obs = Observable::pauli_z(4, 0);
+    let psi = StateVector::zero_state(4);
+
+    // Lowering happens on the interning thread (inside the entry's
+    // `get_or_init`), and this binary interns this circuit nowhere else,
+    // so the thread-local invocation counter delta is exact.
+    let before = lower_invocations();
+    let shift = engine.gradient_pure_shift(&params, &obs, &psi);
+    let after_shift = lower_invocations();
+    assert_eq!(
+        after_shift - before,
+        1,
+        "a 36-param shift gradient must lower exactly one program skeleton"
+    );
+    assert_eq!(shift.len(), 36);
+
+    // Warm repeat: zero additional compilations, bit-identical results.
+    let warm = engine.gradient_pure_shift(&params, &obs, &psi);
+    assert_eq!(lower_invocations(), after_shift, "warm calls must not re-lower");
+    for (name, v) in &shift {
+        assert_eq!(v.to_bits(), warm[name].to_bits(), "∂/∂{name} drifted across cache states");
+    }
+
+    // The gadget path: one lowered multiset per parameter — the 36× cost
+    // the shift path collapses — and the two gradients agree to 1e-8.
+    let before_gadget = lower_invocations();
+    let gadget = engine.gradient_pure(&params, &obs, &psi);
+    assert_eq!(
+        lower_invocations() - before_gadget,
+        36,
+        "the gadget path lowers one multiset per parameter"
+    );
+    for (name, v) in &gadget {
+        assert!(
+            (shift[name] - v).abs() < 1e-8,
+            "∂/∂{name}: shift {} vs gadget {v}",
+            shift[name]
+        );
+    }
+}
+
+#[test]
+fn shift_rule_matches_gadget_gradient_on_branching_programs() {
+    let sources = [
+        "q1 *= RX(ga); q2 *= RY(gb); q1, q2 *= RZZ(gc); q2 *= RZ(gd)",
+        "q1 *= RX(ga); case M[q1] = 0 -> q2 *= RY(gb), 1 -> q2 *= RZ(gc) end; q2 *= RX(gd)",
+        "q1 *= H; q1 *= RY(ga); case M[q1] = 0 -> q2 *= RX(gb), 1 -> q2 := |0> end",
+    ];
+    let mut rng = StdRng::seed_from_u64(0x51F7);
+    for (i, src) in sources.iter().enumerate() {
+        let program = parse_program(src).unwrap();
+        let engine = GradientEngine::new(&program).unwrap();
+        assert!(engine.shift_rule_eligible(), "program {i}");
+        let n = engine.register().len();
+        let params = Params::from_pairs(
+            engine
+                .parameters()
+                .map(|name| (name.to_string(), rng.gen::<f64>() * std::f64::consts::TAU)),
+        );
+        let obs = Observable::pauli_z(n, n - 1);
+        for _ in 0..3 {
+            let psi = random_state(&mut rng, n);
+            let shift = engine.gradient_pure_shift(&params, &obs, &psi);
+            let gadget = engine.gradient_pure(&params, &obs, &psi);
+            let diffs: BTreeMap<&String, f64> = shift
+                .iter()
+                .map(|(name, v)| (name, (v - gadget[name]).abs()))
+                .collect();
+            assert!(
+                diffs.values().all(|&d| d < 1e-8),
+                "program {i}: shift vs gadget diverged: {diffs:?}"
+            );
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "occur exactly once")]
+fn shift_rule_rejects_parameters_that_repeat_along_a_path() {
+    let program = parse_program("q1 *= RX(rp); q1 *= RY(rp)").unwrap();
+    let engine = GradientEngine::new(&program).unwrap();
+    assert!(!engine.shift_rule_eligible());
+    let _ = engine.gradient_pure_shift(
+        &Params::from_pairs([("rp", 0.4)]),
+        &Observable::pauli_z(1, 0),
+        &StateVector::zero_state(1),
+    );
+}

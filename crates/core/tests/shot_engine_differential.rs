@@ -217,11 +217,12 @@ fn batched_trajectories_of_derivative_multisets_match_serial() {
     let program = qdp_lang::parse_program(src).unwrap();
     let diff = qdp_ad::differentiate(&program, "t").unwrap();
     let params = Params::from_pairs([("t", 1.234)]);
-    let values = diff.lowered().slot_values(&params);
+    let skeleton = diff.skeleton();
+    let values = skeleton.lowered().slot_values(&params);
     for (i, (compiled, lowered)) in diff
         .compiled()
         .iter()
-        .zip(diff.lowered().programs())
+        .zip(skeleton.lowered().programs())
         .enumerate()
     {
         let engine = ShotEngine::new(lowered.resolve(&values).to_trajectory());

@@ -34,6 +34,7 @@
 pub mod ast;
 pub mod compile;
 pub mod denot;
+pub mod intern;
 pub mod lexer;
 pub mod metrics;
 pub mod noise;
@@ -46,5 +47,6 @@ pub mod superop;
 pub mod wf;
 
 pub use ast::{Angle, Gate, Params, Stmt, Var};
+pub use intern::{multiset_fingerprint, program_fingerprint, StructuralHasher};
 pub use parser::parse_program;
 pub use register::Register;

@@ -101,6 +101,37 @@ impl BatchedStates {
         }
     }
 
+    /// Builds a batch by gathering borrowed rows — the admission path of a
+    /// request coalescer, where the inputs of concurrently queued clients
+    /// live in separate allocations and are tiled into one contiguous block
+    /// for a single kernel sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the rows disagree on the register width.
+    pub fn gather(rows: &[&StateVector]) -> Self {
+        let n_qubits = rows.first().map_or(0, |s| s.num_qubits());
+        let dim = 1usize << n_qubits;
+        let mut re = Vec::with_capacity(rows.len() * dim);
+        let mut im = Vec::with_capacity(rows.len() * dim);
+        for s in rows {
+            assert_eq!(
+                s.num_qubits(),
+                n_qubits,
+                "all states of a batch must share one register"
+            );
+            let (sre, sim) = s.planes();
+            re.extend_from_slice(sre);
+            im.extend_from_slice(sim);
+        }
+        BatchedStates {
+            n_qubits,
+            rows: rows.len(),
+            re,
+            im,
+        }
+    }
+
     /// A batch of `rows` copies of one state — the starting block of a shot
     /// sweep (every trajectory departs from the same prepared input). Built
     /// in one pass over the contiguous planes.

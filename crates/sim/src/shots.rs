@@ -151,6 +151,38 @@ impl TrajProgram {
         self.ops.push(TrajOp::Abort);
     }
 
+    /// Mutable access to the matrix of one `Gate` op, addressed by a path
+    /// that alternates op index and `Case`-arm index from the root:
+    /// `[i]` is `ops[i]`, `[i, a, j]` is op `j` inside arm `a` of the
+    /// `Case` at `ops[i]`, and so on. This is the slot-patching seam of the
+    /// compile-once pipeline: a cached trajectory skeleton re-substitutes
+    /// only its parameterized matrices per valuation instead of rebuilding
+    /// the whole program.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the path runs off the program or does not end on a
+    /// `Gate` op.
+    pub fn gate_matrix_mut(&mut self, path: &[usize]) -> &mut Matrix {
+        let (&op_idx, rest) = path
+            .split_first()
+            .unwrap_or_else(|| panic!("gate path must not be empty"));
+        let op = self
+            .ops
+            .get_mut(op_idx)
+            .unwrap_or_else(|| panic!("gate path op index {op_idx} out of range"));
+        match (op, rest) {
+            (TrajOp::Gate { matrix, .. }, []) => matrix,
+            (TrajOp::Case { arms, .. }, [arm_idx, deeper @ ..]) => {
+                let arm = arms
+                    .get_mut(*arm_idx)
+                    .unwrap_or_else(|| panic!("gate path arm index {arm_idx} out of range"));
+                arm.gate_matrix_mut(deeper)
+            }
+            _ => panic!("gate path does not address a Gate op"),
+        }
+    }
+
     /// Number of top-level operations.
     pub fn len(&self) -> usize {
         self.ops.len()

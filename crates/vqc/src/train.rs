@@ -23,6 +23,7 @@ use qdp_sim::{derive_seed, BatchedStates, Observable, StateVector};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A labelled pure-state dataset.
 pub type Dataset = Vec<(StateVector, f64)>;
@@ -241,7 +242,7 @@ impl Checkpoint {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct Trainer {
-    engine: GradientEngine,
+    engine: Arc<GradientEngine>,
     observable: Observable,
     /// The dataset's input states packed contiguously — built once, reused
     /// by every batched forward/gradient sweep (the only copy held).
@@ -270,13 +271,26 @@ impl Trainer {
         observable: Observable,
         dataset: Dataset,
     ) -> Result<Self, TransformError> {
-        let engine = GradientEngine::new(program)?;
+        let engine = Arc::new(GradientEngine::new(program)?);
+        Ok(Self::with_engine(engine, observable, dataset))
+    }
+
+    /// Builds a trainer over an **already-compiled** engine — the engine
+    /// a [`qdp_ad::GradientService`] hands out for a registered program,
+    /// so the trainer and the service share one set of interned compiled
+    /// artifacts instead of differentiating and lowering the program a
+    /// second time.
+    pub fn with_engine(
+        engine: Arc<GradientEngine>,
+        observable: Observable,
+        dataset: Dataset,
+    ) -> Self {
         let params = engine
             .parameters()
             .map(|name| (name.to_string(), 0.0))
             .collect();
         let (inputs, labels): (Vec<StateVector>, Vec<f64>) = dataset.into_iter().unzip();
-        Ok(Trainer {
+        Trainer {
             engine,
             observable,
             batch: BatchedStates::from_states(&inputs),
@@ -284,7 +298,7 @@ impl Trainer {
             params,
             shot_noise: None,
             shot_epoch: 0,
-        })
+        }
     }
 
     /// Switches between exact evaluation (`None`, the default) and
