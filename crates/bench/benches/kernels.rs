@@ -72,6 +72,59 @@ fn bench_gate_apply(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-tier ablation of the explicit SIMD kernels (`qdp_sim::simd`): the
+/// same plane-seam gate sweeps under every tier this host can run, so a
+/// criterion report shows exactly what each vector width buys per dispatch
+/// class. Workloads: 14-qubit pure state (16 Ki amplitudes, L2-resident) —
+/// RX at an interior stride (dense contiguous runs), RX/H/RZ/CNOT at the
+/// lowest bit (the `mask = 1` deinterleave shape), and a dense 2q coupling
+/// rotation (chunked runs).
+fn bench_simd_tiers(c: &mut Criterion) {
+    use qdp_sim::simd::{self, SimdTier};
+    use qdp_sim::StateVector;
+
+    let mut group = c.benchmark_group("simd_tiers_14q_pure");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+
+    let n = 14usize;
+    let mut amps = vec![C64::ZERO; 1 << n];
+    amps[0] = C64::new(0.6, 0.8);
+    let psi = StateVector::from_amplitudes(n, amps);
+
+    let rx = Matrix::rotation_x(0.7);
+    let h = Matrix::hadamard();
+    let rz = Matrix::rotation_z(0.7);
+    let cnot = Matrix::cnot();
+    let rxx = Matrix::coupling_rotation(qdp_linalg::Pauli::X, 0.7);
+    let cases: [(&str, &Matrix, &[usize]); 6] = [
+        ("rx_interior", &rx, &[5]),
+        ("rx_mask1", &rx, &[n - 1]),
+        ("h_mask1", &h, &[n - 1]),
+        ("rz_mask1", &rz, &[n - 1]),
+        ("cnot_mask1", &cnot, &[3, n - 1]),
+        ("rxx_runs", &rxx, &[3, 7]),
+    ];
+
+    let tiers: Vec<SimdTier> = [SimdTier::Scalar, SimdTier::Avx2, SimdTier::Avx512]
+        .into_iter()
+        .filter(|&t| t == SimdTier::Scalar || t <= simd::detected_tier())
+        .collect();
+    for tier in tiers {
+        simd::set_tier_cap(tier);
+        for (label, m, targets) in cases {
+            let mut buf = psi.clone();
+            group.bench_function(&format!("{tier:?}/{label}"), |b| {
+                b.iter(|| black_box(&mut buf).apply_gate(m, targets))
+            });
+        }
+    }
+    simd::set_tier_cap(SimdTier::Avx512); // uncap: active = detected again
+    group.finish();
+}
+
 fn bench_small_state(c: &mut Criterion) {
     let mut group = c.benchmark_group("gate_apply_6q_pure");
     group
@@ -93,5 +146,5 @@ fn bench_small_state(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gate_apply, bench_small_state);
+criterion_group!(benches, bench_gate_apply, bench_simd_tiers, bench_small_state);
 criterion_main!(benches);

@@ -55,8 +55,9 @@
 use qdp_ad::estimator::{estimate_derivative, estimate_derivative_batched};
 use qdp_ad::GradientEngine;
 use qdp_lang::ast::Params;
-use qdp_linalg::{C64, Matrix};
+use qdp_linalg::{C64, Matrix, Pauli};
 use qdp_sim::kernels::{apply_matrix, apply_matrix_reference, set_reference_kernels};
+use qdp_sim::simd::{self, SimdTier};
 use qdp_sim::{BatchedStates, DensityMatrix, Measurement, ShotSampler, StateVector};
 use qdp_vqc::circuits::p1;
 use qdp_vqc::loss::{Loss, SquaredLoss};
@@ -136,6 +137,18 @@ const PR6_BRANCHING_BATCHED_NS: f64 = 1268493.9;
 /// regression floor for the legacy headline.
 const PR5_GATE_APPLY_DENSITY_NS: f64 = 748660.7;
 
+/// PR-7 (split-plane scalar kernels) record of the batched 16×10q seam
+/// micro-workloads — the *before* numbers the PR-9 explicit SIMD tier
+/// compares against. Taken from the committed BENCH_sim.json at commit
+/// 151fc02, measured on the same machine/flags (an AVX-512 host) with the
+/// identical workload and iteration policy.
+const PR7_GATE_H_NS: f64 = 8046.4;
+const PR7_GATE_RX_NS: f64 = 11214.7;
+const PR7_GATE_RZ_NS: f64 = 8172.8;
+const PR7_GATE_CNOT_NS: f64 = 9561.5;
+const PR7_BLOCK_PROBS_NS: f64 = 5850.5;
+const PR7_BLOCK_COLLAPSE_NS: f64 = 9681.4;
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sim.json".to_string());
 
@@ -154,6 +167,30 @@ fn main() {
     let gate_rx_ns = time_ns(|| micro_batch.apply_gate(&rx, &[5]));
     let gate_rz_ns = time_ns(|| micro_batch.apply_gate(&rz, &[6]));
     let gate_cnot_ns = time_ns(|| micro_batch.apply_gate(&cnot, &[3, 7]));
+
+    // PR-9 SIMD micro-workloads: the `mask = 1` deinterleave orbits the
+    // explicit kernels target (row qubit 9 → stride-2 plane pairs) and a
+    // dense-2q contiguous-run shape (row qubits 3,7 → run length 4), plus
+    // the same workloads with the tier capped to the scalar fallback — an
+    // in-process speedup oracle immune to cross-session machine drift.
+    let rxx = Matrix::coupling_rotation(Pauli::X, 0.7);
+    let gate_h_m1_ns = time_ns(|| micro_batch.apply_gate(&h, &[9]));
+    let gate_rx_m1_ns = time_ns(|| micro_batch.apply_gate(&rx, &[9]));
+    let gate_rz_m1_ns = time_ns(|| micro_batch.apply_gate(&rz, &[9]));
+    let gate_cnot_m1_ns = time_ns(|| micro_batch.apply_gate(&cnot, &[3, 9]));
+    let gate_rxx_ns = time_ns(|| micro_batch.apply_gate(&rxx, &[3, 7]));
+
+    let simd_tier = simd::active_tier();
+    simd::set_tier_cap(SimdTier::Scalar);
+    let scalar_rx_ns = time_ns(|| micro_batch.apply_gate(&rx, &[5]));
+    let scalar_rx_m1_ns = time_ns(|| micro_batch.apply_gate(&rx, &[9]));
+    let scalar_cnot_m1_ns = time_ns(|| micro_batch.apply_gate(&cnot, &[3, 9]));
+    let scalar_rxx_ns = time_ns(|| micro_batch.apply_gate(&rxx, &[3, 7]));
+    simd::set_tier_cap(SimdTier::Avx512); // uncap: active = detected again
+    let simd_rx_speedup = scalar_rx_ns / gate_rx_ns;
+    let simd_mask1_speedup = scalar_rx_m1_ns / gate_rx_m1_ns;
+    let simd_cnot_mask1_speedup = scalar_cnot_m1_ns / gate_cnot_m1_ns;
+    let simd_rxx_speedup = scalar_rxx_ns / gate_rxx_ns;
 
     let micro_batch = BatchedStates::from_states(&micro_states);
     let micro_meas = Measurement::computational(vec![4]);
@@ -514,12 +551,16 @@ fn main() {
     let gate_total_ns = gate_h_ns + gate_rx_ns + gate_rz_ns + gate_cnot_ns;
     let pr6_gate_total_ns = PR6_GATE_H_NS + PR6_GATE_RX_NS + PR6_GATE_RZ_NS + PR6_GATE_CNOT_NS;
     let gate_apply_speedup = pr6_gate_total_ns / gate_total_ns;
+    let pr7_gate_total_ns = PR7_GATE_H_NS + PR7_GATE_RX_NS + PR7_GATE_RZ_NS + PR7_GATE_CNOT_NS;
+    let gate_apply_speedup_vs_pr7 = pr7_gate_total_ns / gate_total_ns;
     let meas_micro_total_ns = block_probs_ns + block_collapse_ns;
     let pr6_meas_micro_total_ns = PR6_BLOCK_PROBS_NS + PR6_BLOCK_COLLAPSE_NS;
     let meas_micro_speedup = pr6_meas_micro_total_ns / meas_micro_total_ns;
+    let pr7_meas_micro_total_ns = PR7_BLOCK_PROBS_NS + PR7_BLOCK_COLLAPSE_NS;
+    let meas_micro_speedup_vs_pr7 = pr7_meas_micro_total_ns / meas_micro_total_ns;
 
     let json = format!(
-        "{{\n  \"bench\": \"sim\",\n  \"threads\": {},\n  \"gate_apply\": {{\n    \"workload\": \"16x10q batched seam, L2-resident, one gate per dispatch class (H dense-real, RX dense-complex, RZ diagonal, CNOT block-diagonal)\",\n    \"gate_h_ns\": {gate_h_ns:.1},\n    \"gate_rx_ns\": {gate_rx_ns:.1},\n    \"gate_rz_ns\": {gate_rz_ns:.1},\n    \"gate_cnot_ns\": {gate_cnot_ns:.1},\n    \"total_ns\": {gate_total_ns:.1},\n    \"pr6_gate_h_ns\": {PR6_GATE_H_NS:.1},\n    \"pr6_gate_rx_ns\": {PR6_GATE_RX_NS:.1},\n    \"pr6_gate_rz_ns\": {PR6_GATE_RZ_NS:.1},\n    \"pr6_gate_cnot_ns\": {PR6_GATE_CNOT_NS:.1},\n    \"pr6_total_ns\": {pr6_gate_total_ns:.1},\n    \"speedup_vs_pr6\": {gate_apply_speedup:.2}\n  }},\n  \"gate_apply_10q_density\": {{\n    \"gate\": \"H on row qubit 4\",\n    \"fast_ns\": {gate_fast_ns:.1},\n    \"reference_ns\": {gate_ref_ns:.1},\n    \"speedup\": {gate_speedup:.2}\n  }},\n  \"gradient_p1_24_params\": {{\n    \"workload\": \"GradientEngine::gradient_pure on P1\",\n    \"fast_ns\": {grad_fast_ns:.1},\n    \"reference_ns\": {grad_ref_ns:.1},\n    \"speedup\": {grad_speedup:.2}\n  }},\n  \"gradient_batch_16x\": {{\n    \"workload\": \"Trainer::loss_gradient on P1, {batch_size}-sample batch\",\n    \"batched_ns\": {batch_fast_ns:.1},\n    \"serial_loop_ns\": {batch_serial_ns:.1},\n    \"speedup\": {batch_speedup:.2}\n  }},\n  \"estimator_shots\": {{\n    \"workload\": \"shot-noise P1 gradient, {est_shots} shots x 24 params\",\n    \"batched_ns\": {shots_batched_ns:.1},\n    \"pr6_batched_ns\": {PR6_ESTIMATOR_SHOTS_BATCHED_NS:.1},\n    \"serial_loop_ns\": {shots_serial_ns:.1},\n    \"speedup\": {shots_speedup:.2}\n  }},\n  \"gradient_branching_batch\": {{\n    \"workload\": \"branch-weighted P2 gradient, {batch_size}-sample batch x {branch_params} params\",\n    \"batched_ns\": {branch_batched_ns:.1},\n    \"pr6_batched_ns\": {PR6_BRANCHING_BATCHED_NS:.1},\n    \"per_row_ns\": {branch_serial_ns:.1},\n    \"speedup\": {branch_speedup:.2}\n  }},\n  \"measurement_sweep\": {{\n    \"workload\": \"P2 branching gradient multisets ({branch_params} params, {batch_size}-row exact sweeps) + {meas_shots}-shot estimate, block vs per-row measurement\",\n    \"exact_block_ns\": {meas_block_ns:.1},\n    \"exact_per_row_ns\": {meas_per_row_ns:.1},\n    \"sampled_block_ns\": {meas_sampled_block_ns:.1},\n    \"sampled_serial_ns\": {meas_sampled_serial_ns:.1},\n    \"sampled_speedup\": {meas_sampled_speedup:.2},\n    \"speedup\": {meas_speedup:.2},\n    \"block_probs_ns\": {block_probs_ns:.1},\n    \"block_collapse_ns\": {block_collapse_ns:.1},\n    \"micro_total_ns\": {meas_micro_total_ns:.1},\n    \"pr6_block_probs_ns\": {PR6_BLOCK_PROBS_NS:.1},\n    \"pr6_block_collapse_ns\": {PR6_BLOCK_COLLAPSE_NS:.1},\n    \"pr6_micro_total_ns\": {pr6_meas_micro_total_ns:.1},\n    \"micro_speedup_vs_pr6\": {meas_micro_speedup:.2}\n  }},\n  \"compile_cache\": {{\n    \"workload\": \"36-param P2 gradient, 1 input; fresh 36-multiset lowering vs interned warm path vs single-skeleton shift rule\",\n    \"lower_36_multisets_ns\": {lower_36_ns:.1},\n    \"gradient_cold_ns\": {grad_cold_ns:.1},\n    \"gradient_warm_ns\": {grad_warm_ns:.1},\n    \"warm_speedup_vs_cold\": {warm_speedup:.2},\n    \"gradient_shift_ns\": {grad_shift_ns:.1},\n    \"shift_lowered_programs\": {shift_lowered_programs},\n    \"shift_speedup_vs_warm\": {shift_speedup:.2}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"sim\",\n  \"threads\": {},\n  \"gate_apply\": {{\n    \"workload\": \"16x10q batched seam, L2-resident, one gate per dispatch class (H dense-real, RX dense-complex, RZ diagonal, CNOT block-diagonal)\",\n    \"gate_h_ns\": {gate_h_ns:.1},\n    \"gate_rx_ns\": {gate_rx_ns:.1},\n    \"gate_rz_ns\": {gate_rz_ns:.1},\n    \"gate_cnot_ns\": {gate_cnot_ns:.1},\n    \"simd_tier\": \"{simd_tier:?}\",\n    \"gate_h_mask1_ns\": {gate_h_m1_ns:.1},\n    \"gate_rx_mask1_ns\": {gate_rx_m1_ns:.1},\n    \"gate_rz_mask1_ns\": {gate_rz_m1_ns:.1},\n    \"gate_cnot_mask1_ns\": {gate_cnot_m1_ns:.1},\n    \"gate_rxx_ns\": {gate_rxx_ns:.1},\n    \"scalar_gate_rx_ns\": {scalar_rx_ns:.1},\n    \"scalar_gate_rx_mask1_ns\": {scalar_rx_m1_ns:.1},\n    \"scalar_gate_cnot_mask1_ns\": {scalar_cnot_m1_ns:.1},\n    \"scalar_gate_rxx_ns\": {scalar_rxx_ns:.1},\n    \"simd_rx_speedup\": {simd_rx_speedup:.2},\n    \"simd_mask1_speedup\": {simd_mask1_speedup:.2},\n    \"simd_cnot_mask1_speedup\": {simd_cnot_mask1_speedup:.2},\n    \"simd_rxx_speedup\": {simd_rxx_speedup:.2},\n    \"total_ns\": {gate_total_ns:.1},\n    \"pr6_gate_h_ns\": {PR6_GATE_H_NS:.1},\n    \"pr6_gate_rx_ns\": {PR6_GATE_RX_NS:.1},\n    \"pr6_gate_rz_ns\": {PR6_GATE_RZ_NS:.1},\n    \"pr6_gate_cnot_ns\": {PR6_GATE_CNOT_NS:.1},\n    \"pr6_total_ns\": {pr6_gate_total_ns:.1},\n    \"speedup_vs_pr6\": {gate_apply_speedup:.2},\n    \"pr7_gate_h_ns\": {PR7_GATE_H_NS:.1},\n    \"pr7_gate_rx_ns\": {PR7_GATE_RX_NS:.1},\n    \"pr7_gate_rz_ns\": {PR7_GATE_RZ_NS:.1},\n    \"pr7_gate_cnot_ns\": {PR7_GATE_CNOT_NS:.1},\n    \"pr7_total_ns\": {pr7_gate_total_ns:.1},\n    \"speedup_vs_pr7\": {gate_apply_speedup_vs_pr7:.2}\n  }},\n  \"gate_apply_10q_density\": {{\n    \"gate\": \"H on row qubit 4\",\n    \"fast_ns\": {gate_fast_ns:.1},\n    \"reference_ns\": {gate_ref_ns:.1},\n    \"speedup\": {gate_speedup:.2}\n  }},\n  \"gradient_p1_24_params\": {{\n    \"workload\": \"GradientEngine::gradient_pure on P1\",\n    \"fast_ns\": {grad_fast_ns:.1},\n    \"reference_ns\": {grad_ref_ns:.1},\n    \"speedup\": {grad_speedup:.2}\n  }},\n  \"gradient_batch_16x\": {{\n    \"workload\": \"Trainer::loss_gradient on P1, {batch_size}-sample batch\",\n    \"batched_ns\": {batch_fast_ns:.1},\n    \"serial_loop_ns\": {batch_serial_ns:.1},\n    \"speedup\": {batch_speedup:.2}\n  }},\n  \"estimator_shots\": {{\n    \"workload\": \"shot-noise P1 gradient, {est_shots} shots x 24 params\",\n    \"batched_ns\": {shots_batched_ns:.1},\n    \"pr6_batched_ns\": {PR6_ESTIMATOR_SHOTS_BATCHED_NS:.1},\n    \"serial_loop_ns\": {shots_serial_ns:.1},\n    \"speedup\": {shots_speedup:.2}\n  }},\n  \"gradient_branching_batch\": {{\n    \"workload\": \"branch-weighted P2 gradient, {batch_size}-sample batch x {branch_params} params\",\n    \"batched_ns\": {branch_batched_ns:.1},\n    \"pr6_batched_ns\": {PR6_BRANCHING_BATCHED_NS:.1},\n    \"per_row_ns\": {branch_serial_ns:.1},\n    \"speedup\": {branch_speedup:.2}\n  }},\n  \"measurement_sweep\": {{\n    \"workload\": \"P2 branching gradient multisets ({branch_params} params, {batch_size}-row exact sweeps) + {meas_shots}-shot estimate, block vs per-row measurement\",\n    \"exact_block_ns\": {meas_block_ns:.1},\n    \"exact_per_row_ns\": {meas_per_row_ns:.1},\n    \"sampled_block_ns\": {meas_sampled_block_ns:.1},\n    \"sampled_serial_ns\": {meas_sampled_serial_ns:.1},\n    \"sampled_speedup\": {meas_sampled_speedup:.2},\n    \"speedup\": {meas_speedup:.2},\n    \"block_probs_ns\": {block_probs_ns:.1},\n    \"block_collapse_ns\": {block_collapse_ns:.1},\n    \"micro_total_ns\": {meas_micro_total_ns:.1},\n    \"pr6_block_probs_ns\": {PR6_BLOCK_PROBS_NS:.1},\n    \"pr6_block_collapse_ns\": {PR6_BLOCK_COLLAPSE_NS:.1},\n    \"pr6_micro_total_ns\": {pr6_meas_micro_total_ns:.1},\n    \"micro_speedup_vs_pr6\": {meas_micro_speedup:.2},\n    \"pr7_block_probs_ns\": {PR7_BLOCK_PROBS_NS:.1},\n    \"pr7_block_collapse_ns\": {PR7_BLOCK_COLLAPSE_NS:.1},\n    \"pr7_micro_total_ns\": {pr7_meas_micro_total_ns:.1},\n    \"micro_speedup_vs_pr7\": {meas_micro_speedup_vs_pr7:.2}\n  }},\n  \"compile_cache\": {{\n    \"workload\": \"36-param P2 gradient, 1 input; fresh 36-multiset lowering vs interned warm path vs single-skeleton shift rule\",\n    \"lower_36_multisets_ns\": {lower_36_ns:.1},\n    \"gradient_cold_ns\": {grad_cold_ns:.1},\n    \"gradient_warm_ns\": {grad_warm_ns:.1},\n    \"warm_speedup_vs_cold\": {warm_speedup:.2},\n    \"gradient_shift_ns\": {grad_shift_ns:.1},\n    \"shift_lowered_programs\": {shift_lowered_programs},\n    \"shift_speedup_vs_warm\": {shift_speedup:.2}\n  }}\n}}\n",
         qdp_par::max_threads(),
     );
     std::fs::write(&out_path, &json).expect("write benchmark record");
@@ -576,4 +617,35 @@ fn main() {
         "the interned warm gradient must clearly beat cold per-call \
          recompilation (got {warm_speedup:.2}x)"
     );
+
+    // PR-9 SIMD guards. The in-process scalar-vs-SIMD ratios are the
+    // primary oracle — same machine, same run, immune to cross-session
+    // drift; the PR-7 constants pin the cross-PR trend and only apply when
+    // the wide tier is live (the PR-7 record came from an AVX-512 host).
+    if simd_tier != SimdTier::Scalar {
+        assert!(
+            simd_mask1_speedup >= 1.5,
+            "the mask=1 deinterleave kernel must clearly beat the scalar \
+             fallback (got {simd_mask1_speedup:.2}x; the recorded target is 3x)"
+        );
+        let rx_floor = if simd_tier == SimdTier::Avx512 { 1.3 } else { 1.0 };
+        assert!(
+            simd_rx_speedup >= rx_floor,
+            "the dense-complex contiguous-run kernel regressed against the \
+             scalar fallback (got {simd_rx_speedup:.2}x, floor {rx_floor}x)"
+        );
+        assert!(
+            simd_cnot_mask1_speedup >= 1.0 && simd_rxx_speedup >= 1.0,
+            "a SIMD dispatch class fell behind its scalar fallback \
+             (cnot mask1 {simd_cnot_mask1_speedup:.2}x, rxx {simd_rxx_speedup:.2}x)"
+        );
+    }
+    if simd_tier == SimdTier::Avx512 {
+        assert!(
+            PR7_GATE_RX_NS / gate_rx_ns >= 1.3,
+            "the RX dense-complex seam gate regressed against the PR-7 \
+             scalar record ({gate_rx_ns:.1}ns vs {PR7_GATE_RX_NS:.1}ns; \
+             the floor is 1.3x)"
+        );
+    }
 }

@@ -9,7 +9,9 @@
 //!
 //! * a gate can be applied to every row with the operator matrix built
 //!   **once** (the per-row kernels are the same bit-deposit fast paths
-//!   [`crate::kernels::apply_matrix_planes`] uses for a single state),
+//!   [`crate::kernels::apply_matrix_planes`] uses for a single state,
+//!   including the runtime-dispatched [`crate::simd`] vector tiers — rows
+//!   are plane slices, so batches inherit the explicit kernels for free),
 //! * batched evaluators can hand out disjoint row plane slices to `qdp_par`
 //!   workers without any per-row allocation, and
 //! * every future backend (stabilizer, shot-noise, multi-backend dispatch)

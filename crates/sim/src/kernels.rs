@@ -37,6 +37,7 @@
 //! Every fast path is validated against [`embed`] on randomised inputs to
 //! `1e-12` (see `crates/sim/tests/kernel_properties.rs`).
 
+use crate::simd::{self, Chain1q, SimdTier};
 use qdp_linalg::{C64, Matrix};
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -558,6 +559,19 @@ fn apply_1q_planes(re: &mut [f64], im: &mut [f64], n: usize, m: &Matrix, t: usiz
         return;
     }
 
+    // Explicit SIMD tier for the dense contiguous-run and `mask = 1`
+    // orbits (see `crate::simd` for the bitwise-oracle contract).
+    // `mask == 2` is deliberately left to the scalar kernel: its
+    // two-element runs are too short for full vectors and the stride-2
+    // deinterleave shape does not apply.
+    let tier = simd::active_tier();
+    if tier != SimdTier::Scalar && mask != 2 {
+        let g = [m00, m01, m10, m11];
+        let chain = simd::classify_1q(&g, true);
+        apply_1q_dense_simd(re, im, mask, &g, chain, tier);
+        return;
+    }
+
     // Same real/generic split as `apply_1q`, with the per-orbit arithmetic
     // transcribed onto raw plane scalars. The expressions below perform the
     // identical floating-point operations (same order, same associativity,
@@ -594,7 +608,7 @@ fn apply_1q_planes(re: &mut [f64], im: &mut [f64], n: usize, m: &Matrix, t: usiz
 /// to `+0.0`, so folding it away would change bits.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn complex_pair(
+pub(crate) fn complex_pair(
     g00: C64,
     g01: C64,
     g10: C64,
@@ -677,6 +691,39 @@ fn apply_1q_with_planes(
     qdp_par::par_chunks2_mut(re, im, align, move |_, cre, cim| sweep(cre, cim, mask, pair));
 }
 
+/// SIMD twin of [`apply_1q_with_planes`]: the identical serial / top-bit /
+/// aligned-chunk parallel split (chunk boundaries are invisible to these
+/// elementwise kernels, so any split produces the same bits), with the
+/// inner sweeps dispatched to the `crate::simd` tier kernels.
+fn apply_1q_dense_simd(
+    re: &mut [f64],
+    im: &mut [f64],
+    mask: usize,
+    g: &[C64; 4],
+    chain: Chain1q,
+    tier: SimdTier,
+) {
+    let g = *g;
+    let align = mask << 1;
+    if re.len() < PAR_MIN_LEN || qdp_par::max_threads() < 2 {
+        simd::sweep_1q(tier, re, im, mask, &g, chain);
+        return;
+    }
+    if re.len() / align < 2 {
+        // `mask` is the top bit: the two orbit halves are contiguous; zip
+        // all four streams in lockstep.
+        let (lre, hre) = re.split_at_mut(mask);
+        let (lim, him) = im.split_at_mut(mask);
+        qdp_par::par_zip4_chunks_mut(lre, lim, hre, him, move |lr, li, hr, hi| {
+            simd::run_1q(tier, lr, li, hr, hi, &g, chain);
+        });
+        return;
+    }
+    qdp_par::par_chunks2_mut(re, im, align, move |_, cre, cim| {
+        simd::sweep_1q(tier, cre, cim, mask, &g, chain)
+    });
+}
+
 fn apply_2q_planes(re: &mut [f64], im: &mut [f64], n: usize, m: &Matrix, t0: usize, t1: usize) {
     let md = m.as_slice();
     let mut mm = [C64::ZERO; 16];
@@ -742,15 +789,43 @@ fn apply_2q_planes(re: &mut [f64], im: &mut [f64], n: usize, m: &Matrix, t0: usi
         }
     };
 
+    // Chunked-run SIMD treatment (ROADMAP item-1 follow-up): consecutive
+    // base indices below bit `b_lo` are contiguous — `deposit` inserts its
+    // zeros above them — so the base enumeration proceeds in runs of
+    // `2^b_lo` and each run feeds the vector kernel four contiguous
+    // streams at `base + off[..]`. Runs never span parallel chunks: chunk
+    // starts are multiples of `2^(b_hi-1) >= 2^b_lo` quarter-indices.
+    // `b_lo < 2` runs are too short for vectors and stay scalar.
+    let tier = simd::active_tier();
+    let simd_runs = tier != SimdTier::Scalar && b_lo >= 2;
+    let run_len = 1usize << b_lo;
+    let simd_body = move |cre: &mut [f64], cim: &mut [f64], start: usize, end: usize, shift: usize| {
+        let mut i = start;
+        while i < end {
+            let x = ((i & !low) << 1) | (i & low);
+            let base = (((x & !mid) << 1) | (x & mid)) - shift;
+            simd::run_2q(tier, cre, cim, base, &off, &mm, run_len);
+            i += run_len;
+        }
+    };
+
     let align = 1usize << (b_hi + 1);
     if re.len() >= PAR_MIN_LEN && qdp_par::max_threads() > 1 && re.len() / align >= 2 {
         qdp_par::par_chunks2_mut(re, im, align, |offset, cre, cim| {
             let first = offset >> 2;
-            body(cre, cim, first, first + (cre.len() >> 2), offset);
+            if simd_runs {
+                simd_body(cre, cim, first, first + (cre.len() >> 2), offset);
+            } else {
+                body(cre, cim, first, first + (cre.len() >> 2), offset);
+            }
         });
         return;
     }
-    body(re, im, 0, quarter, 0);
+    if simd_runs {
+        simd_body(re, im, 0, quarter, 0);
+    } else {
+        body(re, im, 0, quarter, 0);
+    }
 }
 
 /// Plane twin of [`apply_blockdiag_ctrl`], restructured into contiguous
@@ -772,6 +847,23 @@ fn apply_blockdiag_ctrl_planes(
 ) {
     let identity_a = a[0] == C64::ONE && a[1] == C64::ZERO && a[2] == C64::ZERO && a[3] == C64::ONE;
     let align = (cmask.max(tmask)) << 1;
+    let tier = simd::active_tier();
+
+    // `tmask == 1`: every orbit is a stride-2 pair, i.e. the `mask = 1`
+    // deinterleave-kernel shape, with the control bit constant over
+    // alternating `cmask`-length segments. Route whole chunks through the
+    // SIMD segment sweep (chunks are `2·cmask`-aligned either way).
+    if tmask == 1 && tier != SimdTier::Scalar {
+        let body = move |_: usize, cre: &mut [f64], cim: &mut [f64]| {
+            simd::sweep_blockdiag_t1(tier, cre, cim, cmask, &a, &b, identity_a);
+        };
+        if re.len() < PAR_MIN_LEN || qdp_par::max_threads() < 2 {
+            body(0, re, im);
+        } else {
+            qdp_par::par_chunks2_mut(re, im, align, body);
+        }
+        return;
+    }
 
     #[inline(always)]
     #[allow(clippy::too_many_arguments)]
@@ -793,6 +885,20 @@ fn apply_blockdiag_ctrl_planes(
             him[i] = hi;
         }
     }
+
+    // Every control-selected segment in the general path has the same
+    // loop-invariant length — `tmask` when the control sits above the
+    // target, `cmask` otherwise — so decide once, outside the sweep,
+    // whether segments go through the SIMD contiguous-run kernel or the
+    // inline scalar loop. Keeping the choice out of the per-segment path
+    // matters twice over: short segments (e.g. a CNOT whose target sits
+    // near the low bit) cannot amortize the non-inlinable
+    // `#[target_feature]` call, and a tier branch *inside* the hot loop
+    // pessimizes the scalar body's own codegen. The scalar block-diagonal
+    // kernel has no real fast path, so chains are classified with
+    // `allow_real = false`.
+    let seg_len = tmask.min(cmask);
+    let use_simd = tier != SimdTier::Scalar && seg_len >= 32;
 
     let body = |offset: usize, cre: &mut [f64], cim: &mut [f64]| {
         let tb = tmask << 1;
@@ -828,8 +934,74 @@ fn apply_blockdiag_ctrl_planes(
             }
         }
     };
+
+    let chain_a = simd::classify_1q(&a, false);
+    let chain_b = simd::classify_1q(&b, false);
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn seg_simd(
+        tier: SimdTier,
+        chain: Chain1q,
+        g: &[C64; 4],
+        lre: &mut [f64],
+        lim: &mut [f64],
+        hre: &mut [f64],
+        him: &mut [f64],
+        start: usize,
+        len: usize,
+    ) {
+        let end = start + len;
+        simd::run_1q(
+            tier,
+            &mut lre[start..end],
+            &mut lim[start..end],
+            &mut hre[start..end],
+            &mut him[start..end],
+            g,
+            chain,
+        );
+    }
+    let body_simd = |offset: usize, cre: &mut [f64], cim: &mut [f64]| {
+        let tb = tmask << 1;
+        for (r, (bre, bim)) in
+            cre.chunks_exact_mut(tb).zip(cim.chunks_exact_mut(tb)).enumerate()
+        {
+            let bstart = offset + r * tb;
+            let (lre, hre) = bre.split_at_mut(tmask);
+            let (lim, him) = bim.split_at_mut(tmask);
+            if cmask > tmask {
+                // The control bit is constant across this block.
+                if bstart & cmask != 0 {
+                    seg_simd(tier, chain_b, &b, lre, lim, hre, him, 0, tmask);
+                } else if !identity_a {
+                    seg_simd(tier, chain_a, &a, lre, lim, hre, him, 0, tmask);
+                }
+            } else {
+                // Same orbit structure as the scalar body above.
+                let mut i = cmask;
+                while i < tmask {
+                    seg_simd(tier, chain_b, &b, lre, lim, hre, him, i, cmask);
+                    i += cmask << 1;
+                }
+                if !identity_a {
+                    let mut i = 0;
+                    while i < tmask {
+                        seg_simd(tier, chain_a, &a, lre, lim, hre, him, i, cmask);
+                        i += cmask << 1;
+                    }
+                }
+            }
+        }
+    };
+
     if re.len() < PAR_MIN_LEN || qdp_par::max_threads() < 2 {
-        body(0, re, im);
+        if use_simd {
+            body_simd(0, re, im);
+        } else {
+            body(0, re, im);
+        }
+    } else if use_simd {
+        qdp_par::par_chunks2_mut(re, im, align, body_simd);
     } else {
         qdp_par::par_chunks2_mut(re, im, align, body);
     }
@@ -876,6 +1048,23 @@ fn apply_diag_planes(re: &mut [f64], im: &mut [f64], masks: &[usize], diag: &[C6
         // both entries hoist out of the sweep — no per-run outcome-index
         // computation or entry reload (which dominates at small `run`).
         let (d0, d1) = (diag[0], diag[1]);
+        // `run == 1` is the stride-2 `mask = 1` orbit shape: the SIMD tier
+        // multiplies by an interleaved `[d0, d1, …]` coefficient vector
+        // when both entries sit on the same real/complex branch and
+        // neither is the identity (the scalar kernel's per-entry skip).
+        // Larger runs are contiguous scales the autovectorizer handles.
+        let tier = simd::active_tier();
+        if run == 1 && tier != SimdTier::Scalar && simd::diag1_vectorizable(d0, d1) {
+            let body = move |_: usize, cre: &mut [f64], cim: &mut [f64]| {
+                simd::sweep_diag1(tier, cre, cim, d0, d1);
+            };
+            if re.len() < PAR_MIN_LEN || qdp_par::max_threads() < 2 {
+                body(0, re, im);
+            } else {
+                qdp_par::par_chunks2_mut(re, im, 2, body);
+            }
+            return;
+        }
         let body = move |_: usize, cre: &mut [f64], cim: &mut [f64]| {
             let block = run << 1;
             for (bre, bim) in cre.chunks_exact_mut(block).zip(cim.chunks_exact_mut(block)) {
@@ -954,8 +1143,27 @@ fn apply_kq_planes(re: &mut [f64], im: &mut [f64], n: usize, m: &Matrix, targets
     bits.sort_unstable();
 
     let md = m.as_slice();
-    let mut scratch = vec![C64::ZERO; dim_local];
     let n_bases = 1usize << (n - k);
+
+    // Chunked-run treatment (ROADMAP item-1 follow-up): base indices below
+    // bit `bits[0]` pass through `deposit_zeros` unchanged, so consecutive
+    // `i` under `2^bits[0]` yield consecutive bases — each run feeds the
+    // vector kernel `2^k` contiguous streams at `base + offsets[..]`.
+    // `k <= 5` keeps the per-run scratch inside the kernel's stack arrays;
+    // shorter runs (`bits[0] < 2`) stay on the scalar path.
+    let tier = simd::active_tier();
+    if tier != SimdTier::Scalar && k <= 5 && bits[0] >= 2 {
+        let run_len = 1usize << bits[0];
+        let mut i = 0usize;
+        while i < n_bases {
+            let base = deposit_zeros(i, &bits);
+            simd::run_kq(tier, re, im, base, &offsets, md, run_len.min(n_bases - i));
+            i += run_len;
+        }
+        return;
+    }
+
+    let mut scratch = vec![C64::ZERO; dim_local];
     for i in 0..n_bases {
         let base = deposit_zeros(i, &bits);
         for (slot, &off) in scratch.iter_mut().zip(offsets.iter()) {

@@ -32,6 +32,15 @@
 /// Number of independent partial sums in every lane-split reduction.
 pub(crate) const LANES: usize = 4;
 
+/// Minimum aligned-run length worth handing to the explicit vector
+/// accumulator ([`crate::simd::accumulate_lanes`]). The bits are identical
+/// either way — this only decides who runs. `#[target_feature]` kernels
+/// cannot inline into their callers, so short runs (the block-measurement
+/// sweeps fold mask-length runs of 32–128 amplitudes) pay a call + dispatch
+/// per run that outweighs the vector win; they stay on the inlined scalar
+/// block loop, which the autovectorizer already packs.
+const SIMD_MIN_LEN: usize = 256;
+
 /// The fixed combine tree over the four partials.
 #[inline(always)]
 pub(crate) fn combine(acc: [f64; LANES]) -> f64 {
@@ -62,11 +71,24 @@ pub(crate) fn lane_partials(re: &[f64], im: &[f64], start: usize) -> [f64; LANES
         // indexed `re[i + 3]` accesses carry bounds checks that force the
         // codegen scalar and spill the partials every element.
         let main = n & !(LANES - 1);
-        for (r4, i4) in re[..main].chunks_exact(LANES).zip(im[..main].chunks_exact(LANES)) {
-            acc[0] += r4[0] * r4[0] + i4[0] * i4[0];
-            acc[1] += r4[1] * r4[1] + i4[1] * i4[1];
-            acc[2] += r4[2] * r4[2] + i4[2] * i4[2];
-            acc[3] += r4[3] * r4[3] + i4[3] * i4[3];
+        // Length gate first: short runs skip the tier dispatch entirely
+        // (its atomic loads are per-call overhead on the run-folding paths).
+        let tier = if main >= SIMD_MIN_LEN {
+            crate::simd::active_tier()
+        } else {
+            crate::simd::SimdTier::Scalar
+        };
+        if tier != crate::simd::SimdTier::Scalar {
+            // The explicit 4-lane vector accumulator carries the exact
+            // per-lane fold bits, so the re-pinned contract is unchanged.
+            crate::simd::accumulate_lanes(tier, &mut acc, &re[..main], &im[..main]);
+        } else {
+            for (r4, i4) in re[..main].chunks_exact(LANES).zip(im[..main].chunks_exact(LANES)) {
+                acc[0] += r4[0] * r4[0] + i4[0] * i4[0];
+                acc[1] += r4[1] * r4[1] + i4[1] * i4[1];
+                acc[2] += r4[2] * r4[2] + i4[2] * i4[2];
+                acc[3] += r4[3] * r4[3] + i4[3] * i4[3];
+            }
         }
         for j in main..n {
             acc[j % LANES] += re[j] * re[j] + im[j] * im[j];
@@ -100,13 +122,27 @@ pub(crate) fn add_run(acc: &mut [f64; LANES], re: &[f64], im: &[f64], start: usi
         // straight into the caller's partials through panic-free
         // `chunks_exact` blocks (see [`lane_partials`]).
         let main = start + (len & !(LANES - 1));
-        for (r4, i4) in
-            re[start..main].chunks_exact(LANES).zip(im[start..main].chunks_exact(LANES))
-        {
-            acc[0] += r4[0] * r4[0] + i4[0] * i4[0];
-            acc[1] += r4[1] * r4[1] + i4[1] * i4[1];
-            acc[2] += r4[2] * r4[2] + i4[2] * i4[2];
-            acc[3] += r4[3] * r4[3] + i4[3] * i4[3];
+        // Length gate first, as in [`lane_partials`]: the bucketed sweeps
+        // fold thousands of short runs, so the dispatch must cost nothing
+        // there.
+        let tier = if main - start >= SIMD_MIN_LEN {
+            crate::simd::active_tier()
+        } else {
+            crate::simd::SimdTier::Scalar
+        };
+        if tier != crate::simd::SimdTier::Scalar {
+            // Same vector accumulator as [`lane_partials`]: identical
+            // per-lane fold, folded into the caller's running partials.
+            crate::simd::accumulate_lanes(tier, acc, &re[start..main], &im[start..main]);
+        } else {
+            for (r4, i4) in
+                re[start..main].chunks_exact(LANES).zip(im[start..main].chunks_exact(LANES))
+            {
+                acc[0] += r4[0] * r4[0] + i4[0] * i4[0];
+                acc[1] += r4[1] * r4[1] + i4[1] * i4[1];
+                acc[2] += r4[2] * r4[2] + i4[2] * i4[2];
+                acc[3] += r4[3] * r4[3] + i4[3] * i4[3];
+            }
         }
         for j in main..end {
             acc[j % LANES] += re[j] * re[j] + im[j] * im[j];

@@ -57,6 +57,7 @@ pub mod measurement;
 pub mod observable;
 pub mod sampling;
 pub mod shots;
+pub mod simd;
 pub mod state;
 
 pub use batch::BatchedStates;

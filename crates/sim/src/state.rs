@@ -15,8 +15,10 @@ use qdp_linalg::{C64, Matrix};
 /// Amplitudes are stored **split-plane** (SoA): the real parts in one
 /// contiguous `f64` plane, the imaginary parts in another, instead of an
 /// interleaved `Vec<C64>`. Every hot loop then walks plain contiguous `f64`
-/// streams, which is the shape LLVM's loop vectorizer turns into packed
-/// SIMD code. The layout is invisible at the public seam: gates, norms,
+/// streams — the shape both LLVM's loop vectorizer and the explicit
+/// runtime-dispatched vector kernels in [`crate::simd`] consume directly
+/// (the planes are handed to the AVX2/AVX-512 tiers without any gather or
+/// repack). The layout is invisible at the public seam: gates, norms,
 /// measurements and read-outs behave exactly as before, and
 /// [`amplitudes`](Self::amplitudes) gathers an interleaved copy on demand
 /// for oracle comparisons and interop.

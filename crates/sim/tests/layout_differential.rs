@@ -633,3 +633,311 @@ fn collapse_preserves_signed_zero_bits_across_layouts() {
         assert_eq!(plane_bits(rre, rim), amp_bits(&replay));
     }
 }
+
+// ---------------------------------------------------------------------------
+// 7. Explicit SIMD tiers (`qdp_sim::simd`) vs the scalar plane kernels vs
+//    the AoS oracle — bitwise, across every dispatch class (dense 1q,
+//    diagonal, block-diagonal, 2q/kq dense), every orbit shape (`mask = 1`
+//    deinterleave, top-bit split, interior strides, scalar-excluded
+//    `mask = 2` and short-run cases), and forced 1 / 2 / 8 worker threads.
+// ---------------------------------------------------------------------------
+
+use qdp_sim::simd::{self, SimdTier};
+
+/// Runs `f` with the SIMD tier capped at `cap`, restoring the previous cap
+/// afterwards. Callers hold the [`serialized`] guard: the cap is process
+/// state, like the thread override.
+fn with_tier_cap<T>(cap: SimdTier, f: impl FnOnce() -> T) -> T {
+    let prev = simd::tier_cap();
+    simd::set_tier_cap(cap);
+    let out = f();
+    simd::set_tier_cap(prev);
+    out
+}
+
+/// The vector tiers this machine can actually run. May be empty on hosts
+/// without AVX2+FMA — the suite then degenerates to pinning the scalar
+/// plane kernels against the AoS oracle, which still exercises the
+/// dispatch plumbing end to end (that is exactly the CI baseline leg).
+fn vector_tiers() -> Vec<SimdTier> {
+    [SimdTier::Avx2, SimdTier::Avx512]
+        .into_iter()
+        .filter(|&t| t <= simd::detected_tier())
+        .collect()
+}
+
+/// `[[I, 0], [0, u]]` — the block-diagonal (controlled-`u`) 4×4.
+fn controlled(u: &Matrix) -> Matrix {
+    let mut m = Matrix::identity(4);
+    for r in 0..2 {
+        for c in 0..2 {
+            m.set(2 + r, 2 + c, u.get(r, c));
+        }
+    }
+    m
+}
+
+/// Gate × target cases covering every SIMD dispatch class and chain
+/// variant on an `n`-qubit register, plus the deliberately-scalar shapes
+/// (`mask = 2`, short 2q/kq runs, identity-diagonal skip) so the dispatch
+/// boundaries themselves are pinned.
+fn simd_gate_cases(n: usize) -> Vec<(&'static str, Matrix, Vec<usize>)> {
+    let th = 0.7368_f64;
+    // Dense 2×2 with all eight components nonzero — the Full chain.
+    let dense_full = Matrix::rotation_z(1.1).mul(&Matrix::rotation_x(th));
+    let one_q_targets = [
+        ("mask1", n - 1),
+        ("mask2", n - 2), // scalar-excluded stride-2 shape
+        ("mid", n / 2),
+        ("top", 0),
+    ];
+    let mut cases: Vec<(&'static str, Matrix, Vec<usize>)> = Vec::new();
+    for &(_, t) in &one_q_targets {
+        cases.push(("dense-real-h", Matrix::hadamard(), vec![t]));
+        cases.push(("dense-cross-rx", Matrix::rotation_x(th), vec![t]));
+        cases.push(("dense-full", dense_full.clone(), vec![t]));
+        cases.push(("diag-complex-rz", Matrix::rotation_z(th), vec![t]));
+        cases.push((
+            "diag-real",
+            Matrix::diagonal(&[C64::real(0.6), C64::real(-0.8)]),
+            vec![t],
+        ));
+        // `d0 = 1` keeps the scalar identity-run skip: not vectorizable.
+        cases.push((
+            "diag-phase",
+            Matrix::diagonal(&[C64::ONE, C64::new(th.cos(), th.sin())]),
+            vec![t],
+        ));
+    }
+    // Block-diagonal: tmask = 1 segment sweep, cmask < tmask and
+    // cmask > tmask general shapes, real (CNOT) and complex chains.
+    cases.push(("cnot-tmask1", Matrix::cnot(), vec![0, n - 1]));
+    cases.push(("cnot-cmask-lt-tmask", Matrix::cnot(), vec![n - 1, 0]));
+    cases.push(("cnot-interior", Matrix::cnot(), vec![3, 7]));
+    cases.push(("ctrl-rx-tmask1", controlled(&Matrix::rotation_x(th)), vec![2, n - 1]));
+    cases.push(("ctrl-full-interior", controlled(&dense_full), vec![2, 8]));
+    // Dense 2q: contiguous-run kernel (b_lo ≥ 2) and the short-run
+    // scalar shape (b_lo < 2).
+    cases.push((
+        "2q-dense-rxx",
+        Matrix::coupling_rotation(qdp_linalg::Pauli::X, th),
+        vec![3, 7],
+    ));
+    cases.push((
+        "2q-dense-short-run",
+        Matrix::coupling_rotation(qdp_linalg::Pauli::Y, th),
+        vec![n - 2, n - 1],
+    ));
+    // Dense k = 3: chunked-run kernel (bits[0] ≥ 2) and the short-run
+    // scalar shape.
+    let dense_3q = dense_full.kron(&Matrix::hadamard()).kron(&Matrix::rotation_x(0.3));
+    cases.push(("3q-dense-runs", dense_3q.clone(), vec![2, 5, 9]));
+    cases.push(("3q-dense-short-run", dense_3q, vec![2, 5, n - 1]));
+    cases
+}
+
+#[test]
+fn simd_tiers_match_scalar_planes_and_aos_oracle_bitwise() {
+    let _guard = serialized();
+    let n = 14; // 16384 amplitudes: at the parallel dispatch threshold
+    let mut rng = 0x6121_u64;
+    let amps = random_state(n, &mut rng);
+
+    for (label, m, targets) in simd_gate_cases(n) {
+        // Independent AoS oracle.
+        let mut oracle = amps.clone();
+        apply_matrix(&mut oracle, n, &m, &targets);
+        let want = amp_bits(&oracle);
+
+        // Scalar plane baseline (cap forces the portable fallback even
+        // though this host may support wider tiers).
+        let scalar_bits = with_tier_cap(SimdTier::Scalar, || {
+            let mut psi = StateVector::from_amplitudes(n, amps.clone());
+            psi.apply_gate(&m, &targets);
+            let (re, im) = psi.planes();
+            plane_bits(re, im)
+        });
+        assert_eq!(scalar_bits, want, "{label} {targets:?}: scalar planes vs AoS oracle");
+
+        for tier in vector_tiers() {
+            for &threads in &THREAD_COUNTS {
+                qdp_par::set_max_threads(threads);
+                let got = with_tier_cap(tier, || {
+                    let mut psi = StateVector::from_amplitudes(n, amps.clone());
+                    psi.apply_gate(&m, &targets);
+                    let (re, im) = psi.planes();
+                    plane_bits(re, im)
+                });
+                qdp_par::set_max_threads(0);
+                assert_eq!(
+                    got, scalar_bits,
+                    "{label} {targets:?}: {tier:?} threads={threads} vs scalar planes"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn simd_tiers_match_scalar_on_batched_rows_bitwise() {
+    let _guard = serialized();
+    let n = 10;
+    let mut rng = 0x6367_u64;
+    let rows: Vec<Vec<C64>> = (0..16).map(|_| random_state(n, &mut rng)).collect();
+    let states: Vec<StateVector> = rows
+        .iter()
+        .map(|amps| StateVector::from_amplitudes(n, amps.clone()))
+        .collect();
+
+    let gates: [(&str, Matrix, Vec<usize>); 4] = [
+        ("h-mask1", Matrix::hadamard(), vec![n - 1]),
+        ("rx-mid", Matrix::rotation_x(0.9), vec![4]),
+        ("cnot", Matrix::cnot(), vec![1, n - 1]),
+        (
+            "rxx",
+            Matrix::coupling_rotation(qdp_linalg::Pauli::X, 0.9),
+            vec![2, 5],
+        ),
+    ];
+    for (label, m, targets) in gates {
+        let scalar_bits = with_tier_cap(SimdTier::Scalar, || {
+            let mut batch = BatchedStates::from_states(&states);
+            batch.apply_gate(&m, &targets);
+            let (re, im) = batch.planes();
+            plane_bits(re, im)
+        });
+        for tier in vector_tiers() {
+            for &threads in &THREAD_COUNTS {
+                qdp_par::set_max_threads(threads);
+                let got = with_tier_cap(tier, || {
+                    let mut batch = BatchedStates::from_states(&states);
+                    batch.apply_gate(&m, &targets);
+                    let (re, im) = batch.planes();
+                    plane_bits(re, im)
+                });
+                qdp_par::set_max_threads(0);
+                assert_eq!(got, scalar_bits, "{label}: {tier:?} threads={threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn simd_kernels_preserve_signed_zero_bits() {
+    let _guard = serialized();
+    let n = 10;
+    let mut rng = 0x6521_u64;
+    let mut amps = random_state(n, &mut rng);
+    // Salt the state with negative zeros in both components: the kernels'
+    // leading `0.0 +` flush and the untouched-segment copies must produce
+    // the same bits in every tier.
+    for i in (0..amps.len()).step_by(3) {
+        amps[i] = C64::new(-0.0, amps[i].im);
+    }
+    for i in (1..amps.len()).step_by(5) {
+        amps[i] = C64::new(amps[i].re, -0.0);
+    }
+    for i in (2..amps.len()).step_by(7) {
+        amps[i] = C64::new(-0.0, -0.0);
+    }
+
+    let th = 0.7368_f64;
+    let cases: [(&str, Matrix, Vec<usize>); 5] = [
+        ("dense-full-mask1", Matrix::rotation_z(1.1).mul(&Matrix::rotation_x(th)), vec![n - 1]),
+        ("dense-cross-mask1", Matrix::rotation_x(th), vec![n - 1]),
+        ("dense-real-mid", Matrix::hadamard(), vec![4]),
+        // CNOT: the control-clear half is never touched — its −0.0 bits
+        // must ride through the masked copy unchanged.
+        ("cnot-tmask1", Matrix::cnot(), vec![0, n - 1]),
+        ("ctrl-rx-interior", controlled(&Matrix::rotation_x(th)), vec![1, 5]),
+    ];
+    for (label, m, targets) in cases {
+        let scalar_bits = with_tier_cap(SimdTier::Scalar, || {
+            let mut psi = StateVector::from_amplitudes(n, amps.clone());
+            psi.apply_gate(&m, &targets);
+            let (re, im) = psi.planes();
+            plane_bits(re, im)
+        });
+        for tier in vector_tiers() {
+            let got = with_tier_cap(tier, || {
+                let mut psi = StateVector::from_amplitudes(n, amps.clone());
+                psi.apply_gate(&m, &targets);
+                let (re, im) = psi.planes();
+                plane_bits(re, im)
+            });
+            assert_eq!(got, scalar_bits, "{label}: {tier:?} vs scalar, signed-zero state");
+        }
+        if label == "cnot-tmask1" {
+            // Guard the guard: the untouched half really does carry −0.0.
+            let kept = scalar_bits
+                .iter()
+                .filter(|(r, i)| *r == (-0.0f64).to_bits() || *i == (-0.0f64).to_bits())
+                .count();
+            assert!(kept > 0, "expected surviving −0.0 bits in the untouched half");
+        }
+    }
+}
+
+#[test]
+fn simd_lane_reductions_match_scalar_bitwise() {
+    let _guard = serialized();
+    let n = 14; // long enough for the vector accumulator threshold
+    let mut rng = 0x6733_u64;
+    let amps = random_state(n, &mut rng);
+    let psi = StateVector::from_amplitudes(n, amps);
+    let (re, im) = psi.planes();
+
+    let measurements = [
+        Measurement::computational(vec![3]),
+        Measurement::computational(vec![0, 7]),
+        Measurement::computational(vec![n - 1]),
+    ];
+    let obs = Observable::pauli_z(n, 5);
+
+    let scalar = with_tier_cap(SimdTier::Scalar, || {
+        let mut probs = Vec::new();
+        let mut all = vec![psi.norm_sqr(), obs.expectation_planes(re, im)];
+        for meas in &measurements {
+            let mut p = Vec::new();
+            meas.branch_probabilities_planes_into(n, re, im, &mut p);
+            probs.append(&mut p);
+        }
+        all.append(&mut probs);
+        bits(&all)
+    });
+    for tier in vector_tiers() {
+        for &threads in &THREAD_COUNTS {
+            qdp_par::set_max_threads(threads);
+            let got = with_tier_cap(tier, || {
+                let mut probs = Vec::new();
+                let mut all = vec![psi.norm_sqr(), obs.expectation_planes(re, im)];
+                for meas in &measurements {
+                    let mut p = Vec::new();
+                    meas.branch_probabilities_planes_into(n, re, im, &mut p);
+                    probs.append(&mut p);
+                }
+                all.append(&mut probs);
+                bits(&all)
+            });
+            qdp_par::set_max_threads(0);
+            assert_eq!(got, scalar, "lane reductions: {tier:?} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn tier_capping_controls_active_dispatch() {
+    let _guard = serialized();
+    let prev = simd::tier_cap();
+    simd::set_tier_cap(SimdTier::Scalar);
+    assert_eq!(simd::active_tier(), SimdTier::Scalar, "scalar cap must mask all tiers");
+    simd::set_tier_cap(SimdTier::Avx2);
+    assert!(simd::active_tier() <= SimdTier::Avx2, "cap bounds the active tier");
+    simd::set_tier_cap(SimdTier::Avx512);
+    assert_eq!(
+        simd::active_tier(),
+        simd::detected_tier(),
+        "an uncapping cap restores full detection"
+    );
+    simd::set_tier_cap(prev);
+}
