@@ -48,12 +48,20 @@
 //!    evaluation) vs the warm interned path, plus the `±π/2` shift rule on
 //!    the **single** interned forward skeleton — whose compile count is
 //!    pinned in-process to exactly one lowered program.
+//! 8. `service_overload` — the `GradientService` under saturation: 32
+//!    clients racing into a `max_pending = 8` tenant (the shed count is
+//!    exact — the queue bound admits 8 and rejects 24 with a typed
+//!    `Overloaded`, whatever the interleaving), plus a live phase of
+//!    4 × 64 sequential requests at `min_batch = 1` recording a p50/p99
+//!    request-latency proxy under concurrent serving.
 //!
 //! Run with `scripts/bench_sim.sh` or
 //! `cargo run --release -p qdp-bench --bin bench_sim [output-path]`.
 
 use qdp_ad::estimator::{estimate_derivative, estimate_derivative_batched};
-use qdp_ad::GradientEngine;
+use qdp_ad::{
+    GradientEngine, GradientService, OverloadPolicy, RequestOptions, ServiceConfig,
+};
 use qdp_lang::ast::Params;
 use qdp_linalg::{C64, Matrix, Pauli};
 use qdp_sim::kernels::{apply_matrix, apply_matrix_reference, set_reference_kernels};
@@ -64,6 +72,7 @@ use qdp_vqc::loss::{Loss, SquaredLoss};
 use qdp_vqc::task;
 use qdp_vqc::train::Trainer;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Median-of-runs wall time in nanoseconds for `f`, self-calibrating the
@@ -535,6 +544,85 @@ fn main() {
     let warm_speedup = grad_cold_ns / grad_warm_ns;
     let shift_speedup = grad_warm_ns / grad_shift_ns;
 
+    // --- 8. service_overload: deterministic shedding + live latency. ------
+    // Phase 1 (queue fill): 32 clients race into a tenant whose admission
+    // threshold nothing reaches and whose queue holds 8 — whatever the
+    // arrival order, exactly 8 enqueue and 24 shed with a typed
+    // `Overloaded`, so the shed rate is a deterministic record, not a
+    // sample. A flush then serves the 8 survivors in one sweep. Phase 2
+    // (live): 4 clients each stream 64 requests through a min_batch=1
+    // service, giving a p50/p99 request-latency proxy under concurrent
+    // serving.
+    let overload_clients = 32usize;
+    let overload_bound = 8usize;
+    let fill_service = Arc::new(GradientService::with_config(ServiceConfig {
+        min_batch: overload_clients * 2,
+        max_pending: Some(overload_bound),
+        overload: OverloadPolicy::RejectNewest,
+    }));
+    let fill_handle = fill_service.register(&program).expect("P1 registers");
+    let fill_workers: Vec<_> = (0..overload_clients)
+        .map(|i| {
+            let (service, handle) = (Arc::clone(&fill_service), fill_handle.clone());
+            let (params, obs) = (params.clone(), obs.clone());
+            let psi = StateVector::from_bits(&[i % 2 == 0, false, true, false]);
+            std::thread::spawn(move || {
+                service
+                    .expectation_with(&handle, &params, &obs, &psi, &RequestOptions::new())
+                    .is_ok()
+            })
+        })
+        .collect();
+    // Every submit resolves immediately into "queued" or "shed"; flush only
+    // once all 32 are accounted for, so no straggler enqueues after the
+    // gate opens and hangs below the threshold.
+    while fill_service.shed(&fill_handle) + fill_service.pending_depth(&fill_handle)
+        < overload_clients
+    {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    fill_service.flush(&fill_handle);
+    let fill_ok = fill_workers
+        .into_iter()
+        .map(|w| w.join().expect("fill client"))
+        .filter(|&ok| ok)
+        .count();
+    let overload_shed = fill_service.shed(&fill_handle);
+    let overload_served = fill_service.served(&fill_handle);
+    let overload_shed_rate = overload_shed as f64 / overload_clients as f64;
+
+    let live_threads = 4usize;
+    let live_per_thread = 64usize;
+    let live_service = Arc::new(GradientService::new());
+    let live_handle = live_service.register(&program).expect("P1 registers");
+    let live_workers: Vec<_> = (0..live_threads)
+        .map(|t| {
+            let (service, handle) = (Arc::clone(&live_service), live_handle.clone());
+            let (params, obs) = (params.clone(), obs.clone());
+            let psi = StateVector::from_bits(&[t % 2 == 0, t % 2 == 1, true, false]);
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(live_per_thread);
+                for _ in 0..live_per_thread {
+                    let t0 = Instant::now();
+                    let v = service
+                        .expectation_with(&handle, &params, &obs, &psi, &RequestOptions::new())
+                        .expect("live request serves");
+                    std::hint::black_box(v);
+                    lat.push(t0.elapsed().as_nanos() as f64);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut live_lat: Vec<f64> = live_workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("live client"))
+        .collect();
+    live_lat.sort_by(f64::total_cmp);
+    let live_total = live_lat.len();
+    let live_p50_ns = live_lat[live_total / 2];
+    let live_p99_ns = live_lat[(live_total * 99) / 100];
+
     let gate_speedup = gate_ref_ns / gate_fast_ns;
     let grad_speedup = grad_ref_ns / grad_fast_ns;
     let batch_speedup = batch_serial_ns / batch_fast_ns;
@@ -560,7 +648,7 @@ fn main() {
     let meas_micro_speedup_vs_pr7 = pr7_meas_micro_total_ns / meas_micro_total_ns;
 
     let json = format!(
-        "{{\n  \"bench\": \"sim\",\n  \"threads\": {},\n  \"gate_apply\": {{\n    \"workload\": \"16x10q batched seam, L2-resident, one gate per dispatch class (H dense-real, RX dense-complex, RZ diagonal, CNOT block-diagonal)\",\n    \"gate_h_ns\": {gate_h_ns:.1},\n    \"gate_rx_ns\": {gate_rx_ns:.1},\n    \"gate_rz_ns\": {gate_rz_ns:.1},\n    \"gate_cnot_ns\": {gate_cnot_ns:.1},\n    \"simd_tier\": \"{simd_tier:?}\",\n    \"gate_h_mask1_ns\": {gate_h_m1_ns:.1},\n    \"gate_rx_mask1_ns\": {gate_rx_m1_ns:.1},\n    \"gate_rz_mask1_ns\": {gate_rz_m1_ns:.1},\n    \"gate_cnot_mask1_ns\": {gate_cnot_m1_ns:.1},\n    \"gate_rxx_ns\": {gate_rxx_ns:.1},\n    \"scalar_gate_rx_ns\": {scalar_rx_ns:.1},\n    \"scalar_gate_rx_mask1_ns\": {scalar_rx_m1_ns:.1},\n    \"scalar_gate_cnot_mask1_ns\": {scalar_cnot_m1_ns:.1},\n    \"scalar_gate_rxx_ns\": {scalar_rxx_ns:.1},\n    \"simd_rx_speedup\": {simd_rx_speedup:.2},\n    \"simd_mask1_speedup\": {simd_mask1_speedup:.2},\n    \"simd_cnot_mask1_speedup\": {simd_cnot_mask1_speedup:.2},\n    \"simd_rxx_speedup\": {simd_rxx_speedup:.2},\n    \"total_ns\": {gate_total_ns:.1},\n    \"pr6_gate_h_ns\": {PR6_GATE_H_NS:.1},\n    \"pr6_gate_rx_ns\": {PR6_GATE_RX_NS:.1},\n    \"pr6_gate_rz_ns\": {PR6_GATE_RZ_NS:.1},\n    \"pr6_gate_cnot_ns\": {PR6_GATE_CNOT_NS:.1},\n    \"pr6_total_ns\": {pr6_gate_total_ns:.1},\n    \"speedup_vs_pr6\": {gate_apply_speedup:.2},\n    \"pr7_gate_h_ns\": {PR7_GATE_H_NS:.1},\n    \"pr7_gate_rx_ns\": {PR7_GATE_RX_NS:.1},\n    \"pr7_gate_rz_ns\": {PR7_GATE_RZ_NS:.1},\n    \"pr7_gate_cnot_ns\": {PR7_GATE_CNOT_NS:.1},\n    \"pr7_total_ns\": {pr7_gate_total_ns:.1},\n    \"speedup_vs_pr7\": {gate_apply_speedup_vs_pr7:.2}\n  }},\n  \"gate_apply_10q_density\": {{\n    \"gate\": \"H on row qubit 4\",\n    \"fast_ns\": {gate_fast_ns:.1},\n    \"reference_ns\": {gate_ref_ns:.1},\n    \"speedup\": {gate_speedup:.2}\n  }},\n  \"gradient_p1_24_params\": {{\n    \"workload\": \"GradientEngine::gradient_pure on P1\",\n    \"fast_ns\": {grad_fast_ns:.1},\n    \"reference_ns\": {grad_ref_ns:.1},\n    \"speedup\": {grad_speedup:.2}\n  }},\n  \"gradient_batch_16x\": {{\n    \"workload\": \"Trainer::loss_gradient on P1, {batch_size}-sample batch\",\n    \"batched_ns\": {batch_fast_ns:.1},\n    \"serial_loop_ns\": {batch_serial_ns:.1},\n    \"speedup\": {batch_speedup:.2}\n  }},\n  \"estimator_shots\": {{\n    \"workload\": \"shot-noise P1 gradient, {est_shots} shots x 24 params\",\n    \"batched_ns\": {shots_batched_ns:.1},\n    \"pr6_batched_ns\": {PR6_ESTIMATOR_SHOTS_BATCHED_NS:.1},\n    \"serial_loop_ns\": {shots_serial_ns:.1},\n    \"speedup\": {shots_speedup:.2}\n  }},\n  \"gradient_branching_batch\": {{\n    \"workload\": \"branch-weighted P2 gradient, {batch_size}-sample batch x {branch_params} params\",\n    \"batched_ns\": {branch_batched_ns:.1},\n    \"pr6_batched_ns\": {PR6_BRANCHING_BATCHED_NS:.1},\n    \"per_row_ns\": {branch_serial_ns:.1},\n    \"speedup\": {branch_speedup:.2}\n  }},\n  \"measurement_sweep\": {{\n    \"workload\": \"P2 branching gradient multisets ({branch_params} params, {batch_size}-row exact sweeps) + {meas_shots}-shot estimate, block vs per-row measurement\",\n    \"exact_block_ns\": {meas_block_ns:.1},\n    \"exact_per_row_ns\": {meas_per_row_ns:.1},\n    \"sampled_block_ns\": {meas_sampled_block_ns:.1},\n    \"sampled_serial_ns\": {meas_sampled_serial_ns:.1},\n    \"sampled_speedup\": {meas_sampled_speedup:.2},\n    \"speedup\": {meas_speedup:.2},\n    \"block_probs_ns\": {block_probs_ns:.1},\n    \"block_collapse_ns\": {block_collapse_ns:.1},\n    \"micro_total_ns\": {meas_micro_total_ns:.1},\n    \"pr6_block_probs_ns\": {PR6_BLOCK_PROBS_NS:.1},\n    \"pr6_block_collapse_ns\": {PR6_BLOCK_COLLAPSE_NS:.1},\n    \"pr6_micro_total_ns\": {pr6_meas_micro_total_ns:.1},\n    \"micro_speedup_vs_pr6\": {meas_micro_speedup:.2},\n    \"pr7_block_probs_ns\": {PR7_BLOCK_PROBS_NS:.1},\n    \"pr7_block_collapse_ns\": {PR7_BLOCK_COLLAPSE_NS:.1},\n    \"pr7_micro_total_ns\": {pr7_meas_micro_total_ns:.1},\n    \"micro_speedup_vs_pr7\": {meas_micro_speedup_vs_pr7:.2}\n  }},\n  \"compile_cache\": {{\n    \"workload\": \"36-param P2 gradient, 1 input; fresh 36-multiset lowering vs interned warm path vs single-skeleton shift rule\",\n    \"lower_36_multisets_ns\": {lower_36_ns:.1},\n    \"gradient_cold_ns\": {grad_cold_ns:.1},\n    \"gradient_warm_ns\": {grad_warm_ns:.1},\n    \"warm_speedup_vs_cold\": {warm_speedup:.2},\n    \"gradient_shift_ns\": {grad_shift_ns:.1},\n    \"shift_lowered_programs\": {shift_lowered_programs},\n    \"shift_speedup_vs_warm\": {shift_speedup:.2}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"sim\",\n  \"threads\": {},\n  \"gate_apply\": {{\n    \"workload\": \"16x10q batched seam, L2-resident, one gate per dispatch class (H dense-real, RX dense-complex, RZ diagonal, CNOT block-diagonal)\",\n    \"gate_h_ns\": {gate_h_ns:.1},\n    \"gate_rx_ns\": {gate_rx_ns:.1},\n    \"gate_rz_ns\": {gate_rz_ns:.1},\n    \"gate_cnot_ns\": {gate_cnot_ns:.1},\n    \"simd_tier\": \"{simd_tier:?}\",\n    \"gate_h_mask1_ns\": {gate_h_m1_ns:.1},\n    \"gate_rx_mask1_ns\": {gate_rx_m1_ns:.1},\n    \"gate_rz_mask1_ns\": {gate_rz_m1_ns:.1},\n    \"gate_cnot_mask1_ns\": {gate_cnot_m1_ns:.1},\n    \"gate_rxx_ns\": {gate_rxx_ns:.1},\n    \"scalar_gate_rx_ns\": {scalar_rx_ns:.1},\n    \"scalar_gate_rx_mask1_ns\": {scalar_rx_m1_ns:.1},\n    \"scalar_gate_cnot_mask1_ns\": {scalar_cnot_m1_ns:.1},\n    \"scalar_gate_rxx_ns\": {scalar_rxx_ns:.1},\n    \"simd_rx_speedup\": {simd_rx_speedup:.2},\n    \"simd_mask1_speedup\": {simd_mask1_speedup:.2},\n    \"simd_cnot_mask1_speedup\": {simd_cnot_mask1_speedup:.2},\n    \"simd_rxx_speedup\": {simd_rxx_speedup:.2},\n    \"total_ns\": {gate_total_ns:.1},\n    \"pr6_gate_h_ns\": {PR6_GATE_H_NS:.1},\n    \"pr6_gate_rx_ns\": {PR6_GATE_RX_NS:.1},\n    \"pr6_gate_rz_ns\": {PR6_GATE_RZ_NS:.1},\n    \"pr6_gate_cnot_ns\": {PR6_GATE_CNOT_NS:.1},\n    \"pr6_total_ns\": {pr6_gate_total_ns:.1},\n    \"speedup_vs_pr6\": {gate_apply_speedup:.2},\n    \"pr7_gate_h_ns\": {PR7_GATE_H_NS:.1},\n    \"pr7_gate_rx_ns\": {PR7_GATE_RX_NS:.1},\n    \"pr7_gate_rz_ns\": {PR7_GATE_RZ_NS:.1},\n    \"pr7_gate_cnot_ns\": {PR7_GATE_CNOT_NS:.1},\n    \"pr7_total_ns\": {pr7_gate_total_ns:.1},\n    \"speedup_vs_pr7\": {gate_apply_speedup_vs_pr7:.2}\n  }},\n  \"gate_apply_10q_density\": {{\n    \"gate\": \"H on row qubit 4\",\n    \"fast_ns\": {gate_fast_ns:.1},\n    \"reference_ns\": {gate_ref_ns:.1},\n    \"speedup\": {gate_speedup:.2}\n  }},\n  \"gradient_p1_24_params\": {{\n    \"workload\": \"GradientEngine::gradient_pure on P1\",\n    \"fast_ns\": {grad_fast_ns:.1},\n    \"reference_ns\": {grad_ref_ns:.1},\n    \"speedup\": {grad_speedup:.2}\n  }},\n  \"gradient_batch_16x\": {{\n    \"workload\": \"Trainer::loss_gradient on P1, {batch_size}-sample batch\",\n    \"batched_ns\": {batch_fast_ns:.1},\n    \"serial_loop_ns\": {batch_serial_ns:.1},\n    \"speedup\": {batch_speedup:.2}\n  }},\n  \"estimator_shots\": {{\n    \"workload\": \"shot-noise P1 gradient, {est_shots} shots x 24 params\",\n    \"batched_ns\": {shots_batched_ns:.1},\n    \"pr6_batched_ns\": {PR6_ESTIMATOR_SHOTS_BATCHED_NS:.1},\n    \"serial_loop_ns\": {shots_serial_ns:.1},\n    \"speedup\": {shots_speedup:.2}\n  }},\n  \"gradient_branching_batch\": {{\n    \"workload\": \"branch-weighted P2 gradient, {batch_size}-sample batch x {branch_params} params\",\n    \"batched_ns\": {branch_batched_ns:.1},\n    \"pr6_batched_ns\": {PR6_BRANCHING_BATCHED_NS:.1},\n    \"per_row_ns\": {branch_serial_ns:.1},\n    \"speedup\": {branch_speedup:.2}\n  }},\n  \"measurement_sweep\": {{\n    \"workload\": \"P2 branching gradient multisets ({branch_params} params, {batch_size}-row exact sweeps) + {meas_shots}-shot estimate, block vs per-row measurement\",\n    \"exact_block_ns\": {meas_block_ns:.1},\n    \"exact_per_row_ns\": {meas_per_row_ns:.1},\n    \"sampled_block_ns\": {meas_sampled_block_ns:.1},\n    \"sampled_serial_ns\": {meas_sampled_serial_ns:.1},\n    \"sampled_speedup\": {meas_sampled_speedup:.2},\n    \"speedup\": {meas_speedup:.2},\n    \"block_probs_ns\": {block_probs_ns:.1},\n    \"block_collapse_ns\": {block_collapse_ns:.1},\n    \"micro_total_ns\": {meas_micro_total_ns:.1},\n    \"pr6_block_probs_ns\": {PR6_BLOCK_PROBS_NS:.1},\n    \"pr6_block_collapse_ns\": {PR6_BLOCK_COLLAPSE_NS:.1},\n    \"pr6_micro_total_ns\": {pr6_meas_micro_total_ns:.1},\n    \"micro_speedup_vs_pr6\": {meas_micro_speedup:.2},\n    \"pr7_block_probs_ns\": {PR7_BLOCK_PROBS_NS:.1},\n    \"pr7_block_collapse_ns\": {PR7_BLOCK_COLLAPSE_NS:.1},\n    \"pr7_micro_total_ns\": {pr7_meas_micro_total_ns:.1},\n    \"micro_speedup_vs_pr7\": {meas_micro_speedup_vs_pr7:.2}\n  }},\n  \"compile_cache\": {{\n    \"workload\": \"36-param P2 gradient, 1 input; fresh 36-multiset lowering vs interned warm path vs single-skeleton shift rule\",\n    \"lower_36_multisets_ns\": {lower_36_ns:.1},\n    \"gradient_cold_ns\": {grad_cold_ns:.1},\n    \"gradient_warm_ns\": {grad_warm_ns:.1},\n    \"warm_speedup_vs_cold\": {warm_speedup:.2},\n    \"gradient_shift_ns\": {grad_shift_ns:.1},\n    \"shift_lowered_programs\": {shift_lowered_programs},\n    \"shift_speedup_vs_warm\": {shift_speedup:.2}\n  }},\n  \"service_overload\": {{\n    \"workload\": \"{overload_clients} clients vs a max_pending={overload_bound} tenant (typed shedding), then {live_threads}x{live_per_thread} live requests at min_batch=1 (latency proxy)\",\n    \"queue_fill_clients\": {overload_clients},\n    \"max_pending\": {overload_bound},\n    \"shed\": {overload_shed},\n    \"served\": {overload_served},\n    \"shed_rate\": {overload_shed_rate:.3},\n    \"live_requests\": {live_total},\n    \"live_p50_ns\": {live_p50_ns:.1},\n    \"live_p99_ns\": {live_p99_ns:.1}\n  }}\n}}\n",
         qdp_par::max_threads(),
     );
     std::fs::write(&out_path, &json).expect("write benchmark record");
@@ -616,6 +704,28 @@ fn main() {
         warm_speedup >= 1.05,
         "the interned warm gradient must clearly beat cold per-call \
          recompilation (got {warm_speedup:.2}x)"
+    );
+    // Overload shedding is exact, not statistical: the queue bound admits
+    // exactly `overload_bound` of the racing clients and sheds the rest
+    // with a typed error, whatever the arrival interleaving.
+    assert_eq!(
+        overload_shed + overload_served,
+        overload_clients,
+        "every queue-fill client must resolve as served or shed"
+    );
+    assert_eq!(
+        overload_shed,
+        overload_clients - overload_bound,
+        "the shed count must equal the overflow past the queue bound exactly"
+    );
+    assert_eq!(
+        fill_ok, overload_bound,
+        "exactly the enqueued clients must be served after the flush"
+    );
+    assert!(
+        live_p99_ns >= live_p50_ns && live_p50_ns > 0.0,
+        "the live-phase latency proxy must be well-formed \
+         (p50 {live_p50_ns:.1}ns, p99 {live_p99_ns:.1}ns)"
     );
 
     // PR-9 SIMD guards. The in-process scalar-vs-SIMD ratios are the

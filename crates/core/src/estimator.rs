@@ -260,17 +260,29 @@ impl PreparedDerivativeEstimator {
     /// numerical precision, and is bit-for-bit deterministic under any
     /// thread count.
     pub fn exact(&self, psi: &StateVector) -> f64 {
+        self.try_exact(psi).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`exact`](Self::exact): worker-panic exhaustion
+    /// surfaces as a typed [`qdp_sim::QdpError::WorkerPanic`] instead of a
+    /// panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`qdp_sim::QdpError::WorkerPanic`] when a program's tile
+    /// panicked and the bounded bit-identical retries did not heal it.
+    pub fn try_exact(&self, psi: &StateVector) -> Result<f64, qdp_sim::QdpError> {
         let ext_psi = StateVector::zero_state(1).tensor(psi);
         // Engines are pure per call, so a panicked tile retries
         // bit-identically before the failure is surfaced.
-        qdp_par::try_par_map_retry(
+        Ok(qdp_par::try_par_map_retry(
             &self.engines,
             |engine| engine.expectation_sweep(BatchedStates::repeat(&ext_psi, 1), &self.ext_obs)[0],
             TILE_RETRIES,
         )
-        .unwrap_or_else(|e| panic!("{}", qdp_sim::QdpError::from(e)))
+        .map_err(qdp_sim::QdpError::from)?
         .into_iter()
-        .sum()
+        .sum())
     }
 
     /// One batched derivative estimate — identical bits to
@@ -280,10 +292,31 @@ impl PreparedDerivativeEstimator {
     ///
     /// Panics when `shots` is zero.
     pub fn estimate(&self, psi: &StateVector, shots: usize, seed: u64) -> f64 {
+        self.try_estimate(psi, shots, seed)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`estimate`](Self::estimate) — same contract as
+    /// [`try_exact`](Self::try_exact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`qdp_sim::QdpError::WorkerPanic`] when a shot tile
+    /// panicked and the bounded bit-identical retries did not heal it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shots` is zero.
+    pub fn try_estimate(
+        &self,
+        psi: &StateVector,
+        shots: usize,
+        seed: u64,
+    ) -> Result<f64, qdp_sim::QdpError> {
         assert!(shots > 0, "need at least one shot");
         let m = self.engines.len();
         if m == 0 {
-            return 0.0;
+            return Ok(0.0);
         }
         let ext_psi = StateVector::zero_state(1).tensor(psi);
 
@@ -322,8 +355,8 @@ impl PreparedDerivativeEstimator {
             }
             acc
         }, TILE_RETRIES)
-        .unwrap_or_else(|e| panic!("{}", qdp_sim::QdpError::from(e)));
-        m as f64 * tile_sums.into_iter().sum::<f64>() / shots as f64
+        .map_err(qdp_sim::QdpError::from)?;
+        Ok(m as f64 * tile_sums.into_iter().sum::<f64>() / shots as f64)
     }
 }
 

@@ -26,6 +26,27 @@ use std::sync::Arc;
 /// a retry is bit-identical to a first-try success.
 const TILE_RETRIES: usize = 2;
 
+/// Extracts the human-readable message from a panic payload (the two
+/// payload shapes `panic!` produces, with a fallback for exotic ones).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Runs a batched evaluation whose only failure mode is a panic (e.g.
+/// worker-panic exhaustion deep inside `expectation_batch` re-panics with
+/// the typed message) and converts the unwind into a typed error — the
+/// fallible `try_*` twins of entry points that cannot thread a `Result`
+/// through their fan-out are built on this.
+fn contain<R>(f: impl FnOnce() -> R) -> Result<R, qdp_sim::QdpError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|payload| {
+        qdp_sim::QdpError::ServicePanic { message: panic_message(payload.as_ref()) }
+    })
+}
+
 /// The compile-time artifact of differentiating one program with respect to
 /// one parameter.
 ///
@@ -536,6 +557,34 @@ impl GradientEngine {
         shots: usize,
         row_seeds: &[u64],
     ) -> Vec<f64> {
+        self.try_value_pure_shots_batch(params, obs, inputs, shots, row_seeds)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of
+    /// [`value_pure_shots_batch`](Self::value_pure_shots_batch):
+    /// worker-panic exhaustion surfaces as a typed
+    /// [`qdp_sim::QdpError::WorkerPanic`] instead of a panic, so callers
+    /// holding coalesced requests (the gradient service) can fail them
+    /// individually.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`qdp_sim::QdpError::WorkerPanic`] when a row's tile
+    /// panicked and the bounded bit-identical retries did not heal it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed requests (length mismatch, missing parameter) —
+    /// programmer errors the service validates on the caller's thread.
+    pub fn try_value_pure_shots_batch(
+        &self,
+        params: &Params,
+        obs: &Observable,
+        inputs: &[StateVector],
+        shots: usize,
+        row_seeds: &[u64],
+    ) -> Result<Vec<f64>, qdp_sim::QdpError> {
         assert_eq!(
             inputs.len(),
             row_seeds.len(),
@@ -556,7 +605,7 @@ impl GradientEngine {
             |&(r, seed)| engine.estimate_expectation_prepared(&inputs[r], &readout, shots, seed),
             TILE_RETRIES,
         )
-        .unwrap_or_else(|e| panic!("{}", qdp_sim::QdpError::from(e)))
+        .map_err(qdp_sim::QdpError::from)
     }
 
     /// Shot-based estimate of the full gradient on a pure input: each
@@ -607,6 +656,31 @@ impl GradientEngine {
         shots_per_param: usize,
         row_seeds: &[u64],
     ) -> Vec<BTreeMap<String, f64>> {
+        self.try_gradient_pure_shots_batch(params, obs, inputs, shots_per_param, row_seeds)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of
+    /// [`gradient_pure_shots_batch`](Self::gradient_pure_shots_batch) —
+    /// same contract as
+    /// [`try_value_pure_shots_batch`](Self::try_value_pure_shots_batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`qdp_sim::QdpError::WorkerPanic`] when a row's tile
+    /// panicked and the bounded bit-identical retries did not heal it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed requests (length mismatch, missing parameter).
+    pub fn try_gradient_pure_shots_batch(
+        &self,
+        params: &Params,
+        obs: &Observable,
+        inputs: &[StateVector],
+        shots_per_param: usize,
+        row_seeds: &[u64],
+    ) -> Result<Vec<BTreeMap<String, f64>>, qdp_sim::QdpError> {
         assert_eq!(
             inputs.len(),
             row_seeds.len(),
@@ -637,7 +711,7 @@ impl GradientEngine {
             },
             TILE_RETRIES,
         )
-        .unwrap_or_else(|e| panic!("{}", qdp_sim::QdpError::from(e)))
+        .map_err(qdp_sim::QdpError::from)
     }
 
     /// Forward values `tr(O·[[P(θ*)]]|ψr⟩⟨ψr|)` for every row of a batch.
@@ -656,6 +730,25 @@ impl GradientEngine {
         let fwd = self.forward_skeleton();
         let values = fwd.lowered().slot_values(params);
         fwd.lowered().expectation_batch(&values, states, obs)
+    }
+
+    /// Fallible twin of [`value_pure_batch`](Self::value_pure_batch): the
+    /// sweep's failure panics (worker-panic exhaustion deep inside
+    /// `expectation_batch`) are contained into a typed
+    /// [`qdp_sim::QdpError::ServicePanic`] carrying the panic message.
+    /// A successful call returns the identical bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`qdp_sim::QdpError::ServicePanic`] when the sweep
+    /// panicked.
+    pub fn try_value_pure_batch(
+        &self,
+        params: &Params,
+        obs: &Observable,
+        states: &BatchedStates,
+    ) -> Result<Vec<f64>, qdp_sim::QdpError> {
+        contain(|| self.value_pure_batch(params, obs, states))
     }
 
     /// The full gradient for **every** row of a batch, keyed by parameter
@@ -709,6 +802,23 @@ impl GradientEngine {
                     .collect()
             })
             .collect()
+    }
+
+    /// Fallible twin of [`gradient_pure_batch`](Self::gradient_pure_batch)
+    /// — same containment contract as
+    /// [`try_value_pure_batch`](Self::try_value_pure_batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`qdp_sim::QdpError::ServicePanic`] when the sweep
+    /// panicked.
+    pub fn try_gradient_pure_batch(
+        &self,
+        params: &Params,
+        obs: &Observable,
+        states: &BatchedStates,
+    ) -> Result<Vec<BTreeMap<String, f64>>, qdp_sim::QdpError> {
+        contain(|| self.gradient_pure_batch(params, obs, states))
     }
 
     /// Whether the phase-shift rule applies: every parameter occurs exactly
@@ -768,6 +878,30 @@ impl GradientEngine {
         obs: &Observable,
         states: &BatchedStates,
     ) -> Vec<BTreeMap<String, f64>> {
+        self.try_gradient_pure_shift_batch(params, obs, states)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of
+    /// [`gradient_pure_shift_batch`](Self::gradient_pure_shift_batch):
+    /// worker-panic exhaustion in the shifted-valuation fan-out surfaces
+    /// as a typed [`qdp_sim::QdpError::WorkerPanic`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`qdp_sim::QdpError::WorkerPanic`] when a valuation's tile
+    /// panicked and the bounded bit-identical retries did not heal it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the program is not shift-eligible or a used parameter
+    /// has no value — programmer errors validated before enqueueing.
+    pub fn try_gradient_pure_shift_batch(
+        &self,
+        params: &Params,
+        obs: &Observable,
+        states: &BatchedStates,
+    ) -> Result<Vec<BTreeMap<String, f64>>, qdp_sim::QdpError> {
         assert!(
             self.shift_rule_eligible(),
             "shift-rule gradient requires every parameter to occur exactly once \
@@ -806,8 +940,8 @@ impl GradientEngine {
             },
             TILE_RETRIES,
         )
-        .unwrap_or_else(|e| panic!("{}", qdp_sim::QdpError::from(e)));
-        (0..states.len())
+        .map_err(qdp_sim::QdpError::from)?;
+        Ok((0..states.len())
             .map(|r| {
                 names
                     .iter()
@@ -817,7 +951,7 @@ impl GradientEngine {
                     })
                     .collect()
             })
-            .collect()
+            .collect())
     }
 }
 

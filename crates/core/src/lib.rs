@@ -54,10 +54,12 @@ pub mod semantics;
 pub mod service;
 pub mod transform;
 
-pub use cache::{CacheStats, CompiledSkeleton, ProgramCache};
+pub use cache::{CacheCounters, CacheStats, CompiledSkeleton, ProgramCache};
 pub use exec::{differentiate, Differentiated, GradientEngine};
 pub use lowered::{lower_invocations, LoweredProgram, LoweredSet, ResolvedProgram, TrajSkeleton};
-pub use service::{GradientService, ProgramHandle};
+pub use service::{
+    GradientService, OverloadPolicy, ProgramHandle, RequestOptions, ServiceConfig,
+};
 pub use logic::{check, derive, Derivation, Judgement, Rule};
 pub use resource::{analyze, gradient_shot_budget, occurrence_count, ResourceReport};
 pub use transform::{fresh_ancilla, transform, TransformError};

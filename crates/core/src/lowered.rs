@@ -279,6 +279,23 @@ fn set_lower(stmt: &Stmt, reg: &Register, names: &mut Vec<String>, out: &mut Vec
 }
 
 impl LoweredProgram {
+    /// Total lowered operations, counting nested measurement arms — the
+    /// cost weight `qdp_ad::ProgramCache` charges for keeping this
+    /// program's share of a skeleton resident.
+    pub fn op_weight(&self) -> usize {
+        fn count(ops: &[Op]) -> usize {
+            ops.iter()
+                .map(|op| match op {
+                    Op::Case { arms, .. } => {
+                        1 + arms.iter().map(|a| count(&a.ops)).sum::<usize>()
+                    }
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.ops)
+    }
+
     /// `Σ_branches ⟨ψb|O|ψb⟩` — the expectation of the program's output.
     ///
     /// Substitutes the valuation and delegates to the **single** per-row

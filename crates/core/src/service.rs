@@ -1,4 +1,5 @@
-//! A long-lived, multi-tenant gradient front end with request coalescing.
+//! A long-lived, multi-tenant gradient front end with request coalescing,
+//! deadlines, backpressure, and leader-failure containment.
 //!
 //! [`GradientService`] generalizes the one-valuation estimator embryo into
 //! a server: clients register programs (deduplicated structurally — two
@@ -27,31 +28,71 @@
 //!   [`qdp_sim::derive_seed`] per-row stream contract of PR 3).
 //!
 //! So coalescing changes *when* work happens, never *what* any client
-//! observes — under any thread count and any arrival interleaving.
+//! observes — under any thread count and any arrival interleaving. The
+//! robustness machinery below preserves this: shedding, deadline expiry,
+//! and eviction only remove requests from service, they never change the
+//! bits of a request that completes.
 //!
 //! # Leadership protocol
 //!
 //! Per tenant: submitters enqueue under the tenant lock and wait on its
 //! condvar. When no leader is active and at least
-//! [`min_batch`](GradientService::with_admission) requests are pending (or
-//! [`flush`](GradientService::flush) was called), one waiter elects itself
-//! leader, drains the **head group** (the oldest request plus every
-//! pending request compatible with it, in submission order), releases the
-//! lock, runs the one batched sweep, publishes results keyed by ticket,
-//! and steps down. Requests left behind (incompatible or arrived late)
-//! are served by subsequent leaders; everything pending when the gate
-//! opened is owed a sweep, so an incompatible remainder smaller than the
-//! threshold cannot strand. A panicking leader steps down via an
-//! RAII guard so followers re-elect instead of hanging; submissions are
-//! validated on the caller's thread first so the sweep itself cannot fail
-//! on malformed requests.
+//! [`min_batch`](ServiceConfig::min_batch) requests are pending (or an
+//! earlier [`flush`](GradientService::flush)/gate-open marked requests
+//! admitted), one waiter elects itself leader, drains the **head group**
+//! (the oldest request plus every pending request compatible with it, in
+//! submission order), releases the lock, runs the one batched sweep,
+//! publishes results keyed by ticket, and steps down. When the gate opens
+//! on the threshold, every request pending at that moment is marked
+//! `admitted` — owed a sweep — so an incompatible remainder smaller than
+//! the threshold elects follow-up leaders instead of stranding. The flag
+//! rides the request itself, which keeps the carryover gate exact when
+//! individual requests are later removed by deadline expiry.
+//!
+//! # Robustness contract
+//!
+//! * **Deadlines** ([`RequestOptions::deadline`], the fallible `*_with`
+//!   submit paths): the deadline bounds the *queue wait*. A request still
+//!   queued when its deadline passes removes exactly its own entry and
+//!   returns [`qdp_sim::QdpError::DeadlineExceeded`]; followers and the
+//!   admitted-carryover gate are untouched. A request already drained
+//!   into an active sweep is past cancellation — its leader serves the
+//!   batch it admitted (no torn batches) and the late requester simply
+//!   waits for the published result. In particular a leader past its own
+//!   deadline still completes its sweep.
+//! * **Backpressure** ([`ServiceConfig::max_pending`]): with the default
+//!   [`OverloadPolicy::RejectNewest`], a submit that finds the tenant
+//!   queue at its bound sheds immediately with a typed
+//!   [`qdp_sim::QdpError::Overloaded`] — it never blocks waiting for
+//!   space, and never enqueues. [`OverloadPolicy::Block`] instead waits
+//!   for space (bounded by the request deadline, when one is set).
+//! * **Leader-failure containment**: the coalesced sweep runs under
+//!   `catch_unwind` (plus the typed `try_*` engine twins), so a worker
+//!   panic surviving `try_par_map_retry` or an injected
+//!   [`qdp_sim::fault::FaultSite::Service`] panic becomes a typed error,
+//!   never a propagated panic. Group members with retry budget left
+//!   ([`RequestOptions::max_retries`]) are re-queued at the head, still
+//!   admitted, so a follow-up leader re-serves them; members past their
+//!   budget receive the typed error. Either way every follower gets a
+//!   publication — no hangs.
+//! * **Poison recovery**: a tenant lock poisoned by a panicking holder is
+//!   recovered on the next acquisition — the queue drains with typed
+//!   [`qdp_sim::QdpError::ServicePanic`] errors, leadership resets, and
+//!   the tenant keeps serving fresh requests.
+//!
+//! The legacy infallible entry points ([`expectation`](GradientService::expectation)
+//! etc.) delegate to the fallible ones with default options and panic on
+//! the **caller's** thread with the typed message — same surface as
+//! before, still hang-free.
 
 use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use qdp_lang::ast::{Params, Stmt};
-use qdp_sim::{BatchedStates, Observable, StateVector};
+use qdp_sim::{BatchedStates, Observable, QdpError, StateVector};
 
 use crate::exec::GradientEngine;
 use crate::transform::TransformError;
@@ -123,29 +164,107 @@ fn compatible(a: &Request, b: &Request) -> bool {
     }
 }
 
+/// Per-request submission options for the fallible `*_with` entry points.
+#[derive(Clone, Debug)]
+pub struct RequestOptions {
+    /// Maximum time the request may spend **queued** before it is
+    /// cancelled with [`qdp_sim::QdpError::DeadlineExceeded`]. Once the
+    /// request is drained into an active sweep it is past cancellation
+    /// and the submitter waits for the published result. `None` waits
+    /// indefinitely.
+    pub deadline: Option<Duration>,
+    /// How many times a failed coalesced sweep may re-serve this request
+    /// before it is failed with the sweep's typed error. The default `1`
+    /// means one fresh leader retries the group once.
+    pub max_retries: usize,
+}
+
+impl Default for RequestOptions {
+    fn default() -> Self {
+        RequestOptions { deadline: None, max_retries: 1 }
+    }
+}
+
+impl RequestOptions {
+    /// The default options: no deadline, one re-serve retry.
+    pub fn new() -> Self {
+        RequestOptions::default()
+    }
+
+    /// Bounds the queue wait (see [`RequestOptions::deadline`]).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the re-serve budget after leader failures.
+    pub fn with_max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+}
+
+/// What a submit does when the tenant queue is at
+/// [`ServiceConfig::max_pending`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Shed the incoming request immediately with a typed
+    /// [`qdp_sim::QdpError::Overloaded`] — the non-blocking `try_submit`
+    /// behaviour: saturation degrades to fast failure instead of
+    /// unbounded queue growth and latency collapse.
+    #[default]
+    RejectNewest,
+    /// Block the submitter until queue space frees up (bounded by the
+    /// request deadline, when one is set).
+    Block,
+}
+
+/// Service-wide configuration: the admission threshold plus the
+/// backpressure bound and policy.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Requests that must be pending before a leader sweeps a *quiet*
+    /// queue (see [`GradientService::with_admission`]). Must be ≥ 1.
+    pub min_batch: usize,
+    /// Per-tenant bound on the pending queue; `None` is unbounded (the
+    /// pre-robustness behaviour). Must be ≥ 1 when set.
+    pub max_pending: Option<usize>,
+    /// What happens to a submit that finds the queue at the bound.
+    pub overload: OverloadPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            min_batch: 1,
+            max_pending: None,
+            overload: OverloadPolicy::RejectNewest,
+        }
+    }
+}
+
 /// One queued request.
 #[derive(Debug)]
 struct Pending {
     ticket: u64,
     input: StateVector,
     request: Request,
+    /// Owed a sweep: the admission gate opened while this request was
+    /// queued (or a flush covered it). The flag rides the request, so
+    /// removing an expired request cannot miscount the carryover.
+    admitted: bool,
+    /// Failed coalesced sweeps this request has already been part of.
+    attempts: usize,
+    /// Re-serve budget after leader failures ([`RequestOptions`]).
+    max_retries: usize,
 }
 
 #[derive(Debug, Default)]
 struct TenantState {
     pending: Vec<Pending>,
-    results: HashMap<u64, Output>,
+    results: HashMap<u64, Result<Output, QdpError>>,
     /// Whether a leader is currently running a sweep.
     leader: bool,
-    /// Sticky "serve whatever is pending" override of the admission
-    /// threshold; reset once the queue drains.
-    flush: bool,
-    /// Requests already admitted (the gate opened while they were queued)
-    /// but not yet drained into a group. The admission threshold gates a
-    /// *quiet* queue only: once it opens, everything pending at that
-    /// moment is owed a sweep, so an incompatible remainder smaller than
-    /// `min_batch` elects follow-up leaders instead of stranding.
-    admitted: usize,
     next_ticket: u64,
 }
 
@@ -155,10 +274,85 @@ struct Tenant {
     engine: Arc<GradientEngine>,
     state: Mutex<TenantState>,
     ready: Condvar,
-    /// Batched sweeps run on behalf of this tenant.
+    /// Batched sweeps completed on behalf of this tenant.
     sweeps: AtomicUsize,
-    /// Requests served (across all sweeps).
+    /// Requests served successfully (across all sweeps).
     served: AtomicUsize,
+    /// Requests shed at submission by the overload policy.
+    shed: AtomicUsize,
+    /// Requests cancelled by deadline expiry while queued.
+    expired: AtomicUsize,
+    /// Coalesced sweeps that died (panic or typed failure) before
+    /// publishing results.
+    leader_failures: AtomicUsize,
+}
+
+impl Tenant {
+    /// Locks the tenant state, recovering a lock poisoned by a panicking
+    /// holder (see [`Tenant::recover`]).
+    fn lock_state(&self) -> MutexGuard<'_, TenantState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.state.clear_poison();
+                self.recover(poisoned.into_inner())
+            }
+        }
+    }
+
+    /// Sanitizes possibly-torn state behind a poisoned lock: whatever the
+    /// panicking holder was doing, its bookkeeping cannot be trusted, so
+    /// every queued request fails with a typed error (their submitters
+    /// return it; nobody hangs on a queue nobody will sweep) and
+    /// leadership resets so the tenant keeps serving fresh requests. If a
+    /// healthy leader was mid-sweep during recovery, its group was already
+    /// drained out of `pending` — its publications still land, at worst
+    /// alongside a concurrently elected second leader with a disjoint
+    /// group.
+    fn recover<'a>(&'a self, mut st: MutexGuard<'a, TenantState>) -> MutexGuard<'a, TenantState> {
+        st.leader = false;
+        let drained: Vec<Pending> = st.pending.drain(..).collect();
+        for p in drained {
+            st.results.insert(
+                p.ticket,
+                Err(QdpError::ServicePanic {
+                    message: "tenant lock poisoned by a panicking holder; queued request drained"
+                        .to_string(),
+                }),
+            );
+        }
+        self.ready.notify_all();
+        st
+    }
+
+    /// Condvar wait with the same poison recovery as
+    /// [`lock_state`](Self::lock_state).
+    fn wait<'a>(&'a self, st: MutexGuard<'a, TenantState>) -> MutexGuard<'a, TenantState> {
+        match self.ready.wait(st) {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.state.clear_poison();
+                self.recover(poisoned.into_inner())
+            }
+        }
+    }
+
+    /// Bounded condvar wait with the same poison recovery. Timeouts are
+    /// indistinguishable from wakeups to the caller — the submit loop
+    /// re-checks its deadline against the clock.
+    fn wait_timeout<'a>(
+        &'a self,
+        st: MutexGuard<'a, TenantState>,
+        dur: Duration,
+    ) -> MutexGuard<'a, TenantState> {
+        match self.ready.wait_timeout(st, dur) {
+            Ok((g, _)) => g,
+            Err(poisoned) => {
+                self.state.clear_poison();
+                self.recover(poisoned.into_inner().0)
+            }
+        }
+    }
 }
 
 /// An opaque reference to a registered program — cheap to clone and share
@@ -169,21 +363,34 @@ pub struct ProgramHandle {
 }
 
 /// The compile-once gradient server (see the module docs).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct GradientService {
     tenants: Mutex<Vec<Arc<Tenant>>>,
-    min_batch: usize,
+    config: ServiceConfig,
 }
 
-fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+impl Default for GradientService {
+    fn default() -> Self {
+        GradientService::new()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     match m.lock() {
         Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
+        Err(poisoned) => {
+            // The registry is a Vec of Arcs; a panicked holder cannot have
+            // torn it (pushes are the only mutation).
+            m.clear_poison();
+            poisoned.into_inner()
+        }
     }
 }
 
 /// Steps a panicked leader down so followers re-elect instead of hanging
-/// forever on a leadership that will never complete.
+/// forever on a leadership that will never complete. The sweep itself
+/// runs under `catch_unwind`, so this is a backstop for panics in the
+/// leader's own bookkeeping.
 struct LeaderGuard<'a> {
     tenant: &'a Tenant,
     armed: bool,
@@ -192,7 +399,7 @@ struct LeaderGuard<'a> {
 impl Drop for LeaderGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
-            lock(&self.tenant.state).leader = false;
+            self.tenant.lock_state().leader = false;
             self.tenant.ready.notify_all();
         }
     }
@@ -200,13 +407,10 @@ impl Drop for LeaderGuard<'_> {
 
 impl GradientService {
     /// A service that sweeps as soon as any request is pending
-    /// (`min_batch = 1`): correct everywhere, coalescing opportunistically
-    /// when requests happen to queue up.
+    /// (`min_batch = 1`), with an unbounded queue: correct everywhere,
+    /// coalescing opportunistically when requests happen to queue up.
     pub fn new() -> Self {
-        GradientService {
-            tenants: Mutex::new(Vec::new()),
-            min_batch: 1,
-        }
+        GradientService::with_config(ServiceConfig::default())
     }
 
     /// A service whose leaders wait until `min_batch` requests are pending
@@ -218,10 +422,27 @@ impl GradientService {
     ///
     /// Panics when `min_batch` is zero.
     pub fn with_admission(min_batch: usize) -> Self {
-        assert!(min_batch > 0, "admission threshold must be at least 1");
+        GradientService::with_config(ServiceConfig {
+            min_batch,
+            ..ServiceConfig::default()
+        })
+    }
+
+    /// A service with full robustness configuration: admission threshold,
+    /// queue bound, and overload policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min_batch` is zero or `max_pending` is `Some(0)`.
+    pub fn with_config(config: ServiceConfig) -> Self {
+        assert!(config.min_batch > 0, "admission threshold must be at least 1");
+        assert!(
+            config.max_pending != Some(0),
+            "queue bound must be at least 1 (use None for unbounded)"
+        );
         GradientService {
             tenants: Mutex::new(Vec::new()),
-            min_batch,
+            config,
         }
     }
 
@@ -253,6 +474,9 @@ impl GradientService {
             ready: Condvar::new(),
             sweeps: AtomicUsize::new(0),
             served: AtomicUsize::new(0),
+            shed: AtomicUsize::new(0),
+            expired: AtomicUsize::new(0),
+            leader_failures: AtomicUsize::new(0),
         });
         tenants.push(Arc::clone(&tenant));
         Ok(ProgramHandle { tenant })
@@ -270,21 +494,49 @@ impl GradientService {
         lock(&self.tenants).len()
     }
 
-    /// Batched sweeps run for this handle's program so far.
+    /// Batched sweeps completed for this handle's program so far.
     pub fn sweeps(&self, handle: &ProgramHandle) -> usize {
         handle.tenant.sweeps.load(Ordering::Relaxed)
     }
 
-    /// Requests served for this handle's program so far.
+    /// Requests served successfully for this handle's program so far.
     pub fn served(&self, handle: &ProgramHandle) -> usize {
         handle.tenant.served.load(Ordering::Relaxed)
     }
 
-    /// Overrides the admission threshold for everything currently pending
-    /// on this handle's program: the next leader sweeps whatever is queued
-    /// even if fewer than `min_batch` requests arrived.
+    /// Requests shed by the overload policy for this handle's program.
+    pub fn shed(&self, handle: &ProgramHandle) -> usize {
+        handle.tenant.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests cancelled by deadline expiry while queued.
+    pub fn expired(&self, handle: &ProgramHandle) -> usize {
+        handle.tenant.expired.load(Ordering::Relaxed)
+    }
+
+    /// Coalesced sweeps that failed (before any re-serve retries
+    /// succeeded).
+    pub fn leader_failures(&self, handle: &ProgramHandle) -> usize {
+        handle.tenant.leader_failures.load(Ordering::Relaxed)
+    }
+
+    /// The current pending-queue depth of this handle's tenant.
+    pub fn pending_depth(&self, handle: &ProgramHandle) -> usize {
+        handle.tenant.lock_state().pending.len()
+    }
+
+    /// Overrides the admission threshold for everything **currently
+    /// pending** on this handle's program: those requests are marked
+    /// admitted, so the next leader sweeps them even if fewer than
+    /// `min_batch` arrived. A flush with an empty queue is a no-op — it
+    /// cannot go stale and admit a later lone request early — and a
+    /// request arriving after the flush is not covered by it.
     pub fn flush(&self, handle: &ProgramHandle) {
-        lock(&handle.tenant.state).flush = true;
+        let mut st = handle.tenant.lock_state();
+        for p in &mut st.pending {
+            p.admitted = true;
+        }
+        drop(st);
         handle.tenant.ready.notify_all();
     }
 
@@ -293,8 +545,11 @@ impl GradientService {
     ///
     /// # Panics
     ///
-    /// Panics when a used parameter has no value or the input width does
-    /// not match the program register.
+    /// Panics when a used parameter has no value, the input width does
+    /// not match the program register, or the request fails (overload
+    /// shedding under a bounded config, sweep failure past the retry
+    /// budget) — the panic carries the typed error's message. Use
+    /// [`expectation_with`](Self::expectation_with) to handle failures.
     pub fn expectation(
         &self,
         handle: &ProgramHandle,
@@ -302,12 +557,39 @@ impl GradientService {
         obs: &Observable,
         psi: &StateVector,
     ) -> f64 {
+        self.expectation_with(handle, params, obs, psi, &RequestOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`expectation`](Self::expectation) with per-request
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// [`QdpError::Overloaded`] when shed at submission,
+    /// [`QdpError::DeadlineExceeded`] when the queue wait outlived
+    /// `opts.deadline`, [`QdpError::ServicePanic`] /
+    /// [`QdpError::WorkerPanic`] when the serving sweep failed past the
+    /// retry budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed requests (missing parameter, width mismatch) —
+    /// validated on the caller's thread before enqueueing.
+    pub fn expectation_with(
+        &self,
+        handle: &ProgramHandle,
+        params: &Params,
+        obs: &Observable,
+        psi: &StateVector,
+        opts: &RequestOptions,
+    ) -> Result<f64, QdpError> {
         self.validate(handle, params, psi);
-        match self.submit(handle, psi.clone(), Request::Value {
+        match self.try_submit(handle, psi.clone(), Request::Value {
             params: params.clone(),
             obs: obs.clone(),
-        }) {
-            Output::Value(v) => v,
+        }, opts)? {
+            Output::Value(v) => Ok(v),
             Output::Gradient(_) => unreachable!("value requests produce scalar outputs"),
         }
     }
@@ -324,12 +606,34 @@ impl GradientService {
         obs: &Observable,
         psi: &StateVector,
     ) -> BTreeMap<String, f64> {
+        self.gradient_with(handle, params, obs, psi, &RequestOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`gradient`](Self::gradient) with per-request options —
+    /// same error surface as [`expectation_with`](Self::expectation_with).
+    ///
+    /// # Errors
+    ///
+    /// See [`expectation_with`](Self::expectation_with).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed requests, validated on the caller's thread.
+    pub fn gradient_with(
+        &self,
+        handle: &ProgramHandle,
+        params: &Params,
+        obs: &Observable,
+        psi: &StateVector,
+        opts: &RequestOptions,
+    ) -> Result<BTreeMap<String, f64>, QdpError> {
         self.validate(handle, params, psi);
-        match self.submit(handle, psi.clone(), Request::Gradient {
+        match self.try_submit(handle, psi.clone(), Request::Gradient {
             params: params.clone(),
             obs: obs.clone(),
-        }) {
-            Output::Gradient(g) => g,
+        }, opts)? {
+            Output::Gradient(g) => Ok(g),
             Output::Value(_) => unreachable!("gradient requests produce map outputs"),
         }
     }
@@ -349,17 +653,40 @@ impl GradientService {
         obs: &Observable,
         psi: &StateVector,
     ) -> BTreeMap<String, f64> {
+        self.gradient_shift_with(handle, params, obs, psi, &RequestOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`gradient_shift`](Self::gradient_shift) with per-request
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// See [`expectation_with`](Self::expectation_with).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed requests or shift-ineligible programs,
+    /// validated on the caller's thread.
+    pub fn gradient_shift_with(
+        &self,
+        handle: &ProgramHandle,
+        params: &Params,
+        obs: &Observable,
+        psi: &StateVector,
+        opts: &RequestOptions,
+    ) -> Result<BTreeMap<String, f64>, QdpError> {
         self.validate(handle, params, psi);
         assert!(
             handle.tenant.engine.shift_rule_eligible(),
             "shift-rule gradient requires every parameter to occur exactly once \
              per execution path"
         );
-        match self.submit(handle, psi.clone(), Request::ShiftGradient {
+        match self.try_submit(handle, psi.clone(), Request::ShiftGradient {
             params: params.clone(),
             obs: obs.clone(),
-        }) {
-            Output::Gradient(g) => g,
+        }, opts)? {
+            Output::Gradient(g) => Ok(g),
             Output::Value(_) => unreachable!("gradient requests produce map outputs"),
         }
     }
@@ -381,15 +708,41 @@ impl GradientService {
         shots: usize,
         seed: u64,
     ) -> f64 {
+        self.expectation_shots_with(handle, params, obs, psi, shots, seed, &RequestOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`expectation_shots`](Self::expectation_shots) with
+    /// per-request options.
+    ///
+    /// # Errors
+    ///
+    /// See [`expectation_with`](Self::expectation_with).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed requests (incl. `shots == 0`), validated on
+    /// the caller's thread.
+    #[allow(clippy::too_many_arguments)]
+    pub fn expectation_shots_with(
+        &self,
+        handle: &ProgramHandle,
+        params: &Params,
+        obs: &Observable,
+        psi: &StateVector,
+        shots: usize,
+        seed: u64,
+        opts: &RequestOptions,
+    ) -> Result<f64, QdpError> {
         self.validate(handle, params, psi);
         assert!(shots > 0, "need at least one shot");
-        match self.submit(handle, psi.clone(), Request::ValueShots {
+        match self.try_submit(handle, psi.clone(), Request::ValueShots {
             params: params.clone(),
             obs: obs.clone(),
             shots,
             seed,
-        }) {
-            Output::Value(v) => v,
+        }, opts)? {
+            Output::Value(v) => Ok(v),
             Output::Gradient(_) => unreachable!("value requests produce scalar outputs"),
         }
     }
@@ -411,21 +764,55 @@ impl GradientService {
         shots_per_param: usize,
         seed: u64,
     ) -> BTreeMap<String, f64> {
+        self.gradient_shots_with(
+            handle,
+            params,
+            obs,
+            psi,
+            shots_per_param,
+            seed,
+            &RequestOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`gradient_shots`](Self::gradient_shots) with per-request
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// See [`expectation_with`](Self::expectation_with).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed requests (incl. `shots_per_param == 0`),
+    /// validated on the caller's thread.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gradient_shots_with(
+        &self,
+        handle: &ProgramHandle,
+        params: &Params,
+        obs: &Observable,
+        psi: &StateVector,
+        shots_per_param: usize,
+        seed: u64,
+        opts: &RequestOptions,
+    ) -> Result<BTreeMap<String, f64>, QdpError> {
         self.validate(handle, params, psi);
         assert!(shots_per_param > 0, "need at least one shot per parameter");
-        match self.submit(handle, psi.clone(), Request::GradientShots {
+        match self.try_submit(handle, psi.clone(), Request::GradientShots {
             params: params.clone(),
             obs: obs.clone(),
             shots_per_param,
             seed,
-        }) {
-            Output::Gradient(g) => g,
+        }, opts)? {
+            Output::Gradient(g) => Ok(g),
             Output::Value(_) => unreachable!("gradient requests produce map outputs"),
         }
     }
 
     /// Fail fast on the caller's thread, before enqueueing: a request that
-    /// would panic mid-sweep would strand its whole coalesced group.
+    /// would panic mid-sweep would fail its whole coalesced group.
     fn validate(&self, handle: &ProgramHandle, params: &Params, psi: &StateVector) {
         let engine = &handle.tenant.engine;
         assert_eq!(
@@ -441,30 +828,76 @@ impl GradientService {
         }
     }
 
-    /// Enqueues one request and blocks until its result is published,
-    /// serving as leader when elected (see the module docs).
-    fn submit(&self, handle: &ProgramHandle, input: StateVector, request: Request) -> Output {
+    /// Enqueues one request (applying the overload policy first — with
+    /// [`OverloadPolicy::RejectNewest`] this never blocks for queue space)
+    /// and blocks until its result or typed failure is published, serving
+    /// as leader when elected (see the module docs).
+    fn try_submit(
+        &self,
+        handle: &ProgramHandle,
+        input: StateVector,
+        request: Request,
+        opts: &RequestOptions,
+    ) -> Result<Output, QdpError> {
         let tenant = &*handle.tenant;
-        let mut st = lock(&tenant.state);
+        let deadline = opts.deadline.map(|d| (Instant::now() + d, duration_ms(d)));
+        let mut st = tenant.lock_state();
+
+        // Backpressure: bound the queue before enqueueing.
+        if let Some(max_pending) = self.config.max_pending {
+            match self.config.overload {
+                OverloadPolicy::RejectNewest => {
+                    if st.pending.len() >= max_pending {
+                        let pending = st.pending.len();
+                        tenant.shed.fetch_add(1, Ordering::Relaxed);
+                        return Err(QdpError::Overloaded { pending, max_pending });
+                    }
+                }
+                OverloadPolicy::Block => {
+                    while st.pending.len() >= max_pending {
+                        st = match deadline {
+                            None => tenant.wait(st),
+                            Some((at, deadline_ms)) => {
+                                let now = Instant::now();
+                                if now >= at {
+                                    tenant.expired.fetch_add(1, Ordering::Relaxed);
+                                    return Err(QdpError::DeadlineExceeded { deadline_ms });
+                                }
+                                tenant.wait_timeout(st, at - now)
+                            }
+                        };
+                    }
+                }
+            }
+        }
+
         let ticket = st.next_ticket;
         st.next_ticket += 1;
         st.pending.push(Pending {
             ticket,
             input,
             request,
+            admitted: false,
+            attempts: 0,
+            max_retries: opts.max_retries,
         });
+
         loop {
             if let Some(out) = st.results.remove(&ticket) {
                 return out;
             }
-            let admitted =
-                st.pending.len() >= self.min_batch || st.flush || st.admitted > 0;
-            if !st.leader && !st.pending.is_empty() && admitted {
+            let gate_open = st.pending.len() >= self.config.min_batch
+                || st.pending.iter().any(|p| p.admitted);
+            if !st.leader && !st.pending.is_empty() && gate_open {
                 st.leader = true;
-                if st.admitted == 0 {
-                    // The gate just opened: everything queued right now is
-                    // owed service, however the head groups split it.
-                    st.admitted = st.pending.len();
+                if st.pending.iter().all(|p| !p.admitted) {
+                    // The gate just opened on the threshold: everything
+                    // queued right now is owed service, however the head
+                    // groups split it. The flags ride the requests, so a
+                    // later deadline removal stays exact.
+                    for p in &mut st.pending {
+                        p.admitted = true;
+                    }
                 }
                 // Drain the head group: oldest request plus every pending
                 // request compatible with it, in submission order.
@@ -478,47 +911,106 @@ impl GradientService {
                     }
                 }
                 st.pending = rest;
-                st.admitted = st.admitted.saturating_sub(group.len());
-                if st.pending.is_empty() {
-                    st.flush = false;
-                    st.admitted = 0;
-                }
                 drop(st);
 
                 let mut guard = LeaderGuard {
                     tenant,
                     armed: true,
                 };
-                let outputs = run_group(&tenant.engine, &group);
-                tenant.sweeps.fetch_add(1, Ordering::Relaxed);
-                tenant.served.fetch_add(group.len(), Ordering::Relaxed);
+                // Containment: the injected service checkpoint and any
+                // panic that escapes the sweep (the typed `try_*` engine
+                // twins already convert worker-panic exhaustion) become a
+                // typed error to publish — never an unwind past the
+                // leader, never a stranded follower.
+                let outcome: Result<Vec<Output>, QdpError> =
+                    catch_unwind(AssertUnwindSafe(|| {
+                        qdp_sim::fault::service_checkpoint();
+                        run_group(&tenant.engine, &group)
+                    }))
+                    .map_err(|payload| QdpError::ServicePanic {
+                        message: crate::exec::panic_message(payload.as_ref()),
+                    })
+                    .and_then(|r| r);
 
-                st = lock(&tenant.state);
-                for (p, out) in group.iter().zip(outputs) {
-                    st.results.insert(p.ticket, out);
+                st = tenant.lock_state();
+                match outcome {
+                    Ok(outputs) => {
+                        tenant.sweeps.fetch_add(1, Ordering::Relaxed);
+                        tenant.served.fetch_add(group.len(), Ordering::Relaxed);
+                        for (p, out) in group.iter().zip(outputs) {
+                            st.results.insert(p.ticket, Ok(out));
+                        }
+                    }
+                    Err(e) => {
+                        tenant.leader_failures.fetch_add(1, Ordering::Relaxed);
+                        // Bounded re-serve: members with retry budget left
+                        // go back to the head of the queue still admitted
+                        // (so a follow-up leader elects below the
+                        // threshold); exhausted members fail typed.
+                        let mut requeue: Vec<Pending> = Vec::new();
+                        for mut p in group {
+                            if p.attempts < p.max_retries {
+                                p.attempts += 1;
+                                p.admitted = true;
+                                requeue.push(p);
+                            } else {
+                                st.results.insert(p.ticket, Err(e.clone()));
+                            }
+                        }
+                        if !requeue.is_empty() {
+                            requeue.append(&mut st.pending);
+                            st.pending = requeue;
+                        }
+                    }
                 }
                 st.leader = false;
                 guard.armed = false;
                 tenant.ready.notify_all();
                 continue;
             }
-            st = match tenant.ready.wait(st) {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
+            st = match deadline {
+                None => tenant.wait(st),
+                Some((at, deadline_ms)) => {
+                    let now = Instant::now();
+                    if now >= at {
+                        if let Some(pos) = st.pending.iter().position(|p| p.ticket == ticket) {
+                            // Still queued: cancel exactly our own entry
+                            // (its admitted flag leaves with it, keeping
+                            // the carryover gate exact for followers).
+                            st.pending.remove(pos);
+                            tenant.expired.fetch_add(1, Ordering::Relaxed);
+                            return Err(QdpError::DeadlineExceeded { deadline_ms });
+                        }
+                        // Drained into an active sweep: past cancellation.
+                        // The leader owes us a publication (result, typed
+                        // error, or a re-queue we can expire from), so
+                        // wait for it — a torn batch would be worse than a
+                        // late result.
+                        tenant.wait(st)
+                    } else {
+                        tenant.wait_timeout(st, at - now)
+                    }
+                }
             };
         }
     }
 }
 
+/// Saturating milliseconds of a `Duration`, for the typed deadline error.
+fn duration_ms(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+}
+
 /// Runs one coalesced group as a single batched sweep and returns one
-/// output per member, in group (submission) order.
-fn run_group(engine: &GradientEngine, group: &[Pending]) -> Vec<Output> {
+/// output per member, in group (submission) order. Worker-panic
+/// exhaustion surfaces as a typed error via the engine's `try_*` twins.
+fn run_group(engine: &GradientEngine, group: &[Pending]) -> Result<Vec<Output>, QdpError> {
     let rows: Vec<&StateVector> = group.iter().map(|p| &p.input).collect();
-    match &group[0].request {
+    Ok(match &group[0].request {
         Request::Value { params, obs } => {
             let batch = BatchedStates::gather(&rows);
             engine
-                .value_pure_batch(params, obs, &batch)
+                .try_value_pure_batch(params, obs, &batch)?
                 .into_iter()
                 .map(Output::Value)
                 .collect()
@@ -526,7 +1018,7 @@ fn run_group(engine: &GradientEngine, group: &[Pending]) -> Vec<Output> {
         Request::Gradient { params, obs } => {
             let batch = BatchedStates::gather(&rows);
             engine
-                .gradient_pure_batch(params, obs, &batch)
+                .try_gradient_pure_batch(params, obs, &batch)?
                 .into_iter()
                 .map(Output::Gradient)
                 .collect()
@@ -534,7 +1026,7 @@ fn run_group(engine: &GradientEngine, group: &[Pending]) -> Vec<Output> {
         Request::ShiftGradient { params, obs } => {
             let batch = BatchedStates::gather(&rows);
             engine
-                .gradient_pure_shift_batch(params, obs, &batch)
+                .try_gradient_pure_shift_batch(params, obs, &batch)?
                 .into_iter()
                 .map(Output::Gradient)
                 .collect()
@@ -545,7 +1037,7 @@ fn run_group(engine: &GradientEngine, group: &[Pending]) -> Vec<Output> {
             let inputs: Vec<StateVector> = group.iter().map(|p| p.input.clone()).collect();
             let row_seeds: Vec<u64> = group.iter().map(|p| request_seed(&p.request)).collect();
             engine
-                .value_pure_shots_batch(params, obs, &inputs, *shots, &row_seeds)
+                .try_value_pure_shots_batch(params, obs, &inputs, *shots, &row_seeds)?
                 .into_iter()
                 .map(Output::Value)
                 .collect()
@@ -559,12 +1051,12 @@ fn run_group(engine: &GradientEngine, group: &[Pending]) -> Vec<Output> {
             let inputs: Vec<StateVector> = group.iter().map(|p| p.input.clone()).collect();
             let row_seeds: Vec<u64> = group.iter().map(|p| request_seed(&p.request)).collect();
             engine
-                .gradient_pure_shots_batch(params, obs, &inputs, *shots_per_param, &row_seeds)
+                .try_gradient_pure_shots_batch(params, obs, &inputs, *shots_per_param, &row_seeds)?
                 .into_iter()
                 .map(Output::Gradient)
                 .collect()
         }
-    }
+    })
 }
 
 /// The per-client seed of a shot request (exact requests carry none).
@@ -656,5 +1148,102 @@ mod tests {
             &Observable::pauli_z(1, 0),
             &StateVector::zero_state(3),
         );
+    }
+
+    #[test]
+    fn stale_flush_cannot_admit_a_later_lone_request() {
+        let service = Arc::new(GradientService::with_admission(2));
+        let p = parse_program("q1 *= RX(a)").unwrap();
+        let handle = service.register(&p).unwrap();
+        // Flush with nothing pending: must be a no-op, not a sticky flag.
+        service.flush(&handle);
+
+        let svc = Arc::clone(&service);
+        let h = handle.clone();
+        let worker = std::thread::spawn(move || {
+            svc.expectation(
+                &h,
+                &Params::from_pairs([("a", 0.4)]),
+                &Observable::pauli_z(1, 0),
+                &StateVector::zero_state(1),
+            )
+        });
+        // The lone request must stay queued below the threshold: the
+        // pre-fix stale flush would have admitted it here.
+        while service.pending_depth(&handle) < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(
+            service.served(&handle),
+            0,
+            "stale flush admitted a lone request below min_batch"
+        );
+        assert_eq!(service.pending_depth(&handle), 1);
+        // A flush that actually covers the queued request releases it.
+        service.flush(&handle);
+        let v = worker.join().unwrap();
+        let direct = service.engine(&handle).value_pure_batch(
+            &Params::from_pairs([("a", 0.4)]),
+            &Observable::pauli_z(1, 0),
+            &BatchedStates::gather(&[&StateVector::zero_state(1)]),
+        )[0];
+        assert_eq!(v.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn poisoned_tenant_lock_drains_queue_typed_and_recovers() {
+        let service = Arc::new(GradientService::with_admission(3));
+        let p = parse_program("q1 *= RX(a)").unwrap();
+        let handle = service.register(&p).unwrap();
+        let params = Params::from_pairs([("a", 0.9)]);
+        let obs = Observable::pauli_z(1, 0);
+        let psi = StateVector::zero_state(1);
+
+        // One queued request waiting below the threshold.
+        let svc = Arc::clone(&service);
+        let (h, pr, ob, ps) = (handle.clone(), params.clone(), obs.clone(), psi.clone());
+        let waiter = std::thread::spawn(move || {
+            svc.expectation_with(&h, &pr, &ob, &ps, &RequestOptions::default())
+        });
+        while service.pending_depth(&handle) < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        // Poison the tenant lock from a thread that panics while holding
+        // it — the failure mode the recovery path exists for.
+        let tenant = Arc::clone(&handle.tenant);
+        let poisoner = std::thread::spawn(move || {
+            let _guard = tenant.state.lock().unwrap();
+            panic!("injected poison");
+        });
+        assert!(poisoner.join().is_err());
+
+        // The next acquisition recovers: the queued request fails typed
+        // (flush locks the state, triggering recovery and the wakeup).
+        service.flush(&handle);
+        let err = waiter.join().unwrap().unwrap_err();
+        assert!(
+            matches!(err, QdpError::ServicePanic { .. }),
+            "expected a typed poison-drain error, got {err:?}"
+        );
+
+        // And the tenant still serves fresh requests with correct bits.
+        let svc = Arc::clone(&service);
+        let (h, pr, ob, ps) = (handle.clone(), params.clone(), obs.clone(), psi.clone());
+        let fresh = std::thread::spawn(move || {
+            svc.expectation_with(&h, &pr, &ob, &ps, &RequestOptions::default())
+        });
+        while service.served(&handle) < 1 {
+            service.flush(&handle);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let v = fresh.join().unwrap().unwrap();
+        let direct = service.engine(&handle).value_pure_batch(
+            &params,
+            &obs,
+            &BatchedStates::gather(&[&psi]),
+        )[0];
+        assert_eq!(v.to_bits(), direct.to_bits());
     }
 }

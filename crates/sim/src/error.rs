@@ -113,6 +113,28 @@ pub enum QdpError {
         /// Which input was rejected.
         what: &'static str,
     },
+    /// A service request waited past its deadline while still queued
+    /// (never admitted into a sweep), and was removed from the queue.
+    DeadlineExceeded {
+        /// The configured deadline, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// A service request was shed at submission because the tenant's
+    /// pending queue was at its configured bound.
+    Overloaded {
+        /// Requests pending on the tenant when this one was rejected.
+        pending: usize,
+        /// The configured per-tenant queue bound.
+        max_pending: usize,
+    },
+    /// A coalesced sweep died — a leader panicked mid-sweep (or its
+    /// tenant lock was poisoned by a panicking holder) and the bounded
+    /// re-serve budget was exhausted, so the group's members were failed
+    /// with this typed error instead of hanging.
+    ServicePanic {
+        /// The panic message of the failed sweep (or a poison note).
+        message: String,
+    },
 }
 
 impl std::fmt::Display for QdpError {
@@ -146,6 +168,17 @@ impl std::fmt::Display for QdpError {
                     write!(f, "{what} must be finite and positive, got {value}")
                 }
             }
+            QdpError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "request deadline of {deadline_ms} ms exceeded while queued")
+            }
+            QdpError::Overloaded { pending, max_pending } => write!(
+                f,
+                "tenant overloaded: {pending} requests pending at the \
+                 configured bound of {max_pending}"
+            ),
+            QdpError::ServicePanic { message } => {
+                write!(f, "coalesced sweep failed: {message}")
+            }
         }
     }
 }
@@ -174,6 +207,19 @@ mod tests {
         });
         assert_eq!(e, QdpError::WorkerPanic { tile: 2, message: "boom".to_string() });
         assert!(e.to_string().contains("tile 2"));
+    }
+
+    #[test]
+    fn service_robustness_errors_name_their_limits() {
+        let e = QdpError::DeadlineExceeded { deadline_ms: 25 };
+        assert!(e.to_string().contains("25 ms"), "{e}");
+
+        let e = QdpError::Overloaded { pending: 8, max_pending: 8 };
+        let s = e.to_string();
+        assert!(s.contains("8 requests") && s.contains("bound of 8"), "{s}");
+
+        let e = QdpError::ServicePanic { message: "injected fault".to_string() };
+        assert!(e.to_string().contains("injected fault"), "{e}");
     }
 
     #[test]

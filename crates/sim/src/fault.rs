@@ -56,6 +56,16 @@ pub enum FaultSite {
         /// How many times the tile panics before succeeding.
         panics: usize,
     },
+    /// Panic at the service-leader checkpoint — the start of a coalesced
+    /// sweep in `qdp_ad::GradientService` — the first `panics` times a
+    /// leader reaches it. Drives the leader-failure containment suite:
+    /// `panics = 1` proves a follow-up leader re-serves the group,
+    /// `panics > retry budget` proves followers get typed errors instead
+    /// of hanging.
+    Service {
+        /// How many successive leader sweeps panic before one succeeds.
+        panics: usize,
+    },
 }
 
 struct Plan {
@@ -168,5 +178,34 @@ pub(crate) fn tile_checkpoint(tile: usize) {
     };
     if should_panic {
         panic!("injected fault: tile {tile} panicked");
+    }
+}
+
+/// Hook called by `qdp_ad::GradientService` at the start of each coalesced
+/// leader sweep. Public (unlike the in-crate kernel/tile hooks) because the
+/// service lives in a downstream crate. Panics while an armed
+/// [`FaultSite::Service`] plan still has panics to spend.
+#[inline]
+pub fn service_checkpoint() {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    let should_panic = {
+        let mut guard = plan();
+        match guard.as_mut() {
+            Some(p) => {
+                let FaultSite::Service { panics } = p.site else { return };
+                if p.fired < panics {
+                    p.fired += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        }
+    };
+    if should_panic {
+        panic!("injected fault: leader sweep panicked");
     }
 }

@@ -24,6 +24,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A labelled pure-state dataset.
 pub type Dataset = Vec<(StateVector, f64)>;
@@ -524,6 +525,35 @@ impl Trainer {
         (0..epochs).map(|_| self.epoch(loss, optimizer)).collect()
     }
 
+    /// Runs up to `epochs` epochs, stopping at the first **epoch
+    /// boundary** past the wall-clock `deadline`, and returns the loss
+    /// history of the epochs that ran.
+    ///
+    /// The deadline changes only *how many* epochs run, never the bits of
+    /// the epochs that do run: each completed epoch (its loss value, its
+    /// optimizer step, its shot-noise stream position) is bit-identical to
+    /// the same-index epoch of an undeadlined [`train`](Self::train) call
+    /// from the same state. An epoch already under way when the deadline
+    /// passes completes normally — there are no torn optimizer steps — so
+    /// the overrun is bounded by one epoch.
+    pub fn train_for(
+        &mut self,
+        epochs: usize,
+        loss: &impl Loss,
+        optimizer: &mut dyn Optimizer,
+        deadline: Duration,
+    ) -> Vec<f64> {
+        let cutoff = Instant::now() + deadline;
+        let mut history = Vec::new();
+        for _ in 0..epochs {
+            if Instant::now() >= cutoff {
+                break;
+            }
+            history.push(self.epoch(loss, optimizer));
+        }
+        history
+    }
+
     /// Classification accuracy with a 0.5 decision threshold.
     pub fn accuracy(&self) -> f64 {
         let preds = self.predictions();
@@ -626,6 +656,50 @@ mod tests {
         trainer.init_params_seeded(7);
         let history = trainer.train(15, &SquaredLoss, &mut GradientDescent::new(0.3));
         assert!(history.last().unwrap() < &history[0], "{history:?}");
+    }
+
+    #[test]
+    fn train_for_with_a_generous_deadline_matches_train_bitwise() {
+        let mut bounded = Trainer::new(&p1(), task::readout_observable(), data()).unwrap();
+        bounded.init_params_seeded(7);
+        let mut unbounded = Trainer::new(&p1(), task::readout_observable(), data()).unwrap();
+        unbounded.init_params_seeded(7);
+
+        let history = bounded.train_for(
+            8,
+            &SquaredLoss,
+            &mut GradientDescent::new(0.3),
+            Duration::from_secs(3600),
+        );
+        let reference = unbounded.train(8, &SquaredLoss, &mut GradientDescent::new(0.3));
+        assert_eq!(history.len(), reference.len());
+        for (i, (a, b)) in history.iter().zip(&reference).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "epoch {i} loss diverged");
+        }
+        for (name, v) in bounded.params() {
+            assert_eq!(
+                v.to_bits(),
+                unbounded.params()[name].to_bits(),
+                "parameter {name} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn train_for_with_an_expired_deadline_runs_no_epochs() {
+        let mut trainer = Trainer::new(&p1(), task::readout_observable(), data()).unwrap();
+        trainer.init_params_seeded(7);
+        let before = trainer.params().clone();
+        let history = trainer.train_for(
+            8,
+            &SquaredLoss,
+            &mut GradientDescent::new(0.3),
+            Duration::ZERO,
+        );
+        assert!(history.is_empty());
+        for (name, v) in trainer.params() {
+            assert_eq!(v.to_bits(), before[name].to_bits(), "parameter {name} moved");
+        }
     }
 
     #[test]
